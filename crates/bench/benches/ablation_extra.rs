@@ -1,0 +1,76 @@
+//! Design-choice ablations beyond the paper (DESIGN.md §4 calls these
+//! out): backend block sizes, cuSZ quant radius, and the codec primitives
+//! every compressor sits on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use codec_kit::bitio::BitWriter;
+use codec_kit::huffman::{histogram, HuffmanEncoder};
+use codec_kit::lz77::{find_matches, LzConfig};
+use compressors::cusz::CuSz;
+use compressors::cuszx::CuSzx;
+use compressors::{Compressor, ErrorBound};
+use gpu_model::{DeviceSpec, Stream};
+use qcf_bench::corpus::synthetic_tensor;
+
+fn bench_szx_block_size(c: &mut Criterion) {
+    let data = synthetic_tensor(1 << 14, 0.5, 51).data;
+    let stream = Stream::new(DeviceSpec::a100());
+    let mut group = c.benchmark_group("szx_block_size");
+    group.throughput(Throughput::Bytes((data.len() * 8) as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for bs in [32usize, 128, 512] {
+        let comp = CuSzx::with_block_size(bs);
+        group.bench_with_input(BenchmarkId::from_parameter(bs), &data, |b, data| {
+            b.iter(|| comp.compress(data, ErrorBound::Rel(1e-3), &stream).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cusz_radius(c: &mut Criterion) {
+    let data = synthetic_tensor(1 << 14, 0.5, 52).data;
+    let stream = Stream::new(DeviceSpec::a100());
+    let mut group = c.benchmark_group("cusz_radius");
+    group.throughput(Throughput::Bytes((data.len() * 8) as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for radius in [128i64, 512, 2048] {
+        let comp = CuSz::with_radius(radius);
+        group.bench_with_input(BenchmarkId::from_parameter(radius), &data, |b, data| {
+            b.iter(|| comp.compress(data, ErrorBound::Rel(1e-3), &stream).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_primitives");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let symbols: Vec<u32> = (0..65_536u32).map(|i| (i * i) % 997 % 256).collect();
+    group.throughput(Throughput::Elements(symbols.len() as u64));
+    group.bench_function("huffman_encode_64k", |b| {
+        let freqs = histogram(&symbols, 256);
+        let enc = HuffmanEncoder::from_freqs(&freqs);
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity(symbols.len() / 2);
+            enc.encode_all(&mut w, &symbols);
+            w.finish()
+        })
+    });
+
+    let bytes: Vec<u8> = (0..65_536usize).map(|i| ((i / 7) % 251) as u8).collect();
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("lz77_parse_64k", |b| {
+        b.iter(|| find_matches(&bytes, &LzConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_szx_block_size, bench_cusz_radius, bench_codec_primitives);
+criterion_main!(benches);

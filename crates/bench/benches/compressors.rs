@@ -1,0 +1,56 @@
+//! Host-side (wall-clock) compress/decompress benchmarks for all nine
+//! compressors plus the framework modes — the Criterion counterpart of
+//! experiment E3 (whose headline numbers are simulated-A100 figures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use compressors::{all_compressors, Compressor, ErrorBound};
+use gpu_model::{DeviceSpec, Stream};
+use qcf_bench::corpus::synthetic_tensor;
+use qcf_core::QcfCompressor;
+
+fn lineup() -> Vec<Box<dyn Compressor>> {
+    let mut comps = all_compressors();
+    comps.push(Box::new(QcfCompressor::ratio()));
+    comps.push(Box::new(QcfCompressor::speed()));
+    comps
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let data = synthetic_tensor(1 << 15, 0.5, 21).data;
+    let bytes = (data.len() * 8) as u64;
+    let stream = Stream::new(DeviceSpec::a100());
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for comp in lineup() {
+        group.bench_with_input(BenchmarkId::from_parameter(comp.name()), &data, |b, data| {
+            b.iter(|| comp.compress(data, ErrorBound::Rel(1e-3), &stream).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let data = synthetic_tensor(1 << 15, 0.5, 22).data;
+    let bytes = (data.len() * 8) as u64;
+    let stream = Stream::new(DeviceSpec::a100());
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for comp in lineup() {
+        let compressed = comp.compress(&data, ErrorBound::Rel(1e-3), &stream).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(comp.name()),
+            &compressed,
+            |b, compressed| b.iter(|| comp.decompress(compressed, &stream).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Simulator benchmarks: exact vs compressed contraction (E7/E9's cost
+//! side) and the ordering-heuristic ablation DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use compressors::ErrorBound;
+use qcircuit::{Graph, QaoaParams};
+use qtensor::compressed::CompressingHook;
+use qtensor::{OrderingHeuristic, Simulator};
+use qcf_core::QcfCompressor;
+
+fn bench_energy(c: &mut Criterion) {
+    let graph = Graph::random_regular(16, 3, 77);
+    let params = QaoaParams::fixed_angles_3reg_p2();
+    let mut group = c.benchmark_group("energy");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("exact", |b| {
+        let sim = Simulator::default();
+        b.iter(|| sim.energy(&graph, &params).unwrap().energy)
+    });
+    group.bench_function("compressed_ratio_mode", |b| {
+        let sim = Simulator::default();
+        let comp = QcfCompressor::ratio();
+        b.iter(|| {
+            let mut hook = CompressingHook::new(&comp, ErrorBound::Abs(1e-4), 2);
+            sim.energy_with_hook(&graph, &params, &mut hook).unwrap().energy
+        })
+    });
+    group.bench_function("compressed_speed_mode", |b| {
+        let sim = Simulator::default();
+        let comp = QcfCompressor::speed();
+        b.iter(|| {
+            let mut hook = CompressingHook::new(&comp, ErrorBound::Abs(1e-4), 2);
+            sim.energy_with_hook(&graph, &params, &mut hook).unwrap().energy
+        })
+    });
+    group.finish();
+}
+
+fn bench_ordering_heuristics(c: &mut Criterion) {
+    let graph = Graph::random_regular(18, 3, 5);
+    let params = QaoaParams::fixed_angles_3reg_p2();
+    let mut group = c.benchmark_group("ordering");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, h) in
+        [("min_fill", OrderingHeuristic::MinFill), ("min_degree", OrderingHeuristic::MinDegree)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &h, |b, &h| {
+            let sim = Simulator::new(h, true);
+            b.iter(|| sim.energy(&graph, &params).unwrap().energy)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_energy, bench_ordering_heuristics);
+criterion_main!(benches);

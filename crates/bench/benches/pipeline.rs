@@ -1,0 +1,48 @@
+//! Framework-pipeline benchmarks: the E4 ablation ladder's *cost* side
+//! (each stage's wall-time overhead) and the E5/E6 sweeps' hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use compressors::{Compressor, ErrorBound};
+use gpu_model::{DeviceSpec, Stream};
+use qcf_bench::corpus::synthetic_tensor;
+use qcf_bench::experiments::e4_ablation::ladder;
+use qcf_core::{Mode, QcfCompressor};
+
+fn bench_ablation_ladder(c: &mut Criterion) {
+    let data = synthetic_tensor(1 << 14, 0.5, 31).data;
+    let bytes = (data.len() * 8) as u64;
+    let stream = Stream::new(DeviceSpec::a100());
+    let mut group = c.benchmark_group("ablation_ladder");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, toggles) in ladder() {
+        let comp = QcfCompressor::with_stages(Mode::Ratio, toggles);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &data, |b, data| {
+            b.iter(|| comp.compress(data, ErrorBound::Rel(1e-3), &stream).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_bound_sweep(c: &mut Criterion) {
+    let data = synthetic_tensor(1 << 14, 0.5, 32).data;
+    let bytes = (data.len() * 8) as u64;
+    let stream = Stream::new(DeviceSpec::a100());
+    let mut group = c.benchmark_group("rate_distortion");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for eb in [1e-2f64, 1e-3, 1e-4] {
+        let comp = QcfCompressor::ratio();
+        group.bench_with_input(BenchmarkId::new("qcf_ratio", format!("{eb:.0e}")), &data, |b, data| {
+            b.iter(|| comp.compress(data, ErrorBound::Rel(eb), &stream).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_ladder, bench_bound_sweep);
+criterion_main!(benches);

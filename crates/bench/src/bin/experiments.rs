@@ -1,0 +1,49 @@
+//! Experiment harness CLI.
+//!
+//! ```text
+//! experiments [e1|e2|...|e9|all] [--quick] [--out DIR]
+//! ```
+//!
+//! Prints each regenerated table and writes JSON records (default `results/`).
+
+use qcf_bench::experiments::run_by_id;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results".to_string());
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != args.iter().position(|x| x == "--out").and_then(|i| args.get(i + 1)).map(|s| s.as_str()))
+        .cloned()
+        .collect();
+    let ids = if ids.is_empty() { vec!["all".to_string()] } else { ids };
+
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match run_by_id(id, quick) {
+            Some(tables) => {
+                for (k, table) in tables.iter().enumerate() {
+                    table.print();
+                    // Tables carry unique experiment ids; suffix only when
+                    // one experiment emits several tables under one id.
+                    let dup = tables.iter().filter(|t| t.id == table.id).count() > 1;
+                    let suffix = if dup { Some(k) } else { None };
+                    if let Err(e) = table.save_json(std::path::Path::new(&out_dir), suffix) {
+                        eprintln!("warning: could not save {}: {e}", table.id);
+                    }
+                }
+                eprintln!("[{id} done in {:.1}s]", started.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' (expected e1..e9 or all)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

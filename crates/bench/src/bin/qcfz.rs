@@ -1,0 +1,59 @@
+//! `qcfz` — compress/decompress f64 files with any compressor of the suite.
+//!
+//! ```text
+//! qcfz list
+//! qcfz compress <in.f64> <out.qcfz> [--compressor NAME] [--rel X | --abs X]
+//! qcfz decompress <in.qcfz> <out.f64>
+//! qcfz info <in.qcfz>
+//! ```
+
+use qcf_bench::cli;
+use std::path::Path;
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("available compressors:\n{}", cli::list());
+            Ok(())
+        }
+        Some("compress") if args.len() >= 3 => {
+            let comp = flag(&args, "--compressor").unwrap_or("QCF-ratio");
+            cli::parse_bound(flag(&args, "--rel"), flag(&args, "--abs")).and_then(|bound| {
+                cli::compress_file(Path::new(&args[1]), Path::new(&args[2]), comp, bound).map(
+                    |s| {
+                        println!(
+                            "{} values -> {} bytes ({:.1}x) in {:.3} simulated ms",
+                            s.n_values,
+                            s.compressed_bytes,
+                            s.ratio,
+                            s.simulated_s * 1e3
+                        );
+                    },
+                )
+            })
+        }
+        Some("decompress") if args.len() >= 3 => {
+            cli::decompress_file(Path::new(&args[1]), Path::new(&args[2]))
+                .map(|n| println!("restored {n} values"))
+        }
+        Some("info") if args.len() >= 2 => {
+            cli::info(Path::new(&args[1])).map(|line| println!("{line}"))
+        }
+        _ => {
+            eprintln!(
+                "usage: qcfz list | compress <in> <out> [--compressor NAME] [--rel X|--abs X] \
+                 | decompress <in> <out> | info <in>"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

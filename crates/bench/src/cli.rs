@@ -1,0 +1,238 @@
+//! `qcfz` — a file-level compression utility over the whole compressor
+//! suite (the downstream-user face of the framework).
+//!
+//! Files are treated as little-endian `f64` streams (the layout QTensor
+//! tensors serialize to). Compressed files are the compressors' own
+//! self-describing streams, so `decompress`/`info` need no side channel.
+
+use compressors::{all_compressors, by_name, Compressor, ErrorBound};
+use gpu_model::{DeviceSpec, Stream};
+use qcf_core::QcfCompressor;
+use std::path::Path;
+
+/// CLI-level errors with user-facing messages.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("io error: {e}"))
+    }
+}
+
+/// The full lineup addressable by name (baselines + framework modes).
+pub fn cli_lineup() -> Vec<Box<dyn Compressor>> {
+    let mut comps = all_compressors();
+    comps.push(Box::new(QcfCompressor::ratio()));
+    comps.push(Box::new(QcfCompressor::speed()));
+    comps
+}
+
+/// Looks up a compressor by display name across the full lineup.
+pub fn cli_by_name(name: &str) -> Option<Box<dyn Compressor>> {
+    if name.eq_ignore_ascii_case("qcf-ratio") {
+        return Some(Box::new(QcfCompressor::ratio()));
+    }
+    if name.eq_ignore_ascii_case("qcf-speed") {
+        return Some(Box::new(QcfCompressor::speed()));
+    }
+    by_name(name)
+}
+
+fn read_f64_file(path: &Path) -> Result<Vec<f64>, CliError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() % 8 != 0 {
+        return Err(CliError(format!(
+            "{} is {} bytes — not a whole number of f64 values",
+            path.display(),
+            bytes.len()
+        )));
+    }
+    Ok(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
+}
+
+/// Result summary of a compression run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressSummary {
+    /// Input values.
+    pub n_values: usize,
+    /// Output bytes.
+    pub compressed_bytes: usize,
+    /// Input / output size.
+    pub ratio: f64,
+    /// Simulated A100 compression seconds.
+    pub simulated_s: f64,
+}
+
+/// Compresses `input` (raw little-endian f64) into `output`.
+pub fn compress_file(
+    input: &Path,
+    output: &Path,
+    compressor: &str,
+    bound: ErrorBound,
+) -> Result<CompressSummary, CliError> {
+    let comp = cli_by_name(compressor)
+        .ok_or_else(|| CliError(format!("unknown compressor '{compressor}' (try `qcfz list`)")))?;
+    let data = read_f64_file(input)?;
+    let stream = Stream::new(DeviceSpec::a100());
+    let bytes = comp
+        .compress(&data, bound, &stream)
+        .map_err(|e| CliError(format!("{}: {e}", comp.name())))?;
+    std::fs::write(output, &bytes)?;
+    Ok(CompressSummary {
+        n_values: data.len(),
+        compressed_bytes: bytes.len(),
+        ratio: (data.len() * 8) as f64 / bytes.len().max(1) as f64,
+        simulated_s: stream.elapsed_s(),
+    })
+}
+
+/// Decompresses a `qcfz` stream back to raw little-endian f64.
+pub fn decompress_file(input: &Path, output: &Path) -> Result<usize, CliError> {
+    let bytes = std::fs::read(input)?;
+    let stream = Stream::new(DeviceSpec::a100());
+    let values = compressed_values(&bytes, &stream)?;
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in &values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(output, &out)?;
+    Ok(values.len())
+}
+
+/// Dispatches decompression on the stream's id byte across the full lineup.
+fn compressed_values(bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CliError> {
+    let id = *bytes.first().ok_or_else(|| CliError("empty file".into()))?;
+    let comp = cli_lineup()
+        .into_iter()
+        .find(|c| c.id() == id)
+        .ok_or_else(|| CliError(format!("unknown stream id {id}")))?;
+    comp.decompress(bytes, stream).map_err(|e| CliError(format!("{}: {e}", comp.name())))
+}
+
+/// Human-readable info about a compressed file.
+pub fn info(input: &Path) -> Result<String, CliError> {
+    let bytes = std::fs::read(input)?;
+    let id = *bytes.first().ok_or_else(|| CliError("empty file".into()))?;
+    let comp = cli_lineup()
+        .into_iter()
+        .find(|c| c.id() == id)
+        .ok_or_else(|| CliError(format!("unknown stream id {id}")))?;
+    let mut pos = 1usize;
+    let n = codec_kit::varint::read_uvarint(&bytes, &mut pos)
+        .map_err(|e| CliError(format!("corrupt header: {e}")))?;
+    Ok(format!(
+        "{}: {} values, {} bytes compressed ({:.1}x)",
+        comp.name(),
+        n,
+        bytes.len(),
+        (n as f64 * 8.0) / bytes.len() as f64
+    ))
+}
+
+/// The `list` subcommand body.
+pub fn list() -> String {
+    cli_lineup()
+        .iter()
+        .map(|c| format!("  {:10} (id {}, {:?})", c.name(), c.id(), c.kind()))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Parses a `--rel X` / `--abs X` pair into a bound (defaults to rel 1e-3).
+pub fn parse_bound(rel: Option<&str>, abs: Option<&str>) -> Result<ErrorBound, CliError> {
+    match (rel, abs) {
+        (Some(_), Some(_)) => Err(CliError("--rel and --abs are mutually exclusive".into())),
+        (Some(r), None) => r
+            .parse::<f64>()
+            .map(ErrorBound::Rel)
+            .map_err(|_| CliError(format!("bad --rel value '{r}'"))),
+        (None, Some(a)) => a
+            .parse::<f64>()
+            .map(ErrorBound::Abs)
+            .map_err(|_| CliError(format!("bad --abs value '{a}'"))),
+        (None, None) => Ok(ErrorBound::Rel(1e-3)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qcfz-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn write_f64s(path: &Path, values: &[f64]) {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        std::fs::write(path, bytes).unwrap();
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip_lossless() {
+        let input = tmp("in1.f64");
+        let comp = tmp("out1.qcfz");
+        let back = tmp("back1.f64");
+        let values: Vec<f64> = (0..1000).map(|i| (i % 17) as f64 * 0.25).collect();
+        write_f64s(&input, &values);
+        let s = compress_file(&input, &comp, "LZ4", ErrorBound::Abs(0.0)).unwrap();
+        assert_eq!(s.n_values, 1000);
+        assert!(s.ratio > 1.0);
+        let n = decompress_file(&comp, &back).unwrap();
+        assert_eq!(n, 1000);
+        assert_eq!(std::fs::read(&input).unwrap(), std::fs::read(&back).unwrap());
+    }
+
+    #[test]
+    fn compress_with_framework_and_info() {
+        let input = tmp("in2.f64");
+        let comp = tmp("out2.qcfz");
+        let values: Vec<f64> = (0..2048).map(|i| ((i % 13) as f64 * 0.1).sin()).collect();
+        write_f64s(&input, &values);
+        let s = compress_file(&input, &comp, "QCF-ratio", ErrorBound::Rel(1e-4)).unwrap();
+        assert!(s.ratio > 4.0, "framework ratio {}", s.ratio);
+        let info_line = info(&comp).unwrap();
+        assert!(info_line.contains("QCF-ratio"), "{info_line}");
+        assert!(info_line.contains("2048"));
+    }
+
+    #[test]
+    fn errors_are_messages_not_panics() {
+        let input = tmp("in3.f64");
+        std::fs::write(&input, [1, 2, 3]).unwrap(); // not multiple of 8
+        assert!(compress_file(&input, &tmp("x"), "cuSZ", ErrorBound::Rel(1e-3)).is_err());
+        write_f64s(&input, &[1.0]);
+        assert!(compress_file(&input, &tmp("x"), "nope", ErrorBound::Rel(1e-3)).is_err());
+        let garbage = tmp("garbage.qcfz");
+        std::fs::write(&garbage, [250u8, 0, 0]).unwrap();
+        assert!(decompress_file(&garbage, &tmp("y")).is_err());
+        assert!(info(&garbage).is_err());
+    }
+
+    #[test]
+    fn bound_parsing() {
+        assert_eq!(parse_bound(None, None).unwrap(), ErrorBound::Rel(1e-3));
+        assert_eq!(parse_bound(Some("1e-4"), None).unwrap(), ErrorBound::Rel(1e-4));
+        assert_eq!(parse_bound(None, Some("0.5")).unwrap(), ErrorBound::Abs(0.5));
+        assert!(parse_bound(Some("1e-4"), Some("1")).is_err());
+        assert!(parse_bound(Some("zzz"), None).is_err());
+    }
+
+    #[test]
+    fn list_names_everything() {
+        let l = list();
+        for name in ["cuSZ", "cuSZx", "cuZFP", "LZ4", "GDeflate", "QCF-ratio", "QCF-speed"] {
+            assert!(l.contains(name), "missing {name} in:\n{l}");
+        }
+    }
+}

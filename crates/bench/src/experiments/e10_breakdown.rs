@@ -1,0 +1,73 @@
+//! E10 — kernel-time breakdown of the main compressors (the profiling
+//! figure GPU-compression papers include: where does the time go?).
+
+use crate::corpus::synthetic_tensor;
+use crate::report::Table;
+use compressors::cusz::CuSz;
+use compressors::cuszx::CuSzx;
+use compressors::{Compressor, ErrorBound};
+use gpu_model::{DeviceSpec, Stream};
+use qcf_core::QcfCompressor;
+
+/// Runs E10.
+pub fn run(quick: bool) -> Vec<Table> {
+    let exp = if quick { 14 } else { 18 };
+    let data = synthetic_tensor(1usize << exp, 0.5, 77).data;
+    let bound = ErrorBound::Rel(1e-3);
+
+    let mut table = Table::new(
+        "e10",
+        format!("simulated kernel-time breakdown (compression of a 2^{exp}-element tensor)"),
+        &["compressor", "kernel", "time (µs)", "share"],
+    );
+    let comps: Vec<Box<dyn Compressor>> = vec![
+        Box::new(CuSz::default()),
+        Box::new(CuSzx::default()),
+        Box::new(QcfCompressor::ratio()),
+        Box::new(QcfCompressor::speed()),
+    ];
+    for comp in &comps {
+        let stream = Stream::new(DeviceSpec::a100());
+        comp.compress(&data, bound, &stream).expect("compress");
+        for (name, secs, share) in stream.breakdown() {
+            table.row(vec![
+                comp.name().to_string(),
+                name,
+                format!("{:.1}", secs * 1e6),
+                format!("{:.1}%", share * 100.0),
+            ]);
+        }
+    }
+    table.note("cuSZ's bit-serial Huffman emission dominates its time — the bottleneck the paper's speed mode avoids");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_shapes_match_known_bottlenecks() {
+        let tables = run(true);
+        let t = &tables[0];
+        // cuSZ: huffman_encode must be its largest kernel.
+        let cusz_rows: Vec<&Vec<String>> =
+            t.rows.iter().filter(|r| r[0] == "cuSZ").collect();
+        assert!(!cusz_rows.is_empty());
+        assert!(
+            cusz_rows[0][1].contains("huffman_encode"),
+            "cuSZ top kernel was {}",
+            cusz_rows[0][1]
+        );
+        // Every compressor's shares sum to ~100%.
+        for name in ["cuSZ", "cuSZx", "QCF-ratio", "QCF-speed"] {
+            let sum: f64 = t
+                .rows
+                .iter()
+                .filter(|r| r[0] == name)
+                .map(|r| r[3].trim_end_matches('%').parse::<f64>().unwrap())
+                .sum();
+            assert!((sum - 100.0).abs() < 1.0, "{name} shares sum to {sum}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! E1 — dataset characterization (the paper's "QTensor-generated tensors"
+//! table): sizes, value ranges, near-zero mass, distinct-value counts.
+
+use crate::corpus::{characterize, real_corpus, synthetic_tensor};
+use crate::report::{pct, Table};
+use qcf_core::dict;
+
+/// Runs E1.
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut table = Table::new(
+        "e1",
+        "dataset characterization: QTensor intermediates + scaled ensembles",
+        &["tensor", "KiB", "min", "max", "near-zero", "distinct", "distinct/n", "dict@1e-3"],
+    );
+    let mut tensors = real_corpus(quick);
+    if !quick {
+        for (i, &(e, z)) in [(18u32, 0.0f64), (20, 0.5), (22, 0.8)].iter().enumerate() {
+            tensors.push(synthetic_tensor(1usize << e, z, 100 + i as u64));
+        }
+    }
+    let mut max_dict: usize = 0;
+    for t in &tensors {
+        let c = characterize(t);
+        // The load-bearing statistic: distinct values AFTER error-bounded
+        // quantization at a typical bound — the dictionary stage's alphabet.
+        let eb = 1e-3 * (c.max - c.min).max(f64::MIN_POSITIVE);
+        let dict_d = dict::quantize(&t.data, eb)
+            .map(|q| q.table.len().to_string())
+            .unwrap_or_else(|| ">cap".to_string());
+        if let Ok(d) = dict_d.parse::<usize>() {
+            max_dict = max_dict.max(d);
+        }
+        table.row(vec![
+            c.origin,
+            format!("{}", c.doubles * 8 / 1024),
+            format!("{:.3}", c.min),
+            format!("{:.3}", c.max),
+            pct(c.near_zero_frac),
+            format!("{}", c.distinct),
+            format!("{:.4}", c.distinct_frac),
+            dict_d,
+        ]);
+    }
+    table.note(format!(
+        "after quantization at rel 1e-3 the value alphabet collapses to at most \
+         {max_dict} entries — the structure the dictionary stage (P3) exploits"
+    ));
+    table.note("near-zero mass ranges from 0 to ~90% and is scattered, not blocked");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_produces_rows_and_notes() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 1);
+        assert!(tables[0].rows.len() >= 8);
+        assert_eq!(tables[0].columns.len(), 8);
+        assert!(!tables[0].notes.is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! E2 — compression ratio of all nine compressors (plus the framework's
+//! two modes) across tensor sizes, at a fixed relative bound.
+
+use crate::corpus::{real_corpus, scaled_corpus, CorpusTensor};
+use crate::experiments::measure;
+use crate::report::Table;
+use compressors::{all_compressors, Compressor, ErrorBound};
+use qcf_core::QcfCompressor;
+
+/// The compressor lineup used by E2/E3/E6 (nine baselines + two modes).
+pub fn lineup() -> Vec<Box<dyn Compressor>> {
+    let mut comps = all_compressors();
+    comps.push(Box::new(QcfCompressor::ratio()));
+    comps.push(Box::new(QcfCompressor::speed()));
+    comps
+}
+
+/// Runs E2.
+pub fn run(quick: bool) -> Vec<Table> {
+    let bound = ErrorBound::Rel(1e-3);
+    let exps: &[u32] = if quick { &[14, 16] } else { &[14, 16, 18, 20] };
+    let comps = lineup();
+
+    let mut columns = vec!["tensor set".to_string(), "MiB".to_string()];
+    columns.extend(comps.iter().map(|c| c.name().to_string()));
+    let mut table = Table::new(
+        "e2",
+        "compression ratio vs tensor size (value-range-relative eb = 1e-3)",
+        &columns.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+
+    let mut groups: Vec<(String, Vec<CorpusTensor>)> =
+        vec![("real intermediates".into(), real_corpus(quick))];
+    for &e in exps {
+        groups.push((format!("ensemble 2^{e}"), scaled_corpus(&[e], 42)));
+    }
+
+    let mut cusz_cr = 0.0f64;
+    let mut qcf_cr = 0.0f64;
+    for (label, tensors) in &groups {
+        let mib: usize = tensors.iter().map(|t| t.nbytes()).sum::<usize>() / (1 << 20);
+        let mut cells = vec![label.clone(), format!("{mib}")];
+        for comp in &comps {
+            let agg = measure(comp.as_ref(), tensors, bound);
+            if label == "real intermediates" {
+                if comp.name() == "cuSZ" {
+                    cusz_cr = agg.cr();
+                }
+                if comp.name() == "QCF-ratio" {
+                    qcf_cr = agg.cr();
+                }
+            }
+            cells.push(format!("{:.1}", agg.cr()));
+        }
+        table.row(cells);
+    }
+    table.note("lossless compressors (LZ4/Snappy/GDeflate/Cascaded/Bitcomp) stay in the 1-4x band");
+    table.note(format!(
+        "claim C1 check on real intermediates: QCF-ratio {qcf_cr:.1}x vs plain cuSZ {cusz_cr:.1}x = {:.1}x gain",
+        qcf_cr / cusz_cr
+    ));
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_table_shape_and_claim_direction() {
+        let tables = run(true);
+        let t = &tables[0];
+        assert_eq!(t.columns.len(), 2 + 11);
+        assert!(t.rows.len() >= 3);
+        // Framework ratio mode must beat plain cuSZ on every row.
+        let cusz = t.columns.iter().position(|c| c == "cuSZ").unwrap();
+        let qcf = t.columns.iter().position(|c| c == "QCF-ratio").unwrap();
+        for row in &t.rows {
+            let a: f64 = row[cusz].parse().unwrap();
+            let b: f64 = row[qcf].parse().unwrap();
+            assert!(b > a, "{}: QCF-ratio {b} <= cuSZ {a}", row[0]);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! E3 — compression and decompression throughput of every compressor on
+//! the simulated A100 (GB/s of uncompressed payload).
+
+use crate::corpus::scaled_corpus;
+use crate::experiments::{e2_ratio::lineup, measure};
+use crate::report::{gbps, Table};
+use compressors::ErrorBound;
+
+/// Runs E3.
+pub fn run(quick: bool) -> Vec<Table> {
+    let exp = if quick { 16 } else { 21 };
+    let tensors = scaled_corpus(&[exp], 7);
+    let bound = ErrorBound::Rel(1e-3);
+
+    let mut table = Table::new(
+        "e3",
+        format!(
+            "simulated A100 throughput on 3 x 2^{exp}-element tensors (GB/s of payload)"
+        ),
+        &["compressor", "compress", "decompress", "CR"],
+    );
+    let mut szx_c = 0.0f64;
+    let mut qcf_speed_c = 0.0f64;
+    for comp in lineup() {
+        let agg = measure(comp.as_ref(), &tensors, bound);
+        if comp.name() == "cuSZx" {
+            szx_c = agg.compress_bps();
+        }
+        if comp.name() == "QCF-speed" {
+            qcf_speed_c = agg.compress_bps();
+        }
+        table.row(vec![
+            comp.name().to_string(),
+            gbps(agg.compress_bps()),
+            gbps(agg.decompress_bps()),
+            format!("{:.1}", agg.cr()),
+        ]);
+    }
+    table.note("cuSZx and Bitcomp are single-pass streaming: fastest; DEFLATE-class slowest");
+    table.note(format!(
+        "claim C2 (speed half): QCF-speed at {:.0}% of cuSZx compression throughput",
+        qcf_speed_c / szx_c * 100.0
+    ));
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_orderings_match_compressor_classes() {
+        let tables = run(true);
+        let t = &tables[0];
+        let col = |name: &str| -> f64 {
+            let row = t.rows.iter().find(|r| r[0] == name).unwrap();
+            row[1].parse().unwrap()
+        };
+        // Relative ordering the paper reports: cuSZx fastest of the lossy
+        // set, cuSZ slower (entropy stage), GDeflate slowest overall.
+        assert!(col("cuSZx") > col("cuSZ"));
+        assert!(col("cuSZ") > col("GDeflate"));
+        assert!(col("memcpy") >= col("cuSZx"));
+        // Speed mode within a small factor of cuSZx.
+        assert!(col("QCF-speed") > col("cuSZx") * 0.4);
+    }
+}

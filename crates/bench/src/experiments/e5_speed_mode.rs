@@ -1,0 +1,69 @@
+//! E5 — speed mode vs cuSZx across sizes (claim C2: comparable throughput,
+//! 3-4x higher compression ratio).
+
+use crate::corpus::scaled_corpus;
+use crate::experiments::measure;
+use crate::report::{gbps, Table};
+use compressors::cuszx::CuSzx;
+use compressors::ErrorBound;
+use qcf_core::QcfCompressor;
+
+/// Runs E5.
+pub fn run(quick: bool) -> Vec<Table> {
+    let exps: &[u32] = if quick { &[14, 16] } else { &[14, 16, 18, 20, 22] };
+    let bound = ErrorBound::Rel(1e-3);
+    let mut table = Table::new(
+        "e5",
+        "speed mode vs cuSZx across sizes (rel eb = 1e-3)",
+        &[
+            "elements",
+            "cuSZx CR",
+            "QCF-speed CR",
+            "ratio gain",
+            "cuSZx GB/s",
+            "QCF-speed GB/s",
+            "speed ratio",
+        ],
+    );
+    let (mut worst_gain, mut worst_speed): (f64, f64) = (f64::INFINITY, f64::INFINITY);
+    for &e in exps {
+        let tensors = scaled_corpus(&[e], 11);
+        let szx = measure(&CuSzx::default(), &tensors, bound);
+        let qcf = measure(&QcfCompressor::speed(), &tensors, bound);
+        let gain = qcf.cr() / szx.cr();
+        let speed_ratio = qcf.compress_bps() / szx.compress_bps();
+        worst_gain = worst_gain.min(gain);
+        worst_speed = worst_speed.min(speed_ratio);
+        table.row(vec![
+            format!("2^{e}"),
+            format!("{:.1}", szx.cr()),
+            format!("{:.1}", qcf.cr()),
+            format!("{gain:.1}x"),
+            gbps(szx.compress_bps()),
+            gbps(qcf.compress_bps()),
+            format!("{speed_ratio:.2}"),
+        ]);
+    }
+    table.note(format!(
+        "claim C2: worst-case ratio gain {worst_gain:.1}x (paper: 3-4x) at ≥{:.0}% of \
+         cuSZx throughput (paper: 'comparable speed')",
+        worst_speed * 100.0
+    ));
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_mode_wins_ratio_at_comparable_speed() {
+        let tables = run(true);
+        for row in &tables[0].rows {
+            let gain: f64 = row[3].trim_end_matches('x').parse().unwrap();
+            let speed: f64 = row[6].parse().unwrap();
+            assert!(gain > 1.5, "{}: gain {gain}", row[0]);
+            assert!(speed > 0.3, "{}: speed ratio {speed}", row[0]);
+        }
+    }
+}

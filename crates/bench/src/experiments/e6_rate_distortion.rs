@@ -1,0 +1,88 @@
+//! E6 — rate–distortion: compression ratio and PSNR across error bounds
+//! for the error-bounded compressors and the framework modes.
+
+use crate::corpus::real_corpus;
+use crate::report::{sci, Table};
+use compressors::{by_name, quality, Compressor, ErrorBound};
+use gpu_model::{DeviceSpec, Stream};
+use qcf_core::QcfCompressor;
+
+/// Runs E6.
+pub fn run(quick: bool) -> Vec<Table> {
+    let tensors = real_corpus(quick);
+    let bounds: &[f64] =
+        if quick { &[1e-2, 1e-3, 1e-4] } else { &[1e-1, 1e-2, 1e-3, 1e-4, 1e-5] };
+    let comps: Vec<Box<dyn Compressor>> = vec![
+        by_name("cuSZ").unwrap(),
+        by_name("cuSZx").unwrap(),
+        by_name("cuZFP").unwrap(),
+        Box::new(QcfCompressor::ratio()),
+        Box::new(QcfCompressor::speed()),
+    ];
+
+    let mut table = Table::new(
+        "e6",
+        "rate-distortion on real intermediates (value-range-relative bounds)",
+        &["compressor", "rel eb", "CR", "max abs err", "PSNR (dB)"],
+    );
+    let stream = Stream::new(DeviceSpec::a100());
+    for comp in &comps {
+        let mut last_cr = f64::INFINITY;
+        for &eb in bounds {
+            let (mut raw, mut compressed) = (0usize, 0usize);
+            let mut max_err = 0.0f64;
+            let mut worst_psnr = f64::INFINITY;
+            for t in &tensors {
+                let bytes = comp
+                    .compress(&t.data, ErrorBound::Rel(eb), &stream)
+                    .expect("compress");
+                let rec = comp.decompress(&bytes, &stream).expect("decompress");
+                let q = quality(&t.data, &rec, bytes.len());
+                raw += t.nbytes();
+                compressed += bytes.len();
+                max_err = max_err.max(q.max_abs_error);
+                worst_psnr = worst_psnr.min(q.psnr_db);
+            }
+            let cr = raw as f64 / compressed as f64;
+            assert!(
+                cr <= last_cr * 1.05,
+                "{}: CR should not grow as the bound tightens",
+                comp.name()
+            );
+            last_cr = cr;
+            table.row(vec![
+                comp.name().to_string(),
+                sci(eb),
+                format!("{cr:.1}"),
+                sci(max_err),
+                format!("{worst_psnr:.1}"),
+            ]);
+        }
+    }
+    table.note("CR decreases and PSNR increases monotonically as the bound tightens");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_distortion_monotone() {
+        let tables = run(true);
+        let t = &tables[0];
+        // per-compressor monotone PSNR
+        let mut by_comp: std::collections::HashMap<&str, Vec<f64>> = Default::default();
+        for row in &t.rows {
+            by_comp
+                .entry(row[0].as_str())
+                .or_default()
+                .push(row[4].parse().unwrap());
+        }
+        for (name, psnrs) in by_comp {
+            for w in psnrs.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "{name}: PSNR not monotone: {psnrs:?}");
+            }
+        }
+    }
+}

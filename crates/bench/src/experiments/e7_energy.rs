@@ -1,0 +1,75 @@
+//! E7 — end-to-end QAOA energy error with compressed intermediate tensors
+//! (claim C3: final energy within 1-5% of the true value).
+
+use crate::report::{pct, sci, Table};
+use compressors::{Compressor, ErrorBound};
+use qcircuit::{Graph, QaoaParams};
+use qtensor::compressed::CompressingHook;
+use qtensor::Simulator;
+use qcf_core::QcfCompressor;
+
+/// Runs E7.
+pub fn run(quick: bool) -> Vec<Table> {
+    let instances: &[(usize, u64)] =
+        if quick { &[(14, 5), (18, 6)] } else { &[(14, 5), (18, 6), (22, 7), (26, 8)] };
+    let bounds = [1e-2, 1e-3, 1e-4];
+
+    let mut table = Table::new(
+        "e7",
+        "QAOA energy error with compressed tensors (3-regular, p=2, fixed angles)",
+        &["instance", "mode", "abs eb", "rel energy err", "tensor CR"],
+    );
+    let sim = Simulator::default();
+    let mut band_13 = Vec::new(); // relative errors at eb = 1e-3
+    for &(n, seed) in instances {
+        let graph = Graph::random_regular(n, 3, seed);
+        let params = QaoaParams::fixed_angles_3reg_p2();
+        let exact = sim.energy(&graph, &params).expect("exact").energy;
+        for mode in [QcfCompressor::ratio(), QcfCompressor::speed()] {
+            for &eb in &bounds {
+                let mut hook = CompressingHook::new(&mode, ErrorBound::Abs(eb), 2);
+                let e = sim
+                    .energy_with_hook(&graph, &params, &mut hook)
+                    .expect("compressed")
+                    .energy;
+                let rel = (e - exact).abs() / exact.abs();
+                if (eb - 1e-3).abs() < 1e-12 {
+                    band_13.push(rel);
+                }
+                table.row(vec![
+                    format!("N={n} s={seed}"),
+                    mode.name().to_string(),
+                    sci(eb),
+                    pct(rel),
+                    format!("{:.1}", hook.stats.ratio()),
+                ]);
+            }
+        }
+    }
+    let max_13 = band_13.iter().copied().fold(0.0, f64::max);
+    table.note(format!(
+        "claim C3: at eb = 1e-3 every run stays within {:.2}% of the true energy \
+         (paper band: 1-5%)",
+        max_13 * 100.0
+    ));
+    table.note("energy error scales roughly linearly with the tensor-level bound (see E8)");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_errors_in_paper_band() {
+        let tables = run(true);
+        let t = &tables[0];
+        for row in &t.rows {
+            let eb: f64 = row[2].parse().unwrap();
+            let rel: f64 = row[3].trim_end_matches('%').parse::<f64>().unwrap() / 100.0;
+            if eb <= 1.1e-3 {
+                assert!(rel < 0.05, "{} {} at eb={eb}: {rel}", row[0], row[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! E9 — memory-footprint reduction: bytes of intermediate tensors with and
+//! without compression during an end-to-end contraction (the paper's
+//! motivation: fitting larger circuits into device memory).
+
+use crate::report::Table;
+use compressors::ErrorBound;
+use qcircuit::{Graph, QaoaParams};
+use qtensor::compressed::CompressingHook;
+use qtensor::Simulator;
+use qcf_core::QcfCompressor;
+
+/// Runs E9.
+pub fn run(quick: bool) -> Vec<Table> {
+    let instances: &[(usize, u64)] =
+        if quick { &[(22, 13)] } else { &[(22, 13), (30, 5), (38, 2)] };
+
+    let mut table = Table::new(
+        "e9",
+        "intermediate-tensor footprint with compression (ratio mode, abs eb = 1e-4)",
+        &[
+            "instance",
+            "intermediates (MiB)",
+            "compressed (MiB)",
+            "reduction",
+            "peak live (MiB)",
+            "largest tensor (KiB)",
+        ],
+    );
+    let sim = Simulator::default();
+    for &(n, seed) in instances {
+        let graph = Graph::random_regular(n, 3, seed);
+        let params = QaoaParams::fixed_angles_3reg_p2();
+        let framework = QcfCompressor::ratio();
+        let mut hook = CompressingHook::new(&framework, ErrorBound::Abs(1e-4), 64);
+        let report =
+            sim.energy_with_hook(&graph, &params, &mut hook).expect("compressed run");
+        let mib = |b: u64| b as f64 / (1 << 20) as f64;
+        table.row(vec![
+            format!("N={n} s={seed} p=2"),
+            format!("{:.2}", mib(hook.stats.uncompressed_bytes)),
+            format!("{:.2}", mib(hook.stats.compressed_bytes)),
+            format!("{:.1}x", hook.stats.ratio()),
+            format!("{:.2}", mib(report.stats.peak_live_bytes as u64)),
+            format!("{}", hook.stats.largest_tensor_bytes / 1024),
+        ]);
+    }
+    table.note("'reduction' is total intermediate bytes over their compressed size — the factor by which resident tensor storage shrinks when intermediates are kept compressed");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_shrinks_severalfold() {
+        let tables = run(true);
+        for row in &tables[0].rows {
+            let reduction: f64 = row[3].trim_end_matches('x').parse().unwrap();
+            assert!(reduction > 2.0, "{}: reduction only {reduction}x", row[0]);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Result tables: aligned text for the terminal, JSON for regeneration
+//! records (EXPERIMENTS.md cites these).
+
+use serde::Serialize;
+use std::io::Write;
+
+/// One experiment artifact (a table or figure-as-table).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id (`e1`…`e9`).
+    pub id: String,
+    /// Human title, matching DESIGN.md's per-experiment index.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (same arity as `columns`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (claim checks, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch in {}", self.id);
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {}\n", self.id.to_uppercase(), self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+
+    /// Writes the JSON record to `dir/<id>[-<k>].json`.
+    pub fn save_json(&self, dir: &std::path::Path, suffix: Option<usize>) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let name = match suffix {
+            Some(k) => format!("{}-{k}.json", self.id),
+            None => format!("{}.json", self.id),
+        };
+        let mut f = std::fs::File::create(dir.join(name))?;
+        let json = serde_json::to_string_pretty(self).expect("table serializes");
+        f.write_all(json.as_bytes())
+    }
+}
+
+/// Formats a ratio like `12.3x`.
+pub fn fx(v: f64) -> String {
+    format!("{v:.1}x")
+}
+
+/// Formats a throughput in GB/s.
+pub fn gbps(bytes_per_sec: f64) -> String {
+    format!("{:.1}", bytes_per_sec / 1e9)
+}
+
+/// Formats a percentage.
+pub fn pct(frac: f64) -> String {
+    format!("{:.3}%", frac * 100.0)
+}
+
+/// Formats in scientific notation.
+pub fn sci(v: f64) -> String {
+    format!("{v:.1e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("e0", "demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2000".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("E0 — demo"));
+        assert!(s.contains("long-name"));
+        assert!(s.contains("note: a note"));
+        // all data lines have the same length
+        let lines: Vec<&str> = s.lines().skip(1).take(4).collect();
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("e0", "demo", &["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn json_roundtrip_shape() {
+        let mut t = Table::new("e2", "cr", &["c"]);
+        t.row(vec!["1.0".into()]);
+        let v = serde_json::to_value(&t).unwrap();
+        assert_eq!(v["id"], "e2");
+        assert_eq!(v["rows"][0][0], "1.0");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fx(12.34), "12.3x");
+        assert_eq!(gbps(1.5e9), "1.5");
+        assert_eq!(pct(0.0123), "1.230%");
+        assert_eq!(sci(0.000123), "1.2e-4");
+    }
+}

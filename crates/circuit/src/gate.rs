@@ -1,0 +1,326 @@
+//! Quantum gates and their unitary matrices.
+//!
+//! Each [`Gate`] knows the qubits it touches and can produce its unitary as a
+//! row-major `2^k × 2^k` matrix. The tensor-network builder additionally asks
+//! which qubits a gate acts on *diagonally* — i.e. the matrix entry
+//! `U[out, in]` vanishes unless the qubit's bit agrees in `out` and `in`.
+//! Diagonal qubits reuse the existing wire variable instead of introducing a
+//! new one, which is the rank-reduction trick that keeps QTensor networks
+//! small (all of QAOA's cost-layer gates are diagonal).
+
+use std::f64::consts::FRAC_1_SQRT_2;
+use tensornet::Complex64;
+
+/// A gate instance applied to specific qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(usize),
+    /// Pauli-X.
+    X(usize),
+    /// Pauli-Y.
+    Y(usize),
+    /// Pauli-Z (diagonal).
+    Z(usize),
+    /// Phase gate S = diag(1, i).
+    S(usize),
+    /// T gate = diag(1, e^{iπ/4}).
+    T(usize),
+    /// Rotation about X: `exp(-i θ/2 X)`.
+    Rx(usize, f64),
+    /// Rotation about Y: `exp(-i θ/2 Y)`.
+    Ry(usize, f64),
+    /// Rotation about Z: `exp(-i θ/2 Z)` (diagonal).
+    Rz(usize, f64),
+    /// Controlled-NOT (control, target). Diagonal in the control only.
+    Cnot(usize, usize),
+    /// Controlled-Z (fully diagonal).
+    Cz(usize, usize),
+    /// Two-qubit ZZ rotation `exp(-i θ/2 Z⊗Z)` (fully diagonal). QAOA's
+    /// cost-layer gate.
+    Zz(usize, usize, f64),
+    /// SWAP gate.
+    Swap(usize, usize),
+}
+
+impl Gate {
+    /// Qubits the gate acts on, in tensor-axis order.
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::T(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _) => vec![q],
+            Gate::Cnot(a, b) | Gate::Cz(a, b) | Gate::Zz(a, b, _) | Gate::Swap(a, b) => {
+                vec![a, b]
+            }
+        }
+    }
+
+    /// Number of qubits the gate touches.
+    pub fn arity(&self) -> usize {
+        self.qubits().len()
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::H(_) => "H",
+            Gate::X(_) => "X",
+            Gate::Y(_) => "Y",
+            Gate::Z(_) => "Z",
+            Gate::S(_) => "S",
+            Gate::T(_) => "T",
+            Gate::Rx(..) => "RX",
+            Gate::Ry(..) => "RY",
+            Gate::Rz(..) => "RZ",
+            Gate::Cnot(..) => "CNOT",
+            Gate::Cz(..) => "CZ",
+            Gate::Zz(..) => "ZZ",
+            Gate::Swap(..) => "SWAP",
+        }
+    }
+
+    /// The inverse gate (daggered unitary). Used to build `⟨ψ|` networks.
+    pub fn dagger(&self) -> Gate {
+        match *self {
+            Gate::S(q) => Gate::Rz(q, -std::f64::consts::FRAC_PI_2), // S† up to global phase
+            Gate::T(q) => Gate::Rz(q, -std::f64::consts::FRAC_PI_4), // T† up to global phase
+            Gate::Rx(q, t) => Gate::Rx(q, -t),
+            Gate::Ry(q, t) => Gate::Ry(q, -t),
+            Gate::Rz(q, t) => Gate::Rz(q, -t),
+            Gate::Zz(a, b, t) => Gate::Zz(a, b, -t),
+            // Self-inverse gates.
+            ref g => g.clone(),
+        }
+    }
+
+    /// Returns the same gate re-targeted through a qubit mapping. Used by
+    /// lightcone extraction to compact a subcircuit onto fresh wire ids.
+    pub fn map_qubits(&self, f: impl Fn(usize) -> usize) -> Gate {
+        match *self {
+            Gate::H(q) => Gate::H(f(q)),
+            Gate::X(q) => Gate::X(f(q)),
+            Gate::Y(q) => Gate::Y(f(q)),
+            Gate::Z(q) => Gate::Z(f(q)),
+            Gate::S(q) => Gate::S(f(q)),
+            Gate::T(q) => Gate::T(f(q)),
+            Gate::Rx(q, t) => Gate::Rx(f(q), t),
+            Gate::Ry(q, t) => Gate::Ry(f(q), t),
+            Gate::Rz(q, t) => Gate::Rz(f(q), t),
+            Gate::Cnot(a, b) => Gate::Cnot(f(a), f(b)),
+            Gate::Cz(a, b) => Gate::Cz(f(a), f(b)),
+            Gate::Zz(a, b, t) => Gate::Zz(f(a), f(b), t),
+            Gate::Swap(a, b) => Gate::Swap(f(a), f(b)),
+        }
+    }
+
+    /// Row-major unitary matrix, dimension `2^arity × 2^arity`.
+    ///
+    /// Basis ordering follows the qubit order returned by [`Gate::qubits`],
+    /// first qubit most significant.
+    pub fn matrix(&self) -> Vec<Complex64> {
+        let z = Complex64::ZERO;
+        let o = Complex64::ONE;
+        match *self {
+            Gate::H(_) => {
+                let h = Complex64::real(FRAC_1_SQRT_2);
+                vec![h, h, h, -h]
+            }
+            Gate::X(_) => vec![z, o, o, z],
+            Gate::Y(_) => vec![z, -Complex64::I, Complex64::I, z],
+            Gate::Z(_) => vec![o, z, z, -o],
+            Gate::S(_) => vec![o, z, z, Complex64::I],
+            Gate::T(_) => vec![o, z, z, Complex64::cis(std::f64::consts::FRAC_PI_4)],
+            Gate::Rx(_, t) => {
+                let c = Complex64::real((t / 2.0).cos());
+                let s = Complex64::new(0.0, -(t / 2.0).sin());
+                vec![c, s, s, c]
+            }
+            Gate::Ry(_, t) => {
+                let c = Complex64::real((t / 2.0).cos());
+                let s = Complex64::real((t / 2.0).sin());
+                vec![c, -s, s, c]
+            }
+            Gate::Rz(_, t) => {
+                vec![Complex64::cis(-t / 2.0), z, z, Complex64::cis(t / 2.0)]
+            }
+            Gate::Cnot(..) => vec![
+                o, z, z, z, //
+                z, o, z, z, //
+                z, z, z, o, //
+                z, z, o, z,
+            ],
+            Gate::Cz(..) => vec![
+                o, z, z, z, //
+                z, o, z, z, //
+                z, z, o, z, //
+                z, z, z, -o,
+            ],
+            Gate::Zz(_, _, t) => {
+                let a = Complex64::cis(-t / 2.0); // parallel spins
+                let b = Complex64::cis(t / 2.0); // anti-parallel spins
+                vec![
+                    a, z, z, z, //
+                    z, b, z, z, //
+                    z, z, b, z, //
+                    z, z, z, a,
+                ]
+            }
+            Gate::Swap(..) => vec![
+                o, z, z, z, //
+                z, z, o, z, //
+                z, o, z, z, //
+                z, z, z, o,
+            ],
+        }
+    }
+
+    /// True when the matrix is diagonal in the given *local* qubit position
+    /// (0-based, matching [`Gate::qubits`] order): every nonzero entry has
+    /// that qubit's bit equal in row and column.
+    pub fn is_diagonal_in(&self, local_qubit: usize) -> bool {
+        let k = self.arity();
+        debug_assert!(local_qubit < k);
+        let dim = 1usize << k;
+        let m = self.matrix();
+        let bit = k - 1 - local_qubit; // first qubit most significant
+        for row in 0..dim {
+            for col in 0..dim {
+                let v = m[row * dim + col];
+                if v != Complex64::ZERO && ((row >> bit) & 1) != ((col >> bit) & 1) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True when the gate is diagonal in every qubit it touches.
+    pub fn is_diagonal(&self) -> bool {
+        (0..self.arity()).all(|q| self.is_diagonal_in(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checks U · U† = I.
+    fn assert_unitary(g: &Gate) {
+        let m = g.matrix();
+        let dim = 1usize << g.arity();
+        for i in 0..dim {
+            for j in 0..dim {
+                let mut dot = Complex64::ZERO;
+                for k in 0..dim {
+                    dot += m[i * dim + k] * m[j * dim + k].conj();
+                }
+                let want = if i == j { Complex64::ONE } else { Complex64::ZERO };
+                assert!(dot.approx_eq(want, 1e-12), "{} not unitary at ({i},{j})", g.name());
+            }
+        }
+    }
+
+    fn all_gates() -> Vec<Gate> {
+        vec![
+            Gate::H(0),
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::S(0),
+            Gate::T(0),
+            Gate::Rx(0, 0.37),
+            Gate::Ry(0, 1.2),
+            Gate::Rz(0, -0.9),
+            Gate::Cnot(0, 1),
+            Gate::Cz(0, 1),
+            Gate::Zz(0, 1, 0.71),
+            Gate::Swap(0, 1),
+        ]
+    }
+
+    #[test]
+    fn every_gate_is_unitary() {
+        for g in all_gates() {
+            assert_unitary(&g);
+        }
+    }
+
+    #[test]
+    fn dagger_inverts() {
+        for g in all_gates() {
+            let m = g.matrix();
+            let md = g.dagger().matrix();
+            let dim = 1usize << g.arity();
+            // U† U should be the identity up to a global phase (S/T daggers
+            // are expressed as RZ, which differs by a phase).
+            let mut prod = vec![Complex64::ZERO; dim * dim];
+            for i in 0..dim {
+                for j in 0..dim {
+                    let mut dot = Complex64::ZERO;
+                    for k in 0..dim {
+                        dot += md[i * dim + k] * m[k * dim + j];
+                    }
+                    prod[i * dim + j] = dot;
+                }
+            }
+            let phase = prod[0];
+            assert!(phase.abs() > 0.99, "{}: U†U diagonal vanished", g.name());
+            for i in 0..dim {
+                for j in 0..dim {
+                    let want = if i == j { phase } else { Complex64::ZERO };
+                    assert!(
+                        prod[i * dim + j].approx_eq(want, 1e-12),
+                        "{}: U†U not phase*I",
+                        g.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonality_detection() {
+        assert!(Gate::Z(0).is_diagonal());
+        assert!(Gate::Rz(0, 0.5).is_diagonal());
+        assert!(Gate::Cz(0, 1).is_diagonal());
+        assert!(Gate::Zz(0, 1, 0.3).is_diagonal());
+        assert!(!Gate::H(0).is_diagonal());
+        assert!(!Gate::X(0).is_diagonal());
+        assert!(!Gate::Swap(0, 1).is_diagonal());
+        // CNOT: diagonal in the control (local 0), not the target (local 1).
+        assert!(Gate::Cnot(0, 1).is_diagonal_in(0));
+        assert!(!Gate::Cnot(0, 1).is_diagonal_in(1));
+    }
+
+    #[test]
+    fn zz_matrix_signs() {
+        let t = 0.8;
+        let m = Gate::Zz(0, 1, t).matrix();
+        assert!(m[0].approx_eq(Complex64::cis(-t / 2.0), 1e-12)); // |00>
+        assert!(m[5].approx_eq(Complex64::cis(t / 2.0), 1e-12)); // |01>
+        assert!(m[10].approx_eq(Complex64::cis(t / 2.0), 1e-12)); // |10>
+        assert!(m[15].approx_eq(Complex64::cis(-t / 2.0), 1e-12)); // |11>
+    }
+
+    #[test]
+    fn rx_at_pi_is_x_up_to_phase() {
+        let m = Gate::Rx(0, std::f64::consts::PI).matrix();
+        // RX(π) = -i X
+        assert!(m[1].approx_eq(-Complex64::I, 1e-12));
+        assert!(m[2].approx_eq(-Complex64::I, 1e-12));
+        assert!(m[0].abs() < 1e-12 && m[3].abs() < 1e-12);
+    }
+
+    #[test]
+    fn qubit_order_is_stable() {
+        assert_eq!(Gate::Cnot(3, 1).qubits(), vec![3, 1]);
+        assert_eq!(Gate::Zz(2, 5, 0.1).qubits(), vec![2, 5]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Graph workloads for QAOA MaxCut.
+//!
+//! The paper evaluates on QAOA MaxCut circuits over random regular graphs
+//! (the workload QTensor's authors use throughout their papers). All
+//! generators are seeded so every experiment is reproducible bit-for-bit.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// An undirected simple graph with `n` vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list; edges are normalized to `(lo, hi)`
+    /// and deduplicated, self-loops rejected.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn new(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut norm: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(a, b)| {
+                assert!(a < n && b < n, "edge endpoint out of range");
+                assert_ne!(a, b, "self-loop");
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        norm.sort_unstable();
+        norm.dedup();
+        Graph { n, edges: norm }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Normalized, sorted edge list.
+    #[inline]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Per-vertex degree list.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.n];
+        for &(a, b) in &self.edges {
+            d[a] += 1;
+            d[b] += 1;
+        }
+        d
+    }
+
+    /// Cut value of the bipartition encoded in `bits` (bit i = side of
+    /// vertex i): the number of edges crossing the cut.
+    pub fn cut_value(&self, bits: u64) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| ((bits >> a) ^ (bits >> b)) & 1 == 1)
+            .count()
+    }
+
+    /// Exhaustive MaxCut (for small `n`, used as oracle in tests).
+    ///
+    /// # Panics
+    /// Panics for `n > 24` — exhaustive search would be too slow.
+    pub fn max_cut_bruteforce(&self) -> usize {
+        assert!(self.n <= 24, "brute force limited to 24 vertices");
+        (0u64..1 << self.n).map(|bits| self.cut_value(bits)).max().unwrap_or(0)
+    }
+
+    /// Ring graph (cycle) on `n` vertices.
+    pub fn cycle(n: usize) -> Self {
+        assert!(n >= 3, "cycle needs at least 3 vertices");
+        Graph::new(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    /// Complete graph on `n` vertices.
+    pub fn complete(n: usize) -> Self {
+        let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in i + 1..n {
+                edges.push((i, j));
+            }
+        }
+        Graph::new(n, edges)
+    }
+
+    /// Erdős–Rényi `G(n, p)` graph, seeded.
+    pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                if rng.gen::<f64>() < p {
+                    edges.push((i, j));
+                }
+            }
+        }
+        Graph::new(n, edges)
+    }
+
+    /// Random `d`-regular graph via the configuration (pairing) model with
+    /// rejection of loops and multi-edges, seeded. Requires `n * d` even and
+    /// `d < n`.
+    ///
+    /// # Panics
+    /// Panics on infeasible `(n, d)` or if no simple pairing is found after
+    /// many attempts (practically impossible for the sizes used here).
+    pub fn random_regular(n: usize, d: usize, seed: u64) -> Self {
+        assert!(d < n, "degree must be below vertex count");
+        assert!((n * d).is_multiple_of(2), "n*d must be even");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        'attempt: for _ in 0..10_000 {
+            let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+            stubs.shuffle(&mut rng);
+            let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * d / 2);
+            for pair in stubs.chunks_exact(2) {
+                let (a, b) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+                if a == b || edges.contains(&(a, b)) {
+                    continue 'attempt;
+                }
+                edges.push((a, b));
+            }
+            return Graph::new(n, edges);
+        }
+        panic!("failed to sample a simple {d}-regular graph on {n} vertices");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_properties() {
+        let g = Graph::cycle(6);
+        assert_eq!(g.m(), 6);
+        assert!(g.degrees().iter().all(|&d| d == 2));
+        // Even cycles are bipartite: max cut = n.
+        assert_eq!(g.max_cut_bruteforce(), 6);
+        // Odd cycles lose one edge.
+        assert_eq!(Graph::cycle(5).max_cut_bruteforce(), 4);
+    }
+
+    #[test]
+    fn complete_graph_edges() {
+        let g = Graph::complete(5);
+        assert_eq!(g.m(), 10);
+        // K_n max cut = floor(n/2)*ceil(n/2)
+        assert_eq!(g.max_cut_bruteforce(), 6);
+    }
+
+    #[test]
+    fn cut_value_counts_crossings() {
+        let g = Graph::new(4, [(0, 1), (1, 2), (2, 3)]);
+        // partition {0,2} vs {1,3}: all three edges cross
+        assert_eq!(g.cut_value(0b0101), 3);
+        assert_eq!(g.cut_value(0b0000), 0);
+    }
+
+    #[test]
+    fn regular_graph_is_regular_and_deterministic() {
+        let g1 = Graph::random_regular(12, 3, 7);
+        let g2 = Graph::random_regular(12, 3, 7);
+        assert_eq!(g1, g2, "same seed must give same graph");
+        assert!(g1.degrees().iter().all(|&d| d == 3));
+        assert_eq!(g1.m(), 18);
+        let g3 = Graph::random_regular(12, 3, 8);
+        assert_ne!(g1, g3, "different seed should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        assert_eq!(Graph::erdos_renyi(8, 0.0, 1).m(), 0);
+        assert_eq!(Graph::erdos_renyi(8, 1.0, 1).m(), 28);
+    }
+
+    #[test]
+    fn new_dedups_and_normalizes() {
+        let g = Graph::new(3, [(2, 0), (0, 2), (1, 2)]);
+        assert_eq!(g.edges(), &[(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        Graph::new(3, [(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        Graph::new(3, [(0, 3)]);
+    }
+}

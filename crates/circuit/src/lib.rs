@@ -1,0 +1,20 @@
+//! # qcircuit — gates, circuits and QAOA workloads
+//!
+//! Second substrate crate of the QCF reproduction: everything needed to
+//! *describe* the quantum programs whose simulation tensors the paper
+//! compresses. Simulation itself lives in the `qtensor` crate.
+//!
+//! * [`Gate`] — gate set with unitaries and per-qubit diagonality metadata.
+//! * [`Circuit`] — ordered gate list over a register.
+//! * [`Graph`] — seeded MaxCut instances (random regular, Erdős–Rényi, …).
+//! * [`qaoa`] — the QAOA ansatz builder used by every end-to-end experiment.
+
+pub mod circuit;
+pub mod gate;
+pub mod graph;
+pub mod qaoa;
+
+pub use circuit::Circuit;
+pub use gate::Gate;
+pub use graph::Graph;
+pub use qaoa::{qaoa_circuit, QaoaParams};

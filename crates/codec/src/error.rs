@@ -1,0 +1,27 @@
+//! Error type shared by all codecs.
+
+use std::fmt;
+
+/// Decoding failure. Encoders are infallible by construction; decoders must
+/// survive arbitrary (including corrupted) input without panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the stream was complete.
+    UnexpectedEof,
+    /// The stream is structurally invalid.
+    Corrupt(&'static str),
+    /// A declared length or parameter is out of the codec's supported range.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of stream"),
+            CodecError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+            CodecError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}

@@ -1,0 +1,413 @@
+//! Canonical Huffman coding.
+//!
+//! The entropy stage of cuSZ (and our GDeflate) — built once per buffer from
+//! a histogram, encoded LSB-first with bit-reversed canonical codes (the
+//! DEFLATE convention), decoded through a flat `2^max_len` lookup table.
+//! Code lengths are limited to [`MAX_CODE_LEN`] by frequency-halving, which
+//! keeps the decode table small and mirrors cuSZ's fixed-width codebooks.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::CodecError;
+use crate::varint::{read_uvarint, write_uvarint};
+
+/// Maximum canonical code length (DEFLATE's limit; decode table = 2^15).
+pub const MAX_CODE_LEN: u32 = 15;
+
+/// Histogram of `symbols` over an alphabet of `alphabet_size`.
+///
+/// # Panics
+/// Debug-panics when a symbol is out of range.
+pub fn histogram(symbols: &[u32], alphabet_size: usize) -> Vec<u64> {
+    let mut h = vec![0u64; alphabet_size];
+    for &s in symbols {
+        debug_assert!((s as usize) < alphabet_size, "symbol {s} out of alphabet");
+        h[s as usize] += 1;
+    }
+    h
+}
+
+/// Builds length-limited Huffman code lengths from frequencies.
+///
+/// Symbols with zero frequency get length 0 (no code). A single-symbol
+/// alphabet gets length 1.
+pub fn build_code_lengths(freqs: &[u64], max_len: u32) -> Vec<u8> {
+    assert!((1..=32).contains(&max_len));
+    let mut freqs: Vec<u64> = freqs.to_vec();
+    loop {
+        let lengths = huffman_lengths_unlimited(&freqs);
+        let deepest = lengths.iter().copied().max().unwrap_or(0) as u32;
+        if deepest <= max_len {
+            return lengths;
+        }
+        // Flatten the distribution and retry: halving frequencies shrinks
+        // depth quickly and converges (all-equal freqs give ~log2(n) depth).
+        for f in freqs.iter_mut() {
+            if *f > 0 {
+                *f = (*f).div_ceil(2);
+            }
+        }
+    }
+}
+
+/// Plain (unlimited-depth) Huffman code lengths via pairwise merging.
+fn huffman_lengths_unlimited(freqs: &[u64]) -> Vec<u8> {
+    let present: Vec<usize> =
+        freqs.iter().enumerate().filter(|(_, &f)| f > 0).map(|(i, _)| i).collect();
+    let mut lengths = vec![0u8; freqs.len()];
+    match present.len() {
+        0 => return lengths,
+        1 => {
+            lengths[present[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Node arena: leaves then internal nodes; parent links give depths.
+    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    struct HeapItem(u64, usize); // (freq, node id) — min-heap by Reverse
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let mut parent: Vec<usize> = vec![usize::MAX; present.len()];
+    let mut heap: BinaryHeap<Reverse<HeapItem>> = present
+        .iter()
+        .enumerate()
+        .map(|(leaf, &sym)| Reverse(HeapItem(freqs[sym], leaf)))
+        .collect();
+    while heap.len() > 1 {
+        let Reverse(HeapItem(fa, a)) = heap.pop().unwrap();
+        let Reverse(HeapItem(fb, b)) = heap.pop().unwrap();
+        let id = parent.len();
+        parent.push(usize::MAX);
+        parent[a] = id;
+        parent[b] = id;
+        heap.push(Reverse(HeapItem(fa + fb, id)));
+    }
+    for (leaf, &sym) in present.iter().enumerate() {
+        let mut depth = 0u8;
+        let mut node = leaf;
+        while parent[node] != usize::MAX {
+            node = parent[node];
+            depth += 1;
+        }
+        lengths[sym] = depth;
+    }
+    lengths
+}
+
+/// Canonical code assignment: `codes[sym]` is the *bit-reversed* canonical
+/// code (ready for LSB-first emission) and `lengths[sym]` its length.
+pub fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
+    let max = lengths.iter().copied().max().unwrap_or(0) as u32;
+    let mut bl_count = vec![0u32; max as usize + 1];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; max as usize + 2];
+    let mut code = 0u32;
+    for bits in 1..=max as usize {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    let mut codes = vec![0u32; lengths.len()];
+    for (sym, &l) in lengths.iter().enumerate() {
+        if l > 0 {
+            let c = next_code[l as usize];
+            next_code[l as usize] += 1;
+            codes[sym] = reverse_bits(c, l as u32);
+        }
+    }
+    codes
+}
+
+#[inline]
+fn reverse_bits(v: u32, n: u32) -> u32 {
+    v.reverse_bits() >> (32 - n)
+}
+
+/// Canonical Huffman encoder.
+#[derive(Debug, Clone)]
+pub struct HuffmanEncoder {
+    lengths: Vec<u8>,
+    codes: Vec<u32>,
+}
+
+impl HuffmanEncoder {
+    /// Builds an encoder from frequencies.
+    pub fn from_freqs(freqs: &[u64]) -> Self {
+        let lengths = build_code_lengths(freqs, MAX_CODE_LEN);
+        let codes = canonical_codes(&lengths);
+        HuffmanEncoder { lengths, codes }
+    }
+
+    /// Per-symbol code lengths (0 = absent).
+    pub fn lengths(&self) -> &[u8] {
+        &self.lengths
+    }
+
+    /// Emits one symbol.
+    ///
+    /// # Panics
+    /// Debug-panics when the symbol has no code (zero frequency at build).
+    #[inline]
+    pub fn encode_symbol(&self, w: &mut BitWriter, sym: u32) {
+        let len = self.lengths[sym as usize];
+        debug_assert!(len > 0, "symbol {sym} had zero frequency");
+        w.write_bits(self.codes[sym as usize] as u64, len as u32);
+    }
+
+    /// Emits a slice of symbols.
+    pub fn encode_all(&self, w: &mut BitWriter, symbols: &[u32]) {
+        for &s in symbols {
+            self.encode_symbol(w, s);
+        }
+    }
+
+    /// Total encoded size in bits for a histogram (for ratio estimation).
+    pub fn encoded_bits(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .zip(&self.lengths)
+            .map(|(&f, &l)| f * l as u64)
+            .sum()
+    }
+
+    /// Serializes code lengths (zero runs RLE'd) for the stream header.
+    pub fn write_table(&self, out: &mut Vec<u8>) {
+        write_uvarint(out, self.lengths.len() as u64);
+        let mut i = 0usize;
+        while i < self.lengths.len() {
+            let l = self.lengths[i];
+            if l == 0 {
+                let mut run = 0usize;
+                while i + run < self.lengths.len() && self.lengths[i + run] == 0 {
+                    run += 1;
+                }
+                out.push(0);
+                write_uvarint(out, run as u64);
+                i += run;
+            } else {
+                out.push(l);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Table-driven canonical Huffman decoder.
+#[derive(Debug)]
+pub struct HuffmanDecoder {
+    /// `table[peeked_bits] = (symbol, code_len)`; indexed by `max_len` bits.
+    table: Vec<(u32, u8)>,
+    max_len: u32,
+}
+
+impl HuffmanDecoder {
+    /// Builds a decoder from per-symbol code lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, CodecError> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0) as u32;
+        if max_len == 0 {
+            return Ok(HuffmanDecoder { table: Vec::new(), max_len: 0 });
+        }
+        if max_len > MAX_CODE_LEN {
+            return Err(CodecError::Unsupported("code length beyond MAX_CODE_LEN"));
+        }
+        // Kraft check: a valid (possibly non-full) code never oversubscribes.
+        let kraft: u64 =
+            lengths.iter().filter(|&&l| l > 0).map(|&l| 1u64 << (max_len - l as u32)).sum();
+        if kraft > 1u64 << max_len {
+            return Err(CodecError::Corrupt("oversubscribed Huffman code"));
+        }
+        let codes = canonical_codes(lengths);
+        let mut table = vec![(u32::MAX, 0u8); 1usize << max_len];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l == 0 {
+                continue;
+            }
+            let base = codes[sym]; // already bit-reversed
+            let step = 1usize << l;
+            let mut idx = base as usize;
+            while idx < table.len() {
+                table[idx] = (sym as u32, l);
+                idx += step;
+            }
+        }
+        Ok(HuffmanDecoder { table, max_len })
+    }
+
+    /// Reads the table serialized by [`HuffmanEncoder::write_table`].
+    pub fn read_table(data: &[u8], pos: &mut usize) -> Result<Self, CodecError> {
+        let n = read_uvarint(data, pos)? as usize;
+        if n > 1 << 20 {
+            return Err(CodecError::Corrupt("absurd alphabet size"));
+        }
+        let mut lengths = Vec::with_capacity(n);
+        while lengths.len() < n {
+            let b = *data.get(*pos).ok_or(CodecError::UnexpectedEof)?;
+            *pos += 1;
+            if b == 0 {
+                let run = read_uvarint(data, pos)? as usize;
+                if lengths.len() + run > n {
+                    return Err(CodecError::Corrupt("zero run overflows table"));
+                }
+                lengths.resize(lengths.len() + run, 0);
+            } else {
+                lengths.push(b);
+            }
+        }
+        HuffmanDecoder::from_lengths(&lengths)
+    }
+
+    /// Decodes one symbol.
+    #[inline]
+    pub fn decode_symbol(&self, r: &mut BitReader<'_>) -> Result<u32, CodecError> {
+        if self.max_len == 0 {
+            return Err(CodecError::Corrupt("decode with empty code"));
+        }
+        let peek = r.peek_bits(self.max_len) as usize;
+        let (sym, len) = self.table[peek];
+        if sym == u32::MAX {
+            return Err(CodecError::Corrupt("invalid Huffman code"));
+        }
+        if (len as usize) > r.remaining_bits() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        r.consume(len as u32);
+        Ok(sym)
+    }
+
+    /// Decodes exactly `n` symbols.
+    pub fn decode_all(&self, r: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>, CodecError> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.decode_symbol(r)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u32], alphabet: usize) {
+        let freqs = histogram(symbols, alphabet);
+        let enc = HuffmanEncoder::from_freqs(&freqs);
+        let mut header = Vec::new();
+        enc.write_table(&mut header);
+        let mut w = BitWriter::new();
+        enc.encode_all(&mut w, symbols);
+        let payload = w.finish();
+
+        let mut pos = 0;
+        let dec = HuffmanDecoder::read_table(&header, &mut pos).unwrap();
+        assert_eq!(pos, header.len());
+        let mut r = BitReader::new(&payload);
+        let decoded = dec.decode_all(&mut r, symbols.len()).unwrap();
+        assert_eq!(decoded, symbols);
+    }
+
+    #[test]
+    fn skewed_distribution_roundtrip() {
+        let mut syms = vec![0u32; 1000];
+        syms.extend(vec![1u32; 100]);
+        syms.extend(vec![2u32; 10]);
+        syms.push(3);
+        roundtrip(&syms, 8);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        roundtrip(&vec![5u32; 64], 16);
+    }
+
+    #[test]
+    fn two_symbols() {
+        roundtrip(&[0, 1, 0, 0, 1, 0], 2);
+    }
+
+    #[test]
+    fn uniform_large_alphabet() {
+        let syms: Vec<u32> = (0..4096u32).collect();
+        roundtrip(&syms, 4096);
+    }
+
+    #[test]
+    fn random_zipf_like() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let syms: Vec<u32> = (0..20_000)
+            .map(|_| {
+                let r: f64 = rng.gen();
+                ((1.0 / (r + 0.001)).log2().floor() as u32).min(255)
+            })
+            .collect();
+        roundtrip(&syms, 256);
+    }
+
+    #[test]
+    fn skew_beats_uniform_in_bits() {
+        let skew = histogram(&[0; 100], 4)
+            .iter()
+            .zip(histogram(&[1, 2, 3], 4).iter())
+            .map(|(a, b)| a + b)
+            .collect::<Vec<_>>();
+        let enc = HuffmanEncoder::from_freqs(&skew);
+        let bits = enc.encoded_bits(&skew);
+        // 103 symbols; a fixed 2-bit code would need 206 bits.
+        assert!(bits < 206, "huffman bits {bits}");
+    }
+
+    #[test]
+    fn length_limit_enforced() {
+        // Fibonacci-ish frequencies force deep trees without a limit.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = build_code_lengths(&freqs, MAX_CODE_LEN);
+        assert!(lengths.iter().all(|&l| (l as u32) <= MAX_CODE_LEN));
+        // still decodable
+        let enc = HuffmanEncoder { codes: canonical_codes(&lengths), lengths };
+        let mut w = BitWriter::new();
+        let syms: Vec<u32> = (0..40u32).collect();
+        enc.encode_all(&mut w, &syms);
+        let bytes = w.finish();
+        let dec = HuffmanDecoder::from_lengths(enc.lengths()).unwrap();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(dec.decode_all(&mut r, 40).unwrap(), syms);
+    }
+
+    #[test]
+    fn empty_input() {
+        let freqs = histogram(&[], 4);
+        let enc = HuffmanEncoder::from_freqs(&freqs);
+        assert!(enc.lengths().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn corrupt_table_rejected() {
+        // Oversubscribed: three symbols of length 1.
+        assert!(HuffmanDecoder::from_lengths(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let syms = vec![0u32, 1, 2, 3, 0, 1, 2, 3];
+        let freqs = histogram(&syms, 4);
+        let enc = HuffmanEncoder::from_freqs(&freqs);
+        let mut w = BitWriter::new();
+        enc.encode_all(&mut w, &syms);
+        let bytes = w.finish();
+        let dec = HuffmanDecoder::from_lengths(enc.lengths()).unwrap();
+        let mut r = BitReader::new(&bytes[..bytes.len() - 1]);
+        assert!(dec.decode_all(&mut r, syms.len()).is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! LZ77 match finding with a hash-chain dictionary.
+//!
+//! One greedy matcher feeds all three byte-oriented lossless compressors
+//! (LZ4, Snappy, GDeflate); each wraps the token stream in its own wire
+//! format. The matcher hashes 4-byte windows and walks a bounded chain of
+//! previous positions — the same structure zlib/LZ4 use, sized so the
+//! search is O(depth) per position.
+
+/// One token of an LZ77 parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LzToken {
+    /// `len` literal bytes starting at `start` in the input.
+    Literal {
+        /// Input offset of the first literal byte.
+        start: usize,
+        /// Number of literal bytes.
+        len: usize,
+    },
+    /// A back-reference: copy `len` bytes from `dist` bytes behind.
+    Match {
+        /// Match length in bytes (≥ the matcher's `min_match`).
+        len: usize,
+        /// Backward distance in bytes (≥ 1).
+        dist: usize,
+    },
+}
+
+/// Matcher configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LzConfig {
+    /// Minimum match length worth emitting.
+    pub min_match: usize,
+    /// Maximum match length.
+    pub max_match: usize,
+    /// Maximum backward distance.
+    pub window: usize,
+    /// Maximum hash-chain positions examined per lookup.
+    pub max_chain: usize,
+}
+
+impl Default for LzConfig {
+    fn default() -> Self {
+        LzConfig { min_match: 4, max_match: 65_535, window: 65_535, max_chain: 32 }
+    }
+}
+
+const HASH_BITS: u32 = 15;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Greedy LZ77 parse of `data`.
+///
+/// Adjacent literals are coalesced into single [`LzToken::Literal`] tokens;
+/// the concatenation of tokens reproduces the input exactly (verified by
+/// [`expand`]).
+pub fn find_matches(data: &[u8], cfg: &LzConfig) -> Vec<LzToken> {
+    assert!(cfg.min_match >= 4, "hash covers 4 bytes");
+    let n = data.len();
+    let mut tokens = Vec::new();
+    if n == 0 {
+        return tokens;
+    }
+
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; n];
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |tokens: &mut Vec<LzToken>, lit_start: usize, end: usize| {
+        if end > lit_start {
+            tokens.push(LzToken::Literal { start: lit_start, len: end - lit_start });
+        }
+    };
+
+    while i + cfg.min_match <= n {
+        let h = hash4(&data[i..]);
+        let mut cand = head[h];
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut depth = 0usize;
+        while cand != usize::MAX && depth < cfg.max_chain {
+            let dist = i - cand;
+            if dist > cfg.window {
+                break;
+            }
+            let limit = (n - i).min(cfg.max_match);
+            let mut l = 0usize;
+            while l < limit && data[cand + l] == data[i + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = dist;
+                if l >= limit {
+                    break;
+                }
+            }
+            cand = prev[cand];
+            depth += 1;
+        }
+
+        if best_len >= cfg.min_match {
+            flush_literals(&mut tokens, lit_start, i);
+            tokens.push(LzToken::Match { len: best_len, dist: best_dist });
+            // Insert hash entries for the matched region (bounded to keep
+            // the parse O(n) even on pathological inputs).
+            let end = i + best_len;
+            let insert_end = end.min(i + 256).min(n.saturating_sub(cfg.min_match - 1));
+            while i < insert_end {
+                let h = hash4(&data[i..]);
+                prev[i] = head[h];
+                head[h] = i;
+                i += 1;
+            }
+            i = end;
+            lit_start = end;
+        } else {
+            prev[i] = head[h];
+            head[h] = i;
+            i += 1;
+        }
+    }
+    flush_literals(&mut tokens, lit_start, n);
+    tokens
+}
+
+/// Expands a token stream back into bytes (the reference decoder; format
+/// crates implement their own expansion over their wire encoding).
+pub fn expand(tokens: &[LzToken], input_for_literals: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match *t {
+            LzToken::Literal { start, len } => {
+                out.extend_from_slice(&input_for_literals[start..start + len]);
+            }
+            LzToken::Match { len, dist } => {
+                assert!(dist >= 1 && dist <= out.len(), "bad match distance");
+                // Overlapping copies are byte-serial by definition.
+                let from = out.len() - dist;
+                for k in 0..len {
+                    let b = out[from + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<LzToken> {
+        let tokens = find_matches(data, &LzConfig::default());
+        assert_eq!(expand(&tokens, data), data);
+        tokens
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(roundtrip(b"").is_empty());
+        roundtrip(b"a");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn repeated_pattern_found() {
+        let data = b"abcdabcdabcdabcd";
+        let tokens = roundtrip(data);
+        assert!(
+            tokens.iter().any(|t| matches!(t, LzToken::Match { dist: 4, .. })),
+            "expected a distance-4 match, got {tokens:?}"
+        );
+    }
+
+    #[test]
+    fn run_of_zeros_compresses_to_overlapping_match() {
+        let data = vec![0u8; 1000];
+        let tokens = roundtrip(&data);
+        assert!(tokens.len() <= 3, "run should be a couple of tokens: {}", tokens.len());
+        assert!(tokens.iter().any(|t| matches!(t, LzToken::Match { dist: 1, .. })));
+    }
+
+    #[test]
+    fn incompressible_random_is_all_literals() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let data: Vec<u8> = (0..4096).map(|_| rng.gen()).collect();
+        let tokens = roundtrip(&data);
+        let match_bytes: usize = tokens
+            .iter()
+            .filter_map(|t| match t {
+                LzToken::Match { len, .. } => Some(*len),
+                _ => None,
+            })
+            .sum();
+        assert!(match_bytes < data.len() / 8, "random data matched {match_bytes} bytes");
+    }
+
+    #[test]
+    fn long_match_lengths_capped() {
+        let cfg = LzConfig { max_match: 16, ..LzConfig::default() };
+        let data = vec![7u8; 200];
+        let tokens = find_matches(&data, &cfg);
+        assert_eq!(expand(&tokens, &data), data);
+        for t in &tokens {
+            if let LzToken::Match { len, .. } = t {
+                assert!(*len <= 16);
+            }
+        }
+    }
+
+    #[test]
+    fn structured_float_bytes() {
+        // Interleaved doubles with repeating exponents — the byte structure
+        // lossless compressors see on tensor data.
+        let vals: Vec<f64> = (0..512).map(|i| (i % 16) as f64 * 0.125).collect();
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let tokens = roundtrip(&bytes);
+        let match_bytes: usize = tokens
+            .iter()
+            .filter_map(|t| match t {
+                LzToken::Match { len, .. } => Some(*len),
+                _ => None,
+            })
+            .sum();
+        assert!(match_bytes > bytes.len() / 2, "periodic data should mostly match");
+    }
+}

@@ -1,0 +1,120 @@
+//! Run-length encoding over `u32` words.
+//!
+//! Stage one of the Cascaded compressor (nvCOMP's integer pipeline): a
+//! `(value, run)` stream, each varint-coded. Also provides a delta transform,
+//! Cascaded's stage two.
+
+use crate::error::CodecError;
+use crate::varint::{read_uvarint, write_uvarint};
+
+/// Encodes `values` as `(value, run_length)` pairs, varint-coded.
+pub fn rle_encode(values: &[u32], out: &mut Vec<u8>) {
+    write_uvarint(out, values.len() as u64);
+    let mut i = 0usize;
+    while i < values.len() {
+        let v = values[i];
+        let mut run = 1usize;
+        while i + run < values.len() && values[i + run] == v {
+            run += 1;
+        }
+        write_uvarint(out, v as u64);
+        write_uvarint(out, run as u64);
+        i += run;
+    }
+}
+
+/// Decodes an [`rle_encode`] stream.
+pub fn rle_decode(data: &[u8], pos: &mut usize) -> Result<Vec<u32>, CodecError> {
+    let n = read_uvarint(data, pos)? as usize;
+    if n > (1 << 31) {
+        return Err(CodecError::Corrupt("absurd RLE element count"));
+    }
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let v = read_uvarint(data, pos)?;
+        if v > u32::MAX as u64 {
+            return Err(CodecError::Corrupt("RLE value exceeds u32"));
+        }
+        let run = read_uvarint(data, pos)? as usize;
+        if run == 0 || out.len() + run > n {
+            return Err(CodecError::Corrupt("bad RLE run length"));
+        }
+        out.resize(out.len() + run, v as u32);
+    }
+    Ok(out)
+}
+
+/// Forward delta: `out[0] = in[0]`, `out[i] = in[i] - in[i-1]` (wrapping).
+pub fn delta_encode(values: &mut [u32]) {
+    for i in (1..values.len()).rev() {
+        values[i] = values[i].wrapping_sub(values[i - 1]);
+    }
+}
+
+/// Inverse of [`delta_encode`] (prefix sum, wrapping).
+pub fn delta_decode(values: &mut [u32]) {
+    for i in 1..values.len() {
+        values[i] = values[i].wrapping_add(values[i - 1]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u32]) -> usize {
+        let mut buf = Vec::new();
+        rle_encode(values, &mut buf);
+        let mut pos = 0;
+        assert_eq!(rle_decode(&buf, &mut pos).unwrap(), values);
+        assert_eq!(pos, buf.len());
+        buf.len()
+    }
+
+    #[test]
+    fn runs_compress() {
+        let mut v = vec![5u32; 1000];
+        v.extend(vec![9u32; 500]);
+        let bytes = roundtrip(&v);
+        assert!(bytes < 16, "1500 words in {bytes} bytes");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        roundtrip(&[]);
+        roundtrip(&[42]);
+    }
+
+    #[test]
+    fn alternating_worst_case_still_roundtrips() {
+        let v: Vec<u32> = (0..100).map(|i| i % 2).collect();
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let orig: Vec<u32> = vec![10, 12, 12, 15, 100, 3, u32::MAX, 0];
+        let mut v = orig.clone();
+        delta_encode(&mut v);
+        delta_decode(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn delta_then_rle_on_ramp() {
+        // A linear ramp becomes constant after delta — ideal for RLE.
+        let mut v: Vec<u32> = (0..1000u32).collect();
+        delta_encode(&mut v);
+        let bytes = roundtrip(&v);
+        assert!(bytes < 20, "delta'd ramp took {bytes} bytes");
+    }
+
+    #[test]
+    fn corrupt_run_rejected() {
+        let mut buf = Vec::new();
+        rle_encode(&[1, 1, 2], &mut buf);
+        // Truncate mid-stream.
+        let mut pos = 0;
+        assert!(rle_decode(&buf[..buf.len() - 1], &mut pos).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! cuSZx — ultra-fast block-wise error-bounded compression (Yu et al., SZx).
+//!
+//! The throughput-oriented GPU compressor the paper's *speed mode* builds
+//! on. No prediction and no entropy coding — just two cheap decisions per
+//! fixed-size block:
+//!
+//! * **Constant block**: every value within `eb` of the block mean → store
+//!   the mean alone (8 bytes for 128 values).
+//! * **Nonconstant block**: quantize deviations from the mean at `2eb`
+//!   granularity and bit-pack them at the block's required width.
+//!
+//! Both paths are branch-light single-pass streaming work, which is exactly
+//! why SZx tops out near memory bandwidth on real GPUs.
+
+use crate::traits::{
+    read_stream_header, stream_header, value_range, Compressor, CompressorKind, ErrorBound,
+};
+use codec_kit::bitio::{BitReader, BitWriter};
+use codec_kit::bitpack::{pack, required_width, unpack};
+use codec_kit::varint::{read_uvarint, write_uvarint};
+use codec_kit::varint::{unzigzag, zigzag};
+use codec_kit::CodecError;
+use gpu_model::{KernelSpec, MemoryPattern, Stream};
+
+/// Stream id of cuSZx.
+pub const CUSZX_ID: u8 = 2;
+
+/// The cuSZx compressor.
+#[derive(Debug, Clone)]
+pub struct CuSzx {
+    block_size: usize,
+}
+
+impl Default for CuSzx {
+    fn default() -> Self {
+        CuSzx { block_size: 128 }
+    }
+}
+
+impl CuSzx {
+    /// Creates cuSZx with a custom block size.
+    ///
+    /// # Panics
+    /// Panics unless `16 ≤ block_size ≤ 65536`.
+    pub fn with_block_size(block_size: usize) -> Self {
+        assert!((16..=65_536).contains(&block_size), "block size out of range");
+        CuSzx { block_size }
+    }
+}
+
+impl Compressor for CuSzx {
+    fn name(&self) -> &'static str {
+        "cuSZx"
+    }
+
+    fn id(&self) -> u8 {
+        CUSZX_ID
+    }
+
+    fn kind(&self) -> CompressorKind {
+        CompressorKind::ErrorBounded
+    }
+
+    fn compress(
+        &self,
+        data: &[f64],
+        bound: ErrorBound,
+        stream: &Stream,
+    ) -> Result<Vec<u8>, CodecError> {
+        let (min, max) = value_range(data);
+        let eb = bound.to_abs(max - min);
+        if eb.is_nan() || eb <= 0.0 {
+            return Err(CodecError::Unsupported("error bound must be positive"));
+        }
+        let n = data.len();
+        let bs = self.block_size;
+        let nbytes = (n * 8) as u64;
+
+        let mut out = stream_header(CUSZX_ID, n);
+        out.extend_from_slice(&eb.to_le_bytes());
+        write_uvarint(&mut out, bs as u64);
+
+        // Single fused kernel: block stats + classification + packing.
+        // SZx reads each value twice (stats pass, emit pass) within the
+        // block — still streaming-class traffic.
+        let payload = stream.launch(
+            &KernelSpec::streaming("szx::fused_block_encode", 2 * nbytes, nbytes / 3)
+                .with_pattern(MemoryPattern::Strided)
+                .with_flops((n * 3) as u64),
+            || {
+                let mut w = BitWriter::with_capacity(n);
+                let twoeb = 2.0 * eb;
+                for block in data.chunks(bs) {
+                    encode_block(block, eb, twoeb, &mut w);
+                }
+                w.finish()
+            },
+        );
+        write_uvarint(&mut out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+        Ok(out)
+    }
+
+    fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+        let (n, mut pos) = read_stream_header(bytes, CUSZX_ID)?;
+        if bytes.len() < pos + 8 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let eb = f64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+        pos += 8;
+        if eb.is_nan() || eb <= 0.0 || !eb.is_finite() {
+            return Err(CodecError::Corrupt("bad error bound"));
+        }
+        let bs = read_uvarint(bytes, &mut pos)? as usize;
+        if !(16..=65_536).contains(&bs) {
+            return Err(CodecError::Corrupt("bad block size"));
+        }
+        let payload_len = read_uvarint(bytes, &mut pos)? as usize;
+        if bytes.len() < pos + payload_len {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let payload = &bytes[pos..pos + payload_len];
+
+        let out = stream.launch(
+            &KernelSpec::streaming("szx::block_decode", payload_len as u64, (n * 8) as u64)
+                .with_pattern(MemoryPattern::Strided)
+                .with_flops((n * 2) as u64),
+            || {
+                let mut r = BitReader::new(payload);
+                let twoeb = 2.0 * eb;
+                let mut out = Vec::with_capacity(n);
+                let mut remaining = n;
+                while remaining > 0 {
+                    let len = remaining.min(bs);
+                    decode_block(&mut r, len, twoeb, &mut out)?;
+                    remaining -= len;
+                }
+                Ok(out)
+            },
+        )?;
+        Ok(out)
+    }
+}
+
+fn encode_block(block: &[f64], eb: f64, twoeb: f64, w: &mut BitWriter) {
+    let mean = block.iter().sum::<f64>() / block.len() as f64;
+    let radius = block.iter().map(|&v| (v - mean).abs()).fold(0.0, f64::max);
+    if radius <= eb {
+        w.write_bit(true); // constant block
+        w.write_u64(mean.to_bits());
+        return;
+    }
+    w.write_bit(false);
+    w.write_u64(mean.to_bits());
+    let codes: Vec<u64> =
+        block.iter().map(|&v| zigzag(((v - mean) / twoeb).round() as i64)).collect();
+    let width = required_width(&codes).min(57);
+    w.write_bits(width as u64, 6);
+    pack(&codes, width, w);
+}
+
+fn decode_block(
+    r: &mut BitReader<'_>,
+    len: usize,
+    twoeb: f64,
+    out: &mut Vec<f64>,
+) -> Result<(), CodecError> {
+    let constant = r.read_bit()?;
+    let mean = f64::from_bits(r.read_u64()?);
+    if !mean.is_finite() {
+        return Err(CodecError::Corrupt("non-finite block mean"));
+    }
+    if constant {
+        out.extend(std::iter::repeat_n(mean, len));
+        return Ok(());
+    }
+    let width = r.read_bits(6)? as u32;
+    let codes = unpack(r, width, len)?;
+    for c in codes {
+        out.push(mean + unzigzag(c) as f64 * twoeb);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::assert_bound;
+    use gpu_model::DeviceSpec;
+
+    fn stream() -> Stream {
+        Stream::new(DeviceSpec::a100())
+    }
+
+    #[test]
+    fn roundtrip_within_bound() {
+        let data: Vec<f64> = (0..10_000).map(|i| (i as f64 * 0.02).cos() * 0.5).collect();
+        let c = CuSzx::default();
+        for eb in [1e-2, 1e-3, 1e-5] {
+            let bytes = c.compress(&data, ErrorBound::Abs(eb), &stream()).unwrap();
+            let rec = c.decompress(&bytes, &stream()).unwrap();
+            assert_bound(&data, &rec, eb);
+        }
+    }
+
+    #[test]
+    fn mostly_zero_data_hits_constant_blocks() {
+        let mut data = vec![0.0f64; 100_000];
+        for i in (0..data.len()).step_by(1000) {
+            data[i] = 0.5; // sparse spikes keep some blocks nonconstant
+        }
+        let c = CuSzx::default();
+        let bytes = c.compress(&data, ErrorBound::Abs(1e-4), &stream()).unwrap();
+        let cr = (data.len() * 8) as f64 / bytes.len() as f64;
+        assert!(cr > 20.0, "zero-dominated data CR only {cr:.1}");
+        let rec = c.decompress(&bytes, &stream()).unwrap();
+        assert_bound(&data, &rec, 1e-4);
+    }
+
+    #[test]
+    fn partial_tail_block() {
+        let data: Vec<f64> = (0..333).map(|i| i as f64 * 1e-3).collect();
+        let c = CuSzx::with_block_size(128);
+        let bytes = c.compress(&data, ErrorBound::Abs(1e-4), &stream()).unwrap();
+        let rec = c.decompress(&bytes, &stream()).unwrap();
+        assert_eq!(rec.len(), 333);
+        assert_bound(&data, &rec, 1e-4);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = CuSzx::default();
+        let bytes = c.compress(&[], ErrorBound::Abs(1e-3), &stream()).unwrap();
+        assert!(c.decompress(&bytes, &stream()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn faster_than_cusz_on_model() {
+        let data: Vec<f64> = (0..(1 << 18)).map(|i| (i as f64 * 0.01).sin()).collect();
+        let szx_stream = stream();
+        CuSzx::default().compress(&data, ErrorBound::Abs(1e-3), &szx_stream).unwrap();
+        let sz_stream = stream();
+        crate::cusz::CuSz::default()
+            .compress(&data, ErrorBound::Abs(1e-3), &sz_stream)
+            .unwrap();
+        assert!(
+            szx_stream.elapsed_s() < sz_stream.elapsed_s() / 2.0,
+            "szx {} vs sz {}",
+            szx_stream.elapsed_s(),
+            sz_stream.elapsed_s()
+        );
+    }
+
+    #[test]
+    fn relative_bound() {
+        let data: Vec<f64> = (0..4096).map(|i| (i % 37) as f64).collect();
+        let c = CuSzx::default();
+        let bytes = c.compress(&data, ErrorBound::Rel(1e-2), &stream()).unwrap();
+        let rec = c.decompress(&bytes, &stream()).unwrap();
+        assert_bound(&data, &rec, 0.36);
+    }
+
+    #[test]
+    fn corrupt_streams_error() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let c = CuSzx::default();
+        let bytes = c.compress(&data, ErrorBound::Abs(1e-3), &stream()).unwrap();
+        for cut in [0, 1, 8, bytes.len() / 2] {
+            let _ = c.decompress(&bytes[..cut], &stream());
+        }
+        let mut bad = bytes.clone();
+        // corrupt the declared block size
+        bad[bytes.len() - 1] ^= 0x55;
+        let _ = c.decompress(&bad, &stream());
+    }
+
+    #[test]
+    fn block_size_affects_ratio_on_piecewise_constant() {
+        let mut data = Vec::new();
+        for seg in 0..64 {
+            data.extend(std::iter::repeat_n(seg as f64 * 0.1, 512));
+        }
+        let small = CuSzx::with_block_size(32);
+        let large = CuSzx::with_block_size(512);
+        let b_small = small.compress(&data, ErrorBound::Abs(1e-6), &stream()).unwrap();
+        let b_large = large.compress(&data, ErrorBound::Abs(1e-6), &stream()).unwrap();
+        // Piecewise-constant segments aligned with large blocks: larger
+        // blocks amortize the per-block mean better.
+        assert!(b_large.len() < b_small.len());
+    }
+}

@@ -1,0 +1,174 @@
+//! Quality and performance metrics for compression runs.
+//!
+//! The quantities every figure in the paper's evaluation reports:
+//! compression ratio, maximum pointwise error, PSNR, and simulated / host
+//! throughput.
+
+use crate::traits::{Compressor, ErrorBound};
+use codec_kit::CodecError;
+use gpu_model::{DeviceSpec, Stream};
+use std::time::Instant;
+
+/// Quality metrics of a reconstruction against its original.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityMetrics {
+    /// Original bytes / compressed bytes.
+    pub compression_ratio: f64,
+    /// `max_i |x_i − x̂_i|`.
+    pub max_abs_error: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Peak signal-to-noise ratio in dB (∞ for exact reconstruction).
+    pub psnr_db: f64,
+}
+
+/// Computes quality metrics; `compressed_len` in bytes.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn quality(original: &[f64], reconstructed: &[f64], compressed_len: usize) -> QualityMetrics {
+    assert_eq!(original.len(), reconstructed.len(), "length mismatch");
+    let n = original.len().max(1) as f64;
+    let mut max_err = 0.0f64;
+    let mut sq_sum = 0.0f64;
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (&a, &b) in original.iter().zip(reconstructed) {
+        let e = (a - b).abs();
+        max_err = max_err.max(e);
+        sq_sum += e * e;
+        min = min.min(a);
+        max = max.max(a);
+    }
+    let rmse = (sq_sum / n).sqrt();
+    let range = if original.is_empty() { 0.0 } else { max - min };
+    let psnr_db = if rmse == 0.0 || range == 0.0 {
+        f64::INFINITY
+    } else {
+        20.0 * (range / rmse).log10()
+    };
+    QualityMetrics {
+        compression_ratio: (original.len() * 8) as f64 / compressed_len.max(1) as f64,
+        max_abs_error: max_err,
+        rmse,
+        psnr_db,
+    }
+}
+
+/// Everything measured about one compress→decompress round trip.
+#[derive(Debug, Clone)]
+pub struct RoundTripReport {
+    /// Compressor name.
+    pub name: &'static str,
+    /// Input element count.
+    pub n: usize,
+    /// Compressed size in bytes.
+    pub compressed_bytes: usize,
+    /// Quality metrics.
+    pub quality: QualityMetrics,
+    /// Simulated-GPU compression throughput, bytes/s of input.
+    pub gpu_compress_bps: f64,
+    /// Simulated-GPU decompression throughput, bytes/s of output.
+    pub gpu_decompress_bps: f64,
+    /// Host wall-clock compression throughput, bytes/s (for sanity only).
+    pub host_compress_bps: f64,
+    /// Host wall-clock decompression throughput, bytes/s.
+    pub host_decompress_bps: f64,
+    /// The reconstructed values.
+    pub reconstructed: Vec<f64>,
+}
+
+/// Runs a full round trip on a fresh A100 stream and measures everything.
+pub fn round_trip(
+    comp: &dyn Compressor,
+    data: &[f64],
+    bound: ErrorBound,
+) -> Result<RoundTripReport, CodecError> {
+    let payload = (data.len() * 8) as u64;
+
+    let cstream = Stream::new(DeviceSpec::a100());
+    let t0 = Instant::now();
+    let bytes = comp.compress(data, bound, &cstream)?;
+    let host_c = payload as f64 / t0.elapsed().as_secs_f64().max(1e-12);
+
+    let dstream = Stream::new(DeviceSpec::a100());
+    let t1 = Instant::now();
+    let reconstructed = comp.decompress(&bytes, &dstream)?;
+    let host_d = payload as f64 / t1.elapsed().as_secs_f64().max(1e-12);
+
+    Ok(RoundTripReport {
+        name: comp.name(),
+        n: data.len(),
+        compressed_bytes: bytes.len(),
+        quality: quality(data, &reconstructed, bytes.len()),
+        gpu_compress_bps: cstream.throughput(payload),
+        gpu_decompress_bps: dstream.throughput(payload),
+        host_compress_bps: host_c,
+        host_decompress_bps: host_d,
+        reconstructed,
+    })
+}
+
+/// Asserts the error-bound contract of a reconstruction.
+///
+/// The contract is `|x − x̂| ≤ eb` up to floating-point rounding of the
+/// reconstruction arithmetic. That rounding scales with the largest
+/// magnitude participating in the arithmetic — not the value itself: cuSZx
+/// reconstructs `mean + q·2eb`, so a small value sharing a block with a
+/// ±1e5 neighbour carries ~1e-11 of rounding regardless of `eb`. Real
+/// SZ-family implementations carry the same caveat, so the tolerance here
+/// is `eb + O(eps · max|x|)` over the buffer.
+pub fn assert_bound(original: &[f64], reconstructed: &[f64], abs_bound: f64) {
+    assert_eq!(original.len(), reconstructed.len());
+    let max_abs = original
+        .iter()
+        .chain(reconstructed)
+        .fold(0.0f64, |m, &v| m.max(v.abs()));
+    let ulp_slack = max_abs * 16.0 * f64::EPSILON;
+    for (i, (&a, &b)) in original.iter().zip(reconstructed).enumerate() {
+        assert!(
+            (a - b).abs() <= abs_bound * (1.0 + 1e-12) + ulp_slack + f64::EPSILON,
+            "bound violated at {i}: |{a} - {b}| = {} > {abs_bound}",
+            (a - b).abs()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_reconstruction_metrics() {
+        let data = vec![1.0, 2.0, 3.0, 4.0];
+        let q = quality(&data, &data, 16);
+        assert_eq!(q.max_abs_error, 0.0);
+        assert_eq!(q.rmse, 0.0);
+        assert!(q.psnr_db.is_infinite());
+        assert!((q.compression_ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_metrics_computed() {
+        let a = vec![0.0, 1.0];
+        let b = vec![0.1, 1.0];
+        let q = quality(&a, &b, 16);
+        assert!((q.max_abs_error - 0.1).abs() < 1e-12);
+        let want_rmse = (0.01f64 / 2.0).sqrt();
+        assert!((q.rmse - want_rmse).abs() < 1e-12);
+        // psnr = 20 log10(1.0 / rmse)
+        assert!((q.psnr_db - 20.0 * (1.0 / want_rmse).log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound violated")]
+    fn assert_bound_catches_violation() {
+        assert_bound(&[0.0], &[0.5], 0.1);
+    }
+
+    #[test]
+    fn empty_buffers_do_not_divide_by_zero() {
+        let q = quality(&[], &[], 1);
+        assert_eq!(q.max_abs_error, 0.0);
+        assert!(q.psnr_db.is_infinite());
+    }
+}

@@ -1,0 +1,108 @@
+//! The compressor registry: the paper's nine evaluated compressors.
+
+use crate::bitcomp::Bitcomp;
+use crate::cascaded::Cascaded;
+use crate::cusz::CuSz;
+use crate::cuszx::CuSzx;
+use crate::cuzfp::CuZfp;
+use crate::dummy::Memcpy;
+use crate::gdeflate::GDeflate;
+use crate::lz4::Lz4;
+use crate::snappy::Snappy;
+use crate::traits::Compressor;
+use codec_kit::CodecError;
+use gpu_model::Stream;
+
+/// All nine compressors of the evaluation (E2/E3), in plot order:
+/// lossy first, then lossless, then the memcpy floor.
+pub fn all_compressors() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(CuSz::default()),
+        Box::new(CuSzx::default()),
+        Box::new(CuZfp),
+        Box::new(Lz4),
+        Box::new(Snappy),
+        Box::new(GDeflate),
+        Box::new(Cascaded),
+        Box::new(Bitcomp),
+        Box::new(Memcpy),
+    ]
+}
+
+/// Looks a compressor up by its display name (case-insensitive).
+pub fn by_name(name: &str) -> Option<Box<dyn Compressor>> {
+    all_compressors().into_iter().find(|c| c.name().eq_ignore_ascii_case(name))
+}
+
+/// Decompresses any stream produced by a registry compressor, dispatching on
+/// the stream's id byte.
+pub fn decompress_any(bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+    let id = *bytes.first().ok_or(CodecError::UnexpectedEof)?;
+    let comp = all_compressors()
+        .into_iter()
+        .find(|c| c.id() == id)
+        .ok_or(CodecError::Corrupt("unknown compressor id"))?;
+    comp.decompress(bytes, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::assert_bound;
+    use crate::traits::{CompressorKind, ErrorBound};
+    use gpu_model::DeviceSpec;
+
+    fn stream() -> Stream {
+        Stream::new(DeviceSpec::a100())
+    }
+
+    #[test]
+    fn there_are_nine() {
+        assert_eq!(all_compressors().len(), 9);
+        let mut ids: Vec<u8> = all_compressors().iter().map(|c| c.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 9, "ids must be unique");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("cusz").is_some());
+        assert!(by_name("cuSZx").is_some());
+        assert!(by_name("GDEFLATE").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_compressor_roundtrips_the_same_buffer() {
+        let data: Vec<f64> = (0..5000)
+            .map(|i| if i % 7 == 0 { 0.0 } else { ((i as f64) * 0.013).sin() * 0.7 })
+            .collect();
+        let eb = 1e-4;
+        for c in all_compressors() {
+            let bytes = c.compress(&data, ErrorBound::Abs(eb), &stream()).unwrap();
+            let rec = c.decompress(&bytes, &stream()).unwrap();
+            assert_eq!(rec.len(), data.len(), "{}", c.name());
+            match c.kind() {
+                CompressorKind::Lossless => {
+                    for (a, b) in data.iter().zip(&rec) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{} not lossless", c.name());
+                    }
+                }
+                CompressorKind::ErrorBounded => assert_bound(&data, &rec, eb),
+            }
+        }
+    }
+
+    #[test]
+    fn decompress_any_dispatches() {
+        let data: Vec<f64> = (0..256).map(|i| i as f64 * 0.01).collect();
+        for c in all_compressors() {
+            let bytes = c.compress(&data, ErrorBound::Abs(1e-5), &stream()).unwrap();
+            let rec = decompress_any(&bytes, &stream()).unwrap();
+            assert_eq!(rec.len(), data.len(), "{}", c.name());
+        }
+        assert!(decompress_any(&[], &stream()).is_err());
+        assert!(decompress_any(&[200, 1], &stream()).is_err());
+    }
+}

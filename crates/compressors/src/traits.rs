@@ -1,0 +1,145 @@
+//! The `Compressor` abstraction all nine compressors implement.
+//!
+//! Compressors take flat `f64` buffers — the layout QTensor tensors have
+//! after the framework's de-interleaving — and run their kernels on a
+//! simulated-GPU [`Stream`], which is where throughput numbers come from.
+//! Streams are self-describing: a one-byte compressor id, then the
+//! compressor's own header, so decompression can be dispatched blindly.
+
+use codec_kit::CodecError;
+use gpu_model::Stream;
+
+/// User-facing error-bound specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorBound {
+    /// Absolute: `|x − x̂| ≤ eb` pointwise.
+    Abs(f64),
+    /// Value-range relative: `|x − x̂| ≤ eb · (max − min)` pointwise
+    /// (the SZ convention; resolved to absolute per buffer).
+    Rel(f64),
+}
+
+impl ErrorBound {
+    /// Resolves to an absolute bound for a buffer with the given value range.
+    /// Zero-range (constant) data yields a tiny positive bound so divisions
+    /// stay finite.
+    pub fn to_abs(self, value_range: f64) -> f64 {
+        match self {
+            ErrorBound::Abs(eb) => eb,
+            ErrorBound::Rel(eb) => {
+                let r = if value_range > 0.0 { value_range } else { 1.0 };
+                eb * r
+            }
+        }
+    }
+
+    /// The raw bound value (for display).
+    pub fn value(self) -> f64 {
+        match self {
+            ErrorBound::Abs(v) | ErrorBound::Rel(v) => v,
+        }
+    }
+}
+
+/// Lossless compressors ignore the bound; error-bounded ones honour it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressorKind {
+    /// Bit-exact reconstruction.
+    Lossless,
+    /// Pointwise error-bounded lossy reconstruction.
+    ErrorBounded,
+}
+
+/// A (de)compressor of `f64` buffers with simulated-GPU cost accounting.
+pub trait Compressor: Send + Sync {
+    /// Short name as used in the paper's plots (e.g. `"cuSZ"`).
+    fn name(&self) -> &'static str;
+
+    /// Stable one-byte stream id.
+    fn id(&self) -> u8;
+
+    /// Lossless or error-bounded.
+    fn kind(&self) -> CompressorKind;
+
+    /// Compresses `data` under `bound`, charging kernels to `stream`.
+    fn compress(
+        &self,
+        data: &[f64],
+        bound: ErrorBound,
+        stream: &Stream,
+    ) -> Result<Vec<u8>, CodecError>;
+
+    /// Decompresses a stream produced by this compressor's [`Compressor::compress`].
+    fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError>;
+}
+
+/// Writes the common stream prologue (id + element count); returns the buffer.
+pub fn stream_header(id: u8, n: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.push(id);
+    codec_kit::varint::write_uvarint(&mut out, n as u64);
+    out
+}
+
+/// Checks the id byte and reads the element count; returns `(n, pos)`.
+pub fn read_stream_header(bytes: &[u8], expect_id: u8) -> Result<(usize, usize), CodecError> {
+    let id = *bytes.first().ok_or(CodecError::UnexpectedEof)?;
+    if id != expect_id {
+        return Err(CodecError::Corrupt("compressor id mismatch"));
+    }
+    let mut pos = 1usize;
+    let n = codec_kit::varint::read_uvarint(bytes, &mut pos)? as usize;
+    if n > (1usize << 40) {
+        return Err(CodecError::Corrupt("absurd element count"));
+    }
+    Ok((n, pos))
+}
+
+/// Value range `(min, max)` of a buffer; `(0, 0)` when empty.
+pub fn value_range(data: &[f64]) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in data {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if data.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_resolution() {
+        assert_eq!(ErrorBound::Abs(1e-3).to_abs(100.0), 1e-3);
+        assert_eq!(ErrorBound::Rel(1e-3).to_abs(2.0), 2e-3);
+        // constant data: falls back to treating range as 1
+        assert_eq!(ErrorBound::Rel(1e-3).to_abs(0.0), 1e-3);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = stream_header(7, 123_456);
+        let (n, pos) = read_stream_header(&h, 7).unwrap();
+        assert_eq!(n, 123_456);
+        assert_eq!(pos, h.len());
+    }
+
+    #[test]
+    fn header_id_mismatch() {
+        let h = stream_header(7, 10);
+        assert!(read_stream_header(&h, 8).is_err());
+        assert!(read_stream_header(&[], 7).is_err());
+    }
+
+    #[test]
+    fn range_of_buffer() {
+        assert_eq!(value_range(&[1.0, -2.0, 3.0]), (-2.0, 3.0));
+        assert_eq!(value_range(&[]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests on the byte-level wire formats (LZ4 block, Snappy raw,
+//! DEFLATE-style) — arbitrary payloads must roundtrip bit-exactly and
+//! corrupted payloads must never panic.
+
+use compressors::gdeflate::{deflate_bytes, inflate_bytes};
+use compressors::lz4::{lz4_decode_block, lz4_encode_block};
+use proptest::prelude::*;
+
+fn byte_payload() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // arbitrary bytes
+        3 => prop::collection::vec(any::<u8>(), 0..4000),
+        // highly repetitive
+        2 => (any::<u8>(), 1usize..4000).prop_map(|(b, n)| vec![b; n]),
+        // periodic
+        2 => (1usize..40, 1usize..200).prop_map(|(p, reps)| {
+            (0..p * reps).map(|i| (i % p) as u8).collect()
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lz4_block_roundtrips(data in byte_payload()) {
+        let mut enc = Vec::new();
+        lz4_encode_block(&data, &mut enc);
+        prop_assert_eq!(lz4_decode_block(&enc, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn deflate_roundtrips(data in byte_payload()) {
+        let enc = deflate_bytes(&data);
+        let mut pos = 0;
+        prop_assert_eq!(inflate_bytes(&enc, &mut pos, data.len()).unwrap(), data);
+        prop_assert_eq!(pos, enc.len());
+    }
+
+    #[test]
+    fn repetitive_payloads_shrink(b in any::<u8>(), n in 512usize..4000) {
+        let data = vec![b; n];
+        let mut lz4 = Vec::new();
+        lz4_encode_block(&data, &mut lz4);
+        prop_assert!(lz4.len() < data.len() / 4, "lz4 {} for {}", lz4.len(), data.len());
+        let defl = deflate_bytes(&data);
+        prop_assert!(defl.len() < data.len() / 4, "deflate {} for {}", defl.len(), data.len());
+    }
+
+    #[test]
+    fn truncated_streams_error_not_panic(
+        data in prop::collection::vec(any::<u8>(), 1..1000),
+        cut_frac in 0.0f64..0.95,
+    ) {
+        let mut lz4 = Vec::new();
+        lz4_encode_block(&data, &mut lz4);
+        let cut = ((lz4.len() as f64) * cut_frac) as usize;
+        let _ = lz4_decode_block(&lz4[..cut], data.len());
+
+        let defl = deflate_bytes(&data);
+        let cut = ((defl.len() as f64) * cut_frac) as usize;
+        let mut pos = 0;
+        let _ = inflate_bytes(&defl[..cut], &mut pos, data.len());
+    }
+
+    #[test]
+    fn garbage_streams_error_not_panic(garbage in prop::collection::vec(any::<u8>(), 0..500)) {
+        let _ = lz4_decode_block(&garbage, 100);
+        let mut pos = 0;
+        let _ = inflate_bytes(&garbage, &mut pos, 100);
+    }
+}

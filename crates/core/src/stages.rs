@@ -1,0 +1,271 @@
+//! Pre-processing stages of the compression framework (contribution 1).
+//!
+//! QTensor tensors have three exploitable regularities that generic
+//! compressors miss:
+//!
+//! 1. **Interleaved components** — complex values are stored `re, im, re,
+//!    im, …`; the Lorenzo predictor sees an artificial zig-zag. Splitting
+//!    into planes (stage P1, in `framework`) restores smoothness.
+//! 2. **Heavy near-zero mass** — amplitudes of improbable paths are tiny
+//!    but not exactly zero; quantized they produce noisy ±1 codes. *Zero
+//!    collapse* (P2) flushes `|v| ≤ t` to exact zero, spending `t` of the
+//!    error budget to turn noise into perfectly predictable runs.
+//! 3. **Repeated blocks** — gate structure repeats whole slices. *Block
+//!    dedup* (P3) stores each distinct block once plus a reference array.
+//!
+//! All stages are exact bookkeeping except zero collapse, whose error is
+//! budgeted explicitly by the framework (threshold + backend bound ≤ user
+//! bound).
+
+use codec_kit::bitio::{BitReader, BitWriter};
+use codec_kit::bitpack::{pack, unpack};
+use codec_kit::varint::{read_uvarint, write_uvarint};
+use codec_kit::CodecError;
+
+/// Flushes values with `|v| ≤ threshold` to exact `+0.0` in place.
+/// Returns the number of values collapsed.
+pub fn zero_collapse(values: &mut [f64], threshold: f64) -> usize {
+    let mut collapsed = 0usize;
+    for v in values.iter_mut() {
+        if v.abs() <= threshold {
+            *v = 0.0;
+            collapsed += 1;
+        }
+    }
+    collapsed
+}
+
+/// Fraction of values a collapse at `threshold` would flush (cheap probe
+/// used by the framework's routing heuristics).
+pub fn zero_frac(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|v| v.abs() <= threshold).count() as f64 / values.len() as f64
+}
+
+/// Result of block deduplication.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deduped {
+    /// Concatenation of the distinct blocks (in first-occurrence order)
+    /// followed by the partial tail (`n % block_size` values).
+    pub unique: Vec<f64>,
+    /// Per full block, the index of its distinct block.
+    pub refs: Vec<u32>,
+    /// Block size used.
+    pub block_size: usize,
+    /// Original length.
+    pub n: usize,
+    /// Number of distinct blocks.
+    pub n_unique: usize,
+}
+
+impl Deduped {
+    /// Fraction of full blocks that were duplicates (0 for < 2 blocks).
+    pub fn dup_frac(&self) -> f64 {
+        if self.refs.len() < 2 {
+            return 0.0;
+        }
+        (self.refs.len() - self.n_unique) as f64 / self.refs.len() as f64
+    }
+}
+
+/// Splits `values` into `block_size` chunks and deduplicates bit-identical
+/// blocks. The trailing partial block is appended verbatim to `unique`.
+pub fn dedup_blocks(values: &[f64], block_size: usize) -> Deduped {
+    assert!(block_size > 0, "block size must be positive");
+    let n = values.len();
+    let n_blocks = n / block_size;
+    let mut table: std::collections::HashMap<Vec<u64>, u32> =
+        std::collections::HashMap::with_capacity(n_blocks);
+    let mut unique: Vec<f64> = Vec::new();
+    let mut refs: Vec<u32> = Vec::with_capacity(n_blocks);
+    for b in 0..n_blocks {
+        let chunk = &values[b * block_size..(b + 1) * block_size];
+        let key: Vec<u64> = chunk.iter().map(|v| v.to_bits()).collect();
+        let next_id = (unique.len() / block_size) as u32;
+        let id = *table.entry(key).or_insert_with(|| {
+            unique.extend_from_slice(chunk);
+            next_id
+        });
+        refs.push(id);
+    }
+    let n_unique = unique.len() / block_size;
+    unique.extend_from_slice(&values[n_blocks * block_size..]);
+    Deduped { unique, refs, block_size, n, n_unique }
+}
+
+/// Reassembles the original buffer from (a reconstruction of) `unique` and
+/// the reference array. `unique` may be a lossy reconstruction — duplicates
+/// stay bit-identical to each other because they share one stored block.
+pub fn reassemble_blocks(
+    unique: &[f64],
+    refs: &[u32],
+    block_size: usize,
+    n: usize,
+) -> Result<Vec<f64>, CodecError> {
+    let n_blocks = n / block_size;
+    if refs.len() != n_blocks {
+        return Err(CodecError::Corrupt("dedup reference count mismatch"));
+    }
+    let tail_len = n - n_blocks * block_size;
+    let unique_blocks = (unique.len() - tail_len) / block_size;
+    if unique_blocks * block_size + tail_len != unique.len() {
+        return Err(CodecError::Corrupt("dedup unique length mismatch"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for &r in refs {
+        let r = r as usize;
+        if r >= unique_blocks {
+            return Err(CodecError::Corrupt("dedup reference out of range"));
+        }
+        out.extend_from_slice(&unique[r * block_size..(r + 1) * block_size]);
+    }
+    out.extend_from_slice(&unique[unique.len() - tail_len..]);
+    Ok(out)
+}
+
+/// Serializes a dedup reference array, bit-packed at the width `n_unique`
+/// requires.
+pub fn write_refs(refs: &[u32], n_unique: usize, out: &mut Vec<u8>) {
+    write_uvarint(out, refs.len() as u64);
+    let width = if n_unique <= 1 { 0 } else { 64 - (n_unique as u64 - 1).leading_zeros() };
+    out.push(width as u8);
+    let mut w = BitWriter::with_capacity(refs.len() * width as usize / 8 + 8);
+    let wide: Vec<u64> = refs.iter().map(|&r| r as u64).collect();
+    pack(&wide, width, &mut w);
+    let packed = w.finish();
+    write_uvarint(out, packed.len() as u64);
+    out.extend_from_slice(&packed);
+}
+
+/// Reads a reference array written by [`write_refs`].
+pub fn read_refs(data: &[u8], pos: &mut usize) -> Result<Vec<u32>, CodecError> {
+    let count = read_uvarint(data, pos)? as usize;
+    if count > 1 << 32 {
+        return Err(CodecError::Corrupt("absurd dedup reference count"));
+    }
+    let width = *data.get(*pos).ok_or(CodecError::UnexpectedEof)? as u32;
+    *pos += 1;
+    if width > 32 {
+        return Err(CodecError::Corrupt("dedup reference width out of range"));
+    }
+    let packed_len = read_uvarint(data, pos)? as usize;
+    if data.len() < *pos + packed_len {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mut r = BitReader::new(&data[*pos..*pos + packed_len]);
+    *pos += packed_len;
+    let wide = unpack(&mut r, width, count)?;
+    Ok(wide.into_iter().map(|v| v as u32).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapse_flushes_small_values() {
+        let mut v = vec![0.5, 1e-9, -1e-9, -0.5, 0.0];
+        let c = zero_collapse(&mut v, 1e-6);
+        assert_eq!(c, 3);
+        assert_eq!(v, vec![0.5, 0.0, 0.0, -0.5, 0.0]);
+        // collapsed negatives become +0.0 bit patterns
+        assert_eq!(v[2].to_bits(), 0);
+    }
+
+    #[test]
+    fn collapse_threshold_zero_only_flushes_zeros() {
+        let mut v = vec![1e-300, 0.0, -0.0];
+        let c = zero_collapse(&mut v, 0.0);
+        assert_eq!(c, 2); // 0.0 and -0.0
+        assert_eq!(v[0], 1e-300);
+    }
+
+    #[test]
+    fn zero_frac_probe() {
+        assert_eq!(zero_frac(&[], 1.0), 0.0);
+        assert_eq!(zero_frac(&[0.0, 1.0, 0.5, 2.0], 0.5), 0.5);
+    }
+
+    #[test]
+    fn dedup_finds_duplicates() {
+        // blocks of 2: [1,2] [3,4] [1,2] + tail [9]
+        let v = vec![1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 9.0];
+        let d = dedup_blocks(&v, 2);
+        assert_eq!(d.n_unique, 2);
+        assert_eq!(d.refs, vec![0, 1, 0]);
+        assert_eq!(d.unique, vec![1.0, 2.0, 3.0, 4.0, 9.0]);
+        assert!((d.dup_frac() - 1.0 / 3.0).abs() < 1e-12);
+        let back = reassemble_blocks(&d.unique, &d.refs, 2, v.len()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn dedup_distinguishes_nan_payloads_and_zero_signs() {
+        let nan1 = f64::from_bits(0x7FF8_0000_0000_0001);
+        let nan2 = f64::from_bits(0x7FF8_0000_0000_0002);
+        let v = vec![nan1, nan2, 0.0, -0.0];
+        let d = dedup_blocks(&v, 2);
+        assert_eq!(d.n_unique, 2, "bit-distinct blocks must not merge");
+        let back = reassemble_blocks(&d.unique, &d.refs, 2, 4).unwrap();
+        for (a, b) in v.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn dedup_all_same_block() {
+        let v = vec![7.0; 1024];
+        let d = dedup_blocks(&v, 64);
+        assert_eq!(d.n_unique, 1);
+        assert_eq!(d.unique.len(), 64);
+        assert!((d.dup_frac() - 15.0 / 16.0).abs() < 1e-12);
+        assert_eq!(reassemble_blocks(&d.unique, &d.refs, 64, 1024).unwrap(), v);
+    }
+
+    #[test]
+    fn dedup_short_input_is_all_tail() {
+        let v = vec![1.0, 2.0, 3.0];
+        let d = dedup_blocks(&v, 8);
+        assert_eq!(d.refs.len(), 0);
+        assert_eq!(d.unique, v);
+        assert_eq!(reassemble_blocks(&d.unique, &d.refs, 8, 3).unwrap(), v);
+    }
+
+    #[test]
+    fn refs_roundtrip() {
+        for refs in [vec![], vec![0u32], vec![0, 1, 2, 1, 0, 2, 2], (0..1000u32).collect()] {
+            let n_unique = refs.iter().max().map_or(0, |&m| m as usize + 1);
+            let mut buf = Vec::new();
+            write_refs(&refs, n_unique, &mut buf);
+            let mut pos = 0;
+            assert_eq!(read_refs(&buf, &mut pos).unwrap(), refs);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn refs_single_unique_block_is_width_zero() {
+        let refs = vec![0u32; 4096];
+        let mut buf = Vec::new();
+        write_refs(&refs, 1, &mut buf);
+        assert!(buf.len() < 16, "4096 identical refs took {} bytes", buf.len());
+        let mut pos = 0;
+        assert_eq!(read_refs(&buf, &mut pos).unwrap(), refs);
+    }
+
+    #[test]
+    fn corrupt_refs_error() {
+        let mut buf = Vec::new();
+        write_refs(&[0, 1, 2], 3, &mut buf);
+        let mut pos = 0;
+        assert!(read_refs(&buf[..buf.len() - 1], &mut pos).is_err());
+    }
+
+    #[test]
+    fn reassemble_rejects_bad_refs() {
+        assert!(reassemble_blocks(&[1.0, 2.0], &[5], 2, 2).is_err());
+        assert!(reassemble_blocks(&[1.0, 2.0], &[0, 0], 2, 2).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Data-parallel kernel-body execution on the host.
+//!
+//! Kernel bodies are real Rust code. This module runs them over index
+//! ranges with crossbeam scoped threads — the same chunked grid/block shape
+//! a CUDA kernel would use — so the implementations stay faithful to their
+//! GPU formulation (independent blocks, no cross-block mutation) while the
+//! simulated cost comes from the `device` module, not from wall time.
+
+use crossbeam::thread;
+
+/// Number of worker threads used for kernel bodies (the host's parallelism,
+/// not the simulated GPU's).
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `body(block_index, start..end)` over `n_items` split into
+/// `n_blocks` contiguous blocks, in parallel when workers are available.
+///
+/// The body must be pure per block (no shared mutation) — identical to the
+/// constraint CUDA thread blocks live under.
+pub fn par_for_blocks<F>(n_items: usize, n_blocks: usize, body: F)
+where
+    F: Fn(usize, std::ops::Range<usize>) + Sync,
+{
+    assert!(n_blocks > 0, "need at least one block");
+    let per = n_items.div_ceil(n_blocks);
+    let blocks: Vec<(usize, std::ops::Range<usize>)> = (0..n_blocks)
+        .map(|b| (b, (b * per).min(n_items)..((b + 1) * per).min(n_items)))
+        .filter(|(_, r)| !r.is_empty())
+        .collect();
+
+    let workers = worker_count().min(blocks.len()).max(1);
+    if workers == 1 {
+        for (b, r) in blocks {
+            body(b, r);
+        }
+        return;
+    }
+    // Split the block list over workers; each worker owns a disjoint chunk.
+    let chunk = blocks.len().div_ceil(workers);
+    let body = &body;
+    thread::scope(|s| {
+        for w in blocks.chunks(chunk) {
+            s.spawn(move |_| {
+                for (b, r) in w {
+                    body(*b, r.clone());
+                }
+            });
+        }
+    })
+    .expect("kernel worker panicked");
+}
+
+/// Maps each block of `input` (chunks of `block_len`) to an output value,
+/// in parallel; the result vector preserves block order.
+pub fn par_map_blocks<T: Sync, R: Send + Default + Clone>(
+    input: &[T],
+    block_len: usize,
+    f: impl Fn(usize, &[T]) -> R + Sync,
+) -> Vec<R> {
+    assert!(block_len > 0, "block length must be positive");
+    let n_blocks = input.len().div_ceil(block_len);
+    let mut out = vec![R::default(); n_blocks];
+    let out_ptr = SyncSlice(out.as_mut_ptr());
+    par_for_blocks(n_blocks, n_blocks, |_, range| {
+        for b in range {
+            let lo = b * block_len;
+            let hi = (lo + block_len).min(input.len());
+            let val = f(b, &input[lo..hi]);
+            // SAFETY: each block index b is visited exactly once across all
+            // workers (par_for_blocks hands out disjoint ranges), so each
+            // out[b] slot is written by exactly one thread.
+            unsafe { *out_ptr.get().add(b) = val };
+        }
+    });
+    out
+}
+
+/// Pointer wrapper asserting disjoint-write safety across threads. Accessed
+/// only through [`SyncSlice::get`] so closures capture the whole wrapper
+/// (edition-2021 disjoint capture would otherwise grab the bare pointer).
+struct SyncSlice<R>(*mut R);
+
+impl<R> SyncSlice<R> {
+    fn get(&self) -> *mut R {
+        self.0
+    }
+}
+
+// SAFETY: the wrapper is only used with disjoint indices per thread.
+unsafe impl<R> Sync for SyncSlice<R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_item_once() {
+        let n = 10_001;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        par_for_blocks(n, 64, |_, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn handles_fewer_items_than_blocks() {
+        let count = AtomicUsize::new(0);
+        par_for_blocks(3, 16, |_, range| {
+            count.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn zero_items_is_a_noop() {
+        par_for_blocks(0, 8, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn map_blocks_preserves_order() {
+        let data: Vec<u32> = (0..1000).collect();
+        let sums = par_map_blocks(&data, 100, |b, chunk| {
+            (b, chunk.iter().sum::<u32>())
+        });
+        assert_eq!(sums.len(), 10);
+        for (b, (idx, _)) in sums.iter().enumerate() {
+            assert_eq!(b, *idx);
+        }
+        let total: u32 = sums.iter().map(|(_, s)| s).sum();
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn map_blocks_partial_tail() {
+        let data = [1u32, 2, 3, 4, 5];
+        let lens = par_map_blocks(&data, 2, |_, chunk| chunk.len());
+        assert_eq!(lens, vec![2, 2, 1]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Simulated CUDA streams: ordered kernel execution with a virtual clock.
+//!
+//! A [`Stream`] executes closures (the kernel bodies, real Rust code) while
+//! charging simulated time from each kernel's [`KernelSpec`]. The event log
+//! lets the bench harness break a compressor's runtime into kernels, which
+//! is how the paper attributes cuSZ's cost to its Huffman stage.
+
+use crate::device::{DeviceSpec, KernelSpec};
+use parking_lot::Mutex;
+
+/// One completed kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelEvent {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Simulated start time (seconds since stream creation).
+    pub start_s: f64,
+    /// Simulated duration in seconds.
+    pub duration_s: f64,
+    /// Bytes moved (read + written).
+    pub bytes: u64,
+}
+
+/// An in-order execution queue on a device, with a virtual clock.
+///
+/// Interior mutability (a `parking_lot::Mutex`) keeps the API `&self`, so a
+/// stream can be shared by the parallel executor without plumbing `&mut`.
+#[derive(Debug)]
+pub struct Stream {
+    device: DeviceSpec,
+    state: Mutex<StreamState>,
+}
+
+#[derive(Debug, Default)]
+struct StreamState {
+    now_s: f64,
+    events: Vec<KernelEvent>,
+}
+
+impl Stream {
+    /// Creates a stream on `device` with the clock at zero.
+    pub fn new(device: DeviceSpec) -> Self {
+        Stream { device, state: Mutex::new(StreamState::default()) }
+    }
+
+    /// The device this stream runs on.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Executes `body` as a kernel, charging `spec`'s simulated time.
+    /// Returns the body's value.
+    pub fn launch<R>(&self, spec: &KernelSpec, body: impl FnOnce() -> R) -> R {
+        let result = body();
+        let duration = spec.time_on(&self.device);
+        let mut st = self.state.lock();
+        let start = st.now_s;
+        st.now_s += duration;
+        st.events.push(KernelEvent {
+            name: spec.name,
+            start_s: start,
+            duration_s: duration,
+            bytes: spec.bytes_read + spec.bytes_written,
+        });
+        result
+    }
+
+    /// Charges a host→device or device→host copy of `bytes`.
+    pub fn transfer(&self, name: &'static str, bytes: u64) {
+        let duration = bytes as f64 / self.device.pcie_bytes_per_sec;
+        let mut st = self.state.lock();
+        let start = st.now_s;
+        st.now_s += duration;
+        st.events.push(KernelEvent { name, start_s: start, duration_s: duration, bytes });
+    }
+
+    /// Current simulated time in seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.state.lock().now_s
+    }
+
+    /// Snapshot of the event log.
+    pub fn events(&self) -> Vec<KernelEvent> {
+        self.state.lock().events.clone()
+    }
+
+    /// Simulated time spent in kernels whose name contains `needle`.
+    pub fn time_in(&self, needle: &str) -> f64 {
+        self.state
+            .lock()
+            .events
+            .iter()
+            .filter(|e| e.name.contains(needle))
+            .map(|e| e.duration_s)
+            .sum()
+    }
+
+    /// Resets the clock and event log (for reusing a stream across runs).
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        st.now_s = 0.0;
+        st.events.clear();
+    }
+
+    /// Simulated aggregate throughput for `payload_bytes` processed since
+    /// the last reset, in bytes/second. Returns infinity at time zero.
+    pub fn throughput(&self, payload_bytes: u64) -> f64 {
+        payload_bytes as f64 / self.elapsed_s()
+    }
+
+    /// Per-kernel time breakdown since the last reset: `(name, total
+    /// seconds, share of elapsed)`, largest first. The simulated analogue
+    /// of an `nsys` profile — how the paper attributes cuSZ's cost to its
+    /// Huffman stage.
+    pub fn breakdown(&self) -> Vec<(String, f64, f64)> {
+        let st = self.state.lock();
+        let total: f64 = st.now_s.max(f64::MIN_POSITIVE);
+        let mut by_name: std::collections::BTreeMap<&'static str, f64> =
+            std::collections::BTreeMap::new();
+        for e in &st.events {
+            *by_name.entry(e.name).or_insert(0.0) += e.duration_s;
+        }
+        let mut rows: Vec<(String, f64, f64)> =
+            by_name.into_iter().map(|(n, t)| (n.to_string(), t, t / total)).collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite times"));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemoryPattern;
+
+    #[test]
+    fn clock_advances_per_launch() {
+        let s = Stream::new(DeviceSpec::a100());
+        let spec = KernelSpec::streaming("k1", 1 << 20, 1 << 20);
+        let v = s.launch(&spec, || 42);
+        assert_eq!(v, 42);
+        let t1 = s.elapsed_s();
+        assert!(t1 > 0.0);
+        s.launch(&spec, || ());
+        assert!((s.elapsed_s() - 2.0 * t1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn events_record_order_and_times() {
+        let s = Stream::new(DeviceSpec::a100());
+        s.launch(&KernelSpec::streaming("a", 1024, 0), || ());
+        s.launch(&KernelSpec::streaming("b", 2048, 0), || ());
+        let ev = s.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].name, "a");
+        assert!((ev[1].start_s - ev[0].duration_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn time_in_filters_by_name() {
+        let s = Stream::new(DeviceSpec::a100());
+        s.launch(&KernelSpec::streaming("huffman_encode", 1 << 24, 1 << 22), || ());
+        s.launch(&KernelSpec::streaming("lorenzo_quant", 1 << 24, 1 << 24), || ());
+        assert!(s.time_in("huffman") > 0.0);
+        assert!(s.time_in("nothing") == 0.0);
+        assert!((s.time_in("huffman") + s.time_in("lorenzo") - s.elapsed_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_uses_pcie_bandwidth() {
+        let s = Stream::new(DeviceSpec::a100());
+        s.transfer("h2d", 26_000_000_000);
+        assert!((s.elapsed_s() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let s = Stream::new(DeviceSpec::a100());
+        s.launch(&KernelSpec::streaming("x", 1 << 20, 0), || ());
+        s.reset();
+        assert_eq!(s.elapsed_s(), 0.0);
+        assert!(s.events().is_empty());
+    }
+
+    #[test]
+    fn breakdown_attributes_time() {
+        let s = Stream::new(DeviceSpec::a100());
+        s.launch(&KernelSpec::streaming("big", 1 << 28, 0), || ());
+        s.launch(&KernelSpec::streaming("small", 1 << 20, 0), || ());
+        s.launch(&KernelSpec::streaming("big", 1 << 28, 0), || ());
+        let rows = s.breakdown();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "big");
+        assert!(rows[0].2 > 0.9, "big share {}", rows[0].2);
+        let share_sum: f64 = rows.iter().map(|r| r.2).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_reflects_pattern() {
+        let bytes = 1u64 << 28;
+        let fast = Stream::new(DeviceSpec::a100());
+        fast.launch(&KernelSpec::streaming("s", bytes, 0), || ());
+        let slow = Stream::new(DeviceSpec::a100());
+        slow.launch(
+            &KernelSpec::streaming("r", bytes, 0).with_pattern(MemoryPattern::BitSerial),
+            || (),
+        );
+        assert!(fast.throughput(bytes) > 5.0 * slow.throughput(bytes));
+    }
+}

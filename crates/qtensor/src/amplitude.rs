@@ -1,0 +1,147 @@
+//! Single-amplitude computation — QTensor's other core primitive.
+//!
+//! `⟨x|U|0…0⟩` for a fixed bitstring `x` is a tensor network with *no*
+//! doubled circuit: one pass of gate tensors capped by `|0⟩` kets at the
+//! start and `⟨x_q|` bras at the end. Its treewidth is roughly half the
+//! expectation network's, which is why amplitude-based sampling scales
+//! further than energy evaluation. Compression hooks plug in identically.
+
+use crate::contraction::{
+    contract_network, ContractError, ContractionHook, ContractionStats, NoopHook,
+};
+use crate::energy::{Simulator, Strategy};
+use crate::network::TensorNetwork;
+use crate::ordering::InteractionGraph;
+use crate::pairwise::contract_greedy;
+use qcircuit::Circuit;
+use tensornet::{Complex64, Tensor};
+
+/// Builds the amplitude network `⟨bits|circuit|0…0⟩`.
+///
+/// Bit `q` of `bits` selects qubit `q`'s basis value (little-endian, same
+/// convention as [`crate::statevector::StateVector`]).
+pub fn amplitude_network(circuit: &Circuit, bits: u64) -> TensorNetwork {
+    let n = circuit.n_qubits();
+    assert!(n <= 64, "bitstring amplitudes limited to 64 qubits");
+    let mut net = TensorNetwork::new(n);
+    net.apply_circuit(circuit);
+    for q in 0..n {
+        let var = net.wire_var(q);
+        let one = (bits >> q) & 1 == 1;
+        let data = if one {
+            vec![Complex64::ZERO, Complex64::ONE]
+        } else {
+            vec![Complex64::ONE, Complex64::ZERO]
+        };
+        net.push_tensor(Tensor::qubit(vec![var], data).expect("bra cap"));
+    }
+    net
+}
+
+impl Simulator {
+    /// `⟨bits|circuit|0…0⟩`, feeding intermediates to `hook`.
+    pub fn amplitude(
+        &self,
+        circuit: &Circuit,
+        bits: u64,
+        hook: &mut dyn ContractionHook,
+    ) -> Result<(Complex64, ContractionStats), ContractError> {
+        let tensors = amplitude_network(circuit, bits).into_tensors();
+        match self.strategy {
+            Strategy::BucketElimination => {
+                let order =
+                    InteractionGraph::from_tensors(&tensors).elimination_order(self.heuristic);
+                contract_network(tensors, &order, hook)
+            }
+            Strategy::GreedyPairwise => contract_greedy(tensors, hook),
+        }
+    }
+
+    /// Probability `|⟨bits|circuit|0…0⟩|²`.
+    pub fn probability(&self, circuit: &Circuit, bits: u64) -> Result<f64, ContractError> {
+        Ok(self.amplitude(circuit, bits, &mut NoopHook)?.0.norm_sq())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::StateVector;
+    use qcircuit::{qaoa_circuit, Gate, Graph, QaoaParams};
+
+    #[test]
+    fn bell_state_amplitudes() {
+        let c = Circuit::new(2).with(Gate::H(0)).with(Gate::Cnot(0, 1));
+        let sim = Simulator::default();
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        for (bits, want) in [(0b00u64, h), (0b01, 0.0), (0b10, 0.0), (0b11, h)] {
+            let (a, _) = sim.amplitude(&c, bits, &mut NoopHook).unwrap();
+            assert!(a.approx_eq(Complex64::real(want), 1e-12), "bits {bits:02b}: {a:?}");
+        }
+    }
+
+    #[test]
+    fn matches_statevector_on_qaoa() {
+        let g = Graph::random_regular(8, 3, 4);
+        let params = QaoaParams::new(vec![0.5], vec![0.3]);
+        let c = qaoa_circuit(&g, &params);
+        let sv = StateVector::run(&c);
+        let sim = Simulator::default();
+        for bits in [0u64, 1, 37, 200, 255] {
+            let (a, _) = sim.amplitude(&c, bits, &mut NoopHook).unwrap();
+            let want = sv.amplitudes()[bits as usize];
+            assert!(a.approx_eq(want, 1e-10), "bits {bits}: {a:?} vs {want:?}");
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_small_register() {
+        let c = Circuit::new(3)
+            .with(Gate::H(0))
+            .with(Gate::Ry(1, 0.9))
+            .with(Gate::Cnot(0, 2))
+            .with(Gate::Zz(1, 2, 0.4));
+        let sim = Simulator::default();
+        let total: f64 = (0..8u64).map(|b| sim.probability(&c, b).unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-10, "total probability {total}");
+    }
+
+    #[test]
+    fn pairwise_strategy_agrees() {
+        let g = Graph::cycle(6);
+        let c = qaoa_circuit(&g, &QaoaParams::fixed_angles_3reg_p1());
+        let bucket = Simulator::default();
+        let pairwise = Simulator::default().with_strategy(Strategy::GreedyPairwise);
+        for bits in [0u64, 21, 63] {
+            let (a, _) = bucket.amplitude(&c, bits, &mut NoopHook).unwrap();
+            let (b, _) = pairwise.amplitude(&c, bits, &mut NoopHook).unwrap();
+            assert!(a.approx_eq(b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn compression_hook_on_amplitudes() {
+        use crate::compressed::CompressingHook;
+        use compressors::cuszx::CuSzx;
+        use compressors::ErrorBound;
+        let g = Graph::random_regular(10, 3, 6);
+        let c = qaoa_circuit(&g, &QaoaParams::fixed_angles_3reg_p2());
+        let sim = Simulator::default();
+        let (exact, _) = sim.amplitude(&c, 5, &mut NoopHook).unwrap();
+        let comp = CuSzx::default();
+        let mut hook = CompressingHook::new(&comp, ErrorBound::Abs(1e-8), 2);
+        let (lossy, _) = sim.amplitude(&c, 5, &mut hook).unwrap();
+        assert!(hook.stats.tensors_compressed > 0);
+        assert!((exact - lossy).abs() < 1e-4);
+    }
+
+    #[test]
+    fn amplitude_network_is_single_layer() {
+        // No dagger pass: roughly half the tensors of the expectation net.
+        let g = Graph::cycle(6);
+        let c = qaoa_circuit(&g, &QaoaParams::fixed_angles_3reg_p1());
+        let amp = amplitude_network(&c, 0).into_tensors().len();
+        let exp = TensorNetwork::zz_expectation_network(&c, 0, 1).into_tensors().len();
+        assert!(amp < exp * 2 / 3, "amplitude {amp} vs expectation {exp}");
+    }
+}

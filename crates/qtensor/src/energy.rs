@@ -1,0 +1,319 @@
+//! QAOA energy computation by per-edge lightcone contraction.
+//!
+//! `E(γ, β) = Σ_{(a,b)∈E} (1 − ⟨Z_a Z_b⟩)/2`, with each edge term contracted
+//! over its own lightcone — the exact QTensor workflow whose intermediate
+//! tensors the paper compresses.
+
+use crate::contraction::{
+    contract_network, ContractError, ContractionHook, ContractionStats, NoopHook,
+};
+use crate::lightcone::lightcone;
+use crate::network::TensorNetwork;
+use crate::ordering::{InteractionGraph, OrderingHeuristic};
+use crate::pairwise::contract_greedy;
+use qcircuit::{qaoa_circuit, Circuit, Graph, QaoaParams};
+
+/// How networks are contracted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Variable-at-a-time bucket elimination over a greedy order (QTensor's
+    /// formulation; the default).
+    #[default]
+    BucketElimination,
+    /// Greedy min-size pairwise contraction tree (opt_einsum-style).
+    GreedyPairwise,
+}
+
+/// Tensor-network simulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Simulator {
+    /// Elimination-order heuristic (bucket elimination only).
+    pub heuristic: OrderingHeuristic,
+    /// Restrict each expectation to its lightcone (QTensor default: on).
+    pub use_lightcone: bool,
+    /// Contraction strategy.
+    pub strategy: Strategy,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Simulator {
+            heuristic: OrderingHeuristic::MinFill,
+            use_lightcone: true,
+            strategy: Strategy::BucketElimination,
+        }
+    }
+}
+
+/// Result of an energy computation.
+#[derive(Debug, Clone)]
+pub struct EnergyReport {
+    /// Total MaxCut objective expectation `⟨C⟩`.
+    pub energy: f64,
+    /// Per-edge `⟨Z_a Z_b⟩` values in `graph.edges()` order.
+    pub zz_terms: Vec<f64>,
+    /// Aggregated contraction statistics over all edge terms.
+    pub stats: ContractionStats,
+}
+
+impl Simulator {
+    /// Creates a simulator with explicit settings (bucket elimination).
+    pub fn new(heuristic: OrderingHeuristic, use_lightcone: bool) -> Self {
+        Simulator { heuristic, use_lightcone, strategy: Strategy::BucketElimination }
+    }
+
+    /// Builder: selects the contraction strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// `⟨Z_a Z_b⟩` for one edge of `circuit`, feeding intermediates to `hook`.
+    pub fn zz_expectation(
+        &self,
+        circuit: &Circuit,
+        a: usize,
+        b: usize,
+        hook: &mut dyn ContractionHook,
+    ) -> Result<(f64, ContractionStats), ContractError> {
+        let net = if self.use_lightcone {
+            let lc = lightcone(circuit, &[a, b]);
+            let ca = lc.compact_id(a).expect("a is in its own cone");
+            let cb = lc.compact_id(b).expect("b is in its own cone");
+            TensorNetwork::zz_expectation_network(&lc.circuit, ca, cb)
+        } else {
+            TensorNetwork::zz_expectation_network(circuit, a, b)
+        };
+        let tensors = net.into_tensors();
+        let (value, stats) = match self.strategy {
+            Strategy::BucketElimination => {
+                let order =
+                    InteractionGraph::from_tensors(&tensors).elimination_order(self.heuristic);
+                contract_network(tensors, &order, hook)?
+            }
+            Strategy::GreedyPairwise => contract_greedy(tensors, hook)?,
+        };
+        // Exact contraction yields a real scalar; lossy hooks perturb it into
+        // the complex plane. Like the paper's workflow, report the real part
+        // (the imaginary residue is compression noise of the same order).
+        Ok((value.re, stats))
+    }
+
+    /// `⟨Z_q⟩` for one qubit of `circuit` (lightcone-restricted like the
+    /// edge terms).
+    pub fn z_expectation(
+        &self,
+        circuit: &Circuit,
+        q: usize,
+        hook: &mut dyn ContractionHook,
+    ) -> Result<f64, ContractError> {
+        let net = if self.use_lightcone {
+            let lc = lightcone(circuit, &[q]);
+            let cq = lc.compact_id(q).expect("q is in its own cone");
+            let mut net = TensorNetwork::new(lc.circuit.n_qubits());
+            net.apply_circuit(&lc.circuit);
+            net.apply_z(cq);
+            net.apply_circuit_reversed_dagger(&lc.circuit);
+            net.close_with_zero_caps();
+            net
+        } else {
+            let mut net = TensorNetwork::new(circuit.n_qubits());
+            net.apply_circuit(circuit);
+            net.apply_z(q);
+            net.apply_circuit_reversed_dagger(circuit);
+            net.close_with_zero_caps();
+            net
+        };
+        let tensors = net.into_tensors();
+        let value = match self.strategy {
+            Strategy::BucketElimination => {
+                let order =
+                    InteractionGraph::from_tensors(&tensors).elimination_order(self.heuristic);
+                contract_network(tensors, &order, hook)?.0
+            }
+            Strategy::GreedyPairwise => contract_greedy(tensors, hook)?.0,
+        };
+        Ok(value.re)
+    }
+
+    /// Exact (hook-free) energy of the QAOA state for `graph`.
+    pub fn energy(
+        &self,
+        graph: &Graph,
+        params: &QaoaParams,
+    ) -> Result<EnergyReport, ContractError> {
+        self.energy_with_hook(graph, params, &mut NoopHook)
+    }
+
+    /// Energy with every intermediate tensor routed through `hook`
+    /// (compression plugs in here).
+    pub fn energy_with_hook(
+        &self,
+        graph: &Graph,
+        params: &QaoaParams,
+        hook: &mut dyn ContractionHook,
+    ) -> Result<EnergyReport, ContractError> {
+        let circuit = qaoa_circuit(graph, params);
+        let mut zz_terms = Vec::with_capacity(graph.m());
+        let mut agg = ContractionStats::default();
+        let mut energy = 0.0;
+        for &(a, b) in graph.edges() {
+            let (zz, stats) = self.zz_expectation(&circuit, a, b, hook)?;
+            energy += 0.5 * (1.0 - zz);
+            zz_terms.push(zz);
+            agg.eliminations += stats.eliminations;
+            agg.max_intermediate_elems =
+                agg.max_intermediate_elems.max(stats.max_intermediate_elems);
+            agg.peak_live_bytes = agg.peak_live_bytes.max(stats.peak_live_bytes);
+            agg.total_intermediate_bytes += stats.total_intermediate_bytes;
+        }
+        Ok(EnergyReport { energy, zz_terms, stats: agg })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::StateVector;
+    use qcircuit::Gate;
+
+    fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+        assert!((a - b).abs() < tol, "{what}: {a} vs {b}");
+    }
+
+    #[test]
+    fn bell_state_zz() {
+        let c = Circuit::new(2).with(Gate::H(0)).with(Gate::Cnot(0, 1));
+        let sim = Simulator::default();
+        let (zz, _) = sim.zz_expectation(&c, 0, 1, &mut NoopHook).unwrap();
+        assert_close(zz, 1.0, 1e-10, "bell ZZ");
+    }
+
+    #[test]
+    fn matches_statevector_on_qaoa_ring() {
+        let g = Graph::cycle(6);
+        let params = QaoaParams::new(vec![0.8], vec![0.3]);
+        let sv = StateVector::run(&qaoa_circuit(&g, &params));
+        let sim = Simulator::default();
+        let report = sim.energy(&g, &params).unwrap();
+        assert_close(report.energy, sv.maxcut_energy(&g), 1e-9, "ring p=1 energy");
+        for (i, &(a, b)) in g.edges().iter().enumerate() {
+            assert_close(report.zz_terms[i], sv.zz_expectation(a, b), 1e-9, "edge term");
+        }
+    }
+
+    #[test]
+    fn matches_statevector_on_random_regular_p2() {
+        let g = Graph::random_regular(8, 3, 42);
+        let params = QaoaParams::new(vec![0.4, 0.7], vec![0.2, 0.5]);
+        let sv = StateVector::run(&qaoa_circuit(&g, &params));
+        let sim = Simulator::default();
+        let report = sim.energy(&g, &params).unwrap();
+        assert_close(report.energy, sv.maxcut_energy(&g), 1e-8, "3-regular p=2 energy");
+    }
+
+    #[test]
+    fn lightcone_off_gives_same_answer() {
+        let g = Graph::random_regular(6, 3, 7);
+        let params = QaoaParams::fixed_angles_3reg_p1();
+        let with = Simulator::new(OrderingHeuristic::MinFill, true).energy(&g, &params).unwrap();
+        let without =
+            Simulator::new(OrderingHeuristic::MinFill, false).energy(&g, &params).unwrap();
+        assert_close(with.energy, without.energy, 1e-8, "lightcone on/off");
+        // ...but the lightcone run touches fewer variables.
+        assert!(with.stats.total_intermediate_bytes <= without.stats.total_intermediate_bytes);
+    }
+
+    #[test]
+    fn heuristics_agree_on_value() {
+        let g = Graph::random_regular(10, 3, 3);
+        let params = QaoaParams::new(vec![0.5, 0.9], vec![0.25, 0.4]);
+        let e1 = Simulator::new(OrderingHeuristic::MinFill, true).energy(&g, &params).unwrap();
+        let e2 = Simulator::new(OrderingHeuristic::MinDegree, true).energy(&g, &params).unwrap();
+        assert_close(e1.energy, e2.energy, 1e-8, "min-fill vs min-degree");
+    }
+
+    #[test]
+    fn erdos_renyi_matches_statevector() {
+        let g = Graph::erdos_renyi(9, 0.35, 11);
+        let params = QaoaParams::new(vec![0.6], vec![0.35]);
+        let sv = StateVector::run(&qaoa_circuit(&g, &params));
+        let report = Simulator::default().energy(&g, &params).unwrap();
+        assert_close(report.energy, sv.maxcut_energy(&g), 1e-8, "ER graph energy");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let g = Graph::cycle(5);
+        let params = QaoaParams::fixed_angles_3reg_p1();
+        let report = Simulator::default().energy(&g, &params).unwrap();
+        assert!(report.stats.eliminations > 0);
+        assert!(report.stats.max_intermediate_elems >= 2);
+    }
+}
+
+#[cfg(test)]
+mod strategy_tests {
+    use super::*;
+    use crate::contraction::NoopHook;
+    use crate::statevector::StateVector;
+
+    #[test]
+    fn pairwise_strategy_matches_bucket_and_oracle() {
+        let g = Graph::random_regular(10, 3, 71);
+        let params = QaoaParams::fixed_angles_3reg_p2();
+        let bucket = Simulator::default().energy(&g, &params).unwrap().energy;
+        let pairwise = Simulator::default()
+            .with_strategy(Strategy::GreedyPairwise)
+            .energy(&g, &params)
+            .unwrap()
+            .energy;
+        assert!((bucket - pairwise).abs() < 1e-8, "{bucket} vs {pairwise}");
+    }
+
+    #[test]
+    fn z_expectation_matches_statevector() {
+        let g = Graph::random_regular(8, 3, 9);
+        let params = QaoaParams::new(vec![0.6, 0.2], vec![0.35, 0.5]);
+        let circuit = qaoa_circuit(&g, &params);
+        let sv = StateVector::run(&circuit);
+        let sim = Simulator::default();
+        for q in 0..g.n() {
+            let z = sim.z_expectation(&circuit, q, &mut NoopHook).unwrap();
+            assert!((z - sv.z_expectation(q)).abs() < 1e-9, "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn z_expectation_without_lightcone_agrees() {
+        let g = Graph::cycle(6);
+        let params = QaoaParams::fixed_angles_3reg_p1();
+        let circuit = qaoa_circuit(&g, &params);
+        let with = Simulator::default();
+        let without = Simulator::new(OrderingHeuristic::MinFill, false);
+        for q in [0usize, 3] {
+            let a = with.z_expectation(&circuit, q, &mut NoopHook).unwrap();
+            let b = without.z_expectation(&circuit, q, &mut NoopHook).unwrap();
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pairwise_strategy_supports_compression_hooks() {
+        use crate::compressed::CompressingHook;
+        use compressors::cuszx::CuSzx;
+        use compressors::ErrorBound;
+        let g = Graph::random_regular(8, 3, 12);
+        let params = QaoaParams::fixed_angles_3reg_p1();
+        let exact = Simulator::default().energy(&g, &params).unwrap().energy;
+        let comp = CuSzx::default();
+        let mut hook = CompressingHook::new(&comp, ErrorBound::Abs(1e-6), 2);
+        let e = Simulator::default()
+            .with_strategy(Strategy::GreedyPairwise)
+            .energy_with_hook(&g, &params, &mut hook)
+            .unwrap()
+            .energy;
+        assert!((e - exact).abs() / exact < 0.01);
+        assert!(hook.stats.tensors_compressed > 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Lightcone extraction for local observables.
+//!
+//! `⟨Z_a Z_b⟩` depends only on gates in the causal cone of qubits `a` and
+//! `b`: walking the circuit backwards, a gate matters iff it touches a qubit
+//! already known to matter, and then all its qubits matter. QTensor's energy
+//! computation relies on this — each edge term of the QAOA objective
+//! contracts a small cone instead of the whole circuit, which is also why
+//! the intermediate-tensor sizes the paper compresses are set by cone width
+//! rather than qubit count.
+
+use qcircuit::Circuit;
+
+/// A subcircuit restricted to the causal cone of some observable qubits,
+/// with wires compacted to `0..cone_width`.
+#[derive(Debug, Clone)]
+pub struct Lightcone {
+    /// The compacted subcircuit.
+    pub circuit: Circuit,
+    /// For each original qubit in the cone, its compact id.
+    mapping: Vec<(usize, usize)>,
+}
+
+impl Lightcone {
+    /// Number of qubits in the cone.
+    pub fn width(&self) -> usize {
+        self.circuit.n_qubits()
+    }
+
+    /// Compact id of an original qubit, if it is in the cone.
+    pub fn compact_id(&self, original: usize) -> Option<usize> {
+        self.mapping.iter().find(|&&(o, _)| o == original).map(|&(_, c)| c)
+    }
+
+    /// `(original, compact)` pairs, sorted by original id.
+    pub fn mapping(&self) -> &[(usize, usize)] {
+        &self.mapping
+    }
+}
+
+/// Extracts the lightcone of `support` (e.g. the two endpoints of a MaxCut
+/// edge) from `circuit`.
+pub fn lightcone(circuit: &Circuit, support: &[usize]) -> Lightcone {
+    let mut in_cone = vec![false; circuit.n_qubits()];
+    for &q in support {
+        assert!(q < circuit.n_qubits(), "support qubit out of range");
+        in_cone[q] = true;
+    }
+
+    // Backward sweep: record which gates are kept.
+    let mut keep = vec![false; circuit.len()];
+    for (i, g) in circuit.gates().iter().enumerate().rev() {
+        let qs = g.qubits();
+        if qs.iter().any(|&q| in_cone[q]) {
+            keep[i] = true;
+            for q in qs {
+                in_cone[q] = true;
+            }
+        }
+    }
+
+    // Compact the cone's qubits.
+    let originals: Vec<usize> =
+        (0..circuit.n_qubits()).filter(|&q| in_cone[q]).collect();
+    let mut compact = vec![usize::MAX; circuit.n_qubits()];
+    for (c, &o) in originals.iter().enumerate() {
+        compact[o] = c;
+    }
+
+    let mut sub = Circuit::new(originals.len());
+    for (i, g) in circuit.gates().iter().enumerate() {
+        if keep[i] {
+            sub.push(g.map_qubits(|q| compact[q]));
+        }
+    }
+
+    Lightcone {
+        circuit: sub,
+        mapping: originals.iter().map(|&o| (o, compact[o])).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::{qaoa_circuit, Gate, Graph, QaoaParams};
+
+    #[test]
+    fn disconnected_qubit_excluded() {
+        // Qubit 2 never interacts with 0/1: its gates drop out of the cone.
+        let c = Circuit::new(3)
+            .with(Gate::H(0))
+            .with(Gate::H(1))
+            .with(Gate::H(2))
+            .with(Gate::Cnot(0, 1))
+            .with(Gate::Rx(2, 0.5));
+        let lc = lightcone(&c, &[0, 1]);
+        assert_eq!(lc.width(), 2);
+        assert_eq!(lc.circuit.len(), 3); // H(0), H(1), CNOT
+        assert_eq!(lc.compact_id(0), Some(0));
+        assert_eq!(lc.compact_id(1), Some(1));
+        assert_eq!(lc.compact_id(2), None);
+    }
+
+    #[test]
+    fn cone_grows_through_entanglers() {
+        // 0-1 entangled, 1-2 entangled: cone of {0} pulls in 1 then 2's gate.
+        let c = Circuit::new(3)
+            .with(Gate::H(2))
+            .with(Gate::Cnot(2, 1))
+            .with(Gate::Cnot(1, 0));
+        let lc = lightcone(&c, &[0]);
+        assert_eq!(lc.width(), 3);
+        assert_eq!(lc.circuit.len(), 3);
+    }
+
+    #[test]
+    fn qaoa_p1_cone_is_edge_neighbourhood() {
+        // For p=1 QAOA the cone of edge (a,b) is a ∪ b ∪ neighbours(a,b).
+        let g = Graph::cycle(8);
+        let c = qaoa_circuit(&g, &QaoaParams::fixed_angles_3reg_p1());
+        let lc = lightcone(&c, &[0, 1]);
+        // On a ring: {7, 0, 1, 2}
+        assert_eq!(lc.width(), 4);
+    }
+
+    #[test]
+    fn cone_preserves_gate_order() {
+        let c = Circuit::new(2)
+            .with(Gate::H(0))
+            .with(Gate::Rz(0, 0.1))
+            .with(Gate::Cnot(0, 1));
+        let lc = lightcone(&c, &[1]);
+        let names: Vec<&str> = lc.circuit.gates().iter().map(|g| g.name()).collect();
+        assert_eq!(names, vec!["H", "RZ", "CNOT"]);
+    }
+
+    #[test]
+    fn full_support_keeps_everything() {
+        let g = Graph::cycle(5);
+        let c = qaoa_circuit(&g, &QaoaParams::fixed_angles_3reg_p1());
+        let lc = lightcone(&c, &[0, 1, 2, 3, 4]);
+        assert_eq!(lc.circuit.len(), c.len());
+    }
+}

@@ -1,0 +1,265 @@
+//! Circuit → tensor network translation (the QTensor formulation).
+//!
+//! Every qubit wire is a chain of binary *variables*. A gate that is
+//! diagonal in a qubit re-uses that wire's current variable; a non-diagonal
+//! gate ends the current variable and opens a fresh one. The expectation
+//! `⟨0|U† O U|0⟩` of a diagonal observable `O` then becomes a sum over all
+//! variable assignments of a product of small tensors — exactly the network
+//! QTensor contracts, with the diagonal-gate rank reduction that keeps QAOA
+//! networks close to the underlying graph's treewidth.
+
+use qcircuit::{Circuit, Gate};
+use tensornet::{Complex64, Ix, Tensor};
+
+/// A tensor network under construction: tensors plus per-qubit open wires.
+#[derive(Debug, Clone)]
+pub struct TensorNetwork {
+    tensors: Vec<Tensor>,
+    /// Current variable of each qubit wire.
+    wire: Vec<Ix>,
+    next_var: Ix,
+}
+
+impl TensorNetwork {
+    /// Starts a network for `n_qubits` wires with `|0⟩` caps attached
+    /// (variables `0..n_qubits`).
+    pub fn new(n_qubits: usize) -> Self {
+        let mut net = TensorNetwork {
+            tensors: Vec::new(),
+            wire: (0..n_qubits as Ix).collect(),
+            next_var: n_qubits as Ix,
+        };
+        for q in 0..n_qubits {
+            net.tensors.push(ket_zero(q as Ix));
+        }
+        net
+    }
+
+    /// Number of qubit wires.
+    pub fn n_qubits(&self) -> usize {
+        self.wire.len()
+    }
+
+    /// The tensors accumulated so far.
+    pub fn tensors(&self) -> &[Tensor] {
+        &self.tensors
+    }
+
+    /// Consumes the network, yielding its tensors.
+    pub fn into_tensors(self) -> Vec<Tensor> {
+        self.tensors
+    }
+
+    /// Variables used so far (`0..next_var`).
+    pub fn n_variables(&self) -> usize {
+        self.next_var as usize
+    }
+
+    /// Current variable of a wire.
+    pub fn wire_var(&self, qubit: usize) -> Ix {
+        self.wire[qubit]
+    }
+
+    /// Appends a gate, advancing wire variables on non-diagonal qubits.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        let qs = gate.qubits();
+        let k = qs.len();
+        let m = gate.matrix();
+        let dim = 1usize << k;
+
+        let diag: Vec<bool> = (0..k).map(|lq| gate.is_diagonal_in(lq)).collect();
+
+        // Reduced axes: diagonal qubit -> one axis (shared var); non-diagonal
+        // qubit -> out axis (fresh var) then in axis (current var).
+        let mut axes: Vec<Ix> = Vec::with_capacity(2 * k);
+        let mut new_wire: Vec<(usize, Ix)> = Vec::new();
+        for (lq, &q) in qs.iter().enumerate() {
+            if diag[lq] {
+                axes.push(self.wire[q]);
+            } else {
+                let fresh = self.next_var;
+                self.next_var += 1;
+                axes.push(fresh); // out
+                axes.push(self.wire[q]); // in
+                new_wire.push((q, fresh));
+            }
+        }
+
+        // Fill the reduced tensor: walk every (out, in) pair of the full
+        // matrix; keep entries consistent with diagonality (guaranteed by
+        // construction for diagonal qubits — others are zero).
+        let rank = axes.len();
+        let mut data = vec![Complex64::ZERO; 1usize << rank];
+        for out in 0..dim {
+            for input in 0..dim {
+                let v = m[out * dim + input];
+                if v == Complex64::ZERO {
+                    continue;
+                }
+                // bit of local qubit lq in a basis index (qubit 0 msb)
+                let bit = |word: usize, lq: usize| (word >> (k - 1 - lq)) & 1;
+                let mut consistent = true;
+                let mut lin = 0usize;
+                for (lq, &is_diag) in diag.iter().enumerate() {
+                    if is_diag {
+                        if bit(out, lq) != bit(input, lq) {
+                            consistent = false;
+                            break;
+                        }
+                        lin = lin * 2 + bit(out, lq);
+                    } else {
+                        lin = lin * 2 + bit(out, lq);
+                        lin = lin * 2 + bit(input, lq);
+                    }
+                }
+                if consistent {
+                    data[lin] = v;
+                }
+            }
+        }
+
+        self.tensors.push(
+            Tensor::qubit(axes, data).expect("gate tensor construction is shape-correct"),
+        );
+        for (q, fresh) in new_wire {
+            self.wire[q] = fresh;
+        }
+    }
+
+    /// Appends every gate of a circuit.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert_eq!(circuit.n_qubits(), self.n_qubits(), "register width mismatch");
+        for g in circuit.gates() {
+            self.apply_gate(g);
+        }
+    }
+
+    /// Appends an arbitrary tensor (caps, observables, custom operators).
+    pub fn push_tensor(&mut self, tensor: Tensor) {
+        self.tensors.push(tensor);
+    }
+
+    /// Inserts the diagonal observable `Z` on a wire's current variable.
+    pub fn apply_z(&mut self, qubit: usize) {
+        let var = self.wire[qubit];
+        self.tensors.push(
+            Tensor::qubit(vec![var], vec![Complex64::ONE, -Complex64::ONE])
+                .expect("Z tensor"),
+        );
+    }
+
+    /// Closes every wire with a `⟨0|` cap. After this the network contracts
+    /// to the scalar `⟨0…0| (appended operators) |0…0⟩`.
+    pub fn close_with_zero_caps(&mut self) {
+        for q in 0..self.n_qubits() {
+            let var = self.wire[q];
+            self.tensors.push(ket_zero(var));
+        }
+    }
+
+    /// Builds the full expectation network `⟨0|U† Z_a Z_b U|0⟩`.
+    pub fn zz_expectation_network(circuit: &Circuit, a: usize, b: usize) -> Self {
+        let mut net = TensorNetwork::new(circuit.n_qubits());
+        net.apply_circuit(circuit);
+        net.apply_z(a);
+        net.apply_z(b);
+        net.apply_circuit_reversed_dagger(circuit);
+        net.close_with_zero_caps();
+        net
+    }
+
+    /// Appends the daggered circuit in reverse order (the `⟨ψ|` half of an
+    /// expectation network).
+    pub fn apply_circuit_reversed_dagger(&mut self, circuit: &Circuit) {
+        for g in circuit.gates().iter().rev() {
+            self.apply_gate(&g.dagger());
+        }
+    }
+}
+
+/// `|0⟩` (equivalently `⟨0|`, it is real) as a rank-1 tensor on `var`.
+fn ket_zero(var: Ix) -> Tensor {
+    Tensor::qubit(vec![var], vec![Complex64::ONE, Complex64::ZERO]).expect("ket0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::Gate;
+
+    #[test]
+    fn diagonal_gate_keeps_variable() {
+        let mut net = TensorNetwork::new(2);
+        let v0 = net.wire_var(0);
+        net.apply_gate(&Gate::Rz(0, 0.3));
+        assert_eq!(net.wire_var(0), v0, "diagonal gate must not advance the wire");
+        net.apply_gate(&Gate::Zz(0, 1, 0.5));
+        assert_eq!(net.wire_var(0), v0);
+        assert_eq!(net.n_variables(), 2);
+    }
+
+    #[test]
+    fn nondiagonal_gate_advances_variable() {
+        let mut net = TensorNetwork::new(1);
+        let v0 = net.wire_var(0);
+        net.apply_gate(&Gate::H(0));
+        assert_ne!(net.wire_var(0), v0);
+        assert_eq!(net.n_variables(), 2);
+    }
+
+    #[test]
+    fn cnot_advances_only_target() {
+        let mut net = TensorNetwork::new(2);
+        let (c0, t0) = (net.wire_var(0), net.wire_var(1));
+        net.apply_gate(&Gate::Cnot(0, 1));
+        assert_eq!(net.wire_var(0), c0, "control is diagonal");
+        assert_ne!(net.wire_var(1), t0, "target advances");
+        // CNOT reduced tensor: rank 3 (control, target_out, target_in).
+        let t = net.tensors().last().unwrap();
+        assert_eq!(t.rank(), 3);
+    }
+
+    #[test]
+    fn cnot_tensor_entries() {
+        let mut net = TensorNetwork::new(2);
+        net.apply_gate(&Gate::Cnot(0, 1));
+        let t = net.tensors().last().unwrap();
+        // axes: [control (shared), target_out, target_in]
+        // control=0 -> identity on target; control=1 -> X on target.
+        for c in 0..2 {
+            for to in 0..2 {
+                for ti in 0..2 {
+                    let want = if c == 0 {
+                        (to == ti) as i32
+                    } else {
+                        (to != ti) as i32
+                    };
+                    assert!(
+                        t.get(&[c, to, ti]).approx_eq(Complex64::real(want as f64), 1e-12),
+                        "c={c} to={to} ti={ti}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zz_tensor_is_rank_two() {
+        let mut net = TensorNetwork::new(2);
+        net.apply_gate(&Gate::Zz(0, 1, 0.7));
+        let t = net.tensors().last().unwrap();
+        assert_eq!(t.rank(), 2);
+        assert!(t.get(&[0, 0]).approx_eq(Complex64::cis(-0.35), 1e-12));
+        assert!(t.get(&[0, 1]).approx_eq(Complex64::cis(0.35), 1e-12));
+    }
+
+    #[test]
+    fn expectation_network_size() {
+        // 2 qubits, H on each: network = 2 ket caps + 2 H + 2 Z + 2 H† + 2 bra caps.
+        let c = Circuit::new(2).with(Gate::H(0)).with(Gate::H(1));
+        let net = TensorNetwork::zz_expectation_network(&c, 0, 1);
+        assert_eq!(net.tensors().len(), 10);
+        // vars: 2 initial + 2 (forward H) + 2 (backward H) = 6
+        assert_eq!(net.n_variables(), 6);
+    }
+}

@@ -1,0 +1,243 @@
+//! Greedy pairwise contraction — the contraction-tree alternative to
+//! bucket elimination.
+//!
+//! QTensor's ecosystem (and opt_einsum) often contracts networks pairwise
+//! along a tree chosen by a greedy cost heuristic. This module implements
+//! that strategy over the same tensor networks, with the subtlety bucket
+//! elimination hides: a label shared by *more* than two tensors (hyperedge —
+//! diagonal gates create them) must NOT be summed when two of its tensors
+//! contract; it is summed only when its last two holders meet. Pairwise
+//! results therefore match bucket elimination exactly, which the tests
+//! assert, and the two strategies give the experiment harness an ordering
+//! ablation axis.
+
+use crate::contraction::{ContractError, ContractionHook, ContractionStats};
+use std::collections::BTreeMap;
+use tensornet::{multiply_keep, shared_indices, Complex64, Ix, Tensor};
+
+/// Contracts tensors `a` and `b`, summing only the shared labels whose
+/// remaining reference count (outside these two tensors) is zero.
+pub fn contract_pair(
+    a: &Tensor,
+    b: &Tensor,
+    label_refs: &BTreeMap<Ix, usize>,
+) -> Result<Tensor, ContractError> {
+    let shared = shared_indices(a, b);
+    let mut result = multiply_keep(a, b)?;
+    for ix in shared {
+        let outside = label_refs.get(&ix).copied().unwrap_or(0).saturating_sub(2);
+        if outside == 0 {
+            result = result.sum_over(ix)?;
+        }
+    }
+    Ok(result)
+}
+
+/// Estimated element count of the pairwise product of `a` and `b` after
+/// summing dead shared labels — the greedy heuristic's cost.
+fn result_size(a: &Tensor, b: &Tensor, label_refs: &BTreeMap<Ix, usize>) -> usize {
+    let mut size = 1usize;
+    for (&ix, &d) in a.indices().iter().zip(a.dims()) {
+        let on_b = b.position(ix).is_some();
+        let outside = label_refs.get(&ix).copied().unwrap_or(0) - 1 - on_b as usize;
+        if !on_b || outside > 0 {
+            size = size.saturating_mul(d);
+        }
+    }
+    for (&ix, &d) in b.indices().iter().zip(b.dims()) {
+        if a.position(ix).is_none() {
+            size = size.saturating_mul(d);
+        }
+    }
+    size
+}
+
+/// Executes a greedy min-result-size pairwise contraction of the network,
+/// feeding every intermediate to `hook`. Returns the scalar and stats.
+pub fn contract_greedy(
+    tensors: Vec<Tensor>,
+    hook: &mut dyn ContractionHook,
+) -> Result<(Complex64, ContractionStats), ContractError> {
+    let mut live: Vec<Option<Tensor>> = tensors.into_iter().map(Some).collect();
+    let mut label_refs: BTreeMap<Ix, usize> = BTreeMap::new();
+    for t in live.iter().flatten() {
+        for &ix in t.indices() {
+            *label_refs.entry(ix).or_insert(0) += 1;
+        }
+    }
+
+    let mut stats = ContractionStats::default();
+    let mut live_bytes: usize =
+        live.iter().flatten().map(|t| t.nbytes()).sum();
+    stats.peak_live_bytes = live_bytes;
+    let mut remaining: usize = live.iter().flatten().count();
+
+    while remaining > 1 {
+        // Greedy: the pair (preferring connected pairs) with the smallest
+        // estimated result.
+        let ids: Vec<usize> =
+            live.iter().enumerate().filter(|(_, t)| t.is_some()).map(|(i, _)| i).collect();
+        let mut best: Option<(usize, usize, usize, bool)> = None;
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                let (ta, tb) = (live[a].as_ref().unwrap(), live[b].as_ref().unwrap());
+                let connected = !shared_indices(ta, tb).is_empty();
+                let size = result_size(ta, tb, &label_refs);
+                let better = match &best {
+                    None => true,
+                    Some((_, _, bsize, bconn)) => {
+                        (connected && !bconn) || (connected == *bconn && size < *bsize)
+                    }
+                };
+                if better {
+                    best = Some((a, b, size, connected));
+                }
+            }
+        }
+        let (ia, ib, _, _) = best.expect("two tensors remain");
+        let ta = live[ia].take().expect("live");
+        let tb = live[ib].take().expect("live");
+        remaining -= 1;
+
+        let product = contract_pair(&ta, &tb, &label_refs)?;
+        live_bytes += product.nbytes();
+        stats.peak_live_bytes = stats.peak_live_bytes.max(live_bytes);
+        live_bytes -= ta.nbytes() + tb.nbytes();
+
+        // Update reference counts: labels of the consumed tensors vanish,
+        // the product's labels re-register.
+        for t in [&ta, &tb] {
+            for &ix in t.indices() {
+                if let Some(r) = label_refs.get_mut(&ix) {
+                    *r -= 1;
+                }
+            }
+        }
+        for &ix in product.indices() {
+            *label_refs.entry(ix).or_insert(0) += 1;
+        }
+
+        stats.eliminations += 1;
+        stats.max_intermediate_elems = stats.max_intermediate_elems.max(product.len());
+        stats.total_intermediate_bytes += product.nbytes();
+        let product = hook.on_intermediate(product)?;
+        live[ia] = Some(product);
+    }
+
+    let last = live.into_iter().flatten().next().expect("one tensor remains");
+    // Sum any leftover open labels (possible in degenerate networks).
+    let mut scalar_t = last;
+    for ix in scalar_t.indices().to_vec() {
+        scalar_t = scalar_t.sum_over(ix)?;
+    }
+    Ok((scalar_t.get(&[]), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contraction::{contract_network, NoopHook};
+    use crate::network::TensorNetwork;
+    use crate::ordering::{InteractionGraph, OrderingHeuristic};
+    use qcircuit::{qaoa_circuit, Graph, QaoaParams};
+
+    fn bucket_value(tensors: &[Tensor]) -> Complex64 {
+        let order =
+            InteractionGraph::from_tensors(tensors).elimination_order(OrderingHeuristic::MinFill);
+        contract_network(tensors.to_vec(), &order, &mut NoopHook).unwrap().0
+    }
+
+    fn t(ix: Vec<Ix>, vals: Vec<f64>) -> Tensor {
+        Tensor::qubit(ix, vals.into_iter().map(Complex64::real).collect()).unwrap()
+    }
+
+    #[test]
+    fn matches_bucket_on_simple_chain() {
+        let ts = vec![
+            t(vec![0], vec![1.0, 2.0]),
+            t(vec![0, 1], vec![0.5, -1.0, 2.0, 1.5]),
+            t(vec![1], vec![3.0, 4.0]),
+        ];
+        let want = bucket_value(&ts);
+        let (got, stats) = contract_greedy(ts, &mut NoopHook).unwrap();
+        assert!(got.approx_eq(want, 1e-12));
+        assert_eq!(stats.eliminations, 2);
+    }
+
+    #[test]
+    fn hyperedge_label_not_summed_early() {
+        // Σ_x a(x) b(x) c(x): contracting a·b first must keep x alive.
+        let ts = vec![
+            t(vec![0], vec![1.0, 2.0]),
+            t(vec![0], vec![3.0, 4.0]),
+            t(vec![0], vec![5.0, 6.0]),
+        ];
+        let (got, _) = contract_greedy(ts, &mut NoopHook).unwrap();
+        assert!(got.approx_eq(Complex64::real(63.0), 1e-12), "got {got:?}");
+    }
+
+    #[test]
+    fn matches_bucket_on_qaoa_networks() {
+        for (n, seed) in [(6usize, 1u64), (8, 2), (10, 3)] {
+            let g = Graph::random_regular(n, 3, seed);
+            let c = qaoa_circuit(&g, &QaoaParams::fixed_angles_3reg_p1());
+            let net = TensorNetwork::zz_expectation_network(&c, 0, 1);
+            let tensors = net.into_tensors();
+            let want = bucket_value(&tensors);
+            let (got, _) = contract_greedy(tensors, &mut NoopHook).unwrap();
+            assert!(
+                got.approx_eq(want, 1e-9),
+                "n={n}: pairwise {got:?} vs bucket {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        let ts = vec![
+            t(vec![0], vec![1.0, 1.0]),
+            t(vec![0], vec![1.0, 2.0]),
+            t(vec![1], vec![2.0, 2.0]),
+            t(vec![1], vec![1.0, 1.0]),
+        ];
+        // (1+2) * (2+2) = 12
+        let (got, _) = contract_greedy(ts, &mut NoopHook).unwrap();
+        assert!(got.approx_eq(Complex64::real(12.0), 1e-12), "got {got:?}");
+    }
+
+    #[test]
+    fn hook_sees_intermediates() {
+        struct Counter(usize);
+        impl ContractionHook for Counter {
+            fn on_intermediate(&mut self, t: Tensor) -> Result<Tensor, ContractError> {
+                self.0 += 1;
+                Ok(t)
+            }
+        }
+        let g = Graph::cycle(6);
+        let c = qaoa_circuit(&g, &QaoaParams::fixed_angles_3reg_p1());
+        let tensors = TensorNetwork::zz_expectation_network(&c, 0, 1).into_tensors();
+        let n = tensors.len();
+        let mut hook = Counter(0);
+        contract_greedy(tensors, &mut hook).unwrap();
+        assert_eq!(hook.0, n - 1, "a binary tree over n leaves has n-1 internal nodes");
+    }
+
+    #[test]
+    fn single_tensor_network() {
+        let ts = vec![t(vec![0], vec![1.5, 2.5])];
+        let (got, stats) = contract_greedy(ts, &mut NoopHook).unwrap();
+        assert!(got.approx_eq(Complex64::real(4.0), 1e-12));
+        assert_eq!(stats.eliminations, 0);
+    }
+
+    #[test]
+    fn peak_memory_tracked() {
+        let g = Graph::cycle(8);
+        let c = qaoa_circuit(&g, &QaoaParams::fixed_angles_3reg_p1());
+        let tensors = TensorNetwork::zz_expectation_network(&c, 0, 1).into_tensors();
+        let (_, stats) = contract_greedy(tensors, &mut NoopHook).unwrap();
+        assert!(stats.peak_live_bytes > 0);
+        assert!(stats.max_intermediate_elems >= 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Intermediate-tensor capture — the compression corpus generator.
+//!
+//! The paper evaluates compressors "based on QTensor-generated tensors of
+//! varying sizes". [`TraceHook`] records (a copy of) every intermediate
+//! tensor above a size threshold during contraction; the bench crate runs
+//! sizeable QAOA instances under this hook to build the evaluation corpus.
+
+use crate::contraction::{ContractError, ContractionHook};
+use tensornet::Tensor;
+
+/// Records intermediates with at least `min_elems` elements, up to
+/// `max_tensors` of them (0 = unlimited).
+#[derive(Debug, Default)]
+pub struct TraceHook {
+    min_elems: usize,
+    max_tensors: usize,
+    captured: Vec<Tensor>,
+    /// Total intermediates seen, captured or not.
+    pub seen: usize,
+}
+
+impl TraceHook {
+    /// Creates a trace capturing tensors of `min_elems`+ elements.
+    pub fn new(min_elems: usize, max_tensors: usize) -> Self {
+        TraceHook { min_elems, max_tensors, captured: Vec::new(), seen: 0 }
+    }
+
+    /// Captured tensors, in production order.
+    pub fn captured(&self) -> &[Tensor] {
+        &self.captured
+    }
+
+    /// Consumes the hook, yielding the captures.
+    pub fn into_captured(self) -> Vec<Tensor> {
+        self.captured
+    }
+}
+
+impl ContractionHook for TraceHook {
+    fn on_intermediate(&mut self, tensor: Tensor) -> Result<Tensor, ContractError> {
+        self.seen += 1;
+        if tensor.len() >= self.min_elems
+            && (self.max_tensors == 0 || self.captured.len() < self.max_tensors)
+        {
+            self.captured.push(tensor.clone());
+        }
+        Ok(tensor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::Simulator;
+    use qcircuit::{Graph, QaoaParams};
+
+    #[test]
+    fn captures_only_above_threshold() {
+        let g = Graph::random_regular(8, 3, 5);
+        let params = QaoaParams::new(vec![0.4, 0.8], vec![0.3, 0.6]);
+        let mut hook = TraceHook::new(8, 0);
+        let sim = Simulator::default();
+        sim.energy_with_hook(&g, &params, &mut hook).unwrap();
+        assert!(hook.seen > 0);
+        assert!(!hook.captured().is_empty(), "p=2 QAOA must produce rank>=3 intermediates");
+        assert!(hook.captured().iter().all(|t| t.len() >= 8));
+        assert!(hook.seen >= hook.captured().len());
+    }
+
+    #[test]
+    fn capture_limit_respected() {
+        let g = Graph::cycle(6);
+        let params = QaoaParams::new(vec![0.4, 0.8], vec![0.3, 0.6]);
+        let mut hook = TraceHook::new(1, 3);
+        Simulator::default().energy_with_hook(&g, &params, &mut hook).unwrap();
+        assert_eq!(hook.captured().len(), 3);
+    }
+
+    #[test]
+    fn trace_does_not_perturb_energy() {
+        let g = Graph::cycle(6);
+        let params = QaoaParams::fixed_angles_3reg_p1();
+        let sim = Simulator::default();
+        let exact = sim.energy(&g, &params).unwrap().energy;
+        let mut hook = TraceHook::new(1, 0);
+        let traced = sim.energy_with_hook(&g, &params, &mut hook).unwrap().energy;
+        assert!((exact - traced).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,256 @@
+//! Pairwise tensor contraction and broadcast multiplication.
+//!
+//! Two primitives cover everything the simulator needs:
+//!
+//! * [`contract`] — einsum-style contraction of two tensors over all their
+//!   shared labels (`ab,bc -> ac`), implemented as permute + GEMM so the hot
+//!   loop is a cache-friendly matrix multiply.
+//! * [`multiply_keep`] — elementwise product over shared labels *without*
+//!   summation (`ab,cb -> acb`). Bucket elimination needs this because a
+//!   variable may appear in more than two tensors (diagonal gates create
+//!   hyperedges); the sum happens once per bucket via [`Tensor::sum_over`].
+
+use crate::complex::Complex64;
+use crate::tensor::{strides_of, Ix, Tensor, TensorError};
+
+/// Labels present in both tensors, in `a`'s storage order.
+pub fn shared_indices(a: &Tensor, b: &Tensor) -> Vec<Ix> {
+    a.indices().iter().copied().filter(|ix| b.position(*ix).is_some()).collect()
+}
+
+/// Validates that shared labels agree on dimension.
+fn check_shared_dims(a: &Tensor, b: &Tensor, shared: &[Ix]) -> Result<(), TensorError> {
+    for &ix in shared {
+        let da = a.dim_of(ix).expect("shared index on a");
+        let db = b.dim_of(ix).expect("shared index on b");
+        if da != db {
+            return Err(TensorError::DimConflict { index: ix, a: da, b: db });
+        }
+    }
+    Ok(())
+}
+
+/// Contracts `a` and `b` over every shared label.
+///
+/// Output labels are `a`'s free labels followed by `b`'s free labels, so the
+/// result is deterministic. Rank-0 results hold the full inner product.
+pub fn contract(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let shared = shared_indices(a, b);
+    check_shared_dims(a, b, &shared)?;
+
+    let free_a: Vec<Ix> =
+        a.indices().iter().copied().filter(|ix| !shared.contains(ix)).collect();
+    let free_b: Vec<Ix> =
+        b.indices().iter().copied().filter(|ix| !shared.contains(ix)).collect();
+
+    // Permute a -> (free_a, shared), b -> (shared, free_b); then it's GEMM.
+    let mut order_a = free_a.clone();
+    order_a.extend_from_slice(&shared);
+    let mut order_b = shared.clone();
+    order_b.extend_from_slice(&free_b);
+    let pa = a.permuted(&order_a)?;
+    let pb = b.permuted(&order_b)?;
+
+    let k: usize = shared.iter().map(|&ix| a.dim_of(ix).unwrap()).product();
+    let m: usize = pa.len() / k.max(1);
+    let n: usize = pb.len() / k.max(1);
+
+    let da = pa.data();
+    let db = pb.data();
+    let mut out = vec![Complex64::ZERO; m * n];
+    // i-k-j loop order: the inner loop streams both `db` and `out` rows.
+    for i in 0..m {
+        let arow = &da[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == Complex64::ZERO {
+                continue;
+            }
+            let brow = &db[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o = o.mul_add(av, bv);
+            }
+        }
+    }
+
+    let mut out_ix = free_a;
+    out_ix.extend_from_slice(&free_b);
+    let mut out_dims = Vec::with_capacity(out_ix.len());
+    for &ix in &out_ix {
+        out_dims.push(a.dim_of(ix).or_else(|| b.dim_of(ix)).unwrap());
+    }
+    Tensor::new(out_ix, out_dims, out)
+}
+
+/// Elementwise product over shared labels, keeping them in the output.
+///
+/// Output labels are `a`'s labels followed by `b`'s non-shared labels
+/// (einsum `ab,cb -> abc` style, generalized to any ranks).
+pub fn multiply_keep(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let shared = shared_indices(a, b);
+    check_shared_dims(a, b, &shared)?;
+
+    let mut out_ix: Vec<Ix> = a.indices().to_vec();
+    for &ix in b.indices() {
+        if !out_ix.contains(&ix) {
+            out_ix.push(ix);
+        }
+    }
+    let mut out_dims = Vec::with_capacity(out_ix.len());
+    for &ix in &out_ix {
+        out_dims.push(a.dim_of(ix).or_else(|| b.dim_of(ix)).unwrap());
+    }
+    let total: usize = out_dims.iter().product();
+
+    // Per output axis, the linear-stride contribution into each input
+    // (0 when the input lacks that label) — a broadcast walk.
+    let sa = strides_of(a.dims());
+    let sb = strides_of(b.dims());
+    let contrib_a: Vec<usize> =
+        out_ix.iter().map(|&ix| a.position(ix).map_or(0, |p| sa[p])).collect();
+    let contrib_b: Vec<usize> =
+        out_ix.iter().map(|&ix| b.position(ix).map_or(0, |p| sb[p])).collect();
+
+    let rank = out_dims.len();
+    let mut counters = vec![0usize; rank];
+    let (mut off_a, mut off_b) = (0usize, 0usize);
+    let da = a.data();
+    let db = b.data();
+    let mut out = Vec::with_capacity(total);
+    for _ in 0..total {
+        out.push(da[off_a] * db[off_b]);
+        for axis in (0..rank).rev() {
+            counters[axis] += 1;
+            off_a += contrib_a[axis];
+            off_b += contrib_b[axis];
+            if counters[axis] < out_dims[axis] {
+                break;
+            }
+            off_a -= contrib_a[axis] * out_dims[axis];
+            off_b -= contrib_b[axis] * out_dims[axis];
+            counters[axis] = 0;
+        }
+    }
+    Tensor::new(out_ix, out_dims, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64) -> Complex64 {
+        Complex64::real(re)
+    }
+
+    fn t(ix: Vec<Ix>, dims: Vec<usize>, vals: Vec<f64>) -> Tensor {
+        Tensor::new(ix, dims, vals.into_iter().map(c).collect()).unwrap()
+    }
+
+    #[test]
+    fn matrix_product() {
+        // [[1,2],[3,4]] @ [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = t(vec![0, 1], vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = t(vec![1, 2], vec![2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        let r = contract(&a, &b).unwrap();
+        assert_eq!(r.indices(), &[0, 2]);
+        let want = [19.0, 22.0, 43.0, 50.0];
+        for (got, want) in r.data().iter().zip(want) {
+            assert!(got.approx_eq(c(want), 1e-12));
+        }
+    }
+
+    #[test]
+    fn inner_product_is_scalar() {
+        let a = t(vec![0], vec![3], vec![1.0, 2.0, 3.0]);
+        let b = t(vec![0], vec![3], vec![4.0, 5.0, 6.0]);
+        let r = contract(&a, &b).unwrap();
+        assert_eq!(r.rank(), 0);
+        assert!(r.get(&[]).approx_eq(c(32.0), 1e-12));
+    }
+
+    #[test]
+    fn outer_product_when_disjoint() {
+        let a = t(vec![0], vec![2], vec![1.0, 2.0]);
+        let b = t(vec![1], vec![3], vec![3.0, 4.0, 5.0]);
+        let r = contract(&a, &b).unwrap();
+        assert_eq!(r.dims(), &[2, 3]);
+        assert!(r.get(&[1, 2]).approx_eq(c(10.0), 1e-12));
+    }
+
+    #[test]
+    fn contraction_order_of_shared_axes_irrelevant() {
+        // a(i,j,k) with b(k,j) contracts j and k regardless of their order.
+        let a = t(vec![0, 1, 2], vec![2, 2, 2], (0..8).map(|x| x as f64).collect());
+        let b = t(vec![2, 1], vec![2, 2], vec![1.0, -1.0, 2.0, 0.5]);
+        let r = contract(&a, &b).unwrap();
+        // brute force
+        for i in 0..2 {
+            let mut want = 0.0;
+            for j in 0..2 {
+                for k in 0..2 {
+                    want += a.get(&[i, j, k]).re * b.get(&[k, j]).re;
+                }
+            }
+            assert!(r.get(&[i]).approx_eq(c(want), 1e-12), "i={i}");
+        }
+    }
+
+    #[test]
+    fn dim_conflict_detected() {
+        let a = t(vec![0], vec![2], vec![1.0, 2.0]);
+        let b = t(vec![0], vec![3], vec![1.0, 2.0, 3.0]);
+        assert!(matches!(
+            contract(&a, &b),
+            Err(TensorError::DimConflict { index: 0, a: 2, b: 3 })
+        ));
+    }
+
+    #[test]
+    fn multiply_keep_matches_einsum() {
+        // ab,cb -> a b c (our label ordering: a's labels then b's new ones)
+        let a = t(vec![0, 1], vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = t(vec![2, 1], vec![2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        let r = multiply_keep(&a, &b).unwrap();
+        assert_eq!(r.indices(), &[0, 1, 2]);
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    let want = a.get(&[i, j]).re * b.get(&[k, j]).re;
+                    assert!(r.get(&[i, j, k]).approx_eq(c(want), 1e-12));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_keep_then_sum_equals_contract() {
+        let a = t(vec![0, 1], vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = t(vec![1, 2], vec![2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        let direct = contract(&a, &b).unwrap();
+        let kept = multiply_keep(&a, &b).unwrap().sum_over(1).unwrap();
+        let kept = kept.permuted(direct.indices()).unwrap();
+        for (x, y) in kept.data().iter().zip(direct.data()) {
+            assert!(x.approx_eq(*y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn multiply_keep_with_scalar() {
+        let a = Tensor::scalar(c(3.0));
+        let b = t(vec![0], vec![2], vec![1.0, 2.0]);
+        let r = multiply_keep(&a, &b).unwrap();
+        assert_eq!(r.indices(), &[0]);
+        assert!(r.get(&[1]).approx_eq(c(6.0), 1e-12));
+    }
+
+    #[test]
+    fn complex_contraction_conjugation_free() {
+        // contraction must not implicitly conjugate: <i|M|j> style checks live
+        // in the simulator; here (1+i)*(1+i) = 2i.
+        let z = Complex64::new(1.0, 1.0);
+        let a = Tensor::new(vec![0], vec![1], vec![z]).unwrap();
+        let b = Tensor::new(vec![0], vec![1], vec![z]).unwrap();
+        let r = contract(&a, &b).unwrap();
+        assert!(r.get(&[]).approx_eq(Complex64::new(0.0, 2.0), 1e-12));
+    }
+}

@@ -1,0 +1,64 @@
+//! The nine-compressor comparison on real QTensor tensors (E2 in miniature).
+//!
+//! Run with: `cargo run --release --example compressor_comparison`
+
+use qcf::prelude::*;
+use tensornet::planes::as_interleaved;
+use tensornet::stats::{distinct_values, ValueStats};
+
+fn main() {
+    // Capture a pool of real intermediates from a mid-size instance.
+    let graph = Graph::random_regular(30, 3, 11);
+    let params = QaoaParams::fixed_angles_3reg_p2();
+    let mut trace = TraceHook::new(1024, 6);
+    Simulator::default().energy_with_hook(&graph, &params, &mut trace).unwrap();
+
+    // Each tensor is compressed individually (as in the real system, where
+    // intermediates are compressed as they are produced); the table reports
+    // aggregates over the tensor set.
+    let tensors: Vec<Vec<f64>> =
+        trace.captured().iter().map(|t| as_interleaved(t.data()).to_vec()).collect();
+    let total: usize = tensors.iter().map(|t| t.len()).sum();
+    for (i, t) in tensors.iter().enumerate() {
+        let stats = ValueStats::of(t, 1e-7);
+        println!(
+            "tensor {i}: {:>6} doubles | range [{:>6.3}, {:>6.3}] | near-zero {:>5.1}% | {:>4} distinct",
+            t.len(),
+            stats.min,
+            stats.max,
+            stats.near_zero_frac * 100.0,
+            distinct_values(t),
+        );
+    }
+    println!();
+
+    let bound = ErrorBound::Rel(1e-4);
+    println!(
+        "{:<10} {:>10} {:>12} {:>14} {:>14}",
+        "compressor", "CR", "max err", "comp (GB/s)", "decomp (GB/s)"
+    );
+    let mut comps = all_compressors();
+    comps.push(Box::new(QcfCompressor::ratio()));
+    comps.push(Box::new(QcfCompressor::speed()));
+    for comp in &comps {
+        let mut compressed = 0usize;
+        let mut max_err = 0.0f64;
+        let (mut t_comp, mut t_decomp) = (0.0f64, 0.0f64);
+        for t in &tensors {
+            let r = round_trip(comp.as_ref(), t, bound).expect("round trip failed");
+            compressed += r.compressed_bytes;
+            max_err = max_err.max(r.quality.max_abs_error);
+            t_comp += (t.len() * 8) as f64 / r.gpu_compress_bps;
+            t_decomp += (t.len() * 8) as f64 / r.gpu_decompress_bps;
+        }
+        println!(
+            "{:<10} {:>9.2}x {:>12.2e} {:>14.1} {:>14.1}",
+            comp.name(),
+            (total * 8) as f64 / compressed as f64,
+            max_err,
+            (total * 8) as f64 / t_comp / 1e9,
+            (total * 8) as f64 / t_decomp / 1e9,
+        );
+    }
+    println!("\n(throughputs are simulated-A100 numbers from the gpu-model cost model)");
+}

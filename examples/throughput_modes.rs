@@ -1,0 +1,61 @@
+//! Ratio mode vs speed mode: the framework's configurability (claim C2).
+//!
+//! Sweeps buffer sizes and shows that speed mode compresses at
+//! cuSZx-comparable simulated throughput while achieving several times the
+//! ratio, whereas ratio mode trades throughput for maximum compression.
+//!
+//! Run with: `cargo run --release --example throughput_modes`
+
+use qcf::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Synthetic QTensor-like buffer: small value alphabet + scattered
+/// near-zeros, interleaved complex (matches the E1 characterization).
+fn tensor_like(n_complex: usize, seed: u64) -> Vec<f64> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let alphabet: Vec<(f64, f64)> =
+        (0..96).map(|k| ((k as f64 * 0.41).cos() * 0.5, (k as f64 * 0.41).sin() * 0.5)).collect();
+    let mut out = Vec::with_capacity(n_complex * 2);
+    for _ in 0..n_complex {
+        if rng.gen::<f64>() < 0.55 {
+            out.push(rng.gen_range(-1e-8..1e-8));
+            out.push(rng.gen_range(-1e-8..1e-8));
+        } else {
+            let (re, im) = alphabet[rng.gen_range(0..alphabet.len())];
+            out.push(re);
+            out.push(im);
+        }
+    }
+    out
+}
+
+fn main() {
+    let bound = ErrorBound::Abs(1e-4);
+    println!(
+        "{:>12} | {:<10} {:>8} {:>13} | {:<10} {:>8} {:>13}",
+        "elements", "mode", "CR", "comp GB/s", "baseline", "CR", "comp GB/s"
+    );
+    for exp in [16u32, 18, 20, 22] {
+        let data = tensor_like(1usize << (exp - 1), exp as u64);
+        let pairs: [(Box<dyn Compressor>, Box<dyn Compressor>); 2] = [
+            (Box::new(QcfCompressor::speed()), by_name("cuSZx").unwrap()),
+            (Box::new(QcfCompressor::ratio()), by_name("cuSZ").unwrap()),
+        ];
+        for (ours, baseline) in pairs {
+            let r1 = round_trip(ours.as_ref(), &data, bound).unwrap();
+            let r2 = round_trip(baseline.as_ref(), &data, bound).unwrap();
+            println!(
+                "{:>12} | {:<10} {:>7.1}x {:>13.1} | {:<10} {:>7.1}x {:>13.1}",
+                1usize << exp,
+                r1.name,
+                r1.quality.compression_ratio,
+                r1.gpu_compress_bps / 1e9,
+                r2.name,
+                r2.quality.compression_ratio,
+                r2.gpu_compress_bps / 1e9,
+            );
+        }
+    }
+    println!("\nspeed mode should sit near cuSZx's throughput column with a multiple of its CR;");
+    println!("ratio mode should dominate every CR column at lower (cuSZ-class) throughput.");
+}

@@ -1,0 +1,59 @@
+//! # QCF — an error-bounded compression framework for quantum circuit simulations
+//!
+//! Rust reproduction of *GPU-Accelerated Error-Bounded Compression Framework
+//! for Quantum Circuit Simulations* (Shah, Yu, Di, Lykov, Alexeev, Becchi,
+//! Cappello — IPDPS 2023). This facade crate re-exports the workspace:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`tensornet`] | complex tensors with named indices, einsum |
+//! | [`qcircuit`]  | gates, circuits, QAOA MaxCut workloads |
+//! | [`qtensor`]   | tensor-network simulator + compressed contraction |
+//! | [`gpu_model`] | simulated A100: kernels, streams, memory accounting |
+//! | [`codec_kit`] | bit I/O, Huffman, LZ77, RLE, bit-packing |
+//! | [`compressors`] | the nine evaluated compressors |
+//! | [`qcf_core`]  | **the paper's contribution**: pipeline, modes, fidelity |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qcf::prelude::*;
+//!
+//! // A QAOA MaxCut instance...
+//! let graph = Graph::random_regular(10, 3, 7);
+//! let params = QaoaParams::fixed_angles_3reg_p1();
+//!
+//! // ...simulated exactly...
+//! let exact = Simulator::default().energy(&graph, &params).unwrap().energy;
+//!
+//! // ...and with every intermediate tensor compressed at 1e-4.
+//! let framework = QcfCompressor::ratio();
+//! let mut hook = CompressingHook::new(&framework, ErrorBound::Abs(1e-4), 2);
+//! let compressed = Simulator::default()
+//!     .energy_with_hook(&graph, &params, &mut hook)
+//!     .unwrap()
+//!     .energy;
+//!
+//! assert!((exact - compressed).abs() / exact < 0.05);
+//! ```
+
+pub use codec_kit;
+pub use compressors;
+pub use gpu_model;
+pub use qcf_core;
+pub use qcircuit;
+pub use qtensor;
+pub use tensornet;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use compressors::{
+        all_compressors, by_name, round_trip, Compressor, CompressorKind, ErrorBound,
+    };
+    pub use gpu_model::{DeviceSpec, Stream};
+    pub use qcf_core::{Mode, QcfCompressor, StageToggles};
+    pub use qcircuit::{qaoa_circuit, Circuit, Gate, Graph, QaoaParams};
+    pub use qtensor::compressed::{CompressingHook, NoiseHook};
+    pub use qtensor::{Simulator, StateVector, TraceHook};
+    pub use tensornet::{Complex64, Tensor};
+}

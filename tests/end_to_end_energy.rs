@@ -1,0 +1,112 @@
+//! End-to-end integration: statevector oracle ↔ tensor network ↔ compressed
+//! contraction, across instances and both framework modes (claim C3).
+
+use qcf::prelude::*;
+
+fn exact_and_check_oracle(graph: &Graph, params: &QaoaParams) -> f64 {
+    let sim = Simulator::default();
+    let e = sim.energy(graph, params).expect("tensor network run").energy;
+    if graph.n() <= 18 {
+        let sv = StateVector::run(&qcircuit::qaoa_circuit(graph, params));
+        let truth = sv.maxcut_energy(graph);
+        assert!(
+            (e - truth).abs() < 1e-8,
+            "tensor network {e} disagrees with statevector {truth}"
+        );
+    }
+    e
+}
+
+#[test]
+fn energy_within_five_percent_at_modest_bounds() {
+    // The abstract's C3: decompressed tensors yield energies within 1-5 %.
+    for (n, seed) in [(12usize, 5u64), (16, 6), (18, 7)] {
+        let graph = Graph::random_regular(n, 3, seed);
+        let params = QaoaParams::fixed_angles_3reg_p2();
+        let exact = exact_and_check_oracle(&graph, &params);
+        for mode in [QcfCompressor::ratio(), QcfCompressor::speed()] {
+            let mut hook = CompressingHook::new(&mode, ErrorBound::Abs(1e-3), 2);
+            let e = Simulator::default()
+                .energy_with_hook(&graph, &params, &mut hook)
+                .expect("compressed run")
+                .energy;
+            let rel = (e - exact).abs() / exact;
+            assert!(
+                rel < 0.05,
+                "{} on N={n}: {:.2}% energy error at eb=1e-3",
+                mode.name(),
+                rel * 100.0
+            );
+            assert!(hook.stats.tensors_compressed > 0, "nothing was compressed");
+        }
+    }
+}
+
+#[test]
+fn tighter_bounds_converge_to_exact() {
+    let graph = Graph::random_regular(14, 3, 8);
+    let params = QaoaParams::fixed_angles_3reg_p2();
+    let exact = exact_and_check_oracle(&graph, &params);
+    let framework = QcfCompressor::ratio();
+    let mut last_err = f64::INFINITY;
+    for eb in [1e-2, 1e-4, 1e-6, 1e-8] {
+        let mut hook = CompressingHook::new(&framework, ErrorBound::Abs(eb), 2);
+        let e = Simulator::default()
+            .energy_with_hook(&graph, &params, &mut hook)
+            .expect("compressed run")
+            .energy;
+        let err = (e - exact).abs();
+        assert!(
+            err <= last_err * 4.0 + 1e-12,
+            "error should broadly shrink with the bound: {err} after {last_err}"
+        );
+        last_err = err;
+    }
+    assert!(last_err < 1e-5, "at eb=1e-8 the energy should be essentially exact");
+}
+
+#[test]
+fn compression_shrinks_intermediate_footprint() {
+    let graph = Graph::random_regular(22, 3, 13);
+    let params = QaoaParams::fixed_angles_3reg_p2();
+    let framework = QcfCompressor::ratio();
+    let mut hook = CompressingHook::new(&framework, ErrorBound::Abs(1e-4), 64);
+    Simulator::default().energy_with_hook(&graph, &params, &mut hook).expect("run");
+    assert!(
+        hook.stats.ratio() > 3.0,
+        "intermediates should compress well, got {:.2}x",
+        hook.stats.ratio()
+    );
+    assert!(hook.stats.compressed_bytes < hook.stats.uncompressed_bytes);
+}
+
+#[test]
+fn per_edge_terms_stay_physical_under_compression() {
+    // ⟨Z_a Z_b⟩ must stay in [-1, 1] (up to bound-sized slack) even with
+    // lossy tensors.
+    let graph = Graph::cycle(12);
+    let params = QaoaParams::new(vec![0.7, 0.4], vec![0.2, 0.6]);
+    let framework = QcfCompressor::speed();
+    let mut hook = CompressingHook::new(&framework, ErrorBound::Abs(1e-3), 2);
+    let report = Simulator::default()
+        .energy_with_hook(&graph, &params, &mut hook)
+        .expect("compressed run");
+    for (i, &zz) in report.zz_terms.iter().enumerate() {
+        assert!(zz.abs() < 1.05, "edge {i}: ⟨ZZ⟩ = {zz} left the physical range");
+    }
+}
+
+#[test]
+fn erdos_renyi_and_complete_graphs_work_too() {
+    let params = QaoaParams::new(vec![0.5], vec![0.3]);
+    for graph in [Graph::erdos_renyi(12, 0.3, 17), Graph::complete(8)] {
+        let exact = exact_and_check_oracle(&graph, &params);
+        let framework = QcfCompressor::ratio();
+        let mut hook = CompressingHook::new(&framework, ErrorBound::Abs(1e-4), 2);
+        let e = Simulator::default()
+            .energy_with_hook(&graph, &params, &mut hook)
+            .expect("compressed run")
+            .energy;
+        assert!((e - exact).abs() / exact.abs().max(1e-9) < 0.02);
+    }
+}

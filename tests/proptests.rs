@@ -1,0 +1,119 @@
+//! Workspace-level property tests: the invariants that must hold for *any*
+//! input, not just the evaluation corpus.
+
+use proptest::prelude::*;
+use qcf::prelude::*;
+
+fn any_f64_buffer() -> impl Strategy<Value = Vec<f64>> {
+    // Finite values across magnitudes, plus heavy repetition and zeros —
+    // the regimes the compressors branch on.
+    let val = prop_oneof![
+        4 => -1.0f64..1.0,
+        2 => Just(0.0f64),
+        1 => -1e-9f64..1e-9,
+        1 => -1e6f64..1e6,
+        1 => 0.24f64..0.26,
+    ];
+    prop::collection::vec(val, 0..700)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn error_bounded_compressors_respect_any_abs_bound(
+        data in any_f64_buffer(),
+        eb_exp in -8i32..-1,
+    ) {
+        let eb = 10f64.powi(eb_exp);
+        let bound = ErrorBound::Abs(eb);
+        let mut comps: Vec<Box<dyn Compressor>> = vec![
+            by_name("cuSZ").unwrap(),
+            by_name("cuSZx").unwrap(),
+            by_name("cuZFP").unwrap(),
+            Box::new(QcfCompressor::ratio()),
+            Box::new(QcfCompressor::speed()),
+        ];
+        comps.push(Box::new(QcfCompressor::with_stages(
+            qcf_core::Mode::Ratio,
+            qcf_core::StageToggles::none(),
+        )));
+        for comp in &comps {
+            let r = round_trip(comp.as_ref(), &data, bound).expect("round trip");
+            prop_assert_eq!(r.reconstructed.len(), data.len());
+            // eb plus buffer-magnitude ULP slack (fp rounding of the
+            // reconstruction arithmetic; see metrics::assert_bound).
+            let max_abs = data
+                .iter()
+                .chain(&r.reconstructed)
+                .fold(0.0f64, |m, &v| m.max(v.abs()));
+            let tol = eb * (1.0 + 1e-9) + max_abs * 16.0 * f64::EPSILON;
+            for (i, (a, b)) in data.iter().zip(&r.reconstructed).enumerate() {
+                prop_assert!(
+                    (a - b).abs() <= tol,
+                    "{} at {}: |{} - {}| > {}", comp.name(), i, a, b, eb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_compressors_are_bit_exact_on_anything(data in any_f64_buffer()) {
+        for name in ["LZ4", "Snappy", "GDeflate", "Cascaded", "Bitcomp", "memcpy"] {
+            let comp = by_name(name).unwrap();
+            let r = round_trip(comp.as_ref(), &data, ErrorBound::Abs(1e-3)).expect("round trip");
+            for (a, b) in data.iter().zip(&r.reconstructed) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{} altered bits", name);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_streams_never_panic(
+        data in prop::collection::vec(-1.0f64..1.0, 1..200),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let stream = Stream::new(DeviceSpec::a100());
+        let mut comps = all_compressors();
+        comps.push(Box::new(QcfCompressor::ratio()));
+        comps.push(Box::new(QcfCompressor::speed()));
+        for comp in &comps {
+            let bytes = comp.compress(&data, ErrorBound::Abs(1e-3), &stream).unwrap();
+            let cut = ((bytes.len() as f64) * cut_frac) as usize;
+            // Must return an error or wrong-length data — never panic.
+            let _ = comp.decompress(&bytes[..cut.min(bytes.len().saturating_sub(1))], &stream);
+        }
+    }
+
+    #[test]
+    fn random_circuit_energy_matches_statevector(
+        seed in 0u64..500,
+        n in 4usize..9,
+    ) {
+        let graph = Graph::erdos_renyi(n, 0.5, seed);
+        if graph.m() == 0 {
+            return Ok(());
+        }
+        let params = QaoaParams::new(vec![0.3 + (seed % 7) as f64 * 0.1], vec![0.2]);
+        let circuit = qcircuit::qaoa_circuit(&graph, &params);
+        let sv = StateVector::run(&circuit);
+        let tn = Simulator::default().energy(&graph, &params).unwrap().energy;
+        prop_assert!((sv.maxcut_energy(&graph) - tn).abs() < 1e-8);
+    }
+
+    #[test]
+    fn compressed_energy_error_bounded_by_loose_envelope(
+        seed in 0u64..100,
+    ) {
+        let graph = Graph::random_regular(8, 3, seed);
+        let params = QaoaParams::fixed_angles_3reg_p1();
+        let sim = Simulator::default();
+        let exact = sim.energy(&graph, &params).unwrap().energy;
+        let framework = QcfCompressor::speed();
+        let mut hook = CompressingHook::new(&framework, ErrorBound::Abs(1e-5), 2);
+        let e = sim.energy_with_hook(&graph, &params, &mut hook).unwrap().energy;
+        // Loose envelope: 1e-5 pointwise noise cannot move a p=1 energy of a
+        // dozen edges by a percent.
+        prop_assert!((e - exact).abs() / exact < 0.01);
+    }
+}
