@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 CI: build, lint, and test the whole workspace.
+#
+# The parallel executor sizes its pool from the host; QCF_WORKERS=4 forces
+# the multi-threaded code paths even on small machines, so the second test
+# pass exercises genuine block-parallel execution and the determinism
+# guarantees (parallel == serial, bit for bit).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== test (default workers) =="
+cargo test -q --workspace
+
+echo "== test (QCF_WORKERS=4) =="
+QCF_WORKERS=4 cargo test -q --workspace
+
+echo "CI OK"

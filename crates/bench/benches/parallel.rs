@@ -1,0 +1,95 @@
+//! Serial vs parallel hot paths: the data-parallel executor's effect on
+//! contraction and QCF compression throughput.
+//!
+//! The parallel entry points degrade to the serial walk when
+//! `worker_count() == 1`, so on a single-core host the two sides should be
+//! within noise of each other; set `QCF_WORKERS=<n>` to force the threaded
+//! paths. Results feed `BENCH_parallel.json` at the repo root.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use compressors::{Compressor, ErrorBound};
+use gpu_model::{DeviceSpec, Stream};
+use qcf_core::QcfCompressor;
+use rand::{Rng, SeedableRng};
+use tensornet::{
+    contract, contract_serial, multiply_keep, multiply_keep_serial, Complex64, Tensor,
+};
+
+fn random_tensor(labels: &[u32], dims: &[usize], seed: u64) -> Tensor {
+    let total: usize = dims.iter().product();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let data: Vec<Complex64> = (0..total)
+        .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect();
+    Tensor::new(labels.to_vec(), dims.to_vec(), data).unwrap()
+}
+
+fn bench_contract(c: &mut Criterion) {
+    // m = 2048, n = 64, k = 32: well past the parallel cutover.
+    let a = random_tensor(&[0, 1, 2], &[64, 32, 32], 41);
+    let b = random_tensor(&[2, 3], &[32, 64], 42);
+    let mut group = c.benchmark_group("parallel/contract");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements((2048 * 64 * 32) as u64));
+    group.bench_function("serial", |bch| {
+        bch.iter(|| contract_serial(black_box(&a), black_box(&b)).unwrap())
+    });
+    group.bench_function("parallel", |bch| {
+        bch.iter(|| contract(black_box(&a), black_box(&b)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_multiply_keep(c: &mut Criterion) {
+    // Union output 32·16·16·32 = 262144 elements.
+    let a = random_tensor(&[0, 1, 2], &[32, 16, 16], 43);
+    let b = random_tensor(&[2, 3], &[16, 32], 44);
+    let mut group = c.benchmark_group("parallel/multiply_keep");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(262_144));
+    group.bench_function("serial", |bch| {
+        bch.iter(|| multiply_keep_serial(black_box(&a), black_box(&b)).unwrap())
+    });
+    group.bench_function("parallel", |bch| {
+        bch.iter(|| multiply_keep(black_box(&a), black_box(&b)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_qcf_compress(c: &mut Criterion) {
+    let n = 1usize << 18;
+    let data: Vec<f64> = (0..n).map(|i| (i as f64 * 0.013).sin() * 0.4).collect();
+    let mut group = c.benchmark_group("parallel/qcf_compress");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Bytes((n * 8) as u64));
+    for (name, comp) in
+        [("ratio", QcfCompressor::ratio()), ("speed", QcfCompressor::speed())]
+    {
+        group.bench_function(name, |bch| {
+            let stream = Stream::new(DeviceSpec::a100());
+            bch.iter(|| {
+                comp.compress(black_box(&data), ErrorBound::Abs(1e-4), &stream).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn report_workers(c: &mut Criterion) {
+    // One line of context so recorded numbers are interpretable.
+    eprintln!(
+        "parallel bench context: worker_count={} (QCF_WORKERS={:?})",
+        gpu_model::exec::worker_count(),
+        std::env::var("QCF_WORKERS").ok()
+    );
+    let _ = c;
+}
+
+criterion_group!(benches, report_workers, bench_contract, bench_multiply_keep, bench_qcf_compress);
+criterion_main!(benches);

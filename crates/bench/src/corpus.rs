@@ -16,7 +16,6 @@ use qcircuit::{Graph, QaoaParams};
 use qtensor::{Simulator, TraceHook};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
 use tensornet::planes::as_interleaved;
 use tensornet::stats::{distinct_values, ValueStats};
 
@@ -39,7 +38,7 @@ impl CorpusTensor {
 }
 
 /// E1 characterization record for one tensor.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Characterization {
     /// Provenance label.
     pub origin: String,

@@ -1,11 +1,10 @@
 //! Result tables: aligned text for the terminal, JSON for regeneration
 //! records (EXPERIMENTS.md cites these).
 
-use serde::Serialize;
 use std::io::Write;
 
 /// One experiment artifact (a table or figure-as-table).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id (`e1`…`e9`).
     pub id: String,
@@ -83,6 +82,30 @@ impl Table {
         println!();
     }
 
+    /// Renders the JSON record (pretty-printed, two-space indent).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str(&format!("  \"columns\": {},\n", json_str_array(&self.columns, "  ")));
+        out.push_str("  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&json_str_array(row, "    "));
+        }
+        if self.rows.is_empty() {
+            out.push_str("],\n");
+        } else {
+            out.push_str("\n  ],\n");
+        }
+        out.push_str(&format!("  \"notes\": {}\n", json_str_array(&self.notes, "  ")));
+        out.push('}');
+        out
+    }
+
     /// Writes the JSON record to `dir/<id>[-<k>].json`.
     pub fn save_json(&self, dir: &std::path::Path, suffix: Option<usize>) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
@@ -91,9 +114,32 @@ impl Table {
             None => format!("{}.json", self.id),
         };
         let mut f = std::fs::File::create(dir.join(name))?;
-        let json = serde_json::to_string_pretty(self).expect("table serializes");
-        f.write_all(json.as_bytes())
+        f.write_all(self.to_json().as_bytes())
     }
+}
+
+/// JSON string literal with the escapes the control set requires.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String], _indent: &str) -> String {
+    let body: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", body.join(", "))
 }
 
 /// Formats a ratio like `12.3x`.
@@ -146,9 +192,16 @@ mod tests {
     fn json_roundtrip_shape() {
         let mut t = Table::new("e2", "cr", &["c"]);
         t.row(vec!["1.0".into()]);
-        let v = serde_json::to_value(&t).unwrap();
-        assert_eq!(v["id"], "e2");
-        assert_eq!(v["rows"][0][0], "1.0");
+        let v = t.to_json();
+        assert!(v.contains("\"id\": \"e2\""), "{v}");
+        assert!(v.contains("[\"1.0\"]"), "{v}");
+        assert!(v.contains("\"columns\": [\"c\"]"), "{v}");
+    }
+
+    #[test]
+    fn json_escapes_special_chars() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::error::CodecError;
 
 /// Accumulating LSB-first bit writer.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct BitWriter {
     out: Vec<u8>,
     acc: u64,
@@ -51,6 +51,24 @@ impl BitWriter {
     pub fn write_u64(&mut self, value: u64) {
         self.write_bits(value & 0xFFFF_FFFF, 32);
         self.write_bits(value >> 32, 32);
+    }
+
+    /// Appends every bit written to `other`, in order, with no alignment —
+    /// the output is bit-for-bit what writing `other`'s sequence directly
+    /// would have produced. This is what lets block encoders emit into
+    /// private writers in parallel and concatenate deterministically.
+    pub fn append(&mut self, other: &BitWriter) {
+        if self.nbits == 0 {
+            self.out.extend_from_slice(&other.out);
+        } else {
+            for &b in &other.out {
+                self.write_bits(b as u64, 8);
+            }
+        }
+        if other.nbits > 0 {
+            // the accumulator always holds < 8 residual bits
+            self.write_bits(other.acc, other.nbits);
+        }
     }
 
     /// Pads with zero bits to a byte boundary.
@@ -237,6 +255,35 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         let v = r.peek_bits(20);
         assert_eq!(v & 0xFF, 0x01);
+    }
+
+    #[test]
+    fn append_matches_direct_writes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        let items: Vec<(u64, u32)> = (0..2_000)
+            .map(|_| {
+                let n = rng.gen_range(1..=57u32);
+                (rng.gen::<u64>() & ((1u64 << n) - 1), n)
+            })
+            .collect();
+        // Direct: one writer sees the whole sequence.
+        let mut direct = BitWriter::new();
+        for &(v, n) in &items {
+            direct.write_bits(v, n);
+        }
+        // Split: arbitrary segments written to private writers, appended.
+        for split_at in [0, 1, 137, 1000, 1999, 2000] {
+            let mut w = BitWriter::new();
+            for part in [&items[..split_at], &items[split_at..]] {
+                let mut sub = BitWriter::new();
+                for &(v, n) in part {
+                    sub.write_bits(v, n);
+                }
+                w.append(&sub);
+            }
+            assert_eq!(w.clone().finish(), direct.clone().finish(), "split {split_at}");
+        }
     }
 
     #[test]

@@ -11,15 +11,29 @@ use crate::bitio::{BitReader, BitWriter};
 use crate::error::CodecError;
 use crate::huffman::{histogram, HuffmanDecoder, HuffmanEncoder};
 use crate::varint::{read_uvarint, write_uvarint};
+use gpu_model::exec::par_map_blocks;
 
 /// Symbols per chunk (cuSZ uses a few thousand per thread block).
 pub const DEFAULT_CHUNK: usize = 4096;
 
+/// Symbols per parallel histogram block.
+const HIST_BLOCK: usize = 1 << 15;
+
 /// Encodes `symbols` over `alphabet_size` into a self-contained chunked
 /// stream: codebook, gap array, then byte-aligned per-chunk payloads.
+///
+/// Both passes run block-parallel: partial histograms merge by addition
+/// (order-independent), and each chunk encodes into a private writer — the
+/// emitted stream is byte-for-byte the serial one for any worker count.
 pub fn encode_chunked(symbols: &[u32], alphabet_size: usize, chunk: usize) -> Vec<u8> {
     assert!(chunk > 0, "chunk size must be positive");
-    let freqs = histogram(symbols, alphabet_size);
+    let partials = par_map_blocks(symbols, HIST_BLOCK, |_, c| histogram(c, alphabet_size));
+    let mut freqs = vec![0u64; alphabet_size];
+    for p in &partials {
+        for (f, x) in freqs.iter_mut().zip(p) {
+            *f += x;
+        }
+    }
     let enc = HuffmanEncoder::from_freqs(&freqs);
 
     let mut out = Vec::with_capacity(symbols.len() / 2 + 64);
@@ -28,12 +42,11 @@ pub fn encode_chunked(symbols: &[u32], alphabet_size: usize, chunk: usize) -> Ve
     enc.write_table(&mut out);
 
     // Encode each chunk byte-aligned; record its compressed length.
-    let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(symbols.len().div_ceil(chunk));
-    for c in symbols.chunks(chunk) {
+    let payloads: Vec<Vec<u8>> = par_map_blocks(symbols, chunk, |_, c| {
         let mut w = BitWriter::with_capacity(c.len());
         enc.encode_all(&mut w, c);
-        payloads.push(w.finish());
-    }
+        w.finish()
+    });
     // Gap array: cumulative byte offsets (varint deltas = chunk lengths).
     write_uvarint(&mut out, payloads.len() as u64);
     for p in &payloads {
@@ -47,18 +60,25 @@ pub fn encode_chunked(symbols: &[u32], alphabet_size: usize, chunk: usize) -> Ve
 
 /// Decodes a stream produced by [`encode_chunked`].
 ///
-/// Chunks are independent; this implementation decodes them sequentially but
-/// the layout admits arbitrary per-chunk parallelism (verified by the
-/// `chunks_decode_independently` test).
+/// The gap array makes every chunk independently decodable, so chunks fan
+/// out over the executor and the results concatenate in chunk order.
 pub fn decode_chunked(data: &[u8]) -> Result<Vec<u32>, CodecError> {
     let mut pos = 0usize;
     let (n, chunk, dec, lens, payload_start) = read_header(data, &mut pos)?;
-    let mut out = Vec::with_capacity(n);
+    // (byte offset, byte length, symbol count) per chunk, from the gap array.
+    let mut meta = Vec::with_capacity(lens.len());
     let mut offset = payload_start;
     for (k, &len) in lens.iter().enumerate() {
-        let want = chunk.min(n - k * chunk);
-        out.extend(decode_one_chunk(data, offset, len, &dec, want)?);
+        meta.push((offset, len, chunk.min(n - k * chunk)));
         offset += len;
+    }
+    let pieces = par_map_blocks(&meta, 1, |_, m| {
+        let (offset, len, want) = m[0];
+        Some(decode_one_chunk(data, offset, len, &dec, want))
+    });
+    let mut out = Vec::with_capacity(n);
+    for piece in pieces {
+        out.extend(piece.expect("one meta entry per block")?);
     }
     if out.len() != n {
         return Err(CodecError::Corrupt("chunked stream element count mismatch"));

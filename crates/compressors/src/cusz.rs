@@ -24,6 +24,7 @@ use crate::traits::{
 use codec_kit::chunked::{decode_chunked, encode_chunked, DEFAULT_CHUNK};
 use codec_kit::varint::{read_ivarint, read_uvarint, write_ivarint, write_uvarint};
 use codec_kit::CodecError;
+use gpu_model::exec::par_map_blocks;
 use gpu_model::{KernelSpec, MemoryPattern, Stream};
 
 /// Stream id of cuSZ.
@@ -60,25 +61,45 @@ impl CuSz {
     }
 }
 
+/// Values per parallel dual-quant block.
+const QUANT_BLOCK: usize = 1 << 14;
+
 /// Quantizes into (symbols, outliers); shared with the framework crate.
+///
+/// Block-parallel: `δ_i` depends only on `ep_i` and `ep_{i−1}`, both pure
+/// functions of the input, so each block re-derives its predecessor's `ep`
+/// from `data[lo−1]` and proceeds independently. Blocks concatenate in
+/// index order — symbols and the outlier list are identical to the serial
+/// single-pass walk.
 pub(crate) fn dual_quant(
     data: &[f64],
     twoeb: f64,
     radius: i64,
 ) -> (Vec<u32>, Vec<(usize, i64)>) {
+    let parts = par_map_blocks(data, QUANT_BLOCK, |b, chunk| {
+        let base = b * QUANT_BLOCK;
+        let mut symbols = Vec::with_capacity(chunk.len());
+        let mut outliers = Vec::new();
+        let mut prev_ep =
+            if base == 0 { 0i64 } else { (data[base - 1] / twoeb).round() as i64 };
+        for (j, &x) in chunk.iter().enumerate() {
+            let ep = (x / twoeb).round() as i64;
+            let delta = ep - prev_ep;
+            if delta > -radius && delta < radius {
+                symbols.push((delta + radius) as u32);
+            } else {
+                symbols.push(0);
+                outliers.push((base + j, ep));
+            }
+            prev_ep = ep;
+        }
+        (symbols, outliers)
+    });
     let mut symbols = Vec::with_capacity(data.len());
     let mut outliers = Vec::new();
-    let mut prev_ep = 0i64;
-    for (i, &x) in data.iter().enumerate() {
-        let ep = (x / twoeb).round() as i64;
-        let delta = ep - prev_ep;
-        if delta > -radius && delta < radius {
-            symbols.push((delta + radius) as u32);
-        } else {
-            symbols.push(0);
-            outliers.push((i, ep));
-        }
-        prev_ep = ep;
+    for (s, o) in &parts {
+        symbols.extend_from_slice(s);
+        outliers.extend_from_slice(o);
     }
     (symbols, outliers)
 }

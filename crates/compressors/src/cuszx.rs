@@ -20,6 +20,7 @@ use codec_kit::bitpack::{pack, required_width, unpack};
 use codec_kit::varint::{read_uvarint, write_uvarint};
 use codec_kit::varint::{unzigzag, zigzag};
 use codec_kit::CodecError;
+use gpu_model::exec::par_map_blocks;
 use gpu_model::{KernelSpec, MemoryPattern, Stream};
 
 /// Stream id of cuSZx.
@@ -82,16 +83,24 @@ impl Compressor for CuSzx {
 
         // Single fused kernel: block stats + classification + packing.
         // SZx reads each value twice (stats pass, emit pass) within the
-        // block — still streaming-class traffic.
+        // block — still streaming-class traffic. Each block encodes into a
+        // private writer in parallel; blocks are not byte-aligned in the
+        // stream, so the writers concatenate at bit granularity
+        // (`BitWriter::append`), reproducing the serial stream exactly.
         let payload = stream.launch(
             &KernelSpec::streaming("szx::fused_block_encode", 2 * nbytes, nbytes / 3)
                 .with_pattern(MemoryPattern::Strided)
                 .with_flops((n * 3) as u64),
             || {
-                let mut w = BitWriter::with_capacity(n);
                 let twoeb = 2.0 * eb;
-                for block in data.chunks(bs) {
+                let parts = par_map_blocks(data, bs, |_, block| {
+                    let mut w = BitWriter::with_capacity(block.len());
                     encode_block(block, eb, twoeb, &mut w);
+                    w
+                });
+                let mut w = BitWriter::with_capacity(n);
+                for part in &parts {
+                    w.append(part);
                 }
                 w.finish()
             },

@@ -21,8 +21,10 @@
 
 use crate::dict;
 use crate::stages::{
-    dedup_blocks, read_refs, reassemble_blocks, write_refs, zero_collapse, zero_frac,
+    dedup_blocks, deinterleave, interleave, read_refs, reassemble_blocks, write_refs,
+    zero_collapse, zero_frac,
 };
+use std::borrow::Cow;
 use compressors::cusz::CuSz;
 use compressors::cuszx::CuSzx;
 use compressors::lz4::{lz4_decode_block, lz4_encode_block};
@@ -150,9 +152,13 @@ impl QcfCompressor {
 
     /// Encodes one plane: optional collapse → optional dedup → backend →
     /// optional tail. Writes a self-describing plane stream to `out`.
+    ///
+    /// The plane stays borrowed until zero collapse actually engages —
+    /// only then is a mutable copy materialized (`Cow::to_mut`); owned
+    /// planes are collapsed in place with no copy at all.
     fn encode_plane(
         &self,
-        plane: &mut [f64],
+        mut plane: Cow<'_, [f64]>,
         abs_eb: f64,
         stream: &Stream,
         out: &mut Vec<u8>,
@@ -170,11 +176,11 @@ impl QcfCompressor {
                 Mode::Ratio => stream.launch(
                     &KernelSpec::streaming("qcf::dict_build", nbytes, nbytes / 2)
                         .with_flops(2 * plane.len() as u64),
-                    || dict::quantize(plane, abs_eb),
+                    || dict::quantize(&plane, abs_eb),
                 ),
                 // Speed: quantize + table insert + emission fuse into one
                 // kernel below; the build itself is charged there.
-                Mode::Speed => dict::quantize(plane, abs_eb),
+                Mode::Speed => dict::quantize(&plane, abs_eb),
             };
             if let Some(q) = quantized {
                 let mut body = Vec::with_capacity(plane.len() / 4 + 64);
@@ -217,12 +223,12 @@ impl QcfCompressor {
             let threshold = abs_eb / 2.0;
             let frac = stream.launch(
                 &KernelSpec::streaming("qcf::zero_probe", nbytes, 0),
-                || zero_frac(plane, threshold),
+                || zero_frac(&plane, threshold),
             );
             if frac >= COLLAPSE_MIN_FRAC {
                 stream.launch(
                     &KernelSpec::streaming("qcf::zero_collapse", nbytes, nbytes),
-                    || zero_collapse(plane, threshold),
+                    || zero_collapse(plane.to_mut(), threshold),
                 );
                 backend_eb = abs_eb / 2.0;
                 flags |= 1;
@@ -236,7 +242,7 @@ impl QcfCompressor {
             let d = stream.launch(
                 &KernelSpec::streaming("qcf::dedup_hash", nbytes, nbytes / 64)
                     .with_pattern(MemoryPattern::Strided),
-                || dedup_blocks(plane, DEDUP_BLOCK),
+                || dedup_blocks(&plane, DEDUP_BLOCK),
             );
             if d.dup_frac() >= DEDUP_MIN_FRAC {
                 flags |= 2;
@@ -246,7 +252,7 @@ impl QcfCompressor {
 
         let backend_stream = match &deduped {
             Some(d) => backend.compress(&d.unique, ErrorBound::Abs(backend_eb), stream)?,
-            None => backend.compress(plane, ErrorBound::Abs(backend_eb), stream)?,
+            None => backend.compress(&plane, ErrorBound::Abs(backend_eb), stream)?,
         };
 
         let mut body = Vec::with_capacity(backend_stream.len() + 64);
@@ -428,23 +434,35 @@ impl Compressor for QcfCompressor {
                 Mode::Speed => KernelSpec::streaming("qcf::deinterleave_fused", 0, 0)
                     .with_flops(n as u64),
             };
-            let (mut re, mut im) = stream.launch(
-                &deint_spec,
-                || {
-                    let mut re = Vec::with_capacity(n / 2);
-                    let mut im = Vec::with_capacity(n / 2);
-                    for pair in data.chunks_exact(2) {
-                        re.push(pair[0]);
-                        im.push(pair[1]);
-                    }
-                    (re, im)
-                },
-            );
-            self.encode_plane(&mut re, abs_eb, stream, &mut out)?;
-            self.encode_plane(&mut im, abs_eb, stream, &mut out)?;
+            let (re, im) = stream.launch(&deint_spec, || deinterleave(data));
+            // The planes are fully independent after the split, so encode
+            // them concurrently into separate buffers and concatenate —
+            // byte-identical to the sequential order. Stream time is charged
+            // at submission (see `gpu_model::Stream`), so the virtual clock
+            // is unaffected by the overlap.
+            if gpu_model::exec::worker_count() > 1 {
+                let (re_buf, im_buf) = std::thread::scope(|s| {
+                    let im_task = s.spawn(|| {
+                        let mut buf = Vec::new();
+                        self.encode_plane(Cow::Owned(im), abs_eb, stream, &mut buf)
+                            .map(|()| buf)
+                    });
+                    let mut buf = Vec::new();
+                    let re_res = self
+                        .encode_plane(Cow::Owned(re), abs_eb, stream, &mut buf)
+                        .map(|()| buf);
+                    (re_res, im_task.join().expect("plane encoder panicked"))
+                });
+                out.extend_from_slice(&re_buf?);
+                out.extend_from_slice(&im_buf?);
+            } else {
+                self.encode_plane(Cow::Owned(re), abs_eb, stream, &mut out)?;
+                self.encode_plane(Cow::Owned(im), abs_eb, stream, &mut out)?;
+            }
         } else {
-            let mut plane = data.to_vec();
-            self.encode_plane(&mut plane, abs_eb, stream, &mut out)?;
+            // Borrowed view: encode_plane copies only if zero collapse
+            // actually engages, instead of cloning the whole input up front.
+            self.encode_plane(Cow::Borrowed(data), abs_eb, stream, &mut out)?;
         }
         Ok(out)
     }
@@ -466,14 +484,7 @@ impl Compressor for QcfCompressor {
             let im = self.decode_plane(bytes, &mut pos, n / 2, stream)?;
             let out = stream.launch(
                 &KernelSpec::streaming("qcf::interleave", (n * 8) as u64, (n * 8) as u64),
-                || {
-                    let mut out = Vec::with_capacity(n);
-                    for (r, i) in re.iter().zip(&im) {
-                        out.push(*r);
-                        out.push(*i);
-                    }
-                    out
-                },
+                || interleave(&re, &im),
             );
             Ok(out)
         } else {

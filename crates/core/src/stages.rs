@@ -21,27 +21,86 @@ use codec_kit::bitio::{BitReader, BitWriter};
 use codec_kit::bitpack::{pack, unpack};
 use codec_kit::varint::{read_uvarint, write_uvarint};
 use codec_kit::CodecError;
+use gpu_model::exec::{par_chunks_mut, par_fill_blocks, par_map_blocks};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Values per parallel block for the element-wise stage kernels. Every
+/// stage below decomposes by index arithmetic into independent blocks, so
+/// the output is bit-identical for any worker count (see `gpu_model::exec`).
+const STAGE_BLOCK: usize = 1 << 14;
 
 /// Flushes values with `|v| ≤ threshold` to exact `+0.0` in place.
 /// Returns the number of values collapsed.
+///
+/// Block-parallel: each chunk is flushed independently and the per-chunk
+/// counts are summed (an order-independent reduction), so both the buffer
+/// and the count match the serial loop exactly.
 pub fn zero_collapse(values: &mut [f64], threshold: f64) -> usize {
-    let mut collapsed = 0usize;
-    for v in values.iter_mut() {
-        if v.abs() <= threshold {
-            *v = 0.0;
-            collapsed += 1;
+    let collapsed = AtomicUsize::new(0);
+    par_chunks_mut(values, STAGE_BLOCK, |_, chunk| {
+        let mut local = 0usize;
+        for v in chunk.iter_mut() {
+            if v.abs() <= threshold {
+                *v = 0.0;
+                local += 1;
+            }
         }
-    }
-    collapsed
+        collapsed.fetch_add(local, Ordering::Relaxed);
+    });
+    collapsed.into_inner()
 }
 
 /// Fraction of values a collapse at `threshold` would flush (cheap probe
-/// used by the framework's routing heuristics).
+/// used by the framework's routing heuristics). Parallel count over blocks.
 pub fn zero_frac(values: &[f64], threshold: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    values.iter().filter(|v| v.abs() <= threshold).count() as f64 / values.len() as f64
+    let counts = par_map_blocks(values, STAGE_BLOCK, |_, chunk| {
+        chunk.iter().filter(|v| v.abs() <= threshold).count()
+    });
+    counts.iter().sum::<usize>() as f64 / values.len() as f64
+}
+
+/// Splits interleaved `re, im, re, im, …` data into two planes (stage P1).
+/// Both gathers run block-parallel; every output element is an independent
+/// copy, so the planes are identical for any worker count.
+///
+/// # Panics
+/// Panics when the length is odd.
+pub fn deinterleave(data: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    assert!(data.len().is_multiple_of(2), "interleaved input must have even length");
+    let half = data.len() / 2;
+    let mut re = vec![0.0f64; half];
+    let mut im = vec![0.0f64; half];
+    par_fill_blocks(&mut re, STAGE_BLOCK, |_, range, chunk| {
+        for (j, slot) in range.zip(chunk.iter_mut()) {
+            *slot = data[2 * j];
+        }
+    });
+    par_fill_blocks(&mut im, STAGE_BLOCK, |_, range, chunk| {
+        for (j, slot) in range.zip(chunk.iter_mut()) {
+            *slot = data[2 * j + 1];
+        }
+    });
+    (re, im)
+}
+
+/// Re-interleaves two planes back into `re, im, re, im, …` order (the
+/// inverse of [`deinterleave`]), block-parallel over the output.
+///
+/// # Panics
+/// Panics when the planes differ in length.
+pub fn interleave(re: &[f64], im: &[f64]) -> Vec<f64> {
+    assert_eq!(re.len(), im.len(), "planes must have equal length");
+    let mut out = vec![0.0f64; re.len() * 2];
+    par_fill_blocks(&mut out, STAGE_BLOCK, |_, range, chunk| {
+        for (j, slot) in range.zip(chunk.iter_mut()) {
+            let plane = if j % 2 == 0 { re } else { im };
+            *slot = plane[j / 2];
+        }
+    });
+    out
 }
 
 /// Result of block deduplication.
@@ -70,24 +129,60 @@ impl Deduped {
     }
 }
 
+/// 64-bit FNV-1a over the bit patterns of a block (the parallel hash pass
+/// of [`dedup_blocks`]).
+fn block_fingerprint(chunk: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in chunk {
+        for byte in v.to_bits().to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// True when two blocks are bit-identical (NaN payloads and zero signs
+/// distinguish, matching the dedup contract).
+fn blocks_bit_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
 /// Splits `values` into `block_size` chunks and deduplicates bit-identical
 /// blocks. The trailing partial block is appended verbatim to `unique`.
+///
+/// Two passes: a block-parallel fingerprint pass (one 64-bit FNV-1a hash
+/// per full block), then a serial table walk in first-occurrence order.
+/// Fingerprints only route blocks into buckets — equality is always decided
+/// by bit-exact comparison, so a hash collision costs a compare, never a
+/// wrong merge, and the result is identical to the single-pass serial walk.
 pub fn dedup_blocks(values: &[f64], block_size: usize) -> Deduped {
     assert!(block_size > 0, "block size must be positive");
     let n = values.len();
     let n_blocks = n / block_size;
-    let mut table: std::collections::HashMap<Vec<u64>, u32> =
+    let full = &values[..n_blocks * block_size];
+    let fingerprints: Vec<u64> = par_map_blocks(full, block_size, |_, chunk| {
+        block_fingerprint(chunk)
+    });
+    let mut table: std::collections::HashMap<u64, Vec<u32>> =
         std::collections::HashMap::with_capacity(n_blocks);
     let mut unique: Vec<f64> = Vec::new();
     let mut refs: Vec<u32> = Vec::with_capacity(n_blocks);
     for b in 0..n_blocks {
         let chunk = &values[b * block_size..(b + 1) * block_size];
-        let key: Vec<u64> = chunk.iter().map(|v| v.to_bits()).collect();
-        let next_id = (unique.len() / block_size) as u32;
-        let id = *table.entry(key).or_insert_with(|| {
-            unique.extend_from_slice(chunk);
-            next_id
-        });
+        let bucket = table.entry(fingerprints[b]).or_default();
+        let id = match bucket.iter().copied().find(|&id| {
+            let lo = id as usize * block_size;
+            blocks_bit_eq(&unique[lo..lo + block_size], chunk)
+        }) {
+            Some(id) => id,
+            None => {
+                let id = (unique.len() / block_size) as u32;
+                unique.extend_from_slice(chunk);
+                bucket.push(id);
+                id
+            }
+        };
         refs.push(id);
     }
     let n_unique = unique.len() / block_size;
@@ -186,6 +281,32 @@ mod tests {
     fn zero_frac_probe() {
         assert_eq!(zero_frac(&[], 1.0), 0.0);
         assert_eq!(zero_frac(&[0.0, 1.0, 0.5, 2.0], 0.5), 0.5);
+    }
+
+    #[test]
+    fn deinterleave_interleave_roundtrip() {
+        // Cover both the serial (< STAGE_BLOCK) and multi-block regimes.
+        for n_complex in [0usize, 3, STAGE_BLOCK + 17] {
+            let data: Vec<f64> = (0..n_complex * 2).map(|i| i as f64 * 0.25 - 7.0).collect();
+            let (re, im) = deinterleave(&data);
+            assert_eq!(re.len(), n_complex);
+            for i in 0..n_complex {
+                assert_eq!(re[i], data[2 * i]);
+                assert_eq!(im[i], data[2 * i + 1]);
+            }
+            assert_eq!(interleave(&re, &im), data);
+        }
+    }
+
+    #[test]
+    fn collapse_large_buffer_matches_serial_count() {
+        let mut v: Vec<f64> =
+            (0..3 * STAGE_BLOCK + 11).map(|i| if i % 3 == 0 { 1e-9 } else { 0.5 }).collect();
+        let want = v.iter().filter(|x| x.abs() <= 1e-6).count();
+        let frac = zero_frac(&v, 1e-6);
+        assert!((frac - want as f64 / v.len() as f64).abs() < 1e-15);
+        assert_eq!(zero_collapse(&mut v, 1e-6), want);
+        assert!(v.iter().all(|x| *x == 0.5 || x.to_bits() == 0));
     }
 
     #[test]

@@ -1,12 +1,23 @@
-//! Device memory accounting.
+//! Device memory accounting and scratch-buffer reuse.
 //!
 //! The whole point of the paper is shrinking device-memory footprint, so the
 //! model tracks allocations explicitly: a [`MemoryPool`] counts live and
 //! peak bytes, and [`DeviceBuffer`]s return their bytes on drop. The
 //! end-to-end footprint experiment (E9) reads these counters.
+//!
+//! [`ScratchPool`] is the workspace-reuse half: hot loops (the contraction
+//! loop's permute buffers, the plane encoders' byte buffers) check
+//! same-typed `Vec`s back in after use instead of reallocating one per
+//! intermediate, mirroring how the CUDA implementations keep one workspace
+//! arena per stream.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Counters and free-lists stay consistent even if a holder panicked
+    // mid-update elsewhere; recover rather than cascade the panic.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Shared allocation counters for one simulated device.
 #[derive(Debug, Clone, Default)]
@@ -29,28 +40,28 @@ impl MemoryPool {
 
     /// Currently allocated bytes.
     pub fn live_bytes(&self) -> u64 {
-        self.inner.lock().live_bytes
+        lock_unpoisoned(&self.inner).live_bytes
     }
 
     /// High-water mark of allocated bytes.
     pub fn peak_bytes(&self) -> u64 {
-        self.inner.lock().peak_bytes
+        lock_unpoisoned(&self.inner).peak_bytes
     }
 
     /// Total number of allocations performed.
     pub fn allocations(&self) -> u64 {
-        self.inner.lock().allocations
+        lock_unpoisoned(&self.inner).allocations
     }
 
     fn charge(&self, bytes: u64) {
-        let mut st = self.inner.lock();
+        let mut st = lock_unpoisoned(&self.inner);
         st.live_bytes += bytes;
         st.peak_bytes = st.peak_bytes.max(st.live_bytes);
         st.allocations += 1;
     }
 
     fn release(&self, bytes: u64) {
-        let mut st = self.inner.lock();
+        let mut st = lock_unpoisoned(&self.inner);
         debug_assert!(st.live_bytes >= bytes, "double free in memory pool");
         st.live_bytes = st.live_bytes.saturating_sub(bytes);
     }
@@ -116,6 +127,103 @@ impl<T> Drop for DeviceBuffer<T> {
     }
 }
 
+/// Maximum buffers a [`ScratchPool`] retains; beyond this, returned
+/// buffers are simply dropped. Bounds worst-case memory held by the pool.
+const SCRATCH_POOL_CAP: usize = 16;
+
+/// A thread-safe free-list of reusable `Vec<T>` workspaces.
+///
+/// `take(len)` returns a vector of exactly `len` default-initialized
+/// elements, reusing the capacity of a previously [`put`]-back buffer when
+/// one is available; `put` checks a buffer back in. Clones share the
+/// free-list.
+///
+/// The pool never hands the same buffer to two callers: `take` removes it
+/// from the list and `put` re-inserts it, both under the lock, so pooled
+/// buffers are safe to use from executor workers (each worker takes its
+/// own). Contents of a reused buffer are always reset by `take`, so reuse
+/// can never leak data across users — which also keeps pooled and
+/// non-pooled runs bit-identical.
+///
+/// [`put`]: ScratchPool::put
+#[derive(Debug, Default, Clone)]
+pub struct ScratchPool<T> {
+    inner: Arc<Mutex<ScratchState<T>>>,
+}
+
+#[derive(Debug)]
+struct ScratchState<T> {
+    free: Vec<Vec<T>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<T> Default for ScratchState<T> {
+    fn default() -> Self {
+        ScratchState { free: Vec::new(), hits: 0, misses: 0 }
+    }
+}
+
+impl<T: Clone + Default> ScratchPool<T> {
+    /// A fresh, empty pool.
+    pub fn new() -> Self {
+        ScratchPool { inner: Arc::default() }
+    }
+
+    /// A vector of `len` default-initialized elements, reusing pooled
+    /// capacity when possible.
+    pub fn take(&self, len: usize) -> Vec<T> {
+        let reused = {
+            let mut st = lock_unpoisoned(&self.inner);
+            // Prefer the buffer whose capacity fits best, to keep big
+            // buffers available for big requests.
+            let best = st
+                .free
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.capacity() >= len)
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i);
+            match best {
+                Some(i) => {
+                    st.hits += 1;
+                    Some(st.free.swap_remove(i))
+                }
+                None => {
+                    st.misses += 1;
+                    None
+                }
+            }
+        };
+        match reused {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, T::default());
+                buf
+            }
+            None => vec![T::default(); len],
+        }
+    }
+
+    /// Checks `buf` back in for reuse (dropped if the pool is full).
+    pub fn put(&self, buf: Vec<T>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut st = lock_unpoisoned(&self.inner);
+        if st.free.len() < SCRATCH_POOL_CAP {
+            st.free.push(buf);
+        }
+    }
+
+    /// `(hits, misses)` of `take` against the free-list, for tests and
+    /// footprint reports.
+    pub fn stats(&self) -> (u64, u64) {
+        let st = lock_unpoisoned(&self.inner);
+        (st.hits, st.misses)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +261,63 @@ mod tests {
         let mut buf = DeviceBuffer::<u8>::zeroed(&pool, 4);
         buf.as_mut_slice()[2] = 7;
         assert_eq!(buf.as_slice(), &[0, 0, 7, 0]);
+    }
+
+    #[test]
+    fn scratch_reuses_capacity() {
+        let pool = ScratchPool::<f64>::new();
+        let mut a = pool.take(100);
+        a[0] = 3.5;
+        let cap = a.capacity();
+        pool.put(a);
+        let b = pool.take(80);
+        assert_eq!(b.capacity(), cap, "must reuse the checked-in buffer");
+        assert!(b.iter().all(|&v| v == 0.0), "reused buffer must be reset");
+        assert_eq!(pool.stats(), (1, 1));
+    }
+
+    #[test]
+    fn scratch_misses_when_too_small() {
+        let pool = ScratchPool::<u8>::new();
+        pool.put(Vec::with_capacity(10));
+        let big = pool.take(1000);
+        assert_eq!(big.len(), 1000);
+        assert_eq!(pool.stats(), (0, 1));
+    }
+
+    #[test]
+    fn scratch_prefers_tightest_fit() {
+        let pool = ScratchPool::<u8>::new();
+        pool.put(Vec::with_capacity(4096));
+        pool.put(Vec::with_capacity(64));
+        let buf = pool.take(50);
+        assert!(buf.capacity() < 4096, "should pick the 64-cap buffer");
+    }
+
+    #[test]
+    fn scratch_is_bounded() {
+        let pool = ScratchPool::<u8>::new();
+        for _ in 0..100 {
+            pool.put(Vec::with_capacity(8));
+        }
+        let st = lock_unpoisoned(&pool.inner);
+        assert!(st.free.len() <= SCRATCH_POOL_CAP);
+    }
+
+    #[test]
+    fn scratch_shared_across_clones_and_threads() {
+        let pool = ScratchPool::<f64>::new();
+        let clone = pool.clone();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let buf = clone.take(32);
+                clone.put(buf);
+            });
+        });
+        let (_hits, misses) = pool.stats();
+        assert_eq!(misses, 1);
+        let buf = pool.take(16);
+        assert_eq!(pool.stats().0, 1, "clone's buffer visible to original");
+        pool.put(buf);
     }
 }

@@ -1,35 +1,66 @@
 //! Data-parallel kernel-body execution on the host.
 //!
 //! Kernel bodies are real Rust code. This module runs them over index
-//! ranges with crossbeam scoped threads — the same chunked grid/block shape
-//! a CUDA kernel would use — so the implementations stay faithful to their
+//! ranges with std scoped threads — the same chunked grid/block shape a
+//! CUDA kernel would use — so the implementations stay faithful to their
 //! GPU formulation (independent blocks, no cross-block mutation) while the
 //! simulated cost comes from the `device` module, not from wall time.
+//!
+//! # Execution contract
+//!
+//! Every helper here hands each block to exactly one worker, and blocks
+//! never share mutable state. Combined with a fixed block decomposition
+//! (blocks are split by index arithmetic, never by load), any kernel body
+//! that is a pure function of its block is **deterministic**: the output is
+//! identical whatever `worker_count()` returns, including 1. The hot paths
+//! in `tensornet`, `qcf-core`, `compressors` and `codec-kit` rely on this
+//! to keep parallel output bit-identical to serial output.
 
-use crossbeam::thread;
+use std::sync::OnceLock;
 
 /// Number of worker threads used for kernel bodies (the host's parallelism,
 /// not the simulated GPU's).
+///
+/// Overridable with the `QCF_WORKERS` environment variable, which is read
+/// once per process. This matters on single-core CI hosts: setting
+/// `QCF_WORKERS=4` forces the multi-threaded code paths so the
+/// determinism contract is actually exercised there.
 pub fn worker_count() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        if let Ok(v) = std::env::var("QCF_WORKERS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Block index range decomposition shared by all the helpers: `n_items`
+/// split into `n_blocks` contiguous, disjoint, order-preserving ranges
+/// (empty trailing ranges dropped).
+fn block_ranges(n_items: usize, n_blocks: usize) -> Vec<(usize, std::ops::Range<usize>)> {
+    assert!(n_blocks > 0, "need at least one block");
+    let per = n_items.div_ceil(n_blocks);
+    (0..n_blocks)
+        .map(|b| (b, (b * per).min(n_items)..((b + 1) * per).min(n_items)))
+        .filter(|(_, r)| !r.is_empty())
+        .collect()
 }
 
 /// Runs `body(block_index, start..end)` over `n_items` split into
 /// `n_blocks` contiguous blocks, in parallel when workers are available.
 ///
 /// The body must be pure per block (no shared mutation) — identical to the
-/// constraint CUDA thread blocks live under.
+/// constraint CUDA thread blocks live under. Nested invocation is allowed
+/// (scoped threads spawn freely; there is no fixed pool to deadlock), and
+/// a panic in any worker propagates to the caller after all workers join.
 pub fn par_for_blocks<F>(n_items: usize, n_blocks: usize, body: F)
 where
     F: Fn(usize, std::ops::Range<usize>) + Sync,
 {
-    assert!(n_blocks > 0, "need at least one block");
-    let per = n_items.div_ceil(n_blocks);
-    let blocks: Vec<(usize, std::ops::Range<usize>)> = (0..n_blocks)
-        .map(|b| (b, (b * per).min(n_items)..((b + 1) * per).min(n_items)))
-        .filter(|(_, r)| !r.is_empty())
-        .collect();
-
+    let blocks = block_ranges(n_items, n_blocks);
     let workers = worker_count().min(blocks.len()).max(1);
     if workers == 1 {
         for (b, r) in blocks {
@@ -40,16 +71,15 @@ where
     // Split the block list over workers; each worker owns a disjoint chunk.
     let chunk = blocks.len().div_ceil(workers);
     let body = &body;
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for w in blocks.chunks(chunk) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (b, r) in w {
                     body(*b, r.clone());
                 }
             });
         }
-    })
-    .expect("kernel worker panicked");
+    });
 }
 
 /// Maps each block of `input` (chunks of `block_len`) to an output value,
@@ -60,6 +90,9 @@ pub fn par_map_blocks<T: Sync, R: Send + Default + Clone>(
     f: impl Fn(usize, &[T]) -> R + Sync,
 ) -> Vec<R> {
     assert!(block_len > 0, "block length must be positive");
+    if input.is_empty() {
+        return Vec::new();
+    }
     let n_blocks = input.len().div_ceil(block_len);
     let mut out = vec![R::default(); n_blocks];
     let out_ptr = SyncSlice(out.as_mut_ptr());
@@ -75,6 +108,63 @@ pub fn par_map_blocks<T: Sync, R: Send + Default + Clone>(
         }
     });
     out
+}
+
+/// Runs `f(block_index, chunk)` over disjoint mutable chunks of `data`
+/// (`block_len` elements each, last one possibly shorter), in parallel.
+///
+/// This is the in-place mutation analogue of [`par_map_blocks`]: each
+/// chunk is owned by exactly one worker, so kernels like zero-collapse or
+/// a GEMM row loop can write their slice without synchronization.
+pub fn par_chunks_mut<T: Send, F>(data: &mut [T], block_len: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(block_len > 0, "block length must be positive");
+    let n_blocks = data.len().div_ceil(block_len.max(1)).max(1);
+    let workers = worker_count().min(n_blocks);
+    if workers <= 1 {
+        for (b, chunk) in data.chunks_mut(block_len).enumerate() {
+            f(b, chunk);
+        }
+        return;
+    }
+    // Hand each worker a contiguous run of chunks, fully safely: the
+    // borrow splitter peels per-worker sub-slices off the front.
+    let chunks_per_worker = n_blocks.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut rest = data;
+        let mut next_block = 0usize;
+        while !rest.is_empty() {
+            let take = (chunks_per_worker * block_len).min(rest.len());
+            let (mine, tail) = std::mem::take(&mut rest).split_at_mut(take);
+            rest = tail;
+            let first_block = next_block;
+            next_block += mine.len().div_ceil(block_len);
+            s.spawn(move || {
+                for (i, chunk) in mine.chunks_mut(block_len).enumerate() {
+                    f(first_block + i, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Fills `out` block-by-block: `f(block_index, range, chunk)` writes each
+/// `block_len`-sized chunk of `out`, where `range` is the index span of
+/// the chunk in the full slice. Parallel over blocks.
+///
+/// A convenience over [`par_chunks_mut`] for gather-style kernels
+/// (de-interleave, permutation) that need the absolute offset.
+pub fn par_fill_blocks<T: Send, F>(out: &mut [T], block_len: usize, f: F)
+where
+    F: Fn(usize, std::ops::Range<usize>, &mut [T]) + Sync,
+{
+    par_chunks_mut(out, block_len, |b, chunk| {
+        let lo = b * block_len;
+        f(b, lo..lo + chunk.len(), chunk);
+    });
 }
 
 /// Pointer wrapper asserting disjoint-write safety across threads. Accessed
@@ -125,9 +215,7 @@ mod tests {
     #[test]
     fn map_blocks_preserves_order() {
         let data: Vec<u32> = (0..1000).collect();
-        let sums = par_map_blocks(&data, 100, |b, chunk| {
-            (b, chunk.iter().sum::<u32>())
-        });
+        let sums = par_map_blocks(&data, 100, |b, chunk| (b, chunk.iter().sum::<u32>()));
         assert_eq!(sums.len(), 10);
         for (b, (idx, _)) in sums.iter().enumerate() {
             assert_eq!(b, *idx);
@@ -137,9 +225,98 @@ mod tests {
     }
 
     #[test]
+    fn map_blocks_empty_input() {
+        let data: [u32; 0] = [];
+        let out = par_map_blocks(&data, 8, |_, _| -> usize { panic!("must not run") });
+        assert!(out.is_empty());
+    }
+
+    #[test]
     fn map_blocks_partial_tail() {
         let data = [1u32, 2, 3, 4, 5];
         let lens = par_map_blocks(&data, 2, |_, chunk| chunk.len());
         assert_eq!(lens, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn chunks_mut_writes_every_chunk_once() {
+        let mut data = vec![0u32; 10_007];
+        par_chunks_mut(&mut data, 64, |b, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1 + b as u32;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1 + (i / 64) as u32, "chunk of item {i}");
+        }
+    }
+
+    #[test]
+    fn chunks_mut_handles_empty_and_tiny() {
+        let mut empty: Vec<u8> = vec![];
+        par_chunks_mut(&mut empty, 8, |_, _| panic!("must not run"));
+        let mut one = [7u8];
+        par_chunks_mut(&mut one, 8, |b, chunk| {
+            assert_eq!(b, 0);
+            chunk[0] = 9;
+        });
+        assert_eq!(one, [9]);
+    }
+
+    #[test]
+    fn fill_blocks_sees_absolute_ranges() {
+        let mut out = vec![0usize; 1000];
+        par_fill_blocks(&mut out, 96, |_, range, chunk| {
+            for (i, v) in range.zip(chunk.iter_mut()) {
+                *v = i * 3;
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_for_blocks(1024, 16, |b, _| {
+                if b == 7 {
+                    panic!("block 7 exploded");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "panic in a worker must reach the caller");
+    }
+
+    #[test]
+    fn nested_invocations_lose_no_blocks() {
+        // A fixed pool would deadlock here (outer blocks hold workers while
+        // inner calls wait for them); scoped threads must not.
+        let n_outer = 8;
+        let n_inner = 100;
+        let hits: Vec<AtomicUsize> =
+            (0..n_outer * n_inner).map(|_| AtomicUsize::new(0)).collect();
+        par_for_blocks(n_outer, n_outer, |_, outer| {
+            for o in outer {
+                par_for_blocks(n_inner, 4, |_, inner| {
+                    for i in inner {
+                        hits[o * n_inner + i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn deterministic_against_serial_reference() {
+        // Same decomposition arithmetic as the executor: results must not
+        // depend on how blocks land on workers.
+        let data: Vec<f64> = (0..4096).map(|i| (i as f64).sin()).collect();
+        let serial: Vec<f64> = data.chunks(128).map(|c| c.iter().sum()).collect();
+        let parallel = par_map_blocks(&data, 128, |_, c| c.iter().sum::<f64>());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

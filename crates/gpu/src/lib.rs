@@ -8,7 +8,7 @@
 //!
 //! * [`DeviceSpec`] / [`KernelSpec`] — the cost model ([`DeviceSpec::a100`]).
 //! * [`Stream`] — in-order launches, virtual clock, per-kernel event log.
-//! * [`exec`] — crossbeam-backed grid/block execution of kernel bodies.
+//! * [`exec`] — scoped-thread grid/block execution of kernel bodies.
 //! * [`MemoryPool`] / [`DeviceBuffer`] — device-memory footprint accounting.
 
 pub mod buffer;
@@ -16,6 +16,6 @@ pub mod device;
 pub mod exec;
 pub mod stream;
 
-pub use buffer::{DeviceBuffer, MemoryPool};
+pub use buffer::{DeviceBuffer, MemoryPool, ScratchPool};
 pub use device::{DeviceSpec, KernelSpec, MemoryPattern};
 pub use stream::{KernelEvent, Stream};

@@ -6,7 +6,7 @@
 //! is how the paper attributes cuSZ's cost to its Huffman stage.
 
 use crate::device::{DeviceSpec, KernelSpec};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// One completed kernel launch.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,8 +23,19 @@ pub struct KernelEvent {
 
 /// An in-order execution queue on a device, with a virtual clock.
 ///
-/// Interior mutability (a `parking_lot::Mutex`) keeps the API `&self`, so a
-/// stream can be shared by the parallel executor without plumbing `&mut`.
+/// Interior mutability (a `Mutex`) keeps the API `&self`, so a stream can
+/// be shared by the parallel executor without plumbing `&mut`.
+///
+/// # Concurrency semantics
+///
+/// Kernels are charged **at submission**, under the state lock, before the
+/// body runs. Concurrent `launch` calls therefore serialize their clock
+/// updates in lock-acquisition order — exactly a CUDA stream's in-order
+/// queue: start times are monotone non-decreasing per stream, each kernel
+/// starts where the previous one ended, and the final elapsed time is the
+/// sum of all charged durations regardless of how the host threads
+/// interleave. Only the *event order* can vary run-to-run under
+/// concurrency, never totals, breakdowns, or any compressed byte.
 #[derive(Debug)]
 pub struct Stream {
     device: DeviceSpec,
@@ -48,46 +59,54 @@ impl Stream {
         &self.device
     }
 
-    /// Executes `body` as a kernel, charging `spec`'s simulated time.
-    /// Returns the body's value.
-    pub fn launch<R>(&self, spec: &KernelSpec, body: impl FnOnce() -> R) -> R {
-        let result = body();
-        let duration = spec.time_on(&self.device);
-        let mut st = self.state.lock();
+    fn lock(&self) -> std::sync::MutexGuard<'_, StreamState> {
+        // A panicking kernel body never holds this lock (charging happens
+        // before the body runs), so poison only means a panic elsewhere;
+        // the state itself is always consistent.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Charges `duration` seconds for `name` at submission time and
+    /// returns the kernel's start time.
+    fn charge(&self, name: &'static str, duration: f64, bytes: u64) -> f64 {
+        let mut st = self.lock();
         let start = st.now_s;
         st.now_s += duration;
-        st.events.push(KernelEvent {
-            name: spec.name,
-            start_s: start,
-            duration_s: duration,
-            bytes: spec.bytes_read + spec.bytes_written,
-        });
-        result
+        st.events.push(KernelEvent { name, start_s: start, duration_s: duration, bytes });
+        start
+    }
+
+    /// Executes `body` as a kernel, charging `spec`'s simulated time.
+    /// Returns the body's value.
+    ///
+    /// The charge lands when the launch is submitted (before the body
+    /// runs), so concurrent launches from executor workers keep the
+    /// virtual clock well-defined; see the type-level docs.
+    pub fn launch<R>(&self, spec: &KernelSpec, body: impl FnOnce() -> R) -> R {
+        let duration = spec.time_on(&self.device);
+        self.charge(spec.name, duration, spec.bytes_read + spec.bytes_written);
+        body()
     }
 
     /// Charges a host→device or device→host copy of `bytes`.
     pub fn transfer(&self, name: &'static str, bytes: u64) {
         let duration = bytes as f64 / self.device.pcie_bytes_per_sec;
-        let mut st = self.state.lock();
-        let start = st.now_s;
-        st.now_s += duration;
-        st.events.push(KernelEvent { name, start_s: start, duration_s: duration, bytes });
+        self.charge(name, duration, bytes);
     }
 
     /// Current simulated time in seconds.
     pub fn elapsed_s(&self) -> f64 {
-        self.state.lock().now_s
+        self.lock().now_s
     }
 
     /// Snapshot of the event log.
     pub fn events(&self) -> Vec<KernelEvent> {
-        self.state.lock().events.clone()
+        self.lock().events.clone()
     }
 
     /// Simulated time spent in kernels whose name contains `needle`.
     pub fn time_in(&self, needle: &str) -> f64 {
-        self.state
-            .lock()
+        self.lock()
             .events
             .iter()
             .filter(|e| e.name.contains(needle))
@@ -97,7 +116,7 @@ impl Stream {
 
     /// Resets the clock and event log (for reusing a stream across runs).
     pub fn reset(&self) {
-        let mut st = self.state.lock();
+        let mut st = self.lock();
         st.now_s = 0.0;
         st.events.clear();
     }
@@ -113,7 +132,7 @@ impl Stream {
     /// of an `nsys` profile — how the paper attributes cuSZ's cost to its
     /// Huffman stage.
     pub fn breakdown(&self) -> Vec<(String, f64, f64)> {
-        let st = self.state.lock();
+        let st = self.lock();
         let total: f64 = st.now_s.max(f64::MIN_POSITIVE);
         let mut by_name: std::collections::BTreeMap<&'static str, f64> =
             std::collections::BTreeMap::new();
@@ -131,6 +150,7 @@ impl Stream {
 mod tests {
     use super::*;
     use crate::device::MemoryPattern;
+    use crate::exec::par_for_blocks;
 
     #[test]
     fn clock_advances_per_launch() {
@@ -153,6 +173,43 @@ mod tests {
         assert_eq!(ev.len(), 2);
         assert_eq!(ev[0].name, "a");
         assert!((ev[1].start_s - ev[0].duration_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn charge_lands_at_submission() {
+        // The clock must already show the kernel's cost while its body is
+        // still running — that is what makes concurrent launches coherent.
+        let s = Stream::new(DeviceSpec::a100());
+        let spec = KernelSpec::streaming("probe", 1 << 24, 0);
+        let elapsed_inside = s.launch(&spec, || s.elapsed_s());
+        assert!(elapsed_inside > 0.0);
+        assert_eq!(elapsed_inside, s.elapsed_s());
+    }
+
+    #[test]
+    fn concurrent_launches_keep_clock_coherent() {
+        let s = Stream::new(DeviceSpec::a100());
+        let spec = KernelSpec::streaming("worker_kernel", 1 << 22, 1 << 22);
+        let one = {
+            let probe = Stream::new(DeviceSpec::a100());
+            probe.launch(&spec, || ());
+            probe.elapsed_s()
+        };
+        let n = 64;
+        par_for_blocks(n, 16, |_, range| {
+            for _ in range {
+                s.launch(&spec, || ());
+            }
+        });
+        let ev = s.events();
+        assert_eq!(ev.len(), n);
+        // Starts monotone, each kernel begins where the previous ended.
+        for w in ev.windows(2) {
+            assert!(w[1].start_s >= w[0].start_s, "starts must be monotone");
+            assert!((w[1].start_s - (w[0].start_s + w[0].duration_s)).abs() < 1e-12);
+        }
+        // Total time is exactly the serial sum, independent of interleaving.
+        assert!((s.elapsed_s() - one * n as f64).abs() < 1e-9 * one * n as f64);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use compressors::{Compressor, ErrorBound};
 use gpu_model::{DeviceSpec, Stream};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use tensornet::planes::{as_interleaved, from_interleaved};
+use tensornet::planes::{as_interleaved, as_interleaved_mut};
 use tensornet::Tensor;
 
 /// Cumulative compression accounting across a contraction.
@@ -74,7 +74,7 @@ impl<'a> CompressingHook<'a> {
 }
 
 impl ContractionHook for CompressingHook<'_> {
-    fn on_intermediate(&mut self, tensor: Tensor) -> Result<Tensor, ContractError> {
+    fn on_intermediate(&mut self, mut tensor: Tensor) -> Result<Tensor, ContractError> {
         if tensor.len() < self.min_elems {
             self.stats.tensors_skipped += 1;
             return Ok(tensor);
@@ -88,17 +88,19 @@ impl ContractionHook for CompressingHook<'_> {
             .compressor
             .decompress(&bytes, &self.stream)
             .map_err(|e| ContractError::Hook(format!("decompress: {e}")))?;
-        if reconstructed.len() != flat.len() {
+        if reconstructed.len() != tensor.len() * 2 {
             return Err(ContractError::Hook("reconstruction length mismatch".into()));
         }
+        let nbytes = (tensor.len() * 16) as u64;
         self.stats.tensors_compressed += 1;
-        self.stats.uncompressed_bytes += (flat.len() * 8) as u64;
+        self.stats.uncompressed_bytes += nbytes;
         self.stats.compressed_bytes += bytes.len() as u64;
-        self.stats.largest_tensor_bytes =
-            self.stats.largest_tensor_bytes.max((flat.len() * 8) as u64);
-        let (indices, dims, _) = tensor.into_parts();
-        Tensor::new(indices, dims, from_interleaved(&reconstructed))
-            .map_err(ContractError::Tensor)
+        self.stats.largest_tensor_bytes = self.stats.largest_tensor_bytes.max(nbytes);
+        // Write the reconstruction back into the tensor's own storage —
+        // labels and dims are untouched, and no per-intermediate complex
+        // buffer is allocated.
+        as_interleaved_mut(tensor.data_mut()).copy_from_slice(&reconstructed);
+        Ok(tensor)
     }
 }
 

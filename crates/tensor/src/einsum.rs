@@ -11,7 +11,59 @@
 //!   hyperedges); the sum happens once per bucket via [`Tensor::sum_over`].
 
 use crate::complex::Complex64;
-use crate::tensor::{strides_of, Ix, Tensor, TensorError};
+use crate::tensor::{permute_kernel, strides_of, Ix, Tensor, TensorError, PAR_BLOCK, PAR_MIN_ELEMS};
+use gpu_model::exec::{par_chunks_mut, par_fill_blocks};
+use gpu_model::ScratchPool;
+use std::sync::OnceLock;
+
+/// Shared scratch arena for the contraction loop's permute intermediates:
+/// the `(free, shared)`-ordered copies of the operands live only for the
+/// duration of one GEMM, so their buffers are checked back in instead of
+/// reallocated per contraction.
+pub fn scratch() -> &'static ScratchPool<Complex64> {
+    static POOL: OnceLock<ScratchPool<Complex64>> = OnceLock::new();
+    POOL.get_or_init(ScratchPool::new)
+}
+
+/// A permuted operand: either the tensor's own storage (identity order) or
+/// a pooled scratch buffer holding the gathered copy.
+enum Operand<'a> {
+    Borrowed(&'a [Complex64]),
+    Pooled(Vec<Complex64>),
+}
+
+impl Operand<'_> {
+    fn as_slice(&self) -> &[Complex64] {
+        match self {
+            Operand::Borrowed(s) => s,
+            Operand::Pooled(v) => v,
+        }
+    }
+
+    /// Returns a pooled buffer to the arena (no-op for borrowed storage).
+    fn release(self, pool: &ScratchPool<Complex64>) {
+        if let Operand::Pooled(v) = self {
+            pool.put(v);
+        }
+    }
+}
+
+/// Permutes `t` into `order` without building a `Tensor`: identity orders
+/// borrow the original storage, others gather into a pooled buffer.
+fn permuted_operand<'a>(
+    t: &'a Tensor,
+    order: &[Ix],
+    pool: &ScratchPool<Complex64>,
+) -> Result<Operand<'a>, TensorError> {
+    match t.permute_plan(order)? {
+        None => Ok(Operand::Borrowed(t.data())),
+        Some((new_dims, contrib)) => {
+            let mut buf = pool.take(t.len());
+            permute_kernel(t.data(), &new_dims, &contrib, &mut buf);
+            Ok(Operand::Pooled(buf))
+        }
+    }
+}
 
 /// Labels present in both tensors, in `a`'s storage order.
 pub fn shared_indices(a: &Tensor, b: &Tensor) -> Vec<Ix> {
@@ -30,11 +82,19 @@ fn check_shared_dims(a: &Tensor, b: &Tensor, shared: &[Ix]) -> Result<(), Tensor
     Ok(())
 }
 
-/// Contracts `a` and `b` over every shared label.
-///
-/// Output labels are `a`'s free labels followed by `b`'s free labels, so the
-/// result is deterministic. Rank-0 results hold the full inner product.
-pub fn contract(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+/// The label/shape bookkeeping shared by [`contract`] and
+/// [`contract_serial`].
+struct GemmPlan {
+    order_a: Vec<Ix>,
+    order_b: Vec<Ix>,
+    out_ix: Vec<Ix>,
+    out_dims: Vec<usize>,
+    m: usize,
+    n: usize,
+    k: usize,
+}
+
+fn gemm_plan(a: &Tensor, b: &Tensor) -> Result<GemmPlan, TensorError> {
     let shared = shared_indices(a, b);
     check_shared_dims(a, b, &shared)?;
 
@@ -48,20 +108,36 @@ pub fn contract(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     order_a.extend_from_slice(&shared);
     let mut order_b = shared.clone();
     order_b.extend_from_slice(&free_b);
-    let pa = a.permuted(&order_a)?;
-    let pb = b.permuted(&order_b)?;
 
     let k: usize = shared.iter().map(|&ix| a.dim_of(ix).unwrap()).product();
-    let m: usize = pa.len() / k.max(1);
-    let n: usize = pb.len() / k.max(1);
+    let m: usize = a.len() / k.max(1);
+    let n: usize = b.len() / k.max(1);
 
-    let da = pa.data();
-    let db = pb.data();
-    let mut out = vec![Complex64::ZERO; m * n];
-    // i-k-j loop order: the inner loop streams both `db` and `out` rows.
-    for i in 0..m {
+    let mut out_ix = free_a;
+    out_ix.extend_from_slice(&free_b);
+    let mut out_dims = Vec::with_capacity(out_ix.len());
+    for &ix in &out_ix {
+        out_dims.push(a.dim_of(ix).or_else(|| b.dim_of(ix)).unwrap());
+    }
+    Ok(GemmPlan { order_a, order_b, out_ix, out_dims, m, n, k })
+}
+
+/// Computes rows `first_row..first_row + rows.len()/n` of the GEMM
+/// `out[i][j] = Σ_k a[i][k]·b[k][j]` into `rows` (a chunk of whole output
+/// rows). The i-k-j loop order streams both `db` and the output row; the
+/// per-element accumulation order is ascending `k` whatever the row split,
+/// which is what keeps the parallel output bit-identical to serial.
+fn gemm_rows(
+    da: &[Complex64],
+    db: &[Complex64],
+    rows: &mut [Complex64],
+    first_row: usize,
+    n: usize,
+    k: usize,
+) {
+    for (r, orow) in rows.chunks_mut(n).enumerate() {
+        let i = first_row + r;
         let arow = &da[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
         for (kk, &av) in arow.iter().enumerate() {
             if av == Complex64::ZERO {
                 continue;
@@ -72,21 +148,78 @@ pub fn contract(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             }
         }
     }
-
-    let mut out_ix = free_a;
-    out_ix.extend_from_slice(&free_b);
-    let mut out_dims = Vec::with_capacity(out_ix.len());
-    for &ix in &out_ix {
-        out_dims.push(a.dim_of(ix).or_else(|| b.dim_of(ix)).unwrap());
-    }
-    Tensor::new(out_ix, out_dims, out)
 }
 
-/// Elementwise product over shared labels, keeping them in the output.
+/// Contracts `a` and `b` over every shared label.
 ///
-/// Output labels are `a`'s labels followed by `b`'s non-shared labels
-/// (einsum `ab,cb -> abc` style, generalized to any ranks).
-pub fn multiply_keep(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+/// Output labels are `a`'s free labels followed by `b`'s free labels, so the
+/// result is deterministic. Rank-0 results hold the full inner product.
+///
+/// The permute and GEMM kernels run block-parallel for large operands, with
+/// per-row work assignment and a fixed ascending-`k` accumulation order —
+/// output bytes are identical to [`contract_serial`] for every input.
+/// Permute intermediates come from the [`scratch`] arena instead of fresh
+/// allocations.
+pub fn contract(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let plan = gemm_plan(a, b)?;
+    let (m, n, k) = (plan.m, plan.n, plan.k);
+
+    let pool = scratch();
+    let pa = permuted_operand(a, &plan.order_a, pool)?;
+    let pb = permuted_operand(b, &plan.order_b, pool)?;
+
+    let mut out = vec![Complex64::ZERO; m * n];
+    let (da, db) = (pa.as_slice(), pb.as_slice());
+    if m * n * k.max(1) >= PAR_MIN_ELEMS && n > 0 && m > 1 {
+        par_chunks_mut(&mut out, n, |row, orow| gemm_rows(da, db, orow, row, n, k));
+    } else if !out.is_empty() {
+        gemm_rows(da, db, &mut out, 0, n, k);
+    }
+    pa.release(pool);
+    pb.release(pool);
+
+    Tensor::new(plan.out_ix, plan.out_dims, out)
+}
+
+/// Single-threaded reference implementation of [`contract`]: the same
+/// algebra with every kernel invoked over the full index range on the
+/// calling thread. Exists so tests can assert the parallel path is
+/// bit-identical; not intended for production use.
+pub fn contract_serial(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let plan = gemm_plan(a, b)?;
+    let (n, k) = (plan.n, plan.k);
+
+    let permute_serial = |t: &Tensor, order: &[Ix]| -> Result<Vec<Complex64>, TensorError> {
+        match t.permute_plan(order)? {
+            None => Ok(t.data().to_vec()),
+            Some((new_dims, contrib)) => {
+                let mut buf = vec![Complex64::ZERO; t.len()];
+                crate::tensor::permute_range_serial(t.data(), &new_dims, &contrib, &mut buf);
+                Ok(buf)
+            }
+        }
+    };
+    let da = permute_serial(a, &plan.order_a)?;
+    let db = permute_serial(b, &plan.order_b)?;
+
+    let mut out = vec![Complex64::ZERO; plan.m * n];
+    if !out.is_empty() {
+        gemm_rows(&da, &db, &mut out, 0, n, k);
+    }
+    Tensor::new(plan.out_ix, plan.out_dims, out)
+}
+
+/// The label/stride bookkeeping shared by [`multiply_keep`] and
+/// [`multiply_keep_serial`].
+struct BroadcastPlan {
+    out_ix: Vec<Ix>,
+    out_dims: Vec<usize>,
+    contrib_a: Vec<usize>,
+    contrib_b: Vec<usize>,
+    total: usize,
+}
+
+fn broadcast_plan(a: &Tensor, b: &Tensor) -> Result<BroadcastPlan, TensorError> {
     let shared = shared_indices(a, b);
     check_shared_dims(a, b, &shared)?;
 
@@ -110,28 +243,78 @@ pub fn multiply_keep(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
         out_ix.iter().map(|&ix| a.position(ix).map_or(0, |p| sa[p])).collect();
     let contrib_b: Vec<usize> =
         out_ix.iter().map(|&ix| b.position(ix).map_or(0, |p| sb[p])).collect();
+    Ok(BroadcastPlan { out_ix, out_dims, contrib_a, contrib_b, total })
+}
 
-    let rank = out_dims.len();
+/// Fills `chunk` with the broadcast products for output offsets
+/// `start..start + chunk.len()`: the odometer walk of the serial
+/// implementation, made restartable by decomposing `start` once. Every
+/// element is an independent product of the same two operands, so any
+/// block split produces identical bytes.
+fn broadcast_range(
+    da: &[Complex64],
+    db: &[Complex64],
+    plan: &BroadcastPlan,
+    start: usize,
+    chunk: &mut [Complex64],
+) {
+    let rank = plan.out_dims.len();
     let mut counters = vec![0usize; rank];
     let (mut off_a, mut off_b) = (0usize, 0usize);
-    let da = a.data();
-    let db = b.data();
-    let mut out = Vec::with_capacity(total);
-    for _ in 0..total {
-        out.push(da[off_a] * db[off_b]);
+    let mut rem = start;
+    for axis in (0..rank).rev() {
+        let digit = rem % plan.out_dims[axis];
+        rem /= plan.out_dims[axis];
+        counters[axis] = digit;
+        off_a += digit * plan.contrib_a[axis];
+        off_b += digit * plan.contrib_b[axis];
+    }
+    for slot in chunk.iter_mut() {
+        *slot = da[off_a] * db[off_b];
         for axis in (0..rank).rev() {
             counters[axis] += 1;
-            off_a += contrib_a[axis];
-            off_b += contrib_b[axis];
-            if counters[axis] < out_dims[axis] {
+            off_a += plan.contrib_a[axis];
+            off_b += plan.contrib_b[axis];
+            if counters[axis] < plan.out_dims[axis] {
                 break;
             }
-            off_a -= contrib_a[axis] * out_dims[axis];
-            off_b -= contrib_b[axis] * out_dims[axis];
+            off_a -= plan.contrib_a[axis] * plan.out_dims[axis];
+            off_b -= plan.contrib_b[axis] * plan.out_dims[axis];
             counters[axis] = 0;
         }
     }
-    Tensor::new(out_ix, out_dims, out)
+}
+
+/// Elementwise product over shared labels, keeping them in the output.
+///
+/// Output labels are `a`'s labels followed by `b`'s non-shared labels
+/// (einsum `ab,cb -> abc` style, generalized to any ranks). Large outputs
+/// split the broadcast walk over executor blocks; bytes are identical to
+/// [`multiply_keep_serial`] for every input.
+pub fn multiply_keep(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let plan = broadcast_plan(a, b)?;
+    let mut out = vec![Complex64::ZERO; plan.total];
+    let (da, db) = (a.data(), b.data());
+    if plan.total >= PAR_MIN_ELEMS {
+        par_fill_blocks(&mut out, PAR_BLOCK, |_, range, chunk| {
+            broadcast_range(da, db, &plan, range.start, chunk);
+        });
+    } else if !out.is_empty() {
+        broadcast_range(da, db, &plan, 0, &mut out);
+    }
+    Tensor::new(plan.out_ix, plan.out_dims, out)
+}
+
+/// Single-threaded reference implementation of [`multiply_keep`] (one walk
+/// over the full output range). Exists so tests can assert the parallel
+/// path is bit-identical; not intended for production use.
+pub fn multiply_keep_serial(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let plan = broadcast_plan(a, b)?;
+    let mut out = vec![Complex64::ZERO; plan.total];
+    if !out.is_empty() {
+        broadcast_range(a.data(), b.data(), &plan, 0, &mut out);
+    }
+    Tensor::new(plan.out_ix, plan.out_dims, out)
 }
 
 #[cfg(test)]

@@ -6,7 +6,20 @@
 //! are unique; dimensions are arbitrary (qubit networks use 2 everywhere).
 
 use crate::complex::Complex64;
+use gpu_model::exec::par_fill_blocks;
 use std::fmt;
+
+/// Element count below which the data-parallel executor is skipped: the
+/// kernels are bit-identical either way (see `gpu_model::exec`), so the
+/// threshold is purely a latency knob.
+pub(crate) const PAR_MIN_ELEMS: usize = 1 << 12;
+
+/// Output elements per parallel block for the element-wise kernels.
+pub(crate) const PAR_BLOCK: usize = 1 << 13;
+
+/// `(new_dims, contrib)` of a non-identity permutation: the permuted shape
+/// and, per output axis, its source linear-stride contribution.
+pub(crate) type PermutePlan = (Vec<usize>, Vec<usize>);
 
 /// An index label. Labels are allocated by the network builder and are unique
 /// per logical variable (wire segment) in the tensor network.
@@ -175,10 +188,13 @@ impl Tensor {
         self.data[lin] = value;
     }
 
-    /// Returns a tensor with axes re-ordered so labels appear as in `order`.
-    ///
-    /// `order` must contain exactly the tensor's labels.
-    pub fn permuted(&self, order: &[Ix]) -> Result<Tensor, TensorError> {
+    /// Computes the permutation plan for `order`: `None` when `order` is the
+    /// identity, otherwise `(new_dims, contrib)` where `contrib[new_axis]`
+    /// is the source linear-stride contribution of that output axis.
+    pub(crate) fn permute_plan(
+        &self,
+        order: &[Ix],
+    ) -> Result<Option<PermutePlan>, TensorError> {
         if order.len() != self.rank() {
             return Err(TensorError::BadPermutation);
         }
@@ -191,48 +207,45 @@ impl Tensor {
             }
         }
         if perm.iter().enumerate().all(|(new, &old)| new == old) {
-            return Ok(self.clone());
+            return Ok(None);
         }
         let new_dims: Vec<usize> = perm.iter().map(|&p| self.dims[p]).collect();
         let old_strides = self.strides();
-        let mut out = vec![Complex64::ZERO; self.data.len()];
-        // Walk output linearly, maintaining the multi-index incrementally so
-        // the inner loop is additions rather than div/mod per element.
-        let rank = new_dims.len();
-        let mut counters = vec![0usize; rank];
         let contrib: Vec<usize> = perm.iter().map(|&p| old_strides[p]).collect();
-        let mut src = 0usize;
-        for slot in out.iter_mut() {
-            *slot = self.data[src];
-            // increment odometer from the last axis
-            for axis in (0..rank).rev() {
-                counters[axis] += 1;
-                src += contrib[axis];
-                if counters[axis] < new_dims[axis] {
-                    break;
-                }
-                src -= contrib[axis] * new_dims[axis];
-                counters[axis] = 0;
-            }
-        }
+        Ok(Some((new_dims, contrib)))
+    }
+
+    /// Returns a tensor with axes re-ordered so labels appear as in `order`.
+    ///
+    /// `order` must contain exactly the tensor's labels. Large tensors run
+    /// the gather block-parallel; the output is bit-identical to the serial
+    /// walk because every element is an independent copy.
+    pub fn permuted(&self, order: &[Ix]) -> Result<Tensor, TensorError> {
+        let Some((new_dims, contrib)) = self.permute_plan(order)? else {
+            return Ok(self.clone());
+        };
+        let mut out = vec![Complex64::ZERO; self.data.len()];
+        permute_kernel(&self.data, &new_dims, &contrib, &mut out);
         Ok(Tensor { indices: order.to_vec(), dims: new_dims, data: out })
     }
 
     /// Sums the tensor over axis `ix`, removing it.
+    ///
+    /// Parallel over output elements; each output element accumulates its
+    /// `d` addends in ascending-axis order on one worker, so the reduction
+    /// order — and therefore every output bit — matches the serial loop.
     pub fn sum_over(&self, ix: Ix) -> Result<Tensor, TensorError> {
         let pos = self.position(ix).ok_or(TensorError::MissingIndex(ix))?;
         let d = self.dims[pos];
         let outer: usize = self.dims[..pos].iter().product();
         let inner: usize = self.dims[pos + 1..].iter().product();
         let mut data = vec![Complex64::ZERO; outer * inner];
-        for o in 0..outer {
-            let base_out = o * inner;
-            for k in 0..d {
-                let base_in = (o * d + k) * inner;
-                for i in 0..inner {
-                    data[base_out + i] += self.data[base_in + i];
-                }
-            }
+        if outer * inner * d >= PAR_MIN_ELEMS && inner > 0 {
+            par_fill_blocks(&mut data, PAR_BLOCK, |_, range, chunk| {
+                sum_axis_range(&self.data, d, inner, range.start, chunk);
+            });
+        } else if !data.is_empty() {
+            sum_axis_range(&self.data, d, inner, 0, &mut data);
         }
         let mut indices = self.indices.clone();
         let mut dims = self.dims.clone();
@@ -294,6 +307,101 @@ impl Tensor {
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor(ix={:?}, dims={:?}, {} elems)", self.indices, self.dims, self.len())
+    }
+}
+
+/// Gathers the permuted layout into `out`: output element `j` (row-major
+/// in `new_dims`) reads `src[Σ digit_k(j)·contrib[k]]`. Block-parallel for
+/// large tensors, serial below [`PAR_MIN_ELEMS`]; identical output either
+/// way since every element is an independent gather.
+pub(crate) fn permute_kernel(
+    src: &[Complex64],
+    new_dims: &[usize],
+    contrib: &[usize],
+    out: &mut [Complex64],
+) {
+    if out.len() >= PAR_MIN_ELEMS {
+        par_fill_blocks(out, PAR_BLOCK, |_, range, chunk| {
+            permute_range(src, new_dims, contrib, range.start, chunk);
+        });
+    } else if !out.is_empty() {
+        permute_range(src, new_dims, contrib, 0, out);
+    }
+}
+
+/// Single-threaded full-range gather: the reference against which the
+/// block-parallel [`permute_kernel`] is asserted bit-identical.
+pub(crate) fn permute_range_serial(
+    src: &[Complex64],
+    new_dims: &[usize],
+    contrib: &[usize],
+    out: &mut [Complex64],
+) {
+    if !out.is_empty() {
+        permute_range(src, new_dims, contrib, 0, out);
+    }
+}
+
+/// Serial gather of `chunk.len()` permuted elements starting at output
+/// offset `start`: the odometer walk of `Tensor::permuted`, made
+/// restartable by decomposing `start` into per-axis counters once.
+fn permute_range(
+    src: &[Complex64],
+    new_dims: &[usize],
+    contrib: &[usize],
+    start: usize,
+    chunk: &mut [Complex64],
+) {
+    let rank = new_dims.len();
+    let mut counters = vec![0usize; rank];
+    let mut src_off = 0usize;
+    let mut rem = start;
+    for axis in (0..rank).rev() {
+        let digit = rem % new_dims[axis];
+        rem /= new_dims[axis];
+        counters[axis] = digit;
+        src_off += digit * contrib[axis];
+    }
+    for slot in chunk.iter_mut() {
+        *slot = src[src_off];
+        // increment odometer from the last axis
+        for axis in (0..rank).rev() {
+            counters[axis] += 1;
+            src_off += contrib[axis];
+            if counters[axis] < new_dims[axis] {
+                break;
+            }
+            src_off -= contrib[axis] * new_dims[axis];
+            counters[axis] = 0;
+        }
+    }
+}
+
+/// Fills `chunk` with axis sums: output element `j = start + t` is
+/// `Σ_{k<d} src[(o·d + k)·inner + i]` for `o = j / inner`, `i = j % inner`,
+/// accumulated in ascending `k` — the same per-element reduction order as
+/// the serial triple loop, so parallel blocks are bit-identical.
+fn sum_axis_range(
+    src: &[Complex64],
+    d: usize,
+    inner: usize,
+    start: usize,
+    chunk: &mut [Complex64],
+) {
+    let mut o = start / inner;
+    let mut i = start % inner;
+    for slot in chunk.iter_mut() {
+        let mut acc = Complex64::ZERO;
+        let base = o * d;
+        for k in 0..d {
+            acc += src[(base + k) * inner + i];
+        }
+        *slot = acc;
+        i += 1;
+        if i == inner {
+            i = 0;
+            o += 1;
+        }
     }
 }
 

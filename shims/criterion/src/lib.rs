@@ -1,0 +1,268 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-group API surface this workspace's benches
+//! use (`benchmark_group`, `throughput`, `sample_size`, `warm_up_time`,
+//! `measurement_time`, `bench_function`, `bench_with_input`, `Bencher::iter`)
+//! with a plain wall-clock harness: warm up for the configured duration,
+//! then time batches for the measurement window and report the median
+//! per-iteration time plus derived throughput. No statistical outlier
+//! analysis, plots, or HTML reports — results print to stdout, one line
+//! per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can defeat constant folding.
+pub use std::hint::black_box;
+
+/// Work metadata for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("function", parameter)`.
+    pub fn new(function: &str, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Runs the closure under timing.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Duration,
+    iters_run: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly; the return value is passed through
+    /// [`black_box`] so the work is not optimized away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up window has elapsed at least once.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Scale batch size so one sample is roughly measurement/sample_size.
+        let per_iter = if warm_iters > 0 {
+            warm_start.elapsed() / warm_iters as u32
+        } else {
+            Duration::from_millis(1)
+        };
+        let target = self.measurement / self.sample_size.max(1) as u32;
+        let batch = (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let measure_start = Instant::now();
+        let mut total_iters: u64 = 0;
+        while samples.len() < self.sample_size && measure_start.elapsed() < self.measurement * 2 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed() / batch as u32);
+            total_iters += batch;
+        }
+        samples.sort_unstable();
+        self.last_median =
+            samples.get(samples.len() / 2).copied().unwrap_or(per_iter);
+        self.iters_run = total_iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            last_median: Duration::ZERO,
+            iters_run: 0,
+        };
+        f(&mut b);
+        self.report(&id.label, b.last_median);
+        self
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    fn report(&mut self, label: &str, median: Duration) {
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let gbps = n as f64 / median.as_secs_f64() / 1e9;
+                format!("  thrpt: {gbps:.3} GB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let meps = n as f64 / median.as_secs_f64() / 1e6;
+                format!("  thrpt: {meps:.3} Melem/s")
+            }
+            None => String::new(),
+        };
+        let line = format!("{}/{label}  time: {median:?}{rate}", self.name);
+        println!("{line}");
+        self.criterion.results.push(BenchResult {
+            id: format!("{}/{label}", self.name),
+            median,
+            throughput: self.throughput,
+        });
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// One completed measurement, queryable after the group runs.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub id: String,
+    pub median: Duration,
+    pub throughput: Option<Throughput>,
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// Results accumulated across all groups, in run order.
+    pub results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 100,
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Declares a bench-group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that invokes each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(5)
+                .warm_up_time(Duration::from_millis(5))
+                .measurement_time(Duration::from_millis(20));
+            g.bench_function("spin", |b| {
+                b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].median > Duration::ZERO);
+        assert_eq!(c.results[0].id, "unit/spin");
+    }
+
+    #[test]
+    fn ids_format_like_upstream() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

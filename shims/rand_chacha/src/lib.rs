@@ -1,0 +1,139 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Implements a genuine ChaCha8 keystream (Bernstein's ChaCha with 8
+//! rounds) behind the local `rand` shim traits. Seeding expands the 64-bit
+//! seed through SplitMix64 into the 256-bit key, so distinct seeds give
+//! independent streams. The bit stream does not match upstream
+//! `rand_chacha` (which this workspace never relies on); statistical
+//! quality does.
+
+use rand::{RngCore, SeedableRng, SplitMix64};
+
+/// ChaCha8 pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// ChaCha state: 4 constant words, 8 key words, 2 counter, 2 nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word of `block` (16 ⇒ exhausted).
+    word: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+const ROUNDS: usize = 8;
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // column round
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // diagonal round
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in
+            self.block.iter_mut().zip(working.iter().zip(&self.state))
+        {
+            *out = w.wrapping_add(s);
+        }
+        self.word = 0;
+        // 64-bit block counter in words 12..14.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        self.state[13] = self.state[13].wrapping_add(carry as u32);
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.word >= 16 {
+            self.refill();
+        }
+        let v = self.block[self.word];
+        self.word += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut expander = SplitMix64(state);
+        let mut st = [0u32; 16];
+        st[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for k in 0..4 {
+            let v = expander.next_u64();
+            st[4 + 2 * k] = v as u32;
+            st[5 + 2 * k] = (v >> 32) as u32;
+        }
+        // counter = 0, nonce = 0
+        ChaCha8Rng { state: st, block: [0; 16], word: 16 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = ChaCha8Rng::seed_from_u64(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = ChaCha8Rng::seed_from_u64(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = ChaCha8Rng::seed_from_u64(8);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniformity_rough() {
+        let mut r = ChaCha8Rng::seed_from_u64(42);
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        let ones: u32 = (0..1000).map(|_| r.next_u64().count_ones()).sum();
+        let frac = ones as f64 / 64_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "bit balance {frac}");
+    }
+
+    #[test]
+    fn blocks_differ() {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let first: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+}

@@ -3,6 +3,58 @@
 
 use proptest::prelude::*;
 use qcf::prelude::*;
+use qcf::tensornet::{contract, contract_serial, multiply_keep, multiply_keep_serial};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A tensor with the given labels, label-dims drawn from `dim_of`, and
+/// seeded random complex data.
+fn random_tensor(labels: &[u32], dim_of: &[usize], seed: u64) -> Tensor {
+    let dims: Vec<usize> = labels.iter().map(|&l| dim_of[l as usize]).collect();
+    let total: usize = dims.iter().product();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let data: Vec<Complex64> = (0..total)
+        .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect();
+    Tensor::new(labels.to_vec(), dims, data).unwrap()
+}
+
+fn assert_tensors_bit_identical(par: &Tensor, ser: &Tensor, what: &str) {
+    assert_eq!(par.indices(), ser.indices(), "{what}: labels differ");
+    assert_eq!(par.dims(), ser.dims(), "{what}: dims differ");
+    for (i, (x, y)) in par.data().iter().zip(ser.data()).enumerate() {
+        assert_eq!(x.re.to_bits(), y.re.to_bits(), "{what}: re differs at {i}");
+        assert_eq!(x.im.to_bits(), y.im.to_bits(), "{what}: im differs at {i}");
+    }
+}
+
+/// Forces the block-parallel GEMM, permute and broadcast kernels (well past
+/// `PAR_MIN_ELEMS`) and checks them bit-for-bit against the serial walk.
+#[test]
+fn large_contract_and_multiply_bit_identical_to_serial() {
+    let dim_of = [32usize, 16, 16, 32, 2, 2];
+    let a = random_tensor(&[0, 1, 2], &dim_of, 11); // 8192 elements
+    let b = random_tensor(&[2, 3], &dim_of, 12); // 512 elements, shares label 2
+    assert_tensors_bit_identical(
+        &contract(&a, &b).unwrap(),
+        &contract_serial(&a, &b).unwrap(),
+        "contract",
+    );
+    // Union output: 32·16·16·32 = 262144 elements — dozens of blocks.
+    assert_tensors_bit_identical(
+        &multiply_keep(&a, &b).unwrap(),
+        &multiply_keep_serial(&a, &b).unwrap(),
+        "multiply_keep",
+    );
+    // Permuted operands (no identity fast path on either side).
+    let ap = a.permuted(&[2, 0, 1]).unwrap();
+    let bp = b.permuted(&[3, 2]).unwrap();
+    assert_tensors_bit_identical(
+        &contract(&ap, &bp).unwrap(),
+        &contract_serial(&ap, &bp).unwrap(),
+        "contract permuted",
+    );
+}
 
 fn any_f64_buffer() -> impl Strategy<Value = Vec<f64>> {
     // Finite values across magnitudes, plus heavy repetition and zeros —
@@ -19,6 +71,32 @@ fn any_f64_buffer() -> impl Strategy<Value = Vec<f64>> {
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_tensor_ops_bit_identical_to_serial(
+        dim_picks in prop::collection::vec(2usize..5, 6..7),
+        a_mask in 1u8..64,
+        b_mask in 1u8..64,
+        seed in 0u64..1_000_000,
+    ) {
+        // Random label subsets of a 6-label universe (dims 2..=4 each), with
+        // b's axis order shuffled so permutation paths are exercised. Output
+        // sizes stay ≤ 4096, bracketing the parallel cutover threshold.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let labels_a: Vec<u32> = (0..6).filter(|i| a_mask & (1 << i) != 0).collect();
+        let mut labels_b: Vec<u32> = (0..6).filter(|i| b_mask & (1 << i) != 0).collect();
+        labels_b.shuffle(&mut rng);
+        let a = random_tensor(&labels_a, &dim_picks, seed.wrapping_mul(2) + 1);
+        let b = random_tensor(&labels_b, &dim_picks, seed.wrapping_mul(2) + 2);
+
+        let par = contract(&a, &b).unwrap();
+        let ser = contract_serial(&a, &b).unwrap();
+        assert_tensors_bit_identical(&par, &ser, "contract");
+
+        let par = multiply_keep(&a, &b).unwrap();
+        let ser = multiply_keep_serial(&a, &b).unwrap();
+        assert_tensors_bit_identical(&par, &ser, "multiply_keep");
+    }
 
     #[test]
     fn error_bounded_compressors_respect_any_abs_bound(
