@@ -8,6 +8,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== fmt =="
+cargo fmt --check
+
 echo "== build (release) =="
 cargo build --release --workspace
 

@@ -2,13 +2,13 @@
 //! out): backend block sizes, cuSZ quant radius, and the codec primitives
 //! every compressor sits on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use codec_kit::bitio::BitWriter;
 use codec_kit::huffman::{histogram, HuffmanEncoder};
 use codec_kit::lz77::{find_matches, LzConfig};
 use compressors::cusz::CuSz;
 use compressors::cuszx::CuSzx;
 use compressors::{Compressor, ErrorBound};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpu_model::{DeviceSpec, Stream};
 use qcf_bench::corpus::synthetic_tensor;
 
@@ -72,5 +72,10 @@ fn bench_codec_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_szx_block_size, bench_cusz_radius, bench_codec_primitives);
+criterion_group!(
+    benches,
+    bench_szx_block_size,
+    bench_cusz_radius,
+    bench_codec_primitives
+);
 criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! compressors plus the framework modes — the Criterion counterpart of
 //! experiment E3 (whose headline numbers are simulated-A100 figures).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use compressors::{all_compressors, Compressor, ErrorBound};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpu_model::{DeviceSpec, Stream};
 use qcf_bench::corpus::synthetic_tensor;
 use qcf_core::QcfCompressor;
@@ -25,9 +25,11 @@ fn bench_compress(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for comp in lineup() {
-        group.bench_with_input(BenchmarkId::from_parameter(comp.name()), &data, |b, data| {
-            b.iter(|| comp.compress(data, ErrorBound::Rel(1e-3), &stream).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(comp.name()),
+            &data,
+            |b, data| b.iter(|| comp.compress(data, ErrorBound::Rel(1e-3), &stream).unwrap()),
+        );
     }
     group.finish();
 }
@@ -42,7 +44,9 @@ fn bench_decompress(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for comp in lineup() {
-        let compressed = comp.compress(&data, ErrorBound::Rel(1e-3), &stream).unwrap();
+        let compressed = comp
+            .compress(&data, ErrorBound::Rel(1e-3), &stream)
+            .unwrap();
         group.bench_with_input(
             BenchmarkId::from_parameter(comp.name()),
             &compressed,

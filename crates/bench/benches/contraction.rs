@@ -1,12 +1,12 @@
 //! Simulator benchmarks: exact vs compressed contraction (E7/E9's cost
 //! side) and the ordering-heuristic ablation DESIGN.md calls out.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use compressors::ErrorBound;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcf_core::QcfCompressor;
 use qcircuit::{Graph, QaoaParams};
 use qtensor::compressed::CompressingHook;
 use qtensor::{OrderingHeuristic, Simulator};
-use qcf_core::QcfCompressor;
 
 fn bench_energy(c: &mut Criterion) {
     let graph = Graph::random_regular(16, 3, 77);
@@ -25,7 +25,9 @@ fn bench_energy(c: &mut Criterion) {
         let comp = QcfCompressor::ratio();
         b.iter(|| {
             let mut hook = CompressingHook::new(&comp, ErrorBound::Abs(1e-4), 2);
-            sim.energy_with_hook(&graph, &params, &mut hook).unwrap().energy
+            sim.energy_with_hook(&graph, &params, &mut hook)
+                .unwrap()
+                .energy
         })
     });
     group.bench_function("compressed_speed_mode", |b| {
@@ -33,7 +35,9 @@ fn bench_energy(c: &mut Criterion) {
         let comp = QcfCompressor::speed();
         b.iter(|| {
             let mut hook = CompressingHook::new(&comp, ErrorBound::Abs(1e-4), 2);
-            sim.energy_with_hook(&graph, &params, &mut hook).unwrap().energy
+            sim.energy_with_hook(&graph, &params, &mut hook)
+                .unwrap()
+                .energy
         })
     });
     group.finish();
@@ -46,9 +50,10 @@ fn bench_ordering_heuristics(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for (name, h) in
-        [("min_fill", OrderingHeuristic::MinFill), ("min_degree", OrderingHeuristic::MinDegree)]
-    {
+    for (name, h) in [
+        ("min_fill", OrderingHeuristic::MinFill),
+        ("min_degree", OrderingHeuristic::MinDegree),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &h, |b, &h| {
             let sim = Simulator::new(h, true);
             b.iter(|| sim.energy(&graph, &params).unwrap().energy)

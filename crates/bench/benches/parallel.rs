@@ -6,8 +6,8 @@
 //! within noise of each other; set `QCF_WORKERS=<n>` to force the threaded
 //! paths. Results feed `BENCH_parallel.json` at the repo root.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use compressors::{Compressor, ErrorBound};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use gpu_model::{DeviceSpec, Stream};
 use qcf_core::QcfCompressor;
 use rand::{Rng, SeedableRng};
@@ -68,13 +68,15 @@ fn bench_qcf_compress(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.throughput(Throughput::Bytes((n * 8) as u64));
-    for (name, comp) in
-        [("ratio", QcfCompressor::ratio()), ("speed", QcfCompressor::speed())]
-    {
+    for (name, comp) in [
+        ("ratio", QcfCompressor::ratio()),
+        ("speed", QcfCompressor::speed()),
+    ] {
         group.bench_function(name, |bch| {
             let stream = Stream::new(DeviceSpec::a100());
             bch.iter(|| {
-                comp.compress(black_box(&data), ErrorBound::Abs(1e-4), &stream).unwrap()
+                comp.compress(black_box(&data), ErrorBound::Abs(1e-4), &stream)
+                    .unwrap()
             })
         });
     }
@@ -91,5 +93,11 @@ fn report_workers(c: &mut Criterion) {
     let _ = c;
 }
 
-criterion_group!(benches, report_workers, bench_contract, bench_multiply_keep, bench_qcf_compress);
+criterion_group!(
+    benches,
+    report_workers,
+    bench_contract,
+    bench_multiply_keep,
+    bench_qcf_compress
+);
 criterion_main!(benches);

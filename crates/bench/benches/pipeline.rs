@@ -1,8 +1,8 @@
 //! Framework-pipeline benchmarks: the E4 ablation ladder's *cost* side
 //! (each stage's wall-time overhead) and the E5/E6 sweeps' hot paths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use compressors::{Compressor, ErrorBound};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpu_model::{DeviceSpec, Stream};
 use qcf_bench::corpus::synthetic_tensor;
 use qcf_bench::experiments::e4_ablation::ladder;
@@ -37,9 +37,11 @@ fn bench_bound_sweep(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for eb in [1e-2f64, 1e-3, 1e-4] {
         let comp = QcfCompressor::ratio();
-        group.bench_with_input(BenchmarkId::new("qcf_ratio", format!("{eb:.0e}")), &data, |b, data| {
-            b.iter(|| comp.compress(data, ErrorBound::Rel(eb), &stream).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("qcf_ratio", format!("{eb:.0e}")),
+            &data,
+            |b, data| b.iter(|| comp.compress(data, ErrorBound::Rel(eb), &stream).unwrap()),
+        );
     }
     group.finish();
 }

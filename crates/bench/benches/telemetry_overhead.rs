@@ -1,0 +1,72 @@
+//! Telemetry overhead: the same contraction + compression hot path with
+//! `QCF_TELEMETRY` disabled vs enabled.
+//!
+//! The disabled path must stay under 5% overhead — every span and metric
+//! mutation is gated on a single relaxed atomic load, so "off" should be
+//! indistinguishable from never instrumenting at all. The enabled cost is
+//! recorded for honesty but is not bounded: it buys the trace. Results
+//! feed `BENCH_telemetry.json` at the repo root.
+
+use compressors::{Compressor, ErrorBound};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use qcf_core::QcfCompressor;
+use qcircuit::{Graph, QaoaParams};
+use qtensor::Simulator;
+
+/// Drains the bounded span buffer so the enabled side never measures the
+/// buffer-full early-out instead of the real recording cost.
+fn drain_spans() {
+    qcf_telemetry::span::reset();
+}
+
+fn bench_contraction(c: &mut Criterion) {
+    let g = Graph::random_regular(12, 3, 7);
+    let params = QaoaParams::fixed_angles_3reg_p1();
+    let sim = Simulator::default();
+    let mut group = c.benchmark_group("telemetry/contraction");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (label, on) in [("disabled", false), ("enabled", true)] {
+        group.bench_function(label, |bch| {
+            qcf_telemetry::set_enabled(on);
+            bch.iter(|| {
+                drain_spans();
+                sim.energy(black_box(&g), black_box(&params))
+                    .unwrap()
+                    .energy
+            })
+        });
+    }
+    group.finish();
+    qcf_telemetry::set_enabled(false);
+}
+
+fn bench_compress(c: &mut Criterion) {
+    // Same workload as parallel.rs's qcf_compress/ratio so the disabled
+    // side is directly comparable to the pre-telemetry BENCH_parallel.json.
+    let n = 1usize << 18;
+    let data: Vec<f64> = (0..n).map(|i| (i as f64 * 0.013).sin() * 0.4).collect();
+    let comp = QcfCompressor::ratio();
+    let mut group = c.benchmark_group("telemetry/qcf_compress");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Bytes((n * 8) as u64));
+    for (label, on) in [("disabled", false), ("enabled", true)] {
+        group.bench_function(label, |bch| {
+            qcf_telemetry::set_enabled(on);
+            let stream = gpu_model::Stream::new(gpu_model::DeviceSpec::a100());
+            bch.iter(|| {
+                drain_spans();
+                comp.compress(black_box(&data), ErrorBound::Abs(1e-4), &stream)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+    qcf_telemetry::set_enabled(false);
+}
+
+criterion_group!(benches, bench_contraction, bench_compress);
+criterion_main!(benches);

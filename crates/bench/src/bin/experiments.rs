@@ -2,27 +2,53 @@
 //!
 //! ```text
 //! experiments [e1|e2|...|e9|all] [--quick] [--out DIR]
+//!             [--trace FILE] [--metrics FILE] [--phases]
 //! ```
 //!
-//! Prints each regenerated table and writes JSON records (default `results/`).
+//! Prints each regenerated table and writes JSON records (default
+//! `results/`). `--trace` writes a Chrome-trace JSON of all spans recorded
+//! across the run, `--metrics` dumps the telemetry registry (TSV, or JSON
+//! with a `.json` extension), and `--phases` prints the per-phase time
+//! breakdown table after the experiments finish.
 
 use qcf_bench::experiments::run_by_id;
+use qcf_bench::{cli, report};
+use std::path::Path;
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_dir = args
+    let phases = args.iter().any(|a| a == "--phases");
+    let trace_path = flag(&args, "--trace").map(str::to_string);
+    let metrics_path = flag(&args, "--metrics").map(str::to_string);
+    if trace_path.is_some() || metrics_path.is_some() || phases {
+        // Explicit telemetry request overrides QCF_TELEMETRY=0.
+        qcf_telemetry::set_enabled(true);
+    }
+    let out_dir = flag(&args, "--out").unwrap_or("results").to_string();
+    // Positional ids: anything that is neither a flag nor a flag's value.
+    let value_positions: Vec<usize> = ["--out", "--trace", "--metrics"]
         .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "results".to_string());
+        .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
+        .collect();
     let ids: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != args.iter().position(|x| x == "--out").and_then(|i| args.get(i + 1)).map(|s| s.as_str()))
-        .cloned()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && !value_positions.contains(i))
+        .map(|(_, a)| a.clone())
         .collect();
-    let ids = if ids.is_empty() { vec!["all".to_string()] } else { ids };
+    let ids = if ids.is_empty() {
+        vec!["all".to_string()]
+    } else {
+        ids
+    };
 
     for id in &ids {
         let started = std::time::Instant::now();
@@ -44,6 +70,24 @@ fn main() {
                 eprintln!("unknown experiment '{id}' (expected e1..e9 or all)");
                 std::process::exit(2);
             }
+        }
+    }
+
+    if phases {
+        report::phase_table(&qcf_telemetry::span::snapshot()).print();
+        report::metrics_table().print();
+    }
+    if let Some(path) = &trace_path {
+        // Experiments run everything host-side; only span lanes here.
+        match cli::write_trace(Path::new(path), &[]) {
+            Ok(()) => eprintln!("trace written to {path}"),
+            Err(e) => eprintln!("warning: could not write trace: {e}"),
+        }
+    }
+    if let Some(path) = &metrics_path {
+        match cli::write_metrics(Path::new(path)) {
+            Ok(()) => eprintln!("metrics written to {path}"),
+            Err(e) => eprintln!("warning: could not write metrics: {e}"),
         }
     }
 }

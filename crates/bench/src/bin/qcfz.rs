@@ -5,17 +5,47 @@
 //! qcfz compress <in.f64> <out.qcfz> [--compressor NAME] [--rel X | --abs X]
 //! qcfz decompress <in.qcfz> <out.f64>
 //! qcfz info <in.qcfz>
+//! qcfz qaoa [--nodes N] [--seed S] [--compressor NAME] [--rel X | --abs X]
 //! ```
+//!
+//! Every subcommand that does work accepts `--trace out.json` (Chrome-trace
+//! JSON: host span lanes plus the simulated stream's kernel lane, loadable
+//! in `chrome://tracing` / `ui.perfetto.dev`) and `--metrics out.tsv`
+//! (flat registry dump; `.json` extension switches the format).
 
+use gpu_model::{DeviceSpec, Stream};
 use qcf_bench::cli;
 use std::path::Path;
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Writes `--trace` / `--metrics` outputs when requested.
+fn export_telemetry(
+    args: &[String],
+    lanes: &[qcf_telemetry::StreamLane],
+) -> Result<(), cli::CliError> {
+    if let Some(path) = flag(args, "--trace") {
+        cli::write_trace(Path::new(path), lanes)?;
+        eprintln!("trace written to {path}");
+    }
+    if let Some(path) = flag(args, "--metrics") {
+        cli::write_metrics(Path::new(path))?;
+        eprintln!("metrics written to {path}");
+    }
+    Ok(())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--trace" || a == "--metrics") {
+        // Explicit export request overrides QCF_TELEMETRY=0.
+        qcf_telemetry::set_enabled(true);
+    }
     let result = match args.first().map(String::as_str) {
         Some("list") => {
             println!("available compressors:\n{}", cli::list());
@@ -24,30 +54,61 @@ fn main() {
         Some("compress") if args.len() >= 3 => {
             let comp = flag(&args, "--compressor").unwrap_or("QCF-ratio");
             cli::parse_bound(flag(&args, "--rel"), flag(&args, "--abs")).and_then(|bound| {
-                cli::compress_file(Path::new(&args[1]), Path::new(&args[2]), comp, bound).map(
-                    |s| {
-                        println!(
-                            "{} values -> {} bytes ({:.1}x) in {:.3} simulated ms",
-                            s.n_values,
-                            s.compressed_bytes,
-                            s.ratio,
-                            s.simulated_s * 1e3
-                        );
-                    },
-                )
+                let stream = Stream::new(DeviceSpec::a100());
+                let s = cli::compress_file_on(
+                    Path::new(&args[1]),
+                    Path::new(&args[2]),
+                    comp,
+                    bound,
+                    &stream,
+                )?;
+                println!(
+                    "{} values -> {} bytes ({:.1}x) in {:.3} simulated ms",
+                    s.n_values,
+                    s.compressed_bytes,
+                    s.ratio,
+                    s.simulated_s * 1e3
+                );
+                export_telemetry(&args, &[stream.telemetry_lane("A100 stream")])
             })
         }
         Some("decompress") if args.len() >= 3 => {
-            cli::decompress_file(Path::new(&args[1]), Path::new(&args[2]))
+            let stream = Stream::new(DeviceSpec::a100());
+            cli::decompress_file_on(Path::new(&args[1]), Path::new(&args[2]), &stream)
                 .map(|n| println!("restored {n} values"))
+                .and_then(|()| export_telemetry(&args, &[stream.telemetry_lane("A100 stream")]))
         }
         Some("info") if args.len() >= 2 => {
             cli::info(Path::new(&args[1])).map(|line| println!("{line}"))
         }
+        Some("qaoa") => {
+            let nodes = flag(&args, "--nodes")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10);
+            let seed = flag(&args, "--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(21);
+            let comp = flag(&args, "--compressor").unwrap_or("QCF-ratio");
+            cli::parse_bound(flag(&args, "--rel"), flag(&args, "--abs")).and_then(|bound| {
+                let s = cli::qaoa_demo(nodes, seed, comp, bound)?;
+                println!(
+                    "QAOA n={nodes}: energy {:.6}, {} intermediates compressed ({:.1}x), \
+                     peak live {} bytes, {:.3} simulated ms on the compressor stream",
+                    s.energy,
+                    s.tensors_compressed,
+                    s.ratio,
+                    s.peak_live_bytes,
+                    s.simulated_s * 1e3
+                );
+                export_telemetry(&args, std::slice::from_ref(&s.stream_lane))
+            })
+        }
         _ => {
             eprintln!(
                 "usage: qcfz list | compress <in> <out> [--compressor NAME] [--rel X|--abs X] \
-                 | decompress <in> <out> | info <in>"
+                 | decompress <in> <out> | info <in> \
+                 | qaoa [--nodes N] [--seed S] [--compressor NAME] [--rel X|--abs X]\n\
+                 any work subcommand also takes [--trace out.json] [--metrics out.tsv]"
             );
             std::process::exit(2);
         }

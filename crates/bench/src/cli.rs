@@ -8,6 +8,10 @@
 use compressors::{all_compressors, by_name, Compressor, ErrorBound};
 use gpu_model::{DeviceSpec, Stream};
 use qcf_core::QcfCompressor;
+use qcf_telemetry::StreamLane;
+use qcircuit::{Graph, QaoaParams};
+use qtensor::compressed::CompressingHook;
+use qtensor::Simulator;
 use std::path::Path;
 
 /// CLI-level errors with user-facing messages.
@@ -56,7 +60,10 @@ fn read_f64_file(path: &Path) -> Result<Vec<f64>, CliError> {
             bytes.len()
         )));
     }
-    Ok(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
 }
 
 /// Result summary of a compression run.
@@ -79,12 +86,32 @@ pub fn compress_file(
     compressor: &str,
     bound: ErrorBound,
 ) -> Result<CompressSummary, CliError> {
-    let comp = cli_by_name(compressor)
-        .ok_or_else(|| CliError(format!("unknown compressor '{compressor}' (try `qcfz list`)")))?;
+    compress_file_on(
+        input,
+        output,
+        compressor,
+        bound,
+        &Stream::new(DeviceSpec::a100()),
+    )
+}
+
+/// [`compress_file`] on a caller-owned stream, so the caller can export
+/// the stream's kernel events afterwards (`--trace`).
+pub fn compress_file_on(
+    input: &Path,
+    output: &Path,
+    compressor: &str,
+    bound: ErrorBound,
+    stream: &Stream,
+) -> Result<CompressSummary, CliError> {
+    let comp = cli_by_name(compressor).ok_or_else(|| {
+        CliError(format!(
+            "unknown compressor '{compressor}' (try `qcfz list`)"
+        ))
+    })?;
     let data = read_f64_file(input)?;
-    let stream = Stream::new(DeviceSpec::a100());
     let bytes = comp
-        .compress(&data, bound, &stream)
+        .compress(&data, bound, stream)
         .map_err(|e| CliError(format!("{}: {e}", comp.name())))?;
     std::fs::write(output, &bytes)?;
     Ok(CompressSummary {
@@ -97,9 +124,13 @@ pub fn compress_file(
 
 /// Decompresses a `qcfz` stream back to raw little-endian f64.
 pub fn decompress_file(input: &Path, output: &Path) -> Result<usize, CliError> {
+    decompress_file_on(input, output, &Stream::new(DeviceSpec::a100()))
+}
+
+/// [`decompress_file`] on a caller-owned stream (see [`compress_file_on`]).
+pub fn decompress_file_on(input: &Path, output: &Path, stream: &Stream) -> Result<usize, CliError> {
     let bytes = std::fs::read(input)?;
-    let stream = Stream::new(DeviceSpec::a100());
-    let values = compressed_values(&bytes, &stream)?;
+    let values = compressed_values(&bytes, stream)?;
     let mut out = Vec::with_capacity(values.len() * 8);
     for v in &values {
         out.extend_from_slice(&v.to_le_bytes());
@@ -115,7 +146,8 @@ fn compressed_values(bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CliError
         .into_iter()
         .find(|c| c.id() == id)
         .ok_or_else(|| CliError(format!("unknown stream id {id}")))?;
-    comp.decompress(bytes, stream).map_err(|e| CliError(format!("{}: {e}", comp.name())))
+    comp.decompress(bytes, stream)
+        .map_err(|e| CliError(format!("{}: {e}", comp.name())))
 }
 
 /// Human-readable info about a compressed file.
@@ -145,6 +177,76 @@ pub fn list() -> String {
         .map(|c| format!("  {:10} (id {}, {:?})", c.name(), c.id(), c.kind()))
         .collect::<Vec<_>>()
         .join("\n")
+}
+
+/// Result summary of a [`qaoa_demo`] run.
+#[derive(Debug, Clone)]
+pub struct QaoaSummary {
+    /// MaxCut energy expectation from the compressed contraction.
+    pub energy: f64,
+    /// Intermediates routed through the compressor.
+    pub tensors_compressed: usize,
+    /// Aggregate compression ratio over those intermediates.
+    pub ratio: f64,
+    /// Peak live bytes during contraction.
+    pub peak_live_bytes: usize,
+    /// Simulated seconds spent on the compressor's stream.
+    pub simulated_s: f64,
+    /// The compressor stream's kernel-event lane (for `--trace`).
+    pub stream_lane: StreamLane,
+}
+
+/// Runs a small QAOA energy computation with every intermediate tensor
+/// round-tripping through `compressor` — the end-to-end pipeline
+/// (contraction → stages → compressor kernels) that `qcfz qaoa --trace`
+/// exports as a Chrome trace.
+pub fn qaoa_demo(
+    nodes: usize,
+    seed: u64,
+    compressor: &str,
+    bound: ErrorBound,
+) -> Result<QaoaSummary, CliError> {
+    let comp = cli_by_name(compressor).ok_or_else(|| {
+        CliError(format!(
+            "unknown compressor '{compressor}' (try `qcfz list`)"
+        ))
+    })?;
+    let graph = Graph::random_regular(nodes, 3, seed);
+    let params = QaoaParams::fixed_angles_3reg_p1();
+    let mut hook = CompressingHook::new(comp.as_ref(), bound, 4);
+    let report = Simulator::default()
+        .energy_with_hook(&graph, &params, &mut hook)
+        .map_err(|e| CliError(format!("contraction failed: {e}")))?;
+    Ok(QaoaSummary {
+        energy: report.energy,
+        tensors_compressed: hook.stats.tensors_compressed,
+        ratio: hook.stats.ratio(),
+        peak_live_bytes: report.stats.peak_live_bytes,
+        simulated_s: hook.stream().elapsed_s(),
+        stream_lane: hook
+            .stream()
+            .telemetry_lane(format!("{} stream", comp.name())),
+    })
+}
+
+/// Writes the recorded spans plus `lanes` as Chrome-trace JSON to `path`.
+pub fn write_trace(path: &Path, lanes: &[StreamLane]) -> Result<(), CliError> {
+    let spans = qcf_telemetry::span::snapshot();
+    std::fs::write(path, qcf_telemetry::chrome_trace(&spans, lanes))?;
+    Ok(())
+}
+
+/// Writes the registry snapshot to `path`: JSON when the extension is
+/// `.json`, TSV otherwise.
+pub fn write_metrics(path: &Path) -> Result<(), CliError> {
+    let snap = qcf_telemetry::registry().snapshot();
+    let doc = if path.extension().is_some_and(|e| e == "json") {
+        qcf_telemetry::metrics_json(&snap)
+    } else {
+        qcf_telemetry::metrics_tsv(&snap)
+    };
+    std::fs::write(path, doc)?;
+    Ok(())
 }
 
 /// Parses a `--rel X` / `--abs X` pair into a bound (defaults to rel 1e-3).
@@ -190,7 +292,10 @@ mod tests {
         assert!(s.ratio > 1.0);
         let n = decompress_file(&comp, &back).unwrap();
         assert_eq!(n, 1000);
-        assert_eq!(std::fs::read(&input).unwrap(), std::fs::read(&back).unwrap());
+        assert_eq!(
+            std::fs::read(&input).unwrap(),
+            std::fs::read(&back).unwrap()
+        );
     }
 
     #[test]
@@ -222,16 +327,84 @@ mod tests {
     #[test]
     fn bound_parsing() {
         assert_eq!(parse_bound(None, None).unwrap(), ErrorBound::Rel(1e-3));
-        assert_eq!(parse_bound(Some("1e-4"), None).unwrap(), ErrorBound::Rel(1e-4));
-        assert_eq!(parse_bound(None, Some("0.5")).unwrap(), ErrorBound::Abs(0.5));
+        assert_eq!(
+            parse_bound(Some("1e-4"), None).unwrap(),
+            ErrorBound::Rel(1e-4)
+        );
+        assert_eq!(
+            parse_bound(None, Some("0.5")).unwrap(),
+            ErrorBound::Abs(0.5)
+        );
         assert!(parse_bound(Some("1e-4"), Some("1")).is_err());
         assert!(parse_bound(Some("zzz"), None).is_err());
     }
 
     #[test]
+    fn qaoa_demo_trace_and_metrics_are_parseable() {
+        qcf_telemetry::set_enabled(true);
+        let s = qaoa_demo(10, 21, "QCF-ratio", ErrorBound::Abs(1e-5)).unwrap();
+        assert!(s.tensors_compressed > 0);
+        assert!(
+            !s.stream_lane.events.is_empty(),
+            "stream lane must carry kernel events"
+        );
+
+        // Chrome trace: valid JSON with host spans from >= 3 categories
+        // plus the virtual stream lane.
+        let trace_path = tmp("qaoa.trace.json");
+        write_trace(&trace_path, std::slice::from_ref(&s.stream_lane)).unwrap();
+        let doc = std::fs::read_to_string(&trace_path).unwrap();
+        qcf_telemetry::export::validate_json(&doc).expect("trace must be valid JSON");
+        let spans = qcf_telemetry::span::snapshot();
+        let cats: std::collections::BTreeSet<&str> = spans.iter().map(|e| e.cat).collect();
+        assert!(
+            ["contract", "stage", "compress"]
+                .iter()
+                .all(|c| cats.contains(c)),
+            "need contraction, stage and compressor-pipeline categories, got {cats:?}"
+        );
+        assert!(
+            doc.contains("\"pid\":2"),
+            "stream lane events must be present"
+        );
+
+        // Metrics: TSV and JSON both parse, and carry peak-live-bytes and
+        // per-compressor CR.
+        let tsv_path = tmp("qaoa.metrics.tsv");
+        write_metrics(&tsv_path).unwrap();
+        let tsv = std::fs::read_to_string(&tsv_path).unwrap();
+        assert!(tsv.starts_with("kind\tname\tvalue\textra\n"));
+        for line in tsv.lines() {
+            assert_eq!(line.split('\t').count(), 4, "malformed TSV row {line:?}");
+        }
+        assert!(
+            tsv.contains("contract.live_bytes"),
+            "peak-live-bytes gauge missing:\n{tsv}"
+        );
+        assert!(
+            tsv.contains("compressor.QCF-ratio.cr"),
+            "per-compressor CR missing:\n{tsv}"
+        );
+
+        let json_path = tmp("qaoa.metrics.json");
+        write_metrics(&json_path).unwrap();
+        let mjson = std::fs::read_to_string(&json_path).unwrap();
+        qcf_telemetry::export::validate_json(&mjson).expect("metrics JSON must be valid");
+        assert!(mjson.contains("contract.live_bytes"));
+    }
+
+    #[test]
     fn list_names_everything() {
         let l = list();
-        for name in ["cuSZ", "cuSZx", "cuZFP", "LZ4", "GDeflate", "QCF-ratio", "QCF-speed"] {
+        for name in [
+            "cuSZ",
+            "cuSZx",
+            "cuZFP",
+            "LZ4",
+            "GDeflate",
+            "QCF-ratio",
+            "QCF-speed",
+        ] {
             assert!(l.contains(name), "missing {name} in:\n{l}");
         }
     }

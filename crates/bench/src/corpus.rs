@@ -101,8 +101,11 @@ pub fn trace_instance(
 
 /// The standard real corpus: largest intermediates from three instances.
 pub fn real_corpus(quick: bool) -> Vec<CorpusTensor> {
-    let specs: &[(usize, u64)] =
-        if quick { &[(30, 5), (34, 1)] } else { &[(30, 5), (34, 1), (38, 2), (44, 3)] };
+    let specs: &[(usize, u64)] = if quick {
+        &[(30, 5), (34, 1)]
+    } else {
+        &[(30, 5), (34, 1), (38, 2), (44, 3)]
+    };
     let mut out = Vec::new();
     for &(n, seed) in specs {
         out.extend(trace_instance(n, seed, 2048, 6));
@@ -206,7 +209,11 @@ mod tests {
             ch.near_zero_frac
         );
         // alphabet small relative to n, as in E1
-        assert!(ch.distinct_frac < 0.2, "distinct fraction {:.3}", ch.distinct_frac);
+        assert!(
+            ch.distinct_frac < 0.2,
+            "distinct fraction {:.3}",
+            ch.distinct_frac
+        );
     }
 
     #[test]

@@ -51,8 +51,7 @@ mod tests {
         let tables = run(true);
         let t = &tables[0];
         // cuSZ: huffman_encode must be its largest kernel.
-        let cusz_rows: Vec<&Vec<String>> =
-            t.rows.iter().filter(|r| r[0] == "cuSZ").collect();
+        let cusz_rows: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == "cuSZ").collect();
         assert!(!cusz_rows.is_empty());
         assert!(
             cusz_rows[0][1].contains("huffman_encode"),

@@ -8,17 +8,32 @@ use qtensor::{OrderingHeuristic, Simulator, Strategy};
 
 /// Runs E11.
 pub fn run(quick: bool) -> Vec<Table> {
-    let instances: &[(usize, u64)] =
-        if quick { &[(12, 3), (16, 4)] } else { &[(16, 3), (22, 4), (30, 5), (38, 2)] };
+    let instances: &[(usize, u64)] = if quick {
+        &[(12, 3), (16, 4)]
+    } else {
+        &[(16, 3), (22, 4), (30, 5), (38, 2)]
+    };
 
     let mut table = Table::new(
         "e11",
         "contraction strategies: largest intermediate and peak live memory",
-        &["instance", "strategy", "max intermediate (elems)", "peak live (KiB)", "contractions"],
+        &[
+            "instance",
+            "strategy",
+            "max intermediate (elems)",
+            "peak live (KiB)",
+            "contractions",
+        ],
     );
     let variants: Vec<(&str, Simulator)> = vec![
-        ("bucket/min-fill", Simulator::new(OrderingHeuristic::MinFill, true)),
-        ("bucket/min-degree", Simulator::new(OrderingHeuristic::MinDegree, true)),
+        (
+            "bucket/min-fill",
+            Simulator::new(OrderingHeuristic::MinFill, true),
+        ),
+        (
+            "bucket/min-degree",
+            Simulator::new(OrderingHeuristic::MinDegree, true),
+        ),
         (
             "pairwise/greedy",
             Simulator::default().with_strategy(Strategy::GreedyPairwise),

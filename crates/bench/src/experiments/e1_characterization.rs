@@ -10,7 +10,16 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut table = Table::new(
         "e1",
         "dataset characterization: QTensor intermediates + scaled ensembles",
-        &["tensor", "KiB", "min", "max", "near-zero", "distinct", "distinct/n", "dict@1e-3"],
+        &[
+            "tensor",
+            "KiB",
+            "min",
+            "max",
+            "near-zero",
+            "distinct",
+            "distinct/n",
+            "dict@1e-3",
+        ],
     );
     let mut tensors = real_corpus(quick);
     if !quick {

@@ -14,9 +14,7 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut table = Table::new(
         "e3",
-        format!(
-            "simulated A100 throughput on 3 x 2^{exp}-element tensors (GB/s of payload)"
-        ),
+        format!("simulated A100 throughput on 3 x 2^{exp}-element tensors (GB/s of payload)"),
         &["compressor", "compress", "decompress", "CR"],
     );
     let mut szx_c = 0.0f64;

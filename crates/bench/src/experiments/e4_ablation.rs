@@ -13,10 +13,20 @@ pub fn ladder() -> Vec<(&'static str, StageToggles)> {
     let off = StageToggles::none();
     vec![
         ("cuSZ (no stages)", off),
-        ("+P1 de-interleave", StageToggles { deinterleave: true, ..off }),
+        (
+            "+P1 de-interleave",
+            StageToggles {
+                deinterleave: true,
+                ..off
+            },
+        ),
         (
             "+P2 zero collapse",
-            StageToggles { deinterleave: true, zero_collapse: true, ..off },
+            StageToggles {
+                deinterleave: true,
+                zero_collapse: true,
+                ..off
+            },
         ),
         (
             "+P3 dictionary",
@@ -82,7 +92,9 @@ pub fn run(quick: bool) -> Vec<Table> {
         "claim C1: full pipeline reaches {final_gain:.1}x plain cuSZ at the tightest \
          bound ({best_gain:.1}x best across bounds; paper: 'nearly 10 times')"
     ));
-    table.note("the dictionary stage (P3) contributes the bulk of the gain, as the E1 structure predicts");
+    table.note(
+        "the dictionary stage (P3) contributes the bulk of the gain, as the E1 structure predicts",
+    );
     vec![table]
 }
 
@@ -101,6 +113,9 @@ mod tests {
         assert!(gain > 3.0, "full-pipeline gain only {gain:.2}x");
         // The dictionary row must be the big jump.
         let dict_jump = crs[4] / crs[3].max(0.01);
-        assert!(dict_jump > 1.5, "dictionary stage gained only {dict_jump:.2}x");
+        assert!(
+            dict_jump > 1.5,
+            "dictionary stage gained only {dict_jump:.2}x"
+        );
     }
 }

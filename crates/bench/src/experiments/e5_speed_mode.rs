@@ -10,7 +10,11 @@ use qcf_core::QcfCompressor;
 
 /// Runs E5.
 pub fn run(quick: bool) -> Vec<Table> {
-    let exps: &[u32] = if quick { &[14, 16] } else { &[14, 16, 18, 20, 22] };
+    let exps: &[u32] = if quick {
+        &[14, 16]
+    } else {
+        &[14, 16, 18, 20, 22]
+    };
     let bound = ErrorBound::Rel(1e-3);
     let mut table = Table::new(
         "e5",

@@ -10,8 +10,11 @@ use qcf_core::QcfCompressor;
 /// Runs E6.
 pub fn run(quick: bool) -> Vec<Table> {
     let tensors = real_corpus(quick);
-    let bounds: &[f64] =
-        if quick { &[1e-2, 1e-3, 1e-4] } else { &[1e-1, 1e-2, 1e-3, 1e-4, 1e-5] };
+    let bounds: &[f64] = if quick {
+        &[1e-2, 1e-3, 1e-4]
+    } else {
+        &[1e-1, 1e-2, 1e-3, 1e-4, 1e-5]
+    };
     let comps: Vec<Box<dyn Compressor>> = vec![
         by_name("cuSZ").unwrap(),
         by_name("cuSZx").unwrap(),

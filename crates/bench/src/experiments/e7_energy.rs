@@ -3,15 +3,18 @@
 
 use crate::report::{pct, sci, Table};
 use compressors::{Compressor, ErrorBound};
+use qcf_core::QcfCompressor;
 use qcircuit::{Graph, QaoaParams};
 use qtensor::compressed::CompressingHook;
 use qtensor::Simulator;
-use qcf_core::QcfCompressor;
 
 /// Runs E7.
 pub fn run(quick: bool) -> Vec<Table> {
-    let instances: &[(usize, u64)] =
-        if quick { &[(14, 5), (18, 6)] } else { &[(14, 5), (18, 6), (22, 7), (26, 8)] };
+    let instances: &[(usize, u64)] = if quick {
+        &[(14, 5), (18, 6)]
+    } else {
+        &[(14, 5), (18, 6), (22, 7), (26, 8)]
+    };
     let bounds = [1e-2, 1e-3, 1e-4];
 
     let mut table = Table::new(

@@ -2,8 +2,8 @@
 //! injected tensor noise vs the calibrated first-order model.
 
 use crate::report::{sci, Table};
-use qcircuit::{Graph, QaoaParams};
 use qcf_core::fidelity::{calibrate, measure_noise_impact, predict_energy_error};
+use qcircuit::{Graph, QaoaParams};
 
 /// Runs E8.
 pub fn run(quick: bool) -> Vec<Table> {
@@ -12,18 +12,35 @@ pub fn run(quick: bool) -> Vec<Table> {
     // Disjoint seed sets: for a fixed seed the injected noise scales exactly
     // linearly with eps, so verifying on the calibration seeds would be
     // circular.
-    let cal_seeds: Vec<u64> = if quick { vec![101, 102] } else { vec![101, 102, 103, 104] };
-    let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3, 4, 5] };
+    let cal_seeds: Vec<u64> = if quick {
+        vec![101, 102]
+    } else {
+        vec![101, 102, 103, 104]
+    };
+    let seeds: Vec<u64> = if quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 3, 4, 5]
+    };
 
     // Calibrate once at a mid-range epsilon, then predict the sweep.
     let c = calibrate(&graph, &params, 1e-5, &cal_seeds).expect("calibration");
-    let epses: &[f64] =
-        if quick { &[1e-6, 1e-5, 1e-4] } else { &[1e-7, 1e-6, 1e-5, 1e-4, 1e-3] };
+    let epses: &[f64] = if quick {
+        &[1e-6, 1e-5, 1e-4]
+    } else {
+        &[1e-7, 1e-6, 1e-5, 1e-4, 1e-3]
+    };
 
     let mut table = Table::new(
         "e8",
         "tensor-noise impact on energy: measurement vs first-order model",
-        &["eps (tensor bound)", "tensors", "measured |dE|", "model C*eps*sqrt(T)", "model/measured"],
+        &[
+            "eps (tensor bound)",
+            "tensors",
+            "measured |dE|",
+            "model C*eps*sqrt(T)",
+            "model/measured",
+        ],
     );
     let mut ratios = Vec::new();
     for (k, &eps) in epses.iter().enumerate() {
@@ -68,8 +85,11 @@ mod tests {
     #[test]
     fn measured_error_grows_with_eps() {
         let tables = run(true);
-        let errs: Vec<f64> =
-            tables[0].rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        let errs: Vec<f64> = tables[0]
+            .rows
+            .iter()
+            .map(|r| r[2].parse().unwrap())
+            .collect();
         assert!(errs.last().unwrap() > errs.first().unwrap());
     }
 }

@@ -4,15 +4,18 @@
 
 use crate::report::Table;
 use compressors::ErrorBound;
+use qcf_core::QcfCompressor;
 use qcircuit::{Graph, QaoaParams};
 use qtensor::compressed::CompressingHook;
 use qtensor::Simulator;
-use qcf_core::QcfCompressor;
 
 /// Runs E9.
 pub fn run(quick: bool) -> Vec<Table> {
-    let instances: &[(usize, u64)] =
-        if quick { &[(22, 13)] } else { &[(22, 13), (30, 5), (38, 2)] };
+    let instances: &[(usize, u64)] = if quick {
+        &[(22, 13)]
+    } else {
+        &[(22, 13), (30, 5), (38, 2)]
+    };
 
     let mut table = Table::new(
         "e9",
@@ -32,8 +35,9 @@ pub fn run(quick: bool) -> Vec<Table> {
         let params = QaoaParams::fixed_angles_3reg_p2();
         let framework = QcfCompressor::ratio();
         let mut hook = CompressingHook::new(&framework, ErrorBound::Abs(1e-4), 64);
-        let report =
-            sim.energy_with_hook(&graph, &params, &mut hook).expect("compressed run");
+        let report = sim
+            .energy_with_hook(&graph, &params, &mut hook)
+            .expect("compressed run");
         let mib = |b: u64| b as f64 / (1 << 20) as f64;
         table.row(vec![
             format!("N={n} s={seed} p=2"),

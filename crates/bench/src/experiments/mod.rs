@@ -53,11 +53,7 @@ impl Aggregate {
 }
 
 /// Runs `comp` over every tensor and aggregates.
-pub fn measure(
-    comp: &dyn Compressor,
-    tensors: &[CorpusTensor],
-    bound: ErrorBound,
-) -> Aggregate {
+pub fn measure(comp: &dyn Compressor, tensors: &[CorpusTensor], bound: ErrorBound) -> Aggregate {
     let mut agg = Aggregate {
         raw_bytes: 0,
         compressed_bytes: 0,

@@ -35,7 +35,12 @@ impl Table {
     /// # Panics
     /// Panics when the arity differs from the header.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch in {}", self.id);
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row arity mismatch in {}",
+            self.id
+        );
         self.rows.push(cells);
     }
 
@@ -65,8 +70,11 @@ impl Table {
         out.push_str(&"-".repeat(header.join("  ").len()));
         out.push('\n');
         for row in &self.rows {
-            let line: Vec<String> =
-                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
             out.push_str(&line.join("  "));
             out.push('\n');
         }
@@ -87,7 +95,10 @@ impl Table {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
         out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
-        out.push_str(&format!("  \"columns\": {},\n", json_str_array(&self.columns, "  ")));
+        out.push_str(&format!(
+            "  \"columns\": {},\n",
+            json_str_array(&self.columns, "  ")
+        ));
         out.push_str("  \"rows\": [");
         for (i, row) in self.rows.iter().enumerate() {
             if i > 0 {
@@ -101,7 +112,10 @@ impl Table {
         } else {
             out.push_str("\n  ],\n");
         }
-        out.push_str(&format!("  \"notes\": {}\n", json_str_array(&self.notes, "  ")));
+        out.push_str(&format!(
+            "  \"notes\": {}\n",
+            json_str_array(&self.notes, "  ")
+        ));
         out.push('}');
         out
     }
@@ -116,6 +130,54 @@ impl Table {
         let mut f = std::fs::File::create(dir.join(name))?;
         f.write_all(self.to_json().as_bytes())
     }
+}
+
+/// Per-phase time breakdown from the telemetry span buffer.
+///
+/// Aggregates the given span snapshot by span name into a table of call
+/// count, total time, and mean time per call (span time is wall-clock on
+/// the recording thread; nested spans are counted in their parents too).
+pub fn phase_table(events: &[qcf_telemetry::SpanEvent]) -> Table {
+    let mut t = Table::new(
+        "phases",
+        "per-phase time breakdown",
+        &["phase", "category", "calls", "total ms", "mean µs"],
+    );
+    for (name, cat, count, total_us) in qcf_telemetry::span::aggregate(events) {
+        t.row(vec![
+            name.to_string(),
+            cat.to_string(),
+            count.to_string(),
+            format!("{:.3}", total_us as f64 / 1e3),
+            format!("{:.1}", total_us as f64 / count.max(1) as f64),
+        ]);
+    }
+    let dropped = qcf_telemetry::span::dropped();
+    if dropped > 0 {
+        t.note(format!("{dropped} span events dropped (buffer full)"));
+    }
+    t
+}
+
+/// Key registry metrics as a table: every counter, plus gauge high-water
+/// marks — the flat complement of the [`phase_table`] time view.
+pub fn metrics_table() -> Table {
+    let snap = qcf_telemetry::registry().snapshot();
+    let mut t = Table::new(
+        "metrics",
+        "telemetry registry",
+        &["metric", "value", "high water"],
+    );
+    for (name, value) in &snap.counters {
+        t.row(vec![name.clone(), value.to_string(), String::new()]);
+    }
+    for (name, (value, high)) in &snap.gauges {
+        t.row(vec![name.clone(), value.to_string(), high.to_string()]);
+    }
+    for (name, value) in &snap.float_gauges {
+        t.row(vec![name.clone(), format!("{value:.6}"), String::new()]);
+    }
+    t
 }
 
 /// JSON string literal with the escapes the control set requires.

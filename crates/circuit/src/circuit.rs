@@ -13,7 +13,10 @@ pub struct Circuit {
 impl Circuit {
     /// An empty circuit over `n_qubits` wires.
     pub fn new(n_qubits: usize) -> Self {
-        Circuit { n_qubits, gates: Vec::new() }
+        Circuit {
+            n_qubits,
+            gates: Vec::new(),
+        }
     }
 
     /// Number of wires.
@@ -48,8 +51,17 @@ impl Circuit {
     pub fn push(&mut self, gate: Gate) {
         let qs = gate.qubits();
         for (i, &q) in qs.iter().enumerate() {
-            assert!(q < self.n_qubits, "gate {} touches qubit {q} >= {}", gate.name(), self.n_qubits);
-            assert!(!qs[..i].contains(&q), "gate {} repeats qubit {q}", gate.name());
+            assert!(
+                q < self.n_qubits,
+                "gate {} touches qubit {q} >= {}",
+                gate.name(),
+                self.n_qubits
+            );
+            assert!(
+                !qs[..i].contains(&q),
+                "gate {} repeats qubit {q}",
+                gate.name()
+            );
         }
         self.gates.push(gate);
     }
@@ -103,7 +115,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Circuit({} qubits, {} gates):", self.n_qubits, self.gates.len())?;
+        writeln!(
+            f,
+            "Circuit({} qubits, {} gates):",
+            self.n_qubits,
+            self.gates.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {} {:?}", g.name(), g.qubits())?;
         }

@@ -221,8 +221,16 @@ mod tests {
                 for k in 0..dim {
                     dot += m[i * dim + k] * m[j * dim + k].conj();
                 }
-                let want = if i == j { Complex64::ONE } else { Complex64::ZERO };
-                assert!(dot.approx_eq(want, 1e-12), "{} not unitary at ({i},{j})", g.name());
+                let want = if i == j {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
+                assert!(
+                    dot.approx_eq(want, 1e-12),
+                    "{} not unitary at ({i},{j})",
+                    g.name()
+                );
             }
         }
     }

@@ -78,7 +78,10 @@ impl Graph {
     /// Panics for `n > 24` — exhaustive search would be too slow.
     pub fn max_cut_bruteforce(&self) -> usize {
         assert!(self.n <= 24, "brute force limited to 24 vertices");
-        (0u64..1 << self.n).map(|bits| self.cut_value(bits)).max().unwrap_or(0)
+        (0u64..1 << self.n)
+            .map(|bits| self.cut_value(bits))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Ring graph (cycle) on `n` vertices.

@@ -23,7 +23,11 @@ impl BitWriter {
 
     /// A writer with reserved output capacity (bytes).
     pub fn with_capacity(bytes: usize) -> Self {
-        BitWriter { out: Vec::with_capacity(bytes), acc: 0, nbits: 0 }
+        BitWriter {
+            out: Vec::with_capacity(bytes),
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     /// Appends the low `n` bits of `value` (LSB first). `n` may be 0..=57
@@ -104,7 +108,12 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// A reader positioned at the start of `data`.
     pub fn new(data: &'a [u8]) -> Self {
-        BitReader { data, byte_pos: 0, acc: 0, nbits: 0 }
+        BitReader {
+            data,
+            byte_pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     #[inline]
@@ -282,7 +291,11 @@ mod tests {
                 }
                 w.append(&sub);
             }
-            assert_eq!(w.clone().finish(), direct.clone().finish(), "split {split_at}");
+            assert_eq!(
+                w.clone().finish(),
+                direct.clone().finish(),
+                "split {split_at}"
+            );
         }
     }
 

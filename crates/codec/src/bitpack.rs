@@ -9,7 +9,11 @@ use crate::error::CodecError;
 
 /// Smallest width (bits) that can represent every value in `values`.
 pub fn required_width(values: &[u64]) -> u32 {
-    values.iter().map(|&v| 64 - v.leading_zeros()).max().unwrap_or(0)
+    values
+        .iter()
+        .map(|&v| 64 - v.leading_zeros())
+        .max()
+        .unwrap_or(0)
 }
 
 /// Packs `values` at `width` bits each.
@@ -53,7 +57,11 @@ mod tests {
     #[test]
     fn pack_unpack_roundtrip() {
         for width in [1u32, 3, 8, 13, 31, 57] {
-            let maxv = if width == 57 { (1u64 << 57) - 1 } else { (1u64 << width) - 1 };
+            let maxv = if width == 57 {
+                (1u64 << 57) - 1
+            } else {
+                (1u64 << width) - 1
+            };
             let values: Vec<u64> = (0..100).map(|i| (i * 2654435761u64) & maxv).collect();
             let mut w = BitWriter::new();
             pack(&values, width, &mut w);

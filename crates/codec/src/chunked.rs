@@ -149,7 +149,9 @@ mod tests {
 
     fn sample(n: usize, alphabet: u32, seed: u64) -> Vec<u32> {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        (0..n).map(|_| rng.gen_range(0..alphabet) * rng.gen_range(0..2)).collect()
+        (0..n)
+            .map(|_| rng.gen_range(0..alphabet) * rng.gen_range(0..2))
+            .collect()
     }
 
     #[test]

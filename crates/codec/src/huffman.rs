@@ -51,8 +51,12 @@ pub fn build_code_lengths(freqs: &[u64], max_len: u32) -> Vec<u8> {
 
 /// Plain (unlimited-depth) Huffman code lengths via pairwise merging.
 fn huffman_lengths_unlimited(freqs: &[u64]) -> Vec<u8> {
-    let present: Vec<usize> =
-        freqs.iter().enumerate().filter(|(_, &f)| f > 0).map(|(i, _)| i).collect();
+    let present: Vec<usize> = freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(i, _)| i)
+        .collect();
     let mut lengths = vec![0u8; freqs.len()];
     match present.len() {
         0 => return lengths,
@@ -210,14 +214,20 @@ impl HuffmanDecoder {
     pub fn from_lengths(lengths: &[u8]) -> Result<Self, CodecError> {
         let max_len = lengths.iter().copied().max().unwrap_or(0) as u32;
         if max_len == 0 {
-            return Ok(HuffmanDecoder { table: Vec::new(), max_len: 0 });
+            return Ok(HuffmanDecoder {
+                table: Vec::new(),
+                max_len: 0,
+            });
         }
         if max_len > MAX_CODE_LEN {
             return Err(CodecError::Unsupported("code length beyond MAX_CODE_LEN"));
         }
         // Kraft check: a valid (possibly non-full) code never oversubscribes.
-        let kraft: u64 =
-            lengths.iter().filter(|&&l| l > 0).map(|&l| 1u64 << (max_len - l as u32)).sum();
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (max_len - l as u32))
+            .sum();
         if kraft > 1u64 << max_len {
             return Err(CodecError::Corrupt("oversubscribed Huffman code"));
         }
@@ -375,7 +385,10 @@ mod tests {
         let lengths = build_code_lengths(&freqs, MAX_CODE_LEN);
         assert!(lengths.iter().all(|&l| (l as u32) <= MAX_CODE_LEN));
         // still decodable
-        let enc = HuffmanEncoder { codes: canonical_codes(&lengths), lengths };
+        let enc = HuffmanEncoder {
+            codes: canonical_codes(&lengths),
+            lengths,
+        };
         let mut w = BitWriter::new();
         let syms: Vec<u32> = (0..40u32).collect();
         enc.encode_all(&mut w, &syms);

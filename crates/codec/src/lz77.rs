@@ -40,7 +40,12 @@ pub struct LzConfig {
 
 impl Default for LzConfig {
     fn default() -> Self {
-        LzConfig { min_match: 4, max_match: 65_535, window: 65_535, max_chain: 32 }
+        LzConfig {
+            min_match: 4,
+            max_match: 65_535,
+            window: 65_535,
+            max_chain: 32,
+        }
     }
 }
 
@@ -72,7 +77,10 @@ pub fn find_matches(data: &[u8], cfg: &LzConfig) -> Vec<LzToken> {
 
     let flush_literals = |tokens: &mut Vec<LzToken>, lit_start: usize, end: usize| {
         if end > lit_start {
-            tokens.push(LzToken::Literal { start: lit_start, len: end - lit_start });
+            tokens.push(LzToken::Literal {
+                start: lit_start,
+                len: end - lit_start,
+            });
         }
     };
 
@@ -105,7 +113,10 @@ pub fn find_matches(data: &[u8], cfg: &LzConfig) -> Vec<LzToken> {
 
         if best_len >= cfg.min_match {
             flush_literals(&mut tokens, lit_start, i);
-            tokens.push(LzToken::Match { len: best_len, dist: best_dist });
+            tokens.push(LzToken::Match {
+                len: best_len,
+                dist: best_dist,
+            });
             // Insert hash entries for the matched region (bounded to keep
             // the parse O(n) even on pathological inputs).
             let end = i + best_len;
@@ -173,7 +184,9 @@ mod tests {
         let data = b"abcdabcdabcdabcd";
         let tokens = roundtrip(data);
         assert!(
-            tokens.iter().any(|t| matches!(t, LzToken::Match { dist: 4, .. })),
+            tokens
+                .iter()
+                .any(|t| matches!(t, LzToken::Match { dist: 4, .. })),
             "expected a distance-4 match, got {tokens:?}"
         );
     }
@@ -182,8 +195,14 @@ mod tests {
     fn run_of_zeros_compresses_to_overlapping_match() {
         let data = vec![0u8; 1000];
         let tokens = roundtrip(&data);
-        assert!(tokens.len() <= 3, "run should be a couple of tokens: {}", tokens.len());
-        assert!(tokens.iter().any(|t| matches!(t, LzToken::Match { dist: 1, .. })));
+        assert!(
+            tokens.len() <= 3,
+            "run should be a couple of tokens: {}",
+            tokens.len()
+        );
+        assert!(tokens
+            .iter()
+            .any(|t| matches!(t, LzToken::Match { dist: 1, .. })));
     }
 
     #[test]
@@ -199,12 +218,18 @@ mod tests {
                 _ => None,
             })
             .sum();
-        assert!(match_bytes < data.len() / 8, "random data matched {match_bytes} bytes");
+        assert!(
+            match_bytes < data.len() / 8,
+            "random data matched {match_bytes} bytes"
+        );
     }
 
     #[test]
     fn long_match_lengths_capped() {
-        let cfg = LzConfig { max_match: 16, ..LzConfig::default() };
+        let cfg = LzConfig {
+            max_match: 16,
+            ..LzConfig::default()
+        };
         let data = vec![7u8; 200];
         let tokens = find_matches(&data, &cfg);
         assert_eq!(expand(&tokens, &data), data);
@@ -229,6 +254,9 @@ mod tests {
                 _ => None,
             })
             .sum();
-        assert!(match_bytes > bytes.len() / 2, "periodic data should mostly match");
+        assert!(
+            match_bytes > bytes.len() / 2,
+            "periodic data should mostly match"
+        );
     }
 }

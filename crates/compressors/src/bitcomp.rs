@@ -181,7 +181,9 @@ mod tests {
         let b = stream();
         Bitcomp.compress(&v, ErrorBound::Abs(0.0), &b).unwrap();
         let g = stream();
-        crate::gdeflate::GDeflate.compress(&v, ErrorBound::Abs(0.0), &g).unwrap();
+        crate::gdeflate::GDeflate
+            .compress(&v, ErrorBound::Abs(0.0), &g)
+            .unwrap();
         assert!(b.elapsed_s() < g.elapsed_s() / 4.0);
     }
 

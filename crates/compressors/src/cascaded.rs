@@ -150,7 +150,10 @@ impl Compressor for Cascaded {
             }
             None => {
                 out.push(0); // raw fallback
-                stream.launch(&KernelSpec::streaming("cascaded::raw_copy", nbytes, nbytes), || ());
+                stream.launch(
+                    &KernelSpec::streaming("cascaded::raw_copy", nbytes, nbytes),
+                    || (),
+                );
                 for w in &words {
                     out.extend_from_slice(&w.to_le_bytes());
                 }

@@ -41,7 +41,9 @@ pub struct CuSz {
 
 impl Default for CuSz {
     fn default() -> Self {
-        CuSz { radius: DEFAULT_RADIUS }
+        CuSz {
+            radius: DEFAULT_RADIUS,
+        }
     }
 }
 
@@ -71,17 +73,16 @@ const QUANT_BLOCK: usize = 1 << 14;
 /// from `data[lo−1]` and proceeds independently. Blocks concatenate in
 /// index order — symbols and the outlier list are identical to the serial
 /// single-pass walk.
-pub(crate) fn dual_quant(
-    data: &[f64],
-    twoeb: f64,
-    radius: i64,
-) -> (Vec<u32>, Vec<(usize, i64)>) {
+pub(crate) fn dual_quant(data: &[f64], twoeb: f64, radius: i64) -> (Vec<u32>, Vec<(usize, i64)>) {
     let parts = par_map_blocks(data, QUANT_BLOCK, |b, chunk| {
         let base = b * QUANT_BLOCK;
         let mut symbols = Vec::with_capacity(chunk.len());
         let mut outliers = Vec::new();
-        let mut prev_ep =
-            if base == 0 { 0i64 } else { (data[base - 1] / twoeb).round() as i64 };
+        let mut prev_ep = if base == 0 {
+            0i64
+        } else {
+            (data[base - 1] / twoeb).round() as i64
+        };
         for (j, &x) in chunk.iter().enumerate() {
             let ep = (x / twoeb).round() as i64;
             let delta = ep - prev_ep;
@@ -209,12 +210,8 @@ impl Compressor for CuSz {
 
         // Kernel 1: Huffman decode — chunk-parallel thanks to the gap array.
         let symbols = stream.launch(
-            &KernelSpec::streaming(
-                "cusz::huffman_decode",
-                payload_len as u64,
-                (n * 2) as u64,
-            )
-            .with_pattern(MemoryPattern::BitSerial),
+            &KernelSpec::streaming("cusz::huffman_decode", payload_len as u64, (n * 2) as u64)
+                .with_pattern(MemoryPattern::BitSerial),
             || {
                 let syms = decode_chunked(payload)?;
                 if syms.len() != n {
@@ -340,7 +337,11 @@ mod tests {
         let data = vec![0.25f64; 65_536];
         let c = CuSz::default();
         let bytes = c.compress(&data, ErrorBound::Abs(1e-4), &stream()).unwrap();
-        assert!(bytes.len() < 20_000, "constant data took {} bytes", bytes.len());
+        assert!(
+            bytes.len() < 20_000,
+            "constant data took {} bytes",
+            bytes.len()
+        );
         let rec = c.decompress(&bytes, &stream()).unwrap();
         assert_bound(&data, &rec, 1e-4);
     }
@@ -375,7 +376,10 @@ mod tests {
         c.compress(&data, ErrorBound::Abs(1e-3), &s).unwrap();
         let huff = s.time_in("huffman_encode");
         let quant = s.time_in("dual_quant");
-        assert!(huff > quant, "expected Huffman ({huff}) to dominate quant ({quant})");
+        assert!(
+            huff > quant,
+            "expected Huffman ({huff}) to dominate quant ({quant})"
+        );
     }
 
     #[test]

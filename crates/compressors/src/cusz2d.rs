@@ -56,7 +56,11 @@ impl CuSz {
                     let (row, col) = (i / width, i % width);
                     let left = if col > 0 { ep[i - 1] } else { 0 };
                     let up = if row > 0 { ep[i - width] } else { 0 };
-                    let upleft = if row > 0 && col > 0 { ep[i - width - 1] } else { 0 };
+                    let upleft = if row > 0 && col > 0 {
+                        ep[i - width - 1]
+                    } else {
+                        0
+                    };
                     let delta = ep[i] - (left + up - upleft);
                     if delta > -radius && delta < radius {
                         symbols.push((delta + radius) as u32);
@@ -149,9 +153,13 @@ impl CuSz {
 
         let twoeb = 2.0 * eb;
         stream.launch(
-            &KernelSpec::streaming("cusz2d::lorenzo_reconstruct", (n * 10) as u64, (n * 8) as u64)
-                .with_pattern(MemoryPattern::Strided)
-                .with_flops((n * 4) as u64),
+            &KernelSpec::streaming(
+                "cusz2d::lorenzo_reconstruct",
+                (n * 10) as u64,
+                (n * 8) as u64,
+            )
+            .with_pattern(MemoryPattern::Strided)
+            .with_flops((n * 4) as u64),
             || {
                 let mut ep = vec![0i64; n];
                 let mut next_outlier = 0usize;
@@ -159,7 +167,11 @@ impl CuSz {
                     let (row, col) = (i / width, i % width);
                     let left = if col > 0 { ep[i - 1] } else { 0 };
                     let up = if row > 0 { ep[i - width] } else { 0 };
-                    let upleft = if row > 0 && col > 0 { ep[i - width - 1] } else { 0 };
+                    let upleft = if row > 0 && col > 0 {
+                        ep[i - width - 1]
+                    } else {
+                        0
+                    };
                     if sym == 0 {
                         if next_outlier >= outliers.len() || outliers[next_outlier].0 != i {
                             return Err(CodecError::Corrupt("missing outlier record"));
@@ -203,7 +215,9 @@ mod tests {
         let data = smooth_field(64, 100);
         let c = CuSz::default();
         for eb in [1e-2, 1e-4, 1e-6] {
-            let bytes = c.compress_2d(&data, 100, ErrorBound::Abs(eb), &stream()).unwrap();
+            let bytes = c
+                .compress_2d(&data, 100, ErrorBound::Abs(eb), &stream())
+                .unwrap();
             let rec = c.decompress_2d(&bytes, &stream()).unwrap();
             assert_bound(&data, &rec, eb);
         }
@@ -226,7 +240,9 @@ mod tests {
     fn partial_last_row() {
         let data = smooth_field(10, 33)[..300].to_vec();
         let c = CuSz::default();
-        let bytes = c.compress_2d(&data, 33, ErrorBound::Abs(1e-5), &stream()).unwrap();
+        let bytes = c
+            .compress_2d(&data, 33, ErrorBound::Abs(1e-5), &stream())
+            .unwrap();
         let rec = c.decompress_2d(&bytes, &stream()).unwrap();
         assert_eq!(rec.len(), 300);
         assert_bound(&data, &rec, 1e-5);
@@ -236,7 +252,9 @@ mod tests {
     fn width_one_degenerates_to_1d_chain() {
         let data: Vec<f64> = (0..500).map(|i| (i as f64 * 0.01).sin()).collect();
         let c = CuSz::default();
-        let bytes = c.compress_2d(&data, 1, ErrorBound::Abs(1e-4), &stream()).unwrap();
+        let bytes = c
+            .compress_2d(&data, 1, ErrorBound::Abs(1e-4), &stream())
+            .unwrap();
         let rec = c.decompress_2d(&bytes, &stream()).unwrap();
         assert_bound(&data, &rec, 1e-4);
     }
@@ -247,7 +265,9 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
         let data: Vec<f64> = (0..4096).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let c = CuSz::default();
-        let bytes = c.compress_2d(&data, 64, ErrorBound::Abs(1e-6), &stream()).unwrap();
+        let bytes = c
+            .compress_2d(&data, 64, ErrorBound::Abs(1e-6), &stream())
+            .unwrap();
         let rec = c.decompress_2d(&bytes, &stream()).unwrap();
         assert_bound(&data, &rec, 1e-6);
     }
@@ -256,7 +276,9 @@ mod tests {
     fn corrupt_streams_error() {
         let data = smooth_field(16, 16);
         let c = CuSz::default();
-        let bytes = c.compress_2d(&data, 16, ErrorBound::Abs(1e-4), &stream()).unwrap();
+        let bytes = c
+            .compress_2d(&data, 16, ErrorBound::Abs(1e-4), &stream())
+            .unwrap();
         for cut in [0, 1, 5, bytes.len() / 2] {
             assert!(c.decompress_2d(&bytes[..cut], &stream()).is_err());
         }
@@ -268,7 +290,9 @@ mod tests {
     #[test]
     fn empty_input() {
         let c = CuSz::default();
-        let bytes = c.compress_2d(&[], 8, ErrorBound::Abs(1e-3), &stream()).unwrap();
+        let bytes = c
+            .compress_2d(&[], 8, ErrorBound::Abs(1e-3), &stream())
+            .unwrap();
         assert!(c.decompress_2d(&bytes, &stream()).unwrap().is_empty());
     }
 }

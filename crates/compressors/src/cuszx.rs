@@ -44,7 +44,10 @@ impl CuSzx {
     /// # Panics
     /// Panics unless `16 ≤ block_size ≤ 65536`.
     pub fn with_block_size(block_size: usize) -> Self {
-        assert!((16..=65_536).contains(&block_size), "block size out of range");
+        assert!(
+            (16..=65_536).contains(&block_size),
+            "block size out of range"
+        );
         CuSzx { block_size }
     }
 }
@@ -161,8 +164,10 @@ fn encode_block(block: &[f64], eb: f64, twoeb: f64, w: &mut BitWriter) {
     }
     w.write_bit(false);
     w.write_u64(mean.to_bits());
-    let codes: Vec<u64> =
-        block.iter().map(|&v| zigzag(((v - mean) / twoeb).round() as i64)).collect();
+    let codes: Vec<u64> = block
+        .iter()
+        .map(|&v| zigzag(((v - mean) / twoeb).round() as i64))
+        .collect();
     let width = required_width(&codes).min(57);
     w.write_bits(width as u64, 6);
     pack(&codes, width, w);
@@ -247,7 +252,9 @@ mod tests {
     fn faster_than_cusz_on_model() {
         let data: Vec<f64> = (0..(1 << 18)).map(|i| (i as f64 * 0.01).sin()).collect();
         let szx_stream = stream();
-        CuSzx::default().compress(&data, ErrorBound::Abs(1e-3), &szx_stream).unwrap();
+        CuSzx::default()
+            .compress(&data, ErrorBound::Abs(1e-3), &szx_stream)
+            .unwrap();
         let sz_stream = stream();
         crate::cusz::CuSz::default()
             .compress(&data, ErrorBound::Abs(1e-3), &sz_stream)
@@ -291,8 +298,12 @@ mod tests {
         }
         let small = CuSzx::with_block_size(32);
         let large = CuSzx::with_block_size(512);
-        let b_small = small.compress(&data, ErrorBound::Abs(1e-6), &stream()).unwrap();
-        let b_large = large.compress(&data, ErrorBound::Abs(1e-6), &stream()).unwrap();
+        let b_small = small
+            .compress(&data, ErrorBound::Abs(1e-6), &stream())
+            .unwrap();
+        let b_large = large
+            .compress(&data, ErrorBound::Abs(1e-6), &stream())
+            .unwrap();
         // Piecewise-constant segments aligned with large blocks: larger
         // blocks amortize the per-block mean better.
         assert!(b_large.len() < b_small.len());

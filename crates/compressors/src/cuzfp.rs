@@ -345,15 +345,23 @@ mod tests {
     #[test]
     fn zero_blocks_nearly_free() {
         let data = vec![0.0f64; 1 << 16];
-        let bytes = CuZfp.compress(&data, ErrorBound::Abs(1e-6), &stream()).unwrap();
+        let bytes = CuZfp
+            .compress(&data, ErrorBound::Abs(1e-6), &stream())
+            .unwrap();
         // 1 bit per 4 values + headers
-        assert!(bytes.len() < 4096, "{} bytes for all-zero input", bytes.len());
+        assert!(
+            bytes.len() < 4096,
+            "{} bytes for all-zero input",
+            bytes.len()
+        );
     }
 
     #[test]
     fn partial_tail_handled() {
         let data: Vec<f64> = (0..13).map(|i| i as f64 * 0.1).collect();
-        let bytes = CuZfp.compress(&data, ErrorBound::Abs(1e-5), &stream()).unwrap();
+        let bytes = CuZfp
+            .compress(&data, ErrorBound::Abs(1e-5), &stream())
+            .unwrap();
         let rec = CuZfp.decompress(&bytes, &stream()).unwrap();
         assert_eq!(rec.len(), 13);
         assert_bound(&data, &rec, 1e-5);
@@ -362,15 +370,21 @@ mod tests {
     #[test]
     fn looser_bound_smaller_stream() {
         let data: Vec<f64> = (0..65_536).map(|i| (i as f64 * 0.01).sin()).collect();
-        let loose = CuZfp.compress(&data, ErrorBound::Abs(1e-2), &stream()).unwrap();
-        let tight = CuZfp.compress(&data, ErrorBound::Abs(1e-8), &stream()).unwrap();
+        let loose = CuZfp
+            .compress(&data, ErrorBound::Abs(1e-2), &stream())
+            .unwrap();
+        let tight = CuZfp
+            .compress(&data, ErrorBound::Abs(1e-8), &stream())
+            .unwrap();
         assert!(loose.len() < tight.len());
     }
 
     #[test]
     fn corrupt_stream_errors() {
         let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
-        let bytes = CuZfp.compress(&data, ErrorBound::Abs(1e-4), &stream()).unwrap();
+        let bytes = CuZfp
+            .compress(&data, ErrorBound::Abs(1e-4), &stream())
+            .unwrap();
         for cut in [0, 1, 9, bytes.len() - 1] {
             let _ = CuZfp.decompress(&bytes[..cut], &stream());
         }
@@ -379,7 +393,9 @@ mod tests {
     #[test]
     fn subnormal_inputs_do_not_break_bound() {
         let data = vec![1e-310f64, -1e-312, 0.0, 1e-308];
-        let bytes = CuZfp.compress(&data, ErrorBound::Abs(1e-6), &stream()).unwrap();
+        let bytes = CuZfp
+            .compress(&data, ErrorBound::Abs(1e-6), &stream())
+            .unwrap();
         let rec = CuZfp.decompress(&bytes, &stream()).unwrap();
         assert_bound(&data, &rec, 1e-6);
     }

@@ -35,11 +35,14 @@ impl Compressor for Memcpy {
     ) -> Result<Vec<u8>, CodecError> {
         let nbytes = (data.len() * 8) as u64;
         let mut out = stream_header(MEMCPY_ID, data.len());
-        stream.launch(&KernelSpec::streaming("memcpy::copy", nbytes, nbytes), || {
-            for v in data {
-                out.extend_from_slice(&v.to_le_bytes());
-            }
-        });
+        stream.launch(
+            &KernelSpec::streaming("memcpy::copy", nbytes, nbytes),
+            || {
+                for v in data {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            },
+        );
         Ok(out)
     }
 
@@ -49,12 +52,15 @@ impl Compressor for Memcpy {
             return Err(CodecError::UnexpectedEof);
         }
         let nbytes = (n * 8) as u64;
-        let out = stream.launch(&KernelSpec::streaming("memcpy::copy", nbytes, nbytes), || {
-            bytes[pos..pos + n * 8]
-                .chunks_exact(8)
-                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-                .collect()
-        });
+        let out = stream.launch(
+            &KernelSpec::streaming("memcpy::copy", nbytes, nbytes),
+            || {
+                bytes[pos..pos + n * 8]
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect()
+            },
+        );
         Ok(out)
     }
 }
@@ -88,7 +94,9 @@ mod tests {
     #[test]
     fn truncated_errors() {
         let s = Stream::new(DeviceSpec::a100());
-        let bytes = Memcpy.compress(&[1.0, 2.0], ErrorBound::Abs(0.0), &s).unwrap();
+        let bytes = Memcpy
+            .compress(&[1.0, 2.0], ErrorBound::Abs(0.0), &s)
+            .unwrap();
         assert!(Memcpy.decompress(&bytes[..bytes.len() - 1], &s).is_err());
     }
 }

@@ -29,24 +29,68 @@ const DIST_SYMS: usize = 30;
 /// DEFLATE length code table: `(base, extra_bits)` for symbols 257..=284;
 /// symbol 285 is the fixed length 258.
 const LEN_TABLE: [(usize, u32); 28] = [
-    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
-    (11, 1), (13, 1), (15, 1), (17, 1),
-    (19, 2), (23, 2), (27, 2), (31, 2),
-    (35, 3), (43, 3), (51, 3), (59, 3),
-    (67, 4), (83, 4), (99, 4), (115, 4),
-    (131, 5), (163, 5), (195, 5), (227, 5),
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
 ];
 
 /// DEFLATE distance code table: `(base, extra_bits)` for symbols 0..=29.
 const DIST_TABLE: [(usize, u32); 30] = [
-    (1, 0), (2, 0), (3, 0), (4, 0),
-    (5, 1), (7, 1), (9, 2), (13, 2),
-    (17, 3), (25, 3), (33, 4), (49, 4),
-    (65, 5), (97, 5), (129, 6), (193, 6),
-    (257, 7), (385, 7), (513, 8), (769, 8),
-    (1025, 9), (1537, 9), (2049, 10), (3073, 10),
-    (4097, 11), (6145, 11), (8193, 12), (12289, 12),
-    (16385, 13), (24577, 13),
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
 ];
 
 fn length_symbol(len: usize) -> (u32, u32, u64) {
@@ -80,7 +124,12 @@ pub struct GDeflate;
 /// Huffman codes). Public because the framework's ratio-mode dictionary
 /// stage entropy-codes its index stream with it.
 pub fn deflate_bytes(bytes: &[u8]) -> Vec<u8> {
-    let cfg = LzConfig { min_match: 4, max_match: 258, window: 32_768, max_chain: 64 };
+    let cfg = LzConfig {
+        min_match: 4,
+        max_match: 258,
+        window: 32_768,
+        max_chain: 64,
+    };
     let tokens = find_matches(bytes, &cfg);
 
     let mut litlen_hist = vec![0u64; LITLEN_SYMS];
@@ -159,13 +208,15 @@ pub fn inflate_bytes(data: &[u8], pos: &mut usize, expected: usize) -> Result<Ve
             let len = if sym == 285 {
                 258
             } else {
-                let (base, extra) =
-                    *LEN_TABLE.get(idx).ok_or(CodecError::Corrupt("bad length symbol"))?;
+                let (base, extra) = *LEN_TABLE
+                    .get(idx)
+                    .ok_or(CodecError::Corrupt("bad length symbol"))?;
                 base + r.read_bits(extra)? as usize
             };
             let dsym = dist_dec.decode_symbol(&mut r)? as usize;
-            let (dbase, dextra) =
-                *DIST_TABLE.get(dsym).ok_or(CodecError::Corrupt("bad distance symbol"))?;
+            let (dbase, dextra) = *DIST_TABLE
+                .get(dsym)
+                .ok_or(CodecError::Corrupt("bad distance symbol"))?;
             let dist = dbase + r.read_bits(dextra)? as usize;
             if dist == 0 || dist > out.len() {
                 return Err(CodecError::Corrupt("deflate offset out of window"));
@@ -250,7 +301,10 @@ impl Compressor for GDeflate {
             .with_pattern(MemoryPattern::BitSerial),
             || inflate_bytes(bytes, &mut pos, expected),
         )?;
-        Ok(raw.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
     }
 }
 
@@ -290,7 +344,11 @@ mod tests {
         }
         for dist in [1usize, 2, 4, 5, 100, 1024, 32_768] {
             let (sym, _, val) = dist_symbol(dist);
-            assert_eq!(DIST_TABLE[sym as usize].0 + val as usize, dist, "dist {dist}");
+            assert_eq!(
+                DIST_TABLE[sym as usize].0 + val as usize,
+                dist,
+                "dist {dist}"
+            );
         }
     }
 
@@ -313,7 +371,9 @@ mod tests {
         let g = roundtrip(&v);
         let l = {
             let c = crate::lz4::Lz4;
-            c.compress(&v, ErrorBound::Abs(0.0), &stream()).unwrap().len()
+            c.compress(&v, ErrorBound::Abs(0.0), &stream())
+                .unwrap()
+                .len()
         };
         assert!(g < l, "gdeflate {g} should beat lz4 {l} on match-poor data");
     }
@@ -333,8 +393,13 @@ mod tests {
         let g = stream();
         GDeflate.compress(&v, ErrorBound::Abs(0.0), &g).unwrap();
         let l = stream();
-        crate::lz4::Lz4.compress(&v, ErrorBound::Abs(0.0), &l).unwrap();
-        assert!(g.elapsed_s() > l.elapsed_s(), "deflate must cost more than lz4");
+        crate::lz4::Lz4
+            .compress(&v, ErrorBound::Abs(0.0), &l)
+            .unwrap();
+        assert!(
+            g.elapsed_s() > l.elapsed_s(),
+            "deflate must cost more than lz4"
+        );
     }
 
     #[test]

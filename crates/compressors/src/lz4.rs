@@ -23,7 +23,12 @@ pub struct Lz4;
 /// Encodes an LZ4 block from an LZ77 parse. Public because the framework's
 /// optional lossless tail pass reuses it on already-compressed bytes.
 pub fn lz4_encode_block(data: &[u8], out: &mut Vec<u8>) {
-    let cfg = LzConfig { min_match: 4, max_match: 1 << 20, window: 65_535, max_chain: 32 };
+    let cfg = LzConfig {
+        min_match: 4,
+        max_match: 1 << 20,
+        window: 65_535,
+        max_chain: 32,
+    };
     let tokens = find_matches(data, &cfg);
 
     // LZ4 sequences alternate (literals, match); coalesce the parse into
@@ -105,10 +110,7 @@ fn read_ext_len(data: &[u8], pos: &mut usize) -> Result<usize, CodecError> {
 }
 
 /// Decodes an LZ4 block into exactly `expected_len` bytes.
-pub fn lz4_decode_block(
-    data: &[u8],
-    expected_len: usize,
-) -> Result<Vec<u8>, CodecError> {
+pub fn lz4_decode_block(data: &[u8], expected_len: usize) -> Result<Vec<u8>, CodecError> {
     let mut out = Vec::with_capacity(expected_len);
     let mut pos = 0usize;
     while out.len() < expected_len {
@@ -178,8 +180,12 @@ impl Compressor for Lz4 {
         let payload = stream.launch(
             // Hash-table probing is data-dependent gather: Random pattern,
             // ~3 touched bytes per input byte.
-            &KernelSpec::streaming("lz4::match_and_emit", (bytes.len() * 3) as u64, bytes.len() as u64)
-                .with_pattern(MemoryPattern::Random),
+            &KernelSpec::streaming(
+                "lz4::match_and_emit",
+                (bytes.len() * 3) as u64,
+                bytes.len() as u64,
+            )
+            .with_pattern(MemoryPattern::Random),
             || {
                 let mut payload = Vec::with_capacity(bytes.len() / 2 + 64);
                 lz4_encode_block(&bytes, &mut payload);
@@ -202,7 +208,10 @@ impl Compressor for Lz4 {
                 .with_pattern(MemoryPattern::Strided),
             || lz4_decode_block(&bytes[pos..pos + payload_len], n * 8),
         )?;
-        Ok(raw.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
     }
 }
 
@@ -254,13 +263,21 @@ mod tests {
 
     #[test]
     fn nan_and_inf_preserved() {
-        roundtrip(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, f64::MIN_POSITIVE]);
+        roundtrip(&[
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            f64::MIN_POSITIVE,
+        ]);
     }
 
     #[test]
     fn negative_zero_bit_preserved() {
         let c = Lz4;
-        let bytes = c.compress(&[-0.0], ErrorBound::Abs(0.0), &stream()).unwrap();
+        let bytes = c
+            .compress(&[-0.0], ErrorBound::Abs(0.0), &stream())
+            .unwrap();
         let rec = c.decompress(&bytes, &stream()).unwrap();
         assert_eq!(rec[0].to_bits(), (-0.0f64).to_bits());
     }

@@ -24,6 +24,14 @@ pub struct QualityMetrics {
 
 /// Computes quality metrics; `compressed_len` in bytes.
 ///
+/// # Empty input
+/// Empty slices are well-defined, not an error: `max_abs_error` and `rmse`
+/// are `0.0`, `psnr_db` is `+∞` (nothing deviated), and
+/// `compression_ratio` is `0.0` (zero input bytes over a nonzero
+/// container). Callers that consider an empty buffer a bug must check
+/// before calling — this function deliberately reports "perfect
+/// reconstruction of nothing" rather than panicking mid-experiment.
+///
 /// # Panics
 /// Panics when lengths differ.
 pub fn quality(original: &[f64], reconstructed: &[f64], compressed_len: usize) -> QualityMetrics {
@@ -78,11 +86,17 @@ pub struct RoundTripReport {
 }
 
 /// Runs a full round trip on a fresh A100 stream and measures everything.
+///
+/// When telemetry is enabled, the run also publishes per-compressor
+/// metrics to the registry: `compressor.<name>.cr` / `.max_abs_err` /
+/// `.psnr_db` / `.gpu_compress_bps` / `.gpu_decompress_bps` float gauges
+/// plus a `compressor.<name>.round_trips` counter.
 pub fn round_trip(
     comp: &dyn Compressor,
     data: &[f64],
     bound: ErrorBound,
 ) -> Result<RoundTripReport, CodecError> {
+    let _span = qcf_telemetry::span!("compressor.round_trip");
     let payload = (data.len() * 8) as u64;
 
     let cstream = Stream::new(DeviceSpec::a100());
@@ -95,7 +109,7 @@ pub fn round_trip(
     let reconstructed = comp.decompress(&bytes, &dstream)?;
     let host_d = payload as f64 / t1.elapsed().as_secs_f64().max(1e-12);
 
-    Ok(RoundTripReport {
+    let report = RoundTripReport {
         name: comp.name(),
         n: data.len(),
         compressed_bytes: bytes.len(),
@@ -105,7 +119,23 @@ pub fn round_trip(
         host_compress_bps: host_c,
         host_decompress_bps: host_d,
         reconstructed,
-    })
+    };
+    if qcf_telemetry::enabled() {
+        let r = qcf_telemetry::registry();
+        let name = report.name;
+        r.float_gauge(&format!("compressor.{name}.cr"))
+            .set(report.quality.compression_ratio);
+        r.float_gauge(&format!("compressor.{name}.max_abs_err"))
+            .set(report.quality.max_abs_error);
+        r.float_gauge(&format!("compressor.{name}.psnr_db"))
+            .set(report.quality.psnr_db);
+        r.float_gauge(&format!("compressor.{name}.gpu_compress_bps"))
+            .set(report.gpu_compress_bps);
+        r.float_gauge(&format!("compressor.{name}.gpu_decompress_bps"))
+            .set(report.gpu_decompress_bps);
+        r.counter(&format!("compressor.{name}.round_trips")).inc();
+    }
+    Ok(report)
 }
 
 /// Asserts the error-bound contract of a reconstruction.
@@ -170,5 +200,20 @@ mod tests {
         let q = quality(&[], &[], 1);
         assert_eq!(q.max_abs_error, 0.0);
         assert!(q.psnr_db.is_infinite());
+    }
+
+    #[test]
+    fn empty_input_behavior_is_fully_specified() {
+        // The documented contract for empty slices, field by field: no
+        // panic, no NaN, and a ratio of exactly zero so the case is
+        // distinguishable from any real (ratio > 0) compression.
+        for compressed_len in [0usize, 1, 100] {
+            let q = quality(&[], &[], compressed_len);
+            assert_eq!(q.max_abs_error, 0.0, "no elements → no error");
+            assert_eq!(q.rmse, 0.0);
+            assert!(q.psnr_db.is_infinite() && q.psnr_db > 0.0);
+            assert_eq!(q.compression_ratio, 0.0, "zero input bytes → ratio 0");
+            assert!(!q.compression_ratio.is_nan());
+        }
     }
 }

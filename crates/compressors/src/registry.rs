@@ -31,7 +31,9 @@ pub fn all_compressors() -> Vec<Box<dyn Compressor>> {
 
 /// Looks a compressor up by its display name (case-insensitive).
 pub fn by_name(name: &str) -> Option<Box<dyn Compressor>> {
-    all_compressors().into_iter().find(|c| c.name().eq_ignore_ascii_case(name))
+    all_compressors()
+        .into_iter()
+        .find(|c| c.name().eq_ignore_ascii_case(name))
 }
 
 /// Decompresses any stream produced by a registry compressor, dispatching on
@@ -76,7 +78,13 @@ mod tests {
     #[test]
     fn every_compressor_roundtrips_the_same_buffer() {
         let data: Vec<f64> = (0..5000)
-            .map(|i| if i % 7 == 0 { 0.0 } else { ((i as f64) * 0.013).sin() * 0.7 })
+            .map(|i| {
+                if i % 7 == 0 {
+                    0.0
+                } else {
+                    ((i as f64) * 0.013).sin() * 0.7
+                }
+            })
             .collect();
         let eb = 1e-4;
         for c in all_compressors() {

@@ -67,7 +67,12 @@ fn emit_copy(out: &mut Vec<u8>, mut len: usize, dist: usize) {
 pub(crate) fn snappy_encode(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 2 + 16);
     write_uvarint(&mut out, data.len() as u64);
-    let cfg = LzConfig { min_match: 4, max_match: 1 << 20, window: 65_535, max_chain: 32 };
+    let cfg = LzConfig {
+        min_match: 4,
+        max_match: 1 << 20,
+        window: 65_535,
+        max_chain: 32,
+    };
     for token in find_matches(data, &cfg) {
         match token {
             LzToken::Literal { start, len } => emit_literal(&mut out, &data[start..start + len]),
@@ -212,7 +217,10 @@ impl Compressor for Snappy {
         if raw.len() != n * 8 {
             return Err(CodecError::Corrupt("snappy payload length mismatch"));
         }
-        Ok(raw.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
     }
 }
 

@@ -72,7 +72,10 @@ mod tests {
     use compressors::cusz::CuSz;
 
     fn instance() -> (Graph, QaoaParams) {
-        (Graph::random_regular(8, 3, 44), QaoaParams::new(vec![0.4, 0.7], vec![0.25, 0.5]))
+        (
+            Graph::random_regular(8, 3, 44),
+            QaoaParams::new(vec![0.4, 0.7], vec![0.25, 0.5]),
+        )
     }
 
     #[test]

@@ -76,7 +76,11 @@ pub fn quantize(plane: &[f64], eb: f64) -> Option<Quantized> {
         indices.push(idx);
     }
     let zero_index = map.get(&0).copied();
-    Some(Quantized { table, indices, zero_index })
+    Some(Quantized {
+        table,
+        indices,
+        zero_index,
+    })
 }
 
 fn write_table(table: &[i64], eb: f64, out: &mut Vec<u8>) {
@@ -116,7 +120,10 @@ pub fn encode_ratio(q: &Quantized, eb: f64, out: &mut Vec<u8>) {
     let wide = q.table.len() > 256;
     out.push(wide as u8);
     let bytes: Vec<u8> = if wide {
-        q.indices.iter().flat_map(|&i| (i as u16).to_le_bytes()).collect()
+        q.indices
+            .iter()
+            .flat_map(|&i| (i as u16).to_le_bytes())
+            .collect()
     } else {
         q.indices.iter().map(|&i| i as u8).collect()
     };
@@ -207,8 +214,7 @@ pub fn encode_speed(q: &Quantized, eb: f64, out: &mut Vec<u8>) {
     let remapped: Vec<u32> = q.indices.iter().map(|&i| remap[i as usize]).collect();
     // Power-of-two candidate strides up to 4096 — tensor dims are powers of
     // two, so the innermost repeated extent is one of these.
-    const LAGS: [usize; 13] =
-        [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+    const LAGS: [usize; 13] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
     let mut best_lag = 1usize;
     let mut best_hits = 0u64;
     for &lag in &LAGS {
@@ -226,7 +232,11 @@ pub fn encode_speed(q: &Quantized, eb: f64, out: &mut Vec<u8>) {
     let mut miss_freqs = vec![0u64; d];
     let mut miss_total = 0u64;
     for (i, &idx) in remapped.iter().enumerate() {
-        let pred = if i >= best_lag { remapped[i - best_lag] } else { 0 };
+        let pred = if i >= best_lag {
+            remapped[i - best_lag]
+        } else {
+            0
+        };
         if idx != pred {
             miss_freqs[idx as usize] += 1;
             miss_total += 1;
@@ -257,12 +267,20 @@ pub fn encode_speed(q: &Quantized, eb: f64, out: &mut Vec<u8>) {
     {
         let mut i = 0usize;
         while i < n {
-            let pred = if i >= best_lag { remapped[i - best_lag] } else { 0 };
+            let pred = if i >= best_lag {
+                remapped[i - best_lag]
+            } else {
+                0
+            };
             if remapped[i] == pred {
                 let mut run = 1usize;
                 while i + run < n {
                     let j = i + run;
-                    let pred = if j >= best_lag { remapped[j - best_lag] } else { 0 };
+                    let pred = if j >= best_lag {
+                        remapped[j - best_lag]
+                    } else {
+                        0
+                    };
                     if remapped[j] != pred {
                         break;
                     }
@@ -285,12 +303,20 @@ pub fn encode_speed(q: &Quantized, eb: f64, out: &mut Vec<u8>) {
         let hot_limit = 1u32 << sb;
         let mut i = 0usize;
         while i < n {
-            let pred = if i >= best_lag { remapped[i - best_lag] } else { 0 };
+            let pred = if i >= best_lag {
+                remapped[i - best_lag]
+            } else {
+                0
+            };
             if remapped[i] == pred {
                 let mut run = 1usize;
                 while i + run < n {
                     let j = i + run;
-                    let pred = if j >= best_lag { remapped[j - best_lag] } else { 0 };
+                    let pred = if j >= best_lag {
+                        remapped[j - best_lag]
+                    } else {
+                        0
+                    };
                     if remapped[j] != pred {
                         break;
                     }
@@ -376,7 +402,11 @@ pub fn decode_speed(data: &[u8], pos: &mut usize) -> Result<Vec<f64>, CodecError
             let mut out = Vec::with_capacity(n);
             for _ in 0..n {
                 let cold = r.read_bit()?;
-                let idx = if cold { r.read_bits(full)? } else { r.read_bits(b)? };
+                let idx = if cold {
+                    r.read_bits(full)?
+                } else {
+                    r.read_bits(b)?
+                };
                 out.push(lookup(idx)?);
             }
             Ok(out)
@@ -403,7 +433,11 @@ pub fn decode_speed(data: &[u8], pos: &mut usize) -> Result<Vec<f64>, CodecError
             while idxs.len() < n {
                 if r.read_bit()? {
                     let cold = r.read_bit()?;
-                    let idx = if cold { r.read_bits(full)? } else { r.read_bits(sb)? } as u32;
+                    let idx = if cold {
+                        r.read_bits(full)?
+                    } else {
+                        r.read_bits(sb)?
+                    } as u32;
                     if idx as usize >= table.len() {
                         return Err(CodecError::Corrupt("dictionary index out of range"));
                     }
@@ -453,7 +487,9 @@ mod tests {
 
     fn sample_plane(n: usize, zero_frac: f64, alphabet: usize, seed: u64) -> Vec<f64> {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        let values: Vec<f64> = (0..alphabet).map(|k| (k as f64 * 0.7).sin() * 0.5).collect();
+        let values: Vec<f64> = (0..alphabet)
+            .map(|k| (k as f64 * 0.7).sin() * 0.5)
+            .collect();
         (0..n)
             .map(|_| {
                 if rng.gen::<f64>() < zero_frac {
@@ -484,7 +520,10 @@ mod tests {
     fn quantize_bails_on_dense_values() {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
         let plane: Vec<f64> = (0..20_000).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        assert!(quantize(&plane, 1e-7).is_none(), "20k random values at 1e-7 must overflow");
+        assert!(
+            quantize(&plane, 1e-7).is_none(),
+            "20k random values at 1e-7 must overflow"
+        );
     }
 
     #[test]

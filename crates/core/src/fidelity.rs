@@ -91,7 +91,10 @@ mod tests {
     use super::*;
 
     fn instance() -> (Graph, QaoaParams) {
-        (Graph::random_regular(10, 3, 33), QaoaParams::new(vec![0.5, 0.8], vec![0.3, 0.55]))
+        (
+            Graph::random_regular(10, 3, 33),
+            QaoaParams::new(vec![0.5, 0.8], vec![0.3, 0.55]),
+        )
     }
 
     #[test]

@@ -24,15 +24,15 @@ use crate::stages::{
     dedup_blocks, deinterleave, interleave, read_refs, reassemble_blocks, write_refs,
     zero_collapse, zero_frac,
 };
-use std::borrow::Cow;
+use codec_kit::varint::{read_uvarint, write_uvarint};
+use codec_kit::CodecError;
 use compressors::cusz::CuSz;
 use compressors::cuszx::CuSzx;
 use compressors::lz4::{lz4_decode_block, lz4_encode_block};
 use compressors::traits::{read_stream_header, stream_header, value_range};
 use compressors::{decompress_any, Compressor, CompressorKind, ErrorBound};
-use codec_kit::varint::{read_uvarint, write_uvarint};
-use codec_kit::CodecError;
 use gpu_model::{KernelSpec, MemoryPattern, Stream};
+use std::borrow::Cow;
 
 /// Stream id of the ratio-mode framework.
 pub const QCF_RATIO_ID: u8 = 10;
@@ -120,12 +120,18 @@ pub struct QcfCompressor {
 impl QcfCompressor {
     /// Ratio mode with all stages.
     pub fn ratio() -> Self {
-        QcfCompressor { mode: Mode::Ratio, stages: StageToggles::all() }
+        QcfCompressor {
+            mode: Mode::Ratio,
+            stages: StageToggles::all(),
+        }
     }
 
     /// Speed mode with single-pass stages.
     pub fn speed() -> Self {
-        QcfCompressor { mode: Mode::Speed, stages: StageToggles::single_pass() }
+        QcfCompressor {
+            mode: Mode::Speed,
+            stages: StageToggles::single_pass(),
+        }
     }
 
     /// Custom stage configuration (ablation studies).
@@ -171,6 +177,7 @@ impl QcfCompressor {
         // plane's distinct-value count is small (E1 shows it almost always
         // is for QTensor tensors).
         if self.stages.dictionary && !plane.is_empty() {
+            let _span = qcf_telemetry::span!("stage.dict");
             let quantized = match self.mode {
                 // Ratio: a dedicated build pass (read values, write indices).
                 Mode::Ratio => stream.launch(
@@ -183,6 +190,11 @@ impl QcfCompressor {
                 Mode::Speed => dict::quantize(&plane, abs_eb),
             };
             if let Some(q) = quantized {
+                if qcf_telemetry::enabled() {
+                    qcf_telemetry::registry()
+                        .counter("stage.dict.engaged")
+                        .inc();
+                }
                 let mut body = Vec::with_capacity(plane.len() / 4 + 64);
                 match self.mode {
                     Mode::Ratio => {
@@ -220,12 +232,17 @@ impl QcfCompressor {
         // P2: zero collapse — engage only when it will pay for its half of
         // the error budget.
         if self.stages.zero_collapse {
+            let _span = qcf_telemetry::span!("stage.zero_collapse");
             let threshold = abs_eb / 2.0;
-            let frac = stream.launch(
-                &KernelSpec::streaming("qcf::zero_probe", nbytes, 0),
-                || zero_frac(&plane, threshold),
-            );
+            let frac = stream.launch(&KernelSpec::streaming("qcf::zero_probe", nbytes, 0), || {
+                zero_frac(&plane, threshold)
+            });
             if frac >= COLLAPSE_MIN_FRAC {
+                if qcf_telemetry::enabled() {
+                    qcf_telemetry::registry()
+                        .counter("stage.zero_collapse.engaged")
+                        .inc();
+                }
                 stream.launch(
                     &KernelSpec::streaming("qcf::zero_collapse", nbytes, nbytes),
                     || zero_collapse(plane.to_mut(), threshold),
@@ -239,20 +256,29 @@ impl QcfCompressor {
         let backend = self.backend();
         let mut deduped = None;
         if self.stages.dedup {
+            let _span = qcf_telemetry::span!("stage.dedup");
             let d = stream.launch(
                 &KernelSpec::streaming("qcf::dedup_hash", nbytes, nbytes / 64)
                     .with_pattern(MemoryPattern::Strided),
                 || dedup_blocks(&plane, DEDUP_BLOCK),
             );
             if d.dup_frac() >= DEDUP_MIN_FRAC {
+                if qcf_telemetry::enabled() {
+                    qcf_telemetry::registry()
+                        .counter("stage.dedup.engaged")
+                        .inc();
+                }
                 flags |= 2;
                 deduped = Some(d);
             }
         }
 
-        let backend_stream = match &deduped {
-            Some(d) => backend.compress(&d.unique, ErrorBound::Abs(backend_eb), stream)?,
-            None => backend.compress(&plane, ErrorBound::Abs(backend_eb), stream)?,
+        let backend_stream = {
+            let _span = qcf_telemetry::span!("stage.backend");
+            match &deduped {
+                Some(d) => backend.compress(&d.unique, ErrorBound::Abs(backend_eb), stream)?,
+                None => backend.compress(&plane, ErrorBound::Abs(backend_eb), stream)?,
+            }
         };
 
         let mut body = Vec::with_capacity(backend_stream.len() + 64);
@@ -274,6 +300,7 @@ impl QcfCompressor {
         out: &mut Vec<u8>,
     ) -> Result<(), CodecError> {
         if self.stages.lossless_tail {
+            let _span = qcf_telemetry::span!("stage.tail");
             let tailed = stream.launch(
                 &KernelSpec::streaming("qcf::tail_lz4", (body.len() * 3) as u64, body.len() as u64)
                     .with_pattern(MemoryPattern::Random),
@@ -284,6 +311,11 @@ impl QcfCompressor {
                 },
             );
             if tailed.len() + 10 < body.len() {
+                if qcf_telemetry::enabled() {
+                    qcf_telemetry::registry()
+                        .counter("stage.tail.engaged")
+                        .inc();
+                }
                 flags |= 4;
                 out.push(flags);
                 write_uvarint(out, body.len() as u64);
@@ -427,14 +459,17 @@ impl Compressor for QcfCompressor {
             // P1: de-interleave into planes. Ratio mode materializes the
             // planes (one streaming pass); speed mode folds the gather into
             // its fused encode kernel, so only flops are charged here.
+            let deint_span = qcf_telemetry::span!("stage.deinterleave");
             let deint_spec = match self.mode {
                 Mode::Ratio => {
                     KernelSpec::streaming("qcf::deinterleave", (n * 8) as u64, (n * 8) as u64)
                 }
-                Mode::Speed => KernelSpec::streaming("qcf::deinterleave_fused", 0, 0)
-                    .with_flops(n as u64),
+                Mode::Speed => {
+                    KernelSpec::streaming("qcf::deinterleave_fused", 0, 0).with_flops(n as u64)
+                }
             };
             let (re, im) = stream.launch(&deint_spec, || deinterleave(data));
+            drop(deint_span);
             // The planes are fully independent after the split, so encode
             // them concurrently into separate buffers and concatenate —
             // byte-identical to the sequential order. Stream time is charged
@@ -463,6 +498,11 @@ impl Compressor for QcfCompressor {
             // Borrowed view: encode_plane copies only if zero collapse
             // actually engages, instead of cloning the whole input up front.
             self.encode_plane(Cow::Borrowed(data), abs_eb, stream, &mut out)?;
+        }
+        if qcf_telemetry::enabled() && !out.is_empty() {
+            qcf_telemetry::registry()
+                .float_gauge(&format!("compressor.{}.cr", self.name()))
+                .set((n * 8) as f64 / out.len() as f64);
         }
         Ok(out)
     }
@@ -652,9 +692,13 @@ mod tests {
         let data = tensor_like(1 << 17, 9);
         let eb = 1e-4;
         let s_qcf = stream();
-        QcfCompressor::speed().compress(&data, ErrorBound::Abs(eb), &s_qcf).unwrap();
+        QcfCompressor::speed()
+            .compress(&data, ErrorBound::Abs(eb), &s_qcf)
+            .unwrap();
         let s_szx = stream();
-        CuSzx::default().compress(&data, ErrorBound::Abs(eb), &s_szx).unwrap();
+        CuSzx::default()
+            .compress(&data, ErrorBound::Abs(eb), &s_szx)
+            .unwrap();
         let slowdown = s_qcf.elapsed_s() / s_szx.elapsed_s();
         assert!(
             slowdown < 2.5,

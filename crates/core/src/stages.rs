@@ -69,7 +69,10 @@ pub fn zero_frac(values: &[f64], threshold: f64) -> f64 {
 /// # Panics
 /// Panics when the length is odd.
 pub fn deinterleave(data: &[f64]) -> (Vec<f64>, Vec<f64>) {
-    assert!(data.len().is_multiple_of(2), "interleaved input must have even length");
+    assert!(
+        data.len().is_multiple_of(2),
+        "interleaved input must have even length"
+    );
     let half = data.len() / 2;
     let mut re = vec![0.0f64; half];
     let mut im = vec![0.0f64; half];
@@ -161,9 +164,8 @@ pub fn dedup_blocks(values: &[f64], block_size: usize) -> Deduped {
     let n = values.len();
     let n_blocks = n / block_size;
     let full = &values[..n_blocks * block_size];
-    let fingerprints: Vec<u64> = par_map_blocks(full, block_size, |_, chunk| {
-        block_fingerprint(chunk)
-    });
+    let fingerprints: Vec<u64> =
+        par_map_blocks(full, block_size, |_, chunk| block_fingerprint(chunk));
     let mut table: std::collections::HashMap<u64, Vec<u32>> =
         std::collections::HashMap::with_capacity(n_blocks);
     let mut unique: Vec<f64> = Vec::new();
@@ -187,7 +189,13 @@ pub fn dedup_blocks(values: &[f64], block_size: usize) -> Deduped {
     }
     let n_unique = unique.len() / block_size;
     unique.extend_from_slice(&values[n_blocks * block_size..]);
-    Deduped { unique, refs, block_size, n, n_unique }
+    Deduped {
+        unique,
+        refs,
+        block_size,
+        n,
+        n_unique,
+    }
 }
 
 /// Reassembles the original buffer from (a reconstruction of) `unique` and
@@ -224,7 +232,11 @@ pub fn reassemble_blocks(
 /// requires.
 pub fn write_refs(refs: &[u32], n_unique: usize, out: &mut Vec<u8>) {
     write_uvarint(out, refs.len() as u64);
-    let width = if n_unique <= 1 { 0 } else { 64 - (n_unique as u64 - 1).leading_zeros() };
+    let width = if n_unique <= 1 {
+        0
+    } else {
+        64 - (n_unique as u64 - 1).leading_zeros()
+    };
     out.push(width as u8);
     let mut w = BitWriter::with_capacity(refs.len() * width as usize / 8 + 8);
     let wide: Vec<u64> = refs.iter().map(|&r| r as u64).collect();
@@ -300,8 +312,9 @@ mod tests {
 
     #[test]
     fn collapse_large_buffer_matches_serial_count() {
-        let mut v: Vec<f64> =
-            (0..3 * STAGE_BLOCK + 11).map(|i| if i % 3 == 0 { 1e-9 } else { 0.5 }).collect();
+        let mut v: Vec<f64> = (0..3 * STAGE_BLOCK + 11)
+            .map(|i| if i % 3 == 0 { 1e-9 } else { 0.5 })
+            .collect();
         let want = v.iter().filter(|x| x.abs() <= 1e-6).count();
         let frac = zero_frac(&v, 1e-6);
         assert!((frac - want as f64 / v.len() as f64).abs() < 1e-15);
@@ -356,7 +369,12 @@ mod tests {
 
     #[test]
     fn refs_roundtrip() {
-        for refs in [vec![], vec![0u32], vec![0, 1, 2, 1, 0, 2, 2], (0..1000u32).collect()] {
+        for refs in [
+            vec![],
+            vec![0u32],
+            vec![0, 1, 2, 1, 0, 2, 2],
+            (0..1000u32).collect(),
+        ] {
             let n_unique = refs.iter().max().map_or(0, |&m| m as usize + 1);
             let mut buf = Vec::new();
             write_refs(&refs, n_unique, &mut buf);
@@ -371,7 +389,11 @@ mod tests {
         let refs = vec![0u32; 4096];
         let mut buf = Vec::new();
         write_refs(&refs, 1, &mut buf);
-        assert!(buf.len() < 16, "4096 identical refs took {} bytes", buf.len());
+        assert!(
+            buf.len() < 16,
+            "4096 identical refs took {} bytes",
+            buf.len()
+        );
         let mut pos = 0;
         assert_eq!(read_refs(&buf, &mut pos).unwrap(), refs);
     }

@@ -24,15 +24,22 @@ fn plane_strategy() -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn toggle_strategy() -> impl Strategy<Value = StageToggles> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
-        |(deinterleave, zero_collapse, dictionary, dedup, lossless_tail)| StageToggles {
-            deinterleave,
-            zero_collapse,
-            dictionary,
-            dedup,
-            lossless_tail,
-        },
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
     )
+        .prop_map(
+            |(deinterleave, zero_collapse, dictionary, dedup, lossless_tail)| StageToggles {
+                deinterleave,
+                zero_collapse,
+                dictionary,
+                dedup,
+                lossless_tail,
+            },
+        )
 }
 
 proptest! {

@@ -11,6 +11,7 @@
 //! intermediate, mirroring how the CUDA implementations keep one workspace
 //! arena per stream.
 
+use qcf_telemetry::Counter;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -79,7 +80,10 @@ impl<T: Clone + Default> DeviceBuffer<T> {
     pub fn zeroed(pool: &MemoryPool, len: usize) -> Self {
         let data = vec![T::default(); len];
         pool.charge((len * std::mem::size_of::<T>()) as u64);
-        DeviceBuffer { data, pool: pool.clone() }
+        DeviceBuffer {
+            data,
+            pool: pool.clone(),
+        }
     }
 
     /// Allocates a copy of host data ("H2D" without the timing; charge the
@@ -87,7 +91,10 @@ impl<T: Clone + Default> DeviceBuffer<T> {
     pub fn from_host(pool: &MemoryPool, host: &[T]) -> Self {
         let data = host.to_vec();
         pool.charge(std::mem::size_of_val(host) as u64);
-        DeviceBuffer { data, pool: pool.clone() }
+        DeviceBuffer {
+            data,
+            pool: pool.clone(),
+        }
     }
 }
 
@@ -123,7 +130,8 @@ impl<T> DeviceBuffer<T> {
 
 impl<T> Drop for DeviceBuffer<T> {
     fn drop(&mut self) {
-        self.pool.release((self.data.len() * std::mem::size_of::<T>()) as u64);
+        self.pool
+            .release((self.data.len() * std::mem::size_of::<T>()) as u64);
     }
 }
 
@@ -149,6 +157,7 @@ const SCRATCH_POOL_CAP: usize = 16;
 #[derive(Debug, Default, Clone)]
 pub struct ScratchPool<T> {
     inner: Arc<Mutex<ScratchState<T>>>,
+    counters: Option<(Arc<Counter>, Arc<Counter>)>,
 }
 
 #[derive(Debug)]
@@ -160,14 +169,35 @@ struct ScratchState<T> {
 
 impl<T> Default for ScratchState<T> {
     fn default() -> Self {
-        ScratchState { free: Vec::new(), hits: 0, misses: 0 }
+        ScratchState {
+            free: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
     }
 }
 
 impl<T: Clone + Default> ScratchPool<T> {
     /// A fresh, empty pool.
     pub fn new() -> Self {
-        ScratchPool { inner: Arc::default() }
+        ScratchPool {
+            inner: Arc::default(),
+            counters: None,
+        }
+    }
+
+    /// A fresh pool that mirrors hits/misses into the telemetry registry
+    /// as `<prefix>.hits` / `<prefix>.misses` (counter handles are cached
+    /// here, so `take` pays one atomic add, not a registry lookup).
+    pub fn with_metrics(prefix: &str) -> Self {
+        let r = qcf_telemetry::registry();
+        ScratchPool {
+            inner: Arc::default(),
+            counters: Some((
+                r.counter(&format!("{prefix}.hits")),
+                r.counter(&format!("{prefix}.misses")),
+            )),
+        }
     }
 
     /// A vector of `len` default-initialized elements, reusing pooled
@@ -195,6 +225,13 @@ impl<T: Clone + Default> ScratchPool<T> {
                 }
             }
         };
+        if let Some((hits, misses)) = &self.counters {
+            if reused.is_some() {
+                hits.inc();
+            } else {
+                misses.inc();
+            }
+        }
         match reused {
             Some(mut buf) => {
                 buf.clear();

@@ -157,8 +157,8 @@ impl KernelSpec {
     /// Simulated execution time on `device`, in seconds.
     pub fn time_on(&self, device: &DeviceSpec) -> f64 {
         let eff = device.efficiency(self.pattern);
-        let mem_t = (self.bytes_read + self.bytes_written) as f64
-            / (device.hbm_bytes_per_sec * eff);
+        let mem_t =
+            (self.bytes_read + self.bytes_written) as f64 / (device.hbm_bytes_per_sec * eff);
         let cmp_t = self.flops as f64 / (device.fp64_flops * eff.max(0.25));
         let parallel_t = mem_t.max(cmp_t);
         // Amdahl: the serial share runs at single-SM speed.
@@ -206,8 +206,9 @@ mod tests {
         let dev = DeviceSpec::a100();
         let bytes = 1u64 << 26;
         let par = KernelSpec::streaming("p", bytes, 0).time_on(&dev);
-        let half_serial =
-            KernelSpec::streaming("s", bytes, 0).with_serial_fraction(0.5).time_on(&dev);
+        let half_serial = KernelSpec::streaming("s", bytes, 0)
+            .with_serial_fraction(0.5)
+            .time_on(&dev);
         assert!(half_serial > 10.0 * par, "{half_serial} vs {par}");
     }
 

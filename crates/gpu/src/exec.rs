@@ -33,7 +33,9 @@ pub fn worker_count() -> usize {
                 return n.max(1);
             }
         }
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     })
 }
 
@@ -294,8 +296,9 @@ mod tests {
         // inner calls wait for them); scoped threads must not.
         let n_outer = 8;
         let n_inner = 100;
-        let hits: Vec<AtomicUsize> =
-            (0..n_outer * n_inner).map(|_| AtomicUsize::new(0)).collect();
+        let hits: Vec<AtomicUsize> = (0..n_outer * n_inner)
+            .map(|_| AtomicUsize::new(0))
+            .collect();
         par_for_blocks(n_outer, n_outer, |_, outer| {
             for o in outer {
                 par_for_blocks(n_inner, 4, |_, inner| {

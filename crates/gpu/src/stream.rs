@@ -6,7 +6,30 @@
 //! is how the paper attributes cuSZ's cost to its Huffman stage.
 
 use crate::device::{DeviceSpec, KernelSpec};
-use std::sync::Mutex;
+use qcf_telemetry::{Counter, LaneEvent, StreamLane};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Workspace-wide kernel counters, cached so `charge` pays one atomic add
+/// instead of a registry lookup per launch.
+struct KernelCounters {
+    launches: Arc<Counter>,
+    launch_bytes: Arc<Counter>,
+    transfers: Arc<Counter>,
+    transfer_bytes: Arc<Counter>,
+}
+
+fn kernel_counters() -> &'static KernelCounters {
+    static COUNTERS: OnceLock<KernelCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let r = qcf_telemetry::registry();
+        KernelCounters {
+            launches: r.counter("gpu.kernel.launches"),
+            launch_bytes: r.counter("gpu.kernel.bytes"),
+            transfers: r.counter("gpu.transfer.count"),
+            transfer_bytes: r.counter("gpu.transfer.bytes"),
+        }
+    })
+}
 
 /// One completed kernel launch.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,7 +74,10 @@ struct StreamState {
 impl Stream {
     /// Creates a stream on `device` with the clock at zero.
     pub fn new(device: DeviceSpec) -> Self {
-        Stream { device, state: Mutex::new(StreamState::default()) }
+        Stream {
+            device,
+            state: Mutex::new(StreamState::default()),
+        }
     }
 
     /// The device this stream runs on.
@@ -72,7 +98,12 @@ impl Stream {
         let mut st = self.lock();
         let start = st.now_s;
         st.now_s += duration;
-        st.events.push(KernelEvent { name, start_s: start, duration_s: duration, bytes });
+        st.events.push(KernelEvent {
+            name,
+            start_s: start,
+            duration_s: duration,
+            bytes,
+        });
         start
     }
 
@@ -84,7 +115,13 @@ impl Stream {
     /// virtual clock well-defined; see the type-level docs.
     pub fn launch<R>(&self, spec: &KernelSpec, body: impl FnOnce() -> R) -> R {
         let duration = spec.time_on(&self.device);
-        self.charge(spec.name, duration, spec.bytes_read + spec.bytes_written);
+        let bytes = spec.bytes_read + spec.bytes_written;
+        self.charge(spec.name, duration, bytes);
+        if qcf_telemetry::enabled() {
+            let c = kernel_counters();
+            c.launches.inc();
+            c.launch_bytes.add(bytes);
+        }
         body()
     }
 
@@ -92,6 +129,11 @@ impl Stream {
     pub fn transfer(&self, name: &'static str, bytes: u64) {
         let duration = bytes as f64 / self.device.pcie_bytes_per_sec;
         self.charge(name, duration, bytes);
+        if qcf_telemetry::enabled() {
+            let c = kernel_counters();
+            c.transfers.inc();
+            c.transfer_bytes.add(bytes);
+        }
     }
 
     /// Current simulated time in seconds.
@@ -139,10 +181,33 @@ impl Stream {
         for e in &st.events {
             *by_name.entry(e.name).or_insert(0.0) += e.duration_s;
         }
-        let mut rows: Vec<(String, f64, f64)> =
-            by_name.into_iter().map(|(n, t)| (n.to_string(), t, t / total)).collect();
+        let mut rows: Vec<(String, f64, f64)> = by_name
+            .into_iter()
+            .map(|(n, t)| (n.to_string(), t, t / total))
+            .collect();
         rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite times"));
         rows
+    }
+
+    /// Converts the event log into a named virtual lane for the
+    /// Chrome-trace exporter: simulated seconds scale to microseconds and
+    /// every event is tagged with the `kernel` category.
+    pub fn telemetry_lane(&self, name: impl Into<String>) -> StreamLane {
+        let events = self
+            .events()
+            .into_iter()
+            .map(|e| LaneEvent {
+                name: e.name.to_string(),
+                cat: "kernel".to_string(),
+                start_us: (e.start_s * 1e6) as u64,
+                dur_us: (e.duration_s * 1e6) as u64,
+                bytes: e.bytes as usize,
+            })
+            .collect();
+        StreamLane {
+            name: name.into(),
+            events,
+        }
     }
 }
 
@@ -215,8 +280,14 @@ mod tests {
     #[test]
     fn time_in_filters_by_name() {
         let s = Stream::new(DeviceSpec::a100());
-        s.launch(&KernelSpec::streaming("huffman_encode", 1 << 24, 1 << 22), || ());
-        s.launch(&KernelSpec::streaming("lorenzo_quant", 1 << 24, 1 << 24), || ());
+        s.launch(
+            &KernelSpec::streaming("huffman_encode", 1 << 24, 1 << 22),
+            || (),
+        );
+        s.launch(
+            &KernelSpec::streaming("lorenzo_quant", 1 << 24, 1 << 24),
+            || (),
+        );
         assert!(s.time_in("huffman") > 0.0);
         assert!(s.time_in("nothing") == 0.0);
         assert!((s.time_in("huffman") + s.time_in("lorenzo") - s.elapsed_s()).abs() < 1e-12);
@@ -250,6 +321,77 @@ mod tests {
         assert!(rows[0].2 > 0.9, "big share {}", rows[0].2);
         let share_sum: f64 = rows.iter().map(|r| r.2).sum();
         assert!((share_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_launches_never_lose_events() {
+        // Four explicit threads (the QCF_WORKERS=4 shape regardless of the
+        // env) hammering one stream: every launch must land in the log.
+        let s = Stream::new(DeviceSpec::a100());
+        let spec = KernelSpec::streaming("hammer", 1 << 16, 1 << 16);
+        let per_thread = 250;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..per_thread {
+                        s.launch(&spec, || ());
+                    }
+                });
+            }
+        });
+        let ev = s.events();
+        assert_eq!(ev.len(), 4 * per_thread, "no launch may vanish");
+        for w in ev.windows(2) {
+            assert!(w[1].start_s >= w[0].start_s, "starts must stay monotone");
+        }
+    }
+
+    #[test]
+    fn reset_clears_after_concurrent_use() {
+        let s = Stream::new(DeviceSpec::a100());
+        let spec = KernelSpec::streaming("pre_reset", 1 << 18, 0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..10 {
+                        s.launch(&spec, || ());
+                    }
+                });
+            }
+        });
+        assert!(s.elapsed_s() > 0.0);
+        s.reset();
+        assert_eq!(s.elapsed_s(), 0.0, "reset must zero the clock");
+        assert!(s.events().is_empty(), "reset must clear the event log");
+        // The stream is fully reusable: the next launch starts at zero.
+        s.launch(&spec, || ());
+        assert_eq!(s.events()[0].start_s, 0.0);
+    }
+
+    #[test]
+    fn telemetry_lane_scales_to_micros() {
+        let s = Stream::new(DeviceSpec::a100());
+        s.transfer("h2d", 26_000_000_000); // exactly 1 simulated second
+        let lane = s.telemetry_lane("A100 stream 0");
+        assert_eq!(lane.name, "A100 stream 0");
+        assert_eq!(lane.events.len(), 1);
+        assert_eq!(lane.events[0].name, "h2d");
+        assert_eq!(lane.events[0].start_us, 0);
+        assert_eq!(lane.events[0].dur_us, 1_000_000);
+        assert_eq!(lane.events[0].bytes, 26_000_000_000);
+    }
+
+    #[test]
+    fn launches_bridge_into_registry() {
+        qcf_telemetry::set_enabled(true);
+        let launches = qcf_telemetry::registry().counter("gpu.kernel.launches");
+        let before = launches.get();
+        let s = Stream::new(DeviceSpec::a100());
+        s.launch(&KernelSpec::streaming("bridge_probe", 1 << 12, 0), || ());
+        assert!(
+            launches.get() > before,
+            "launch must bump the registry counter"
+        );
     }
 
     #[test]

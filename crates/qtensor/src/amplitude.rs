@@ -76,7 +76,10 @@ mod tests {
         let h = std::f64::consts::FRAC_1_SQRT_2;
         for (bits, want) in [(0b00u64, h), (0b01, 0.0), (0b10, 0.0), (0b11, h)] {
             let (a, _) = sim.amplitude(&c, bits, &mut NoopHook).unwrap();
-            assert!(a.approx_eq(Complex64::real(want), 1e-12), "bits {bits:02b}: {a:?}");
+            assert!(
+                a.approx_eq(Complex64::real(want), 1e-12),
+                "bits {bits:02b}: {a:?}"
+            );
         }
     }
 
@@ -141,7 +144,9 @@ mod tests {
         let g = Graph::cycle(6);
         let c = qaoa_circuit(&g, &QaoaParams::fixed_angles_3reg_p1());
         let amp = amplitude_network(&c, 0).into_tensors().len();
-        let exp = TensorNetwork::zz_expectation_network(&c, 0, 1).into_tensors().len();
+        let exp = TensorNetwork::zz_expectation_network(&c, 0, 1)
+            .into_tensors()
+            .len();
         assert!(amp < exp * 2 / 3, "amplitude {amp} vs expectation {exp}");
     }
 }

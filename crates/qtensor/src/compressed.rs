@@ -79,6 +79,7 @@ impl ContractionHook for CompressingHook<'_> {
             self.stats.tensors_skipped += 1;
             return Ok(tensor);
         }
+        let _span = qcf_telemetry::span!("compress.intermediate");
         let flat = as_interleaved(tensor.data());
         let bytes = self
             .compressor
@@ -119,7 +120,12 @@ pub struct NoiseHook {
 impl NoiseHook {
     /// Creates a seeded noise hook.
     pub fn new(eps: f64, min_elems: usize, seed: u64) -> Self {
-        NoiseHook { eps, min_elems, rng: ChaCha8Rng::seed_from_u64(seed), perturbed: 0 }
+        NoiseHook {
+            eps,
+            min_elems,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            perturbed: 0,
+        }
     }
 }
 
@@ -158,7 +164,10 @@ mod tests {
         let (g, params, exact) = setup();
         let comp = Memcpy;
         let mut hook = CompressingHook::new(&comp, ErrorBound::Abs(1e-3), 1);
-        let e = Simulator::default().energy_with_hook(&g, &params, &mut hook).unwrap().energy;
+        let e = Simulator::default()
+            .energy_with_hook(&g, &params, &mut hook)
+            .unwrap()
+            .energy;
         assert!((e - exact).abs() < 1e-12);
         assert!(hook.stats.tensors_compressed > 0);
         assert!((hook.stats.ratio() - 1.0).abs() < 0.1);
@@ -169,10 +178,16 @@ mod tests {
         let (g, params, exact) = setup();
         let comp = CuSz::default();
         let mut hook = CompressingHook::new(&comp, ErrorBound::Abs(1e-5), 4);
-        let e = Simulator::default().energy_with_hook(&g, &params, &mut hook).unwrap().energy;
+        let e = Simulator::default()
+            .energy_with_hook(&g, &params, &mut hook)
+            .unwrap()
+            .energy;
         let rel = (e - exact).abs() / exact.abs();
         assert!(rel < 0.01, "energy off by {:.3}% at eb=1e-5", rel * 100.0);
-        assert!(hook.stats.ratio() > 1.0, "lossy compression should shrink tensors");
+        assert!(
+            hook.stats.ratio() > 1.0,
+            "lossy compression should shrink tensors"
+        );
     }
 
     #[test]
@@ -181,8 +196,10 @@ mod tests {
         let drift = |eb: f64| {
             let comp = CuSzx::default();
             let mut hook = CompressingHook::new(&comp, ErrorBound::Abs(eb), 4);
-            let e =
-                Simulator::default().energy_with_hook(&g, &params, &mut hook).unwrap().energy;
+            let e = Simulator::default()
+                .energy_with_hook(&g, &params, &mut hook)
+                .unwrap()
+                .energy;
             (e - exact).abs()
         };
         let tight = drift(1e-8);
@@ -195,7 +212,9 @@ mod tests {
         let (g, params, _) = setup();
         let comp = Memcpy;
         let mut hook = CompressingHook::new(&comp, ErrorBound::Abs(1e-3), usize::MAX);
-        Simulator::default().energy_with_hook(&g, &params, &mut hook).unwrap();
+        Simulator::default()
+            .energy_with_hook(&g, &params, &mut hook)
+            .unwrap();
         assert_eq!(hook.stats.tensors_compressed, 0);
         assert!(hook.stats.tensors_skipped > 0);
     }
@@ -204,7 +223,10 @@ mod tests {
     fn noise_hook_moves_energy_boundedly() {
         let (g, params, exact) = setup();
         let mut hook = NoiseHook::new(1e-6, 1, 7);
-        let e = Simulator::default().energy_with_hook(&g, &params, &mut hook).unwrap().energy;
+        let e = Simulator::default()
+            .energy_with_hook(&g, &params, &mut hook)
+            .unwrap()
+            .energy;
         assert!(hook.perturbed > 0);
         assert!((e - exact).abs() < 1e-2);
         assert_ne!(e, exact, "noise should move the result measurably");
@@ -214,7 +236,10 @@ mod tests {
     fn zero_noise_is_identity() {
         let (g, params, exact) = setup();
         let mut hook = NoiseHook::new(0.0, 1, 7);
-        let e = Simulator::default().energy_with_hook(&g, &params, &mut hook).unwrap().energy;
+        let e = Simulator::default()
+            .energy_with_hook(&g, &params, &mut hook)
+            .unwrap()
+            .energy;
         assert_eq!(e, exact);
     }
 }

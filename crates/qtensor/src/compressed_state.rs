@@ -21,6 +21,7 @@ use crate::contraction::ContractError;
 use crate::statevector::{apply_gate_to_amplitudes, StateVector};
 use compressors::{Compressor, ErrorBound};
 use gpu_model::{DeviceSpec, Stream};
+use qcf_telemetry::GaugeTrack;
 use qcircuit::{Circuit, Gate, Graph};
 use tensornet::planes::{as_interleaved, from_interleaved};
 use tensornet::Complex64;
@@ -46,6 +47,9 @@ pub struct CompressedState<'a> {
     compressor: &'a dyn Compressor,
     bound: ErrorBound,
     stream: Stream,
+    /// Resident-bytes level: locally exact per run, mirrored into the
+    /// `state.resident_bytes` registry gauge when telemetry is enabled.
+    resident: GaugeTrack,
     /// Run accounting.
     pub stats: StateStats,
 }
@@ -71,6 +75,9 @@ impl<'a> CompressedState<'a> {
             compressor,
             bound,
             stream,
+            resident: qcf_telemetry::registry()
+                .gauge("state.resident_bytes")
+                .track(),
             stats: StateStats::default(),
         };
         let chunk_len = 1usize << chunk_qubits;
@@ -80,11 +87,17 @@ impl<'a> CompressedState<'a> {
                 amps[0] = Complex64::ONE;
             }
             let bytes = state.compress_chunk(&amps)?;
-            state.stats.resident_bytes += bytes.len();
+            state.resident.add(bytes.len() as i64);
             state.chunks.push(bytes);
         }
-        state.stats.peak_resident_bytes = state.stats.resident_bytes;
+        state.sync_resident_stats();
         Ok(state)
+    }
+
+    /// Copies the tracker's level/peak into the public stats struct.
+    fn sync_resident_stats(&mut self) {
+        self.stats.resident_bytes = self.resident.value() as usize;
+        self.stats.peak_resident_bytes = self.resident.peak() as usize;
     }
 
     /// Register width.
@@ -122,8 +135,7 @@ impl<'a> CompressedState<'a> {
     /// Applies one gate.
     pub fn apply(&mut self, gate: &Gate) -> Result<(), ContractError> {
         let c = self.chunk_qubits;
-        let high: Vec<usize> =
-            gate.qubits().iter().copied().filter(|&q| q >= c).collect();
+        let high: Vec<usize> = gate.qubits().iter().copied().filter(|&q| q >= c).collect();
         match high.len() {
             0 => self.apply_low(gate),
             _ => self.apply_grouped(gate, &high),
@@ -154,7 +166,10 @@ impl<'a> CompressedState<'a> {
             if q < c {
                 q
             } else {
-                let j = high.iter().position(|&h| h == q).expect("high qubit listed");
+                let j = high
+                    .iter()
+                    .position(|&h| h == q)
+                    .expect("high qubit listed");
                 c + j
             }
         });
@@ -194,11 +209,10 @@ impl<'a> CompressedState<'a> {
     fn replace_chunk(&mut self, id: usize, amps: &[Complex64]) -> Result<(), ContractError> {
         let bytes = self.compress_chunk(amps)?;
         self.stats.recompressions += 1;
-        self.stats.resident_bytes =
-            self.stats.resident_bytes - self.chunks[id].len() + bytes.len();
-        self.stats.peak_resident_bytes =
-            self.stats.peak_resident_bytes.max(self.stats.resident_bytes);
+        self.resident
+            .add(bytes.len() as i64 - self.chunks[id].len() as i64);
         self.chunks[id] = bytes;
+        self.sync_resident_stats();
         Ok(())
     }
 
@@ -209,8 +223,7 @@ impl<'a> CompressedState<'a> {
         compressor: &'a dyn Compressor,
         bound: ErrorBound,
     ) -> Result<Self, ContractError> {
-        let mut state =
-            CompressedState::zero(circuit.n_qubits(), chunk_qubits, compressor, bound)?;
+        let mut state = CompressedState::zero(circuit.n_qubits(), chunk_qubits, compressor, bound)?;
         for g in circuit.gates() {
             state.apply(g)?;
         }
@@ -223,8 +236,7 @@ impl<'a> CompressedState<'a> {
         for bytes in &self.chunks {
             amps.extend(self.decompress_chunk(bytes)?);
         }
-        StateVector::from_amplitudes(self.n, amps)
-            .map_err(|e| ContractError::Hook(e.to_string()))
+        StateVector::from_amplitudes(self.n, amps).map_err(|e| ContractError::Hook(e.to_string()))
     }
 
     /// MaxCut energy computed chunk-by-chunk (never materializes the state).
@@ -256,7 +268,11 @@ impl<'a> CompressedState<'a> {
     pub fn norm_sq(&self) -> Result<f64, ContractError> {
         let mut s = 0.0;
         for bytes in &self.chunks {
-            s += self.decompress_chunk(bytes)?.iter().map(|a| a.norm_sq()).sum::<f64>();
+            s += self
+                .decompress_chunk(bytes)?
+                .iter()
+                .map(|a| a.norm_sq())
+                .sum::<f64>();
         }
         Ok(s)
     }
@@ -279,15 +295,17 @@ mod tests {
         let (circuit, graph) = qaoa(8, 3);
         let comp = Memcpy;
         for chunk_qubits in [2usize, 4, 8] {
-            let cs = CompressedState::run(&circuit, chunk_qubits, &comp, ErrorBound::Abs(1e-3))
-                .unwrap();
+            let cs =
+                CompressedState::run(&circuit, chunk_qubits, &comp, ErrorBound::Abs(1e-3)).unwrap();
             let dense = StateVector::run(&circuit);
             let materialized = cs.to_statevector().unwrap();
             assert!(
                 (materialized.fidelity(&dense) - 1.0).abs() < 1e-12,
                 "chunk_qubits={chunk_qubits}"
             );
-            assert!((cs.maxcut_energy(&graph).unwrap() - dense.maxcut_energy(&graph)).abs() < 1e-10);
+            assert!(
+                (cs.maxcut_energy(&graph).unwrap() - dense.maxcut_energy(&graph)).abs() < 1e-10
+            );
         }
     }
 
@@ -301,8 +319,7 @@ mod tests {
             .with(Gate::Zz(1, 4, 0.7))
             .with(Gate::Swap(2, 5))
             .with(Gate::Cnot(4, 3));
-        let cs =
-            CompressedState::run(&circuit, 2, &comp, ErrorBound::Abs(1e-6)).unwrap();
+        let cs = CompressedState::run(&circuit, 2, &comp, ErrorBound::Abs(1e-6)).unwrap();
         let dense = StateVector::run(&circuit);
         assert!((cs.to_statevector().unwrap().fidelity(&dense) - 1.0).abs() < 1e-12);
     }

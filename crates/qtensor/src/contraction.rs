@@ -9,9 +9,18 @@
 //! proceeds exactly as QTensor does when tensors round-trip through the GPU
 //! compressor.
 
+use qcf_telemetry::Gauge;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 use tensornet::{multiply_keep, Complex64, Ix, Tensor, TensorError};
+
+/// Workspace-wide gauge of bytes of intermediates live across all running
+/// contractions (cached handle; per-run peaks come from the local track).
+fn live_bytes_gauge() -> &'static Arc<Gauge> {
+    static GAUGE: OnceLock<Arc<Gauge>> = OnceLock::new();
+    GAUGE.get_or_init(|| qcf_telemetry::registry().gauge("contract.live_bytes"))
+}
 
 /// Errors from network contraction.
 #[derive(Debug)]
@@ -85,8 +94,7 @@ pub fn contract_network(
     order: &[Ix],
     hook: &mut dyn ContractionHook,
 ) -> Result<(Complex64, ContractionStats), ContractError> {
-    let position: BTreeMap<Ix, usize> =
-        order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let position: BTreeMap<Ix, usize> = order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
 
     // Earliest-eliminated variable of a tensor = its bucket.
     let bucket_of = |t: &Tensor| -> Result<Option<usize>, ContractError> {
@@ -98,19 +106,21 @@ pub fn contract_network(
         Ok(best)
     };
 
+    let _span = qcf_telemetry::span!("contract.network");
     let mut buckets: Vec<Vec<Tensor>> = (0..order.len()).map(|_| Vec::new()).collect();
     let mut scalar = Complex64::ONE;
     let mut stats = ContractionStats::default();
-    let mut live_bytes: usize = 0;
+    // Local level + peak stay exact per run (and with telemetry disabled);
+    // the registry gauge aggregates live bytes across concurrent runs.
+    let mut live = live_bytes_gauge().track();
 
     for t in tensors {
-        live_bytes += t.nbytes();
+        live.add(t.nbytes() as i64);
         match bucket_of(&t)? {
             Some(b) => buckets[b].push(t),
             None => scalar *= t.get(&[]),
         }
     }
-    stats.peak_live_bytes = live_bytes;
 
     for step in 0..order.len() {
         let bucket = std::mem::take(&mut buckets[step]);
@@ -122,22 +132,23 @@ pub fn contract_network(
         let mut acc = iter.next().expect("non-empty bucket");
         for t in iter {
             let next = multiply_keep(&acc, &t)?;
-            live_bytes += next.nbytes();
-            stats.peak_live_bytes = stats.peak_live_bytes.max(live_bytes);
-            live_bytes -= acc.nbytes() + t.nbytes();
+            live.add(next.nbytes() as i64);
+            live.sub((acc.nbytes() + t.nbytes()) as i64);
             acc = next;
         }
         let summed = acc.sum_over(var)?;
-        live_bytes += summed.nbytes();
-        stats.peak_live_bytes = stats.peak_live_bytes.max(live_bytes);
-        live_bytes -= acc.nbytes();
+        live.add(summed.nbytes() as i64);
+        live.sub(acc.nbytes() as i64);
         drop(acc);
 
         stats.eliminations += 1;
         stats.max_intermediate_elems = stats.max_intermediate_elems.max(summed.len());
         stats.total_intermediate_bytes += summed.nbytes();
 
-        let replaced = hook.on_intermediate(summed)?;
+        let replaced = {
+            let _span = qcf_telemetry::span!("contract.hook");
+            hook.on_intermediate(summed)?
+        };
         match bucket_of(&replaced)? {
             Some(b) => {
                 debug_assert!(b > step, "result must flow to a later bucket");
@@ -145,11 +156,12 @@ pub fn contract_network(
             }
             None => {
                 scalar *= replaced.get(&[]);
-                live_bytes -= replaced.nbytes();
+                live.sub(replaced.nbytes() as i64);
             }
         }
     }
 
+    stats.peak_live_bytes = live.peak() as usize;
     Ok((scalar, stats))
 }
 
@@ -164,8 +176,7 @@ mod tests {
     }
 
     fn order_for(tensors: &[Tensor]) -> Vec<Ix> {
-        InteractionGraph::from_tensors(tensors)
-            .elimination_order(OrderingHeuristic::MinFill)
+        InteractionGraph::from_tensors(tensors).elimination_order(OrderingHeuristic::MinFill)
     }
 
     #[test]
@@ -212,12 +223,18 @@ mod tests {
         };
         let order = order_for(&ts);
         let (val, _) = contract_network(ts, &order, &mut NoopHook).unwrap();
-        assert!(val.approx_eq(pairwise, 1e-10), "bucket {val:?} vs pairwise {pairwise:?}");
+        assert!(
+            val.approx_eq(pairwise, 1e-10),
+            "bucket {val:?} vs pairwise {pairwise:?}"
+        );
     }
 
     #[test]
     fn scalar_only_network() {
-        let ts = vec![Tensor::scalar(Complex64::real(3.0)), Tensor::scalar(Complex64::real(4.0))];
+        let ts = vec![
+            Tensor::scalar(Complex64::real(3.0)),
+            Tensor::scalar(Complex64::real(4.0)),
+        ];
         let (val, stats) = contract_network(ts, &[], &mut NoopHook).unwrap();
         assert!(val.approx_eq(Complex64::real(12.0), 1e-12));
         assert_eq!(stats.eliminations, 0);
@@ -283,10 +300,7 @@ mod tests {
 
     #[test]
     fn stats_track_peak_memory() {
-        let ts = vec![
-            t(vec![0, 1], vec![1.0; 4]),
-            t(vec![1, 2], vec![1.0; 4]),
-        ];
+        let ts = vec![t(vec![0, 1], vec![1.0; 4]), t(vec![1, 2], vec![1.0; 4])];
         let (_, stats) = contract_network(ts, &[0, 1, 2], &mut NoopHook).unwrap();
         assert!(stats.peak_live_bytes >= 2 * 4 * 16);
         assert!(stats.max_intermediate_elems >= 2);

@@ -59,7 +59,11 @@ pub struct EnergyReport {
 impl Simulator {
     /// Creates a simulator with explicit settings (bucket elimination).
     pub fn new(heuristic: OrderingHeuristic, use_lightcone: bool) -> Self {
-        Simulator { heuristic, use_lightcone, strategy: Strategy::BucketElimination }
+        Simulator {
+            heuristic,
+            use_lightcone,
+            strategy: Strategy::BucketElimination,
+        }
     }
 
     /// Builder: selects the contraction strategy.
@@ -167,7 +171,11 @@ impl Simulator {
             agg.peak_live_bytes = agg.peak_live_bytes.max(stats.peak_live_bytes);
             agg.total_intermediate_bytes += stats.total_intermediate_bytes;
         }
-        Ok(EnergyReport { energy, zz_terms, stats: agg })
+        Ok(EnergyReport {
+            energy,
+            zz_terms,
+            stats: agg,
+        })
     }
 }
 
@@ -198,7 +206,12 @@ mod tests {
         let report = sim.energy(&g, &params).unwrap();
         assert_close(report.energy, sv.maxcut_energy(&g), 1e-9, "ring p=1 energy");
         for (i, &(a, b)) in g.edges().iter().enumerate() {
-            assert_close(report.zz_terms[i], sv.zz_expectation(a, b), 1e-9, "edge term");
+            assert_close(
+                report.zz_terms[i],
+                sv.zz_expectation(a, b),
+                1e-9,
+                "edge term",
+            );
         }
     }
 
@@ -209,16 +222,24 @@ mod tests {
         let sv = StateVector::run(&qaoa_circuit(&g, &params));
         let sim = Simulator::default();
         let report = sim.energy(&g, &params).unwrap();
-        assert_close(report.energy, sv.maxcut_energy(&g), 1e-8, "3-regular p=2 energy");
+        assert_close(
+            report.energy,
+            sv.maxcut_energy(&g),
+            1e-8,
+            "3-regular p=2 energy",
+        );
     }
 
     #[test]
     fn lightcone_off_gives_same_answer() {
         let g = Graph::random_regular(6, 3, 7);
         let params = QaoaParams::fixed_angles_3reg_p1();
-        let with = Simulator::new(OrderingHeuristic::MinFill, true).energy(&g, &params).unwrap();
-        let without =
-            Simulator::new(OrderingHeuristic::MinFill, false).energy(&g, &params).unwrap();
+        let with = Simulator::new(OrderingHeuristic::MinFill, true)
+            .energy(&g, &params)
+            .unwrap();
+        let without = Simulator::new(OrderingHeuristic::MinFill, false)
+            .energy(&g, &params)
+            .unwrap();
         assert_close(with.energy, without.energy, 1e-8, "lightcone on/off");
         // ...but the lightcone run touches fewer variables.
         assert!(with.stats.total_intermediate_bytes <= without.stats.total_intermediate_bytes);
@@ -228,8 +249,12 @@ mod tests {
     fn heuristics_agree_on_value() {
         let g = Graph::random_regular(10, 3, 3);
         let params = QaoaParams::new(vec![0.5, 0.9], vec![0.25, 0.4]);
-        let e1 = Simulator::new(OrderingHeuristic::MinFill, true).energy(&g, &params).unwrap();
-        let e2 = Simulator::new(OrderingHeuristic::MinDegree, true).energy(&g, &params).unwrap();
+        let e1 = Simulator::new(OrderingHeuristic::MinFill, true)
+            .energy(&g, &params)
+            .unwrap();
+        let e2 = Simulator::new(OrderingHeuristic::MinDegree, true)
+            .energy(&g, &params)
+            .unwrap();
         assert_close(e1.energy, e2.energy, 1e-8, "min-fill vs min-degree");
     }
 

@@ -23,11 +23,13 @@ pub mod pairwise;
 pub mod statevector;
 pub mod trace;
 
-pub use contraction::{contract_network, ContractError, ContractionHook, ContractionStats, NoopHook};
+pub use compressed_state::CompressedState;
+pub use contraction::{
+    contract_network, ContractError, ContractionHook, ContractionStats, NoopHook,
+};
 pub use energy::{EnergyReport, Simulator, Strategy};
 pub use lightcone::{lightcone, Lightcone};
 pub use network::TensorNetwork;
 pub use ordering::{InteractionGraph, OrderingHeuristic};
 pub use statevector::StateVector;
-pub use compressed_state::CompressedState;
 pub use trace::TraceHook;

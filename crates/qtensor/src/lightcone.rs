@@ -28,7 +28,10 @@ impl Lightcone {
 
     /// Compact id of an original qubit, if it is in the cone.
     pub fn compact_id(&self, original: usize) -> Option<usize> {
-        self.mapping.iter().find(|&&(o, _)| o == original).map(|&(_, c)| c)
+        self.mapping
+            .iter()
+            .find(|&&(o, _)| o == original)
+            .map(|&(_, c)| c)
     }
 
     /// `(original, compact)` pairs, sorted by original id.
@@ -59,8 +62,7 @@ pub fn lightcone(circuit: &Circuit, support: &[usize]) -> Lightcone {
     }
 
     // Compact the cone's qubits.
-    let originals: Vec<usize> =
-        (0..circuit.n_qubits()).filter(|&q| in_cone[q]).collect();
+    let originals: Vec<usize> = (0..circuit.n_qubits()).filter(|&q| in_cone[q]).collect();
     let mut compact = vec![usize::MAX; circuit.n_qubits()];
     for (c, &o) in originals.iter().enumerate() {
         compact[o] = c;

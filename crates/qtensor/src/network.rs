@@ -118,9 +118,8 @@ impl TensorNetwork {
             }
         }
 
-        self.tensors.push(
-            Tensor::qubit(axes, data).expect("gate tensor construction is shape-correct"),
-        );
+        self.tensors
+            .push(Tensor::qubit(axes, data).expect("gate tensor construction is shape-correct"));
         for (q, fresh) in new_wire {
             self.wire[q] = fresh;
         }
@@ -128,7 +127,11 @@ impl TensorNetwork {
 
     /// Appends every gate of a circuit.
     pub fn apply_circuit(&mut self, circuit: &Circuit) {
-        assert_eq!(circuit.n_qubits(), self.n_qubits(), "register width mismatch");
+        assert_eq!(
+            circuit.n_qubits(),
+            self.n_qubits(),
+            "register width mismatch"
+        );
         for g in circuit.gates() {
             self.apply_gate(g);
         }
@@ -143,8 +146,7 @@ impl TensorNetwork {
     pub fn apply_z(&mut self, qubit: usize) {
         let var = self.wire[qubit];
         self.tensors.push(
-            Tensor::qubit(vec![var], vec![Complex64::ONE, -Complex64::ONE])
-                .expect("Z tensor"),
+            Tensor::qubit(vec![var], vec![Complex64::ONE, -Complex64::ONE]).expect("Z tensor"),
         );
     }
 
@@ -192,7 +194,11 @@ mod tests {
         let mut net = TensorNetwork::new(2);
         let v0 = net.wire_var(0);
         net.apply_gate(&Gate::Rz(0, 0.3));
-        assert_eq!(net.wire_var(0), v0, "diagonal gate must not advance the wire");
+        assert_eq!(
+            net.wire_var(0),
+            v0,
+            "diagonal gate must not advance the wire"
+        );
         net.apply_gate(&Gate::Zz(0, 1, 0.5));
         assert_eq!(net.wire_var(0), v0);
         assert_eq!(net.n_variables(), 2);
@@ -235,7 +241,8 @@ mod tests {
                         (to != ti) as i32
                     };
                     assert!(
-                        t.get(&[c, to, ti]).approx_eq(Complex64::real(want as f64), 1e-12),
+                        t.get(&[c, to, ti])
+                            .approx_eq(Complex64::real(want as f64), 1e-12),
                         "c={c} to={to} ti={ti}"
                     );
                 }

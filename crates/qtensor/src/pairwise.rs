@@ -67,16 +67,19 @@ pub fn contract_greedy(
     }
 
     let mut stats = ContractionStats::default();
-    let mut live_bytes: usize =
-        live.iter().flatten().map(|t| t.nbytes()).sum();
+    let mut live_bytes: usize = live.iter().flatten().map(|t| t.nbytes()).sum();
     stats.peak_live_bytes = live_bytes;
     let mut remaining: usize = live.iter().flatten().count();
 
     while remaining > 1 {
         // Greedy: the pair (preferring connected pairs) with the smallest
         // estimated result.
-        let ids: Vec<usize> =
-            live.iter().enumerate().filter(|(_, t)| t.is_some()).map(|(i, _)| i).collect();
+        let ids: Vec<usize> = live
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_some())
+            .map(|(i, _)| i)
+            .collect();
         let mut best: Option<(usize, usize, usize, bool)> = None;
         for (i, &a) in ids.iter().enumerate() {
             for &b in &ids[i + 1..] {
@@ -124,7 +127,11 @@ pub fn contract_greedy(
         live[ia] = Some(product);
     }
 
-    let last = live.into_iter().flatten().next().expect("one tensor remains");
+    let last = live
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("one tensor remains");
     // Sum any leftover open labels (possible in degenerate networks).
     let mut scalar_t = last;
     for ix in scalar_t.indices().to_vec() {
@@ -144,7 +151,9 @@ mod tests {
     fn bucket_value(tensors: &[Tensor]) -> Complex64 {
         let order =
             InteractionGraph::from_tensors(tensors).elimination_order(OrderingHeuristic::MinFill);
-        contract_network(tensors.to_vec(), &order, &mut NoopHook).unwrap().0
+        contract_network(tensors.to_vec(), &order, &mut NoopHook)
+            .unwrap()
+            .0
     }
 
     fn t(ix: Vec<Ix>, vals: Vec<f64>) -> Tensor {
@@ -220,7 +229,11 @@ mod tests {
         let n = tensors.len();
         let mut hook = Counter(0);
         contract_greedy(tensors, &mut hook).unwrap();
-        assert_eq!(hook.0, n - 1, "a binary tree over n leaves has n-1 internal nodes");
+        assert_eq!(
+            hook.0,
+            n - 1,
+            "a binary tree over n leaves has n-1 internal nodes"
+        );
     }
 
     #[test]

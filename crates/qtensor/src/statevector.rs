@@ -72,7 +72,11 @@ impl StateVector {
     /// # Panics
     /// Panics when `n > MAX_QUBITS`.
     pub fn zero(n: usize) -> Self {
-        assert!(n <= Self::MAX_QUBITS, "statevector limited to {} qubits", Self::MAX_QUBITS);
+        assert!(
+            n <= Self::MAX_QUBITS,
+            "statevector limited to {} qubits",
+            Self::MAX_QUBITS
+        );
         let mut amps = vec![Complex64::ZERO; 1usize << n];
         amps[0] = Complex64::ONE;
         StateVector { n, amps }
@@ -124,7 +128,11 @@ impl StateVector {
         let (ma, mb) = (1usize << a, 1usize << b);
         let mut e = 0.0;
         for (i, amp) in self.amps.iter().enumerate() {
-            let sign = if ((i & ma != 0) as u8) ^ ((i & mb != 0) as u8) == 1 { -1.0 } else { 1.0 };
+            let sign = if ((i & ma != 0) as u8) ^ ((i & mb != 0) as u8) == 1 {
+                -1.0
+            } else {
+                1.0
+            };
             e += sign * amp.norm_sq();
         }
         e
@@ -136,13 +144,23 @@ impl StateVector {
         self.amps
             .iter()
             .enumerate()
-            .map(|(i, amp)| if i & mq != 0 { -amp.norm_sq() } else { amp.norm_sq() })
+            .map(|(i, amp)| {
+                if i & mq != 0 {
+                    -amp.norm_sq()
+                } else {
+                    amp.norm_sq()
+                }
+            })
             .sum()
     }
 
     /// MaxCut QAOA energy `⟨C⟩ = Σ_(a,b) (1 - ⟨Z_a Z_b⟩)/2`.
     pub fn maxcut_energy(&self, graph: &Graph) -> f64 {
-        graph.edges().iter().map(|&(a, b)| 0.5 * (1.0 - self.zz_expectation(a, b))).sum()
+        graph
+            .edges()
+            .iter()
+            .map(|&(a, b)| 0.5 * (1.0 - self.zz_expectation(a, b)))
+            .sum()
     }
 
     /// Fidelity `|⟨self|other⟩|²` between two states.

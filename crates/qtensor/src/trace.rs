@@ -22,7 +22,12 @@ pub struct TraceHook {
 impl TraceHook {
     /// Creates a trace capturing tensors of `min_elems`+ elements.
     pub fn new(min_elems: usize, max_tensors: usize) -> Self {
-        TraceHook { min_elems, max_tensors, captured: Vec::new(), seen: 0 }
+        TraceHook {
+            min_elems,
+            max_tensors,
+            captured: Vec::new(),
+            seen: 0,
+        }
     }
 
     /// Captured tensors, in production order.
@@ -62,7 +67,10 @@ mod tests {
         let sim = Simulator::default();
         sim.energy_with_hook(&g, &params, &mut hook).unwrap();
         assert!(hook.seen > 0);
-        assert!(!hook.captured().is_empty(), "p=2 QAOA must produce rank>=3 intermediates");
+        assert!(
+            !hook.captured().is_empty(),
+            "p=2 QAOA must produce rank>=3 intermediates"
+        );
         assert!(hook.captured().iter().all(|t| t.len() >= 8));
         assert!(hook.seen >= hook.captured().len());
     }
@@ -72,8 +80,69 @@ mod tests {
         let g = Graph::cycle(6);
         let params = QaoaParams::new(vec![0.4, 0.8], vec![0.3, 0.6]);
         let mut hook = TraceHook::new(1, 3);
-        Simulator::default().energy_with_hook(&g, &params, &mut hook).unwrap();
+        Simulator::default()
+            .energy_with_hook(&g, &params, &mut hook)
+            .unwrap();
         assert_eq!(hook.captured().len(), 3);
+    }
+
+    #[test]
+    fn zero_max_tensors_means_unlimited() {
+        let g = Graph::random_regular(8, 3, 5);
+        let params = QaoaParams::new(vec![0.4, 0.8], vec![0.3, 0.6]);
+        let mut unlimited = TraceHook::new(1, 0);
+        Simulator::default()
+            .energy_with_hook(&g, &params, &mut unlimited)
+            .unwrap();
+        // With max_tensors = 0 every intermediate above the (trivial)
+        // threshold is kept — nothing is cut off at any count.
+        assert!(
+            unlimited.captured().len() > 3,
+            "more than a small cap's worth"
+        );
+        assert_eq!(unlimited.captured().len(), unlimited.seen);
+    }
+
+    #[test]
+    fn seen_counts_non_captured_intermediates() {
+        let g = Graph::random_regular(8, 3, 5);
+        let params = QaoaParams::new(vec![0.4, 0.8], vec![0.3, 0.6]);
+        // Impossible threshold: nothing captured, everything still seen.
+        let mut hook = TraceHook::new(usize::MAX, 0);
+        Simulator::default()
+            .energy_with_hook(&g, &params, &mut hook)
+            .unwrap();
+        assert!(hook.captured().is_empty());
+        assert!(
+            hook.seen > 0,
+            "seen must count intermediates that were not captured"
+        );
+        // And with a capture cap of 1, seen still counts the rest.
+        let mut capped = TraceHook::new(1, 1);
+        Simulator::default()
+            .energy_with_hook(&g, &params, &mut capped)
+            .unwrap();
+        assert_eq!(capped.captured().len(), 1);
+        assert!(capped.seen > 1);
+    }
+
+    #[test]
+    fn min_elems_boundary_exact_size_is_captured() {
+        // The threshold is inclusive: a tensor of exactly min_elems
+        // elements is captured. Drive the hook directly for exact sizes.
+        use tensornet::Complex64;
+        let mut hook = TraceHook::new(4, 0);
+        let exactly = Tensor::qubit(vec![0, 1], vec![Complex64::ONE; 4]).unwrap();
+        let smaller = Tensor::qubit(vec![2], vec![Complex64::ONE; 2]).unwrap();
+        hook.on_intermediate(exactly).unwrap();
+        hook.on_intermediate(smaller).unwrap();
+        assert_eq!(hook.seen, 2);
+        assert_eq!(
+            hook.captured().len(),
+            1,
+            "exactly-equal size must be captured"
+        );
+        assert_eq!(hook.captured()[0].len(), 4);
     }
 
     #[test]

@@ -1,0 +1,523 @@
+//! Exporters: Chrome-trace JSON (loadable in `chrome://tracing` or
+//! `ui.perfetto.dev`) and flat JSON/TSV metrics dumps.
+//!
+//! ## Chrome-trace lane mapping
+//!
+//! * `pid 1` — "qcf host": one `tid` per worker thread (span lane ids from
+//!   [`crate::span::lane_id`]), events are the recorded [`SpanEvent`]s.
+//! * `pid 2` — "qcf streams": one `tid` per simulated GPU [`StreamLane`],
+//!   events sourced from the stream's `KernelEvent` log with the virtual
+//!   clock scaled to microseconds.
+//!
+//! All events use the `"X"` (complete) phase with `ts`/`dur` in
+//! microseconds; `"M"` metadata events name the processes and threads.
+
+use crate::metrics::Snapshot;
+use crate::span::SpanEvent;
+use std::fmt::Write as _;
+
+/// One event on a simulated GPU stream's virtual timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneEvent {
+    /// Kernel or transfer name.
+    pub name: String,
+    /// Category rendered in the trace (e.g. `kernel`).
+    pub cat: String,
+    /// Start, microseconds of virtual stream time.
+    pub start_us: u64,
+    /// Duration in microseconds (clamped to ≥ 1 so zero-cost events stay
+    /// visible).
+    pub dur_us: u64,
+    /// Bytes moved by the event (shown in the args pane).
+    pub bytes: usize,
+}
+
+/// A named virtual lane: one simulated `Stream`'s event log.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StreamLane {
+    /// Lane label, e.g. `A100 stream 0`.
+    pub name: String,
+    /// Events in submission order.
+    pub events: Vec<LaneEvent>,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on f64 never prints exponents for typical metric ranges and
+        // always round-trips; "inf"/"NaN" are not valid JSON, handled above.
+        s
+    } else if v.is_sign_positive() {
+        "1e308".to_string()
+    } else {
+        "-1e308".to_string()
+    }
+}
+
+const HOST_PID: u32 = 1;
+const STREAM_PID: u32 = 2;
+
+fn push_meta(out: &mut String, pid: u32, tid: u32, key: &str, name: &str) {
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{key}\",\"args\":{{\"name\":\""
+    );
+    escape_into(out, name);
+    out.push_str("\"}}");
+}
+
+/// Renders spans plus stream lanes as a Chrome-trace JSON document.
+pub fn chrome_trace(spans: &[SpanEvent], lanes: &[StreamLane]) -> String {
+    let mut out = String::with_capacity(256 + spans.len() * 96 + lanes.len() * 128);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+    };
+
+    sep(&mut out);
+    push_meta(&mut out, HOST_PID, 0, "process_name", "qcf host");
+    let mut host_lanes: Vec<u32> = spans.iter().map(|e| e.lane).collect();
+    host_lanes.sort_unstable();
+    host_lanes.dedup();
+    for &lane in &host_lanes {
+        sep(&mut out);
+        push_meta(
+            &mut out,
+            HOST_PID,
+            lane,
+            "thread_name",
+            &format!("worker {lane}"),
+        );
+    }
+    for e in spans {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\"cat\":\"{}\",\"name\":\"",
+            HOST_PID,
+            e.lane,
+            e.start_us,
+            e.dur_us.max(1),
+            e.cat
+        );
+        escape_into(&mut out, e.name);
+        let _ = write!(&mut out, "\",\"args\":{{\"depth\":{}}}}}", e.depth);
+    }
+
+    if !lanes.is_empty() {
+        sep(&mut out);
+        push_meta(&mut out, STREAM_PID, 0, "process_name", "qcf streams");
+    }
+    for (tid, lane) in lanes.iter().enumerate() {
+        let tid = tid as u32;
+        sep(&mut out);
+        push_meta(&mut out, STREAM_PID, tid, "thread_name", &lane.name);
+        for e in &lane.events {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\"cat\":\"",
+                STREAM_PID,
+                tid,
+                e.start_us,
+                e.dur_us.max(1)
+            );
+            escape_into(&mut out, &e.cat);
+            out.push_str("\",\"name\":\"");
+            escape_into(&mut out, &e.name);
+            let _ = write!(&mut out, "\",\"args\":{{\"bytes\":{}}}}}", e.bytes);
+        }
+    }
+
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Renders a registry snapshot as a flat JSON object:
+/// `{"counters":{...},"gauges":{name:{"value":v,"high_water":h}},
+///   "float_gauges":{...},"histograms":{name:{"count":..,"sum":..,
+///   "mean":..,"buckets":[[bound,count],...]}}}`.
+pub fn metrics_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{");
+    out.push_str("\"counters\":{");
+    for (i, (k, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(&mut out, k);
+        let _ = write!(&mut out, "\":{v}");
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (k, (v, hw))) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(&mut out, k);
+        let _ = write!(&mut out, "\":{{\"value\":{v},\"high_water\":{hw}}}");
+    }
+    out.push_str("},\"float_gauges\":{");
+    for (i, (k, v)) in snap.float_gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(&mut out, k);
+        let _ = write!(&mut out, "\":{}", json_num(*v));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (k, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(&mut out, k);
+        let _ = write!(
+            &mut out,
+            "\":{{\"count\":{},\"sum\":{},\"mean\":{},\"buckets\":[",
+            h.count,
+            json_num(h.sum),
+            json_num(h.mean)
+        );
+        for (j, (bound, count)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let bound = if bound.is_finite() {
+                json_num(*bound)
+            } else {
+                "1e308".to_string()
+            };
+            let _ = write!(&mut out, "[{bound},{count}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders a registry snapshot as TSV: `kind\tname\tvalue\textra` rows,
+/// name-sorted within each kind. Gauges put the high-water mark in
+/// `extra`; histograms dump `count` as value and `sum=..;mean=..` as
+/// extra.
+pub fn metrics_tsv(snap: &Snapshot) -> String {
+    let mut out = String::from("kind\tname\tvalue\textra\n");
+    for (k, v) in &snap.counters {
+        let _ = writeln!(&mut out, "counter\t{k}\t{v}\t");
+    }
+    for (k, (v, hw)) in &snap.gauges {
+        let _ = writeln!(&mut out, "gauge\t{k}\t{v}\thigh_water={hw}");
+    }
+    for (k, v) in &snap.float_gauges {
+        let _ = writeln!(&mut out, "float_gauge\t{k}\t{v}\t");
+    }
+    for (k, h) in &snap.histograms {
+        let _ = writeln!(
+            &mut out,
+            "histogram\t{k}\t{}\tsum={};mean={}",
+            h.count, h.sum, h.mean
+        );
+    }
+    out
+}
+
+/// Minimal structural JSON validator (no std JSON parser in this
+/// dependency-free workspace): checks the document parses as one JSON
+/// value with balanced structure and valid tokens. Used by tests to
+/// assert the exporters emit well-formed output.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if *pos >= b.len() {
+        return Err("unexpected end of input".into());
+    }
+    match b[*pos] {
+        b'{' => parse_object(b, pos),
+        b'[' => parse_array(b, pos),
+        b'"' => parse_string(b, pos),
+        b't' => parse_lit(b, pos, "true"),
+        b'f' => parse_lit(b, pos, "false"),
+        b'n' => parse_lit(b, pos, "null"),
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        c => Err(format!("unexpected byte {c:#x} at {pos}", pos = *pos)),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == b'}' {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if *pos >= b.len() || b[*pos] != b':' {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == b']' {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if *pos >= b.len() || b[*pos] != b'"' {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if *pos + 4 >= b.len()
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {}", *pos));
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control byte in string at {}", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b[*pos] == b'-' {
+        *pos += 1;
+    }
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if *pos < b.len() && b[*pos] == b'.' {
+        *pos += 1;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    if *pos < b.len() && matches!(b[*pos], b'e' | b'E') {
+        *pos += 1;
+        if *pos < b.len() && matches!(b[*pos], b'+' | b'-') {
+            *pos += 1;
+        }
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    if *pos == start || (*pos == start + 1 && b[start] == b'-') {
+        return Err(format!("bad number at byte {start}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{HistogramSnapshot, Snapshot};
+
+    fn sample_snapshot() -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("gpu.kernel.launches".into(), 42);
+        snap.gauges
+            .insert("contract.live_bytes".into(), (0, 1 << 20));
+        snap.float_gauges.insert("compressor.qoz.cr".into(), 17.25);
+        snap.histograms.insert(
+            "stage.dedup.ratio".into(),
+            HistogramSnapshot {
+                count: 3,
+                sum: 1.5,
+                mean: 0.5,
+                buckets: vec![(0.5, 2), (1.0, 1), (f64::INFINITY, 0)],
+            },
+        );
+        snap
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_lanes() {
+        let spans = vec![
+            SpanEvent {
+                name: "contract.network",
+                cat: "contract",
+                lane: 0,
+                start_us: 0,
+                dur_us: 100,
+                depth: 0,
+            },
+            SpanEvent {
+                name: "stage.dedup",
+                cat: "stage",
+                lane: 1,
+                start_us: 10,
+                dur_us: 20,
+                depth: 1,
+            },
+        ];
+        let lanes = vec![StreamLane {
+            name: "A100 stream 0".into(),
+            events: vec![LaneEvent {
+                name: "gemm".into(),
+                cat: "kernel".into(),
+                start_us: 0,
+                dur_us: 33,
+                bytes: 4096,
+            }],
+        }];
+        let doc = chrome_trace(&spans, &lanes);
+        validate_json(&doc).expect("chrome trace must be valid JSON");
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("contract.network"));
+        assert!(doc.contains("A100 stream 0"));
+        assert!(doc.contains("\"pid\":2"));
+    }
+
+    #[test]
+    fn chrome_trace_empty_inputs() {
+        let doc = chrome_trace(&[], &[]);
+        validate_json(&doc).expect("empty trace still valid");
+    }
+
+    #[test]
+    fn metrics_json_is_valid() {
+        let doc = metrics_json(&sample_snapshot());
+        validate_json(&doc).expect("metrics JSON must be valid");
+        assert!(doc.contains("gpu.kernel.launches"));
+        assert!(doc.contains("\"high_water\":1048576"));
+        assert!(doc.contains("17.25"));
+    }
+
+    #[test]
+    fn metrics_tsv_has_header_and_rows() {
+        let tsv = metrics_tsv(&sample_snapshot());
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines[0], "kind\tname\tvalue\textra");
+        assert_eq!(lines.len(), 5);
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("counter\tgpu.kernel.launches\t42")));
+        assert!(lines.iter().any(|l| l.contains("high_water=1048576")));
+        // every row has exactly 4 tab-separated fields
+        for l in &lines {
+            assert_eq!(l.split('\t').count(), 4, "row {l:?}");
+        }
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        let spans = vec![SpanEvent {
+            name: "weird",
+            cat: "weird",
+            lane: 0,
+            start_us: 0,
+            dur_us: 1,
+            depth: 0,
+        }];
+        let lanes = vec![StreamLane {
+            name: "na\"me\\with\nstuff".into(),
+            events: vec![],
+        }];
+        let doc = chrome_trace(&spans, &lanes);
+        validate_json(&doc).expect("escaped trace valid");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("[1,2,]").is_err());
+        assert!(validate_json("{\"a\":1} extra").is_err());
+        assert!(validate_json("{\"a\":1}").is_ok());
+        assert!(validate_json("[1,-2.5e3,\"x\",true,null]").is_ok());
+    }
+}

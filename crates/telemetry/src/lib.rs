@@ -1,0 +1,103 @@
+//! # qcf-telemetry — the workspace's measurement substrate
+//!
+//! Every crate in the workspace reports into this one layer, so the
+//! questions the paper's evaluation asks — where does the time go per
+//! kernel, what is the peak live footprint, what ratio does each stage
+//! contribute — are answered from one place instead of per-crate ad-hoc
+//! state:
+//!
+//! * [`span`] — lightweight hierarchical spans with thread-aware lanes.
+//!   `span!("contract.pairwise")` returns an RAII guard; the category is
+//!   the name's first dot-separated segment.
+//! * [`metrics`] — a global registry of counters, gauges (with high-water
+//!   marks), float gauges and fixed-bucket histograms.
+//! * [`export`] — a Chrome-trace JSON exporter (`chrome://tracing` /
+//!   `ui.perfetto.dev`-loadable; one lane per worker thread plus one
+//!   virtual lane per simulated GPU stream) and flat JSON/TSV metrics
+//!   dumps.
+//!
+//! ## Cost when disabled
+//!
+//! Telemetry is on by default and disabled with `QCF_TELEMETRY=0` (or
+//! [`set_enabled`]`(false)`). Disabled, every instrumentation point
+//! reduces to one relaxed atomic load and a branch — no clock reads, no
+//! locks, no allocation — so hot paths keep their measured throughput
+//! (see `BENCH_telemetry.json` at the workspace root for numbers).
+//!
+//! Span and metric state is process-global. The span buffer is bounded
+//! ([`span::MAX_SPAN_EVENTS`]); overflow increments a drop counter rather
+//! than growing without bound.
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+pub use export::{chrome_trace, metrics_json, metrics_tsv, LaneEvent, StreamLane};
+pub use metrics::{registry, Counter, FloatGauge, Gauge, GaugeTrack, Histogram, Registry};
+pub use span::{SpanEvent, SpanGuard};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// 0 = uninitialized, 1 = enabled, 2 = disabled.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// True when telemetry collection is active.
+///
+/// Initialized on first call from the `QCF_TELEMETRY` environment variable
+/// (`0`, `false` or `off` disable; anything else — including unset —
+/// enables). One relaxed atomic load on every later call.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => init_enabled(),
+    }
+}
+
+#[cold]
+fn init_enabled() -> bool {
+    let on = match std::env::var("QCF_TELEMETRY") {
+        Ok(v) => {
+            let v = v.trim();
+            !(v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off"))
+        }
+        Err(_) => true,
+    };
+    ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+    on
+}
+
+/// Overrides the enabled state (CLIs forcing `--trace`, overhead benches).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Clears all recorded spans and metric values (counters, gauges and
+/// histograms keep their registrations). For isolating runs in one process.
+pub fn reset() {
+    span::reset();
+    metrics::registry().reset_values();
+}
+
+/// Serializes tests that touch the process-global enabled flag / buffers.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_toggles() {
+        let _g = test_guard();
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+    }
+}

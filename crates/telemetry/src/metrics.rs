@@ -1,0 +1,475 @@
+//! The global metrics registry: counters, gauges, float gauges and
+//! fixed-bucket histograms.
+//!
+//! Instruments are created (or fetched) by name from [`registry`] and held
+//! as `Arc` handles; hot paths cache the handle once and then pay a single
+//! atomic op per update. All mutating operations are no-ops while
+//! telemetry is disabled, so instrumented code needs no of its own guards
+//! — but local bookkeeping that *must* stay correct regardless (the public
+//! stats structs in `qtensor`) goes through [`GaugeTrack`], which tracks
+//! locally always and mirrors into the registry only when enabled.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (no-op while telemetry is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A signed level with a high-water mark (live bytes, queue depths).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    high_water: AtomicI64,
+}
+
+impl Gauge {
+    /// Adds `delta` (may be negative); updates the high-water mark.
+    /// No-op while telemetry is disabled.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if !crate::enabled() {
+            return;
+        }
+        let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Subtracts `delta`.
+    #[inline]
+    pub fn sub(&self, delta: i64) {
+        self.add(-delta);
+    }
+
+    /// Sets the level outright (still raises the high-water mark).
+    pub fn set(&self, value: i64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.value.store(value, Ordering::Relaxed);
+        self.high_water.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever observed.
+    pub fn high_water(&self) -> i64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Starts a per-run tracker mirroring into this gauge; see
+    /// [`GaugeTrack`].
+    pub fn track(self: &Arc<Self>) -> GaugeTrack {
+        GaugeTrack {
+            gauge: Arc::clone(self),
+            local: 0,
+            local_peak: 0,
+        }
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.high_water.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Per-run view of a [`Gauge`]: tracks a local level and local peak
+/// unconditionally (so per-run stats stay exact even with telemetry
+/// disabled, or with concurrent runs sharing the global gauge) while
+/// forwarding every delta to the registry gauge.
+#[derive(Debug)]
+pub struct GaugeTrack {
+    gauge: Arc<Gauge>,
+    local: i64,
+    local_peak: i64,
+}
+
+impl GaugeTrack {
+    /// Adds `delta` locally and to the global gauge.
+    pub fn add(&mut self, delta: i64) {
+        self.local += delta;
+        self.local_peak = self.local_peak.max(self.local);
+        self.gauge.add(delta);
+    }
+
+    /// Subtracts `delta`.
+    pub fn sub(&mut self, delta: i64) {
+        self.add(-delta);
+    }
+
+    /// This run's current level.
+    pub fn value(&self) -> i64 {
+        self.local
+    }
+
+    /// This run's peak level.
+    pub fn peak(&self) -> i64 {
+        self.local_peak
+    }
+}
+
+impl Drop for GaugeTrack {
+    fn drop(&mut self) {
+        // Return this run's residual level so the global gauge reflects
+        // only live runs.
+        if self.local != 0 {
+            self.gauge.add(-self.local);
+        }
+    }
+}
+
+/// A last-value float gauge (compression ratios, PSNR, throughput).
+#[derive(Debug, Default)]
+pub struct FloatGauge {
+    bits: AtomicU64,
+}
+
+impl FloatGauge {
+    /// Sets the value (no-op while telemetry is disabled).
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Last value set (0.0 if never set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.bits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket histogram over f64 observations.
+///
+/// Buckets are cumulative-upper-bound style: observation `v` lands in the
+/// first bucket with `v <= bound`, or the overflow bucket. Tracks count
+/// and sum for mean derivation.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: Mutex<f64>,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: Mutex::new(0.0),
+        }
+    }
+
+    /// Records one observation (no-op while telemetry is disabled).
+    pub fn observe(&self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        *lock_unpoisoned(&self.sum_bits) += v;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        *lock_unpoisoned(&self.sum_bits)
+    }
+
+    /// Mean of observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// `(upper_bound, count)` pairs; the final pair uses `f64::INFINITY`.
+    pub fn bucket_counts(&self) -> Vec<(f64, u64)> {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.buckets.iter().map(|b| b.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        *lock_unpoisoned(&self.sum_bits) = 0.0;
+    }
+}
+
+/// The process-global instrument registry. Obtain via [`registry`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    float_gauges: Mutex<BTreeMap<String, Arc<FloatGauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = lock_unpoisoned(&self.counters);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = lock_unpoisoned(&self.gauges);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The float gauge named `name`, created on first use.
+    pub fn float_gauge(&self, name: &str) -> Arc<FloatGauge> {
+        let mut map = lock_unpoisoned(&self.float_gauges);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name` with `bounds`, created on first use.
+    /// Later calls return the existing histogram regardless of `bounds`.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut map = lock_unpoisoned(&self.histograms);
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// A flat, name-sorted snapshot of every instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = lock_unpoisoned(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = lock_unpoisoned(&self.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), (v.value(), v.high_water())))
+            .collect();
+        let float_gauges = lock_unpoisoned(&self.float_gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = lock_unpoisoned(&self.histograms)
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        count: v.count(),
+                        sum: v.sum(),
+                        mean: v.mean(),
+                        buckets: v.bucket_counts(),
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            float_gauges,
+            histograms,
+        }
+    }
+
+    /// Zeroes every instrument's value, keeping registrations.
+    pub fn reset_values(&self) {
+        for c in lock_unpoisoned(&self.counters).values() {
+            c.reset();
+        }
+        for g in lock_unpoisoned(&self.gauges).values() {
+            g.reset();
+        }
+        for f in lock_unpoisoned(&self.float_gauges).values() {
+            f.reset();
+        }
+        for h in lock_unpoisoned(&self.histograms).values() {
+            h.reset();
+        }
+    }
+}
+
+/// Point-in-time registry values (input to the exporters).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `name -> value`.
+    pub counters: BTreeMap<String, u64>,
+    /// `name -> (value, high_water)`.
+    pub gauges: BTreeMap<String, (i64, i64)>,
+    /// `name -> value`.
+    pub float_gauges: BTreeMap<String, f64>,
+    /// `name -> histogram`.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// One histogram's snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: f64,
+    /// Mean (0.0 when empty).
+    pub mean: f64,
+    /// `(upper_bound, count)` pairs (last bound is +inf).
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        crate::set_enabled(false);
+        c.inc();
+        assert_eq!(c.get(), 5, "disabled counter must not move");
+        crate::set_enabled(true);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let g = Gauge::default();
+        g.add(10);
+        g.add(5);
+        g.sub(12);
+        assert_eq!(g.value(), 3);
+        assert_eq!(g.high_water(), 15);
+    }
+
+    #[test]
+    fn gauge_track_keeps_local_peak_even_disabled() {
+        let _g = crate::test_guard();
+        crate::set_enabled(false);
+        let gauge = Arc::new(Gauge::default());
+        let mut t = gauge.track();
+        t.add(100);
+        t.add(50);
+        t.sub(120);
+        assert_eq!(t.value(), 30);
+        assert_eq!(t.peak(), 150);
+        assert_eq!(gauge.value(), 0, "disabled: global gauge untouched");
+        crate::set_enabled(true);
+    }
+
+    #[test]
+    fn gauge_track_returns_residual_on_drop() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let gauge = Arc::new(Gauge::default());
+        {
+            let mut t = gauge.track();
+            t.add(64);
+            assert_eq!(gauge.value(), 64);
+        }
+        assert_eq!(gauge.value(), 0, "drop must release the run's level");
+        assert_eq!(gauge.high_water(), 64, "but keep the high-water mark");
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 50.0, 500.0, 7.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 112.5).abs() < 1e-12);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0], (1.0, 1));
+        assert_eq!(buckets[1], (10.0, 2));
+        assert_eq!(buckets[2], (100.0, 1));
+        assert_eq!(buckets[3].1, 1);
+    }
+
+    #[test]
+    fn registry_returns_same_instrument() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let r = Registry::default();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.get("x"), Some(&1));
+        r.reset_values();
+        assert_eq!(a.get(), 0);
+    }
+}

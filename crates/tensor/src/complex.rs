@@ -42,19 +42,28 @@ impl Complex64 {
     /// Returns `e^(i * theta)` — a unit phasor.
     #[inline]
     pub fn cis(theta: f64) -> Self {
-        Complex64 { re: theta.cos(), im: theta.sin() }
+        Complex64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Creates a complex number from polar coordinates.
     #[inline]
     pub fn from_polar(r: f64, theta: f64) -> Self {
-        Complex64 { re: r * theta.cos(), im: r * theta.sin() }
+        Complex64 {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex64 { re: self.re, im: -self.im }
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `re² + im²`; cheaper than [`Complex64::abs`].
@@ -78,7 +87,10 @@ impl Complex64 {
     /// Multiplies by a real scalar.
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        Complex64 { re: self.re * s, im: self.im * s }
+        Complex64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Multiplicative inverse. Returns non-finite parts when `self` is zero,
@@ -86,7 +98,10 @@ impl Complex64 {
     #[inline]
     pub fn inv(self) -> Self {
         let d = self.norm_sq();
-        Complex64 { re: self.re / d, im: -self.im / d }
+        Complex64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Fused multiply-add: `self + a * b`. The compiler can keep this in
@@ -116,7 +131,10 @@ impl Add for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn add(self, rhs: Complex64) -> Complex64 {
-        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -132,7 +150,10 @@ impl Sub for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn sub(self, rhs: Complex64) -> Complex64 {
-        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -183,7 +204,10 @@ impl Neg for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn neg(self) -> Complex64 {
-        Complex64 { re: -self.re, im: -self.im }
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -196,7 +220,13 @@ impl From<f64> for Complex64 {
 
 impl fmt::Debug for Complex64 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}{}i", self.re, if self.im < 0.0 { "-" } else { "+" }, self.im.abs())
+        write!(
+            f,
+            "{}{}{}i",
+            self.re,
+            if self.im < 0.0 { "-" } else { "+" },
+            self.im.abs()
+        )
     }
 }
 

@@ -11,7 +11,9 @@
 //!   hyperedges); the sum happens once per bucket via [`Tensor::sum_over`].
 
 use crate::complex::Complex64;
-use crate::tensor::{permute_kernel, strides_of, Ix, Tensor, TensorError, PAR_BLOCK, PAR_MIN_ELEMS};
+use crate::tensor::{
+    permute_kernel, strides_of, Ix, Tensor, TensorError, PAR_BLOCK, PAR_MIN_ELEMS,
+};
 use gpu_model::exec::{par_chunks_mut, par_fill_blocks};
 use gpu_model::ScratchPool;
 use std::sync::OnceLock;
@@ -22,7 +24,7 @@ use std::sync::OnceLock;
 /// reallocated per contraction.
 pub fn scratch() -> &'static ScratchPool<Complex64> {
     static POOL: OnceLock<ScratchPool<Complex64>> = OnceLock::new();
-    POOL.get_or_init(ScratchPool::new)
+    POOL.get_or_init(|| ScratchPool::with_metrics("tensor.scratch"))
 }
 
 /// A permuted operand: either the tensor's own storage (identity order) or
@@ -58,6 +60,7 @@ fn permuted_operand<'a>(
     match t.permute_plan(order)? {
         None => Ok(Operand::Borrowed(t.data())),
         Some((new_dims, contrib)) => {
+            let _span = qcf_telemetry::span!("tensor.permute");
             let mut buf = pool.take(t.len());
             permute_kernel(t.data(), &new_dims, &contrib, &mut buf);
             Ok(Operand::Pooled(buf))
@@ -67,7 +70,11 @@ fn permuted_operand<'a>(
 
 /// Labels present in both tensors, in `a`'s storage order.
 pub fn shared_indices(a: &Tensor, b: &Tensor) -> Vec<Ix> {
-    a.indices().iter().copied().filter(|ix| b.position(*ix).is_some()).collect()
+    a.indices()
+        .iter()
+        .copied()
+        .filter(|ix| b.position(*ix).is_some())
+        .collect()
 }
 
 /// Validates that shared labels agree on dimension.
@@ -76,7 +83,11 @@ fn check_shared_dims(a: &Tensor, b: &Tensor, shared: &[Ix]) -> Result<(), Tensor
         let da = a.dim_of(ix).expect("shared index on a");
         let db = b.dim_of(ix).expect("shared index on b");
         if da != db {
-            return Err(TensorError::DimConflict { index: ix, a: da, b: db });
+            return Err(TensorError::DimConflict {
+                index: ix,
+                a: da,
+                b: db,
+            });
         }
     }
     Ok(())
@@ -98,10 +109,18 @@ fn gemm_plan(a: &Tensor, b: &Tensor) -> Result<GemmPlan, TensorError> {
     let shared = shared_indices(a, b);
     check_shared_dims(a, b, &shared)?;
 
-    let free_a: Vec<Ix> =
-        a.indices().iter().copied().filter(|ix| !shared.contains(ix)).collect();
-    let free_b: Vec<Ix> =
-        b.indices().iter().copied().filter(|ix| !shared.contains(ix)).collect();
+    let free_a: Vec<Ix> = a
+        .indices()
+        .iter()
+        .copied()
+        .filter(|ix| !shared.contains(ix))
+        .collect();
+    let free_b: Vec<Ix> = b
+        .indices()
+        .iter()
+        .copied()
+        .filter(|ix| !shared.contains(ix))
+        .collect();
 
     // Permute a -> (free_a, shared), b -> (shared, free_b); then it's GEMM.
     let mut order_a = free_a.clone();
@@ -119,7 +138,15 @@ fn gemm_plan(a: &Tensor, b: &Tensor) -> Result<GemmPlan, TensorError> {
     for &ix in &out_ix {
         out_dims.push(a.dim_of(ix).or_else(|| b.dim_of(ix)).unwrap());
     }
-    Ok(GemmPlan { order_a, order_b, out_ix, out_dims, m, n, k })
+    Ok(GemmPlan {
+        order_a,
+        order_b,
+        out_ix,
+        out_dims,
+        m,
+        n,
+        k,
+    })
 }
 
 /// Computes rows `first_row..first_row + rows.len()/n` of the GEMM
@@ -170,10 +197,13 @@ pub fn contract(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 
     let mut out = vec![Complex64::ZERO; m * n];
     let (da, db) = (pa.as_slice(), pb.as_slice());
-    if m * n * k.max(1) >= PAR_MIN_ELEMS && n > 0 && m > 1 {
-        par_chunks_mut(&mut out, n, |row, orow| gemm_rows(da, db, orow, row, n, k));
-    } else if !out.is_empty() {
-        gemm_rows(da, db, &mut out, 0, n, k);
+    {
+        let _span = qcf_telemetry::span!("tensor.gemm");
+        if m * n * k.max(1) >= PAR_MIN_ELEMS && n > 0 && m > 1 {
+            par_chunks_mut(&mut out, n, |row, orow| gemm_rows(da, db, orow, row, n, k));
+        } else if !out.is_empty() {
+            gemm_rows(da, db, &mut out, 0, n, k);
+        }
     }
     pa.release(pool);
     pb.release(pool);
@@ -239,11 +269,21 @@ fn broadcast_plan(a: &Tensor, b: &Tensor) -> Result<BroadcastPlan, TensorError> 
     // (0 when the input lacks that label) — a broadcast walk.
     let sa = strides_of(a.dims());
     let sb = strides_of(b.dims());
-    let contrib_a: Vec<usize> =
-        out_ix.iter().map(|&ix| a.position(ix).map_or(0, |p| sa[p])).collect();
-    let contrib_b: Vec<usize> =
-        out_ix.iter().map(|&ix| b.position(ix).map_or(0, |p| sb[p])).collect();
-    Ok(BroadcastPlan { out_ix, out_dims, contrib_a, contrib_b, total })
+    let contrib_a: Vec<usize> = out_ix
+        .iter()
+        .map(|&ix| a.position(ix).map_or(0, |p| sa[p]))
+        .collect();
+    let contrib_b: Vec<usize> = out_ix
+        .iter()
+        .map(|&ix| b.position(ix).map_or(0, |p| sb[p]))
+        .collect();
+    Ok(BroadcastPlan {
+        out_ix,
+        out_dims,
+        contrib_a,
+        contrib_b,
+        total,
+    })
 }
 
 /// Fills `chunk` with the broadcast products for output offsets
@@ -363,7 +403,11 @@ mod tests {
     #[test]
     fn contraction_order_of_shared_axes_irrelevant() {
         // a(i,j,k) with b(k,j) contracts j and k regardless of their order.
-        let a = t(vec![0, 1, 2], vec![2, 2, 2], (0..8).map(|x| x as f64).collect());
+        let a = t(
+            vec![0, 1, 2],
+            vec![2, 2, 2],
+            (0..8).map(|x| x as f64).collect(),
+        );
         let b = t(vec![2, 1], vec![2, 2], vec![1.0, -1.0, 2.0, 0.5]);
         let r = contract(&a, &b).unwrap();
         // brute force
@@ -384,7 +428,11 @@ mod tests {
         let b = t(vec![0], vec![3], vec![1.0, 2.0, 3.0]);
         assert!(matches!(
             contract(&a, &b),
-            Err(TensorError::DimConflict { index: 0, a: 2, b: 3 })
+            Err(TensorError::DimConflict {
+                index: 0,
+                a: 2,
+                b: 3
+            })
         ));
     }
 

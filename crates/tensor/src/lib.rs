@@ -18,7 +18,5 @@ pub mod stats;
 pub mod tensor;
 
 pub use complex::Complex64;
-pub use einsum::{
-    contract, contract_serial, multiply_keep, multiply_keep_serial, shared_indices,
-};
+pub use einsum::{contract, contract_serial, multiply_keep, multiply_keep_serial, shared_indices};
 pub use tensor::{Ix, Tensor, TensorError};

@@ -42,8 +42,15 @@ pub fn split_planes(values: &[Complex64]) -> (Vec<f64>, Vec<f64>) {
 /// # Panics
 /// Panics when the plane lengths differ.
 pub fn merge_planes(re: &[f64], im: &[f64]) -> Vec<Complex64> {
-    assert_eq!(re.len(), im.len(), "real/imag planes must have equal length");
-    re.iter().zip(im).map(|(&re, &im)| Complex64 { re, im }).collect()
+    assert_eq!(
+        re.len(),
+        im.len(),
+        "real/imag planes must have equal length"
+    );
+    re.iter()
+        .zip(im)
+        .map(|(&re, &im)| Complex64 { re, im })
+        .collect()
 }
 
 /// Copies an interleaved `f64` buffer into complex values.
@@ -51,8 +58,13 @@ pub fn merge_planes(re: &[f64], im: &[f64]) -> Vec<Complex64> {
 /// # Panics
 /// Panics when `flat.len()` is odd.
 pub fn from_interleaved(flat: &[f64]) -> Vec<Complex64> {
-    assert!(flat.len().is_multiple_of(2), "interleaved buffer must have even length");
-    flat.chunks_exact(2).map(|p| Complex64 { re: p[0], im: p[1] }).collect()
+    assert!(
+        flat.len().is_multiple_of(2),
+        "interleaved buffer must have even length"
+    );
+    flat.chunks_exact(2)
+        .map(|p| Complex64 { re: p[0], im: p[1] })
+        .collect()
 }
 
 #[cfg(test)]
@@ -60,7 +72,9 @@ mod tests {
     use super::*;
 
     fn sample(n: usize) -> Vec<Complex64> {
-        (0..n).map(|i| Complex64::new(i as f64 * 0.5, -(i as f64))).collect()
+        (0..n)
+            .map(|i| Complex64::new(i as f64 * 0.5, -(i as f64)))
+            .collect()
     }
 
     #[test]

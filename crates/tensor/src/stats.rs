@@ -97,8 +97,10 @@ pub fn duplicated_block_frac(values: &[f64], block: usize) -> f64 {
     let mut seen: HashSet<Vec<u64>> = HashSet::with_capacity(nblocks);
     let mut dup = 0usize;
     for b in 0..nblocks {
-        let key: Vec<u64> =
-            values[b * block..(b + 1) * block].iter().map(|v| v.to_bits()).collect();
+        let key: Vec<u64> = values[b * block..(b + 1) * block]
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
         if !seen.insert(key) {
             dup += 1;
         }
@@ -129,7 +131,10 @@ pub fn distinct_values(values: &[f64]) -> usize {
 /// Panics when lengths differ.
 pub fn max_pointwise_error(a: &[Complex64], b: &[Complex64]) -> f64 {
     assert_eq!(a.len(), b.len(), "buffers must have equal length");
-    a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]

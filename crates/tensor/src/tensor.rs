@@ -44,7 +44,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::ShapeMismatch { expected, got } => {
-                write!(f, "data length {got} does not match shape product {expected}")
+                write!(
+                    f,
+                    "data length {got} does not match shape product {expected}"
+                )
             }
             TensorError::DuplicateIndex(ix) => write!(f, "duplicate index label {ix}"),
             TensorError::MissingIndex(ix) => write!(f, "index label {ix} not present"),
@@ -76,19 +79,30 @@ impl Tensor {
         assert_eq!(indices.len(), dims.len(), "one dimension per index label");
         let expected: usize = dims.iter().product();
         if data.len() != expected {
-            return Err(TensorError::ShapeMismatch { expected, got: data.len() });
+            return Err(TensorError::ShapeMismatch {
+                expected,
+                got: data.len(),
+            });
         }
         for (i, ix) in indices.iter().enumerate() {
             if indices[..i].contains(ix) {
                 return Err(TensorError::DuplicateIndex(*ix));
             }
         }
-        Ok(Tensor { indices, dims, data })
+        Ok(Tensor {
+            indices,
+            dims,
+            data,
+        })
     }
 
     /// A rank-0 tensor holding one value.
     pub fn scalar(value: Complex64) -> Self {
-        Tensor { indices: Vec::new(), dims: Vec::new(), data: vec![value] }
+        Tensor {
+            indices: Vec::new(),
+            dims: Vec::new(),
+            data: vec![value],
+        }
     }
 
     /// A tensor of all-qubit axes (dimension 2 each), convenient for gates.
@@ -191,10 +205,7 @@ impl Tensor {
     /// Computes the permutation plan for `order`: `None` when `order` is the
     /// identity, otherwise `(new_dims, contrib)` where `contrib[new_axis]`
     /// is the source linear-stride contribution of that output axis.
-    pub(crate) fn permute_plan(
-        &self,
-        order: &[Ix],
-    ) -> Result<Option<PermutePlan>, TensorError> {
+    pub(crate) fn permute_plan(&self, order: &[Ix]) -> Result<Option<PermutePlan>, TensorError> {
         if order.len() != self.rank() {
             return Err(TensorError::BadPermutation);
         }
@@ -226,7 +237,11 @@ impl Tensor {
         };
         let mut out = vec![Complex64::ZERO; self.data.len()];
         permute_kernel(&self.data, &new_dims, &contrib, &mut out);
-        Ok(Tensor { indices: order.to_vec(), dims: new_dims, data: out })
+        Ok(Tensor {
+            indices: order.to_vec(),
+            dims: new_dims,
+            data: out,
+        })
     }
 
     /// Sums the tensor over axis `ix`, removing it.
@@ -235,6 +250,7 @@ impl Tensor {
     /// `d` addends in ascending-axis order on one worker, so the reduction
     /// order — and therefore every output bit — matches the serial loop.
     pub fn sum_over(&self, ix: Ix) -> Result<Tensor, TensorError> {
+        let _span = qcf_telemetry::span!("tensor.sum_over");
         let pos = self.position(ix).ok_or(TensorError::MissingIndex(ix))?;
         let d = self.dims[pos];
         let outer: usize = self.dims[..pos].iter().product();
@@ -251,7 +267,11 @@ impl Tensor {
         let mut dims = self.dims.clone();
         indices.remove(pos);
         dims.remove(pos);
-        Ok(Tensor { indices, dims, data })
+        Ok(Tensor {
+            indices,
+            dims,
+            data,
+        })
     }
 
     /// Fixes axis `ix` at position `value`, removing it (a slice).
@@ -270,7 +290,11 @@ impl Tensor {
         let mut dims = self.dims.clone();
         indices.remove(pos);
         dims.remove(pos);
-        Ok(Tensor { indices, dims, data })
+        Ok(Tensor {
+            indices,
+            dims,
+            data,
+        })
     }
 
     /// Frobenius norm of the tensor.
@@ -280,7 +304,10 @@ impl Tensor {
 
     /// Largest magnitude among elements (0 for empty tensors).
     pub fn max_abs(&self) -> f64 {
-        self.data.iter().map(|v| v.re.abs().max(v.im.abs())).fold(0.0, f64::max)
+        self.data
+            .iter()
+            .map(|v| v.re.abs().max(v.im.abs()))
+            .fold(0.0, f64::max)
     }
 
     /// Multiplies every element by a scalar in place.
@@ -306,7 +333,13 @@ impl Tensor {
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tensor(ix={:?}, dims={:?}, {} elems)", self.indices, self.dims, self.len())
+        write!(
+            f,
+            "Tensor(ix={:?}, dims={:?}, {} elems)",
+            self.indices,
+            self.dims,
+            self.len()
+        )
     }
 }
 
@@ -431,7 +464,10 @@ mod tests {
         assert!(Tensor::new(vec![0, 1], vec![2, 3], iota(6)).is_ok());
         assert_eq!(
             Tensor::new(vec![0, 1], vec![2, 3], iota(5)).unwrap_err(),
-            TensorError::ShapeMismatch { expected: 6, got: 5 }
+            TensorError::ShapeMismatch {
+                expected: 6,
+                got: 5
+            }
         );
         assert_eq!(
             Tensor::new(vec![7, 7], vec![2, 2], iota(4)).unwrap_err(),

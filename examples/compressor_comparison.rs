@@ -11,13 +11,18 @@ fn main() {
     let graph = Graph::random_regular(30, 3, 11);
     let params = QaoaParams::fixed_angles_3reg_p2();
     let mut trace = TraceHook::new(1024, 6);
-    Simulator::default().energy_with_hook(&graph, &params, &mut trace).unwrap();
+    Simulator::default()
+        .energy_with_hook(&graph, &params, &mut trace)
+        .unwrap();
 
     // Each tensor is compressed individually (as in the real system, where
     // intermediates are compressed as they are produced); the table reports
     // aggregates over the tensor set.
-    let tensors: Vec<Vec<f64>> =
-        trace.captured().iter().map(|t| as_interleaved(t.data()).to_vec()).collect();
+    let tensors: Vec<Vec<f64>> = trace
+        .captured()
+        .iter()
+        .map(|t| as_interleaved(t.data()).to_vec())
+        .collect();
     let total: usize = tensors.iter().map(|t| t.len()).sum();
     for (i, t) in tensors.iter().enumerate() {
         let stats = ValueStats::of(t, 1e-7);

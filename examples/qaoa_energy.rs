@@ -21,7 +21,10 @@ fn main() {
         let graph = Graph::random_regular(n, 3, seed);
         let params = QaoaParams::fixed_angles_3reg_p2();
         let sim = Simulator::default();
-        let exact = sim.energy(&graph, &params).expect("exact run failed").energy;
+        let exact = sim
+            .energy(&graph, &params)
+            .expect("exact run failed")
+            .energy;
 
         // Cross-check the tensor-network result against brute force where
         // a statevector fits.
@@ -44,7 +47,12 @@ fn main() {
                 hook.stats.ratio()
             ));
         }
-        println!("{:<26} {:>10.5} | {}", format!("N={n} 3-regular p=2"), exact, cells.join("  "));
+        println!(
+            "{:<26} {:>10.5} | {}",
+            format!("N={n} 3-regular p=2"),
+            exact,
+            cells.join("  ")
+        );
     }
 
     println!("\nAdaptive bound selection (target: ≤1% energy error):");

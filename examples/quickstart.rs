@@ -14,9 +14,17 @@ fn main() {
     Simulator::default()
         .energy_with_hook(&graph, &params, &mut trace)
         .expect("simulation failed");
-    let tensor = trace.captured().first().expect("no intermediate captured").clone();
+    let tensor = trace
+        .captured()
+        .first()
+        .expect("no intermediate captured")
+        .clone();
     let flat = as_interleaved(tensor.data());
-    println!("captured intermediate tensor: {} complex elements ({} KiB)", tensor.len(), tensor.nbytes() / 1024);
+    println!(
+        "captured intermediate tensor: {} complex elements ({} KiB)",
+        tensor.len(),
+        tensor.nbytes() / 1024
+    );
 
     // 2. Compress it with the framework's two modes and a plain cuSZ
     //    baseline, under a 1e-4 absolute error bound.
@@ -35,7 +43,10 @@ fn main() {
             report.quality.max_abs_error,
             report.gpu_compress_bps / 1e9,
         );
-        assert!(report.quality.max_abs_error <= 1e-4 * (1.0 + 1e-9), "bound violated!");
+        assert!(
+            report.quality.max_abs_error <= 1e-4 * (1.0 + 1e-9),
+            "bound violated!"
+        );
     }
 
     // 3. Use compression inside the simulation itself: every intermediate

@@ -26,12 +26,14 @@ fn main() {
     for (name, comp) in [
         ("cuSZx", by_name("cuSZx").unwrap()),
         ("cuSZ", by_name("cuSZ").unwrap()),
-        ("QCF-ratio", Box::new(QcfCompressor::ratio()) as Box<dyn Compressor>),
+        (
+            "QCF-ratio",
+            Box::new(QcfCompressor::ratio()) as Box<dyn Compressor>,
+        ),
     ] {
         for eb in [1e-6, 1e-9] {
-            let state =
-                CompressedState::run(&circuit, 12, comp.as_ref(), ErrorBound::Abs(eb))
-                    .expect("compressed run failed");
+            let state = CompressedState::run(&circuit, 12, comp.as_ref(), ErrorBound::Abs(eb))
+                .expect("compressed run failed");
             let fidelity = state.to_statevector().unwrap().fidelity(&dense);
             let energy = state.maxcut_energy(&graph).unwrap();
             println!(

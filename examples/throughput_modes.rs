@@ -13,8 +13,9 @@ use rand::{Rng, SeedableRng};
 /// near-zeros, interleaved complex (matches the E1 characterization).
 fn tensor_like(n_complex: usize, seed: u64) -> Vec<f64> {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-    let alphabet: Vec<(f64, f64)> =
-        (0..96).map(|k| ((k as f64 * 0.41).cos() * 0.5, (k as f64 * 0.41).sin() * 0.5)).collect();
+    let alphabet: Vec<(f64, f64)> = (0..96)
+        .map(|k| ((k as f64 * 0.41).cos() * 0.5, (k as f64 * 0.41).sin() * 0.5))
+        .collect();
     let mut out = Vec::with_capacity(n_complex * 2);
     for _ in 0..n_complex {
         if rng.gen::<f64>() < 0.55 {

@@ -33,18 +33,24 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `BenchmarkId::new("function", parameter)`.
     pub fn new(function: &str, parameter: impl Display) -> Self {
-        BenchmarkId { label: format!("{function}/{parameter}") }
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
     }
 
     /// Id from the parameter alone.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { label: s.to_owned() }
+        BenchmarkId {
+            label: s.to_owned(),
+        }
     }
 }
 
@@ -96,8 +102,7 @@ impl Bencher {
             total_iters += batch;
         }
         samples.sort_unstable();
-        self.last_median =
-            samples.get(samples.len() / 2).copied().unwrap_or(per_iter);
+        self.last_median = samples.get(samples.len() / 2).copied().unwrap_or(per_iter);
         self.iters_run = total_iters;
     }
 }

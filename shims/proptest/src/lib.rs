@@ -56,7 +56,10 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
     }
 }
 

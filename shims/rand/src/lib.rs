@@ -76,8 +76,7 @@ standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 /// Types with uniform range sampling (the upstream `SampleUniform`).
 pub trait SampleUniform: Sized + Copy + PartialOrd {
     /// Uniform draw from `[lo, hi)` (`hi` included when `inclusive`).
-    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
 }
 
 macro_rules! uniform_int {
@@ -271,8 +270,9 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a: Vec<u64> =
-            (0..10).map(|_| SplitMix64::seed_from_u64(9).next_u64()).collect();
+        let a: Vec<u64> = (0..10)
+            .map(|_| SplitMix64::seed_from_u64(9).next_u64())
+            .collect();
         assert!(a.iter().all(|&v| v == a[0]));
     }
 }

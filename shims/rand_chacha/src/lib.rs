@@ -50,9 +50,7 @@ impl ChaCha8Rng {
             quarter_round(&mut working, 2, 7, 8, 13);
             quarter_round(&mut working, 3, 4, 9, 14);
         }
-        for (out, (&w, &s)) in
-            self.block.iter_mut().zip(working.iter().zip(&self.state))
-        {
+        for (out, (&w, &s)) in self.block.iter_mut().zip(working.iter().zip(&self.state)) {
             *out = w.wrapping_add(s);
         }
         self.word = 0;
@@ -91,7 +89,11 @@ impl SeedableRng for ChaCha8Rng {
             st[5 + 2 * k] = (v >> 32) as u32;
         }
         // counter = 0, nonce = 0
-        ChaCha8Rng { state: st, block: [0; 16], word: 16 }
+        ChaCha8Rng {
+            state: st,
+            block: [0; 16],
+            word: 16,
+        }
     }
 }
 

@@ -13,6 +13,7 @@
 //! | [`codec_kit`] | bit I/O, Huffman, LZ77, RLE, bit-packing |
 //! | [`compressors`] | the nine evaluated compressors |
 //! | [`qcf_core`]  | **the paper's contribution**: pipeline, modes, fidelity |
+//! | [`qcf_telemetry`] | spans, metrics registry, Chrome-trace export |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@ pub use codec_kit;
 pub use compressors;
 pub use gpu_model;
 pub use qcf_core;
+pub use qcf_telemetry;
 pub use qcircuit;
 pub use qtensor;
 pub use tensornet;

@@ -5,7 +5,10 @@ use qcf::prelude::*;
 
 fn exact_and_check_oracle(graph: &Graph, params: &QaoaParams) -> f64 {
     let sim = Simulator::default();
-    let e = sim.energy(graph, params).expect("tensor network run").energy;
+    let e = sim
+        .energy(graph, params)
+        .expect("tensor network run")
+        .energy;
     if graph.n() <= 18 {
         let sv = StateVector::run(&qcircuit::qaoa_circuit(graph, params));
         let truth = sv.maxcut_energy(graph);
@@ -62,7 +65,10 @@ fn tighter_bounds_converge_to_exact() {
         );
         last_err = err;
     }
-    assert!(last_err < 1e-5, "at eb=1e-8 the energy should be essentially exact");
+    assert!(
+        last_err < 1e-5,
+        "at eb=1e-8 the energy should be essentially exact"
+    );
 }
 
 #[test]
@@ -71,7 +77,9 @@ fn compression_shrinks_intermediate_footprint() {
     let params = QaoaParams::fixed_angles_3reg_p2();
     let framework = QcfCompressor::ratio();
     let mut hook = CompressingHook::new(&framework, ErrorBound::Abs(1e-4), 64);
-    Simulator::default().energy_with_hook(&graph, &params, &mut hook).expect("run");
+    Simulator::default()
+        .energy_with_hook(&graph, &params, &mut hook)
+        .expect("run");
     assert!(
         hook.stats.ratio() > 3.0,
         "intermediates should compress well, got {:.2}x",
@@ -92,7 +100,10 @@ fn per_edge_terms_stay_physical_under_compression() {
         .energy_with_hook(&graph, &params, &mut hook)
         .expect("compressed run");
     for (i, &zz) in report.zz_terms.iter().enumerate() {
-        assert!(zz.abs() < 1.05, "edge {i}: ⟨ZZ⟩ = {zz} left the physical range");
+        assert!(
+            zz.abs() < 1.05,
+            "edge {i}: ⟨ZZ⟩ = {zz} left the physical range"
+        );
     }
 }
 

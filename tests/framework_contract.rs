@@ -13,12 +13,16 @@ fn real_tensors() -> Vec<Vec<f64>> {
     let graph = Graph::random_regular(38, 3, 2);
     let params = QaoaParams::fixed_angles_3reg_p2();
     let mut trace = TraceHook::new(2048, 0);
-    Simulator::default().energy_with_hook(&graph, &params, &mut trace).expect("trace run");
+    Simulator::default()
+        .energy_with_hook(&graph, &params, &mut trace)
+        .expect("trace run");
     let mut captured = trace.into_captured();
     captured.sort_by_key(|t| std::cmp::Reverse(t.len()));
     captured.truncate(8);
-    let tensors: Vec<Vec<f64>> =
-        captured.iter().map(|t| as_interleaved(t.data()).to_vec()).collect();
+    let tensors: Vec<Vec<f64>> = captured
+        .iter()
+        .map(|t| as_interleaved(t.data()).to_vec())
+        .collect();
     assert!(!tensors.is_empty(), "trace produced no tensors");
     tensors
 }
@@ -66,7 +70,11 @@ fn framework_ratio_mode_has_best_aggregate_ratio() {
     let aggregate = |comp: &dyn Compressor| -> f64 {
         let bytes: usize = tensors
             .iter()
-            .map(|t| round_trip(comp, t, bound).expect("round trip").compressed_bytes)
+            .map(|t| {
+                round_trip(comp, t, bound)
+                    .expect("round trip")
+                    .compressed_bytes
+            })
             .sum();
         total as f64 / bytes as f64
     };
@@ -106,8 +114,14 @@ fn speed_mode_beats_cuszx_ratio_at_comparable_time() {
     }
     let ratio_gain = szx_bytes as f64 / qcf_bytes as f64;
     let slowdown = qcf_time / szx_time;
-    assert!(ratio_gain > 1.3, "speed mode ratio gain only {ratio_gain:.2}x over cuSZx");
-    assert!(slowdown < 3.0, "speed mode {slowdown:.2}x slower than cuSZx");
+    assert!(
+        ratio_gain > 1.3,
+        "speed mode ratio gain only {ratio_gain:.2}x over cuSZx"
+    );
+    assert!(
+        slowdown < 3.0,
+        "speed mode {slowdown:.2}x slower than cuSZx"
+    );
 }
 
 #[test]
@@ -128,7 +142,9 @@ fn cross_compressor_decode_dispatch() {
 fn framework_streams_reject_cross_mode_decode() {
     let t = &real_tensors()[0];
     let stream = Stream::new(DeviceSpec::a100());
-    let bytes = QcfCompressor::ratio().compress(t, ErrorBound::Abs(1e-3), &stream).unwrap();
+    let bytes = QcfCompressor::ratio()
+        .compress(t, ErrorBound::Abs(1e-3), &stream)
+        .unwrap();
     assert!(
         QcfCompressor::speed().decompress(&bytes, &stream).is_err(),
         "speed-mode decoder must reject a ratio-mode stream"
