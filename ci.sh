@@ -23,4 +23,14 @@ cargo test -q --workspace
 echo "== test (QCF_WORKERS=4) =="
 QCF_WORKERS=4 cargo test -q --workspace
 
+# The chunk cache must be a pure performance layer: lossless runs agree
+# bit for bit at any capacity, including under threaded block execution.
+echo "== cache equivalence (QCF_WORKERS=4, release) =="
+QCF_WORKERS=4 cargo test --release -q -p qtensor --test cache_proptests
+
+# Steady-state apply loop must stay at zero heap allocations per gate
+# (counting global allocator; release mode so dead allocs can't hide).
+echo "== allocation regression (release) =="
+cargo test --release -q -p qcf-bench --test alloc_regression
+
 echo "CI OK"

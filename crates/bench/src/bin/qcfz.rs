@@ -103,11 +103,53 @@ fn main() {
                 export_telemetry(&args, std::slice::from_ref(&s.stream_lane))
             })
         }
+        Some("state") => {
+            let nodes: usize = flag(&args, "--nodes")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10);
+            let seed = flag(&args, "--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(21);
+            // Default to 8 chunks so the whole register fits the default
+            // write-back cache; low-qubit gates then run entirely on hits.
+            let chunk = flag(&args, "--chunk")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(nodes.saturating_sub(3));
+            let cache = flag(&args, "--cache").and_then(|v| v.parse().ok());
+            let comp = flag(&args, "--compressor").unwrap_or("QCF-speed");
+            cli::parse_bound(flag(&args, "--rel"), flag(&args, "--abs")).and_then(|bound| {
+                let s = cli::state_demo(nodes, seed, chunk, comp, bound, cache)?;
+                let st = &s.stats;
+                let touched = st.cache_hits + st.cache_misses;
+                println!(
+                    "compressed state n={nodes}: energy {:.6}, resident {} bytes (dense {}), \
+                     cache cap {} chunks: {} hits / {} misses ({:.0}% hit rate), \
+                     {} write-backs, {} decompressions, {} recompressions",
+                    s.energy,
+                    st.resident_bytes,
+                    s.dense_bytes,
+                    s.cache_capacity,
+                    st.cache_hits,
+                    st.cache_misses,
+                    if touched == 0 {
+                        0.0
+                    } else {
+                        100.0 * st.cache_hits as f64 / touched as f64
+                    },
+                    st.writebacks,
+                    st.decompressions,
+                    st.recompressions
+                );
+                export_telemetry(&args, &[])
+            })
+        }
         _ => {
             eprintln!(
                 "usage: qcfz list | compress <in> <out> [--compressor NAME] [--rel X|--abs X] \
                  | decompress <in> <out> | info <in> \
-                 | qaoa [--nodes N] [--seed S] [--compressor NAME] [--rel X|--abs X]\n\
+                 | qaoa [--nodes N] [--seed S] [--compressor NAME] [--rel X|--abs X] \
+                 | state [--nodes N] [--seed S] [--chunk C] [--cache K] [--compressor NAME] \
+                 [--rel X|--abs X]\n\
                  any work subcommand also takes [--trace out.json] [--metrics out.tsv]"
             );
             std::process::exit(2);

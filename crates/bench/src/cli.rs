@@ -9,9 +9,9 @@ use compressors::{all_compressors, by_name, Compressor, ErrorBound};
 use gpu_model::{DeviceSpec, Stream};
 use qcf_core::QcfCompressor;
 use qcf_telemetry::StreamLane;
-use qcircuit::{Graph, QaoaParams};
+use qcircuit::{qaoa_circuit, Graph, QaoaParams};
 use qtensor::compressed::CompressingHook;
-use qtensor::Simulator;
+use qtensor::{CompressedState, Simulator, StateStats};
 use std::path::Path;
 
 /// CLI-level errors with user-facing messages.
@@ -226,6 +226,58 @@ pub fn qaoa_demo(
         stream_lane: hook
             .stream()
             .telemetry_lane(format!("{} stream", comp.name())),
+    })
+}
+
+/// Result summary of a [`state_demo`] run.
+#[derive(Debug, Clone)]
+pub struct StateSummary {
+    /// MaxCut energy expectation from the compressed-state simulation.
+    pub energy: f64,
+    /// Bytes the dense statevector would need.
+    pub dense_bytes: usize,
+    /// Write-back chunk-cache capacity used (chunks).
+    pub cache_capacity: usize,
+    /// Run accounting (codec calls, cache hits/misses, resident bytes).
+    pub stats: StateStats,
+}
+
+/// Runs a QAOA circuit through the chunk-compressed statevector simulator
+/// (`qcfz state`). Exercises the write-back chunk cache, so the
+/// `state.cache.*` and `workspace.*` registry counters populate for
+/// `--metrics`.
+pub fn state_demo(
+    nodes: usize,
+    seed: u64,
+    chunk_qubits: usize,
+    compressor: &str,
+    bound: ErrorBound,
+    cache: Option<usize>,
+) -> Result<StateSummary, CliError> {
+    let comp = cli_by_name(compressor).ok_or_else(|| {
+        CliError(format!(
+            "unknown compressor '{compressor}' (try `qcfz list`)"
+        ))
+    })?;
+    let graph = Graph::random_regular(nodes, 3, seed);
+    let circuit = qaoa_circuit(&graph, &QaoaParams::fixed_angles_3reg_p1());
+    let err = |e: qtensor::ContractError| CliError(format!("compressed state: {e}"));
+    let mut cs =
+        CompressedState::zero(nodes, chunk_qubits.min(nodes), comp.as_ref(), bound).map_err(err)?;
+    if let Some(cap) = cache {
+        cs.set_cache_capacity(cap).map_err(err)?;
+    }
+    for g in circuit.gates() {
+        cs.apply(g).map_err(err)?;
+    }
+    let energy = cs.maxcut_energy(&graph).map_err(err)?;
+    // Finalize: write dirty cached chunks back so resident bytes are exact.
+    cs.flush().map_err(err)?;
+    Ok(StateSummary {
+        energy,
+        dense_bytes: cs.dense_bytes(),
+        cache_capacity: cs.cache_capacity(),
+        stats: cs.stats.clone(),
     })
 }
 

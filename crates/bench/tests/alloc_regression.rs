@@ -1,0 +1,94 @@
+//! Steady-state allocation regression guard.
+//!
+//! Installs a counting global allocator and asserts that, once the
+//! write-back chunk cache is warm, `CompressedState::apply` performs ZERO
+//! heap allocations per gate under a lossless codec: cache hits mutate the
+//! resident amplitudes in place, gate matrices come from the fixed-size
+//! `qubits_array`/`matrix_array` accessors, and grouped gates reuse the
+//! persistent gather buffer.
+//!
+//! Keep this file to a single `#[test]`: the counter is process-global, so
+//! a sibling test allocating on another thread would show up in the delta.
+
+use compressors::dummy::Memcpy;
+use compressors::ErrorBound;
+use qcircuit::Gate;
+use qtensor::CompressedState;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapped with an allocation-event counter. Frees are
+/// not counted — the guard is about *new* heap traffic in the hot loop.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_apply_loop_allocates_nothing() {
+    let comp = Memcpy;
+    // 2^10 amplitudes in 16 chunks of 2^6; cache holds all 16.
+    let mut cs = CompressedState::zero(10, 6, &comp, ErrorBound::Abs(1e-6)).unwrap();
+    cs.set_cache_capacity(16).unwrap();
+
+    // Mix of low-qubit (per-chunk), one-high and two-high (grouped) gates.
+    let gates = [
+        Gate::H(0),
+        Gate::Rx(3, 0.41),
+        Gate::Cnot(0, 5),
+        Gate::Cnot(5, 8),    // one high qubit
+        Gate::Zz(2, 9, 0.3), // one high qubit
+        Gate::Swap(7, 9),    // two high qubits
+        Gate::Ry(1, 0.9),
+    ];
+
+    // Warm-up: first pass faults every chunk into the cache and grows the
+    // scratch/group buffers to their steady-state capacities.
+    for _ in 0..2 {
+        for g in &gates {
+            cs.apply(g).unwrap();
+        }
+    }
+
+    let before = ALLOC_EVENTS.load(Ordering::SeqCst);
+    const ROUNDS: u64 = 5;
+    for _ in 0..ROUNDS {
+        for g in &gates {
+            cs.apply(g).unwrap();
+        }
+    }
+    let delta = ALLOC_EVENTS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        delta,
+        0,
+        "steady-state apply loop performed {delta} heap allocations over {} gate applications",
+        ROUNDS * gates.len() as u64
+    );
+
+    // The loop above must also have been pure cache traffic.
+    assert_eq!(cs.stats.cache_misses, 16, "only the warm-up may miss");
+    assert!(cs.stats.cache_hits > 0);
+}

@@ -46,6 +46,13 @@ pub enum Gate {
 impl Gate {
     /// Qubits the gate acts on, in tensor-axis order.
     pub fn qubits(&self) -> Vec<usize> {
+        let (qs, k) = self.qubits_array();
+        qs[..k].to_vec()
+    }
+
+    /// Allocation-free [`Gate::qubits`]: the qubits in a fixed-size array
+    /// plus the arity. Unused slots are zero.
+    pub fn qubits_array(&self) -> ([usize; 2], usize) {
         match *self {
             Gate::H(q)
             | Gate::X(q)
@@ -55,16 +62,14 @@ impl Gate {
             | Gate::T(q)
             | Gate::Rx(q, _)
             | Gate::Ry(q, _)
-            | Gate::Rz(q, _) => vec![q],
-            Gate::Cnot(a, b) | Gate::Cz(a, b) | Gate::Zz(a, b, _) | Gate::Swap(a, b) => {
-                vec![a, b]
-            }
+            | Gate::Rz(q, _) => ([q, 0], 1),
+            Gate::Cnot(a, b) | Gate::Cz(a, b) | Gate::Zz(a, b, _) | Gate::Swap(a, b) => ([a, b], 2),
         }
     }
 
     /// Number of qubits the gate touches.
     pub fn arity(&self) -> usize {
-        self.qubits().len()
+        self.qubits_array().1
     }
 
     /// Short display name.
@@ -125,60 +130,99 @@ impl Gate {
     /// Basis ordering follows the qubit order returned by [`Gate::qubits`],
     /// first qubit most significant.
     pub fn matrix(&self) -> Vec<Complex64> {
+        let (m, len) = self.matrix_array();
+        m[..len].to_vec()
+    }
+
+    /// Allocation-free [`Gate::matrix`]: the row-major unitary in a
+    /// fixed-size array plus its entry count (`4^arity`). Unused slots are
+    /// zero.
+    pub fn matrix_array(&self) -> ([Complex64; 16], usize) {
         let z = Complex64::ZERO;
         let o = Complex64::ONE;
-        match *self {
+        let mut m = [z; 16];
+        let len = match *self {
             Gate::H(_) => {
                 let h = Complex64::real(FRAC_1_SQRT_2);
-                vec![h, h, h, -h]
+                m[..4].copy_from_slice(&[h, h, h, -h]);
+                4
             }
-            Gate::X(_) => vec![z, o, o, z],
-            Gate::Y(_) => vec![z, -Complex64::I, Complex64::I, z],
-            Gate::Z(_) => vec![o, z, z, -o],
-            Gate::S(_) => vec![o, z, z, Complex64::I],
-            Gate::T(_) => vec![o, z, z, Complex64::cis(std::f64::consts::FRAC_PI_4)],
+            Gate::X(_) => {
+                m[..4].copy_from_slice(&[z, o, o, z]);
+                4
+            }
+            Gate::Y(_) => {
+                m[..4].copy_from_slice(&[z, -Complex64::I, Complex64::I, z]);
+                4
+            }
+            Gate::Z(_) => {
+                m[..4].copy_from_slice(&[o, z, z, -o]);
+                4
+            }
+            Gate::S(_) => {
+                m[..4].copy_from_slice(&[o, z, z, Complex64::I]);
+                4
+            }
+            Gate::T(_) => {
+                m[..4].copy_from_slice(&[o, z, z, Complex64::cis(std::f64::consts::FRAC_PI_4)]);
+                4
+            }
             Gate::Rx(_, t) => {
                 let c = Complex64::real((t / 2.0).cos());
                 let s = Complex64::new(0.0, -(t / 2.0).sin());
-                vec![c, s, s, c]
+                m[..4].copy_from_slice(&[c, s, s, c]);
+                4
             }
             Gate::Ry(_, t) => {
                 let c = Complex64::real((t / 2.0).cos());
                 let s = Complex64::real((t / 2.0).sin());
-                vec![c, -s, s, c]
+                m[..4].copy_from_slice(&[c, -s, s, c]);
+                4
             }
             Gate::Rz(_, t) => {
-                vec![Complex64::cis(-t / 2.0), z, z, Complex64::cis(t / 2.0)]
+                m[..4].copy_from_slice(&[Complex64::cis(-t / 2.0), z, z, Complex64::cis(t / 2.0)]);
+                4
             }
-            Gate::Cnot(..) => vec![
-                o, z, z, z, //
-                z, o, z, z, //
-                z, z, z, o, //
-                z, z, o, z,
-            ],
-            Gate::Cz(..) => vec![
-                o, z, z, z, //
-                z, o, z, z, //
-                z, z, o, z, //
-                z, z, z, -o,
-            ],
+            Gate::Cnot(..) => {
+                m.copy_from_slice(&[
+                    o, z, z, z, //
+                    z, o, z, z, //
+                    z, z, z, o, //
+                    z, z, o, z,
+                ]);
+                16
+            }
+            Gate::Cz(..) => {
+                m.copy_from_slice(&[
+                    o, z, z, z, //
+                    z, o, z, z, //
+                    z, z, o, z, //
+                    z, z, z, -o,
+                ]);
+                16
+            }
             Gate::Zz(_, _, t) => {
                 let a = Complex64::cis(-t / 2.0); // parallel spins
                 let b = Complex64::cis(t / 2.0); // anti-parallel spins
-                vec![
+                m.copy_from_slice(&[
                     a, z, z, z, //
                     z, b, z, z, //
                     z, z, b, z, //
                     z, z, z, a,
-                ]
+                ]);
+                16
             }
-            Gate::Swap(..) => vec![
-                o, z, z, z, //
-                z, z, o, z, //
-                z, o, z, z, //
-                z, z, z, o,
-            ],
-        }
+            Gate::Swap(..) => {
+                m.copy_from_slice(&[
+                    o, z, z, z, //
+                    z, z, o, z, //
+                    z, o, z, z, //
+                    z, z, z, o,
+                ]);
+                16
+            }
+        };
+        (m, len)
     }
 
     /// True when the matrix is diagonal in the given *local* qubit position

@@ -30,6 +30,18 @@ impl BitWriter {
         }
     }
 
+    /// A writer that emits into `buf`, which is cleared first but keeps its
+    /// capacity — the allocation-reuse path: recover the vector with
+    /// [`finish`](BitWriter::finish) and check it back into a pool.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        BitWriter {
+            out: buf,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
     /// Appends the low `n` bits of `value` (LSB first). `n` may be 0..=57
     /// per call (the accumulator spills eagerly, so 57 is always safe).
     #[inline]
@@ -194,6 +206,17 @@ fn mask(n: u32) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_vec_clears_but_keeps_capacity() {
+        let buf = vec![0xFFu8; 64];
+        let cap = buf.capacity();
+        let mut w = BitWriter::from_vec(buf);
+        w.write_bits(0b1011, 4);
+        let out = w.finish();
+        assert_eq!(out, vec![0b1011]);
+        assert!(out.capacity() >= cap, "capacity must be preserved");
+    }
 
     #[test]
     fn roundtrip_mixed_widths() {

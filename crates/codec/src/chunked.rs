@@ -26,6 +26,15 @@ const HIST_BLOCK: usize = 1 << 15;
 /// (order-independent), and each chunk encodes into a private writer — the
 /// emitted stream is byte-for-byte the serial one for any worker count.
 pub fn encode_chunked(symbols: &[u32], alphabet_size: usize, chunk: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(symbols.len() / 2 + 64);
+    encode_chunked_into(symbols, alphabet_size, chunk, &mut out);
+    out
+}
+
+/// [`encode_chunked`] into a caller-provided buffer, which is cleared first
+/// (reusing its capacity). Bytes produced are identical to the allocating
+/// variant.
+pub fn encode_chunked_into(symbols: &[u32], alphabet_size: usize, chunk: usize, out: &mut Vec<u8>) {
     assert!(chunk > 0, "chunk size must be positive");
     let partials = par_map_blocks(symbols, HIST_BLOCK, |_, c| histogram(c, alphabet_size));
     let mut freqs = vec![0u64; alphabet_size];
@@ -36,10 +45,10 @@ pub fn encode_chunked(symbols: &[u32], alphabet_size: usize, chunk: usize) -> Ve
     }
     let enc = HuffmanEncoder::from_freqs(&freqs);
 
-    let mut out = Vec::with_capacity(symbols.len() / 2 + 64);
-    write_uvarint(&mut out, symbols.len() as u64);
-    write_uvarint(&mut out, chunk as u64);
-    enc.write_table(&mut out);
+    out.clear();
+    write_uvarint(out, symbols.len() as u64);
+    write_uvarint(out, chunk as u64);
+    enc.write_table(out);
 
     // Encode each chunk byte-aligned; record its compressed length.
     let payloads: Vec<Vec<u8>> = par_map_blocks(symbols, chunk, |_, c| {
@@ -48,14 +57,13 @@ pub fn encode_chunked(symbols: &[u32], alphabet_size: usize, chunk: usize) -> Ve
         w.finish()
     });
     // Gap array: cumulative byte offsets (varint deltas = chunk lengths).
-    write_uvarint(&mut out, payloads.len() as u64);
+    write_uvarint(out, payloads.len() as u64);
     for p in &payloads {
-        write_uvarint(&mut out, p.len() as u64);
+        write_uvarint(out, p.len() as u64);
     }
     for p in &payloads {
         out.extend_from_slice(p);
     }
-    out
 }
 
 /// Decodes a stream produced by [`encode_chunked`].
@@ -63,6 +71,15 @@ pub fn encode_chunked(symbols: &[u32], alphabet_size: usize, chunk: usize) -> Ve
 /// The gap array makes every chunk independently decodable, so chunks fan
 /// out over the executor and the results concatenate in chunk order.
 pub fn decode_chunked(data: &[u8]) -> Result<Vec<u32>, CodecError> {
+    let mut out = Vec::new();
+    decode_chunked_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode_chunked`] into a caller-provided buffer, which is cleared first
+/// (reusing its capacity). On error the buffer contents are unspecified but
+/// valid.
+pub fn decode_chunked_into(data: &[u8], out: &mut Vec<u32>) -> Result<(), CodecError> {
     let mut pos = 0usize;
     let (n, chunk, dec, lens, payload_start) = read_header(data, &mut pos)?;
     // (byte offset, byte length, symbol count) per chunk, from the gap array.
@@ -76,14 +93,15 @@ pub fn decode_chunked(data: &[u8]) -> Result<Vec<u32>, CodecError> {
         let (offset, len, want) = m[0];
         Some(decode_one_chunk(data, offset, len, &dec, want))
     });
-    let mut out = Vec::with_capacity(n);
+    out.clear();
+    out.reserve(n);
     for piece in pieces {
         out.extend(piece.expect("one meta entry per block")?);
     }
     if out.len() != n {
         return Err(CodecError::Corrupt("chunked stream element count mismatch"));
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Decodes only chunk `k` of the stream — the random-access path the gap
@@ -202,6 +220,18 @@ mod tests {
             assert!(decode_chunked(&enc[..cut]).is_err());
         }
         assert!(decode_chunk_at(&enc, 999).is_err());
+    }
+
+    #[test]
+    fn into_variants_bit_identical_with_dirty_buffers() {
+        let syms = sample(9000, 64, 11);
+        let enc = encode_chunked(&syms, 64, 1024);
+        let mut out = vec![0xAAu8; 17]; // dirty, wrong-sized target
+        encode_chunked_into(&syms, 64, 1024, &mut out);
+        assert_eq!(enc, out);
+        let mut dec = vec![7u32; 3];
+        decode_chunked_into(&enc, &mut dec).unwrap();
+        assert_eq!(dec, syms);
     }
 
     #[test]

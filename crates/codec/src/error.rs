@@ -12,6 +12,8 @@ pub enum CodecError {
     Corrupt(&'static str),
     /// A declared length or parameter is out of the codec's supported range.
     Unsupported(&'static str),
+    /// The stream's leading format byte matches no known compressor.
+    UnknownFormat(u8),
 }
 
 impl fmt::Display for CodecError {
@@ -20,6 +22,9 @@ impl fmt::Display for CodecError {
             CodecError::UnexpectedEof => write!(f, "unexpected end of stream"),
             CodecError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
             CodecError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            CodecError::UnknownFormat(id) => {
+                write!(f, "unknown compressor id byte 0x{id:02x}")
+            }
         }
     }
 }

@@ -19,9 +19,9 @@
 //! thread-block-parallel decode layout.
 
 use crate::traits::{
-    read_stream_header, stream_header, value_range, Compressor, CompressorKind, ErrorBound,
+    read_stream_header, stream_header_into, value_range, Compressor, CompressorKind, ErrorBound,
 };
-use codec_kit::chunked::{decode_chunked, encode_chunked, DEFAULT_CHUNK};
+use codec_kit::chunked::{decode_chunked_into, encode_chunked_into, DEFAULT_CHUNK};
 use codec_kit::varint::{read_ivarint, read_uvarint, write_ivarint, write_uvarint};
 use codec_kit::CodecError;
 use gpu_model::exec::par_map_blocks;
@@ -124,6 +124,18 @@ impl Compressor for CuSz {
         bound: ErrorBound,
         stream: &Stream,
     ) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::new();
+        self.compress_into(data, bound, stream, &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into(
+        &self,
+        data: &[f64],
+        bound: ErrorBound,
+        stream: &Stream,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
         let (min, max) = value_range(data);
         let eb = bound.to_abs(max - min);
         if eb.is_nan() || eb <= 0.0 {
@@ -132,6 +144,7 @@ impl Compressor for CuSz {
         let twoeb = 2.0 * eb;
         let n = data.len();
         let nbytes = (n * 8) as u64;
+        let ws = crate::workspace();
 
         // Kernel 1: fused pre-quant + Lorenzo delta (streaming; writes u16
         // codes and the sparse outlier list).
@@ -156,20 +169,22 @@ impl Compressor for CuSz {
             || (),
         );
 
-        let mut out = stream_header(CUSZ_ID, n);
+        stream_header_into(CUSZ_ID, n, out);
         out.extend_from_slice(&eb.to_le_bytes());
-        write_uvarint(&mut out, self.radius as u64);
+        write_uvarint(out, self.radius as u64);
 
         // Kernel 4: Huffman emission — the bit-serial stage that dominates.
         // Chunked with a gap array, as real cuSZ lays it out for
         // block-parallel decode (the codebook build above feeds it).
-        let payload = stream.launch(
+        let mut payload = ws.take_u8_spare(n / 2 + 64);
+        stream.launch(
             &KernelSpec::streaming("cusz::huffman_encode", (n * 2) as u64, n as u64 / 2)
                 .with_pattern(MemoryPattern::BitSerial),
-            || encode_chunked(&symbols, alphabet, DEFAULT_CHUNK),
+            || encode_chunked_into(&symbols, alphabet, DEFAULT_CHUNK, &mut payload),
         );
-        write_uvarint(&mut out, payload.len() as u64);
+        write_uvarint(out, payload.len() as u64);
         out.extend_from_slice(&payload);
+        ws.put_u8(payload);
 
         // Outliers: gather kernel (sparse, Random).
         stream.launch(
@@ -177,17 +192,28 @@ impl Compressor for CuSz {
                 .with_pattern(MemoryPattern::Random),
             || (),
         );
-        write_uvarint(&mut out, outliers.len() as u64);
+        write_uvarint(out, outliers.len() as u64);
         let mut last_idx = 0usize;
         for &(idx, ep) in &outliers {
-            write_uvarint(&mut out, (idx - last_idx) as u64);
-            write_ivarint(&mut out, ep);
+            write_uvarint(out, (idx - last_idx) as u64);
+            write_ivarint(out, ep);
             last_idx = idx;
         }
-        Ok(out)
+        Ok(())
     }
 
     fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+        let mut out = Vec::new();
+        self.decompress_into(bytes, stream, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        stream: &Stream,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CodecError> {
         let (n, mut pos) = read_stream_header(bytes, CUSZ_ID)?;
         if bytes.len() < pos + 8 {
             return Err(CodecError::UnexpectedEof);
@@ -207,62 +233,72 @@ impl Compressor for CuSz {
         }
         let payload = &bytes[pos..pos + payload_len];
         pos += payload_len;
+        let ws = crate::workspace();
 
         // Kernel 1: Huffman decode — chunk-parallel thanks to the gap array.
-        let symbols = stream.launch(
+        let mut symbols = ws.take_u32_spare(n);
+        let decoded = stream.launch(
             &KernelSpec::streaming("cusz::huffman_decode", payload_len as u64, (n * 2) as u64)
                 .with_pattern(MemoryPattern::BitSerial),
             || {
-                let syms = decode_chunked(payload)?;
-                if syms.len() != n {
+                decode_chunked_into(payload, &mut symbols)?;
+                if symbols.len() != n {
                     return Err(CodecError::Corrupt("symbol count mismatch"));
                 }
-                Ok(syms)
+                Ok(())
             },
-        )?;
+        );
+        if let Err(e) = decoded {
+            ws.put_u32(symbols);
+            return Err(e);
+        }
 
         // Outlier scatter.
-        let outlier_count = read_uvarint(bytes, &mut pos)? as usize;
-        if outlier_count > n {
-            return Err(CodecError::Corrupt("more outliers than elements"));
-        }
-        let mut outliers = Vec::with_capacity(outlier_count);
-        let mut idx = 0usize;
-        for _ in 0..outlier_count {
-            idx += read_uvarint(bytes, &mut pos)? as usize;
-            let ep = read_ivarint(bytes, &mut pos)?;
-            if idx >= n {
-                return Err(CodecError::Corrupt("outlier index out of range"));
+        let result = (|| {
+            let outlier_count = read_uvarint(bytes, &mut pos)? as usize;
+            if outlier_count > n {
+                return Err(CodecError::Corrupt("more outliers than elements"));
             }
-            outliers.push((idx, ep));
-        }
-
-        // Kernel 2: inverse Lorenzo (a prefix-sum; block-scan → Strided).
-        let twoeb = 2.0 * eb;
-        let out = stream.launch(
-            &KernelSpec::streaming("cusz::lorenzo_reconstruct", (n * 2) as u64, (n * 8) as u64)
-                .with_pattern(MemoryPattern::Strided)
-                .with_flops((n * 2) as u64),
-            || {
-                let mut out = Vec::with_capacity(n);
-                let mut ep = 0i64;
-                let mut next_outlier = 0usize;
-                for (i, &sym) in symbols.iter().enumerate() {
-                    if sym == 0 {
-                        if next_outlier >= outliers.len() || outliers[next_outlier].0 != i {
-                            return Err(CodecError::Corrupt("missing outlier record"));
-                        }
-                        ep = outliers[next_outlier].1;
-                        next_outlier += 1;
-                    } else {
-                        ep += sym as i64 - radius;
-                    }
-                    out.push(ep as f64 * twoeb);
+            let mut outliers = Vec::with_capacity(outlier_count);
+            let mut idx = 0usize;
+            for _ in 0..outlier_count {
+                idx += read_uvarint(bytes, &mut pos)? as usize;
+                let ep = read_ivarint(bytes, &mut pos)?;
+                if idx >= n {
+                    return Err(CodecError::Corrupt("outlier index out of range"));
                 }
-                Ok(out)
-            },
-        )?;
-        Ok(out)
+                outliers.push((idx, ep));
+            }
+
+            // Kernel 2: inverse Lorenzo (a prefix-sum; block-scan → Strided).
+            let twoeb = 2.0 * eb;
+            stream.launch(
+                &KernelSpec::streaming("cusz::lorenzo_reconstruct", (n * 2) as u64, (n * 8) as u64)
+                    .with_pattern(MemoryPattern::Strided)
+                    .with_flops((n * 2) as u64),
+                || {
+                    out.clear();
+                    out.reserve(n);
+                    let mut ep = 0i64;
+                    let mut next_outlier = 0usize;
+                    for (i, &sym) in symbols.iter().enumerate() {
+                        if sym == 0 {
+                            if next_outlier >= outliers.len() || outliers[next_outlier].0 != i {
+                                return Err(CodecError::Corrupt("missing outlier record"));
+                            }
+                            ep = outliers[next_outlier].1;
+                            next_outlier += 1;
+                        } else {
+                            ep += sym as i64 - radius;
+                        }
+                        out.push(ep as f64 * twoeb);
+                    }
+                    Ok(())
+                },
+            )
+        })();
+        ws.put_u32(symbols);
+        result
     }
 }
 

@@ -13,7 +13,7 @@
 //! why SZx tops out near memory bandwidth on real GPUs.
 
 use crate::traits::{
-    read_stream_header, stream_header, value_range, Compressor, CompressorKind, ErrorBound,
+    read_stream_header, stream_header_into, value_range, Compressor, CompressorKind, ErrorBound,
 };
 use codec_kit::bitio::{BitReader, BitWriter};
 use codec_kit::bitpack::{pack, required_width, unpack};
@@ -71,6 +71,18 @@ impl Compressor for CuSzx {
         bound: ErrorBound,
         stream: &Stream,
     ) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::new();
+        self.compress_into(data, bound, stream, &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into(
+        &self,
+        data: &[f64],
+        bound: ErrorBound,
+        stream: &Stream,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
         let (min, max) = value_range(data);
         let eb = bound.to_abs(max - min);
         if eb.is_nan() || eb <= 0.0 {
@@ -79,10 +91,11 @@ impl Compressor for CuSzx {
         let n = data.len();
         let bs = self.block_size;
         let nbytes = (n * 8) as u64;
+        let ws = crate::workspace();
 
-        let mut out = stream_header(CUSZX_ID, n);
+        stream_header_into(CUSZX_ID, n, out);
         out.extend_from_slice(&eb.to_le_bytes());
-        write_uvarint(&mut out, bs as u64);
+        write_uvarint(out, bs as u64);
 
         // Single fused kernel: block stats + classification + packing.
         // SZx reads each value twice (stats pass, emit pass) within the
@@ -90,6 +103,7 @@ impl Compressor for CuSzx {
         // private writer in parallel; blocks are not byte-aligned in the
         // stream, so the writers concatenate at bit granularity
         // (`BitWriter::append`), reproducing the serial stream exactly.
+        // The concatenation writer emits into a pooled buffer.
         let payload = stream.launch(
             &KernelSpec::streaming("szx::fused_block_encode", 2 * nbytes, nbytes / 3)
                 .with_pattern(MemoryPattern::Strided)
@@ -101,19 +115,31 @@ impl Compressor for CuSzx {
                     encode_block(block, eb, twoeb, &mut w);
                     w
                 });
-                let mut w = BitWriter::with_capacity(n);
+                let mut w = BitWriter::from_vec(ws.take_u8_spare(n));
                 for part in &parts {
                     w.append(part);
                 }
                 w.finish()
             },
         );
-        write_uvarint(&mut out, payload.len() as u64);
+        write_uvarint(out, payload.len() as u64);
         out.extend_from_slice(&payload);
-        Ok(out)
+        ws.put_u8(payload);
+        Ok(())
     }
 
     fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+        let mut out = Vec::new();
+        self.decompress_into(bytes, stream, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        stream: &Stream,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CodecError> {
         let (n, mut pos) = read_stream_header(bytes, CUSZX_ID)?;
         if bytes.len() < pos + 8 {
             return Err(CodecError::UnexpectedEof);
@@ -133,24 +159,24 @@ impl Compressor for CuSzx {
         }
         let payload = &bytes[pos..pos + payload_len];
 
-        let out = stream.launch(
+        stream.launch(
             &KernelSpec::streaming("szx::block_decode", payload_len as u64, (n * 8) as u64)
                 .with_pattern(MemoryPattern::Strided)
                 .with_flops((n * 2) as u64),
             || {
                 let mut r = BitReader::new(payload);
                 let twoeb = 2.0 * eb;
-                let mut out = Vec::with_capacity(n);
+                out.clear();
+                out.reserve(n);
                 let mut remaining = n;
                 while remaining > 0 {
                     let len = remaining.min(bs);
-                    decode_block(&mut r, len, twoeb, &mut out)?;
+                    decode_block(&mut r, len, twoeb, out)?;
                     remaining -= len;
                 }
-                Ok(out)
+                Ok(())
             },
-        )?;
-        Ok(out)
+        )
     }
 }
 

@@ -10,7 +10,7 @@
 //! preserving the error-bound contract and the performance profile.
 
 use crate::traits::{
-    read_stream_header, stream_header, value_range, Compressor, CompressorKind, ErrorBound,
+    read_stream_header, stream_header_into, value_range, Compressor, CompressorKind, ErrorBound,
 };
 use codec_kit::bitio::{BitReader, BitWriter};
 use codec_kit::varint::{read_uvarint, write_uvarint};
@@ -56,6 +56,18 @@ impl Compressor for CuZfp {
         bound: ErrorBound,
         stream: &Stream,
     ) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::new();
+        self.compress_into(data, bound, stream, &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into(
+        &self,
+        data: &[f64],
+        bound: ErrorBound,
+        stream: &Stream,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
         let (min, max) = value_range(data);
         let eb = bound.to_abs(max - min);
         if eb.is_nan() || eb <= 0.0 {
@@ -63,8 +75,9 @@ impl Compressor for CuZfp {
         }
         let n = data.len();
         let e_tol = eb.log2().floor() as i32;
+        let ws = crate::workspace();
 
-        let mut out = stream_header(CUZFP_ID, n);
+        stream_header_into(CUZFP_ID, n, out);
         out.extend_from_slice(&eb.to_le_bytes());
 
         let payload = stream.launch(
@@ -72,7 +85,7 @@ impl Compressor for CuZfp {
                 .with_pattern(MemoryPattern::Strided)
                 .with_flops((n * 12) as u64),
             || {
-                let mut w = BitWriter::with_capacity(n * 3);
+                let mut w = BitWriter::from_vec(ws.take_u8_spare(n * 3));
                 for chunk in data.chunks(BLOCK) {
                     let mut block = [0.0f64; BLOCK];
                     block[..chunk.len()].copy_from_slice(chunk);
@@ -81,12 +94,24 @@ impl Compressor for CuZfp {
                 w.finish()
             },
         );
-        write_uvarint(&mut out, payload.len() as u64);
+        write_uvarint(out, payload.len() as u64);
         out.extend_from_slice(&payload);
-        Ok(out)
+        ws.put_u8(payload);
+        Ok(())
     }
 
     fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+        let mut out = Vec::new();
+        self.decompress_into(bytes, stream, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        stream: &Stream,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CodecError> {
         let (n, mut pos) = read_stream_header(bytes, CUZFP_ID)?;
         if bytes.len() < pos + 8 {
             return Err(CodecError::UnexpectedEof);
@@ -102,23 +127,23 @@ impl Compressor for CuZfp {
         }
         let payload = &bytes[pos..pos + payload_len];
 
-        let out = stream.launch(
+        stream.launch(
             &KernelSpec::streaming("zfp::block_decode", payload_len as u64, (n * 8) as u64)
                 .with_pattern(MemoryPattern::Strided)
                 .with_flops((n * 12) as u64),
             || {
                 let mut r = BitReader::new(payload);
-                let mut out = Vec::with_capacity(n + BLOCK);
+                out.clear();
+                out.reserve(n + BLOCK);
                 let blocks = n.div_ceil(BLOCK);
                 for _ in 0..blocks {
                     let block = decode_block(&mut r)?;
                     out.extend_from_slice(&block);
                 }
                 out.truncate(n);
-                Ok(out)
+                Ok(())
             },
-        )?;
-        Ok(out)
+        )
     }
 }
 

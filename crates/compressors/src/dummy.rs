@@ -3,7 +3,9 @@
 //! Compression ratio exactly 1 at raw copy bandwidth: the floor every other
 //! compressor is judged against.
 
-use crate::traits::{read_stream_header, stream_header, Compressor, CompressorKind, ErrorBound};
+use crate::traits::{
+    read_stream_header, stream_header_into, Compressor, CompressorKind, ErrorBound,
+};
 use codec_kit::CodecError;
 use gpu_model::{KernelSpec, Stream};
 
@@ -30,38 +32,68 @@ impl Compressor for Memcpy {
     fn compress(
         &self,
         data: &[f64],
-        _bound: ErrorBound,
+        bound: ErrorBound,
         stream: &Stream,
     ) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::new();
+        self.compress_into(data, bound, stream, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes directly into `out` — with warm capacity this path performs
+    /// zero heap allocations, which is what makes the compressed-state
+    /// apply loop's steady state allocation-free under a lossless codec.
+    fn compress_into(
+        &self,
+        data: &[f64],
+        _bound: ErrorBound,
+        stream: &Stream,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
         let nbytes = (data.len() * 8) as u64;
-        let mut out = stream_header(MEMCPY_ID, data.len());
+        stream_header_into(MEMCPY_ID, data.len(), out);
         stream.launch(
             &KernelSpec::streaming("memcpy::copy", nbytes, nbytes),
             || {
+                out.reserve(data.len() * 8);
                 for v in data {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
             },
         );
-        Ok(out)
+        Ok(())
     }
 
     fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+        let mut out = Vec::new();
+        self.decompress_into(bytes, stream, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        stream: &Stream,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CodecError> {
         let (n, pos) = read_stream_header(bytes, MEMCPY_ID)?;
         if bytes.len() < pos + n * 8 {
             return Err(CodecError::UnexpectedEof);
         }
         let nbytes = (n * 8) as u64;
-        let out = stream.launch(
+        stream.launch(
             &KernelSpec::streaming("memcpy::copy", nbytes, nbytes),
             || {
-                bytes[pos..pos + n * 8]
-                    .chunks_exact(8)
-                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-                    .collect()
+                out.clear();
+                out.reserve(n);
+                out.extend(
+                    bytes[pos..pos + n * 8]
+                        .chunks_exact(8)
+                        .map(|c| f64::from_le_bytes(c.try_into().unwrap())),
+                );
             },
         );
-        Ok(out)
+        Ok(())
     }
 }
 

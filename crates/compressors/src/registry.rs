@@ -39,12 +39,26 @@ pub fn by_name(name: &str) -> Option<Box<dyn Compressor>> {
 /// Decompresses any stream produced by a registry compressor, dispatching on
 /// the stream's id byte.
 pub fn decompress_any(bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+    by_id(bytes)?.decompress(bytes, stream)
+}
+
+/// [`decompress_any`] into a caller-provided buffer (cleared first,
+/// capacity reused).
+pub fn decompress_any_into(
+    bytes: &[u8],
+    stream: &Stream,
+    out: &mut Vec<f64>,
+) -> Result<(), CodecError> {
+    by_id(bytes)?.decompress_into(bytes, stream, out)
+}
+
+/// Resolves the registry compressor a stream's leading id byte names.
+fn by_id(bytes: &[u8]) -> Result<Box<dyn Compressor>, CodecError> {
     let id = *bytes.first().ok_or(CodecError::UnexpectedEof)?;
-    let comp = all_compressors()
+    all_compressors()
         .into_iter()
         .find(|c| c.id() == id)
-        .ok_or(CodecError::Corrupt("unknown compressor id"))?;
-    comp.decompress(bytes, stream)
+        .ok_or(CodecError::UnknownFormat(id))
 }
 
 #[cfg(test)]
@@ -112,5 +126,59 @@ mod tests {
         }
         assert!(decompress_any(&[], &stream()).is_err());
         assert!(decompress_any(&[200, 1], &stream()).is_err());
+    }
+
+    #[test]
+    fn decompress_any_empty_input_is_eof() {
+        assert_eq!(
+            decompress_any(&[], &stream()).unwrap_err(),
+            CodecError::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn decompress_any_unknown_magic_names_the_byte() {
+        let err = decompress_any(&[0xC8, 1, 2, 3], &stream()).unwrap_err();
+        assert_eq!(err, CodecError::UnknownFormat(0xC8));
+        assert!(
+            err.to_string().contains("0xc8"),
+            "error must name the format byte, got: {err}"
+        );
+        // id 0 is also unassigned
+        assert_eq!(
+            decompress_any(&[0x00], &stream()).unwrap_err(),
+            CodecError::UnknownFormat(0x00)
+        );
+    }
+
+    #[test]
+    fn decompress_any_truncated_streams_error() {
+        let data: Vec<f64> = (0..300).map(|i| (i as f64 * 0.1).sin()).collect();
+        for c in all_compressors() {
+            let bytes = c.compress(&data, ErrorBound::Abs(1e-4), &stream()).unwrap();
+            // Header-region truncations must always error.
+            for cut in 1..8.min(bytes.len()) {
+                assert!(
+                    decompress_any(&bytes[..cut], &stream()).is_err(),
+                    "{} accepted a {cut}-byte prefix",
+                    c.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decompress_any_into_matches_allocating_variant() {
+        let data: Vec<f64> = (0..512).map(|i| (i as f64 * 0.02).cos()).collect();
+        for c in all_compressors() {
+            let bytes = c.compress(&data, ErrorBound::Abs(1e-5), &stream()).unwrap();
+            let plain = decompress_any(&bytes, &stream()).unwrap();
+            let mut reused = vec![42.0; 7]; // dirty target
+            decompress_any_into(&bytes, &stream(), &mut reused).unwrap();
+            assert_eq!(plain.len(), reused.len(), "{}", c.name());
+            for (a, b) in plain.iter().zip(&reused) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", c.name());
+            }
+        }
     }
 }

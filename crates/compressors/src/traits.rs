@@ -71,14 +71,57 @@ pub trait Compressor: Send + Sync {
 
     /// Decompresses a stream produced by this compressor's [`Compressor::compress`].
     fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError>;
+
+    /// Like [`Compressor::compress`], but writes into a caller-provided
+    /// buffer (cleared first, capacity reused). The bytes produced are
+    /// **bit-identical** to `compress` — the property tests enforce it.
+    ///
+    /// The default routes through `compress` and copies; hot compressors
+    /// override it with genuinely allocation-reusing encoders. On error the
+    /// buffer contents are unspecified but valid.
+    fn compress_into(
+        &self,
+        data: &[f64],
+        bound: ErrorBound,
+        stream: &Stream,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let bytes = self.compress(data, bound, stream)?;
+        out.clear();
+        out.extend_from_slice(&bytes);
+        Ok(())
+    }
+
+    /// Like [`Compressor::decompress`], but writes into a caller-provided
+    /// buffer (cleared first, capacity reused). Values produced are
+    /// bit-identical to `decompress`. On error the buffer contents are
+    /// unspecified but valid.
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        stream: &Stream,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CodecError> {
+        let values = self.decompress(bytes, stream)?;
+        out.clear();
+        out.extend_from_slice(&values);
+        Ok(())
+    }
 }
 
 /// Writes the common stream prologue (id + element count); returns the buffer.
 pub fn stream_header(id: u8, n: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(16);
-    out.push(id);
-    codec_kit::varint::write_uvarint(&mut out, n as u64);
+    stream_header_into(id, n, &mut out);
     out
+}
+
+/// [`stream_header`] into a caller-provided buffer (cleared first, capacity
+/// reused) — the `*_into` encoders start their streams with this.
+pub fn stream_header_into(id: u8, n: usize, out: &mut Vec<u8>) {
+    out.clear();
+    out.push(id);
+    codec_kit::varint::write_uvarint(out, n as u64);
 }
 
 /// Checks the id byte and reads the element count; returns `(n, pos)`.

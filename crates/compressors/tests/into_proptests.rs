@@ -1,0 +1,76 @@
+//! Buffer-reuse contract: for every compressor in the registry, the
+//! `*_into` entry points must be bit-identical to their allocating
+//! counterparts — even when the caller's output buffer arrives dirty and
+//! oversized from a previous, unrelated call.
+
+use compressors::registry::{all_compressors, decompress_any, decompress_any_into};
+use compressors::ErrorBound;
+use gpu_model::{DeviceSpec, Stream};
+use proptest::prelude::*;
+
+fn stream() -> Stream {
+    Stream::new(DeviceSpec::a100())
+}
+
+/// Payloads spanning the regimes the codecs branch on.
+fn f64_payload() -> impl Strategy<Value = Vec<f64>> {
+    let val = prop_oneof![
+        3 => (0u8..12).prop_map(|k| k as f64 * 0.07 - 0.4), // small alphabet
+        2 => Just(0.0f64),
+        2 => -1.0f64..1.0,
+        1 => -1e5f64..1e5,
+    ];
+    prop::collection::vec(val, 0..600)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn compress_into_matches_compress_for_every_compressor(
+        data in f64_payload(),
+        garbage in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let s = stream();
+        for comp in all_compressors() {
+            let fresh = comp.compress(&data, ErrorBound::Abs(1e-4), &s).unwrap();
+            // Dirty, possibly oversized reused buffer.
+            let mut reused = garbage.clone();
+            reused.reserve(4096);
+            comp.compress_into(&data, ErrorBound::Abs(1e-4), &s, &mut reused)
+                .unwrap();
+            prop_assert_eq!(
+                &fresh, &reused,
+                "compress_into diverges for {}", comp.name()
+            );
+        }
+    }
+
+    #[test]
+    fn decompress_into_matches_decompress_for_every_compressor(
+        data in f64_payload(),
+        dirt in prop::collection::vec(-1e3f64..1e3, 0..128),
+    ) {
+        let s = stream();
+        for comp in all_compressors() {
+            let bytes = comp.compress(&data, ErrorBound::Abs(1e-4), &s).unwrap();
+            let fresh = comp.decompress(&bytes, &s).unwrap();
+            let mut reused = dirt.clone();
+            comp.decompress_into(&bytes, &s, &mut reused).unwrap();
+            prop_assert_eq!(
+                fresh.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "decompress_into diverges for {}", comp.name()
+            );
+            // Registry dispatch must agree too.
+            let any_fresh = decompress_any(&bytes, &s).unwrap();
+            let mut any_reused = dirt.clone();
+            decompress_any_into(&bytes, &s, &mut any_reused).unwrap();
+            prop_assert_eq!(
+                any_fresh.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                any_reused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "decompress_any_into diverges for {}", comp.name()
+            );
+        }
+    }
+}

@@ -21,17 +21,17 @@
 
 use crate::dict;
 use crate::stages::{
-    dedup_blocks, deinterleave, interleave, read_refs, reassemble_blocks, write_refs,
-    zero_collapse, zero_frac,
+    dedup_blocks, deinterleave_into, interleave_into, read_refs, reassemble_blocks_into,
+    write_refs, zero_collapse, zero_frac,
 };
 use codec_kit::varint::{read_uvarint, write_uvarint};
 use codec_kit::CodecError;
 use compressors::cusz::CuSz;
 use compressors::cuszx::CuSzx;
 use compressors::lz4::{lz4_decode_block, lz4_encode_block};
-use compressors::traits::{read_stream_header, stream_header, value_range};
-use compressors::{decompress_any, Compressor, CompressorKind, ErrorBound};
-use gpu_model::{KernelSpec, MemoryPattern, Stream};
+use compressors::traits::{read_stream_header, stream_header_into, value_range};
+use compressors::{decompress_any_into, Compressor, CompressorKind, ErrorBound};
+use gpu_model::{KernelSpec, MemoryPattern, Stream, Workspace};
 use std::borrow::Cow;
 
 /// Stream id of the ratio-mode framework.
@@ -115,28 +115,31 @@ const COLLAPSE_MIN_FRAC: f64 = 0.05;
 pub struct QcfCompressor {
     mode: Mode,
     stages: StageToggles,
+    /// Reusable scratch planes threaded through every stage; clones share
+    /// the underlying pools (see [`Workspace`]).
+    ws: Workspace,
 }
 
 impl QcfCompressor {
     /// Ratio mode with all stages.
     pub fn ratio() -> Self {
-        QcfCompressor {
-            mode: Mode::Ratio,
-            stages: StageToggles::all(),
-        }
+        QcfCompressor::with_stages(Mode::Ratio, StageToggles::all())
     }
 
     /// Speed mode with single-pass stages.
     pub fn speed() -> Self {
-        QcfCompressor {
-            mode: Mode::Speed,
-            stages: StageToggles::single_pass(),
-        }
+        QcfCompressor::with_stages(Mode::Speed, StageToggles::single_pass())
     }
 
     /// Custom stage configuration (ablation studies).
     pub fn with_stages(mode: Mode, stages: StageToggles) -> Self {
-        QcfCompressor { mode, stages }
+        QcfCompressor {
+            mode,
+            stages,
+            // Share the compressor-crate pools so framework planes, backend
+            // payloads, and codec buffers all amortize in one place.
+            ws: compressors::workspace().clone(),
+        }
     }
 
     /// The active stage toggles.
@@ -161,10 +164,12 @@ impl QcfCompressor {
     ///
     /// The plane stays borrowed until zero collapse actually engages —
     /// only then is a mutable copy materialized (`Cow::to_mut`); owned
-    /// planes are collapsed in place with no copy at all.
+    /// planes are collapsed in place with no copy at all. Taking the `Cow`
+    /// by `&mut` lets the caller recover an owned plane buffer afterwards
+    /// and check it back into the workspace.
     fn encode_plane(
         &self,
-        mut plane: Cow<'_, [f64]>,
+        plane: &mut Cow<'_, [f64]>,
         abs_eb: f64,
         stream: &Stream,
         out: &mut Vec<u8>,
@@ -183,11 +188,11 @@ impl QcfCompressor {
                 Mode::Ratio => stream.launch(
                     &KernelSpec::streaming("qcf::dict_build", nbytes, nbytes / 2)
                         .with_flops(2 * plane.len() as u64),
-                    || dict::quantize(&plane, abs_eb),
+                    || dict::quantize(&plane[..], abs_eb),
                 ),
                 // Speed: quantize + table insert + emission fuse into one
                 // kernel below; the build itself is charged there.
-                Mode::Speed => dict::quantize(&plane, abs_eb),
+                Mode::Speed => dict::quantize(&plane[..], abs_eb),
             };
             if let Some(q) = quantized {
                 if qcf_telemetry::enabled() {
@@ -195,7 +200,7 @@ impl QcfCompressor {
                         .counter("stage.dict.engaged")
                         .inc();
                 }
-                let mut body = Vec::with_capacity(plane.len() / 4 + 64);
+                let mut body = self.ws.take_u8_spare(plane.len() / 4 + 64);
                 match self.mode {
                     Mode::Ratio => {
                         flags |= 8;
@@ -225,7 +230,9 @@ impl QcfCompressor {
                         );
                     }
                 }
-                return self.finish_plane(flags, body, stream, out);
+                let finished = self.finish_plane(flags, &body, stream, out);
+                self.ws.put_u8(body);
+                return finished;
             }
         }
 
@@ -235,7 +242,7 @@ impl QcfCompressor {
             let _span = qcf_telemetry::span!("stage.zero_collapse");
             let threshold = abs_eb / 2.0;
             let frac = stream.launch(&KernelSpec::streaming("qcf::zero_probe", nbytes, 0), || {
-                zero_frac(&plane, threshold)
+                zero_frac(&plane[..], threshold)
             });
             if frac >= COLLAPSE_MIN_FRAC {
                 if qcf_telemetry::enabled() {
@@ -260,7 +267,7 @@ impl QcfCompressor {
             let d = stream.launch(
                 &KernelSpec::streaming("qcf::dedup_hash", nbytes, nbytes / 64)
                     .with_pattern(MemoryPattern::Strided),
-                || dedup_blocks(&plane, DEDUP_BLOCK),
+                || dedup_blocks(&plane[..], DEDUP_BLOCK),
             );
             if d.dup_frac() >= DEDUP_MIN_FRAC {
                 if qcf_telemetry::enabled() {
@@ -273,29 +280,47 @@ impl QcfCompressor {
             }
         }
 
-        let backend_stream = {
+        let mut backend_stream = self.ws.take_u8_spare(plane.len() + 64);
+        {
             let _span = qcf_telemetry::span!("stage.backend");
-            match &deduped {
-                Some(d) => backend.compress(&d.unique, ErrorBound::Abs(backend_eb), stream)?,
-                None => backend.compress(&plane, ErrorBound::Abs(backend_eb), stream)?,
+            let res = match &deduped {
+                Some(d) => backend.compress_into(
+                    &d.unique,
+                    ErrorBound::Abs(backend_eb),
+                    stream,
+                    &mut backend_stream,
+                ),
+                None => backend.compress_into(
+                    &plane[..],
+                    ErrorBound::Abs(backend_eb),
+                    stream,
+                    &mut backend_stream,
+                ),
+            };
+            if let Err(e) = res {
+                self.ws.put_u8(backend_stream);
+                return Err(e);
             }
-        };
+        }
 
-        let mut body = Vec::with_capacity(backend_stream.len() + 64);
+        let mut body = self.ws.take_u8_spare(backend_stream.len() + 64);
         if let Some(d) = &deduped {
             write_uvarint(&mut body, d.block_size as u64);
             write_refs(&d.refs, d.n_unique, &mut body);
         }
         write_uvarint(&mut body, backend_stream.len() as u64);
         body.extend_from_slice(&backend_stream);
-        self.finish_plane(flags, body, stream, out)
+        self.ws.put_u8(backend_stream);
+        let finished = self.finish_plane(flags, &body, stream, out);
+        self.ws.put_u8(body);
+        finished
     }
 
     /// Applies the optional LZ4 tail pass and writes the plane stream.
     fn finish_plane(
         &self,
         mut flags: u8,
-        body: Vec<u8>,
+        body: &[u8],
         stream: &Stream,
         out: &mut Vec<u8>,
     ) -> Result<(), CodecError> {
@@ -305,12 +330,13 @@ impl QcfCompressor {
                 &KernelSpec::streaming("qcf::tail_lz4", (body.len() * 3) as u64, body.len() as u64)
                     .with_pattern(MemoryPattern::Random),
                 || {
-                    let mut t = Vec::with_capacity(body.len());
-                    lz4_encode_block(&body, &mut t);
+                    let mut t = self.ws.take_u8_spare(body.len());
+                    lz4_encode_block(body, &mut t);
                     t
                 },
             );
-            if tailed.len() + 10 < body.len() {
+            let wins = tailed.len() + 10 < body.len();
+            if wins {
                 if qcf_telemetry::enabled() {
                     qcf_telemetry::registry()
                         .counter("stage.tail.engaged")
@@ -321,22 +347,27 @@ impl QcfCompressor {
                 write_uvarint(out, body.len() as u64);
                 write_uvarint(out, tailed.len() as u64);
                 out.extend_from_slice(&tailed);
+            }
+            self.ws.put_u8(tailed);
+            if wins {
                 return Ok(());
             }
         }
         out.push(flags);
-        out.extend_from_slice(&body);
+        out.extend_from_slice(body);
         Ok(())
     }
 
-    /// Decodes one plane stream; `n` is the plane's value count.
-    fn decode_plane(
+    /// Decodes one plane stream into `out` (cleared first, capacity
+    /// reused); `n` is the plane's value count.
+    fn decode_plane_into(
         &self,
         bytes: &[u8],
         pos: &mut usize,
         n: usize,
         stream: &Stream,
-    ) -> Result<Vec<f64>, CodecError> {
+        out: &mut Vec<f64>,
+    ) -> Result<(), CodecError> {
         let flags = *bytes.get(*pos).ok_or(CodecError::UnexpectedEof)?;
         *pos += 1;
         if flags & !31 != 0 || (flags & 8 != 0 && flags & 16 != 0) {
@@ -365,19 +396,23 @@ impl QcfCompressor {
         };
         let mut p = body_pos;
 
-        let reconstructed = if flags & 8 != 0 {
-            stream.launch(
+        if flags & 8 != 0 {
+            let v = stream.launch(
                 &KernelSpec::streaming("qcf::dict_huffman_decode", (n * 2) as u64, (n * 8) as u64)
                     .with_pattern(MemoryPattern::BitSerial),
                 || dict::decode_ratio(body, &mut p),
-            )?
+            )?;
+            // The dict decoders allocate their own result; swap it in and
+            // pool the caller's previous buffer so nothing is wasted.
+            self.ws.put_f64(std::mem::replace(out, v));
         } else if flags & 16 != 0 {
-            stream.launch(
+            let v = stream.launch(
                 &KernelSpec::streaming("qcf::fused_dict_decode", (n * 2) as u64, (n * 8) as u64)
                     .with_pattern(MemoryPattern::Strided)
                     .with_flops(2 * n as u64),
                 || dict::decode_speed(body, &mut p),
-            )?
+            )?;
+            self.ws.put_f64(std::mem::replace(out, v));
         } else if flags & 2 != 0 {
             let block_size = read_uvarint(body, &mut p)? as usize;
             if block_size == 0 || block_size > 1 << 20 {
@@ -388,33 +423,37 @@ impl QcfCompressor {
             if body.len() < p + backend_len {
                 return Err(CodecError::UnexpectedEof);
             }
-            let unique = decompress_any(&body[p..p + backend_len], stream)?;
-            p += backend_len;
-            stream.launch(
-                &KernelSpec::streaming(
-                    "qcf::dedup_scatter",
-                    (unique.len() * 8) as u64,
-                    (n * 8) as u64,
+            let mut unique = self.ws.take_f64_spare(n);
+            let res = (|| {
+                decompress_any_into(&body[p..p + backend_len], stream, &mut unique)?;
+                p += backend_len;
+                stream.launch(
+                    &KernelSpec::streaming(
+                        "qcf::dedup_scatter",
+                        (unique.len() * 8) as u64,
+                        (n * 8) as u64,
+                    )
+                    .with_pattern(MemoryPattern::Strided),
+                    || reassemble_blocks_into(&unique, &refs, block_size, n, out),
                 )
-                .with_pattern(MemoryPattern::Strided),
-                || reassemble_blocks(&unique, &refs, block_size, n),
-            )?
+            })();
+            self.ws.put_f64(unique);
+            res?;
         } else {
             let backend_len = read_uvarint(body, &mut p)? as usize;
             if body.len() < p + backend_len {
                 return Err(CodecError::UnexpectedEof);
             }
-            let plane = decompress_any(&body[p..p + backend_len], stream)?;
+            decompress_any_into(&body[p..p + backend_len], stream, out)?;
             p += backend_len;
-            plane
-        };
-        if reconstructed.len() != n {
+        }
+        if out.len() != n {
             return Err(CodecError::Corrupt("plane length mismatch"));
         }
         if flags & 4 == 0 {
             *pos = p;
         }
-        Ok(reconstructed)
+        Ok(())
     }
 }
 
@@ -443,6 +482,18 @@ impl Compressor for QcfCompressor {
         bound: ErrorBound,
         stream: &Stream,
     ) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::new();
+        self.compress_into(data, bound, stream, &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into(
+        &self,
+        data: &[f64],
+        bound: ErrorBound,
+        stream: &Stream,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
         let (min, max) = value_range(data);
         let abs_eb = bound.to_abs(max - min);
         if abs_eb.is_nan() || abs_eb <= 0.0 {
@@ -451,14 +502,14 @@ impl Compressor for QcfCompressor {
         let n = data.len();
         let split = self.stages.deinterleave && n.is_multiple_of(2) && n > 0;
 
-        let mut out = stream_header(self.id(), n);
+        stream_header_into(self.id(), n, out);
         out.push(split as u8);
         out.extend_from_slice(&abs_eb.to_le_bytes());
 
         if split {
-            // P1: de-interleave into planes. Ratio mode materializes the
-            // planes (one streaming pass); speed mode folds the gather into
-            // its fused encode kernel, so only flops are charged here.
+            // P1: de-interleave into pooled planes. Ratio mode materializes
+            // the planes (one streaming pass); speed mode folds the gather
+            // into its fused encode kernel, so only flops are charged here.
             let deint_span = qcf_telemetry::span!("stage.deinterleave");
             let deint_spec = match self.mode {
                 Mode::Ratio => {
@@ -468,46 +519,86 @@ impl Compressor for QcfCompressor {
                     KernelSpec::streaming("qcf::deinterleave_fused", 0, 0).with_flops(n as u64)
                 }
             };
-            let (re, im) = stream.launch(&deint_spec, || deinterleave(data));
+            let mut re = self.ws.take_f64_spare(n / 2);
+            let mut im = self.ws.take_f64_spare(n / 2);
+            stream.launch(&deint_spec, || deinterleave_into(data, &mut re, &mut im));
             drop(deint_span);
             // The planes are fully independent after the split, so encode
             // them concurrently into separate buffers and concatenate —
             // byte-identical to the sequential order. Stream time is charged
             // at submission (see `gpu_model::Stream`), so the virtual clock
-            // is unaffected by the overlap.
+            // is unaffected by the overlap. Each branch recovers its owned
+            // plane into the workspace once encoding is done.
             if gpu_model::exec::worker_count() > 1 {
+                let ws = &self.ws;
                 let (re_buf, im_buf) = std::thread::scope(|s| {
-                    let im_task = s.spawn(|| {
-                        let mut buf = Vec::new();
-                        self.encode_plane(Cow::Owned(im), abs_eb, stream, &mut buf)
-                            .map(|()| buf)
+                    let im_task = s.spawn(move || {
+                        let mut plane = Cow::Owned(im);
+                        let mut buf = ws.take_u8_spare(n * 4 + 64);
+                        let res = self
+                            .encode_plane(&mut plane, abs_eb, stream, &mut buf)
+                            .map(|()| buf);
+                        if let Cow::Owned(v) = plane {
+                            ws.put_f64(v);
+                        }
+                        res
                     });
-                    let mut buf = Vec::new();
+                    let mut plane = Cow::Owned(re);
+                    let mut buf = ws.take_u8_spare(n * 4 + 64);
                     let re_res = self
-                        .encode_plane(Cow::Owned(re), abs_eb, stream, &mut buf)
+                        .encode_plane(&mut plane, abs_eb, stream, &mut buf)
                         .map(|()| buf);
+                    if let Cow::Owned(v) = plane {
+                        ws.put_f64(v);
+                    }
                     (re_res, im_task.join().expect("plane encoder panicked"))
                 });
-                out.extend_from_slice(&re_buf?);
-                out.extend_from_slice(&im_buf?);
+                let (re_buf, im_buf) = (re_buf?, im_buf?);
+                out.extend_from_slice(&re_buf);
+                out.extend_from_slice(&im_buf);
+                self.ws.put_u8(re_buf);
+                self.ws.put_u8(im_buf);
             } else {
-                self.encode_plane(Cow::Owned(re), abs_eb, stream, &mut out)?;
-                self.encode_plane(Cow::Owned(im), abs_eb, stream, &mut out)?;
+                for half in [re, im] {
+                    let mut plane = Cow::Owned(half);
+                    let res = self.encode_plane(&mut plane, abs_eb, stream, out);
+                    if let Cow::Owned(v) = plane {
+                        self.ws.put_f64(v);
+                    }
+                    res?;
+                }
             }
         } else {
             // Borrowed view: encode_plane copies only if zero collapse
-            // actually engages, instead of cloning the whole input up front.
-            self.encode_plane(Cow::Borrowed(data), abs_eb, stream, &mut out)?;
+            // actually engages, instead of cloning the whole input up front;
+            // if it did copy, the copy is pooled for next time.
+            let mut plane = Cow::Borrowed(data);
+            let res = self.encode_plane(&mut plane, abs_eb, stream, out);
+            if let Cow::Owned(v) = plane {
+                self.ws.put_f64(v);
+            }
+            res?;
         }
         if qcf_telemetry::enabled() && !out.is_empty() {
             qcf_telemetry::registry()
                 .float_gauge(&format!("compressor.{}.cr", self.name()))
                 .set((n * 8) as f64 / out.len() as f64);
         }
-        Ok(out)
+        Ok(())
     }
 
     fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+        let mut out = Vec::new();
+        self.decompress_into(bytes, stream, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        stream: &Stream,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CodecError> {
         let (n, mut pos) = read_stream_header(bytes, self.id())?;
         let split = *bytes.get(pos).ok_or(CodecError::UnexpectedEof)?;
         pos += 1;
@@ -520,15 +611,22 @@ impl Compressor for QcfCompressor {
         pos += 8; // abs_eb: informational in the header, not needed to decode
 
         if split == 1 {
-            let re = self.decode_plane(bytes, &mut pos, n / 2, stream)?;
-            let im = self.decode_plane(bytes, &mut pos, n / 2, stream)?;
-            let out = stream.launch(
-                &KernelSpec::streaming("qcf::interleave", (n * 8) as u64, (n * 8) as u64),
-                || interleave(&re, &im),
-            );
-            Ok(out)
+            let mut re = self.ws.take_f64_spare(n / 2);
+            let mut im = self.ws.take_f64_spare(n / 2);
+            let res = (|| {
+                self.decode_plane_into(bytes, &mut pos, n / 2, stream, &mut re)?;
+                self.decode_plane_into(bytes, &mut pos, n / 2, stream, &mut im)?;
+                stream.launch(
+                    &KernelSpec::streaming("qcf::interleave", (n * 8) as u64, (n * 8) as u64),
+                    || interleave_into(&re, &im, out),
+                );
+                Ok(())
+            })();
+            self.ws.put_f64(re);
+            self.ws.put_f64(im);
+            res
         } else {
-            self.decode_plane(bytes, &mut pos, n, stream)
+            self.decode_plane_into(bytes, &mut pos, n, stream, out)
         }
     }
 }

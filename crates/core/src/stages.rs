@@ -69,24 +69,37 @@ pub fn zero_frac(values: &[f64], threshold: f64) -> f64 {
 /// # Panics
 /// Panics when the length is odd.
 pub fn deinterleave(data: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut re = Vec::new();
+    let mut im = Vec::new();
+    deinterleave_into(data, &mut re, &mut im);
+    (re, im)
+}
+
+/// [`deinterleave`] into caller-provided buffers, which are resized to
+/// `data.len() / 2` (reusing their capacity) and fully overwritten.
+///
+/// # Panics
+/// Panics when the length is odd.
+pub fn deinterleave_into(data: &[f64], re: &mut Vec<f64>, im: &mut Vec<f64>) {
     assert!(
         data.len().is_multiple_of(2),
         "interleaved input must have even length"
     );
     let half = data.len() / 2;
-    let mut re = vec![0.0f64; half];
-    let mut im = vec![0.0f64; half];
-    par_fill_blocks(&mut re, STAGE_BLOCK, |_, range, chunk| {
+    re.clear();
+    re.resize(half, 0.0);
+    im.clear();
+    im.resize(half, 0.0);
+    par_fill_blocks(re, STAGE_BLOCK, |_, range, chunk| {
         for (j, slot) in range.zip(chunk.iter_mut()) {
             *slot = data[2 * j];
         }
     });
-    par_fill_blocks(&mut im, STAGE_BLOCK, |_, range, chunk| {
+    par_fill_blocks(im, STAGE_BLOCK, |_, range, chunk| {
         for (j, slot) in range.zip(chunk.iter_mut()) {
             *slot = data[2 * j + 1];
         }
     });
-    (re, im)
 }
 
 /// Re-interleaves two planes back into `re, im, re, im, …` order (the
@@ -95,23 +108,37 @@ pub fn deinterleave(data: &[f64]) -> (Vec<f64>, Vec<f64>) {
 /// # Panics
 /// Panics when the planes differ in length.
 pub fn interleave(re: &[f64], im: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    interleave_into(re, im, &mut out);
+    out
+}
+
+/// [`interleave`] into a caller-provided buffer, which is resized to
+/// `2 * re.len()` (reusing its capacity) and fully overwritten.
+///
+/// # Panics
+/// Panics when the planes differ in length.
+pub fn interleave_into(re: &[f64], im: &[f64], out: &mut Vec<f64>) {
     assert_eq!(re.len(), im.len(), "planes must have equal length");
-    let mut out = vec![0.0f64; re.len() * 2];
-    par_fill_blocks(&mut out, STAGE_BLOCK, |_, range, chunk| {
+    out.clear();
+    out.resize(re.len() * 2, 0.0);
+    par_fill_blocks(out, STAGE_BLOCK, |_, range, chunk| {
         for (j, slot) in range.zip(chunk.iter_mut()) {
             let plane = if j % 2 == 0 { re } else { im };
             *slot = plane[j / 2];
         }
     });
-    out
 }
 
 /// Result of block deduplication.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Deduped {
+pub struct Deduped<'a> {
     /// Concatenation of the distinct blocks (in first-occurrence order)
-    /// followed by the partial tail (`n % block_size` values).
-    pub unique: Vec<f64>,
+    /// followed by the partial tail (`n % block_size` values). When the
+    /// input has no duplicate blocks this borrows the input verbatim —
+    /// first-occurrence order *is* input order — so the all-unique probe
+    /// (the common case for incompressible planes) copies nothing.
+    pub unique: std::borrow::Cow<'a, [f64]>,
     /// Per full block, the index of its distinct block.
     pub refs: Vec<u32>,
     /// Block size used.
@@ -122,7 +149,7 @@ pub struct Deduped {
     pub n_unique: usize,
 }
 
-impl Deduped {
+impl Deduped<'_> {
     /// Fraction of full blocks that were duplicates (0 for < 2 blocks).
     pub fn dup_frac(&self) -> f64 {
         if self.refs.len() < 2 {
@@ -159,7 +186,7 @@ fn blocks_bit_eq(a: &[f64], b: &[f64]) -> bool {
 /// Fingerprints only route blocks into buckets — equality is always decided
 /// by bit-exact comparison, so a hash collision costs a compare, never a
 /// wrong merge, and the result is identical to the single-pass serial walk.
-pub fn dedup_blocks(values: &[f64], block_size: usize) -> Deduped {
+pub fn dedup_blocks(values: &[f64], block_size: usize) -> Deduped<'_> {
     assert!(block_size > 0, "block size must be positive");
     let n = values.len();
     let n_blocks = n / block_size;
@@ -168,27 +195,43 @@ pub fn dedup_blocks(values: &[f64], block_size: usize) -> Deduped {
         par_map_blocks(full, block_size, |_, chunk| block_fingerprint(chunk));
     let mut table: std::collections::HashMap<u64, Vec<u32>> =
         std::collections::HashMap::with_capacity(n_blocks);
-    let mut unique: Vec<f64> = Vec::new();
+    // Block index of each distinct block's first occurrence — the table
+    // walk range-indexes the original slice instead of eagerly copying
+    // unique blocks, so the all-unique case materializes nothing.
+    let mut firsts: Vec<u32> = Vec::new();
     let mut refs: Vec<u32> = Vec::with_capacity(n_blocks);
     for b in 0..n_blocks {
         let chunk = &values[b * block_size..(b + 1) * block_size];
         let bucket = table.entry(fingerprints[b]).or_default();
         let id = match bucket.iter().copied().find(|&id| {
-            let lo = id as usize * block_size;
-            blocks_bit_eq(&unique[lo..lo + block_size], chunk)
+            let lo = firsts[id as usize] as usize * block_size;
+            blocks_bit_eq(&values[lo..lo + block_size], chunk)
         }) {
             Some(id) => id,
             None => {
-                let id = (unique.len() / block_size) as u32;
-                unique.extend_from_slice(chunk);
+                let id = firsts.len() as u32;
+                firsts.push(b as u32);
                 bucket.push(id);
                 id
             }
         };
         refs.push(id);
     }
-    let n_unique = unique.len() / block_size;
-    unique.extend_from_slice(&values[n_blocks * block_size..]);
+    let n_unique = firsts.len();
+    let unique = if n_unique == n_blocks {
+        // No duplicates: distinct blocks in first-occurrence order plus the
+        // verbatim tail is exactly the input.
+        std::borrow::Cow::Borrowed(values)
+    } else {
+        let tail = &values[n_blocks * block_size..];
+        let mut u: Vec<f64> = Vec::with_capacity(n_unique * block_size + tail.len());
+        for &fb in &firsts {
+            let lo = fb as usize * block_size;
+            u.extend_from_slice(&values[lo..lo + block_size]);
+        }
+        u.extend_from_slice(tail);
+        std::borrow::Cow::Owned(u)
+    };
     Deduped {
         unique,
         refs,
@@ -207,16 +250,35 @@ pub fn reassemble_blocks(
     block_size: usize,
     n: usize,
 ) -> Result<Vec<f64>, CodecError> {
+    let mut out = Vec::new();
+    reassemble_blocks_into(unique, refs, block_size, n, &mut out)?;
+    Ok(out)
+}
+
+/// [`reassemble_blocks`] into a caller-provided buffer, which is cleared
+/// first (reusing its capacity). On error the buffer contents are
+/// unspecified but valid.
+pub fn reassemble_blocks_into(
+    unique: &[f64],
+    refs: &[u32],
+    block_size: usize,
+    n: usize,
+    out: &mut Vec<f64>,
+) -> Result<(), CodecError> {
     let n_blocks = n / block_size;
     if refs.len() != n_blocks {
         return Err(CodecError::Corrupt("dedup reference count mismatch"));
     }
     let tail_len = n - n_blocks * block_size;
+    if unique.len() < tail_len {
+        return Err(CodecError::Corrupt("dedup unique length mismatch"));
+    }
     let unique_blocks = (unique.len() - tail_len) / block_size;
     if unique_blocks * block_size + tail_len != unique.len() {
         return Err(CodecError::Corrupt("dedup unique length mismatch"));
     }
-    let mut out = Vec::with_capacity(n);
+    out.clear();
+    out.reserve(n);
     for &r in refs {
         let r = r as usize;
         if r >= unique_blocks {
@@ -225,7 +287,7 @@ pub fn reassemble_blocks(
         out.extend_from_slice(&unique[r * block_size..(r + 1) * block_size]);
     }
     out.extend_from_slice(&unique[unique.len() - tail_len..]);
-    Ok(out)
+    Ok(())
 }
 
 /// Serializes a dedup reference array, bit-packed at the width `n_unique`
@@ -410,5 +472,52 @@ mod tests {
     fn reassemble_rejects_bad_refs() {
         assert!(reassemble_blocks(&[1.0, 2.0], &[5], 2, 2).is_err());
         assert!(reassemble_blocks(&[1.0, 2.0], &[0, 0], 2, 2).is_err());
+    }
+
+    #[test]
+    fn dedup_all_unique_borrows_input() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = dedup_blocks(&v, 8);
+        assert_eq!(d.n_unique, 12);
+        assert!(
+            matches!(d.unique, std::borrow::Cow::Borrowed(_)),
+            "all-unique input must not be copied"
+        );
+        assert_eq!(&*d.unique, &v[..]);
+        let back = reassemble_blocks(&d.unique, &d.refs, 8, v.len()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn dedup_with_duplicates_owns_unique() {
+        let v = vec![1.0, 2.0, 1.0, 2.0, 3.0, 4.0];
+        let d = dedup_blocks(&v, 2);
+        assert!(matches!(d.unique, std::borrow::Cow::Owned(_)));
+        assert_eq!(d.refs, vec![0, 0, 1]);
+        assert_eq!(d.unique, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_counterparts() {
+        let data: Vec<f64> = (0..2 * (STAGE_BLOCK + 5)).map(|i| i as f64 * 0.1).collect();
+        let (re, im) = deinterleave(&data);
+        // Dirty, differently-sized target buffers must not affect results.
+        let mut re2 = vec![9.9; 3];
+        let mut im2 = Vec::with_capacity(1 << 16);
+        deinterleave_into(&data, &mut re2, &mut im2);
+        assert_eq!(re, re2);
+        assert_eq!(im, im2);
+
+        let merged = interleave(&re, &im);
+        let mut merged2 = vec![1.0; 5];
+        interleave_into(&re2, &im2, &mut merged2);
+        assert_eq!(merged, merged2);
+        assert_eq!(merged, data);
+
+        let d = dedup_blocks(&data, 64);
+        let out = reassemble_blocks(&d.unique, &d.refs, 64, data.len()).unwrap();
+        let mut out2 = vec![7.0; 2];
+        reassemble_blocks_into(&d.unique, &d.refs, 64, data.len(), &mut out2).unwrap();
+        assert_eq!(out, out2);
     }
 }

@@ -115,6 +115,35 @@ proptest! {
     }
 
     #[test]
+    fn into_variants_bit_identical_for_any_stage_combination(
+        data in plane_strategy(),
+        toggles in toggle_strategy(),
+        ratio_mode in any::<bool>(),
+        garbage in prop::collection::vec(any::<u8>(), 0..256),
+        dirt in prop::collection::vec(-1e3f64..1e3, 0..128),
+    ) {
+        // The workspace-pooled compress_into/decompress_into must reproduce
+        // the allocating entry points bit for bit, even into dirty buffers,
+        // for every stage combination in both flavours.
+        let mode = if ratio_mode { Mode::Ratio } else { Mode::Speed };
+        let comp = QcfCompressor::with_stages(mode, toggles);
+        let s = stream();
+        let fresh = comp.compress(&data, ErrorBound::Abs(1e-4), &s).unwrap();
+        let mut reused = garbage;
+        comp.compress_into(&data, ErrorBound::Abs(1e-4), &s, &mut reused).unwrap();
+        prop_assert_eq!(&fresh, &reused, "compress_into diverges ({:?}/{:?})", mode, toggles);
+
+        let dec_fresh = comp.decompress(&fresh, &s).unwrap();
+        let mut dec_reused = dirt;
+        comp.decompress_into(&fresh, &s, &mut dec_reused).unwrap();
+        prop_assert_eq!(
+            dec_fresh.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            dec_reused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "decompress_into diverges ({:?}/{:?})", mode, toggles
+        );
+    }
+
+    #[test]
     fn framework_streams_never_panic_on_mutation(
         data in prop::collection::vec(-1.0f64..1.0, 1..200),
         flips in prop::collection::vec((0usize..4096, any::<u8>()), 1..8),

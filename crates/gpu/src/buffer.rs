@@ -203,6 +203,14 @@ impl<T: Clone + Default> ScratchPool<T> {
     /// A vector of `len` default-initialized elements, reusing pooled
     /// capacity when possible.
     pub fn take(&self, len: usize) -> Vec<T> {
+        self.take_reporting(len).0
+    }
+
+    /// Like [`take`](ScratchPool::take), but also reports whether the
+    /// request was served from the free-list (`true`) or had to allocate
+    /// (`false`). [`Workspace`] uses this to count bytes reused vs.
+    /// allocated.
+    pub fn take_reporting(&self, len: usize) -> (Vec<T>, bool) {
         let reused = {
             let mut st = lock_unpoisoned(&self.inner);
             // Prefer the buffer whose capacity fits best, to keep big
@@ -236,9 +244,49 @@ impl<T: Clone + Default> ScratchPool<T> {
             Some(mut buf) => {
                 buf.clear();
                 buf.resize(len, T::default());
-                buf
+                (buf, true)
             }
-            None => vec![T::default(); len],
+            None => (vec![T::default(); len], false),
+        }
+    }
+
+    /// An **empty** vector with at least `cap` spare capacity, reusing
+    /// pooled capacity when possible. For output buffers that grow by
+    /// `push`/`extend` rather than being indexed up front.
+    pub fn take_spare_reporting(&self, cap: usize) -> (Vec<T>, bool) {
+        let reused = {
+            let mut st = lock_unpoisoned(&self.inner);
+            let best = st
+                .free
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.capacity() >= cap)
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i);
+            match best {
+                Some(i) => {
+                    st.hits += 1;
+                    Some(st.free.swap_remove(i))
+                }
+                None => {
+                    st.misses += 1;
+                    None
+                }
+            }
+        };
+        if let Some((hits, misses)) = &self.counters {
+            if reused.is_some() {
+                hits.inc();
+            } else {
+                misses.inc();
+            }
+        }
+        match reused {
+            Some(mut buf) => {
+                buf.clear();
+                (buf, true)
+            }
+            None => (Vec::with_capacity(cap), false),
         }
     }
 
@@ -258,6 +306,155 @@ impl<T: Clone + Default> ScratchPool<T> {
     pub fn stats(&self) -> (u64, u64) {
         let st = lock_unpoisoned(&self.inner);
         (st.hits, st.misses)
+    }
+}
+
+/// A grown-once set of reusable scratch buffers for the compression
+/// pipeline: one free-list per element type the stages traffic in — `f64`
+/// value planes, `u8` byte streams, `u32` symbol/reference buffers.
+///
+/// `Workspace` generalizes [`ScratchPool`]: clones share the underlying
+/// pools, so a workspace embedded in a compressor travels with it cheaply
+/// and every user amortizes the same buffers. After a few round trips the
+/// pools hold the high-water-mark capacities and `take_*` stops touching
+/// the allocator entirely.
+///
+/// Reuse accounting is kept locally (always exact, telemetry on or off)
+/// and mirrored into the registry counters `workspace.bytes_reused` /
+/// `workspace.bytes_allocated` when telemetry is enabled.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    f64s: ScratchPool<f64>,
+    u8s: ScratchPool<u8>,
+    u32s: ScratchPool<u32>,
+    acct: Arc<WorkspaceAcct>,
+}
+
+#[derive(Debug)]
+struct WorkspaceAcct {
+    bytes_reused: std::sync::atomic::AtomicU64,
+    bytes_allocated: std::sync::atomic::AtomicU64,
+    reused_ctr: Arc<Counter>,
+    allocated_ctr: Arc<Counter>,
+}
+
+/// Exact byte-level reuse accounting of one [`Workspace`] (and its clones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkspaceStats {
+    /// Bytes of `take_*` requests served from pooled capacity (no heap
+    /// allocation performed).
+    pub bytes_reused: u64,
+    /// Bytes of `take_*` requests that had to allocate fresh capacity.
+    pub bytes_allocated: u64,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Workspace::new()
+    }
+}
+
+impl Workspace {
+    /// A fresh workspace with empty pools.
+    pub fn new() -> Self {
+        let r = qcf_telemetry::registry();
+        Workspace {
+            f64s: ScratchPool::new(),
+            u8s: ScratchPool::new(),
+            u32s: ScratchPool::new(),
+            acct: Arc::new(WorkspaceAcct {
+                bytes_reused: std::sync::atomic::AtomicU64::new(0),
+                bytes_allocated: std::sync::atomic::AtomicU64::new(0),
+                reused_ctr: r.counter("workspace.bytes_reused"),
+                allocated_ctr: r.counter("workspace.bytes_allocated"),
+            }),
+        }
+    }
+
+    #[inline]
+    fn account(&self, bytes: usize, reused: bool) {
+        use std::sync::atomic::Ordering;
+        if reused {
+            self.acct
+                .bytes_reused
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+            self.acct.reused_ctr.add(bytes as u64);
+        } else {
+            self.acct
+                .bytes_allocated
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+            self.acct.allocated_ctr.add(bytes as u64);
+        }
+    }
+
+    /// A zeroed `f64` buffer of `len`, reusing pooled capacity when possible.
+    pub fn take_f64(&self, len: usize) -> Vec<f64> {
+        let (buf, hit) = self.f64s.take_reporting(len);
+        self.account(len * 8, hit);
+        buf
+    }
+
+    /// Checks an `f64` buffer back in for reuse.
+    pub fn put_f64(&self, buf: Vec<f64>) {
+        self.f64s.put(buf);
+    }
+
+    /// A zeroed byte buffer of `len`, reusing pooled capacity when possible.
+    pub fn take_u8(&self, len: usize) -> Vec<u8> {
+        let (buf, hit) = self.u8s.take_reporting(len);
+        self.account(len, hit);
+        buf
+    }
+
+    /// An **empty** byte buffer with at least `cap` spare capacity, for
+    /// streams assembled by `push`/`extend` (codec outputs, plane bodies).
+    pub fn take_u8_spare(&self, cap: usize) -> Vec<u8> {
+        let (buf, hit) = self.u8s.take_spare_reporting(cap);
+        self.account(buf.capacity().max(cap), hit);
+        buf
+    }
+
+    /// Checks a byte buffer back in for reuse.
+    pub fn put_u8(&self, buf: Vec<u8>) {
+        self.u8s.put(buf);
+    }
+
+    /// A zeroed `u32` buffer of `len`, reusing pooled capacity when possible.
+    pub fn take_u32(&self, len: usize) -> Vec<u32> {
+        let (buf, hit) = self.u32s.take_reporting(len);
+        self.account(len * 4, hit);
+        buf
+    }
+
+    /// An **empty** `u32` buffer with at least `cap` spare capacity (symbol
+    /// streams assembled by `push`/`extend`).
+    pub fn take_u32_spare(&self, cap: usize) -> Vec<u32> {
+        let (buf, hit) = self.u32s.take_spare_reporting(cap);
+        self.account((buf.capacity().max(cap)) * 4, hit);
+        buf
+    }
+
+    /// An **empty** `f64` buffer with at least `cap` spare capacity (value
+    /// streams assembled by `push`/`extend`).
+    pub fn take_f64_spare(&self, cap: usize) -> Vec<f64> {
+        let (buf, hit) = self.f64s.take_spare_reporting(cap);
+        self.account((buf.capacity().max(cap)) * 8, hit);
+        buf
+    }
+
+    /// Checks a `u32` buffer back in for reuse.
+    pub fn put_u32(&self, buf: Vec<u32>) {
+        self.u32s.put(buf);
+    }
+
+    /// Bytes served from pooled capacity vs. freshly allocated, across this
+    /// workspace and all its clones.
+    pub fn stats(&self) -> WorkspaceStats {
+        use std::sync::atomic::Ordering;
+        WorkspaceStats {
+            bytes_reused: self.acct.bytes_reused.load(Ordering::Relaxed),
+            bytes_allocated: self.acct.bytes_allocated.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -356,5 +553,32 @@ mod tests {
         let buf = pool.take(16);
         assert_eq!(pool.stats().0, 1, "clone's buffer visible to original");
         pool.put(buf);
+    }
+
+    #[test]
+    fn workspace_reuses_across_types_and_clones() {
+        let ws = Workspace::new();
+        let f = ws.take_f64(100);
+        let b = ws.take_u8(64);
+        let s = ws.take_u32(32);
+        assert_eq!(f.len(), 100);
+        assert!(f.iter().all(|&x| x == 0.0));
+        let st = ws.stats();
+        assert_eq!(st.bytes_reused, 0);
+        assert_eq!(st.bytes_allocated, 100 * 8 + 64 + 32 * 4);
+
+        let clone = ws.clone();
+        clone.put_f64(f);
+        clone.put_u8(b);
+        clone.put_u32(s);
+
+        // Smaller requests fit in the returned capacities: all reuse.
+        let f2 = ws.take_f64(80);
+        let b2 = ws.take_u8(64);
+        let s2 = ws.take_u32(10);
+        assert_eq!((f2.len(), b2.len(), s2.len()), (80, 64, 10));
+        let st = ws.stats();
+        assert_eq!(st.bytes_reused, 80 * 8 + 64 + 10 * 4);
+        assert_eq!(st.bytes_allocated, 100 * 8 + 64 + 32 * 4, "unchanged");
     }
 }

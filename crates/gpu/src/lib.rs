@@ -16,6 +16,6 @@ pub mod device;
 pub mod exec;
 pub mod stream;
 
-pub use buffer::{DeviceBuffer, MemoryPool, ScratchPool};
+pub use buffer::{DeviceBuffer, MemoryPool, ScratchPool, Workspace, WorkspaceStats};
 pub use device::{DeviceSpec, KernelSpec, MemoryPattern};
 pub use stream::{KernelEvent, Stream};

@@ -12,17 +12,25 @@
 //!   decompresses the group, applies the gate with the high qubits remapped
 //!   onto the group dimension, and recompresses.
 //!
-//! Each gate application recompresses the chunks it touched, so pointwise
-//! error can accumulate per gate; the tests measure the end effect as state
-//! fidelity and energy drift vs. the dense oracle (gate fusion to amortize
-//! recompressions is an obvious next step and is left future work).
+//! A small **write-back chunk cache** keeps recently touched chunks
+//! decompressed: gates mutate the cached amplitudes in place, and a dirty
+//! chunk is re-quantized only when it is evicted or flushed. Besides
+//! skipping codec work on hits, this bounds lossy error — while a chunk is
+//! resident it accumulates gates at full f64 precision and pays the
+//! quantization error **once** per residency instead of once per gate.
+//! Capacity comes from `QCF_CHUNK_CACHE` (chunks; `0` disables caching and
+//! restores the decompress → apply → recompress flow per gate).
+//!
+//! The tests measure the end effect as state fidelity and energy drift vs.
+//! the dense oracle.
 
 use crate::contraction::ContractError;
 use crate::statevector::{apply_gate_to_amplitudes, StateVector};
 use compressors::{Compressor, ErrorBound};
 use gpu_model::{DeviceSpec, Stream};
-use qcf_telemetry::GaugeTrack;
+use qcf_telemetry::{Counter, GaugeTrack};
 use qcircuit::{Circuit, Gate, Graph};
+use std::sync::Arc;
 use tensornet::planes::{as_interleaved, from_interleaved};
 use tensornet::Complex64;
 
@@ -37,6 +45,131 @@ pub struct StateStats {
     pub resident_bytes: usize,
     /// Peak compressed bytes observed.
     pub peak_resident_bytes: usize,
+    /// Chunk-cache hits (gate applied to cached amplitudes, no codec work).
+    pub cache_hits: u64,
+    /// Chunk-cache misses (chunk had to be decompressed).
+    pub cache_misses: u64,
+    /// Dirty chunks recompressed on eviction or flush.
+    pub writebacks: u64,
+}
+
+/// Default write-back cache capacity in chunks (see `QCF_CHUNK_CACHE`).
+const DEFAULT_CHUNK_CACHE: usize = 8;
+
+fn env_cache_capacity() -> usize {
+    std::env::var("QCF_CHUNK_CACHE")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(DEFAULT_CHUNK_CACHE)
+}
+
+/// One resident decompressed chunk.
+#[derive(Debug)]
+struct CacheEntry {
+    id: usize,
+    amps: Vec<Complex64>,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// Write-back LRU over decompressed chunks. Deliberately tiny: capacities
+/// are single digits, so a linear scan beats any map and allocates nothing.
+#[derive(Debug)]
+struct ChunkCache {
+    cap: usize,
+    tick: u64,
+    entries: Vec<CacheEntry>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    writebacks: Arc<Counter>,
+}
+
+impl ChunkCache {
+    fn new(cap: usize) -> Self {
+        let reg = qcf_telemetry::registry();
+        ChunkCache {
+            cap,
+            tick: 0,
+            entries: Vec::with_capacity(cap.min(64)),
+            hits: reg.counter("state.cache.hit"),
+            misses: reg.counter("state.cache.miss"),
+            writebacks: reg.counter("state.cache.writeback"),
+        }
+    }
+
+    /// Mutable lookup; bumps the LRU stamp on hit.
+    fn lookup(&mut self, id: usize) -> Option<&mut CacheEntry> {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.entries.iter_mut().find(|e| e.id == id)?;
+        e.stamp = tick;
+        Some(e)
+    }
+
+    /// Read-only lookup for `&self` readers: no LRU update, but dirty
+    /// cached amplitudes stay visible without flushing.
+    fn peek(&self, id: usize) -> Option<&[Complex64]> {
+        self.entries
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| &e.amps[..])
+    }
+
+    /// Inserts `id` (which must not be resident). At capacity the
+    /// least-recently-used entry is evicted and returned so the caller can
+    /// write it back (if dirty) and recycle its buffer.
+    fn insert(
+        &mut self,
+        id: usize,
+        amps: Vec<Complex64>,
+        dirty: bool,
+    ) -> Option<(usize, Vec<Complex64>, bool)> {
+        debug_assert!(self.cap > 0, "insert into disabled cache");
+        debug_assert!(self.peek(id).is_none(), "duplicate cache insert");
+        self.tick += 1;
+        let entry = CacheEntry {
+            id,
+            amps,
+            dirty,
+            stamp: self.tick,
+        };
+        if self.entries.len() < self.cap {
+            self.entries.push(entry);
+            return None;
+        }
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(i, _)| i)
+            .expect("cap > 0 so entries nonempty");
+        let old = std::mem::replace(&mut self.entries[victim], entry);
+        Some((old.id, old.amps, old.dirty))
+    }
+}
+
+/// Decodes one compressed chunk into `amps` via the reusable `flat`
+/// interleaved scratch — free functions so callers can split borrows
+/// across `CompressedState` fields.
+fn decode_chunk(
+    compressor: &dyn Compressor,
+    stream: &Stream,
+    chunk_len: usize,
+    bytes: &[u8],
+    flat: &mut Vec<f64>,
+    amps: &mut Vec<Complex64>,
+) -> Result<(), ContractError> {
+    compressor
+        .decompress_into(bytes, stream, flat)
+        .map_err(|e| ContractError::Hook(format!("chunk decompress: {e}")))?;
+    if flat.len() != chunk_len * 2 {
+        return Err(ContractError::Hook("chunk length mismatch".into()));
+    }
+    amps.clear();
+    amps.reserve(chunk_len);
+    amps.extend(flat.chunks_exact(2).map(|c| Complex64::new(c[0], c[1])));
+    Ok(())
 }
 
 /// A statevector whose chunks are stored compressed.
@@ -49,7 +182,17 @@ pub struct CompressedState<'a> {
     stream: Stream,
     /// Resident-bytes level: locally exact per run, mirrored into the
     /// `state.resident_bytes` registry gauge when telemetry is enabled.
+    /// Tracks *compressed* bytes actually held in `chunks` — cached dirty
+    /// amplitudes update it only at write-back, so it stays exact.
     resident: GaugeTrack,
+    /// Write-back LRU of decompressed chunks.
+    cache: ChunkCache,
+    /// Reused interleaved-f64 scratch for chunk (de)compression.
+    flat: Vec<f64>,
+    /// Spare amplitude buffer recycled through cache evictions.
+    spare: Vec<Complex64>,
+    /// Reused gather buffer for high-qubit (grouped) gates.
+    group_buf: Vec<Complex64>,
     /// Run accounting.
     pub stats: StateStats,
 }
@@ -78,6 +221,10 @@ impl<'a> CompressedState<'a> {
             resident: qcf_telemetry::registry()
                 .gauge("state.resident_bytes")
                 .track(),
+            cache: ChunkCache::new(env_cache_capacity()),
+            flat: Vec::new(),
+            spare: Vec::new(),
+            group_buf: Vec::new(),
             stats: StateStats::default(),
         };
         let chunk_len = 1usize << chunk_qubits;
@@ -132,23 +279,63 @@ impl<'a> CompressedState<'a> {
         Ok(from_interleaved(&flat))
     }
 
+    /// Current write-back cache capacity in chunks.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.cap
+    }
+
+    /// Resizes the write-back cache; `0` disables it. Flushes and drops
+    /// anything currently cached first, so amplitudes are never lost.
+    pub fn set_cache_capacity(&mut self, cap: usize) -> Result<(), ContractError> {
+        self.flush()?;
+        self.cache.entries.clear();
+        self.cache.cap = cap;
+        Ok(())
+    }
+
+    /// Recompresses every dirty cached chunk (write-back), leaving chunks
+    /// resident but clean. After this, `stats.resident_bytes` reflects the
+    /// latest amplitudes exactly.
+    pub fn flush(&mut self) -> Result<(), ContractError> {
+        for i in 0..self.cache.entries.len() {
+            if !self.cache.entries[i].dirty {
+                continue;
+            }
+            let id = self.cache.entries[i].id;
+            let amps = std::mem::take(&mut self.cache.entries[i].amps);
+            self.stats.writebacks += 1;
+            self.cache.writebacks.inc();
+            let res = self.write_back(id, &amps);
+            self.cache.entries[i].amps = amps;
+            self.cache.entries[i].dirty = false;
+            res?;
+        }
+        Ok(())
+    }
+
     /// Applies one gate.
     pub fn apply(&mut self, gate: &Gate) -> Result<(), ContractError> {
         let c = self.chunk_qubits;
-        let high: Vec<usize> = gate.qubits().iter().copied().filter(|&q| q >= c).collect();
-        match high.len() {
+        let (qs, k) = gate.qubits_array();
+        let mut high = [0usize; 2];
+        let mut nh = 0;
+        for &q in &qs[..k] {
+            if q >= c {
+                high[nh] = q;
+                nh += 1;
+            }
+        }
+        match nh {
             0 => self.apply_low(gate),
-            _ => self.apply_grouped(gate, &high),
+            _ => self.apply_grouped(gate, &high[..nh]),
         }
     }
 
     /// All gate qubits inside the chunk: every chunk updates independently.
     fn apply_low(&mut self, gate: &Gate) -> Result<(), ContractError> {
+        let cq = self.chunk_qubits;
         for k in 0..self.chunks.len() {
-            let mut amps = self.decompress_chunk(&self.chunks[k])?;
-            self.stats.decompressions += 1;
-            apply_gate_to_amplitudes(&mut amps, self.chunk_qubits, gate);
-            self.replace_chunk(k, &amps)?;
+            self.with_chunk_mut(k, |amps| apply_gate_to_amplitudes(amps, cq, gate))?;
         }
         Ok(())
     }
@@ -159,7 +346,11 @@ impl<'a> CompressedState<'a> {
         let c = self.chunk_qubits;
         let k = high.len(); // 1 or 2
         let chunk_len = self.chunk_len();
-        let group_bits: Vec<usize> = high.iter().map(|&q| q - c).collect();
+        let mut group_bits = [0usize; 2];
+        for (j, &q) in high.iter().enumerate() {
+            group_bits[j] = q - c;
+        }
+        let group_bits = &group_bits[..k];
 
         // Remap: low qubits stay; the j-th high qubit becomes buffer qubit c+j.
         let remapped = gate.map_qubits(|q| {
@@ -177,43 +368,183 @@ impl<'a> CompressedState<'a> {
         // Enumerate base chunk ids (group bits zero), build each group.
         let n_chunks = self.chunks.len();
         let group_mask: usize = group_bits.iter().map(|&b| 1usize << b).sum();
+        let mut buffer = std::mem::take(&mut self.group_buf);
         for base in 0..n_chunks {
             if base & group_mask != 0 {
                 continue;
             }
             // Group member order: j-th bit of the member index = group bit j.
-            let members: Vec<usize> = (0..(1usize << k))
-                .map(|m| {
-                    let mut id = base;
-                    for (j, &b) in group_bits.iter().enumerate() {
-                        if (m >> j) & 1 == 1 {
-                            id |= 1 << b;
-                        }
+            let mut members = [0usize; 4];
+            for (m, slot) in members.iter_mut().enumerate().take(1 << k) {
+                let mut id = base;
+                for (j, &b) in group_bits.iter().enumerate() {
+                    if (m >> j) & 1 == 1 {
+                        id |= 1 << b;
                     }
-                    id
-                })
-                .collect();
-            let mut buffer = Vec::with_capacity(chunk_len << k);
-            for &id in &members {
-                buffer.extend(self.decompress_chunk(&self.chunks[id])?);
-                self.stats.decompressions += 1;
+                }
+                *slot = id;
             }
-            apply_gate_to_amplitudes(&mut buffer, c + k, &remapped);
-            for (m, &id) in members.iter().enumerate() {
-                self.replace_chunk(id, &buffer[m * chunk_len..(m + 1) * chunk_len])?;
+            let members = &members[..1 << k];
+            buffer.clear();
+            buffer.reserve(chunk_len << k);
+            let res = (|| {
+                for &id in members {
+                    self.gather_chunk(id, &mut buffer)?;
+                }
+                apply_gate_to_amplitudes(&mut buffer, c + k, &remapped);
+                for (m, &id) in members.iter().enumerate() {
+                    self.store_chunk(id, &buffer[m * chunk_len..(m + 1) * chunk_len])?;
+                }
+                Ok(())
+            })();
+            if res.is_err() {
+                self.group_buf = buffer;
+                return res;
             }
+        }
+        self.group_buf = buffer;
+        Ok(())
+    }
+
+    /// Runs `f` over chunk `id`'s decoded amplitudes through the write-back
+    /// cache. Hits mutate the cached plane in place — no codec work at all
+    /// (and, with warm buffers, no heap allocation). Misses decode once and
+    /// cache the result dirty; the chunk is re-quantized only on eviction
+    /// or [`CompressedState::flush`], so lossy error cannot compound while
+    /// it stays resident.
+    fn with_chunk_mut(
+        &mut self,
+        id: usize,
+        f: impl FnOnce(&mut [Complex64]),
+    ) -> Result<(), ContractError> {
+        if self.cache.cap == 0 {
+            // Cache disabled: classic decompress → apply → recompress.
+            let chunk_len = self.chunk_len();
+            let mut amps = std::mem::take(&mut self.spare);
+            decode_chunk(
+                self.compressor,
+                &self.stream,
+                chunk_len,
+                &self.chunks[id],
+                &mut self.flat,
+                &mut amps,
+            )?;
+            self.stats.decompressions += 1;
+            f(&mut amps);
+            let res = self.write_back(id, &amps);
+            self.spare = amps;
+            return res;
+        }
+        if let Some(e) = self.cache.lookup(id) {
+            f(&mut e.amps);
+            e.dirty = true;
+            self.stats.cache_hits += 1;
+            self.cache.hits.inc();
+            return Ok(());
+        }
+        self.stats.cache_misses += 1;
+        self.cache.misses.inc();
+        let chunk_len = self.chunk_len();
+        let mut amps = std::mem::take(&mut self.spare);
+        decode_chunk(
+            self.compressor,
+            &self.stream,
+            chunk_len,
+            &self.chunks[id],
+            &mut self.flat,
+            &mut amps,
+        )?;
+        self.stats.decompressions += 1;
+        f(&mut amps);
+        self.insert_cached(id, amps, true)
+    }
+
+    /// Reads chunk `id` through the cache, appending its amplitudes to
+    /// `dst`. Misses cache the decoded chunk *clean*.
+    fn gather_chunk(&mut self, id: usize, dst: &mut Vec<Complex64>) -> Result<(), ContractError> {
+        if self.cache.cap > 0 {
+            if let Some(e) = self.cache.lookup(id) {
+                dst.extend_from_slice(&e.amps);
+                self.stats.cache_hits += 1;
+                self.cache.hits.inc();
+                return Ok(());
+            }
+            self.stats.cache_misses += 1;
+            self.cache.misses.inc();
+        }
+        let chunk_len = self.chunk_len();
+        let mut amps = std::mem::take(&mut self.spare);
+        decode_chunk(
+            self.compressor,
+            &self.stream,
+            chunk_len,
+            &self.chunks[id],
+            &mut self.flat,
+            &mut amps,
+        )?;
+        self.stats.decompressions += 1;
+        dst.extend_from_slice(&amps);
+        if self.cache.cap > 0 {
+            self.insert_cached(id, amps, false)
+        } else {
+            self.spare = amps;
+            Ok(())
+        }
+    }
+
+    /// Stores `amps` as chunk `id`'s new contents through the cache.
+    fn store_chunk(&mut self, id: usize, amps: &[Complex64]) -> Result<(), ContractError> {
+        if self.cache.cap == 0 {
+            return self.write_back(id, amps);
+        }
+        if let Some(e) = self.cache.lookup(id) {
+            e.amps.clear();
+            e.amps.extend_from_slice(amps);
+            e.dirty = true;
+            return Ok(());
+        }
+        let mut buf = std::mem::take(&mut self.spare);
+        buf.clear();
+        buf.extend_from_slice(amps);
+        self.insert_cached(id, buf, true)
+    }
+
+    /// Caches `amps` as chunk `id`, writing back whatever dirty entry the
+    /// insert evicts and recycling the evicted buffer.
+    fn insert_cached(
+        &mut self,
+        id: usize,
+        amps: Vec<Complex64>,
+        dirty: bool,
+    ) -> Result<(), ContractError> {
+        if let Some((evicted_id, evicted_amps, evicted_dirty)) = self.cache.insert(id, amps, dirty)
+        {
+            if evicted_dirty {
+                self.stats.writebacks += 1;
+                self.cache.writebacks.inc();
+                let res = self.write_back(evicted_id, &evicted_amps);
+                self.spare = evicted_amps;
+                return res;
+            }
+            self.spare = evicted_amps;
         }
         Ok(())
     }
 
-    fn replace_chunk(&mut self, id: usize, amps: &[Complex64]) -> Result<(), ContractError> {
-        let bytes = self.compress_chunk(amps)?;
+    /// Recompresses `amps` into chunk `id`'s byte buffer (capacity reused),
+    /// keeping resident-bytes accounting exact.
+    fn write_back(&mut self, id: usize, amps: &[Complex64]) -> Result<(), ContractError> {
+        let mut bytes = std::mem::take(&mut self.chunks[id]);
+        let old_len = bytes.len();
+        let res = self
+            .compressor
+            .compress_into(as_interleaved(amps), self.bound, &self.stream, &mut bytes)
+            .map_err(|e| ContractError::Hook(format!("chunk compress: {e}")));
         self.stats.recompressions += 1;
-        self.resident
-            .add(bytes.len() as i64 - self.chunks[id].len() as i64);
+        self.resident.add(bytes.len() as i64 - old_len as i64);
         self.chunks[id] = bytes;
         self.sync_resident_stats();
-        Ok(())
+        res
     }
 
     /// Runs a whole circuit from `|0…0⟩`.
@@ -230,11 +561,15 @@ impl<'a> CompressedState<'a> {
         Ok(state)
     }
 
-    /// Materializes the dense state (testing / small n).
+    /// Materializes the dense state (testing / small n). Dirty cached
+    /// chunks are read directly — no flush needed.
     pub fn to_statevector(&self) -> Result<StateVector, ContractError> {
         let mut amps = Vec::with_capacity(1usize << self.n);
-        for bytes in &self.chunks {
-            amps.extend(self.decompress_chunk(bytes)?);
+        for (id, bytes) in self.chunks.iter().enumerate() {
+            match self.cache.peek(id) {
+                Some(cached) => amps.extend_from_slice(cached),
+                None => amps.extend(self.decompress_chunk(bytes)?),
+            }
         }
         StateVector::from_amplitudes(self.n, amps).map_err(|e| ContractError::Hook(e.to_string()))
     }
@@ -247,7 +582,14 @@ impl<'a> CompressedState<'a> {
             let (ma, mb) = (1usize << a, 1usize << b);
             let mut zz = 0.0;
             for (chunk_id, bytes) in self.chunks.iter().enumerate() {
-                let amps = self.decompress_chunk(bytes)?;
+                let decoded;
+                let amps: &[Complex64] = match self.cache.peek(chunk_id) {
+                    Some(cached) => cached,
+                    None => {
+                        decoded = self.decompress_chunk(bytes)?;
+                        &decoded
+                    }
+                };
                 let base = chunk_id * chunk_len;
                 for (i, amp) in amps.iter().enumerate() {
                     let g = base + i;
@@ -267,12 +609,16 @@ impl<'a> CompressedState<'a> {
     /// Squared norm (drifts from 1 with the bound; a fidelity proxy).
     pub fn norm_sq(&self) -> Result<f64, ContractError> {
         let mut s = 0.0;
-        for bytes in &self.chunks {
-            s += self
-                .decompress_chunk(bytes)?
-                .iter()
-                .map(|a| a.norm_sq())
-                .sum::<f64>();
+        for (id, bytes) in self.chunks.iter().enumerate() {
+            let decoded;
+            let amps: &[Complex64] = match self.cache.peek(id) {
+                Some(cached) => cached,
+                None => {
+                    decoded = self.decompress_chunk(bytes)?;
+                    &decoded
+                }
+            };
+            s += amps.iter().map(|a| a.norm_sq()).sum::<f64>();
         }
         Ok(s)
     }
@@ -358,6 +704,105 @@ mod tests {
         assert!(cs.stats.recompressions > 0);
         assert!(cs.stats.decompressions > 0);
         assert!(cs.stats.resident_bytes > 0);
+        assert!(cs.stats.peak_resident_bytes >= cs.stats.resident_bytes);
+    }
+
+    #[test]
+    fn cache_capacities_agree_for_lossless_codec() {
+        let (circuit, graph) = qaoa(8, 11);
+        let comp = Memcpy;
+        let reference = StateVector::run(&circuit);
+        for cap in [0usize, 1, 8, 64] {
+            let mut cs = CompressedState::zero(8, 3, &comp, ErrorBound::Abs(1e-6)).unwrap();
+            cs.set_cache_capacity(cap).unwrap();
+            for g in circuit.gates() {
+                cs.apply(g).unwrap();
+            }
+            let f = cs.to_statevector().unwrap().fidelity(&reference);
+            assert!((f - 1.0).abs() < 1e-12, "cap={cap} fidelity {f}");
+            assert!(
+                (cs.maxcut_energy(&graph).unwrap() - reference.maxcut_energy(&graph)).abs() < 1e-10,
+                "cap={cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_hits_skip_codec_work() {
+        let comp = Memcpy;
+        let mut cs = CompressedState::zero(6, 3, &comp, ErrorBound::Abs(1e-6)).unwrap();
+        cs.set_cache_capacity(8).unwrap(); // all 8 chunks fit
+        let gates = [Gate::H(0), Gate::Rx(1, 0.4), Gate::Cnot(0, 2), Gate::T(1)];
+        for g in &gates {
+            cs.apply(g).unwrap();
+        }
+        // First low gate misses every chunk once; the rest all hit.
+        assert_eq!(cs.stats.cache_misses, 8);
+        assert_eq!(cs.stats.cache_hits, 8 * (gates.len() as u64 - 1));
+        assert_eq!(cs.stats.decompressions, 8);
+        // Nothing evicted, nothing flushed: the zero()-time compressions
+        // are the only codec writes so far.
+        assert_eq!(cs.stats.writebacks, 0);
+        assert_eq!(cs.stats.recompressions, 0);
+        cs.flush().unwrap();
+        assert_eq!(cs.stats.writebacks, 8);
+        assert_eq!(cs.stats.recompressions, 8);
+        // Flush keeps entries resident but clean; a second flush is a no-op.
+        cs.flush().unwrap();
+        assert_eq!(cs.stats.writebacks, 8);
+    }
+
+    #[test]
+    fn eviction_writes_back_and_preserves_state() {
+        let comp = Memcpy;
+        let circuit = Circuit::new(6)
+            .with(Gate::H(0))
+            .with(Gate::Cnot(0, 1))
+            .with(Gate::Ry(2, 0.9))
+            .with(Gate::Cnot(1, 2));
+        let mut cs = CompressedState::zero(6, 2, &comp, ErrorBound::Abs(1e-6)).unwrap();
+        cs.set_cache_capacity(1).unwrap(); // 16 chunks through a 1-slot cache
+        for g in circuit.gates() {
+            cs.apply(g).unwrap();
+        }
+        assert!(cs.stats.writebacks > 0, "1-slot cache must evict");
+        let dense = StateVector::run(&circuit);
+        assert!((cs.to_statevector().unwrap().fidelity(&dense) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_gates_see_dirty_cached_chunks() {
+        // A low gate dirties cached chunks, then a high gate groups them:
+        // the gather must read the cached data, not the stale compressed
+        // bytes.
+        let comp = Memcpy;
+        let circuit = Circuit::new(5)
+            .with(Gate::H(0))
+            .with(Gate::Cnot(0, 4))
+            .with(Gate::H(1))
+            .with(Gate::Swap(1, 3))
+            .with(Gate::Zz(0, 4, 0.6));
+        let mut cs = CompressedState::zero(5, 2, &comp, ErrorBound::Abs(1e-6)).unwrap();
+        cs.set_cache_capacity(4).unwrap();
+        for g in circuit.gates() {
+            cs.apply(g).unwrap();
+        }
+        let dense = StateVector::run(&circuit);
+        assert!((cs.to_statevector().unwrap().fidelity(&dense) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flush_makes_resident_bytes_exact() {
+        let comp = compressors::cuszx::CuSzx::default();
+        let (circuit, _) = qaoa(8, 13);
+        let mut cs = CompressedState::zero(8, 4, &comp, ErrorBound::Abs(1e-7)).unwrap();
+        cs.set_cache_capacity(16).unwrap();
+        for g in circuit.gates() {
+            cs.apply(g).unwrap();
+        }
+        cs.flush().unwrap();
+        let total: usize = cs.chunks.iter().map(Vec::len).sum();
+        assert_eq!(cs.stats.resident_bytes, total);
         assert!(cs.stats.peak_resident_bytes >= cs.stats.resident_bytes);
     }
 

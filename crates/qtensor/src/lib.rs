@@ -23,7 +23,7 @@ pub mod pairwise;
 pub mod statevector;
 pub mod trace;
 
-pub use compressed_state::CompressedState;
+pub use compressed_state::{CompressedState, StateStats};
 pub use contraction::{
     contract_network, ContractError, ContractionHook, ContractionStats, NoopHook,
 };

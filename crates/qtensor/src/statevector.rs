@@ -20,9 +20,11 @@ pub struct StateVector {
 /// chunk-compressed simulator in [`crate::compressed_state`].
 pub fn apply_gate_to_amplitudes(amps: &mut [Complex64], n: usize, gate: &Gate) {
     debug_assert_eq!(amps.len(), 1usize << n);
-    let qs = gate.qubits();
-    let m = gate.matrix();
-    match qs.len() {
+    // Fixed-size accessors keep this hot path allocation-free — the
+    // compressed-state apply loop relies on that for its steady state.
+    let (qs, k) = gate.qubits_array();
+    let (m, _) = gate.matrix_array();
+    match k {
         1 => apply_1q(amps, qs[0], &m),
         2 => apply_2q(amps, qs[0], qs[1], &m),
         k => unreachable!("no {k}-qubit gates in the gate set"),

@@ -1,0 +1,79 @@
+//! The write-back chunk cache is a pure performance layer: under a lossless
+//! codec, any cache capacity must produce bit-identical amplitudes — hits
+//! mutate resident chunks in place, capacity 0 round-trips every touch, and
+//! evictions recompress dirty chunks exactly once.
+
+use compressors::dummy::Memcpy;
+use compressors::ErrorBound;
+use proptest::prelude::*;
+use qcircuit::Gate;
+use qtensor::CompressedState;
+
+/// Random gates over an `n`-qubit register, mixing low (intra-chunk) and
+/// high (grouped, cross-chunk) qubits.
+fn gate_strategy(n: usize) -> impl Strategy<Value = Gate> {
+    // Distinct qubit pairs via (base, offset): b = (a + off) mod n, off != 0.
+    let pair = move |s: (usize, usize)| (s.0, (s.0 + s.1) % n);
+    prop_oneof![
+        (0..n).prop_map(Gate::H),
+        (0..n, -3.0f64..3.0).prop_map(|(q, th)| Gate::Rx(q, th)),
+        (0..n, -3.0f64..3.0).prop_map(|(q, th)| Gate::Ry(q, th)),
+        (0..n).prop_map(Gate::T),
+        (0..n, 1..n, -3.0f64..3.0).prop_map(move |(a, off, th)| {
+            let (a, b) = pair((a, off));
+            Gate::Zz(a, b, th)
+        }),
+        (0..n, 1..n).prop_map(move |(a, off)| {
+            let (a, b) = pair((a, off));
+            Gate::Cnot(a, b)
+        }),
+        (0..n, 1..n).prop_map(move |(a, off)| {
+            let (a, b) = pair((a, off));
+            Gate::Swap(a, b)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cache_capacity_never_changes_amplitudes(
+        gates in prop::collection::vec(gate_strategy(7), 1..24),
+        chunk in 3usize..6,
+    ) {
+        // 7 qubits, chunks of 2^3..2^5 amplitudes => 4..16 chunks; cap 1
+        // thrashes, cap 8 mixes hits and evictions, cap 0 disables.
+        let comp = Memcpy;
+        let mut states: Vec<CompressedState> = [0usize, 1, 8]
+            .iter()
+            .map(|&cap| {
+                let mut cs =
+                    CompressedState::zero(7, chunk, &comp, ErrorBound::Abs(1e-9)).unwrap();
+                cs.set_cache_capacity(cap).unwrap();
+                cs
+            })
+            .collect();
+        for g in &gates {
+            for cs in &mut states {
+                cs.apply(g).unwrap();
+            }
+        }
+        let reference = states[0].to_statevector().unwrap();
+        for (cs, cap) in states.iter_mut().zip([0usize, 1, 8]).skip(1) {
+            // Amplitudes must agree bit for bit both through the dirty
+            // cache (peek path) and after an explicit flush.
+            let sv = cs.to_statevector().unwrap();
+            for (a, b) in reference.amplitudes().iter().zip(sv.amplitudes()) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits(), "cap {} diverges", cap);
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits(), "cap {} diverges", cap);
+            }
+            cs.flush().unwrap();
+            let sv = cs.to_statevector().unwrap();
+            for (a, b) in reference.amplitudes().iter().zip(sv.amplitudes()) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits(), "cap {} post-flush", cap);
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits(), "cap {} post-flush", cap);
+            }
+        }
+    }
+}
