@@ -33,4 +33,14 @@ QCF_WORKERS=4 cargo test --release -q -p qtensor --test cache_proptests
 echo "== allocation regression (release) =="
 cargo test --release -q -p qcf-bench --test alloc_regression
 
+# Run-to-run regression gate against the committed baseline. CR, ledger
+# invariants (requant counts, accumulated bounds) and energy are hard
+# failures everywhere; throughput numbers only fail on >=4-core hosts
+# (the report binary decides — wall clock on a loaded 1-core runner is
+# noise). Refresh the baseline with:
+#   qcfz report --json BENCH_report.json
+echo "== report regression check =="
+cargo run --release -q -p qcf-bench --bin qcfz -- report \
+    --out /tmp/qcf-ci-report.md --baseline BENCH_report.json --check
+
 echo "CI OK"

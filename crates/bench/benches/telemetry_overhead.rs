@@ -68,5 +68,46 @@ fn bench_compress(c: &mut Criterion) {
     qcf_telemetry::set_enabled(false);
 }
 
-criterion_group!(benches, bench_contraction, bench_compress);
+fn bench_state_apply(c: &mut Criterion) {
+    // The compressed-state warm path (cache hits, no codec work) now also
+    // carries the error-budget ledger. With telemetry disabled the ledger
+    // must stay local bookkeeping only — this group pins that: disabled vs
+    // enabled apply the same gates through a fully resident cache, where
+    // any ledger/registry cost would be the entire difference.
+    use compressors::cuszx::CuSzx;
+    use qcircuit::Gate;
+    use qtensor::CompressedState;
+
+    let comp = CuSzx::default();
+    let gates: Vec<Gate> = (0..6)
+        .flat_map(|q| [Gate::H(q), Gate::Rx(q, 0.31), Gate::T(q)])
+        .collect();
+    let mut group = c.benchmark_group("telemetry/state_apply");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (label, on) in [("disabled", false), ("enabled", true)] {
+        group.bench_function(label, |bch| {
+            qcf_telemetry::set_enabled(on);
+            let mut cs = CompressedState::zero(10, 6, &comp, ErrorBound::Abs(1e-7)).unwrap();
+            cs.set_cache_capacity(16).unwrap(); // all 16 chunks resident
+            bch.iter(|| {
+                drain_spans();
+                for g in &gates {
+                    cs.apply(black_box(g)).unwrap();
+                }
+                cs.stats.cache_hits
+            })
+        });
+    }
+    group.finish();
+    qcf_telemetry::set_enabled(false);
+}
+
+criterion_group!(
+    benches,
+    bench_contraction,
+    bench_compress,
+    bench_state_apply
+);
 criterion_main!(benches);

@@ -6,15 +6,21 @@
 //! qcfz decompress <in.qcfz> <out.f64>
 //! qcfz info <in.qcfz>
 //! qcfz qaoa [--nodes N] [--seed S] [--compressor NAME] [--rel X | --abs X]
+//! qcfz report [--out report.md] [--json BENCH_report.json]
+//!             [--baseline BENCH_report.json --check]
 //! ```
 //!
 //! Every subcommand that does work accepts `--trace out.json` (Chrome-trace
 //! JSON: host span lanes plus the simulated stream's kernel lane, loadable
 //! in `chrome://tracing` / `ui.perfetto.dev`) and `--metrics out.tsv`
 //! (flat registry dump; `.json` extension switches the format).
+//!
+//! With `QCF_FLIGHT_RECORD` set, every run keeps a bounded ring of
+//! telemetry checkpoints; on error the ring is dumped next to the failure
+//! (and at normal exit too when the variable names a path).
 
 use gpu_model::{DeviceSpec, Stream};
-use qcf_bench::cli;
+use qcf_bench::{cli, run_report};
 use std::path::Path;
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -42,10 +48,19 @@ fn export_telemetry(
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--trace" || a == "--metrics") {
-        // Explicit export request overrides QCF_TELEMETRY=0.
+    if args
+        .iter()
+        .any(|a| a == "--trace" || a == "--metrics" || a == "report")
+    {
+        // Explicit export request overrides QCF_TELEMETRY=0 (`report` is
+        // an export request by definition).
         qcf_telemetry::set_enabled(true);
     }
+    // Scoped registry reset: spans and metric values start from zero for
+    // this subcommand, so counters from an earlier run in the same process
+    // (tests, `report`'s phases, embedding tools) never bleed into the
+    // exports below.
+    let _scope = qcf_telemetry::RunScope::enter();
     let result = match args.first().map(String::as_str) {
         Some("list") => {
             println!("available compressors:\n{}", cli::list());
@@ -140,7 +155,80 @@ fn main() {
                     st.decompressions,
                     st.recompressions
                 );
+                let l = &s.ledger;
+                println!(
+                    "error-budget ledger: {} requants over {} chunks (max {} per chunk), \
+                     accumulated bound max {:.3e} / state RSS {:.3e}{}",
+                    l.total_requants,
+                    l.chunks,
+                    l.max_requants,
+                    l.max_accumulated_bound,
+                    l.accumulated_rss,
+                    if l.lossy { "" } else { " (lossless: exact)" }
+                );
                 export_telemetry(&args, &[])
+            })
+        }
+        Some("report") => {
+            let nodes: usize = flag(&args, "--nodes")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10);
+            let seed = flag(&args, "--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(21);
+            let comp = flag(&args, "--compressor").unwrap_or("QCF-ratio");
+            let chunk = flag(&args, "--chunk")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(nodes.saturating_sub(3));
+            let cache = flag(&args, "--cache").and_then(|v| v.parse().ok());
+            let out = flag(&args, "--out").unwrap_or("qcf-report.md");
+            let json = flag(&args, "--json");
+            let baseline = flag(&args, "--baseline");
+            let check = args.iter().any(|a| a == "--check");
+            // Wall-clock throughput on a 1-core (likely shared) host is
+            // noise; CR and ledger invariants are checked regardless.
+            let strict = std::thread::available_parallelism()
+                .map(|p| p.get() >= 4)
+                .unwrap_or(false);
+            cli::parse_bound(flag(&args, "--rel"), flag(&args, "--abs")).and_then(|bound| {
+                let config = run_report::ReportConfig {
+                    nodes,
+                    seed,
+                    compressor: comp.to_string(),
+                    bound,
+                    chunk_qubits: chunk,
+                    cache,
+                };
+                let res = run_report::run(
+                    config,
+                    Path::new(out),
+                    json.map(Path::new),
+                    baseline.map(Path::new),
+                    strict,
+                )?;
+                println!("report written to {out}");
+                if let Some(path) = json {
+                    println!("baseline JSON written to {path}");
+                }
+                for w in &res.warnings {
+                    eprintln!("warning: {w}");
+                }
+                if check && !res.ok() {
+                    for r in &res.regressions {
+                        eprintln!("REGRESSION: {r}");
+                    }
+                    return_err(format!(
+                        "{} regression(s) vs baseline",
+                        res.regressions.len()
+                    ))
+                } else {
+                    if !check && !res.regressions.is_empty() {
+                        for r in &res.regressions {
+                            eprintln!("note (no --check): {r}");
+                        }
+                    }
+                    Ok(())
+                }
             })
         }
         _ => {
@@ -149,14 +237,43 @@ fn main() {
                  | decompress <in> <out> | info <in> \
                  | qaoa [--nodes N] [--seed S] [--compressor NAME] [--rel X|--abs X] \
                  | state [--nodes N] [--seed S] [--chunk C] [--cache K] [--compressor NAME] \
-                 [--rel X|--abs X]\n\
-                 any work subcommand also takes [--trace out.json] [--metrics out.tsv]"
+                 [--rel X|--abs X] \
+                 | report [--nodes N] [--seed S] [--chunk C] [--cache K] [--compressor NAME] \
+                 [--rel X|--abs X] [--out report.md|.html] [--json BENCH_report.json] \
+                 [--baseline BENCH_report.json] [--check]\n\
+                 any work subcommand also takes [--trace out.json] [--metrics out.tsv]; \
+                 set QCF_FLIGHT_RECORD[=path] to keep a dumpable telemetry flight ring"
             );
             std::process::exit(2);
         }
     };
-    if let Err(e) = result {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+    match result {
+        Err(e) => {
+            eprintln!("error: {e}");
+            // Post-mortem: dump the flight ring next to the failure (no-op
+            // unless QCF_FLIGHT_RECORD armed the recorder).
+            match qcf_telemetry::flight::dump(&format!("error: {e}"), None) {
+                Ok(Some(path)) => eprintln!("flight record dumped to {}", path.display()),
+                Ok(None) => {}
+                Err(io) => eprintln!("flight record dump failed: {io}"),
+            }
+            std::process::exit(1);
+        }
+        Ok(()) => {
+            // On-demand record: when QCF_FLIGHT_RECORD names a path, write
+            // the ring at normal exit too.
+            if qcf_telemetry::flight::dump_path().is_some() {
+                match qcf_telemetry::flight::dump("exit", None) {
+                    Ok(Some(path)) => eprintln!("flight record written to {}", path.display()),
+                    Ok(None) => {}
+                    Err(io) => eprintln!("flight record dump failed: {io}"),
+                }
+            }
+        }
     }
+}
+
+/// Tiny helper so the `report` arm can early-return a typed error.
+fn return_err(msg: String) -> Result<(), cli::CliError> {
+    Err(cli::CliError(msg))
 }

@@ -190,6 +190,11 @@ pub struct QaoaSummary {
     pub ratio: f64,
     /// Peak live bytes during contraction.
     pub peak_live_bytes: usize,
+    /// Lossy round trips over intermediates (0 under a lossless codec).
+    pub lossy_events: u64,
+    /// Accumulated-bound estimate over the contraction (RSS of every lossy
+    /// round trip's resolved absolute bound).
+    pub accumulated_bound: f64,
     /// Simulated seconds spent on the compressor's stream.
     pub simulated_s: f64,
     /// The compressor stream's kernel-event lane (for `--trace`).
@@ -222,6 +227,8 @@ pub fn qaoa_demo(
         tensors_compressed: hook.stats.tensors_compressed,
         ratio: hook.stats.ratio(),
         peak_live_bytes: report.stats.peak_live_bytes,
+        lossy_events: hook.stats.lossy_events,
+        accumulated_bound: hook.stats.accumulated_bound,
         simulated_s: hook.stream().elapsed_s(),
         stream_lane: hook
             .stream()
@@ -240,6 +247,8 @@ pub struct StateSummary {
     pub cache_capacity: usize,
     /// Run accounting (codec calls, cache hits/misses, resident bytes).
     pub stats: StateStats,
+    /// Error-budget ledger aggregate (requant counts, accumulated bounds).
+    pub ledger: qtensor::LedgerSummary,
 }
 
 /// Runs a QAOA circuit through the chunk-compressed statevector simulator
@@ -278,6 +287,7 @@ pub fn state_demo(
         dense_bytes: cs.dense_bytes(),
         cache_capacity: cs.cache_capacity(),
         stats: cs.stats.clone(),
+        ledger: cs.ledger_summary(),
     })
 }
 

@@ -10,3 +10,4 @@ pub mod cli;
 pub mod corpus;
 pub mod experiments;
 pub mod report;
+pub mod run_report;

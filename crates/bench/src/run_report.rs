@@ -1,0 +1,720 @@
+//! `qcfz report` — one self-contained run report, plus run-to-run
+//! regression checking.
+//!
+//! [`collect`] executes three telemetry-isolated phases (each inside a
+//! [`qcf_telemetry::RunScope`], so `state.cache.*` and friends never bleed
+//! between phases of the same process):
+//!
+//! 1. **qaoa** — compressed tensor contraction ([`cli::qaoa_demo`]);
+//! 2. **state** — chunk-compressed statevector simulation with the
+//!    write-back cache and the error-budget ledger ([`cli::state_demo`]);
+//! 3. **quality** — a round-trip CR/PSNR/throughput sweep over the full
+//!    compressor lineup on a synthetic amplitude tensor.
+//!
+//! [`RunReport::to_markdown`] renders everything — per-phase span tables,
+//! registry metrics, the per-compressor quality table, the per-state ledger
+//! summary, and any flight-recorder frames — into one document
+//! (`to_html` wraps the same content for browsers).
+//!
+//! [`RunReport::baseline`] flattens the run's stable scalars into
+//! `key → number` pairs, and [`check`] diffs a current run against a stored
+//! baseline: compression-ratio drops, requant-count increases,
+//! accumulated-bound growth and energy drift are **hard** regressions;
+//! throughput drops are warnings unless the caller opts into strict mode
+//! (CI does on multi-core hosts — wall-clock numbers on a loaded 1-core
+//! runner are noise, CR and ledger invariants are not).
+
+use crate::cli::{self, CliError};
+use crate::corpus::synthetic_tensor;
+use crate::report::{phase_table, Table};
+use compressors::{round_trip, ErrorBound};
+use qcf_telemetry::metrics::Snapshot;
+use qcf_telemetry::{RunScope, SpanEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// What the report runs.
+#[derive(Debug, Clone)]
+pub struct ReportConfig {
+    /// QAOA graph size (nodes = qubits).
+    pub nodes: usize,
+    /// Graph seed.
+    pub seed: u64,
+    /// Compressor used for both demo phases.
+    pub compressor: String,
+    /// Error bound for both demo phases.
+    pub bound: ErrorBound,
+    /// Chunk qubits for the state phase.
+    pub chunk_qubits: usize,
+    /// Chunk-cache capacity override for the state phase.
+    pub cache: Option<usize>,
+}
+
+impl Default for ReportConfig {
+    fn default() -> Self {
+        ReportConfig {
+            nodes: 10,
+            seed: 21,
+            compressor: "QCF-ratio".into(),
+            bound: ErrorBound::Abs(1e-6),
+            chunk_qubits: 7,
+            cache: None,
+        }
+    }
+}
+
+/// Spans + metrics recorded by one isolated phase.
+#[derive(Debug, Clone)]
+pub struct PhaseRecord {
+    /// Span events of the phase.
+    pub spans: Vec<SpanEvent>,
+    /// Metric values accumulated by the phase alone.
+    pub metrics: Snapshot,
+}
+
+/// One compressor's row of the quality sweep.
+#[derive(Debug, Clone)]
+pub struct QualityRow {
+    /// Compressor display name.
+    pub name: String,
+    /// Compression ratio.
+    pub cr: f64,
+    /// Measured max-abs-error of the round trip.
+    pub max_abs_err: f64,
+    /// PSNR in dB (∞ for exact reconstruction).
+    pub psnr_db: f64,
+    /// Simulated-GPU compression throughput, bytes/s.
+    pub gpu_compress_bps: f64,
+    /// Simulated-GPU decompression throughput, bytes/s.
+    pub gpu_decompress_bps: f64,
+    /// Host wall-clock compression throughput, bytes/s.
+    pub host_compress_bps: f64,
+}
+
+/// Everything one `qcfz report` run measured.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The configuration that produced it.
+    pub config: ReportConfig,
+    /// Compressed-contraction summary.
+    pub qaoa: cli::QaoaSummary,
+    /// Telemetry of the qaoa phase.
+    pub qaoa_phase: PhaseRecord,
+    /// Compressed-state summary (including the error-budget ledger).
+    pub state: cli::StateSummary,
+    /// Telemetry of the state phase.
+    pub state_phase: PhaseRecord,
+    /// Per-compressor quality sweep.
+    pub quality: Vec<QualityRow>,
+}
+
+/// Runs all three phases and gathers the report.
+pub fn collect(config: ReportConfig) -> Result<RunReport, CliError> {
+    qcf_telemetry::flight::record("report.start");
+
+    let scope = RunScope::enter();
+    let qaoa = cli::qaoa_demo(config.nodes, config.seed, &config.compressor, config.bound)?;
+    let (spans, metrics) = scope.finish();
+    let qaoa_phase = PhaseRecord { spans, metrics };
+    qcf_telemetry::flight::record("report.qaoa.done");
+
+    let scope = RunScope::enter();
+    let state = cli::state_demo(
+        config.nodes,
+        config.seed,
+        config.chunk_qubits.min(config.nodes),
+        &config.compressor,
+        config.bound,
+        config.cache,
+    )?;
+    let (spans, metrics) = scope.finish();
+    let state_phase = PhaseRecord { spans, metrics };
+    qcf_telemetry::flight::record("report.state.done");
+
+    let scope = RunScope::enter();
+    let tensor = synthetic_tensor(1 << 14, 0.3, config.seed);
+    let mut quality = Vec::new();
+    for comp in cli::cli_lineup() {
+        let r = round_trip(comp.as_ref(), &tensor.data, config.bound)
+            .map_err(|e| CliError(format!("{} round trip: {e}", comp.name())))?;
+        quality.push(QualityRow {
+            name: r.name.to_string(),
+            cr: r.quality.compression_ratio,
+            max_abs_err: r.quality.max_abs_error,
+            psnr_db: r.quality.psnr_db,
+            gpu_compress_bps: r.gpu_compress_bps,
+            gpu_decompress_bps: r.gpu_decompress_bps,
+            host_compress_bps: r.host_compress_bps,
+        });
+    }
+    let _ = scope.finish();
+    qcf_telemetry::flight::record("report.quality.done");
+
+    Ok(RunReport {
+        config,
+        qaoa,
+        qaoa_phase,
+        state,
+        state_phase,
+        quality,
+    })
+}
+
+/// Rows of a metrics snapshot as a renderable table.
+fn snapshot_table(title: &str, snap: &Snapshot) -> Table {
+    let mut t = Table::new("metrics", title, &["metric", "value", "high water"]);
+    for (name, value) in &snap.counters {
+        t.row(vec![name.clone(), value.to_string(), String::new()]);
+    }
+    for (name, (value, high)) in &snap.gauges {
+        t.row(vec![name.clone(), value.to_string(), high.to_string()]);
+    }
+    for (name, value) in &snap.float_gauges {
+        t.row(vec![name.clone(), format!("{value:.6e}"), String::new()]);
+    }
+    for (name, h) in &snap.histograms {
+        t.row(vec![
+            name.clone(),
+            format!("{} obs, mean {:.3e}", h.count, h.mean),
+            if h.dropped > 0 {
+                format!("{} dropped", h.dropped)
+            } else {
+                String::new()
+            },
+        ]);
+    }
+    t
+}
+
+impl RunReport {
+    /// Renders the whole run as one markdown document.
+    pub fn to_markdown(&self) -> String {
+        let c = &self.config;
+        let mut out = String::new();
+        let _ = writeln!(out, "# qcfz run report\n");
+        let _ = writeln!(
+            out,
+            "- instance: {} nodes, seed {}, compressor {}, bound {:?}",
+            c.nodes, c.seed, c.compressor, c.bound
+        );
+        let _ = writeln!(
+            out,
+            "- state phase: chunk qubits {}, cache {}\n",
+            c.chunk_qubits,
+            c.cache
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "default".into()),
+        );
+
+        let _ = writeln!(out, "## QAOA contraction (compressed intermediates)\n");
+        let q = &self.qaoa;
+        let _ = writeln!(
+            out,
+            "energy {:.6} | {} intermediates compressed ({:.1}x) | peak live {} bytes | \
+             {} lossy events, accumulated bound {:.3e} | {:.3} simulated ms\n",
+            q.energy,
+            q.tensors_compressed,
+            q.ratio,
+            q.peak_live_bytes,
+            q.lossy_events,
+            q.accumulated_bound,
+            q.simulated_s * 1e3
+        );
+        let _ = writeln!(
+            out,
+            "```\n{}```\n",
+            phase_table(&self.qaoa_phase.spans).render()
+        );
+        let _ = writeln!(
+            out,
+            "```\n{}```\n",
+            snapshot_table("qaoa-phase registry", &self.qaoa_phase.metrics).render()
+        );
+
+        let _ = writeln!(out, "## Compressed state (write-back cache + ledger)\n");
+        let s = &self.state;
+        let st = &s.stats;
+        let touched = st.cache_hits + st.cache_misses;
+        let _ = writeln!(
+            out,
+            "energy {:.6} | resident {} bytes (dense {}) | cache cap {}: {} hits / {} misses \
+             ({:.0}% hit rate) | {} write-backs\n",
+            s.energy,
+            st.resident_bytes,
+            s.dense_bytes,
+            s.cache_capacity,
+            st.cache_hits,
+            st.cache_misses,
+            if touched == 0 {
+                0.0
+            } else {
+                100.0 * st.cache_hits as f64 / touched as f64
+            },
+            st.writebacks,
+        );
+        let l = &s.ledger;
+        let mut lt = Table::new("ledger", "error-budget ledger", &["quantity", "value"]);
+        lt.row(vec!["chunks".into(), l.chunks.to_string()]);
+        lt.row(vec!["total encodes".into(), l.total_encodes.to_string()]);
+        lt.row(vec!["total requants".into(), l.total_requants.to_string()]);
+        lt.row(vec![
+            "max requants / chunk".into(),
+            l.max_requants.to_string(),
+        ]);
+        lt.row(vec![
+            "max accumulated bound".into(),
+            format!("{:.3e}", l.max_accumulated_bound),
+        ]);
+        lt.row(vec![
+            "mean accumulated bound".into(),
+            format!("{:.3e}", l.mean_accumulated_bound),
+        ]);
+        lt.row(vec![
+            "state accumulated RSS".into(),
+            format!("{:.3e}", l.accumulated_rss),
+        ]);
+        if l.max_measured_err > 0.0 {
+            lt.row(vec![
+                "max measured err".into(),
+                format!("{:.3e}", l.max_measured_err),
+            ]);
+        }
+        lt.note(if l.lossy {
+            "lossy codec: every write-back is one requantization"
+        } else {
+            "lossless codec: zero accumulated error by construction"
+        });
+        let _ = writeln!(out, "```\n{}```\n", lt.render());
+        let _ = writeln!(
+            out,
+            "```\n{}```\n",
+            phase_table(&self.state_phase.spans).render()
+        );
+        let _ = writeln!(
+            out,
+            "```\n{}```\n",
+            snapshot_table("state-phase registry", &self.state_phase.metrics).render()
+        );
+
+        let _ = writeln!(
+            out,
+            "## Compressor quality sweep (2^14 complex amplitudes)\n"
+        );
+        let mut qt = Table::new(
+            "quality",
+            "per-compressor round trip",
+            &[
+                "compressor",
+                "CR",
+                "max abs err",
+                "PSNR dB",
+                "GPU c GB/s",
+                "GPU d GB/s",
+            ],
+        );
+        for r in &self.quality {
+            qt.row(vec![
+                r.name.clone(),
+                format!("{:.1}x", r.cr),
+                format!("{:.1e}", r.max_abs_err),
+                if r.psnr_db.is_finite() {
+                    format!("{:.1}", r.psnr_db)
+                } else {
+                    "exact".into()
+                },
+                format!("{:.1}", r.gpu_compress_bps / 1e9),
+                format!("{:.1}", r.gpu_decompress_bps / 1e9),
+            ]);
+        }
+        let _ = writeln!(out, "```\n{}```\n", qt.render());
+
+        let frames = qcf_telemetry::flight::frames();
+        if !frames.is_empty() {
+            let _ = writeln!(out, "## Flight recorder\n");
+            let _ = writeln!(
+                out,
+                "{} frames retained ({} overwritten):\n",
+                frames.len(),
+                qcf_telemetry::flight::overwritten()
+            );
+            for f in &frames {
+                let _ = writeln!(out, "- t+{}µs `{}`", f.t_us, f.label);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Wraps the markdown in one self-contained HTML page.
+    pub fn to_html(&self) -> String {
+        let md = self.to_markdown();
+        let mut body = String::with_capacity(md.len() + 64);
+        for ch in md.chars() {
+            match ch {
+                '&' => body.push_str("&amp;"),
+                '<' => body.push_str("&lt;"),
+                '>' => body.push_str("&gt;"),
+                c => body.push(c),
+            }
+        }
+        format!(
+            "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+             <title>qcfz run report</title>\
+             <style>body{{font-family:monospace;max-width:100ch;margin:2em auto;\
+             white-space:pre-wrap}}</style></head>\n\
+             <body>{body}</body></html>\n"
+        )
+    }
+
+    /// The run's stable scalars as flat `key → number` pairs — the baseline
+    /// format `--baseline`/`--check` diff against. Deterministic quantities
+    /// only get hard-checked ([`check`]); `*_bps` throughput keys are
+    /// machine-dependent and soft by default.
+    pub fn baseline(&self) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        m.insert("qaoa.energy".into(), self.qaoa.energy);
+        m.insert("qaoa.ratio".into(), self.qaoa.ratio);
+        m.insert(
+            "qaoa.tensors_compressed".into(),
+            self.qaoa.tensors_compressed as f64,
+        );
+        m.insert("qaoa.accumulated_bound".into(), self.qaoa.accumulated_bound);
+        m.insert("state.energy".into(), self.state.energy);
+        let l = &self.state.ledger;
+        m.insert("state.requants.total".into(), l.total_requants as f64);
+        m.insert("state.requants.max".into(), l.max_requants as f64);
+        m.insert(
+            "state.accumulated_bound.max".into(),
+            l.max_accumulated_bound,
+        );
+        m.insert("state.accumulated_bound.rss".into(), l.accumulated_rss);
+        m.insert(
+            "state.cache.hits".into(),
+            self.state.stats.cache_hits as f64,
+        );
+        for r in &self.quality {
+            m.insert(format!("quality.{}.cr", r.name), r.cr);
+            m.insert(format!("quality.{}.max_abs_err", r.name), r.max_abs_err);
+            m.insert(
+                format!("quality.{}.host_compress_bps", r.name),
+                r.host_compress_bps,
+            );
+        }
+        m
+    }
+}
+
+/// Renders a flat baseline map as JSON (sorted keys, one pair per line).
+pub fn baseline_json(m: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in m.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(out, "  {}: {}", crate::report::json_str(k), fmt_num(*v));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:e}")
+    }
+}
+
+/// Parses the flat `{"key": number, …}` baseline format back into a map.
+/// Deliberately tiny: exactly the shape [`baseline_json`] emits (string
+/// keys, numeric values, no nesting).
+pub fn parse_baseline(doc: &str) -> Result<BTreeMap<String, f64>, CliError> {
+    let bad = |what: &str| CliError(format!("baseline parse error: {what}"));
+    let mut m = BTreeMap::new();
+    let body = doc.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or_else(|| bad("expected one top-level object"))?;
+    // Split on commas; keys are quoted strings without embedded commas or
+    // quotes (every key baseline_json writes satisfies this).
+    for pair in body.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair
+            .split_once(':')
+            .ok_or_else(|| bad("expected \"key\": value"))?;
+        let k = k
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| bad("unquoted key"))?;
+        let v: f64 = v
+            .trim()
+            .parse()
+            .map_err(|_| bad(&format!("bad number for {k}")))?;
+        m.insert(k.to_string(), v);
+    }
+    if m.is_empty() {
+        return Err(bad("no entries"));
+    }
+    Ok(m)
+}
+
+/// Result of diffing a run against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct CheckResult {
+    /// Hard regressions — CI fails on any.
+    pub regressions: Vec<String>,
+    /// Soft findings (throughput on a possibly-loaded host, missing keys).
+    pub warnings: Vec<String>,
+}
+
+impl CheckResult {
+    /// True when no hard regression was found.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Tolerated relative CR loss before a regression is declared.
+const CR_TOLERANCE: f64 = 0.05;
+/// Tolerated relative accumulated-bound growth.
+const BOUND_TOLERANCE: f64 = 0.05;
+/// Tolerated relative throughput loss (soft unless `strict_throughput`).
+const BPS_TOLERANCE: f64 = 0.5;
+
+/// Diffs `current` against `stored`. Hard regressions: any `*.cr` drop
+/// beyond 5%, any requant-count increase, accumulated-bound growth beyond
+/// 5%, max-abs-err growth beyond 5%, or energy drift beyond first-order
+/// noise. Throughput (`*_bps`) losses beyond 50% are warnings, upgraded to
+/// regressions under `strict_throughput`.
+pub fn check(
+    current: &BTreeMap<String, f64>,
+    stored: &BTreeMap<String, f64>,
+    strict_throughput: bool,
+) -> CheckResult {
+    let mut res = CheckResult::default();
+    for (key, &base) in stored {
+        let Some(&now) = current.get(key) else {
+            res.warnings
+                .push(format!("{key}: in baseline but missing from this run"));
+            continue;
+        };
+        if key.ends_with(".cr") || key == "qaoa.ratio" {
+            if now < base * (1.0 - CR_TOLERANCE) {
+                res.regressions.push(format!(
+                    "{key}: compression ratio fell {:.1}x -> {:.1}x",
+                    base, now
+                ));
+            }
+        } else if key.starts_with("state.requants") {
+            if now > base {
+                res.regressions.push(format!(
+                    "{key}: requant count grew {} -> {} (cache or ledger regression)",
+                    base as u64, now as u64
+                ));
+            }
+        } else if key.contains("accumulated_bound") || key.ends_with(".max_abs_err") {
+            if now > base * (1.0 + BOUND_TOLERANCE) + f64::MIN_POSITIVE {
+                res.regressions
+                    .push(format!("{key}: error grew {base:.3e} -> {now:.3e}"));
+            }
+        } else if key.ends_with(".energy") {
+            let tol = 1e-6 + 1e-3 * base.abs();
+            if (now - base).abs() > tol {
+                res.regressions
+                    .push(format!("{key}: energy drifted {base:.6} -> {now:.6}"));
+            }
+        } else if key.ends_with("_bps") && now < base * (1.0 - BPS_TOLERANCE) {
+            let msg = format!(
+                "{key}: throughput fell {:.2} -> {:.2} GB/s",
+                base / 1e9,
+                now / 1e9
+            );
+            if strict_throughput {
+                res.regressions.push(msg);
+            } else {
+                res.warnings.push(msg);
+            }
+        }
+        // Remaining keys (counts, cache hits) are informational.
+    }
+    res
+}
+
+/// The `qcfz report` subcommand body: collect, render to `out` (`.html`
+/// switches format), optionally save the baseline JSON, optionally check
+/// against a stored baseline. Returns the hard-regression list (empty when
+/// clean) so the caller can choose the exit code.
+pub fn run(
+    config: ReportConfig,
+    out: &Path,
+    save_json: Option<&Path>,
+    baseline: Option<&Path>,
+    strict_throughput: bool,
+) -> Result<CheckResult, CliError> {
+    let report = collect(config)?;
+    let doc = if out.extension().is_some_and(|e| e == "html") {
+        report.to_html()
+    } else {
+        report.to_markdown()
+    };
+    std::fs::write(out, doc)?;
+    let current = report.baseline();
+    if let Some(path) = save_json {
+        std::fs::write(path, baseline_json(&current))?;
+    }
+    let result = match baseline {
+        Some(path) => {
+            let stored = parse_baseline(&std::fs::read_to_string(path)?)?;
+            check(&current, &stored, strict_throughput)
+        }
+        None => CheckResult::default(),
+    };
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `collect` drains the process-global registry per phase; concurrent
+    /// collects would drain each other's counters mid-phase.
+    fn collect_serially(config: ReportConfig) -> Result<RunReport, CliError> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        qcf_telemetry::set_enabled(true);
+        collect(config)
+    }
+
+    fn small_config() -> ReportConfig {
+        ReportConfig {
+            nodes: 8,
+            seed: 5,
+            compressor: "cuSZx".into(),
+            bound: ErrorBound::Abs(1e-6),
+            chunk_qubits: 4,
+            cache: Some(4),
+        }
+    }
+
+    #[test]
+    fn report_collects_all_sections() {
+        let r = collect_serially(small_config()).unwrap();
+        assert!(r.qaoa.tensors_compressed > 0);
+        assert!(
+            r.state.ledger.total_requants > 0,
+            "4-slot cache over 16 chunks must requant"
+        );
+        assert!(!r.quality.is_empty());
+        // Phase isolation: the qaoa phase must not carry state.cache counters.
+        // (`miss`, not `hit`: 16 chunks cycled through a 4-slot LRU is the
+        // sequential-thrash worst case, so hits can legitimately be zero.)
+        assert!(
+            !r.qaoa_phase
+                .metrics
+                .counters
+                .contains_key("state.cache.miss")
+                || r.qaoa_phase.metrics.counters["state.cache.miss"] == 0,
+            "state-phase counters bled into the qaoa phase"
+        );
+        assert!(
+            r.state_phase
+                .metrics
+                .counters
+                .get("state.cache.miss")
+                .copied()
+                .unwrap_or(0)
+                > 0,
+            "state phase must record its own cache counters"
+        );
+
+        let md = r.to_markdown();
+        for needle in [
+            "# qcfz run report",
+            "QAOA contraction",
+            "error-budget ledger",
+            "total requants",
+            "per-compressor round trip",
+            "state phase",
+        ] {
+            assert!(md.contains(needle), "markdown missing {needle:?}");
+        }
+        let html = r.to_html();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("error-budget ledger"));
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let r = collect_serially(small_config()).unwrap();
+        let b = r.baseline();
+        assert!(b.contains_key("state.requants.total"));
+        assert!(b.contains_key("qaoa.energy"));
+        assert!(b
+            .keys()
+            .any(|k| k.starts_with("quality.") && k.ends_with(".cr")));
+        let parsed = parse_baseline(&baseline_json(&b)).unwrap();
+        assert_eq!(parsed.len(), b.len());
+        for (k, v) in &b {
+            let p = parsed[k];
+            assert!(
+                (p - v).abs() <= v.abs() * 1e-12,
+                "{k}: {v} re-parsed as {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_run_checks_clean_against_itself() {
+        let r = collect_serially(small_config()).unwrap();
+        let b = r.baseline();
+        let res = check(&b, &b, true);
+        assert!(res.ok(), "self-check regressions: {:?}", res.regressions);
+        assert!(res.warnings.is_empty());
+    }
+
+    #[test]
+    fn injected_regressions_are_caught() {
+        let mut base: BTreeMap<String, f64> = BTreeMap::new();
+        base.insert("quality.cuSZ.cr".into(), 10.0);
+        base.insert("state.requants.total".into(), 5.0);
+        base.insert("state.accumulated_bound.rss".into(), 1e-6);
+        base.insert("qaoa.energy".into(), 11.5);
+        base.insert("quality.cuSZ.host_compress_bps".into(), 8e9);
+
+        let mut cur = base.clone();
+        cur.insert("quality.cuSZ.cr".into(), 8.0); // CR fell 20%
+        cur.insert("state.requants.total".into(), 9.0); // requants grew
+        cur.insert("state.accumulated_bound.rss".into(), 2e-6); // bound doubled
+        cur.insert("qaoa.energy".into(), 11.8); // energy drifted
+        cur.insert("quality.cuSZ.host_compress_bps".into(), 1e9); // throughput fell
+
+        let lax = check(&cur, &base, false);
+        assert_eq!(lax.regressions.len(), 4, "{:?}", lax.regressions);
+        assert_eq!(lax.warnings.len(), 1, "{:?}", lax.warnings);
+        let strict = check(&cur, &base, true);
+        assert_eq!(strict.regressions.len(), 5);
+
+        // Small wobble within tolerance stays clean.
+        let mut ok = base.clone();
+        ok.insert("quality.cuSZ.cr".into(), 9.8);
+        ok.insert("quality.cuSZ.host_compress_bps".into(), 7e9);
+        assert!(check(&ok, &base, true).ok());
+    }
+
+    #[test]
+    fn parse_baseline_rejects_garbage() {
+        assert!(parse_baseline("").is_err());
+        assert!(parse_baseline("[1,2]").is_err());
+        assert!(parse_baseline("{\"k\": \"not a number\"}").is_err());
+        assert!(parse_baseline("{}").is_err());
+        let m = parse_baseline("{\"a\": 1, \"b\": 2.5e-3}").unwrap();
+        assert_eq!(m["a"], 1.0);
+        assert_eq!(m["b"], 2.5e-3);
+    }
+}

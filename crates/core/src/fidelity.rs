@@ -12,11 +12,22 @@
 //! constant absorbing tensor norms. The experiments calibrate `C` once on a
 //! pilot instance ([`calibrate`]) and then *predict* energy error for other
 //! bounds — experiment E8 plots prediction vs. measurement.
+//!
+//! This module is the workspace's *shared bound-propagation model*: the
+//! accumulation primitives live in [`qtensor::ledger`] (re-exported here as
+//! [`rss_accumulate`] / [`uniform_rss`]) so the error-budget ledger inside
+//! `CompressedState` and the `CompressingHook` contraction stats apply the
+//! identical arithmetic, and this module turns their accumulated bounds
+//! into *calibrated* energy-error predictions
+//! ([`predict_energy_error`], [`predict_ledger_energy_error`]).
 
 use qcircuit::{Graph, QaoaParams};
 use qtensor::compressed::NoiseHook;
 use qtensor::energy::Simulator;
 use qtensor::ContractError;
+use qtensor::LedgerSummary;
+
+pub use qtensor::ledger::{rss_accumulate, uniform_rss};
 
 /// A single characterization point: injected bound vs. observed error.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,9 +43,18 @@ pub struct NoisePoint {
 }
 
 /// First-order model: predicted |ΔE| for bound `eps` over `tensors`
-/// perturbed intermediates with calibrated constant `c`.
+/// perturbed intermediates with calibrated constant `c` — `C · ε·√T`, the
+/// closed form of the ledger's per-event RSS accumulation.
 pub fn predict_energy_error(c: f64, eps: f64, tensors: usize) -> f64 {
-    c * eps * (tensors.max(1) as f64).sqrt()
+    c * uniform_rss(eps, tensors)
+}
+
+/// Predicted |ΔE| from a measured error-budget ledger: the calibrated
+/// constant times the state-level RSS the ledger actually accumulated
+/// (requant-by-requant, chunk-by-chunk), instead of the uniform `ε·√T`
+/// assumption. The two agree when every event carries the same bound.
+pub fn predict_ledger_energy_error(c: f64, ledger: &LedgerSummary) -> f64 {
+    c * ledger.accumulated_rss
 }
 
 /// Measures energy error under injected noise of bound `eps` (averaged over
@@ -150,5 +170,33 @@ mod tests {
         assert!(predict_energy_error(1.0, 1e-3, 100) > predict_energy_error(1.0, 1e-4, 100));
         assert!(predict_energy_error(1.0, 1e-3, 400) > predict_energy_error(1.0, 1e-3, 100));
         assert_eq!(predict_energy_error(2.0, 1e-3, 0), 2.0 * 1e-3);
+    }
+
+    #[test]
+    fn ledger_prediction_matches_uniform_model_on_uniform_ledgers() {
+        use compressors::cuszx::CuSzx;
+        use compressors::ErrorBound;
+        use qtensor::CompressedState;
+
+        // A real ledger from a lossy run...
+        let g = Graph::random_regular(8, 3, 41);
+        let circuit = qcircuit::qaoa_circuit(&g, &qcircuit::QaoaParams::fixed_angles_3reg_p1());
+        let comp = CuSzx::default();
+        let mut cs = CompressedState::run(&circuit, 4, &comp, ErrorBound::Abs(1e-7)).unwrap();
+        cs.flush().unwrap();
+        let summary = cs.ledger_summary();
+        assert!(summary.lossy);
+
+        let c = 2.5;
+        let from_ledger = predict_ledger_energy_error(c, &summary);
+        assert!(from_ledger > 0.0 && from_ledger.is_finite());
+        // With an Abs bound every event carries eps = 1e-7, so the measured
+        // RSS equals the uniform closed form over the same event count.
+        let events = cs.ledger().lossy_events() as usize;
+        let uniform = predict_energy_error(c, 1e-7, events);
+        assert!(
+            (from_ledger - uniform).abs() / uniform < 1e-9,
+            "ledger {from_ledger} vs uniform {uniform}"
+        );
     }
 }

@@ -9,7 +9,9 @@
 //! error-impact characterization (experiment E8).
 
 use crate::contraction::{ContractError, ContractionHook};
-use compressors::{Compressor, ErrorBound};
+use crate::ledger::rss_accumulate;
+use compressors::traits::value_range;
+use compressors::{Compressor, CompressorKind, ErrorBound};
 use gpu_model::{DeviceSpec, Stream};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -29,6 +31,13 @@ pub struct CompressionStats {
     pub compressed_bytes: u64,
     /// Largest single-tensor uncompressed size seen.
     pub largest_tensor_bytes: u64,
+    /// Number of *lossy* round trips (0 under a lossless codec).
+    pub lossy_events: u64,
+    /// Accumulated-bound estimate over the contraction: RSS of each lossy
+    /// round trip's resolved absolute bound (the same first-order model
+    /// `qtensor::ledger` applies per chunk; `qcf-core::fidelity` turns it
+    /// into a predicted energy error).
+    pub accumulated_bound: f64,
 }
 
 impl CompressionStats {
@@ -50,6 +59,9 @@ pub struct CompressingHook<'a> {
     bound: ErrorBound,
     stream: Stream,
     min_elems: usize,
+    /// Mirrors `stats.accumulated_bound` into the registry
+    /// (`contract.accumulated_bound`) when telemetry is enabled.
+    acc_bound_gauge: std::sync::Arc<qcf_telemetry::FloatGauge>,
     /// Accounting for E7/E9.
     pub stats: CompressionStats,
 }
@@ -63,6 +75,7 @@ impl<'a> CompressingHook<'a> {
             bound,
             stream: Stream::new(DeviceSpec::a100()),
             min_elems,
+            acc_bound_gauge: qcf_telemetry::registry().float_gauge("contract.accumulated_bound"),
             stats: CompressionStats::default(),
         }
     }
@@ -97,6 +110,13 @@ impl ContractionHook for CompressingHook<'_> {
         self.stats.uncompressed_bytes += nbytes;
         self.stats.compressed_bytes += bytes.len() as u64;
         self.stats.largest_tensor_bytes = self.stats.largest_tensor_bytes.max(nbytes);
+        if self.compressor.kind() == CompressorKind::ErrorBounded {
+            let (min, max) = value_range(flat);
+            let eps = self.bound.to_abs(max - min);
+            self.stats.lossy_events += 1;
+            self.stats.accumulated_bound = rss_accumulate(self.stats.accumulated_bound, eps);
+            self.acc_bound_gauge.set(self.stats.accumulated_bound);
+        }
         // Write the reconstruction back into the tensor's own storage —
         // labels and dims are untouched, and no per-intermediate complex
         // buffer is allocated.
@@ -171,6 +191,8 @@ mod tests {
         assert!((e - exact).abs() < 1e-12);
         assert!(hook.stats.tensors_compressed > 0);
         assert!((hook.stats.ratio() - 1.0).abs() < 0.1);
+        assert_eq!(hook.stats.lossy_events, 0);
+        assert_eq!(hook.stats.accumulated_bound, 0.0);
     }
 
     #[test]
@@ -188,6 +210,13 @@ mod tests {
             hook.stats.ratio() > 1.0,
             "lossy compression should shrink tensors"
         );
+        assert_eq!(
+            hook.stats.lossy_events, hook.stats.tensors_compressed as u64,
+            "every lossy round trip is one ledger event"
+        );
+        // Abs bound ⇒ each event contributes exactly eb: RSS closed form.
+        let want = crate::ledger::uniform_rss(1e-5, hook.stats.lossy_events as usize);
+        assert!((hook.stats.accumulated_bound - want).abs() < 1e-12);
     }
 
     #[test]

@@ -25,8 +25,10 @@
 //! the dense oracle.
 
 use crate::contraction::ContractError;
+use crate::ledger::{ErrorLedger, LedgerSummary};
 use crate::statevector::{apply_gate_to_amplitudes, StateVector};
-use compressors::{Compressor, ErrorBound};
+use compressors::traits::value_range;
+use compressors::{Compressor, CompressorKind, ErrorBound};
 use gpu_model::{DeviceSpec, Stream};
 use qcf_telemetry::{Counter, GaugeTrack};
 use qcircuit::{Circuit, Gate, Graph};
@@ -61,6 +63,21 @@ fn env_cache_capacity() -> usize {
         .ok()
         .and_then(|v| v.trim().parse().ok())
         .unwrap_or(DEFAULT_CHUNK_CACHE)
+}
+
+/// `QCF_LEDGER_MEASURE=1` makes every lossy write-back also decode its own
+/// output and record the *measured* max-abs-error in the ledger — a
+/// round-trip per requant, so off by default.
+fn env_measure_err() -> bool {
+    std::env::var("QCF_LEDGER_MEASURE")
+        .map(|v| {
+            let v = v.trim();
+            !(v.is_empty()
+                || v == "0"
+                || v.eq_ignore_ascii_case("false")
+                || v.eq_ignore_ascii_case("off"))
+        })
+        .unwrap_or(false)
 }
 
 /// One resident decompressed chunk.
@@ -193,6 +210,11 @@ pub struct CompressedState<'a> {
     spare: Vec<Complex64>,
     /// Reused gather buffer for high-qubit (grouped) gates.
     group_buf: Vec<Complex64>,
+    /// Per-chunk error-budget accounting (see [`crate::ledger`]).
+    ledger: ErrorLedger,
+    /// Measure actual max-abs-error at each lossy write-back
+    /// (`QCF_LEDGER_MEASURE`).
+    measure_err: bool,
     /// Run accounting.
     pub stats: StateStats,
 }
@@ -225,6 +247,8 @@ impl<'a> CompressedState<'a> {
             flat: Vec::new(),
             spare: Vec::new(),
             group_buf: Vec::new(),
+            ledger: ErrorLedger::new(1usize << (n - chunk_qubits)),
+            measure_err: env_measure_err(),
             stats: StateStats::default(),
         };
         let chunk_len = 1usize << chunk_qubits;
@@ -234,6 +258,8 @@ impl<'a> CompressedState<'a> {
                 amps[0] = Complex64::ONE;
             }
             let bytes = state.compress_chunk(&amps)?;
+            let abs_bound = state.lossy_abs_bound(&amps);
+            state.ledger.record_initial(chunk_id, abs_bound);
             state.resident.add(bytes.len() as i64);
             state.chunks.push(bytes);
         }
@@ -260,6 +286,27 @@ impl<'a> CompressedState<'a> {
     /// Bytes the dense state would need.
     pub fn dense_bytes(&self) -> usize {
         16usize << self.n
+    }
+
+    /// The resolved absolute bound a lossy encode of `amps` is allowed, or
+    /// `None` for a lossless codec (same `Rel → Abs` resolution the
+    /// error-bounded compressors apply internally).
+    fn lossy_abs_bound(&self, amps: &[Complex64]) -> Option<f64> {
+        if self.compressor.kind() != CompressorKind::ErrorBounded {
+            return None;
+        }
+        let (min, max) = value_range(as_interleaved(amps));
+        Some(self.bound.to_abs(max - min))
+    }
+
+    /// The per-chunk error-budget ledger.
+    pub fn ledger(&self) -> &ErrorLedger {
+        &self.ledger
+    }
+
+    /// Aggregate ledger view (requant counts, accumulated bounds).
+    pub fn ledger_summary(&self) -> LedgerSummary {
+        self.ledger.summary()
     }
 
     fn compress_chunk(&self, amps: &[Complex64]) -> Result<Vec<u8>, ContractError> {
@@ -392,6 +439,9 @@ impl<'a> CompressedState<'a> {
                     self.gather_chunk(id, &mut buffer)?;
                 }
                 apply_gate_to_amplitudes(&mut buffer, c + k, &remapped);
+                // The gate mixed these chunks' amplitudes; redistribute
+                // their accumulated error accordingly (energy-preserving).
+                self.ledger.mix(members);
                 for (m, &id) in members.iter().enumerate() {
                     self.store_chunk(id, &buffer[m * chunk_len..(m + 1) * chunk_len])?;
                 }
@@ -532,7 +582,8 @@ impl<'a> CompressedState<'a> {
     }
 
     /// Recompresses `amps` into chunk `id`'s byte buffer (capacity reused),
-    /// keeping resident-bytes accounting exact.
+    /// keeping resident-bytes accounting exact. Every call is one ledger
+    /// event; under a lossy codec it is one *requantization*.
     fn write_back(&mut self, id: usize, amps: &[Complex64]) -> Result<(), ContractError> {
         let mut bytes = std::mem::take(&mut self.chunks[id]);
         let old_len = bytes.len();
@@ -541,6 +592,26 @@ impl<'a> CompressedState<'a> {
             .compress_into(as_interleaved(amps), self.bound, &self.stream, &mut bytes)
             .map_err(|e| ContractError::Hook(format!("chunk compress: {e}")));
         self.stats.recompressions += 1;
+        let abs_bound = self.lossy_abs_bound(amps);
+        // Lossless reconstruction is exact by contract: measured error 0
+        // for free. Lossy error is measured (a decode of the fresh bytes,
+        // pure metrology — not counted in the data-path stats) only under
+        // QCF_LEDGER_MEASURE.
+        let measured = match abs_bound {
+            None => Some(0.0),
+            Some(_) if self.measure_err && res.is_ok() => self
+                .compressor
+                .decompress_into(&bytes, &self.stream, &mut self.flat)
+                .ok()
+                .map(|()| {
+                    as_interleaved(amps)
+                        .iter()
+                        .zip(self.flat.iter())
+                        .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+                }),
+            Some(_) => None,
+        };
+        self.ledger.record_requant(id, abs_bound, measured);
         self.resident.add(bytes.len() as i64 - old_len as i64);
         self.chunks[id] = bytes;
         self.sync_resident_stats();
@@ -804,6 +875,70 @@ mod tests {
         let total: usize = cs.chunks.iter().map(Vec::len).sum();
         assert_eq!(cs.stats.resident_bytes, total);
         assert!(cs.stats.peak_resident_bytes >= cs.stats.resident_bytes);
+    }
+
+    #[test]
+    fn ledger_stays_zero_under_lossless_codec() {
+        let (circuit, _) = qaoa(8, 17);
+        let comp = Memcpy;
+        let mut cs = CompressedState::run(&circuit, 3, &comp, ErrorBound::Abs(1e-4)).unwrap();
+        cs.flush().unwrap();
+        let s = cs.ledger_summary();
+        assert_eq!(s.total_requants, 0);
+        assert_eq!(s.max_accumulated_bound, 0.0);
+        assert_eq!(s.accumulated_rss, 0.0);
+        assert_eq!(s.max_measured_err, 0.0);
+        assert!(!s.lossy);
+        // Every encode was still counted.
+        assert_eq!(
+            s.total_encodes,
+            cs.chunks.len() as u64 + cs.stats.recompressions
+        );
+    }
+
+    #[test]
+    fn ledger_requants_match_recompressions_for_lossy_codec() {
+        let (circuit, _) = qaoa(8, 19);
+        let comp = compressors::cuszx::CuSzx::default();
+        let mut cs = CompressedState::zero(8, 3, &comp, ErrorBound::Abs(1e-7)).unwrap();
+        cs.set_cache_capacity(2).unwrap(); // force evictions
+        for g in circuit.gates() {
+            cs.apply(g).unwrap();
+        }
+        cs.flush().unwrap();
+        let s = cs.ledger_summary();
+        // Under a lossy codec every write_back is exactly one requant.
+        assert_eq!(s.total_requants, cs.stats.recompressions);
+        assert!(
+            s.total_requants > 0,
+            "2-slot cache over 32 chunks must evict"
+        );
+        assert!(s.max_requants > 0);
+        assert!(s.max_accumulated_bound > 0.0);
+        assert!(s.accumulated_rss >= s.max_accumulated_bound);
+        assert!(s.lossy);
+        // Each chunk absorbed at least its initial quantization.
+        assert!(cs.ledger().lossy_events() >= cs.chunks.len() as u64);
+    }
+
+    #[test]
+    fn measured_error_respects_the_bound_when_enabled() {
+        let comp = compressors::cuszx::CuSzx::default();
+        let (circuit, _) = qaoa(8, 23);
+        let mut cs = CompressedState::zero(8, 4, &comp, ErrorBound::Abs(1e-6)).unwrap();
+        cs.measure_err = true; // what QCF_LEDGER_MEASURE=1 sets
+        for g in circuit.gates() {
+            cs.apply(g).unwrap();
+        }
+        cs.flush().unwrap();
+        let s = cs.ledger_summary();
+        assert!(s.total_requants > 0);
+        // The measured max-abs-err must honor the compressor's contract.
+        assert!(
+            s.max_measured_err <= 1e-6 * (1.0 + 1e-9),
+            "measured {} exceeds bound",
+            s.max_measured_err
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod compressed;
 pub mod compressed_state;
 pub mod contraction;
 pub mod energy;
+pub mod ledger;
 pub mod lightcone;
 pub mod network;
 pub mod ordering;
@@ -28,6 +29,7 @@ pub use contraction::{
     contract_network, ContractError, ContractionHook, ContractionStats, NoopHook,
 };
 pub use energy::{EnergyReport, Simulator, Strategy};
+pub use ledger::{ChunkRecord, ErrorLedger, LedgerSummary};
 pub use lightcone::{lightcone, Lightcone};
 pub use network::TensorNetwork;
 pub use ordering::{InteractionGraph, OrderingHeuristic};

@@ -1,0 +1,119 @@
+//! Ledger invariants under arbitrary circuits and cache capacities.
+//!
+//! The error-budget ledger promises exact requant accounting: under a lossy
+//! codec every dirty-chunk write-back (eviction, flush, or cache-disabled
+//! per-gate recompression) increments exactly one chunk's requant count —
+//! so the per-chunk counts always sum to `stats.recompressions` — and under
+//! a lossless codec every estimate stays identically zero no matter how the
+//! cache thrashes.
+
+use compressors::cuszx::CuSzx;
+use compressors::dummy::Memcpy;
+use compressors::ErrorBound;
+use proptest::prelude::*;
+use qcircuit::Gate;
+use qtensor::CompressedState;
+
+/// Random gates over an `n`-qubit register, mixing low (intra-chunk) and
+/// high (grouped, cross-chunk) qubits.
+fn gate_strategy(n: usize) -> impl Strategy<Value = Gate> {
+    let pair = move |s: (usize, usize)| (s.0, (s.0 + s.1) % n);
+    prop_oneof![
+        (0..n).prop_map(Gate::H),
+        (0..n, -3.0f64..3.0).prop_map(|(q, th)| Gate::Rx(q, th)),
+        (0..n, -3.0f64..3.0).prop_map(|(q, th)| Gate::Ry(q, th)),
+        (0..n).prop_map(Gate::T),
+        (0..n, 1..n, -3.0f64..3.0).prop_map(move |(a, off, th)| {
+            let (a, b) = pair((a, off));
+            Gate::Zz(a, b, th)
+        }),
+        (0..n, 1..n).prop_map(move |(a, off)| {
+            let (a, b) = pair((a, off));
+            Gate::Cnot(a, b)
+        }),
+        (0..n, 1..n).prop_map(move |(a, off)| {
+            let (a, b) = pair((a, off));
+            Gate::Swap(a, b)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lossy_requants_sum_to_recompressions(
+        gates in prop::collection::vec(gate_strategy(7), 1..24),
+        chunk in 3usize..6,
+    ) {
+        let comp = CuSzx::default();
+        for cap in [0usize, 1, 8] {
+            let mut cs =
+                CompressedState::zero(7, chunk, &comp, ErrorBound::Abs(1e-8)).unwrap();
+            cs.set_cache_capacity(cap).unwrap();
+            for g in &gates {
+                cs.apply(g).unwrap();
+            }
+            cs.flush().unwrap();
+            let s = cs.ledger_summary();
+            // Exactness: every write-back (eviction, flush, cap-0 per-gate
+            // recompression) incremented exactly one chunk's requant count.
+            prop_assert_eq!(
+                s.total_requants, cs.stats.recompressions,
+                "cap {}: ledger requants must equal recompressions", cap
+            );
+            prop_assert!(s.max_requants <= s.total_requants);
+            // Each chunk was quantized at least at state preparation.
+            prop_assert_eq!(s.chunks, 1usize << (7 - chunk));
+            prop_assert!(cs.ledger().lossy_events() >= s.chunks as u64);
+            prop_assert!(s.lossy);
+            // Accumulated bounds are positive and monotone with events.
+            prop_assert!(s.max_accumulated_bound > 0.0);
+            prop_assert!(s.accumulated_rss >= s.max_accumulated_bound);
+            // With the cache disabled every gate-touch recompresses, so a
+            // 1-slot or 8-slot cache can only requant less.
+            if cap > 0 {
+                let mut cs0 =
+                    CompressedState::zero(7, chunk, &comp, ErrorBound::Abs(1e-8)).unwrap();
+                cs0.set_cache_capacity(0).unwrap();
+                for g in &gates {
+                    cs0.apply(g).unwrap();
+                }
+                cs0.flush().unwrap();
+                prop_assert!(
+                    s.total_requants <= cs0.ledger_summary().total_requants,
+                    "cap {} must not requant more than cap 0", cap
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_codec_keeps_ledger_at_zero(
+        gates in prop::collection::vec(gate_strategy(7), 1..24),
+        chunk in 3usize..6,
+    ) {
+        let comp = Memcpy;
+        for cap in [0usize, 1, 8] {
+            let mut cs =
+                CompressedState::zero(7, chunk, &comp, ErrorBound::Abs(1e-8)).unwrap();
+            cs.set_cache_capacity(cap).unwrap();
+            for g in &gates {
+                cs.apply(g).unwrap();
+            }
+            cs.flush().unwrap();
+            let s = cs.ledger_summary();
+            prop_assert_eq!(s.total_requants, 0u64, "cap {}", cap);
+            prop_assert_eq!(s.max_requants, 0u64);
+            prop_assert_eq!(s.max_accumulated_bound, 0.0);
+            prop_assert_eq!(s.accumulated_rss, 0.0);
+            prop_assert_eq!(s.max_measured_err, 0.0);
+            prop_assert!(!s.lossy);
+            // Write-backs still happened and were counted as encodes.
+            prop_assert_eq!(
+                s.total_encodes,
+                (1u64 << (7 - chunk)) + cs.stats.recompressions
+            );
+        }
+    }
+}

@@ -41,7 +41,7 @@ pub struct StreamLane {
     pub events: Vec<LaneEvent>,
 }
 
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -57,7 +57,7 @@ fn escape_into(out: &mut String, s: &str) {
     }
 }
 
-fn json_num(v: f64) -> String {
+pub(crate) fn json_num(v: f64) -> String {
     if v.is_finite() {
         let s = format!("{v}");
         // `{}` on f64 never prints exponents for typical metric ranges and
@@ -194,8 +194,9 @@ pub fn metrics_json(snap: &Snapshot) -> String {
         escape_into(&mut out, k);
         let _ = write!(
             &mut out,
-            "\":{{\"count\":{},\"sum\":{},\"mean\":{},\"buckets\":[",
+            "\":{{\"count\":{},\"dropped\":{},\"sum\":{},\"mean\":{},\"buckets\":[",
             h.count,
+            h.dropped,
             json_num(h.sum),
             json_num(h.mean)
         );
@@ -234,8 +235,8 @@ pub fn metrics_tsv(snap: &Snapshot) -> String {
     for (k, h) in &snap.histograms {
         let _ = writeln!(
             &mut out,
-            "histogram\t{k}\t{}\tsum={};mean={}",
-            h.count, h.sum, h.mean
+            "histogram\t{k}\t{}\tsum={};mean={};dropped={}",
+            h.count, h.sum, h.mean, h.dropped
         );
     }
     out
@@ -416,6 +417,7 @@ mod tests {
             "stage.dedup.ratio".into(),
             HistogramSnapshot {
                 count: 3,
+                dropped: 1,
                 sum: 1.5,
                 mean: 0.5,
                 buckets: vec![(0.5, 2), (1.0, 1), (f64::INFINITY, 0)],

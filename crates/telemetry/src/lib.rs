@@ -29,10 +29,12 @@
 //! than growing without bound.
 
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod span;
 
 pub use export::{chrome_trace, metrics_json, metrics_tsv, LaneEvent, StreamLane};
+pub use flight::FlightFrame;
 pub use metrics::{registry, Counter, FloatGauge, Gauge, GaugeTrack, Histogram, Registry};
 pub use span::{SpanEvent, SpanGuard};
 
@@ -75,9 +77,40 @@ pub fn set_enabled(on: bool) {
 
 /// Clears all recorded spans and metric values (counters, gauges and
 /// histograms keep their registrations). For isolating runs in one process.
+/// The flight recorder ring is deliberately *not* cleared — it is the
+/// cross-run post-mortem record.
 pub fn reset() {
     span::reset();
     metrics::registry().reset_values();
+}
+
+/// Scoped run isolation: entering a `RunScope` clears the span buffer and
+/// every metric value, so a run that starts inside the scope reads zeros —
+/// consecutive subcommands in one process (`qcfz report` runs `qaoa`,
+/// `state` and a quality sweep back to back) no longer bleed `state.cache.*`
+/// and friends into each other's exports.
+///
+/// [`RunScope::finish`] reads the scope's spans and metrics out and clears
+/// them again, handing the caller an isolated per-run record.
+#[derive(Debug)]
+#[must_use = "entering the scope is what resets the registry"]
+pub struct RunScope(());
+
+impl RunScope {
+    /// Starts an isolated run: spans and metric values reset to zero.
+    pub fn enter() -> Self {
+        reset();
+        RunScope(())
+    }
+
+    /// Ends the run: returns everything recorded since [`RunScope::enter`]
+    /// and leaves the registry clean for the next scope.
+    pub fn finish(self) -> (Vec<SpanEvent>, metrics::Snapshot) {
+        let spans = span::snapshot();
+        let snap = metrics::registry().drain();
+        span::reset();
+        (spans, snap)
+    }
 }
 
 /// Serializes tests that touch the process-global enabled flag / buffers.
@@ -90,6 +123,31 @@ pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_scopes_do_not_bleed() {
+        let _g = test_guard();
+        set_enabled(true);
+        let scope = RunScope::enter();
+        registry().counter("state.cache.hit").add(11);
+        {
+            let _s = span!("test.scope_one");
+        }
+        let (spans, snap) = scope.finish();
+        assert_eq!(snap.counters.get("state.cache.hit"), Some(&11));
+        assert!(spans.iter().any(|e| e.name == "test.scope_one"));
+
+        // Second scope starts from zero: nothing from scope one leaks.
+        let scope = RunScope::enter();
+        registry().counter("state.cache.hit").add(2);
+        let (spans, snap) = scope.finish();
+        assert_eq!(
+            snap.counters.get("state.cache.hit"),
+            Some(&2),
+            "previous run's counters must not bleed into this run"
+        );
+        assert!(!spans.iter().any(|e| e.name == "test.scope_one"));
+    }
 
     #[test]
     fn enabled_toggles() {

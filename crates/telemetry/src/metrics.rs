@@ -180,14 +180,28 @@ impl FloatGauge {
 /// A fixed-bucket histogram over f64 observations.
 ///
 /// Buckets are cumulative-upper-bound style: observation `v` lands in the
-/// first bucket with `v <= bound`, or the overflow bucket. Tracks count
+/// first bucket with `v <= bound`, or — for any finite `v` above the last
+/// bound — in the explicit **overflow bucket** (reported with a `+inf`
+/// upper bound). Non-finite observations (`NaN`, `±inf`) carry no usable
+/// magnitude: they are *dropped*, counted per-histogram ([`Histogram::dropped`])
+/// and in the global `telemetry.dropped_samples` registry counter, rather
+/// than silently polluting the top bucket and the sum/mean. Tracks count
 /// and sum for mean derivation.
 #[derive(Debug)]
 pub struct Histogram {
     bounds: Vec<f64>,
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
+    dropped: AtomicU64,
     sum_bits: Mutex<f64>,
+}
+
+/// The global drop counter every histogram feeds: lives in the process
+/// registry as `telemetry.dropped_samples`, so any metrics dump shows at a
+/// glance whether observations were discarded.
+fn dropped_samples_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| registry().counter("telemetry.dropped_samples"))
 }
 
 impl Histogram {
@@ -196,17 +210,28 @@ impl Histogram {
             bounds.windows(2).all(|w| w[0] < w[1]),
             "bounds must be increasing"
         );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "bounds must be finite (the overflow bucket is implicit)"
+        );
         Histogram {
             bounds: bounds.to_vec(),
             buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
             sum_bits: Mutex::new(0.0),
         }
     }
 
     /// Records one observation (no-op while telemetry is disabled).
+    /// Non-finite values are dropped and counted, not bucketed.
     pub fn observe(&self, v: f64) {
         if !crate::enabled() {
+            return;
+        }
+        if !v.is_finite() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            dropped_samples_counter().inc();
             return;
         }
         let idx = self
@@ -222,6 +247,20 @@ impl Histogram {
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Number of non-finite observations dropped by this histogram.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Count in the explicit overflow bucket (finite observations above
+    /// the last configured bound).
+    pub fn overflow(&self) -> u64 {
+        self.buckets
+            .last()
+            .map(|b| b.load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     /// Sum of observations.
@@ -254,6 +293,7 @@ impl Histogram {
             b.store(0, Ordering::Relaxed);
         }
         self.count.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
         *lock_unpoisoned(&self.sum_bits) = 0.0;
     }
 }
@@ -317,6 +357,7 @@ impl Registry {
                     k.clone(),
                     HistogramSnapshot {
                         count: v.count(),
+                        dropped: v.dropped(),
                         sum: v.sum(),
                         mean: v.mean(),
                         buckets: v.bucket_counts(),
@@ -330,6 +371,17 @@ impl Registry {
             float_gauges,
             histograms,
         }
+    }
+
+    /// Takes a snapshot and then zeroes every instrument — the atomic
+    /// "read out this run, start the next one clean" primitive scoped runs
+    /// ([`crate::RunScope`]) and the `qcfz report` phase pipeline use so
+    /// consecutive runs in one process don't bleed counters into each
+    /// other.
+    pub fn drain(&self) -> Snapshot {
+        let snap = self.snapshot();
+        self.reset_values();
+        snap
     }
 
     /// Zeroes every instrument's value, keeping registrations.
@@ -367,6 +419,8 @@ pub struct Snapshot {
 pub struct HistogramSnapshot {
     /// Observation count.
     pub count: u64,
+    /// Non-finite observations dropped instead of bucketed.
+    pub dropped: u64,
     /// Observation sum.
     pub sum: f64,
     /// Mean (0.0 when empty).
@@ -456,6 +510,65 @@ mod tests {
         assert_eq!(buckets[1], (10.0, 2));
         assert_eq!(buckets[2], (100.0, 1));
         assert_eq!(buckets[3].1, 1);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let h = Histogram::new(&[1.0, 10.0]);
+        // Exactly on a bound lands in that bucket; just above moves on.
+        h.observe(1.0);
+        h.observe(1.0 + f64::EPSILON * 2.0);
+        h.observe(10.0);
+        h.observe(10.000001); // above the top bound: explicit overflow
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], (1.0, 1));
+        assert_eq!(buckets[1], (10.0, 2));
+        assert_eq!(buckets[2], (f64::INFINITY, 1));
+        assert_eq!(h.overflow(), 1, "out-of-range sample must be visible");
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.dropped(), 0);
+    }
+
+    #[test]
+    fn histogram_drops_non_finite_and_counts_them() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let global = dropped_samples_counter();
+        let before = global.get();
+        let h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        h.observe(0.5);
+        assert_eq!(h.count(), 1, "only the finite sample is observed");
+        assert_eq!(h.dropped(), 3);
+        assert_eq!(h.overflow(), 0, "non-finite must not pollute overflow");
+        assert_eq!(h.sum(), 0.5, "sum must stay finite");
+        assert_eq!(
+            global.get(),
+            before + 3,
+            "telemetry.dropped_samples aggregates across histograms"
+        );
+        // Snapshot carries the per-histogram drop count.
+        h.reset();
+        assert_eq!(h.dropped(), 0);
+    }
+
+    #[test]
+    fn drain_snapshots_then_clears() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let r = Registry::default();
+        r.counter("runs").add(3);
+        r.gauge("depth").add(7);
+        let snap = r.drain();
+        assert_eq!(snap.counters.get("runs"), Some(&3));
+        assert_eq!(snap.gauges.get("depth"), Some(&(7, 7)));
+        let after = r.snapshot();
+        assert_eq!(after.counters.get("runs"), Some(&0), "drain must reset");
+        assert_eq!(after.gauges.get("depth"), Some(&(0, 0)));
     }
 
     #[test]
