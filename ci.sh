@@ -33,6 +33,25 @@ QCF_WORKERS=4 cargo test --release -q -p qtensor --test cache_proptests
 echo "== allocation regression (release) =="
 cargo test --release -q -p qcf-bench --test alloc_regression
 
+# Chaos gate. First the decode fuzzers: no panic and no unbounded
+# allocation on arbitrary/mutated/truncated bytes through every decoder.
+# Then a seeded fault storm through a full QAOA compressed-state run:
+# `verify --state` exits nonzero unless the run completes (degraded is
+# fine, dead is not), every injected storage corruption surfaces as a
+# detected decode failure, the scrub settles clean, and no measured error
+# breaches its ledger bound. The rates below reliably quarantine chunks,
+# so the gate also proves nonzero-quarantine accounting end to end.
+echo "== chaos gate (decode fuzzers + seeded fault storm) =="
+cargo test --release -q -p compressors --test fuzz_decoders
+chaos_out=$(QCF_FAULTS="seed=42,state.chunk.bitflip%0.02,codec.decode%0.01" \
+    cargo run --release -q -p qcf-bench --bin qcfz -- verify --state \
+    --nodes 10 --seed 21 --compressor LZ4 --abs 0 --cache 2)
+echo "$chaos_out"
+if echo "$chaos_out" | grep -q " 0 quarantines"; then
+    echo "chaos gate FAILED: the storm must actually quarantine chunks" >&2
+    exit 1
+fi
+
 # Run-to-run regression gate against the committed baseline. CR, ledger
 # invariants (requant counts, accumulated bounds) and energy are hard
 # failures everywhere; throughput numbers only fail on >=4-core hosts

@@ -6,9 +6,19 @@
 //! qcfz decompress <in.qcfz> <out.f64>
 //! qcfz info <in.qcfz>
 //! qcfz qaoa [--nodes N] [--seed S] [--compressor NAME] [--rel X | --abs X]
+//! qcfz verify <in.qcfz>
+//! qcfz verify --state [--nodes N] [--seed S] [--chunk C] [--cache K]
+//!             [--compressor NAME] [--rel X | --abs X]
 //! qcfz report [--out report.md] [--json BENCH_report.json]
 //!             [--baseline BENCH_report.json --check]
 //! ```
+//!
+//! `verify <file>` scrubs a compressed stream (frame checksum + full
+//! decode); `verify --state` runs a QAOA circuit on the chunk-compressed
+//! state and scrubs every chunk against its error-budget ledger bound.
+//! With `QCF_FAULTS` set (see qcf-telemetry's fault grammar) the state run
+//! executes under injected faults and exits nonzero unless every injected
+//! storage corruption was detected and healed or quarantined.
 //!
 //! Every subcommand that does work accepts `--trace out.json` (Chrome-trace
 //! JSON: host span lanes plus the simulated stream's kernel lane, loadable
@@ -169,6 +179,72 @@ fn main() {
                 export_telemetry(&args, &[])
             })
         }
+        Some("verify") if args.len() >= 2 && args[1] != "--state" => {
+            cli::verify_file(Path::new(&args[1])).map(|line| println!("{line}"))
+        }
+        Some("verify") => {
+            let nodes: usize = flag(&args, "--nodes")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10);
+            let seed = flag(&args, "--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(21);
+            let chunk = flag(&args, "--chunk")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(nodes.saturating_sub(3));
+            let cache = flag(&args, "--cache").and_then(|v| v.parse().ok());
+            let comp = flag(&args, "--compressor").unwrap_or("QCF-speed");
+            cli::parse_bound(flag(&args, "--rel"), flag(&args, "--abs")).and_then(|bound| {
+                let s = cli::verify_state(nodes, seed, chunk, comp, bound, cache)?;
+                let r = &s.report;
+                let f = &s.faults;
+                println!(
+                    "scrub n={nodes}: {} chunks — {} clean, {} healed, {} quarantined, \
+                     {} ledger breaches ({} pass{})",
+                    r.chunks,
+                    r.clean,
+                    r.healed,
+                    r.quarantined,
+                    r.ledger_breaches,
+                    s.scrub_passes,
+                    if s.scrub_passes == 1 { "" } else { "es" }
+                );
+                println!(
+                    "faults: {} injected ({} bitflips, {} decode errors) — detected \
+                     {} decode failures, {} retries healed, {} cache repairs, \
+                     {} quarantines, {} worker panics, lost norm² {:.3e}",
+                    s.injected_total,
+                    s.injected_bitflips,
+                    s.injected_decode_errors,
+                    f.decode_errors,
+                    f.retries_ok,
+                    f.cache_repairs,
+                    f.quarantines,
+                    f.worker_panics,
+                    f.lost_norm_sq
+                );
+                println!(
+                    "energy {:.6} ({})",
+                    s.energy,
+                    if f.quarantines > 0 {
+                        "degraded"
+                    } else {
+                        "exact-path"
+                    }
+                );
+                export_telemetry(&args, &[])?;
+                if s.ok() {
+                    println!("verify: OK");
+                    Ok(())
+                } else {
+                    return_err(format!(
+                        "verify FAILED — settled={}, ledger breaches={}, \
+                         detected {}/{} injected storage corruptions",
+                        s.settled, s.report.ledger_breaches, f.decode_errors, s.injected_bitflips
+                    ))
+                }
+            })
+        }
         Some("report") => {
             let nodes: usize = flag(&args, "--nodes")
                 .and_then(|v| v.parse().ok())
@@ -238,6 +314,9 @@ fn main() {
                  | qaoa [--nodes N] [--seed S] [--compressor NAME] [--rel X|--abs X] \
                  | state [--nodes N] [--seed S] [--chunk C] [--cache K] [--compressor NAME] \
                  [--rel X|--abs X] \
+                 | verify <in.qcfz> \
+                 | verify --state [--nodes N] [--seed S] [--chunk C] [--cache K] \
+                 [--compressor NAME] [--rel X|--abs X] \
                  | report [--nodes N] [--seed S] [--chunk C] [--cache K] [--compressor NAME] \
                  [--rel X|--abs X] [--out report.md|.html] [--json BENCH_report.json] \
                  [--baseline BENCH_report.json] [--check]\n\

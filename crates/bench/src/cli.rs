@@ -140,8 +140,10 @@ pub fn decompress_file_on(input: &Path, output: &Path, stream: &Stream) -> Resul
 }
 
 /// Dispatches decompression on the stream's id byte across the full lineup.
+/// The id survives sealing (the frame flag is the high bit), so framed and
+/// legacy streams dispatch identically; the codec itself verifies the frame.
 fn compressed_values(bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CliError> {
-    let id = *bytes.first().ok_or_else(|| CliError("empty file".into()))?;
+    let id = codec_kit::frame::stream_id(bytes).map_err(|_| CliError("empty file".into()))?;
     let comp = cli_lineup()
         .into_iter()
         .find(|c| c.id() == id)
@@ -153,20 +155,51 @@ fn compressed_values(bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CliError
 /// Human-readable info about a compressed file.
 pub fn info(input: &Path) -> Result<String, CliError> {
     let bytes = std::fs::read(input)?;
-    let id = *bytes.first().ok_or_else(|| CliError("empty file".into()))?;
+    let id = codec_kit::frame::stream_id(&bytes).map_err(|_| CliError("empty file".into()))?;
     let comp = cli_lineup()
         .into_iter()
         .find(|c| c.id() == id)
         .ok_or_else(|| CliError(format!("unknown stream id {id}")))?;
+    // Frame first: a sealed stream's header lives inside the payload, and
+    // unsealing also validates length + checksum (cheap integrity report).
+    let framed = codec_kit::frame::is_framed(&bytes);
+    let payload =
+        codec_kit::frame::unseal(&bytes).map_err(|e| CliError(format!("corrupt frame: {e}")))?;
     let mut pos = 1usize;
-    let n = codec_kit::varint::read_uvarint(&bytes, &mut pos)
+    let n = codec_kit::varint::read_uvarint(payload, &mut pos)
         .map_err(|e| CliError(format!("corrupt header: {e}")))?;
     Ok(format!(
-        "{}: {} values, {} bytes compressed ({:.1}x)",
+        "{}: {} values, {} bytes compressed ({:.1}x), {}",
         comp.name(),
         n,
         bytes.len(),
-        (n as f64 * 8.0) / bytes.len() as f64
+        (n as f64 * 8.0) / bytes.len() as f64,
+        if framed {
+            "sealed v2 frame (checksum verified)"
+        } else {
+            "legacy v1 stream (no integrity frame)"
+        }
+    ))
+}
+
+/// Scrubs a compressed file: frame + checksum validation, then a full
+/// decode. Returns a human-readable verdict line; any corruption is a
+/// `CliError` (the `qcfz verify <file>` exit-code contract).
+pub fn verify_file(input: &Path) -> Result<String, CliError> {
+    let bytes = std::fs::read(input)?;
+    let framed = codec_kit::frame::is_framed(&bytes);
+    codec_kit::frame::unseal(&bytes).map_err(|e| CliError(format!("corrupt frame: {e}")))?;
+    let stream = Stream::new(DeviceSpec::a100());
+    let values = compressed_values(&bytes, &stream)?;
+    Ok(format!(
+        "{}: OK — {} values decoded, {}",
+        input.display(),
+        values.len(),
+        if framed {
+            "v2 frame checksum verified"
+        } else {
+            "legacy v1 stream (no checksum to verify)"
+        }
     ))
 }
 
@@ -291,6 +324,99 @@ pub fn state_demo(
     })
 }
 
+/// Result summary of a [`verify_state`] scrub run.
+#[derive(Debug, Clone)]
+pub struct VerifySummary {
+    /// MaxCut energy expectation from the (possibly degraded) run.
+    pub energy: f64,
+    /// The settled scrub report (after healing passes).
+    pub report: qtensor::VerifyReport,
+    /// Fault accounting accumulated over the run plus the scrub.
+    pub faults: qtensor::FaultStats,
+    /// Injected `state.chunk.bitflip` events (0 when faults are disarmed).
+    pub injected_bitflips: u64,
+    /// Injected `codec.decode` events.
+    pub injected_decode_errors: u64,
+    /// Injected events across all sites.
+    pub injected_total: u64,
+    /// Scrub passes it took to settle (1 on a healthy state).
+    pub scrub_passes: usize,
+    /// True when the final pass came back fully clean.
+    pub settled: bool,
+}
+
+impl VerifySummary {
+    /// The `qcfz verify --state` pass/fail verdict: the scrub must settle
+    /// clean, every measured error must respect its ledger bound, and every
+    /// injected storage corruption must have surfaced as a detected decode
+    /// failure (the 100%-detection contract of the integrity frame).
+    pub fn ok(&self) -> bool {
+        self.settled
+            && self.report.ledger_breaches == 0
+            && self.faults.decode_errors >= self.injected_bitflips
+    }
+}
+
+/// Runs a QAOA circuit on the chunk-compressed state, then scrubs it:
+/// every chunk is decoded (frame checksum verified on the way) and checked
+/// against its error-budget ledger bound. With `QCF_FAULTS` armed in the
+/// environment the run executes under injected faults; injection is
+/// disarmed before the scrub so it evaluates the storage actually left
+/// behind, and the scrub loops until the state settles clean.
+pub fn verify_state(
+    nodes: usize,
+    seed: u64,
+    chunk_qubits: usize,
+    compressor: &str,
+    bound: ErrorBound,
+    cache: Option<usize>,
+) -> Result<VerifySummary, CliError> {
+    use qcf_telemetry::faults;
+    let comp = cli_by_name(compressor).ok_or_else(|| {
+        CliError(format!(
+            "unknown compressor '{compressor}' (try `qcfz list`)"
+        ))
+    })?;
+    let armed = faults::armed(); // first call also arms from QCF_FAULTS
+    let graph = Graph::random_regular(nodes, 3, seed);
+    let circuit = qaoa_circuit(&graph, &QaoaParams::fixed_angles_3reg_p1());
+    let err = |e: qtensor::ContractError| CliError(format!("compressed state: {e}"));
+    let mut cs =
+        CompressedState::zero(nodes, chunk_qubits.min(nodes), comp.as_ref(), bound).map_err(err)?;
+    if let Some(cap) = cache {
+        cs.set_cache_capacity(cap).map_err(err)?;
+    }
+    for g in circuit.gates() {
+        cs.apply(g).map_err(err)?;
+    }
+    let energy = cs.maxcut_energy(&graph).map_err(err)?;
+    cs.flush().map_err(err)?;
+    let injected_bitflips = faults::injected_count("state.chunk.bitflip");
+    let injected_decode_errors = faults::injected_count("codec.decode");
+    let injected_total = faults::total_injected();
+    if armed {
+        faults::disarm();
+    }
+    // Scrub until settled: the first clean pass proves every corruption the
+    // run left behind was caught and healed (or quarantined) by a prior one.
+    let mut report = cs.verify().map_err(err)?;
+    let mut scrub_passes = 1;
+    while !report.all_clean() && scrub_passes < 8 {
+        report = cs.verify().map_err(err)?;
+        scrub_passes += 1;
+    }
+    Ok(VerifySummary {
+        energy,
+        settled: report.all_clean(),
+        report,
+        faults: cs.faults.clone(),
+        injected_bitflips,
+        injected_decode_errors,
+        injected_total,
+        scrub_passes,
+    })
+}
+
 /// Writes the recorded spans plus `lanes` as Chrome-trace JSON to `path`.
 pub fn write_trace(path: &Path, lanes: &[StreamLane]) -> Result<(), CliError> {
     let spans = qcf_telemetry::span::snapshot();
@@ -384,6 +510,52 @@ mod tests {
         std::fs::write(&garbage, [250u8, 0, 0]).unwrap();
         assert!(decompress_file(&garbage, &tmp("y")).is_err());
         assert!(info(&garbage).is_err());
+    }
+
+    #[test]
+    fn verify_file_passes_clean_and_flags_corruption() {
+        let input = tmp("in-verify.f64");
+        let comp = tmp("out-verify.qcfz");
+        let values: Vec<f64> = (0..512).map(|i| ((i % 11) as f64 * 0.2).cos()).collect();
+        write_f64s(&input, &values);
+        compress_file(&input, &comp, "LZ4", ErrorBound::Abs(0.0)).unwrap();
+        let verdict = verify_file(&comp).unwrap();
+        assert!(verdict.contains("OK"), "{verdict}");
+        assert!(verdict.contains("checksum verified"), "{verdict}");
+
+        // Flip one payload bit: the scrub must fail with a frame error.
+        let mut bytes = std::fs::read(&comp).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        let bad = tmp("out-verify-bad.qcfz");
+        std::fs::write(&bad, &bytes).unwrap();
+        assert!(verify_file(&bad).is_err(), "corruption went undetected");
+    }
+
+    #[test]
+    fn verify_state_healthy_run_is_ok() {
+        let _g = qcf_telemetry::faults::chaos_guard();
+        qcf_telemetry::faults::disarm();
+        let s = verify_state(8, 3, 3, "LZ4", ErrorBound::Abs(0.0), Some(2)).unwrap();
+        assert!(s.ok());
+        assert!(s.settled);
+        assert_eq!(s.scrub_passes, 1);
+        assert_eq!(s.injected_total, 0);
+        assert_eq!(s.report.chunks, 32);
+        assert_eq!(s.report.clean, 32);
+    }
+
+    #[test]
+    fn verify_state_detects_injected_bitflip() {
+        let _g = qcf_telemetry::faults::chaos_guard();
+        qcf_telemetry::faults::arm_from_spec("seed=5,state.chunk.bitflip@3").unwrap();
+        let s = verify_state(8, 3, 3, "LZ4", ErrorBound::Abs(0.0), Some(2)).unwrap();
+        // verify_state disarms after the run; re-disarm is harmless.
+        qcf_telemetry::faults::disarm();
+        assert_eq!(s.injected_bitflips, 1, "@3 fires exactly once");
+        assert!(s.ok(), "detection contract failed: {s:?}");
+        assert!(s.faults.decode_errors >= 1, "bitflip went undetected");
+        assert!(s.settled);
     }
 
     #[test]

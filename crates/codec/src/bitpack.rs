@@ -28,10 +28,14 @@ pub fn pack(values: &[u64], width: u32, w: &mut BitWriter) {
     }
 }
 
-/// Unpacks `count` values of `width` bits each.
+/// Unpacks `count` values of `width` bits each. Widths beyond the packer's
+/// 57-bit limit are rejected (decoders read widths from untrusted headers).
 pub fn unpack(r: &mut BitReader<'_>, width: u32, count: usize) -> Result<Vec<u64>, CodecError> {
     if width == 0 {
         return Ok(vec![0u64; count]);
+    }
+    if width > 57 {
+        return Err(CodecError::Corrupt("pack width out of range"));
     }
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {

@@ -119,10 +119,24 @@ pub fn decode_chunk_at(data: &[u8], k: usize) -> Result<Vec<u32>, CodecError> {
 
 type Header = (usize, usize, HuffmanDecoder, Vec<usize>, usize);
 
+/// Pre-allocation guard: the most symbols one stream byte can legitimately
+/// expand into. Every chunk costs at least one gap-array byte and holds at
+/// most `2^24` symbols, so a declared count beyond `remaining × 2^24` (plus
+/// a small floor for degenerate tiny streams) is forged — reject it before
+/// any `with_capacity`/`reserve` sees it.
+const MAX_SYMBOLS_PER_BYTE: usize = 1 << 24;
+const GUARD_FLOOR: usize = 1 << 16;
+
 fn read_header(data: &[u8], pos: &mut usize) -> Result<Header, CodecError> {
     let n = read_uvarint(data, pos)? as usize;
     if n > 1 << 40 {
         return Err(CodecError::Corrupt("absurd element count"));
+    }
+    let remaining = data.len() - *pos;
+    if n > GUARD_FLOOR + remaining.saturating_mul(MAX_SYMBOLS_PER_BYTE) {
+        return Err(CodecError::Corrupt(
+            "declared length exceeds remaining input",
+        ));
     }
     let chunk = read_uvarint(data, pos)? as usize;
     if chunk == 0 || chunk > 1 << 24 {
@@ -133,14 +147,23 @@ fn read_header(data: &[u8], pos: &mut usize) -> Result<Header, CodecError> {
     if n_chunks != n.div_ceil(chunk) {
         return Err(CodecError::Corrupt("chunk count mismatch"));
     }
+    // Each gap-array entry is ≥ 1 byte, so a chunk count that exceeds the
+    // bytes still present cannot be honest — checked before the table
+    // allocation below.
+    if n_chunks > data.len() - *pos {
+        return Err(CodecError::UnexpectedEof);
+    }
     let mut lens = Vec::with_capacity(n_chunks);
     let mut total = 0usize;
     for _ in 0..n_chunks {
         let l = read_uvarint(data, pos)? as usize;
-        total += l;
+        // saturating: forged per-chunk lengths must not overflow the sum
+        // (the EOF check below still fires — data.len() is far below the
+        // saturation point)
+        total = total.saturating_add(l);
         lens.push(l);
     }
-    if *pos + total > data.len() {
+    if total > data.len() - *pos {
         return Err(CodecError::UnexpectedEof);
     }
     Ok((n, chunk, dec, lens, *pos))
@@ -232,6 +255,31 @@ mod tests {
         let mut dec = vec![7u32; 3];
         decode_chunked_into(&enc, &mut dec).unwrap();
         assert_eq!(dec, syms);
+    }
+
+    #[test]
+    fn forged_length_is_rejected_before_allocation() {
+        use crate::varint::write_uvarint;
+        // A few honest-looking header bytes declaring 2^39 symbols with
+        // chunk size 1: decoding must fail fast on the length guard, not
+        // attempt terabyte-scale `with_capacity` calls.
+        let mut forged = Vec::new();
+        write_uvarint(&mut forged, 1u64 << 39); // n
+        write_uvarint(&mut forged, 1); // chunk
+        forged.extend_from_slice(&[0; 16]);
+        assert_eq!(
+            decode_chunked(&forged).unwrap_err(),
+            CodecError::Corrupt("declared length exceeds remaining input")
+        );
+
+        // Forged per-chunk lengths near usize::MAX must not overflow the
+        // gap-array sum (debug-mode panic) — they must EOF out.
+        let syms = sample(100, 8, 6);
+        let enc = encode_chunked(&syms, 8, 4096);
+        let mut bad = enc.clone();
+        let tail = bad.len() - 1;
+        bad.truncate(tail.min(bad.len()));
+        assert!(decode_chunked(&bad).is_err());
     }
 
     #[test]

@@ -14,6 +14,13 @@ pub enum CodecError {
     Unsupported(&'static str),
     /// The stream's leading format byte matches no known compressor.
     UnknownFormat(u8),
+    /// The integrity frame's checksum does not match the payload.
+    ChecksumMismatch {
+        /// Checksum stored in the frame trailer.
+        stored: u32,
+        /// Checksum computed over the received payload.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -24,6 +31,12 @@ impl fmt::Display for CodecError {
             CodecError::Unsupported(what) => write!(f, "unsupported: {what}"),
             CodecError::UnknownFormat(id) => {
                 write!(f, "unknown compressor id byte 0x{id:02x}")
+            }
+            CodecError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: stored 0x{stored:08x}, computed 0x{computed:08x}"
+                )
             }
         }
     }

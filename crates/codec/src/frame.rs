@@ -1,0 +1,226 @@
+//! Versioned integrity frames around compressed streams (format v2).
+//!
+//! A bare (v1) stream is `[id][uvarint n][codec payload…]` with `id < 0x80`.
+//! The sealed v2 frame wraps the whole v1 stream without touching it:
+//!
+//! ```text
+//! [id | 0x80]  [version = 2]  [payload_len: u32 LE]  [payload = v1 stream]  [fnv1a32(payload): u32 LE]
+//! ```
+//!
+//! * The high bit of the leading byte marks a frame — every assigned
+//!   compressor id is `< 0x80`, so dispatch stays a one-byte read and
+//!   legacy v1 streams remain decodable unchanged ([`unseal`] passes them
+//!   through verbatim).
+//! * `payload_len` is validated against the input size **before** any
+//!   payload access or allocation (decompression-bomb guard at the frame
+//!   layer); a frame must be exactly `payload_len + `[`FRAME_OVERHEAD`]
+//!   bytes.
+//! * The checksum is FNV-1a (32-bit) over the payload, so any flipped bit
+//!   in storage or transport surfaces as [`CodecError::ChecksumMismatch`]
+//!   instead of a garbage decode.
+
+use crate::error::CodecError;
+
+/// High bit of the leading byte: set ⇒ sealed v2 frame, clear ⇒ bare v1.
+pub const FRAME_FLAG: u8 = 0x80;
+/// Current frame format version.
+pub const FRAME_VERSION: u8 = 2;
+/// Bytes a frame adds around its payload (2-byte prologue + 4-byte length
+/// + 4-byte checksum).
+pub const FRAME_OVERHEAD: usize = 10;
+/// Frame bytes preceding the payload.
+const FRAME_PROLOGUE: usize = 6;
+
+/// 32-bit FNV-1a over `bytes`.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// True when the leading byte carries the frame flag.
+pub fn is_framed(bytes: &[u8]) -> bool {
+    bytes.first().is_some_and(|b| b & FRAME_FLAG != 0)
+}
+
+/// The compressor id a stream's leading byte names, framed or not.
+pub fn stream_id(bytes: &[u8]) -> Result<u8, CodecError> {
+    let lead = *bytes.first().ok_or(CodecError::UnexpectedEof)?;
+    Ok(lead & !FRAME_FLAG)
+}
+
+/// Seals `out` — which must hold a complete bare v1 stream — into a v2
+/// frame in place: the payload is shifted up by the prologue (no scratch
+/// buffer, capacity permitting no reallocation) and the checksum appended.
+///
+/// Empty buffers are left alone (nothing to protect, nothing to dispatch).
+pub fn seal_in_place(out: &mut Vec<u8>) {
+    let len = out.len();
+    if len == 0 {
+        return;
+    }
+    let id = out[0];
+    debug_assert_eq!(id & FRAME_FLAG, 0, "v1 stream id must be < 0x80");
+    debug_assert!(len <= u32::MAX as usize, "frame payload exceeds u32 range");
+    out.resize(len + FRAME_OVERHEAD, 0);
+    out.copy_within(0..len, FRAME_PROLOGUE);
+    out[0] = id | FRAME_FLAG;
+    out[1] = FRAME_VERSION;
+    out[2..6].copy_from_slice(&(len as u32).to_le_bytes());
+    let sum = fnv1a32(&out[FRAME_PROLOGUE..FRAME_PROLOGUE + len]);
+    out[FRAME_PROLOGUE + len..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Unwraps a v2 frame, returning the verified payload. Bare v1 streams
+/// (no frame flag) pass through unchanged for backward compatibility.
+///
+/// Validation order is cheapest-first and allocation-free: flag, version,
+/// declared length against actual input size, id consistency, checksum.
+pub fn unseal(bytes: &[u8]) -> Result<&[u8], CodecError> {
+    if !is_framed(bytes) {
+        return Ok(bytes);
+    }
+    if bytes.len() < FRAME_OVERHEAD {
+        return Err(CodecError::UnexpectedEof);
+    }
+    if bytes[1] != FRAME_VERSION {
+        return Err(CodecError::Unsupported("unknown frame version"));
+    }
+    let declared = u32::from_le_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]) as usize;
+    // Bomb guard: the declared payload length must match the input exactly
+    // — checked before the payload is touched, so a forged length can never
+    // drive an oversized read or allocation.
+    if declared != bytes.len() - FRAME_OVERHEAD {
+        return Err(CodecError::Corrupt("frame length does not match input"));
+    }
+    let payload = &bytes[FRAME_PROLOGUE..FRAME_PROLOGUE + declared];
+    // The inner stream must agree with the frame about who owns it.
+    if payload.first().copied().unwrap_or(0) != bytes[0] & !FRAME_FLAG {
+        return Err(CodecError::Corrupt("frame id does not match payload"));
+    }
+    let stored = u32::from_le_bytes([
+        bytes[FRAME_PROLOGUE + declared],
+        bytes[FRAME_PROLOGUE + declared + 1],
+        bytes[FRAME_PROLOGUE + declared + 2],
+        bytes[FRAME_PROLOGUE + declared + 3],
+    ]);
+    let actual = fnv1a32(payload);
+    if stored != actual {
+        return Err(CodecError::ChecksumMismatch {
+            stored,
+            computed: actual,
+        });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v1_stream() -> Vec<u8> {
+        let mut s = vec![7u8]; // id
+        crate::varint::write_uvarint(&mut s, 1234);
+        s.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x00, 0x42]);
+        s
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let raw = v1_stream();
+        let mut framed = raw.clone();
+        seal_in_place(&mut framed);
+        assert_eq!(framed.len(), raw.len() + FRAME_OVERHEAD);
+        assert_eq!(framed[0], 7 | FRAME_FLAG);
+        assert_eq!(framed[1], FRAME_VERSION);
+        assert!(is_framed(&framed));
+        assert_eq!(stream_id(&framed).unwrap(), 7);
+        assert_eq!(unseal(&framed).unwrap(), &raw[..]);
+    }
+
+    #[test]
+    fn legacy_v1_passes_through() {
+        let raw = v1_stream();
+        assert!(!is_framed(&raw));
+        assert_eq!(unseal(&raw).unwrap(), &raw[..]);
+        assert_eq!(stream_id(&raw).unwrap(), 7);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let mut framed = v1_stream();
+        seal_in_place(&mut framed);
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut bad = framed.clone();
+                bad[byte] ^= 1 << bit;
+                // Clearing the frame flag turns it into a "v1" stream that
+                // passes through — every other flip must be caught here.
+                if byte == 0 && bad[0] & FRAME_FLAG == 0 {
+                    continue;
+                }
+                assert!(
+                    unseal(&bad).is_err(),
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_extension_are_rejected() {
+        let mut framed = v1_stream();
+        seal_in_place(&mut framed);
+        for cut in 1..framed.len() {
+            assert!(
+                unseal(&framed[..cut]).is_err(),
+                "accepted {cut}-byte prefix"
+            );
+        }
+        let mut longer = framed.clone();
+        longer.push(0);
+        assert!(unseal(&longer).is_err(), "accepted trailing garbage");
+    }
+
+    #[test]
+    fn forged_length_is_rejected_before_payload_access() {
+        let mut framed = v1_stream();
+        seal_in_place(&mut framed);
+        framed[2..6].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            unseal(&framed).unwrap_err(),
+            CodecError::Corrupt("frame length does not match input")
+        );
+    }
+
+    #[test]
+    fn unknown_version_is_unsupported() {
+        let mut framed = v1_stream();
+        seal_in_place(&mut framed);
+        framed[1] = 3;
+        assert_eq!(
+            unseal(&framed).unwrap_err(),
+            CodecError::Unsupported("unknown frame version")
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut empty = Vec::new();
+        seal_in_place(&mut empty);
+        assert!(empty.is_empty());
+        assert_eq!(unseal(&[]).unwrap(), &[] as &[u8]);
+        assert!(stream_id(&[]).is_err());
+    }
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Canonical FNV-1a 32-bit test vectors.
+        assert_eq!(fnv1a32(b""), 0x811c_9dc5);
+        assert_eq!(fnv1a32(b"a"), 0xe40c_292c);
+        assert_eq!(fnv1a32(b"foobar"), 0xbf9c_f968);
+    }
+}

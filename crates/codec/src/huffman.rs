@@ -260,7 +260,9 @@ impl HuffmanDecoder {
             *pos += 1;
             if b == 0 {
                 let run = read_uvarint(data, pos)? as usize;
-                if lengths.len() + run > n {
+                // compare without summing: a forged run near usize::MAX
+                // must not overflow the addition
+                if run > n - lengths.len() {
                     return Err(CodecError::Corrupt("zero run overflows table"));
                 }
                 lengths.resize(lengths.len() + run, 0);

@@ -17,6 +17,7 @@ pub mod bitio;
 pub mod bitpack;
 pub mod chunked;
 pub mod error;
+pub mod frame;
 pub mod huffman;
 pub mod lz77;
 pub mod rle;

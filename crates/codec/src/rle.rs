@@ -29,14 +29,19 @@ pub fn rle_decode(data: &[u8], pos: &mut usize) -> Result<Vec<u32>, CodecError> 
     if n > (1 << 31) {
         return Err(CodecError::Corrupt("absurd RLE element count"));
     }
-    let mut out = Vec::with_capacity(n);
+    // Cap the up-front reservation: `n` is untrusted, and a forged header
+    // must not reserve gigabytes before the first run is even read. Honest
+    // long runs still land in `out` via `resize` growth.
+    let mut out = Vec::with_capacity(n.min(1 << 20));
     while out.len() < n {
         let v = read_uvarint(data, pos)?;
         if v > u32::MAX as u64 {
             return Err(CodecError::Corrupt("RLE value exceeds u32"));
         }
         let run = read_uvarint(data, pos)? as usize;
-        if run == 0 || out.len() + run > n {
+        // compare without summing: a forged run near usize::MAX must not
+        // overflow the addition
+        if run == 0 || run > n - out.len() {
             return Err(CodecError::Corrupt("bad RLE run length"));
         }
         out.resize(out.len() + run, v as u32);

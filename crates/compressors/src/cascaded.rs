@@ -127,7 +127,7 @@ impl Compressor for Cascaded {
         CompressorKind::Lossless
     }
 
-    fn compress(
+    fn compress_raw(
         &self,
         data: &[f64],
         _bound: ErrorBound,
@@ -162,7 +162,7 @@ impl Compressor for Cascaded {
         Ok(out)
     }
 
-    fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+    fn decompress_raw(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
         let (n, mut pos) = read_stream_header(bytes, CASCADED_ID)?;
         let mode = *bytes.get(pos).ok_or(CodecError::UnexpectedEof)?;
         pos += 1;

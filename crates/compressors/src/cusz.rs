@@ -118,18 +118,18 @@ impl Compressor for CuSz {
         CompressorKind::ErrorBounded
     }
 
-    fn compress(
+    fn compress_raw(
         &self,
         data: &[f64],
         bound: ErrorBound,
         stream: &Stream,
     ) -> Result<Vec<u8>, CodecError> {
         let mut out = Vec::new();
-        self.compress_into(data, bound, stream, &mut out)?;
+        self.compress_raw_into(data, bound, stream, &mut out)?;
         Ok(out)
     }
 
-    fn compress_into(
+    fn compress_raw_into(
         &self,
         data: &[f64],
         bound: ErrorBound,
@@ -202,13 +202,13 @@ impl Compressor for CuSz {
         Ok(())
     }
 
-    fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+    fn decompress_raw(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
         let mut out = Vec::new();
-        self.decompress_into(bytes, stream, &mut out)?;
+        self.decompress_raw_into(bytes, stream, &mut out)?;
         Ok(out)
     }
 
-    fn decompress_into(
+    fn decompress_raw_into(
         &self,
         bytes: &[u8],
         stream: &Stream,
@@ -261,12 +261,18 @@ impl Compressor for CuSz {
             }
             let mut outliers = Vec::with_capacity(outlier_count);
             let mut idx = 0usize;
-            for _ in 0..outlier_count {
-                idx += read_uvarint(bytes, &mut pos)? as usize;
-                let ep = read_ivarint(bytes, &mut pos)?;
-                if idx >= n {
-                    return Err(CodecError::Corrupt("outlier index out of range"));
+            for k in 0..outlier_count {
+                let delta = read_uvarint(bytes, &mut pos)? as usize;
+                // checked_add: a forged delta must not overflow (debug
+                // panic) before the range check fires.
+                idx = idx
+                    .checked_add(delta)
+                    .filter(|&i| i < n)
+                    .ok_or(CodecError::Corrupt("outlier index out of range"))?;
+                if k > 0 && delta == 0 {
+                    return Err(CodecError::Corrupt("duplicate outlier index"));
                 }
+                let ep = read_ivarint(bytes, &mut pos)?;
                 outliers.push((idx, ep));
             }
 
@@ -289,7 +295,12 @@ impl Compressor for CuSz {
                             ep = outliers[next_outlier].1;
                             next_outlier += 1;
                         } else {
-                            ep += sym as i64 - radius;
+                            // Wrapping: forged outlier levels can sit at the
+                            // i64 edges; reconstruction must not panic on
+                            // overflow (the values are garbage either way
+                            // and the checksum layer catches real
+                            // corruption).
+                            ep = ep.wrapping_add(sym as i64 - radius);
                         }
                         out.push(ep as f64 * twoeb);
                     }

@@ -100,11 +100,14 @@ impl CuSz {
             write_ivarint(&mut out, ep);
             last_idx = idx;
         }
+        codec_kit::frame::seal_in_place(&mut out);
         Ok(out)
     }
 
-    /// Decompresses a [`CuSz::compress_2d`] stream.
+    /// Decompresses a [`CuSz::compress_2d`] stream (sealed v2 frame or
+    /// legacy bare v1).
     pub fn decompress_2d(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+        let bytes = codec_kit::frame::unseal(bytes)?;
         let (n, mut pos) = read_stream_header(bytes, CUSZ2D_ID)?;
         let width = read_uvarint(bytes, &mut pos)? as usize;
         if width == 0 {
@@ -142,11 +145,16 @@ impl CuSz {
         }
         let mut outliers = Vec::with_capacity(outlier_count);
         let mut idx = 0usize;
-        for _ in 0..outlier_count {
-            idx += read_uvarint(bytes, &mut pos)? as usize;
+        for k in 0..outlier_count {
+            let delta = read_uvarint(bytes, &mut pos)? as usize;
+            // checked_add: a forged delta must not overflow (debug panic).
+            idx = idx
+                .checked_add(delta)
+                .filter(|&i| i < n)
+                .ok_or(CodecError::Corrupt("outlier index out of range"))?;
             let ep = read_ivarint(bytes, &mut pos)?;
-            if idx >= n {
-                return Err(CodecError::Corrupt("outlier index out of range"));
+            if k > 0 && delta == 0 {
+                return Err(CodecError::Corrupt("duplicate outlier index"));
             }
             outliers.push((idx, ep));
         }
@@ -179,7 +187,14 @@ impl CuSz {
                         ep[i] = outliers[next_outlier].1;
                         next_outlier += 1;
                     } else {
-                        ep[i] = left + up - upleft + sym as i64 - radius;
+                        // Wrapping: forged outlier levels can sit at the
+                        // i64 edges; reconstruction must not panic on
+                        // overflow (the values are garbage either way and
+                        // the checksum layer catches real corruption).
+                        ep[i] = left
+                            .wrapping_add(up)
+                            .wrapping_sub(upleft)
+                            .wrapping_add(sym as i64 - radius);
                     }
                 }
                 Ok(ep.into_iter().map(|e| e as f64 * twoeb).collect())

@@ -65,18 +65,18 @@ impl Compressor for CuSzx {
         CompressorKind::ErrorBounded
     }
 
-    fn compress(
+    fn compress_raw(
         &self,
         data: &[f64],
         bound: ErrorBound,
         stream: &Stream,
     ) -> Result<Vec<u8>, CodecError> {
         let mut out = Vec::new();
-        self.compress_into(data, bound, stream, &mut out)?;
+        self.compress_raw_into(data, bound, stream, &mut out)?;
         Ok(out)
     }
 
-    fn compress_into(
+    fn compress_raw_into(
         &self,
         data: &[f64],
         bound: ErrorBound,
@@ -128,13 +128,13 @@ impl Compressor for CuSzx {
         Ok(())
     }
 
-    fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+    fn decompress_raw(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
         let mut out = Vec::new();
-        self.decompress_into(bytes, stream, &mut out)?;
+        self.decompress_raw_into(bytes, stream, &mut out)?;
         Ok(out)
     }
 
-    fn decompress_into(
+    fn decompress_raw_into(
         &self,
         bytes: &[u8],
         stream: &Stream,

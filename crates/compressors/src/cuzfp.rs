@@ -50,18 +50,18 @@ impl Compressor for CuZfp {
         CompressorKind::ErrorBounded
     }
 
-    fn compress(
+    fn compress_raw(
         &self,
         data: &[f64],
         bound: ErrorBound,
         stream: &Stream,
     ) -> Result<Vec<u8>, CodecError> {
         let mut out = Vec::new();
-        self.compress_into(data, bound, stream, &mut out)?;
+        self.compress_raw_into(data, bound, stream, &mut out)?;
         Ok(out)
     }
 
-    fn compress_into(
+    fn compress_raw_into(
         &self,
         data: &[f64],
         bound: ErrorBound,
@@ -100,13 +100,13 @@ impl Compressor for CuZfp {
         Ok(())
     }
 
-    fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+    fn decompress_raw(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
         let mut out = Vec::new();
-        self.decompress_into(bytes, stream, &mut out)?;
+        self.decompress_raw_into(bytes, stream, &mut out)?;
         Ok(out)
     }
 
-    fn decompress_into(
+    fn decompress_raw_into(
         &self,
         bytes: &[u8],
         stream: &Stream,
@@ -228,14 +228,19 @@ fn forward_lift(p: &mut [i64; BLOCK]) {
 }
 
 /// Exact inverse of [`forward_lift`]: `a = s + ((d + 1) >> 1)`, `b = a − d`.
+///
+/// Wrapping: decoded coefficients come from untrusted bit-planes and can sit
+/// near the i64 edges, where the exact sums would overflow (debug panic).
+/// Honest streams never wrap — the encoder's inputs are bounded well below
+/// 2^62 — and corrupted ones produce garbage the frame checksum catches.
 fn inverse_lift(p: &mut [i64; BLOCK]) {
     let [ss, ds, d0, d1] = *p;
-    let s0 = ss + ((ds + 1) >> 1);
-    let s1 = s0 - ds;
-    let x = s0 + ((d0 + 1) >> 1);
-    let y = x - d0;
-    let z = s1 + ((d1 + 1) >> 1);
-    let w = z - d1;
+    let s0 = ss.wrapping_add((ds.wrapping_add(1)) >> 1);
+    let s1 = s0.wrapping_sub(ds);
+    let x = s0.wrapping_add((d0.wrapping_add(1)) >> 1);
+    let y = x.wrapping_sub(d0);
+    let z = s1.wrapping_add((d1.wrapping_add(1)) >> 1);
+    let w = z.wrapping_sub(d1);
     *p = [x, y, z, w];
 }
 

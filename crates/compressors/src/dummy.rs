@@ -29,21 +29,21 @@ impl Compressor for Memcpy {
         CompressorKind::Lossless
     }
 
-    fn compress(
+    fn compress_raw(
         &self,
         data: &[f64],
         bound: ErrorBound,
         stream: &Stream,
     ) -> Result<Vec<u8>, CodecError> {
         let mut out = Vec::new();
-        self.compress_into(data, bound, stream, &mut out)?;
+        self.compress_raw_into(data, bound, stream, &mut out)?;
         Ok(out)
     }
 
     /// Writes directly into `out` — with warm capacity this path performs
     /// zero heap allocations, which is what makes the compressed-state
     /// apply loop's steady state allocation-free under a lossless codec.
-    fn compress_into(
+    fn compress_raw_into(
         &self,
         data: &[f64],
         _bound: ErrorBound,
@@ -64,13 +64,13 @@ impl Compressor for Memcpy {
         Ok(())
     }
 
-    fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+    fn decompress_raw(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
         let mut out = Vec::new();
-        self.decompress_into(bytes, stream, &mut out)?;
+        self.decompress_raw_into(bytes, stream, &mut out)?;
         Ok(out)
     }
 
-    fn decompress_into(
+    fn decompress_raw_into(
         &self,
         bytes: &[u8],
         stream: &Stream,
@@ -107,7 +107,10 @@ mod tests {
         let s = Stream::new(DeviceSpec::a100());
         let v = vec![1.0f64, -2.5, f64::NAN, 0.0];
         let bytes = Memcpy.compress(&v, ErrorBound::Abs(0.0), &s).unwrap();
-        assert_eq!(bytes.len(), v.len() * 8 + 2);
+        assert_eq!(
+            bytes.len(),
+            v.len() * 8 + 2 + codec_kit::frame::FRAME_OVERHEAD
+        );
         let rec = Memcpy.decompress(&bytes, &s).unwrap();
         for (a, b) in v.iter().zip(&rec) {
             assert_eq!(a.to_bits(), b.to_bits());

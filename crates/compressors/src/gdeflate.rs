@@ -193,7 +193,11 @@ pub fn inflate_bytes(data: &[u8], pos: &mut usize, expected: usize) -> Result<Ve
     let payload = &data[*pos..*pos + payload_len];
     *pos += payload_len;
     let mut r = BitReader::new(payload);
-    let mut out: Vec<u8> = Vec::with_capacity(expected);
+    // Cap the up-front reservation: `expected` is caller-declared and may be
+    // forged far beyond what this payload can produce (a match emits ≤ 258
+    // bytes per ~2 payload bits). Honest outputs still land via growth.
+    let mut out: Vec<u8> =
+        Vec::with_capacity(expected.min(payload.len().saturating_mul(1032).max(1 << 16)));
     loop {
         let sym = litlen_dec.decode_symbol(&mut r)?;
         if sym < 256 {
@@ -250,7 +254,7 @@ impl Compressor for GDeflate {
         CompressorKind::Lossless
     }
 
-    fn compress(
+    fn compress_raw(
         &self,
         data: &[f64],
         _bound: ErrorBound,
@@ -289,7 +293,7 @@ impl Compressor for GDeflate {
         Ok(out)
     }
 
-    fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+    fn decompress_raw(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
         let (n, mut pos) = read_stream_header(bytes, GDEFLATE_ID)?;
         let expected = n * 8;
         let raw = stream.launch(

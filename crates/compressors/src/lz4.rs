@@ -169,7 +169,7 @@ impl Compressor for Lz4 {
         CompressorKind::Lossless
     }
 
-    fn compress(
+    fn compress_raw(
         &self,
         data: &[f64],
         _bound: ErrorBound,
@@ -197,7 +197,7 @@ impl Compressor for Lz4 {
         Ok(out)
     }
 
-    fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+    fn decompress_raw(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
         let (n, mut pos) = read_stream_header(bytes, LZ4_ID)?;
         let payload_len = read_uvarint(bytes, &mut pos)? as usize;
         if bytes.len() < pos + payload_len {

@@ -53,12 +53,15 @@ pub fn decompress_any_into(
 }
 
 /// Resolves the registry compressor a stream's leading id byte names.
+/// Sealed v2 frames carry the id with the frame flag set
+/// ([`codec_kit::frame::FRAME_FLAG`]); errors report the raw leading byte.
 fn by_id(bytes: &[u8]) -> Result<Box<dyn Compressor>, CodecError> {
-    let id = *bytes.first().ok_or(CodecError::UnexpectedEof)?;
+    let lead = *bytes.first().ok_or(CodecError::UnexpectedEof)?;
+    let id = codec_kit::frame::stream_id(bytes)?;
     all_compressors()
         .into_iter()
         .find(|c| c.id() == id)
-        .ok_or(CodecError::UnknownFormat(id))
+        .ok_or(CodecError::UnknownFormat(lead))
 }
 
 #[cfg(test)]
@@ -164,6 +167,41 @@ mod tests {
                     c.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn every_stream_is_sealed_and_any_byte_corruption_is_caught() {
+        let data: Vec<f64> = (0..400).map(|i| (i as f64 * 0.07).sin() * 0.4).collect();
+        for c in all_compressors() {
+            let bytes = c.compress(&data, ErrorBound::Abs(1e-4), &stream()).unwrap();
+            assert!(
+                codec_kit::frame::is_framed(&bytes),
+                "{} stream not sealed",
+                c.name()
+            );
+            for pos in [1usize, 2, 5, 6, bytes.len() / 2, bytes.len() - 1] {
+                let mut bad = bytes.clone();
+                bad[pos] ^= 0x10;
+                assert!(
+                    decompress_any(&bad, &stream()).is_err(),
+                    "{}: corruption at byte {pos} went undetected",
+                    c.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_unframed_streams_still_decode() {
+        let data: Vec<f64> = (0..256).map(|i| (i as f64 * 0.03).cos()).collect();
+        for c in all_compressors() {
+            let raw = c
+                .compress_raw(&data, ErrorBound::Abs(1e-5), &stream())
+                .unwrap();
+            assert!(!codec_kit::frame::is_framed(&raw), "{}", c.name());
+            let rec = decompress_any(&raw, &stream()).unwrap();
+            assert_eq!(rec.len(), data.len(), "{}", c.name());
         }
     }
 

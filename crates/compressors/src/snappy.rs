@@ -89,6 +89,14 @@ pub(crate) fn snappy_decode(data: &[u8]) -> Result<Vec<u8>, CodecError> {
     if expected > 1 << 34 {
         return Err(CodecError::Corrupt("absurd snappy length"));
     }
+    // Pre-allocation guard: the densest legal stream is a chain of tag-10
+    // copies (3 bytes → 64 out, ~22×), so a declared length beyond 64× the
+    // input (plus a floor for tiny streams) is forged.
+    if expected > (1 << 16) + data.len().saturating_mul(64) {
+        return Err(CodecError::Corrupt(
+            "declared length exceeds remaining input",
+        ));
+    }
     let mut out = Vec::with_capacity(expected);
     while out.len() < expected {
         let tag = *data.get(pos).ok_or(CodecError::UnexpectedEof)?;
@@ -181,7 +189,7 @@ impl Compressor for Snappy {
         CompressorKind::Lossless
     }
 
-    fn compress(
+    fn compress_raw(
         &self,
         data: &[f64],
         _bound: ErrorBound,
@@ -203,7 +211,7 @@ impl Compressor for Snappy {
         Ok(out)
     }
 
-    fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+    fn decompress_raw(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
         let (n, mut pos) = read_stream_header(bytes, SNAPPY_ID)?;
         let payload_len = read_uvarint(bytes, &mut pos)? as usize;
         if bytes.len() < pos + payload_len {

@@ -5,8 +5,14 @@
 //! simulated-GPU [`Stream`], which is where throughput numbers come from.
 //! Streams are self-describing: a one-byte compressor id, then the
 //! compressor's own header, so decompression can be dispatched blindly.
+//!
+//! Codecs implement the `*_raw` methods, which speak the bare v1 stream
+//! format. The public [`Compressor::compress`]/[`Compressor::decompress`]
+//! family wraps every stream in a checksummed v2 integrity frame
+//! ([`codec_kit::frame`]) and verifies it on the way back in — legacy
+//! (unframed) v1 streams still decode unchanged.
 
-use codec_kit::CodecError;
+use codec_kit::{frame, CodecError};
 use gpu_model::Stream;
 
 /// User-facing error-bound specification.
@@ -61,24 +67,69 @@ pub trait Compressor: Send + Sync {
     /// Lossless or error-bounded.
     fn kind(&self) -> CompressorKind;
 
-    /// Compresses `data` under `bound`, charging kernels to `stream`.
-    fn compress(
+    /// Encodes the bare (v1, unframed) stream — what codecs implement.
+    fn compress_raw(
         &self,
         data: &[f64],
         bound: ErrorBound,
         stream: &Stream,
     ) -> Result<Vec<u8>, CodecError>;
 
-    /// Decompresses a stream produced by this compressor's [`Compressor::compress`].
-    fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError>;
+    /// Decodes a bare v1 stream produced by [`Compressor::compress_raw`].
+    fn decompress_raw(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError>;
 
-    /// Like [`Compressor::compress`], but writes into a caller-provided
+    /// Like [`Compressor::compress_raw`], but writes into a caller-provided
     /// buffer (cleared first, capacity reused). The bytes produced are
-    /// **bit-identical** to `compress` — the property tests enforce it.
+    /// **bit-identical** to `compress_raw` — the property tests enforce it.
     ///
-    /// The default routes through `compress` and copies; hot compressors
-    /// override it with genuinely allocation-reusing encoders. On error the
-    /// buffer contents are unspecified but valid.
+    /// The default routes through `compress_raw` and copies; hot
+    /// compressors override it with genuinely allocation-reusing encoders.
+    /// On error the buffer contents are unspecified but valid.
+    fn compress_raw_into(
+        &self,
+        data: &[f64],
+        bound: ErrorBound,
+        stream: &Stream,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let bytes = self.compress_raw(data, bound, stream)?;
+        out.clear();
+        out.extend_from_slice(&bytes);
+        Ok(())
+    }
+
+    /// Like [`Compressor::decompress_raw`], but writes into a
+    /// caller-provided buffer (cleared first, capacity reused). Values
+    /// produced are bit-identical to `decompress_raw`. On error the buffer
+    /// contents are unspecified but valid.
+    fn decompress_raw_into(
+        &self,
+        bytes: &[u8],
+        stream: &Stream,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CodecError> {
+        let values = self.decompress_raw(bytes, stream)?;
+        out.clear();
+        out.extend_from_slice(&values);
+        Ok(())
+    }
+
+    /// Compresses `data` under `bound` into a checksummed v2 integrity
+    /// frame, charging kernels to `stream`.
+    fn compress(
+        &self,
+        data: &[f64],
+        bound: ErrorBound,
+        stream: &Stream,
+    ) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::new();
+        self.compress_into(data, bound, stream, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Compressor::compress`] into a caller-provided buffer (cleared
+    /// first, capacity reused); bit-identical to `compress`. The frame is
+    /// sealed in place — no scratch allocation beyond the output buffer.
     fn compress_into(
         &self,
         data: &[f64],
@@ -86,26 +137,33 @@ pub trait Compressor: Send + Sync {
         stream: &Stream,
         out: &mut Vec<u8>,
     ) -> Result<(), CodecError> {
-        let bytes = self.compress(data, bound, stream)?;
-        out.clear();
-        out.extend_from_slice(&bytes);
+        self.compress_raw_into(data, bound, stream, out)?;
+        frame::seal_in_place(out);
         Ok(())
     }
 
-    /// Like [`Compressor::decompress`], but writes into a caller-provided
-    /// buffer (cleared first, capacity reused). Values produced are
-    /// bit-identical to `decompress`. On error the buffer contents are
-    /// unspecified but valid.
+    /// Decompresses a stream produced by [`Compressor::compress`],
+    /// verifying the integrity frame first. Bare v1 streams (no frame)
+    /// decode unchanged for backward compatibility.
+    fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+        let mut out = Vec::new();
+        self.decompress_into(bytes, stream, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Compressor::decompress`] into a caller-provided buffer (cleared
+    /// first, capacity reused).
     fn decompress_into(
         &self,
         bytes: &[u8],
         stream: &Stream,
         out: &mut Vec<f64>,
     ) -> Result<(), CodecError> {
-        let values = self.decompress(bytes, stream)?;
-        out.clear();
-        out.extend_from_slice(&values);
-        Ok(())
+        let payload = frame::unseal(bytes)?;
+        if qcf_telemetry::faults::inject("codec.decode").is_some() {
+            return Err(CodecError::Corrupt("injected decode fault"));
+        }
+        self.decompress_raw_into(payload, stream, out)
     }
 }
 
@@ -124,7 +182,23 @@ pub fn stream_header_into(id: u8, n: usize, out: &mut Vec<u8>) {
     codec_kit::varint::write_uvarint(out, n as u64);
 }
 
+/// Decompression-bomb guard: the largest plausible expansion of one stream
+/// byte into decoded f64 values. The run-length family legitimately
+/// reaches millions of values per byte on constant chunks (an all-zero
+/// `2^27`-amplitude chunk cascades to a few dozen bytes), so the cap is
+/// generous — but a forged header can no longer make a decoder reserve
+/// terabytes from a handful of bytes.
+const MAX_VALUES_PER_BYTE: usize = 1 << 23;
+
+/// Declared counts below this are always allowed (degenerate tiny streams).
+const GUARD_FLOOR: usize = 1 << 16;
+
 /// Checks the id byte and reads the element count; returns `(n, pos)`.
+///
+/// The declared count is validated against the remaining input *before*
+/// the caller allocates anything: `n` may not exceed
+/// [`MAX_VALUES_PER_BYTE`] × the bytes actually present (plus a small
+/// floor).
 pub fn read_stream_header(bytes: &[u8], expect_id: u8) -> Result<(usize, usize), CodecError> {
     let id = *bytes.first().ok_or(CodecError::UnexpectedEof)?;
     if id != expect_id {
@@ -132,8 +206,17 @@ pub fn read_stream_header(bytes: &[u8], expect_id: u8) -> Result<(usize, usize),
     }
     let mut pos = 1usize;
     let n = codec_kit::varint::read_uvarint(bytes, &mut pos)? as usize;
-    if n > (1usize << 40) {
+    if n > (1usize << 32) {
         return Err(CodecError::Corrupt("absurd element count"));
+    }
+    let remaining = bytes.len() - pos;
+    if n > GUARD_FLOOR + remaining.saturating_mul(MAX_VALUES_PER_BYTE) {
+        return Err(CodecError::Corrupt(
+            "declared length exceeds remaining input",
+        ));
+    }
+    if qcf_telemetry::faults::inject("codec.alloc").is_some() {
+        return Err(CodecError::Corrupt("injected allocation-cap breach"));
     }
     Ok((n, pos))
 }
@@ -167,10 +250,14 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
-        let h = stream_header(7, 123_456);
+        let mut h = stream_header(7, 123_456);
+        let hdr_len = h.len();
+        // The bomb guard requires payload bytes proportional to the declared
+        // count; a bare header with a six-figure n is treated as forged.
+        h.push(0);
         let (n, pos) = read_stream_header(&h, 7).unwrap();
         assert_eq!(n, 123_456);
-        assert_eq!(pos, h.len());
+        assert_eq!(pos, hdr_len);
     }
 
     #[test]
@@ -184,5 +271,33 @@ mod tests {
     fn range_of_buffer() {
         assert_eq!(value_range(&[1.0, -2.0, 3.0]), (-2.0, 3.0));
         assert_eq!(value_range(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn header_rejects_declared_length_exceeding_input() {
+        // A 2-byte tail declaring 2^30 values: no real codec expands a
+        // couple of bytes that far — reject before anyone allocates.
+        let mut h = vec![7u8];
+        codec_kit::varint::write_uvarint(&mut h, 1u64 << 30);
+        assert_eq!(
+            read_stream_header(&h, 7).unwrap_err(),
+            CodecError::Corrupt("declared length exceeds remaining input")
+        );
+        // The same count with a plausibly sized body passes the guard.
+        let mut ok = vec![7u8];
+        codec_kit::varint::write_uvarint(&mut ok, 1u64 << 27);
+        ok.extend_from_slice(&[0; 64]);
+        assert!(read_stream_header(&ok, 7).is_ok());
+    }
+
+    #[test]
+    fn header_rejects_absurd_counts_outright() {
+        let mut h = vec![7u8];
+        codec_kit::varint::write_uvarint(&mut h, 1u64 << 39);
+        h.extend_from_slice(&vec![0u8; 1 << 17]);
+        assert_eq!(
+            read_stream_header(&h, 7).unwrap_err(),
+            CodecError::Corrupt("absurd element count")
+        );
     }
 }

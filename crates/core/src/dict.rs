@@ -136,6 +136,11 @@ pub fn decode_ratio(data: &[u8], pos: &mut usize) -> Result<Vec<f64>, CodecError
     if n > 1 << 40 {
         return Err(CodecError::Corrupt("absurd dictionary element count"));
     }
+    if n > (1 << 16) + data.len().saturating_mul(1 << 23) {
+        return Err(CodecError::Corrupt(
+            "declared length exceeds remaining input",
+        ));
+    }
     let (table, eb) = read_table(data, pos)?;
     let wide = *data.get(*pos).ok_or(CodecError::UnexpectedEof)?;
     *pos += 1;
@@ -373,6 +378,11 @@ pub fn decode_speed(data: &[u8], pos: &mut usize) -> Result<Vec<f64>, CodecError
     if n > 1 << 40 {
         return Err(CodecError::Corrupt("absurd dictionary element count"));
     }
+    if n > (1 << 16) + data.len().saturating_mul(1 << 23) {
+        return Err(CodecError::Corrupt(
+            "declared length exceeds remaining input",
+        ));
+    }
     let (table, eb) = read_table(data, pos)?;
     let mode = *data.get(*pos).ok_or(CodecError::UnexpectedEof)?;
     *pos += 1;
@@ -399,6 +409,11 @@ pub fn decode_speed(data: &[u8], pos: &mut usize) -> Result<Vec<f64>, CodecError
             }
             let mut r = BitReader::new(&data[*pos..*pos + payload_len]);
             *pos += payload_len;
+            // every symbol costs ≥ 1 payload bit — reject forged counts
+            // before reserving
+            if n > payload_len.saturating_mul(8) {
+                return Err(CodecError::Corrupt("declared length exceeds payload"));
+            }
             let mut out = Vec::with_capacity(n);
             for _ in 0..n {
                 let cold = r.read_bit()?;
@@ -429,7 +444,9 @@ pub fn decode_speed(data: &[u8], pos: &mut usize) -> Result<Vec<f64>, CodecError
             }
             let mut r = BitReader::new(&data[*pos..*pos + payload_len]);
             *pos += payload_len;
-            let mut idxs: Vec<u32> = Vec::with_capacity(n);
+            // capped reservation: a run chunk expands 9 bits into ≤ 256
+            // values, so trust growth rather than the declared count
+            let mut idxs: Vec<u32> = Vec::with_capacity(n.min(1 << 20));
             while idxs.len() < n {
                 if r.read_bit()? {
                     let cold = r.read_bit()?;

@@ -418,7 +418,7 @@ impl QcfCompressor {
             if block_size == 0 || block_size > 1 << 20 {
                 return Err(CodecError::Corrupt("bad dedup block size"));
             }
-            let refs = read_refs(body, &mut p)?;
+            let refs = read_refs(body, &mut p, n.div_ceil(block_size))?;
             let backend_len = read_uvarint(body, &mut p)? as usize;
             if body.len() < p + backend_len {
                 return Err(CodecError::UnexpectedEof);
@@ -476,18 +476,18 @@ impl Compressor for QcfCompressor {
         CompressorKind::ErrorBounded
     }
 
-    fn compress(
+    fn compress_raw(
         &self,
         data: &[f64],
         bound: ErrorBound,
         stream: &Stream,
     ) -> Result<Vec<u8>, CodecError> {
         let mut out = Vec::new();
-        self.compress_into(data, bound, stream, &mut out)?;
+        self.compress_raw_into(data, bound, stream, &mut out)?;
         Ok(out)
     }
 
-    fn compress_into(
+    fn compress_raw_into(
         &self,
         data: &[f64],
         bound: ErrorBound,
@@ -587,13 +587,13 @@ impl Compressor for QcfCompressor {
         Ok(())
     }
 
-    fn decompress(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
+    fn decompress_raw(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
         let mut out = Vec::new();
-        self.decompress_into(bytes, stream, &mut out)?;
+        self.decompress_raw_into(bytes, stream, &mut out)?;
         Ok(out)
     }
 
-    fn decompress_into(
+    fn decompress_raw_into(
         &self,
         bytes: &[u8],
         stream: &Stream,

@@ -308,10 +308,12 @@ pub fn write_refs(refs: &[u32], n_unique: usize, out: &mut Vec<u8>) {
     out.extend_from_slice(&packed);
 }
 
-/// Reads a reference array written by [`write_refs`].
-pub fn read_refs(data: &[u8], pos: &mut usize) -> Result<Vec<u32>, CodecError> {
+/// Reads a reference array written by [`write_refs`]. `max_refs` is the
+/// largest count the caller considers plausible (the plane's block count) —
+/// a forged header may not reserve past it.
+pub fn read_refs(data: &[u8], pos: &mut usize, max_refs: usize) -> Result<Vec<u32>, CodecError> {
     let count = read_uvarint(data, pos)? as usize;
-    if count > 1 << 32 {
+    if count > max_refs {
         return Err(CodecError::Corrupt("absurd dedup reference count"));
     }
     let width = *data.get(*pos).ok_or(CodecError::UnexpectedEof)? as u32;
@@ -322,6 +324,11 @@ pub fn read_refs(data: &[u8], pos: &mut usize) -> Result<Vec<u32>, CodecError> {
     let packed_len = read_uvarint(data, pos)? as usize;
     if data.len() < *pos + packed_len {
         return Err(CodecError::UnexpectedEof);
+    }
+    // Width > 0 refs cost `width` bits each — the packed length bounds the
+    // honest count before `unpack` reserves anything.
+    if width > 0 && count > packed_len.saturating_mul(8) / width as usize {
+        return Err(CodecError::Corrupt("dedup reference count exceeds payload"));
     }
     let mut r = BitReader::new(&data[*pos..*pos + packed_len]);
     *pos += packed_len;
@@ -441,7 +448,7 @@ mod tests {
             let mut buf = Vec::new();
             write_refs(&refs, n_unique, &mut buf);
             let mut pos = 0;
-            assert_eq!(read_refs(&buf, &mut pos).unwrap(), refs);
+            assert_eq!(read_refs(&buf, &mut pos, 1 << 16).unwrap(), refs);
             assert_eq!(pos, buf.len());
         }
     }
@@ -457,7 +464,7 @@ mod tests {
             buf.len()
         );
         let mut pos = 0;
-        assert_eq!(read_refs(&buf, &mut pos).unwrap(), refs);
+        assert_eq!(read_refs(&buf, &mut pos, 1 << 16).unwrap(), refs);
     }
 
     #[test]
@@ -465,7 +472,7 @@ mod tests {
         let mut buf = Vec::new();
         write_refs(&[0, 1, 2], 3, &mut buf);
         let mut pos = 0;
-        assert!(read_refs(&buf[..buf.len() - 1], &mut pos).is_err());
+        assert!(read_refs(&buf[..buf.len() - 1], &mut pos, 1 << 16).is_err());
     }
 
     #[test]

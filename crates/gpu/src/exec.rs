@@ -16,7 +16,9 @@
 //! in `tensornet`, `qcf-core`, `compressors` and `codec-kit` rely on this
 //! to keep parallel output bit-identical to serial output.
 
-use std::sync::OnceLock;
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Mutex, OnceLock};
 
 /// Number of worker threads used for kernel bodies (the host's parallelism,
 /// not the simulated GPU's).
@@ -39,6 +41,49 @@ pub fn worker_count() -> usize {
     })
 }
 
+/// First panic payload captured across worker blocks.
+///
+/// Every block body runs under [`catch_unwind`](panic::catch_unwind), so a
+/// poisoned block takes down neither its worker thread nor the blocks
+/// queued behind it: the remaining blocks all execute, each panic bumps
+/// the `exec.worker.panics` counter, and the caller re-raises the *first*
+/// payload once after the join. Callers that can degrade gracefully (the
+/// compressed-state chunk loop) catch that single panic and fail only the
+/// affected chunk; everyone else keeps the old fail-fast behaviour.
+struct PanicSlot(Mutex<Option<Box<dyn Any + Send>>>);
+
+impl PanicSlot {
+    fn new() -> Self {
+        PanicSlot(Mutex::new(None))
+    }
+
+    /// Runs one block body under the unwind guard. The injected
+    /// `exec.worker.panic` fault fires inside the guard so chaos runs
+    /// exercise exactly the recovery path real kernel panics take.
+    fn run(&self, b: usize, f: impl FnOnce()) {
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            if qcf_telemetry::faults::inject("exec.worker.panic").is_some() {
+                panic!("injected fault: exec.worker.panic at block {b}");
+            }
+            f()
+        }));
+        if let Err(payload) = caught {
+            qcf_telemetry::registry()
+                .counter("exec.worker.panics")
+                .inc();
+            let mut slot = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            slot.get_or_insert(payload);
+        }
+    }
+
+    /// Re-raises the first captured panic, if any.
+    fn resume(self) {
+        if let Some(payload) = self.0.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
 /// Block index range decomposition shared by all the helpers: `n_items`
 /// split into `n_blocks` contiguous, disjoint, order-preserving ranges
 /// (empty trailing ranges dropped).
@@ -56,32 +101,38 @@ fn block_ranges(n_items: usize, n_blocks: usize) -> Vec<(usize, std::ops::Range<
 ///
 /// The body must be pure per block (no shared mutation) — identical to the
 /// constraint CUDA thread blocks live under. Nested invocation is allowed
-/// (scoped threads spawn freely; there is no fixed pool to deadlock), and
-/// a panic in any worker propagates to the caller after all workers join.
+/// (scoped threads spawn freely; there is no fixed pool to deadlock). A
+/// panic in any block is caught per block: every other block still runs,
+/// and the first panic payload is re-raised to the caller after all
+/// workers join (see [`PanicSlot`]).
 pub fn par_for_blocks<F>(n_items: usize, n_blocks: usize, body: F)
 where
     F: Fn(usize, std::ops::Range<usize>) + Sync,
 {
     let blocks = block_ranges(n_items, n_blocks);
     let workers = worker_count().min(blocks.len()).max(1);
+    let slot = PanicSlot::new();
     if workers == 1 {
         for (b, r) in blocks {
-            body(b, r);
+            slot.run(b, || body(b, r));
         }
+        slot.resume();
         return;
     }
     // Split the block list over workers; each worker owns a disjoint chunk.
     let chunk = blocks.len().div_ceil(workers);
     let body = &body;
+    let slot_ref = &slot;
     std::thread::scope(|s| {
         for w in blocks.chunks(chunk) {
             s.spawn(move || {
                 for (b, r) in w {
-                    body(*b, r.clone());
+                    slot_ref.run(*b, || body(*b, r.clone()));
                 }
             });
         }
     });
+    slot.resume();
 }
 
 /// Maps each block of `input` (chunks of `block_len`) to an output value,
@@ -125,16 +176,19 @@ where
     assert!(block_len > 0, "block length must be positive");
     let n_blocks = data.len().div_ceil(block_len.max(1)).max(1);
     let workers = worker_count().min(n_blocks);
+    let slot = PanicSlot::new();
     if workers <= 1 {
         for (b, chunk) in data.chunks_mut(block_len).enumerate() {
-            f(b, chunk);
+            slot.run(b, || f(b, chunk));
         }
+        slot.resume();
         return;
     }
     // Hand each worker a contiguous run of chunks, fully safely: the
     // borrow splitter peels per-worker sub-slices off the front.
     let chunks_per_worker = n_blocks.div_ceil(workers);
     let f = &f;
+    let slot_ref = &slot;
     std::thread::scope(|s| {
         let mut rest = data;
         let mut next_block = 0usize;
@@ -146,11 +200,12 @@ where
             next_block += mine.len().div_ceil(block_len);
             s.spawn(move || {
                 for (i, chunk) in mine.chunks_mut(block_len).enumerate() {
-                    f(first_block + i, chunk);
+                    slot_ref.run(first_block + i, || f(first_block + i, chunk));
                 }
             });
         }
     });
+    slot.resume();
 }
 
 /// Fills `out` block-by-block: `f(block_index, range, chunk)` writes each
@@ -288,6 +343,44 @@ mod tests {
             });
         }));
         assert!(caught.is_err(), "panic in a worker must reach the caller");
+    }
+
+    #[test]
+    fn other_blocks_complete_despite_one_panic() {
+        // The unwind guard must isolate the poisoned block: all the others
+        // run to completion before the panic reaches the caller.
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_for_blocks(64, 64, |b, range| {
+                if b == 3 {
+                    panic!("block 3 exploded");
+                }
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        for (i, h) in hits.iter().enumerate() {
+            let expect = usize::from(i != 3);
+            assert_eq!(h.load(Ordering::Relaxed), expect, "block {i}");
+        }
+    }
+
+    #[test]
+    fn injected_worker_panic_fires() {
+        let _g = qcf_telemetry::faults::chaos_guard();
+        qcf_telemetry::faults::arm_from_spec("exec.worker.panic@2").unwrap();
+        let done = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_for_blocks(8, 8, |_, range| {
+                done.fetch_add(range.len(), Ordering::Relaxed);
+            });
+        }));
+        qcf_telemetry::faults::disarm();
+        assert!(caught.is_err(), "injected panic must surface to the caller");
+        // Exactly one block was killed; the other seven completed.
+        assert_eq!(done.load(Ordering::Relaxed), 7);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use compressors::{Compressor, CompressorKind, ErrorBound};
 use gpu_model::{DeviceSpec, Stream};
 use qcf_telemetry::{Counter, GaugeTrack};
 use qcircuit::{Circuit, Gate, Graph};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use tensornet::planes::{as_interleaved, from_interleaved};
 use tensornet::Complex64;
@@ -53,6 +54,87 @@ pub struct StateStats {
     pub cache_misses: u64,
     /// Dirty chunks recompressed on eviction or flush.
     pub writebacks: u64,
+}
+
+/// Fault accounting for a compressed-state run: what went wrong and how
+/// each failure was absorbed. Exact regardless of `QCF_TELEMETRY` (like
+/// [`StateStats`]); mirrored into `state.faults.*` registry counters.
+///
+/// The recovery policy chain on a failed chunk decode is, in order:
+///
+/// 1. **bounded retry** — one immediate re-decode (heals transient faults:
+///    an injected decode error, a panicked worker mid-kernel);
+/// 2. **cache repair** — if the chunk is resident in the write-back cache,
+///    its amplitudes are ground truth: re-encode them over the poisoned
+///    bytes;
+/// 3. **quarantine** — the chunk is zero-filled, the lost squared norm is
+///    folded into the error ledger, and the simulation continues degraded.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultStats {
+    /// Chunk decode failures observed (checksum mismatch, corrupt stream,
+    /// injected decode error, worker panic during decode).
+    pub decode_errors: u64,
+    /// Failures healed by an immediate bounded retry (decode or encode).
+    pub retries_ok: u64,
+    /// Failed decodes healed by re-encoding resident cached amplitudes.
+    pub cache_repairs: u64,
+    /// Chunks quarantined (zero-filled) after recovery was exhausted.
+    pub quarantines: u64,
+    /// Worker panics converted into per-chunk failures.
+    pub worker_panics: u64,
+    /// Total squared amplitude norm lost to quarantine zero-fills.
+    pub lost_norm_sq: f64,
+}
+
+/// Registry mirrors of [`FaultStats`].
+struct FaultCounters {
+    decode_errors: Arc<Counter>,
+    retries_ok: Arc<Counter>,
+    cache_repairs: Arc<Counter>,
+    quarantines: Arc<Counter>,
+    worker_panics: Arc<Counter>,
+}
+
+impl FaultCounters {
+    fn new() -> Self {
+        let reg = qcf_telemetry::registry();
+        FaultCounters {
+            decode_errors: reg.counter("state.faults.decode_errors"),
+            retries_ok: reg.counter("state.faults.retries_ok"),
+            cache_repairs: reg.counter("state.faults.cache_repairs"),
+            quarantines: reg.counter("state.faults.quarantines"),
+            worker_panics: reg.counter("state.faults.worker_panics"),
+        }
+    }
+}
+
+/// Result of a [`CompressedState::verify`] scrub.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerifyReport {
+    /// Chunks scrubbed.
+    pub chunks: usize,
+    /// Chunks that decoded cleanly on the first attempt.
+    pub clean: usize,
+    /// Chunks that failed once but were healed (retry or cache repair).
+    pub healed: usize,
+    /// Chunks zero-filled because recovery was exhausted.
+    pub quarantined: usize,
+    /// Chunks whose measured error exceeds their ledger bound — a codec
+    /// violating its own error contract.
+    pub ledger_breaches: usize,
+}
+
+impl VerifyReport {
+    /// True when every chunk decoded cleanly and no ledger bound was
+    /// breached.
+    pub fn all_clean(&self) -> bool {
+        self.clean == self.chunks && self.ledger_breaches == 0
+    }
+
+    /// Corruptions the scrub detected (chunks that did not decode cleanly).
+    pub fn detected(&self) -> usize {
+        self.healed + self.quarantined
+    }
 }
 
 /// Default write-back cache capacity in chunks (see `QCF_CHUNK_CACHE`).
@@ -215,8 +297,15 @@ pub struct CompressedState<'a> {
     /// Measure actual max-abs-error at each lossy write-back
     /// (`QCF_LEDGER_MEASURE`).
     measure_err: bool,
+    /// Squared amplitude norm of each chunk at its last write-back — the
+    /// loss estimate recorded when a chunk has to be quarantined.
+    chunk_norm: Vec<f64>,
+    /// Registry mirrors of `faults`.
+    fault_counters: FaultCounters,
     /// Run accounting.
     pub stats: StateStats,
+    /// Fault and recovery accounting (see [`FaultStats`]).
+    pub faults: FaultStats,
 }
 
 impl<'a> CompressedState<'a> {
@@ -249,7 +338,10 @@ impl<'a> CompressedState<'a> {
             group_buf: Vec::new(),
             ledger: ErrorLedger::new(1usize << (n - chunk_qubits)),
             measure_err: env_measure_err(),
+            chunk_norm: vec![0.0; 1usize << (n - chunk_qubits)],
+            fault_counters: FaultCounters::new(),
             stats: StateStats::default(),
+            faults: FaultStats::default(),
         };
         let chunk_len = 1usize << chunk_qubits;
         for chunk_id in 0..(1usize << (n - chunk_qubits)) {
@@ -260,6 +352,7 @@ impl<'a> CompressedState<'a> {
             let bytes = state.compress_chunk(&amps)?;
             let abs_bound = state.lossy_abs_bound(&amps);
             state.ledger.record_initial(chunk_id, abs_bound);
+            state.chunk_norm[chunk_id] = amps.iter().map(|a| a.norm_sq()).sum();
             state.resident.add(bytes.len() as i64);
             state.chunks.push(bytes);
         }
@@ -309,10 +402,53 @@ impl<'a> CompressedState<'a> {
         self.ledger.summary()
     }
 
-    fn compress_chunk(&self, amps: &[Complex64]) -> Result<Vec<u8>, ContractError> {
-        self.compressor
-            .compress(as_interleaved(amps), self.bound, &self.stream)
-            .map_err(|e| ContractError::Hook(format!("chunk compress: {e}")))
+    fn compress_chunk(&mut self, amps: &[Complex64]) -> Result<Vec<u8>, ContractError> {
+        let compressor = self.compressor;
+        let bound = self.bound;
+        let stream = &self.stream;
+        let encode = || match panic::catch_unwind(AssertUnwindSafe(|| {
+            compressor.compress(as_interleaved(amps), bound, stream)
+        })) {
+            Ok(r) => (
+                r.map_err(|e| ContractError::Hook(format!("chunk compress: {e}"))),
+                false,
+            ),
+            Err(_) => (
+                Err(ContractError::Hook("worker panic in chunk compress".into())),
+                true,
+            ),
+        };
+        let (mut res, p1) = encode();
+        let mut panics = u64::from(p1);
+        if res.is_err() {
+            let (r2, p2) = encode();
+            panics += u64::from(p2);
+            if r2.is_ok() {
+                self.faults.retries_ok += 1;
+                self.fault_counters.retries_ok.inc();
+            }
+            res = r2;
+        }
+        self.note_worker_panics(panics);
+        res
+    }
+
+    /// Books `n` worker panics that were converted into per-chunk failures.
+    fn note_worker_panics(&mut self, n: u64) {
+        if n > 0 {
+            self.faults.worker_panics += n;
+            self.fault_counters.worker_panics.add(n);
+        }
+    }
+
+    /// Books a quarantine of chunk `id`, whose last-known squared norm is
+    /// lost to the zero-fill.
+    fn record_quarantine_loss(&mut self, id: usize) {
+        let lost = self.chunk_norm[id];
+        self.faults.quarantines += 1;
+        self.fault_counters.quarantines.inc();
+        self.faults.lost_norm_sq += lost;
+        self.ledger.record_quarantine(id, lost);
     }
 
     fn decompress_chunk(&self, bytes: &[u8]) -> Result<Vec<Complex64>, ContractError> {
@@ -324,6 +460,85 @@ impl<'a> CompressedState<'a> {
             return Err(ContractError::Hook("chunk length mismatch".into()));
         }
         Ok(from_interleaved(&flat))
+    }
+
+    /// One guarded decode attempt of chunk `id` into `amps`. A worker
+    /// panic inside the codec kernel is converted into a per-chunk error
+    /// (and counted) instead of unwinding through the simulation.
+    fn try_decode(&mut self, id: usize, amps: &mut Vec<Complex64>) -> Result<(), ContractError> {
+        let chunk_len = self.chunk_len();
+        let compressor = self.compressor;
+        let stream = &self.stream;
+        let bytes = &self.chunks[id];
+        let flat = &mut self.flat;
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            decode_chunk(compressor, stream, chunk_len, bytes, flat, amps)
+        }));
+        match caught {
+            Ok(r) => r,
+            Err(_) => {
+                self.note_worker_panics(1);
+                Err(ContractError::Hook("worker panic in chunk decode".into()))
+            }
+        }
+    }
+
+    /// Decodes chunk `id` into `amps` through the recovery policy chain
+    /// (see [`FaultStats`]): decode → bounded retry → cache repair →
+    /// quarantine. Returns `Ok(true)` when `amps` holds real data (clean or
+    /// healed), `Ok(false)` when the chunk was quarantined (`amps` zeroed);
+    /// an error only when even the quarantine re-encode failed.
+    fn decode_healed(
+        &mut self,
+        id: usize,
+        amps: &mut Vec<Complex64>,
+    ) -> Result<bool, ContractError> {
+        if self.try_decode(id, amps).is_ok() {
+            return Ok(true);
+        }
+        self.faults.decode_errors += 1;
+        self.fault_counters.decode_errors.inc();
+        // 1. Bounded retry: transient faults (a panicked worker, an
+        //    injected decode error) heal on a second attempt; persistent
+        //    byte corruption does not.
+        if self.try_decode(id, amps).is_ok() {
+            self.faults.retries_ok += 1;
+            self.fault_counters.retries_ok.inc();
+            return Ok(true);
+        }
+        // 2. Cache repair: resident amplitudes are ground truth — losslessly
+        //    newer than the stored bytes — so re-encode them over the
+        //    poisoned buffer.
+        if let Some(idx) = self.cache.entries.iter().position(|e| e.id == id) {
+            let cached = std::mem::take(&mut self.cache.entries[idx].amps);
+            let res = self.write_back(id, &cached);
+            amps.clear();
+            amps.extend_from_slice(&cached);
+            self.cache.entries[idx].amps = cached;
+            self.cache.entries[idx].dirty = false;
+            res?;
+            self.faults.cache_repairs += 1;
+            self.fault_counters.cache_repairs.inc();
+            return Ok(true);
+        }
+        // 3. Quarantine: zero-fill, account the lost norm, keep simulating.
+        self.quarantine_chunk(id, amps)?;
+        Ok(false)
+    }
+
+    /// Quarantines chunk `id`: `amps` is zero-filled and re-encoded over
+    /// the poisoned bytes so later reads decode cleanly, and the lost
+    /// squared norm is folded into the ledger.
+    fn quarantine_chunk(
+        &mut self,
+        id: usize,
+        amps: &mut Vec<Complex64>,
+    ) -> Result<(), ContractError> {
+        let chunk_len = self.chunk_len();
+        amps.clear();
+        amps.resize(chunk_len, Complex64::ZERO);
+        self.record_quarantine_loss(id);
+        self.write_back(id, amps)
     }
 
     /// Current write-back cache capacity in chunks.
@@ -438,10 +653,23 @@ impl<'a> CompressedState<'a> {
                 for &id in members {
                     self.gather_chunk(id, &mut buffer)?;
                 }
-                apply_gate_to_amplitudes(&mut buffer, c + k, &remapped);
-                // The gate mixed these chunks' amplitudes; redistribute
-                // their accumulated error accordingly (energy-preserving).
-                self.ledger.mix(members);
+                let gate_ok = panic::catch_unwind(AssertUnwindSafe(|| {
+                    apply_gate_to_amplitudes(&mut buffer, c + k, &remapped);
+                }))
+                .is_ok();
+                if gate_ok {
+                    // The gate mixed these chunks' amplitudes; redistribute
+                    // their accumulated error accordingly (energy-preserving).
+                    self.ledger.mix(members);
+                } else {
+                    // A worker panicked mid-gate: the whole group buffer is
+                    // garbage. Quarantine every member and store zeros.
+                    self.note_worker_panics(1);
+                    buffer.iter_mut().for_each(|a| *a = Complex64::ZERO);
+                    for &id in members {
+                        self.record_quarantine_loss(id);
+                    }
+                }
                 for (m, &id) in members.iter().enumerate() {
                     self.store_chunk(id, &buffer[m * chunk_len..(m + 1) * chunk_len])?;
                 }
@@ -469,44 +697,63 @@ impl<'a> CompressedState<'a> {
     ) -> Result<(), ContractError> {
         if self.cache.cap == 0 {
             // Cache disabled: classic decompress → apply → recompress.
-            let chunk_len = self.chunk_len();
             let mut amps = std::mem::take(&mut self.spare);
-            decode_chunk(
-                self.compressor,
-                &self.stream,
-                chunk_len,
-                &self.chunks[id],
-                &mut self.flat,
-                &mut amps,
-            )?;
+            if let Err(e) = self.decode_healed(id, &mut amps) {
+                self.spare = amps;
+                return Err(e);
+            }
             self.stats.decompressions += 1;
-            f(&mut amps);
+            self.apply_guarded(id, &mut amps, f);
             let res = self.write_back(id, &amps);
             self.spare = amps;
             return res;
         }
-        if let Some(e) = self.cache.lookup(id) {
-            f(&mut e.amps);
-            e.dirty = true;
+        if self.cache.lookup(id).is_some() {
             self.stats.cache_hits += 1;
             self.cache.hits.inc();
+            // Take the amplitudes out of the entry so the unwind guard can
+            // quarantine in place without fighting the cache borrow.
+            let idx = self
+                .cache
+                .entries
+                .iter()
+                .position(|e| e.id == id)
+                .expect("entry just looked up");
+            let mut amps = std::mem::take(&mut self.cache.entries[idx].amps);
+            self.apply_guarded(id, &mut amps, f);
+            self.cache.entries[idx].amps = amps;
+            self.cache.entries[idx].dirty = true;
             return Ok(());
         }
         self.stats.cache_misses += 1;
         self.cache.misses.inc();
-        let chunk_len = self.chunk_len();
         let mut amps = std::mem::take(&mut self.spare);
-        decode_chunk(
-            self.compressor,
-            &self.stream,
-            chunk_len,
-            &self.chunks[id],
-            &mut self.flat,
-            &mut amps,
-        )?;
+        if let Err(e) = self.decode_healed(id, &mut amps) {
+            self.spare = amps;
+            return Err(e);
+        }
         self.stats.decompressions += 1;
-        f(&mut amps);
+        self.apply_guarded(id, &mut amps, f);
         self.insert_cached(id, amps, true)
+    }
+
+    /// Applies a gate closure to `amps` under an unwind guard. On a worker
+    /// panic the amplitudes are mid-update garbage, so the chunk is
+    /// quarantined in place (zero-filled, loss recorded); the caller stores
+    /// the zeros through its normal write path.
+    fn apply_guarded(
+        &mut self,
+        id: usize,
+        amps: &mut Vec<Complex64>,
+        f: impl FnOnce(&mut [Complex64]),
+    ) {
+        if panic::catch_unwind(AssertUnwindSafe(|| f(amps))).is_err() {
+            self.note_worker_panics(1);
+            let chunk_len = self.chunk_len();
+            amps.clear();
+            amps.resize(chunk_len, Complex64::ZERO);
+            self.record_quarantine_loss(id);
+        }
     }
 
     /// Reads chunk `id` through the cache, appending its amplitudes to
@@ -522,16 +769,11 @@ impl<'a> CompressedState<'a> {
             self.stats.cache_misses += 1;
             self.cache.misses.inc();
         }
-        let chunk_len = self.chunk_len();
         let mut amps = std::mem::take(&mut self.spare);
-        decode_chunk(
-            self.compressor,
-            &self.stream,
-            chunk_len,
-            &self.chunks[id],
-            &mut self.flat,
-            &mut amps,
-        )?;
+        if let Err(e) = self.decode_healed(id, &mut amps) {
+            self.spare = amps;
+            return Err(e);
+        }
         self.stats.decompressions += 1;
         dst.extend_from_slice(&amps);
         if self.cache.cap > 0 {
@@ -584,13 +826,63 @@ impl<'a> CompressedState<'a> {
     /// Recompresses `amps` into chunk `id`'s byte buffer (capacity reused),
     /// keeping resident-bytes accounting exact. Every call is one ledger
     /// event; under a lossy codec it is one *requantization*.
+    ///
+    /// The encode itself is guarded: a worker panic or codec error gets one
+    /// retry, and if that also fails the chunk is quarantined (a zero
+    /// chunk is encoded in its place) rather than failing the run.
     fn write_back(&mut self, id: usize, amps: &[Complex64]) -> Result<(), ContractError> {
         let mut bytes = std::mem::take(&mut self.chunks[id]);
         let old_len = bytes.len();
-        let res = self
-            .compressor
-            .compress_into(as_interleaved(amps), self.bound, &self.stream, &mut bytes)
-            .map_err(|e| ContractError::Hook(format!("chunk compress: {e}")));
+        let mut quarantined = false;
+        let res = {
+            let compressor = self.compressor;
+            let bound = self.bound;
+            let stream = &self.stream;
+            let mut panics = 0u64;
+            let mut retried_ok = false;
+            let encode = |bytes: &mut Vec<u8>, data: &[f64]| -> (Result<(), ContractError>, bool) {
+                match panic::catch_unwind(AssertUnwindSafe(|| {
+                    compressor.compress_into(data, bound, stream, bytes)
+                })) {
+                    Ok(r) => (
+                        r.map_err(|e| ContractError::Hook(format!("chunk compress: {e}"))),
+                        false,
+                    ),
+                    Err(_) => (
+                        Err(ContractError::Hook("worker panic in chunk compress".into())),
+                        true,
+                    ),
+                }
+            };
+            let (mut res, p1) = encode(&mut bytes, as_interleaved(amps));
+            panics += u64::from(p1);
+            if res.is_err() {
+                let (r2, p2) = encode(&mut bytes, as_interleaved(amps));
+                panics += u64::from(p2);
+                retried_ok = r2.is_ok();
+                res = r2;
+            }
+            if res.is_err() {
+                // Recovery exhausted: encode a zero chunk in place of the
+                // unencodable one so the stored state stays decodable.
+                let zeros = vec![0.0f64; amps.len() * 2];
+                let (rz, pz) = encode(&mut bytes, &zeros);
+                panics += u64::from(pz);
+                if rz.is_ok() {
+                    quarantined = true;
+                    res = Ok(());
+                }
+            }
+            self.note_worker_panics(panics);
+            if retried_ok {
+                self.faults.retries_ok += 1;
+                self.fault_counters.retries_ok.inc();
+            }
+            res
+        };
+        if quarantined {
+            self.record_quarantine_loss(id);
+        }
         self.stats.recompressions += 1;
         let abs_bound = self.lossy_abs_bound(amps);
         // Lossless reconstruction is exact by contract: measured error 0
@@ -612,6 +904,23 @@ impl<'a> CompressedState<'a> {
             Some(_) => None,
         };
         self.ledger.record_requant(id, abs_bound, measured);
+        // Chaos site: corrupt one stored bit after a successful write-back.
+        // Byte 0 is skipped — clearing the frame-flag bit there would turn
+        // the stream into a legacy-v1 lookalike that decodes to garbage
+        // instead of failing its checksum, i.e. an *undetectable* fault,
+        // which is not the fault model (storage bit rot under an integrity
+        // frame is always detectable).
+        if res.is_ok() && bytes.len() > 1 {
+            if let Some(payload) = qcf_telemetry::faults::inject("state.chunk.bitflip") {
+                let bit = 8 + (payload as usize) % ((bytes.len() - 1) * 8);
+                bytes[bit / 8] ^= 1 << (bit % 8);
+            }
+        }
+        self.chunk_norm[id] = if quarantined {
+            0.0
+        } else {
+            amps.iter().map(|a| a.norm_sq()).sum()
+        };
         self.resident.add(bytes.len() as i64 - old_len as i64);
         self.chunks[id] = bytes;
         self.sync_resident_stats();
@@ -675,6 +984,48 @@ impl<'a> CompressedState<'a> {
             energy += 0.5 * (1.0 - zz);
         }
         Ok(energy)
+    }
+
+    /// True when any chunk has been quarantined: amplitudes were lost and
+    /// the state is degraded (norm < 1, with the loss accounted in the
+    /// ledger and [`FaultStats::lost_norm_sq`]).
+    pub fn degraded(&self) -> bool {
+        self.faults.quarantines > 0
+    }
+
+    /// Scrubs the whole state end-to-end: every chunk is decoded — which
+    /// verifies its integrity-frame checksum — through the recovery policy
+    /// chain, and each chunk's ledger record is checked for a measured
+    /// error exceeding its accumulated bound. Detected corruption is healed
+    /// or quarantined *in place*, so a second `verify()` right after a
+    /// non-clean one reports all-clean.
+    pub fn verify(&mut self) -> Result<VerifyReport, ContractError> {
+        let mut report = VerifyReport {
+            chunks: self.chunks.len(),
+            ..VerifyReport::default()
+        };
+        let mut amps = std::mem::take(&mut self.spare);
+        for id in 0..self.chunks.len() {
+            let errors_before = self.faults.decode_errors;
+            match self.decode_healed(id, &mut amps) {
+                Ok(true) if self.faults.decode_errors == errors_before => report.clean += 1,
+                Ok(true) => report.healed += 1,
+                Ok(false) => report.quarantined += 1,
+                Err(e) => {
+                    self.spare = amps;
+                    return Err(e);
+                }
+            }
+        }
+        self.spare = amps;
+        for id in 0..self.ledger.n_chunks() {
+            let rec = self.ledger.chunk(id);
+            let cap = rec.accumulated_bound.max(rec.last_abs_bound);
+            if rec.measured && rec.max_measured_err > cap * (1.0 + 1e-9) {
+                report.ledger_breaches += 1;
+            }
+        }
+        Ok(report)
     }
 
     /// Squared norm (drifts from 1 with the bound; a fidelity proxy).

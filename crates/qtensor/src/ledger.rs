@@ -71,6 +71,9 @@ pub struct ChunkRecord {
     pub max_measured_err: f64,
     /// Whether any event's error was actually measured.
     pub measured: bool,
+    /// Times this chunk was quarantined (zero-filled after recovery from a
+    /// poisoned decode or encode was exhausted).
+    pub quarantines: u64,
 }
 
 /// Aggregate view of a whole state's ledger — the queryable per-state
@@ -96,6 +99,8 @@ pub struct LedgerSummary {
     pub max_measured_err: f64,
     /// True when any event was lossy.
     pub lossy: bool,
+    /// Total quarantine events across chunks.
+    pub total_quarantines: u64,
 }
 
 /// Ledger over a fixed set of chunks. Created by
@@ -106,6 +111,7 @@ pub struct ErrorLedger {
     chunks: Vec<ChunkRecord>,
     lossy_events: u64,
     requants: Arc<Counter>,
+    quarantines: Arc<Counter>,
     bound_hist: Arc<Histogram>,
     max_requants_gauge: Arc<Gauge>,
     acc_bound_gauge: Arc<FloatGauge>,
@@ -119,6 +125,7 @@ impl ErrorLedger {
             chunks: vec![ChunkRecord::default(); n_chunks],
             lossy_events: 0,
             requants: reg.counter("state.ledger.requants"),
+            quarantines: reg.counter("state.ledger.quarantines"),
             bound_hist: reg.histogram(
                 "state.ledger.event_abs_bound",
                 &[1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2, 1.0],
@@ -190,6 +197,27 @@ impl ErrorLedger {
         self.acc_bound_gauge.set(max_acc);
     }
 
+    /// Records a quarantine of chunk `id`: its amplitudes were zero-filled
+    /// after every recovery policy failed, losing `lost_norm_sq` of squared
+    /// amplitude norm. The loss enters the chunk's accumulated bound as one
+    /// perturbation of magnitude `sqrt(lost_norm_sq)` — an upper bound on
+    /// the amplitude error the zero-fill introduced — so downstream
+    /// fidelity predictions see quarantines as (large) lossy events rather
+    /// than silently ignoring them.
+    pub fn record_quarantine(&mut self, id: usize, lost_norm_sq: f64) {
+        let rec = &mut self.chunks[id];
+        rec.quarantines += 1;
+        self.lossy_events += 1;
+        let eps = lost_norm_sq.max(0.0).sqrt();
+        rec.accumulated_bound = rss_accumulate(rec.accumulated_bound, eps);
+        self.quarantines.inc();
+        let max_acc = self
+            .chunks
+            .iter()
+            .fold(0.0f64, |m, c| m.max(c.accumulated_bound));
+        self.acc_bound_gauge.set(max_acc);
+    }
+
     /// Propagates accumulated bounds through a cross-chunk (grouped) gate.
     ///
     /// The gate's unitary moves amplitude — and with it the accumulated
@@ -233,6 +261,7 @@ impl ErrorLedger {
             s.mean_accumulated_bound += rec.accumulated_bound;
             s.accumulated_rss = rss_accumulate(s.accumulated_rss, rec.accumulated_bound);
             s.max_measured_err = s.max_measured_err.max(rec.max_measured_err);
+            s.total_quarantines += rec.quarantines;
         }
         if !self.chunks.is_empty() {
             s.mean_accumulated_bound /= self.chunks.len() as f64;
@@ -305,6 +334,19 @@ mod tests {
         // Mixing clean chunks is a no-op.
         l.mix(&[2]);
         assert_eq!(l.chunk(2).accumulated_bound, 0.0);
+    }
+
+    #[test]
+    fn quarantine_folds_lost_norm_into_the_bound() {
+        let mut l = ErrorLedger::new(2);
+        l.record_initial(0, Some(1e-4));
+        l.record_quarantine(0, 0.25); // lost norm² 0.25 → eps 0.5
+        let s = l.summary();
+        assert_eq!(s.total_quarantines, 1);
+        assert_eq!(l.chunk(0).quarantines, 1);
+        assert_eq!(l.chunk(1).quarantines, 0);
+        assert!((l.chunk(0).accumulated_bound - rss_accumulate(1e-4, 0.5)).abs() < 1e-15);
+        assert!(s.lossy);
     }
 
     #[test]

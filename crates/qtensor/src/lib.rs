@@ -24,7 +24,7 @@ pub mod pairwise;
 pub mod statevector;
 pub mod trace;
 
-pub use compressed_state::{CompressedState, StateStats};
+pub use compressed_state::{CompressedState, FaultStats, StateStats, VerifyReport};
 pub use contraction::{
     contract_network, ContractError, ContractionHook, ContractionStats, NoopHook,
 };

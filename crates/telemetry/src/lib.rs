@@ -15,6 +15,9 @@
 //!   `ui.perfetto.dev`-loadable; one lane per worker thread plus one
 //!   virtual lane per simulated GPU stream) and flat JSON/TSV metrics
 //!   dumps.
+//! * [`faults`] — deterministic fault injection for chaos testing
+//!   (`QCF_FAULTS`), gated on the same one-relaxed-load pattern as the
+//!   enabled flag.
 //!
 //! ## Cost when disabled
 //!
@@ -29,6 +32,7 @@
 //! than growing without bound.
 
 pub mod export;
+pub mod faults;
 pub mod flight;
 pub mod metrics;
 pub mod span;
