@@ -32,6 +32,13 @@ QCF_WORKERS=4 cargo test --release -q -p qtensor --test cache_proptests
 # (counting global allocator; release mode so dead allocs can't hide).
 echo "== allocation regression (release) =="
 cargo test --release -q -p qcf-bench --test alloc_regression
+cargo test --release -q -p qcf-bench --test alloc_arena
+
+# One pass over every bench workload with assertions instead of timing:
+# the vectorized codec kernels must stay bit-identical to their scalar
+# references, and parallel streams identical to serial ones.
+echo "== parallel bench smoke (kernel bit-identity) =="
+cargo bench -q -p qcf-bench --bench parallel -- --smoke
 
 # Chaos gate. First the decode fuzzers: no panic and no unbounded
 # allocation on arbitrary/mutated/truncated bytes through every decoder.

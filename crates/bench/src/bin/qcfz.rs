@@ -262,10 +262,9 @@ fn main() {
             let baseline = flag(&args, "--baseline");
             let check = args.iter().any(|a| a == "--check");
             // Wall-clock throughput on a 1-core (likely shared) host is
-            // noise; CR and ledger invariants are checked regardless.
-            let strict = std::thread::available_parallelism()
-                .map(|p| p.get() >= 4)
-                .unwrap_or(false);
+            // noise; CR and ledger invariants are checked regardless. The
+            // same core count drives the speedup-gate decision in `check`.
+            let strict = run_report::detected_cores() >= 4;
             cli::parse_bound(flag(&args, "--rel"), flag(&args, "--abs")).and_then(|bound| {
                 let config = run_report::ReportConfig {
                     nodes,

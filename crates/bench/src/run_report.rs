@@ -90,6 +90,20 @@ pub struct QualityRow {
     pub gpu_decompress_bps: f64,
     /// Host wall-clock compression throughput, bytes/s.
     pub host_compress_bps: f64,
+    /// Host compression throughput with `worker_count()` pinned to 1
+    /// (measured only for the paper's cuSZ/cuSZx targets) — the honest
+    /// serial baseline `multicore_speedup` divides by.
+    pub host_compress_bps_serial: Option<f64>,
+}
+
+/// Physical cores the host reports — the figure all per-core throughput
+/// normalization uses. Deliberately *not* `worker_count()`: `QCF_WORKERS=4`
+/// on a 1-core CI box forces the threaded code paths, but four threads
+/// time-slicing one core is still a 1-core host for speedup accounting.
+pub fn detected_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Everything one `qcfz report` run measured.
@@ -138,6 +152,18 @@ pub fn collect(config: ReportConfig) -> Result<RunReport, CliError> {
     for comp in cli::cli_lineup() {
         let r = round_trip(comp.as_ref(), &tensor.data, config.bound)
             .map_err(|e| CliError(format!("{} round trip: {e}", comp.name())))?;
+        // Serial re-measurement for the multi-core speedup record: the
+        // same round trip with the worker pool pinned to 1. Only the
+        // paper's GPU-compressor targets carry the >=2x scaling gate.
+        let serial = if matches!(r.name, "cuSZ" | "cuSZx") {
+            let s = gpu_model::exec::with_serial_workers(|| {
+                round_trip(comp.as_ref(), &tensor.data, config.bound)
+            })
+            .map_err(|e| CliError(format!("{} serial round trip: {e}", comp.name())))?;
+            Some(s.host_compress_bps)
+        } else {
+            None
+        };
         quality.push(QualityRow {
             name: r.name.to_string(),
             cr: r.quality.compression_ratio,
@@ -146,6 +172,7 @@ pub fn collect(config: ReportConfig) -> Result<RunReport, CliError> {
             gpu_compress_bps: r.gpu_compress_bps,
             gpu_decompress_bps: r.gpu_decompress_bps,
             host_compress_bps: r.host_compress_bps,
+            host_compress_bps_serial: serial,
         });
     }
     let _ = scope.finish();
@@ -329,6 +356,33 @@ impl RunReport {
         }
         let _ = writeln!(out, "```\n{}```\n", qt.render());
 
+        let cores = detected_cores();
+        for r in &self.quality {
+            if let Some(serial) = r.host_compress_bps_serial {
+                let speedup = r.host_compress_bps / serial.max(f64::MIN_POSITIVE);
+                let _ = writeln!(
+                    out,
+                    "- {} multi-core speedup vs 1-worker serial: ~{speedup:.1}x \
+                     ({cores}-core host{})",
+                    r.name,
+                    if (cores as f64) < 4.0 {
+                        "; >=2x gate skipped below 4 cores"
+                    } else {
+                        ""
+                    }
+                );
+            }
+        }
+        let _ = writeln!(out);
+
+        let arena = gpu_model::thread_arena_stats();
+        let _ = writeln!(out, "## Workspace arena (reporting thread)\n");
+        let _ = writeln!(
+            out,
+            "- bytes in use {} | high water {} | phase resets {} | chunks {}\n",
+            arena.bytes_in_use, arena.high_water, arena.resets, arena.chunks
+        );
+
         let frames = qcf_telemetry::flight::frames();
         if !frames.is_empty() {
             let _ = writeln!(out, "## Flight recorder\n");
@@ -370,9 +424,12 @@ impl RunReport {
     /// The run's stable scalars as flat `key → number` pairs — the baseline
     /// format `--baseline`/`--check` diff against. Deterministic quantities
     /// only get hard-checked ([`check`]); `*_bps` throughput keys are
-    /// machine-dependent and soft by default.
+    /// machine-dependent and soft by default, and `host.cores` is recorded
+    /// so [`check`] can normalize them per core across hosts.
     pub fn baseline(&self) -> BTreeMap<String, f64> {
+        let cores = detected_cores() as f64;
         let mut m = BTreeMap::new();
+        m.insert("host.cores".into(), cores);
         m.insert("qaoa.energy".into(), self.qaoa.energy);
         m.insert("qaoa.ratio".into(), self.qaoa.ratio);
         m.insert(
@@ -400,6 +457,16 @@ impl RunReport {
                 format!("quality.{}.host_compress_bps", r.name),
                 r.host_compress_bps,
             );
+            m.insert(
+                format!("quality.{}.host_compress_bps_per_core", r.name),
+                r.host_compress_bps / cores,
+            );
+            if let Some(serial) = r.host_compress_bps_serial {
+                m.insert(
+                    format!("quality.{}.multicore_speedup", r.name),
+                    r.host_compress_bps / serial.max(f64::MIN_POSITIVE),
+                );
+            }
         }
         m
     }
@@ -487,18 +554,39 @@ const BOUND_TOLERANCE: f64 = 0.05;
 /// Tolerated relative throughput loss (soft unless `strict_throughput`).
 const BPS_TOLERANCE: f64 = 0.5;
 
+/// Multi-core throughput must be at least this multiple of the serial
+/// (1-worker) figure on hosts where the gate is live.
+const SPEEDUP_TARGET: f64 = 2.0;
+/// The speedup gate only binds on hosts with at least this many cores —
+/// on fewer, threads time-slice the same silicon and a wall-clock speedup
+/// is impossible by construction, so the figure is recorded, not gated.
+const SPEEDUP_MIN_CORES: f64 = 4.0;
+
 /// Diffs `current` against `stored`. Hard regressions: any `*.cr` drop
 /// beyond 5%, any requant-count increase, accumulated-bound growth beyond
 /// 5%, max-abs-err growth beyond 5%, or energy drift beyond first-order
 /// noise. Throughput (`*_bps`) losses beyond 50% are warnings, upgraded to
-/// regressions under `strict_throughput`.
+/// regressions under `strict_throughput`; before comparing, each side is
+/// normalized by its own recorded `host.cores` so a baseline captured on a
+/// big machine doesn't fail every smaller host (`*_bps_per_core` keys are
+/// stored pre-normalized and compared as-is).
+///
+/// Additionally, `quality.*.multicore_speedup` records in `current` are
+/// gated absolutely: on a >=4-core host a speedup below 2x is a hard
+/// regression; on smaller hosts the figure is reported as a warning note
+/// (honestly ~1x there) and the gate is skipped.
 pub fn check(
     current: &BTreeMap<String, f64>,
     stored: &BTreeMap<String, f64>,
     strict_throughput: bool,
 ) -> CheckResult {
     let mut res = CheckResult::default();
+    let cores_now = current.get("host.cores").copied().unwrap_or(1.0).max(1.0);
+    let cores_base = stored.get("host.cores").copied().unwrap_or(1.0).max(1.0);
     for (key, &base) in stored {
+        if key == "host.cores" {
+            continue; // context for normalization, not a checked quantity
+        }
         let Some(&now) = current.get(key) else {
             res.warnings
                 .push(format!("{key}: in baseline but missing from this run"));
@@ -529,19 +617,49 @@ pub fn check(
                 res.regressions
                     .push(format!("{key}: energy drifted {base:.6} -> {now:.6}"));
             }
-        } else if key.ends_with("_bps") && now < base * (1.0 - BPS_TOLERANCE) {
-            let msg = format!(
-                "{key}: throughput fell {:.2} -> {:.2} GB/s",
-                base / 1e9,
-                now / 1e9
-            );
-            if strict_throughput {
-                res.regressions.push(msg);
+        } else if key.ends_with("_bps") || key.ends_with("_bps_per_core") {
+            // Compare per-core figures: `_bps_per_core` keys already are,
+            // raw `_bps` keys divide by their own side's recorded cores.
+            let (base_pc, now_pc) = if key.ends_with("_bps_per_core") {
+                (base, now)
             } else {
-                res.warnings.push(msg);
+                (base / cores_base, now / cores_now)
+            };
+            if now_pc < base_pc * (1.0 - BPS_TOLERANCE) {
+                let msg = format!(
+                    "{key}: per-core throughput fell {:.2} -> {:.2} GB/s",
+                    base_pc / 1e9,
+                    now_pc / 1e9
+                );
+                if strict_throughput {
+                    res.regressions.push(msg);
+                } else {
+                    res.warnings.push(msg);
+                }
             }
         }
         // Remaining keys (counts, cache hits) are informational.
+    }
+    // Absolute multi-core scaling gate on the current run: the paper's
+    // >=2x cuSZ/cuSZx target, enforced only where a speedup is physically
+    // possible and recorded honestly where it is not.
+    for (key, &speedup) in current
+        .iter()
+        .filter(|(k, _)| k.starts_with("quality.") && k.ends_with(".multicore_speedup"))
+    {
+        if cores_now >= SPEEDUP_MIN_CORES {
+            if speedup < SPEEDUP_TARGET {
+                res.regressions.push(format!(
+                    "{key}: multi-core speedup {speedup:.2}x below the \
+                     {SPEEDUP_TARGET:.0}x target on a {cores_now:.0}-core host"
+                ));
+            }
+        } else {
+            res.warnings.push(format!(
+                "{key}: ~{speedup:.1}x ({cores_now:.0}-core host) — \
+                 multi-core >={SPEEDUP_TARGET:.0}x gate skipped"
+            ));
+        }
     }
     res
 }
@@ -672,10 +790,70 @@ mod tests {
     #[test]
     fn same_run_checks_clean_against_itself() {
         let r = collect_serially(small_config()).unwrap();
-        let b = r.baseline();
+        let mut b = r.baseline();
+        // Pin the host below the speedup gate so the self-check is about
+        // the diff rules, not this machine's actual scaling.
+        b.insert("host.cores".into(), 1.0);
         let res = check(&b, &b, true);
         assert!(res.ok(), "self-check regressions: {:?}", res.regressions);
-        assert!(res.warnings.is_empty());
+        // The only admissible warnings are the honest "gate skipped"
+        // speedup notes a small host always emits.
+        assert!(
+            res.warnings.iter().all(|w| w.contains("gate skipped")),
+            "unexpected warnings: {:?}",
+            res.warnings
+        );
+    }
+
+    #[test]
+    fn speedup_gate_binds_only_on_multicore_hosts() {
+        let mut cur: BTreeMap<String, f64> = BTreeMap::new();
+        cur.insert("host.cores".into(), 8.0);
+        cur.insert("quality.cuSZ.multicore_speedup".into(), 1.3);
+        let base = cur.clone();
+
+        // 8-core host below target: hard regression even in lax mode.
+        let res = check(&cur, &base, false);
+        assert_eq!(res.regressions.len(), 1, "{:?}", res.regressions);
+        assert!(res.regressions[0].contains("multicore_speedup"));
+
+        // Same figure on a 1-core host: recorded as a warning, not gated.
+        cur.insert("host.cores".into(), 1.0);
+        let res = check(&cur, &base, false);
+        assert!(res.ok(), "{:?}", res.regressions);
+        assert_eq!(res.warnings.len(), 1);
+        assert!(res.warnings[0].contains("gate skipped"));
+
+        // Meeting the target on a big host is clean.
+        cur.insert("host.cores".into(), 8.0);
+        cur.insert("quality.cuSZ.multicore_speedup".into(), 2.4);
+        let res = check(&cur, &base, true);
+        assert!(res.ok(), "{:?}", res.regressions);
+        assert!(res.warnings.is_empty(), "{:?}", res.warnings);
+    }
+
+    #[test]
+    fn throughput_rule_normalizes_by_recorded_cores() {
+        // Baseline captured on a 4-core box at 8 GB/s total (2 GB/s per
+        // core); current host is 1-core at 2.5 GB/s. Raw comparison would
+        // scream (2.5 < 8·0.5); per-core it is an improvement.
+        let mut base: BTreeMap<String, f64> = BTreeMap::new();
+        base.insert("host.cores".into(), 4.0);
+        base.insert("quality.cuSZ.host_compress_bps".into(), 8e9);
+        let mut cur: BTreeMap<String, f64> = BTreeMap::new();
+        cur.insert("host.cores".into(), 1.0);
+        cur.insert("quality.cuSZ.host_compress_bps".into(), 2.5e9);
+        let res = check(&cur, &base, true);
+        assert!(res.ok(), "{:?}", res.regressions);
+        assert!(res.warnings.is_empty(), "{:?}", res.warnings);
+
+        // A genuine per-core collapse still fires under strict mode, and
+        // pre-normalized *_bps_per_core keys are compared as-is.
+        cur.insert("quality.cuSZ.host_compress_bps".into(), 0.5e9);
+        base.insert("quality.cuSZ.host_compress_bps_per_core".into(), 2e9);
+        cur.insert("quality.cuSZ.host_compress_bps_per_core".into(), 0.5e9);
+        let res = check(&cur, &base, true);
+        assert_eq!(res.regressions.len(), 2, "{:?}", res.regressions);
     }
 
     #[test]

@@ -11,7 +11,8 @@ use crate::bitio::{BitReader, BitWriter};
 use crate::error::CodecError;
 use crate::huffman::{histogram, HuffmanDecoder, HuffmanEncoder};
 use crate::varint::{read_uvarint, write_uvarint};
-use gpu_model::exec::par_map_blocks;
+use gpu_model::exec::{par_chunks_mut, par_map_blocks};
+use std::sync::Mutex;
 
 /// Symbols per chunk (cuSZ uses a few thousand per thread block).
 pub const DEFAULT_CHUNK: usize = 4096;
@@ -82,26 +83,59 @@ pub fn decode_chunked(data: &[u8]) -> Result<Vec<u32>, CodecError> {
 pub fn decode_chunked_into(data: &[u8], out: &mut Vec<u32>) -> Result<(), CodecError> {
     let mut pos = 0usize;
     let (n, chunk, dec, lens, payload_start) = read_header(data, &mut pos)?;
-    // (byte offset, byte length, symbol count) per chunk, from the gap array.
+    out.clear();
+    out.resize(n, 0);
+    decode_chunks(data, chunk, &dec, &lens, payload_start, out)
+}
+
+/// [`decode_chunked`] into an exactly-sized slice — the zero-allocation
+/// variant the compressors' arena-backed paths use. Errors with
+/// `Corrupt("symbol count mismatch")` when the stream's declared element
+/// count differs from `out.len()`.
+pub fn decode_chunked_into_slice(data: &[u8], out: &mut [u32]) -> Result<(), CodecError> {
+    let mut pos = 0usize;
+    let (n, chunk, dec, lens, payload_start) = read_header(data, &mut pos)?;
+    if n != out.len() {
+        return Err(CodecError::Corrupt("symbol count mismatch"));
+    }
+    decode_chunks(data, chunk, &dec, &lens, payload_start, out)
+}
+
+/// Fans the per-chunk payloads out over the executor, each decoding
+/// straight into its disjoint region of `out` — no per-chunk result
+/// vectors. `out.chunks_mut(chunk)` aligns 1:1 with the gap array because
+/// `read_header` enforces `lens.len() == n.div_ceil(chunk)`.
+fn decode_chunks(
+    data: &[u8],
+    chunk: usize,
+    dec: &HuffmanDecoder,
+    lens: &[usize],
+    payload_start: usize,
+    out: &mut [u32],
+) -> Result<(), CodecError> {
+    // (byte offset, byte length) per chunk, from the gap array.
     let mut meta = Vec::with_capacity(lens.len());
     let mut offset = payload_start;
-    for (k, &len) in lens.iter().enumerate() {
-        meta.push((offset, len, chunk.min(n - k * chunk)));
+    for &len in lens {
+        meta.push((offset, len));
         offset += len;
     }
-    let pieces = par_map_blocks(&meta, 1, |_, m| {
-        let (offset, len, want) = m[0];
-        Some(decode_one_chunk(data, offset, len, &dec, want))
+    // Record the lowest-indexed failure so the surfaced error does not
+    // depend on worker scheduling.
+    let first_err: Mutex<Option<(usize, CodecError)>> = Mutex::new(None);
+    par_chunks_mut(out, chunk, |k, dst| {
+        let (offset, len) = meta[k];
+        if let Err(e) = decode_one_chunk_into(data, offset, len, dec, dst) {
+            let mut slot = first_err.lock().unwrap_or_else(|p| p.into_inner());
+            if slot.as_ref().is_none_or(|(i, _)| k < *i) {
+                *slot = Some((k, e));
+            }
+        }
     });
-    out.clear();
-    out.reserve(n);
-    for piece in pieces {
-        out.extend(piece.expect("one meta entry per block")?);
+    match first_err.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
     }
-    if out.len() != n {
-        return Err(CodecError::Corrupt("chunked stream element count mismatch"));
-    }
-    Ok(())
 }
 
 /// Decodes only chunk `k` of the stream — the random-access path the gap
@@ -176,11 +210,23 @@ fn decode_one_chunk(
     dec: &HuffmanDecoder,
     want: usize,
 ) -> Result<Vec<u32>, CodecError> {
+    let mut out = vec![0u32; want];
+    decode_one_chunk_into(data, offset, len, dec, &mut out)?;
+    Ok(out)
+}
+
+fn decode_one_chunk_into(
+    data: &[u8],
+    offset: usize,
+    len: usize,
+    dec: &HuffmanDecoder,
+    out: &mut [u32],
+) -> Result<(), CodecError> {
     if offset + len > data.len() {
         return Err(CodecError::UnexpectedEof);
     }
     let mut r = BitReader::new(&data[offset..offset + len]);
-    dec.decode_all(&mut r, want)
+    dec.decode_into(&mut r, out)
 }
 
 #[cfg(test)]
@@ -255,6 +301,20 @@ mod tests {
         let mut dec = vec![7u32; 3];
         decode_chunked_into(&enc, &mut dec).unwrap();
         assert_eq!(dec, syms);
+    }
+
+    #[test]
+    fn slice_variant_checks_length_and_decodes() {
+        let syms = sample(9000, 64, 11);
+        let enc = encode_chunked(&syms, 64, 1024);
+        let mut dst = vec![7u32; syms.len()];
+        decode_chunked_into_slice(&enc, &mut dst).unwrap();
+        assert_eq!(dst, syms);
+        let mut wrong = vec![0u32; syms.len() - 1];
+        assert_eq!(
+            decode_chunked_into_slice(&enc, &mut wrong).unwrap_err(),
+            CodecError::Corrupt("symbol count mismatch")
+        );
     }
 
     #[test]

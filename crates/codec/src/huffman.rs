@@ -201,11 +201,38 @@ impl HuffmanEncoder {
     }
 }
 
+/// Width of the multi-symbol decode prefix table: one peek of this many
+/// bits resolves every code that fits entirely inside the window.
+pub const DECODE_LUT_BITS: u32 = 12;
+
+/// Maximum symbols resolved by a single prefix-table hit (short codes on
+/// skewed data pack several symbols into one 12-bit window).
+const LUT_SYMS: usize = 8;
+
+/// One multi-symbol prefix-table entry: up to [`LUT_SYMS`] symbols whose
+/// codes are fully contained in the peeked [`DECODE_LUT_BITS`] window,
+/// plus the total bits they consume. `count == 0` means the window could
+/// not resolve even one symbol (long code or invalid prefix) and the
+/// caller must fall back to [`HuffmanDecoder::decode_symbol`].
+#[derive(Debug, Clone, Copy)]
+struct LutEntry {
+    syms: [u32; LUT_SYMS],
+    count: u8,
+    bits: u8,
+}
+
 /// Table-driven canonical Huffman decoder.
 #[derive(Debug)]
 pub struct HuffmanDecoder {
     /// `table[peeked_bits] = (symbol, code_len)`; indexed by `max_len` bits.
+    /// This is the scalar reference path ([`decode_symbol`]) and the
+    /// fallback for codes longer than the prefix window.
+    ///
+    /// [`decode_symbol`]: HuffmanDecoder::decode_symbol
     table: Vec<(u32, u8)>,
+    /// Multi-symbol prefix table indexed by [`DECODE_LUT_BITS`] peeked
+    /// bits; empty when `max_len == 0`.
+    lut: Vec<LutEntry>,
     max_len: u32,
 }
 
@@ -216,6 +243,7 @@ impl HuffmanDecoder {
         if max_len == 0 {
             return Ok(HuffmanDecoder {
                 table: Vec::new(),
+                lut: Vec::new(),
                 max_len: 0,
             });
         }
@@ -245,7 +273,12 @@ impl HuffmanDecoder {
                 idx += step;
             }
         }
-        Ok(HuffmanDecoder { table, max_len })
+        let lut = build_lut(&table, max_len);
+        Ok(HuffmanDecoder {
+            table,
+            lut,
+            max_len,
+        })
     }
 
     /// Reads the table serialized by [`HuffmanEncoder::write_table`].
@@ -291,14 +324,84 @@ impl HuffmanDecoder {
         Ok(sym)
     }
 
+    /// Decodes exactly `out.len()` symbols into `out`.
+    ///
+    /// The hot path peeks [`DECODE_LUT_BITS`] bits and resolves every code
+    /// contained in the window with one table hit — several symbols per
+    /// lookup on skewed data — instead of one max-len peek per symbol. The
+    /// fast path only engages when the reader still holds a full window
+    /// and the entry does not overshoot the requested symbol count, so
+    /// stream-end handling, exact-`n` semantics, and all error cases fall
+    /// through to [`decode_symbol`](HuffmanDecoder::decode_symbol) and are
+    /// byte-for-byte identical to the one-at-a-time walk (proptested in
+    /// the codec suite).
+    pub fn decode_into(&self, r: &mut BitReader<'_>, out: &mut [u32]) -> Result<(), CodecError> {
+        let n = out.len();
+        if self.max_len == 0 {
+            if n == 0 {
+                return Ok(());
+            }
+            return Err(CodecError::Corrupt("decode with empty code"));
+        }
+        let mut i = 0usize;
+        while i < n {
+            if r.remaining_bits() >= DECODE_LUT_BITS as usize {
+                let e = &self.lut[r.peek_bits(DECODE_LUT_BITS) as usize];
+                let c = e.count as usize;
+                if c > 0 && c <= n - i {
+                    // Every packed code lies inside the peeked window, so
+                    // the reader holds at least `e.bits` buffered bits.
+                    r.consume(e.bits as u32);
+                    out[i..i + c].copy_from_slice(&e.syms[..c]);
+                    i += c;
+                    continue;
+                }
+            }
+            out[i] = self.decode_symbol(r)?;
+            i += 1;
+        }
+        Ok(())
+    }
+
     /// Decodes exactly `n` symbols.
     pub fn decode_all(&self, r: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>, CodecError> {
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.decode_symbol(r)?);
-        }
+        let mut out = vec![0u32; n];
+        self.decode_into(r, &mut out)?;
         Ok(out)
     }
+}
+
+/// Builds the multi-symbol prefix table from the flat `max_len` table.
+///
+/// For each possible window, greedily decode symbols as long as each
+/// code's full length fits in the window's remaining *known* bits. The
+/// flat-table lookup pads the unknown upper bits with zeros; by the prefix
+/// property that padding can only matter when the selected code is longer
+/// than the remaining bits, which is exactly the case we refuse to pack.
+fn build_lut(table: &[(u32, u8)], max_len: u32) -> Vec<LutEntry> {
+    let mask = (1usize << max_len) - 1;
+    (0..1usize << DECODE_LUT_BITS)
+        .map(|idx| {
+            let mut e = LutEntry {
+                syms: [0; LUT_SYMS],
+                count: 0,
+                bits: 0,
+            };
+            let mut used = 0u32;
+            while (e.count as usize) < LUT_SYMS {
+                let rem = DECODE_LUT_BITS - used;
+                let (sym, len) = table[(idx >> used) & mask];
+                if sym == u32::MAX || len as u32 > rem {
+                    break;
+                }
+                e.syms[e.count as usize] = sym;
+                e.count += 1;
+                used += len as u32;
+            }
+            e.bits = used as u8;
+            e
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -411,6 +514,58 @@ mod tests {
     fn corrupt_table_rejected() {
         // Oversubscribed: three symbols of length 1.
         assert!(HuffmanDecoder::from_lengths(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn lut_decode_matches_symbol_at_a_time() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        // Zipf-ish: short codes dominate, with a long-code tail that forces
+        // the LUT fallback path.
+        let syms: Vec<u32> = (0..10_000)
+            .map(|_| {
+                let r: f64 = rng.gen();
+                ((1.0 / (r + 0.0005)).log2().floor() as u32).min(500)
+            })
+            .collect();
+        let freqs = histogram(&syms, 512);
+        let enc = HuffmanEncoder::from_freqs(&freqs);
+        let mut w = BitWriter::new();
+        enc.encode_all(&mut w, &syms);
+        let bytes = w.finish();
+        let dec = HuffmanDecoder::from_lengths(enc.lengths()).unwrap();
+
+        let mut r = BitReader::new(&bytes);
+        let mut fast = vec![0u32; syms.len()];
+        dec.decode_into(&mut r, &mut fast).unwrap();
+        let tail_fast = r.remaining_bits();
+
+        let mut r = BitReader::new(&bytes);
+        let mut slow = Vec::with_capacity(syms.len());
+        for _ in 0..syms.len() {
+            slow.push(dec.decode_symbol(&mut r).unwrap());
+        }
+        assert_eq!(fast, slow);
+        assert_eq!(fast, syms);
+        assert_eq!(tail_fast, r.remaining_bits(), "same bits consumed");
+    }
+
+    #[test]
+    fn lut_decode_truncation_errors_match_reference() {
+        let syms: Vec<u32> = (0..256u32).chain(std::iter::repeat_n(3, 300)).collect();
+        let freqs = histogram(&syms, 256);
+        let enc = HuffmanEncoder::from_freqs(&freqs);
+        let mut w = BitWriter::new();
+        enc.encode_all(&mut w, &syms);
+        let bytes = w.finish();
+        let dec = HuffmanDecoder::from_lengths(enc.lengths()).unwrap();
+        for cut in [0, 1, 2, bytes.len() / 2, bytes.len() - 1] {
+            let mut rf = BitReader::new(&bytes[..cut]);
+            let fast = dec.decode_into(&mut rf, &mut vec![0u32; syms.len()]);
+            let mut rs = BitReader::new(&bytes[..cut]);
+            let slow = (0..syms.len()).try_for_each(|_| dec.decode_symbol(&mut rs).map(|_| ()));
+            assert_eq!(fast.is_err(), slow.is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -21,11 +21,11 @@
 use crate::traits::{
     read_stream_header, stream_header_into, value_range, Compressor, CompressorKind, ErrorBound,
 };
-use codec_kit::chunked::{decode_chunked_into, encode_chunked_into, DEFAULT_CHUNK};
+use codec_kit::chunked::{decode_chunked_into_slice, encode_chunked_into, DEFAULT_CHUNK};
 use codec_kit::varint::{read_ivarint, read_uvarint, write_ivarint, write_uvarint};
 use codec_kit::CodecError;
-use gpu_model::exec::par_map_blocks;
-use gpu_model::{KernelSpec, MemoryPattern, Stream};
+use gpu_model::exec::par_map_chunks_mut;
+use gpu_model::{with_arena_phase, KernelSpec, MemoryPattern, Stream};
 
 /// Stream id of cuSZ.
 pub const CUSZ_ID: u8 = 1;
@@ -66,43 +66,129 @@ impl CuSz {
 /// Values per parallel dual-quant block.
 const QUANT_BLOCK: usize = 1 << 14;
 
-/// Quantizes into (symbols, outliers); shared with the framework crate.
+/// Width of the unrolled dual-quant inner loop.
+const LANES: usize = 8;
+
+/// Pre-quantization: `ep = round(x / 2eb)`. Deltas use wrapping arithmetic
+/// everywhere (kernel, scalar reference, reconstruction) so non-finite
+/// inputs — whose `as i64` casts saturate at the integer edges — quantize
+/// without overflow panics in debug builds.
+#[inline]
+fn quantize(x: f64, twoeb: f64) -> i64 {
+    (x / twoeb).round() as i64
+}
+
+/// Scalar reference for [`dual_quant_into`]: the serial single-pass walk.
+///
+/// This is the *definition* of the dual-quant output; the vectorized
+/// kernel must stay bit-identical to it on every input (proptested in
+/// `tests/kernel_proptests.rs`). Keep it boring.
+pub fn dual_quant_scalar(data: &[f64], twoeb: f64, radius: i64) -> (Vec<u32>, Vec<(usize, i64)>) {
+    let mut symbols = Vec::with_capacity(data.len());
+    let mut outliers = Vec::new();
+    let mut prev_ep = 0i64;
+    for (i, &x) in data.iter().enumerate() {
+        let ep = quantize(x, twoeb);
+        let delta = ep.wrapping_sub(prev_ep);
+        if delta > -radius && delta < radius {
+            symbols.push((delta + radius) as u32);
+        } else {
+            symbols.push(0);
+            outliers.push((i, ep));
+        }
+        prev_ep = ep;
+    }
+    (symbols, outliers)
+}
+
+/// Quantizes `data` into `symbols` (same length) and returns the sparse
+/// outlier list. Bit-identical to [`dual_quant_scalar`].
 ///
 /// Block-parallel: `δ_i` depends only on `ep_i` and `ep_{i−1}`, both pure
 /// functions of the input, so each block re-derives its predecessor's `ep`
-/// from `data[lo−1]` and proceeds independently. Blocks concatenate in
-/// index order — symbols and the outlier list are identical to the serial
-/// single-pass walk.
-pub(crate) fn dual_quant(data: &[f64], twoeb: f64, radius: i64) -> (Vec<u32>, Vec<(usize, i64)>) {
-    let parts = par_map_blocks(data, QUANT_BLOCK, |b, chunk| {
+/// from `data[lo−1]` and proceeds independently; blocks concatenate in
+/// index order. Within a block the loop is unrolled [`LANES`] wide with
+/// branchless clamp/select — the out-of-range test for all eight lanes is
+/// accumulated into one `u64` bitmask and only the (rare) set bits take
+/// the outlier path, via `trailing_zeros`/`mask &= mask - 1`.
+pub fn dual_quant_into(
+    data: &[f64],
+    twoeb: f64,
+    radius: i64,
+    symbols: &mut [u32],
+) -> Vec<(usize, i64)> {
+    assert_eq!(symbols.len(), data.len(), "symbol buffer length mismatch");
+    let parts = par_map_chunks_mut(symbols, QUANT_BLOCK, |b, sym| {
         let base = b * QUANT_BLOCK;
-        let mut symbols = Vec::with_capacity(chunk.len());
-        let mut outliers = Vec::new();
-        let mut prev_ep = if base == 0 {
+        let chunk = &data[base..base + sym.len()];
+        let prev_ep = if base == 0 {
             0i64
         } else {
-            (data[base - 1] / twoeb).round() as i64
+            quantize(data[base - 1], twoeb)
         };
-        for (j, &x) in chunk.iter().enumerate() {
-            let ep = (x / twoeb).round() as i64;
-            let delta = ep - prev_ep;
-            if delta > -radius && delta < radius {
-                symbols.push((delta + radius) as u32);
-            } else {
-                symbols.push(0);
-                outliers.push((base + j, ep));
-            }
-            prev_ep = ep;
-        }
-        (symbols, outliers)
+        dual_quant_block(chunk, twoeb, radius, prev_ep, base, sym)
     });
-    let mut symbols = Vec::with_capacity(data.len());
     let mut outliers = Vec::new();
-    for (s, o) in &parts {
-        symbols.extend_from_slice(s);
+    for o in &parts {
         outliers.extend_from_slice(o);
     }
-    (symbols, outliers)
+    outliers
+}
+
+/// One block of the vectorized dual-quant kernel: writes `sym_out`
+/// (`chunk.len()` symbols), returns the block's outliers at absolute
+/// indices (`base +` local offset).
+fn dual_quant_block(
+    chunk: &[f64],
+    twoeb: f64,
+    radius: i64,
+    mut prev_ep: i64,
+    base: usize,
+    sym_out: &mut [u32],
+) -> Vec<(usize, i64)> {
+    debug_assert_eq!(chunk.len(), sym_out.len());
+    let mut outliers = Vec::new();
+    let mut i = 0usize;
+    while i + LANES <= chunk.len() {
+        let mut ep = [0i64; LANES];
+        for j in 0..LANES {
+            ep[j] = quantize(chunk[i + j], twoeb);
+        }
+        let mut mask: u64 = 0;
+        for j in 0..LANES {
+            let pred = if j == 0 { prev_ep } else { ep[j - 1] };
+            let delta = ep[j].wrapping_sub(pred);
+            // Branchless select: symbol = δ + radius when in range, else 0
+            // (the outlier marker). `ok as u32` negated gives an all-ones /
+            // all-zeros mask; the wrapping add keeps out-of-range lanes
+            // defined — their value is discarded by the mask anyway.
+            let ok = (delta > -radius) & (delta < radius);
+            sym_out[i + j] = (delta.wrapping_add(radius) as u32) & (ok as u32).wrapping_neg();
+            mask |= ((!ok) as u64) << j;
+        }
+        // Rare path: visit only the set (outlier) bits.
+        while mask != 0 {
+            let j = mask.trailing_zeros() as usize;
+            outliers.push((base + i + j, ep[j]));
+            mask &= mask - 1;
+        }
+        prev_ep = ep[LANES - 1];
+        i += LANES;
+    }
+    // Scalar tail, same arithmetic.
+    while i < chunk.len() {
+        let ep = quantize(chunk[i], twoeb);
+        let delta = ep.wrapping_sub(prev_ep);
+        if delta > -radius && delta < radius {
+            sym_out[i] = (delta + radius) as u32;
+        } else {
+            sym_out[i] = 0;
+            outliers.push((base + i, ep));
+        }
+        prev_ep = ep;
+        i += 1;
+    }
+    outliers
 }
 
 impl Compressor for CuSz {
@@ -146,60 +232,66 @@ impl Compressor for CuSz {
         let nbytes = (n * 8) as u64;
         let ws = crate::workspace();
 
-        // Kernel 1: fused pre-quant + Lorenzo delta (streaming; writes u16
-        // codes and the sparse outlier list).
-        let (symbols, outliers) = stream.launch(
-            &KernelSpec::streaming("cusz::dual_quant", nbytes, (n * 2) as u64)
-                .with_flops((n * 4) as u64),
-            || dual_quant(data, twoeb, self.radius),
-        );
+        // The symbol buffer lives in the caller thread's bump arena for the
+        // duration of this compression phase; the phase release reclaims it
+        // with one cursor move.
+        with_arena_phase(|arena| {
+            // Kernel 1: fused pre-quant + Lorenzo delta (streaming; writes
+            // u16 codes and the sparse outlier list).
+            let symbols = arena.alloc_u32(n);
+            let outliers = stream.launch(
+                &KernelSpec::streaming("cusz::dual_quant", nbytes, (n * 2) as u64)
+                    .with_flops((n * 4) as u64),
+                || dual_quant_into(data, twoeb, self.radius, &mut *symbols),
+            );
 
-        // Kernel 2: histogram (shared-memory atomics → Random pattern).
-        let alphabet = (2 * self.radius) as usize;
-        stream.launch(
-            &KernelSpec::streaming("cusz::histogram", (n * 2) as u64, 4 * alphabet as u64)
-                .with_pattern(MemoryPattern::Random),
-            || (),
-        );
+            // Kernel 2: histogram (shared-memory atomics → Random pattern).
+            let alphabet = (2 * self.radius) as usize;
+            stream.launch(
+                &KernelSpec::streaming("cusz::histogram", (n * 2) as u64, 4 * alphabet as u64)
+                    .with_pattern(MemoryPattern::Random),
+                || (),
+            );
 
-        // Kernel 3: codebook construction — tiny but partially serial.
-        stream.launch(
-            &KernelSpec::streaming("cusz::huffman_build", 8 * alphabet as u64, alphabet as u64)
-                .with_serial_fraction(0.02),
-            || (),
-        );
+            // Kernel 3: codebook construction — tiny but partially serial.
+            stream.launch(
+                &KernelSpec::streaming("cusz::huffman_build", 8 * alphabet as u64, alphabet as u64)
+                    .with_serial_fraction(0.02),
+                || (),
+            );
 
-        stream_header_into(CUSZ_ID, n, out);
-        out.extend_from_slice(&eb.to_le_bytes());
-        write_uvarint(out, self.radius as u64);
+            stream_header_into(CUSZ_ID, n, out);
+            out.extend_from_slice(&eb.to_le_bytes());
+            write_uvarint(out, self.radius as u64);
 
-        // Kernel 4: Huffman emission — the bit-serial stage that dominates.
-        // Chunked with a gap array, as real cuSZ lays it out for
-        // block-parallel decode (the codebook build above feeds it).
-        let mut payload = ws.take_u8_spare(n / 2 + 64);
-        stream.launch(
-            &KernelSpec::streaming("cusz::huffman_encode", (n * 2) as u64, n as u64 / 2)
-                .with_pattern(MemoryPattern::BitSerial),
-            || encode_chunked_into(&symbols, alphabet, DEFAULT_CHUNK, &mut payload),
-        );
-        write_uvarint(out, payload.len() as u64);
-        out.extend_from_slice(&payload);
-        ws.put_u8(payload);
+            // Kernel 4: Huffman emission — the bit-serial stage that
+            // dominates. Chunked with a gap array, as real cuSZ lays it out
+            // for block-parallel decode (the codebook build above feeds it).
+            let mut payload = ws.take_u8_spare(n / 2 + 64);
+            stream.launch(
+                &KernelSpec::streaming("cusz::huffman_encode", (n * 2) as u64, n as u64 / 2)
+                    .with_pattern(MemoryPattern::BitSerial),
+                || encode_chunked_into(symbols, alphabet, DEFAULT_CHUNK, &mut payload),
+            );
+            write_uvarint(out, payload.len() as u64);
+            out.extend_from_slice(&payload);
+            ws.put_u8(payload);
 
-        // Outliers: gather kernel (sparse, Random).
-        stream.launch(
-            &KernelSpec::streaming("cusz::outlier_gather", 0, (outliers.len() * 12) as u64)
-                .with_pattern(MemoryPattern::Random),
-            || (),
-        );
-        write_uvarint(out, outliers.len() as u64);
-        let mut last_idx = 0usize;
-        for &(idx, ep) in &outliers {
-            write_uvarint(out, (idx - last_idx) as u64);
-            write_ivarint(out, ep);
-            last_idx = idx;
-        }
-        Ok(())
+            // Outliers: gather kernel (sparse, Random).
+            stream.launch(
+                &KernelSpec::streaming("cusz::outlier_gather", 0, (outliers.len() * 12) as u64)
+                    .with_pattern(MemoryPattern::Random),
+                || (),
+            );
+            write_uvarint(out, outliers.len() as u64);
+            let mut last_idx = 0usize;
+            for &(idx, ep) in &outliers {
+                write_uvarint(out, (idx - last_idx) as u64);
+                write_ivarint(out, ep);
+                last_idx = idx;
+            }
+            Ok(())
+        })
     }
 
     fn decompress_raw(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
@@ -233,28 +325,18 @@ impl Compressor for CuSz {
         }
         let payload = &bytes[pos..pos + payload_len];
         pos += payload_len;
-        let ws = crate::workspace();
 
-        // Kernel 1: Huffman decode — chunk-parallel thanks to the gap array.
-        let mut symbols = ws.take_u32_spare(n);
-        let decoded = stream.launch(
-            &KernelSpec::streaming("cusz::huffman_decode", payload_len as u64, (n * 2) as u64)
-                .with_pattern(MemoryPattern::BitSerial),
-            || {
-                decode_chunked_into(payload, &mut symbols)?;
-                if symbols.len() != n {
-                    return Err(CodecError::Corrupt("symbol count mismatch"));
-                }
-                Ok(())
-            },
-        );
-        if let Err(e) = decoded {
-            ws.put_u32(symbols);
-            return Err(e);
-        }
+        with_arena_phase(|arena| {
+            // Kernel 1: Huffman decode — chunk-parallel thanks to the gap
+            // array, written straight into the arena-backed symbol buffer.
+            let symbols = arena.alloc_u32(n);
+            stream.launch(
+                &KernelSpec::streaming("cusz::huffman_decode", payload_len as u64, (n * 2) as u64)
+                    .with_pattern(MemoryPattern::BitSerial),
+                || decode_chunked_into_slice(payload, &mut *symbols),
+            )?;
 
-        // Outlier scatter.
-        let result = (|| {
+            // Outlier scatter.
             let outlier_count = read_uvarint(bytes, &mut pos)? as usize;
             if outlier_count > n {
                 return Err(CodecError::Corrupt("more outliers than elements"));
@@ -307,9 +389,7 @@ impl Compressor for CuSz {
                     Ok(())
                 },
             )
-        })();
-        ws.put_u32(symbols);
-        result
+        })
     }
 }
 

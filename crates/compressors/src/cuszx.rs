@@ -16,12 +16,12 @@ use crate::traits::{
     read_stream_header, stream_header_into, value_range, Compressor, CompressorKind, ErrorBound,
 };
 use codec_kit::bitio::{BitReader, BitWriter};
-use codec_kit::bitpack::{pack, required_width, unpack};
+use codec_kit::bitpack::unpack;
 use codec_kit::varint::{read_uvarint, write_uvarint};
 use codec_kit::varint::{unzigzag, zigzag};
 use codec_kit::CodecError;
-use gpu_model::exec::par_map_blocks;
-use gpu_model::{KernelSpec, MemoryPattern, Stream};
+use gpu_model::exec::{par_map_blocks, serial_for_blocks, worker_count};
+use gpu_model::{with_arena_phase, KernelSpec, MemoryPattern, Stream};
 
 /// Stream id of cuSZx.
 pub const CUSZX_ID: u8 = 2;
@@ -110,9 +110,29 @@ impl Compressor for CuSzx {
                 .with_flops((n * 3) as u64),
             || {
                 let twoeb = 2.0 * eb;
+                if worker_count() == 1 {
+                    // Serial fast path: every block encodes straight into
+                    // the pooled output writer, with one arena-backed code
+                    // scratch reused across blocks — zero heap allocation
+                    // on the warm path. `BitWriter::append` is bit-exact,
+                    // so this emits the same stream as the parallel path,
+                    // and `serial_for_blocks` keeps the per-block fault
+                    // point and panic accounting of the executor.
+                    return with_arena_phase(|arena| {
+                        let scratch = arena.alloc_u64(bs.min(n));
+                        let mut w = BitWriter::from_vec(ws.take_u8_spare(n));
+                        let mut blocks = data.chunks(bs);
+                        serial_for_blocks(n.div_ceil(bs), |_| {
+                            let block = blocks.next().expect("block count matches chunks");
+                            encode_block(block, eb, twoeb, scratch, &mut w);
+                        });
+                        w.finish()
+                    });
+                }
                 let parts = par_map_blocks(data, bs, |_, block| {
+                    let mut scratch = vec![0u64; block.len()];
                     let mut w = BitWriter::with_capacity(block.len());
-                    encode_block(block, eb, twoeb, &mut w);
+                    encode_block(block, eb, twoeb, &mut scratch, &mut w);
                     w
                 });
                 let mut w = BitWriter::from_vec(ws.take_u8_spare(n));
@@ -180,8 +200,46 @@ impl Compressor for CuSzx {
     }
 }
 
-fn encode_block(block: &[f64], eb: f64, twoeb: f64, w: &mut BitWriter) {
-    let mean = block.iter().sum::<f64>() / block.len() as f64;
+/// Width of the unrolled block-kernel inner loops.
+const LANES: usize = 8;
+
+/// Block mean via an eight-lane sum tree.
+///
+/// This reduction order — lane `j` accumulates elements `j`, `j+8`,
+/// `j+16`, … and the lanes combine pairwise `((0+1)+(2+3)) +
+/// ((4+5)+(6+7))` — **is** the stream format's definition of the block
+/// mean. Both the scalar reference and the unrolled kernel implement
+/// exactly this order, so they are bit-identical; the unrolled kernel's
+/// accumulators carry no loop dependency, which is what lets the adds
+/// pipeline.
+pub fn block_mean(block: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; LANES];
+    for (i, &v) in block.iter().enumerate() {
+        lanes[i % LANES] += v;
+    }
+    let s = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    s / block.len() as f64
+}
+
+#[inline]
+fn quant_dev(v: f64, mean: f64, twoeb: f64) -> u64 {
+    zigzag(((v - mean) / twoeb).round() as i64)
+}
+
+/// Scalar reference for [`encode_block`]: simple loops, same stream bytes
+/// (proptested in `tests/kernel_proptests.rs`).
+///
+/// The block radius is a `max` fold, which is order-insensitive down to
+/// the bit level (`|v − mean|` never yields `-0.0`, and `f64::max`
+/// ignores NaN operands in any association), so the reference keeps the
+/// plain sequential fold. Deviations are emitted with `write_bits` —
+/// which masks to the emitted width — rather than `bitpack::pack`: at the
+/// capped width of 57 an adversarial deviation can exceed the width and
+/// `pack`'s debug assertion would reject what is identical masked output
+/// in release builds.
+pub fn encode_block_scalar(block: &[f64], eb: f64, twoeb: f64, w: &mut BitWriter) {
+    let mean = block_mean(block);
     let radius = block.iter().map(|&v| (v - mean).abs()).fold(0.0, f64::max);
     if radius <= eb {
         w.write_bit(true); // constant block
@@ -190,16 +248,123 @@ fn encode_block(block: &[f64], eb: f64, twoeb: f64, w: &mut BitWriter) {
     }
     w.write_bit(false);
     w.write_u64(mean.to_bits());
-    let codes: Vec<u64> = block
+    let codes: Vec<u64> = block.iter().map(|&v| quant_dev(v, mean, twoeb)).collect();
+    let width = codes
         .iter()
-        .map(|&v| zigzag(((v - mean) / twoeb).round() as i64))
-        .collect();
-    let width = required_width(&codes).min(57);
+        .map(|&c| 64 - c.leading_zeros())
+        .max()
+        .unwrap_or(0)
+        .min(57);
     w.write_bits(width as u64, 6);
-    pack(&codes, width, w);
+    for &c in &codes {
+        w.write_bits(c, width);
+    }
 }
 
-fn decode_block(
+/// The vectorized cuSZx block encoder: eight-lane unrolled stats and
+/// emission, bit-identical to [`encode_block_scalar`].
+///
+/// `scratch` holds the zigzag codes (`len ≥ block.len()`; arena- or
+/// pool-backed by the callers, so the kernel itself performs no heap
+/// allocation). Three passes, all width-8: lane-tree sum (see
+/// [`block_mean`]), radius via eight independent `max` accumulators, and
+/// code emission with an OR-accumulated width — `64 −
+/// leading_zeros(OR of all codes)` equals the max per-code width, one
+/// `u64` bit-trick instead of a per-element compare. When two codes fit
+/// the 57-bit writer limit they are fused into one `write_bits` call.
+pub fn encode_block(block: &[f64], eb: f64, twoeb: f64, scratch: &mut [u64], w: &mut BitWriter) {
+    let codes = &mut scratch[..block.len()];
+    let n = block.len();
+
+    // Pass 1: lane-tree mean.
+    let mut sum = [0.0f64; LANES];
+    let mut i = 0usize;
+    while i + LANES <= n {
+        for j in 0..LANES {
+            sum[j] += block[i + j];
+        }
+        i += LANES;
+    }
+    let mut j = 0usize;
+    while i < n {
+        sum[j] += block[i];
+        i += 1;
+        j += 1;
+    }
+    let mean = (((sum[0] + sum[1]) + (sum[2] + sum[3])) + ((sum[4] + sum[5]) + (sum[6] + sum[7])))
+        / n as f64;
+
+    // Pass 2: radius, eight max accumulators (order-insensitive; see the
+    // scalar reference).
+    let mut rad = [0.0f64; LANES];
+    let mut i = 0usize;
+    while i + LANES <= n {
+        for j in 0..LANES {
+            rad[j] = rad[j].max((block[i + j] - mean).abs());
+        }
+        i += LANES;
+    }
+    while i < n {
+        rad[0] = rad[0].max((block[i] - mean).abs());
+        i += 1;
+    }
+    let radius = (rad[0].max(rad[1]))
+        .max(rad[2].max(rad[3]))
+        .max((rad[4].max(rad[5])).max(rad[6].max(rad[7])));
+
+    if radius <= eb {
+        w.write_bit(true); // constant block
+        w.write_u64(mean.to_bits());
+        return;
+    }
+    w.write_bit(false);
+    w.write_u64(mean.to_bits());
+
+    // Pass 3: zigzag codes with OR-accumulated width.
+    let mut acc = [0u64; LANES];
+    let mut i = 0usize;
+    while i + LANES <= n {
+        for j in 0..LANES {
+            let c = quant_dev(block[i + j], mean, twoeb);
+            codes[i + j] = c;
+            acc[j] |= c;
+        }
+        i += LANES;
+    }
+    let mut orall =
+        ((acc[0] | acc[1]) | (acc[2] | acc[3])) | ((acc[4] | acc[5]) | (acc[6] | acc[7]));
+    while i < n {
+        let c = quant_dev(block[i], mean, twoeb);
+        codes[i] = c;
+        orall |= c;
+        i += 1;
+    }
+    let width = (64 - orall.leading_zeros()).min(57);
+    w.write_bits(width as u64, 6);
+    if width == 0 {
+        return; // all-zero deviations pack to zero bits
+    }
+    let mut k = 0usize;
+    if 2 * width <= 57 {
+        // Fused pair emission: LSB-first concatenation makes
+        // `write_bits(lo | hi << width, 2·width)` bit-identical to two
+        // single writes (write_bits masks each operand to `width`).
+        let m = u64::MAX >> (64 - width);
+        while k + 2 <= n {
+            w.write_bits((codes[k] & m) | ((codes[k + 1] & m) << width), 2 * width);
+            k += 2;
+        }
+    }
+    while k < n {
+        w.write_bits(codes[k], width);
+        k += 1;
+    }
+}
+
+/// Scalar reference for [`decode_block`]: header, `bitpack::unpack` into a
+/// vector, then dequantize. Same values and same error cases as the fused
+/// kernel (proptested).
+pub fn decode_block_scalar(
     r: &mut BitReader<'_>,
     len: usize,
     twoeb: f64,
@@ -218,6 +383,64 @@ fn decode_block(
     let codes = unpack(r, width, len)?;
     for c in codes {
         out.push(mean + unzigzag(c) as f64 * twoeb);
+    }
+    Ok(())
+}
+
+/// The vectorized cuSZx block decoder: fused unpack + dequantize in
+/// eight-element groups with no intermediate code vector, reading fused
+/// bit pairs exactly as [`encode_block`] emits them. Bit-identical output
+/// to [`decode_block_scalar`].
+pub fn decode_block(
+    r: &mut BitReader<'_>,
+    len: usize,
+    twoeb: f64,
+    out: &mut Vec<f64>,
+) -> Result<(), CodecError> {
+    let constant = r.read_bit()?;
+    let mean = f64::from_bits(r.read_u64()?);
+    if !mean.is_finite() {
+        return Err(CodecError::Corrupt("non-finite block mean"));
+    }
+    if constant {
+        out.extend(std::iter::repeat_n(mean, len));
+        return Ok(());
+    }
+    let width = r.read_bits(6)? as u32;
+    if width > 57 {
+        return Err(CodecError::Corrupt("pack width out of range"));
+    }
+    let mut rem = len;
+    if width > 0 && 2 * width <= 57 {
+        let m = u64::MAX >> (64 - width);
+        while rem >= LANES {
+            let mut c = [0u64; LANES];
+            for j in 0..LANES / 2 {
+                let v = r.read_bits(2 * width)?;
+                c[2 * j] = v & m;
+                c[2 * j + 1] = v >> width;
+            }
+            for &cj in &c {
+                out.push(mean + unzigzag(cj) as f64 * twoeb);
+            }
+            rem -= LANES;
+        }
+    } else {
+        while rem >= LANES {
+            let mut c = [0u64; LANES];
+            for cj in &mut c {
+                *cj = r.read_bits(width)?;
+            }
+            for &cj in &c {
+                out.push(mean + unzigzag(cj) as f64 * twoeb);
+            }
+            rem -= LANES;
+        }
+    }
+    while rem > 0 {
+        let c = r.read_bits(width)?;
+        out.push(mean + unzigzag(c) as f64 * twoeb);
+        rem -= 1;
     }
     Ok(())
 }

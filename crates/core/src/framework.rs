@@ -31,7 +31,7 @@ use compressors::cuszx::CuSzx;
 use compressors::lz4::{lz4_decode_block, lz4_encode_block};
 use compressors::traits::{read_stream_header, stream_header_into, value_range};
 use compressors::{decompress_any_into, Compressor, CompressorKind, ErrorBound};
-use gpu_model::{KernelSpec, MemoryPattern, Stream, Workspace};
+use gpu_model::{with_arena_phase, KernelSpec, MemoryPattern, Stream, Workspace};
 use std::borrow::Cow;
 
 /// Stream id of the ratio-mode framework.
@@ -494,97 +494,103 @@ impl Compressor for QcfCompressor {
         stream: &Stream,
         out: &mut Vec<u8>,
     ) -> Result<(), CodecError> {
-        let (min, max) = value_range(data);
-        let abs_eb = bound.to_abs(max - min);
-        if abs_eb.is_nan() || abs_eb <= 0.0 {
-            return Err(CodecError::Unsupported("error bound must be positive"));
-        }
-        let n = data.len();
-        let split = self.stages.deinterleave && n.is_multiple_of(2) && n > 0;
+        // Pipeline-level arena phase: one compress call is one phase, so
+        // arena scratch taken by any stage below (or the backends they
+        // call, via their own nested phases) is released in a single
+        // cursor reset when the call returns.
+        with_arena_phase(|_| {
+            let (min, max) = value_range(data);
+            let abs_eb = bound.to_abs(max - min);
+            if abs_eb.is_nan() || abs_eb <= 0.0 {
+                return Err(CodecError::Unsupported("error bound must be positive"));
+            }
+            let n = data.len();
+            let split = self.stages.deinterleave && n.is_multiple_of(2) && n > 0;
 
-        stream_header_into(self.id(), n, out);
-        out.push(split as u8);
-        out.extend_from_slice(&abs_eb.to_le_bytes());
+            stream_header_into(self.id(), n, out);
+            out.push(split as u8);
+            out.extend_from_slice(&abs_eb.to_le_bytes());
 
-        if split {
-            // P1: de-interleave into pooled planes. Ratio mode materializes
-            // the planes (one streaming pass); speed mode folds the gather
-            // into its fused encode kernel, so only flops are charged here.
-            let deint_span = qcf_telemetry::span!("stage.deinterleave");
-            let deint_spec = match self.mode {
-                Mode::Ratio => {
-                    KernelSpec::streaming("qcf::deinterleave", (n * 8) as u64, (n * 8) as u64)
-                }
-                Mode::Speed => {
-                    KernelSpec::streaming("qcf::deinterleave_fused", 0, 0).with_flops(n as u64)
-                }
-            };
-            let mut re = self.ws.take_f64_spare(n / 2);
-            let mut im = self.ws.take_f64_spare(n / 2);
-            stream.launch(&deint_spec, || deinterleave_into(data, &mut re, &mut im));
-            drop(deint_span);
-            // The planes are fully independent after the split, so encode
-            // them concurrently into separate buffers and concatenate —
-            // byte-identical to the sequential order. Stream time is charged
-            // at submission (see `gpu_model::Stream`), so the virtual clock
-            // is unaffected by the overlap. Each branch recovers its owned
-            // plane into the workspace once encoding is done.
-            if gpu_model::exec::worker_count() > 1 {
-                let ws = &self.ws;
-                let (re_buf, im_buf) = std::thread::scope(|s| {
-                    let im_task = s.spawn(move || {
-                        let mut plane = Cow::Owned(im);
+            if split {
+                // P1: de-interleave into pooled planes. Ratio mode materializes
+                // the planes (one streaming pass); speed mode folds the gather
+                // into its fused encode kernel, so only flops are charged here.
+                let deint_span = qcf_telemetry::span!("stage.deinterleave");
+                let deint_spec = match self.mode {
+                    Mode::Ratio => {
+                        KernelSpec::streaming("qcf::deinterleave", (n * 8) as u64, (n * 8) as u64)
+                    }
+                    Mode::Speed => {
+                        KernelSpec::streaming("qcf::deinterleave_fused", 0, 0).with_flops(n as u64)
+                    }
+                };
+                let mut re = self.ws.take_f64_spare(n / 2);
+                let mut im = self.ws.take_f64_spare(n / 2);
+                stream.launch(&deint_spec, || deinterleave_into(data, &mut re, &mut im));
+                drop(deint_span);
+                // The planes are fully independent after the split, so encode
+                // them concurrently into separate buffers and concatenate —
+                // byte-identical to the sequential order. Stream time is charged
+                // at submission (see `gpu_model::Stream`), so the virtual clock
+                // is unaffected by the overlap. Each branch recovers its owned
+                // plane into the workspace once encoding is done.
+                if gpu_model::exec::worker_count() > 1 {
+                    let ws = &self.ws;
+                    let (re_buf, im_buf) = std::thread::scope(|s| {
+                        let im_task = s.spawn(move || {
+                            let mut plane = Cow::Owned(im);
+                            let mut buf = ws.take_u8_spare(n * 4 + 64);
+                            let res = self
+                                .encode_plane(&mut plane, abs_eb, stream, &mut buf)
+                                .map(|()| buf);
+                            if let Cow::Owned(v) = plane {
+                                ws.put_f64(v);
+                            }
+                            res
+                        });
+                        let mut plane = Cow::Owned(re);
                         let mut buf = ws.take_u8_spare(n * 4 + 64);
-                        let res = self
+                        let re_res = self
                             .encode_plane(&mut plane, abs_eb, stream, &mut buf)
                             .map(|()| buf);
                         if let Cow::Owned(v) = plane {
                             ws.put_f64(v);
                         }
-                        res
+                        (re_res, im_task.join().expect("plane encoder panicked"))
                     });
-                    let mut plane = Cow::Owned(re);
-                    let mut buf = ws.take_u8_spare(n * 4 + 64);
-                    let re_res = self
-                        .encode_plane(&mut plane, abs_eb, stream, &mut buf)
-                        .map(|()| buf);
-                    if let Cow::Owned(v) = plane {
-                        ws.put_f64(v);
+                    let (re_buf, im_buf) = (re_buf?, im_buf?);
+                    out.extend_from_slice(&re_buf);
+                    out.extend_from_slice(&im_buf);
+                    self.ws.put_u8(re_buf);
+                    self.ws.put_u8(im_buf);
+                } else {
+                    for half in [re, im] {
+                        let mut plane = Cow::Owned(half);
+                        let res = self.encode_plane(&mut plane, abs_eb, stream, out);
+                        if let Cow::Owned(v) = plane {
+                            self.ws.put_f64(v);
+                        }
+                        res?;
                     }
-                    (re_res, im_task.join().expect("plane encoder panicked"))
-                });
-                let (re_buf, im_buf) = (re_buf?, im_buf?);
-                out.extend_from_slice(&re_buf);
-                out.extend_from_slice(&im_buf);
-                self.ws.put_u8(re_buf);
-                self.ws.put_u8(im_buf);
-            } else {
-                for half in [re, im] {
-                    let mut plane = Cow::Owned(half);
-                    let res = self.encode_plane(&mut plane, abs_eb, stream, out);
-                    if let Cow::Owned(v) = plane {
-                        self.ws.put_f64(v);
-                    }
-                    res?;
                 }
+            } else {
+                // Borrowed view: encode_plane copies only if zero collapse
+                // actually engages, instead of cloning the whole input up front;
+                // if it did copy, the copy is pooled for next time.
+                let mut plane = Cow::Borrowed(data);
+                let res = self.encode_plane(&mut plane, abs_eb, stream, out);
+                if let Cow::Owned(v) = plane {
+                    self.ws.put_f64(v);
+                }
+                res?;
             }
-        } else {
-            // Borrowed view: encode_plane copies only if zero collapse
-            // actually engages, instead of cloning the whole input up front;
-            // if it did copy, the copy is pooled for next time.
-            let mut plane = Cow::Borrowed(data);
-            let res = self.encode_plane(&mut plane, abs_eb, stream, out);
-            if let Cow::Owned(v) = plane {
-                self.ws.put_f64(v);
+            if qcf_telemetry::enabled() && !out.is_empty() {
+                qcf_telemetry::registry()
+                    .float_gauge(&format!("compressor.{}.cr", self.name()))
+                    .set((n * 8) as f64 / out.len() as f64);
             }
-            res?;
-        }
-        if qcf_telemetry::enabled() && !out.is_empty() {
-            qcf_telemetry::registry()
-                .float_gauge(&format!("compressor.{}.cr", self.name()))
-                .set((n * 8) as f64 / out.len() as f64);
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     fn decompress_raw(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
@@ -599,35 +605,38 @@ impl Compressor for QcfCompressor {
         stream: &Stream,
         out: &mut Vec<f64>,
     ) -> Result<(), CodecError> {
-        let (n, mut pos) = read_stream_header(bytes, self.id())?;
-        let split = *bytes.get(pos).ok_or(CodecError::UnexpectedEof)?;
-        pos += 1;
-        if split > 1 || (split == 1 && n % 2 != 0) {
-            return Err(CodecError::Corrupt("bad split flag"));
-        }
-        if bytes.len() < pos + 8 {
-            return Err(CodecError::UnexpectedEof);
-        }
-        pos += 8; // abs_eb: informational in the header, not needed to decode
+        // Mirror of the compress-side phase: see `compress_raw_into`.
+        with_arena_phase(|_| {
+            let (n, mut pos) = read_stream_header(bytes, self.id())?;
+            let split = *bytes.get(pos).ok_or(CodecError::UnexpectedEof)?;
+            pos += 1;
+            if split > 1 || (split == 1 && n % 2 != 0) {
+                return Err(CodecError::Corrupt("bad split flag"));
+            }
+            if bytes.len() < pos + 8 {
+                return Err(CodecError::UnexpectedEof);
+            }
+            pos += 8; // abs_eb: informational in the header, not needed to decode
 
-        if split == 1 {
-            let mut re = self.ws.take_f64_spare(n / 2);
-            let mut im = self.ws.take_f64_spare(n / 2);
-            let res = (|| {
-                self.decode_plane_into(bytes, &mut pos, n / 2, stream, &mut re)?;
-                self.decode_plane_into(bytes, &mut pos, n / 2, stream, &mut im)?;
-                stream.launch(
-                    &KernelSpec::streaming("qcf::interleave", (n * 8) as u64, (n * 8) as u64),
-                    || interleave_into(&re, &im, out),
-                );
-                Ok(())
-            })();
-            self.ws.put_f64(re);
-            self.ws.put_f64(im);
-            res
-        } else {
-            self.decode_plane_into(bytes, &mut pos, n, stream, out)
-        }
+            if split == 1 {
+                let mut re = self.ws.take_f64_spare(n / 2);
+                let mut im = self.ws.take_f64_spare(n / 2);
+                let res = (|| {
+                    self.decode_plane_into(bytes, &mut pos, n / 2, stream, &mut re)?;
+                    self.decode_plane_into(bytes, &mut pos, n / 2, stream, &mut im)?;
+                    stream.launch(
+                        &KernelSpec::streaming("qcf::interleave", (n * 8) as u64, (n * 8) as u64),
+                        || interleave_into(&re, &im, out),
+                    );
+                    Ok(())
+                })();
+                self.ws.put_f64(re);
+                self.ws.put_f64(im);
+                res
+            } else {
+                self.decode_plane_into(bytes, &mut pos, n, stream, out)
+            }
+        })
     }
 }
 

@@ -18,7 +18,12 @@
 
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+/// When set, `worker_count()` reports 1 regardless of the host — see
+/// [`with_serial_workers`].
+static FORCE_SERIAL: AtomicBool = AtomicBool::new(false);
 
 /// Number of worker threads used for kernel bodies (the host's parallelism,
 /// not the simulated GPU's).
@@ -28,6 +33,9 @@ use std::sync::{Mutex, OnceLock};
 /// `QCF_WORKERS=4` forces the multi-threaded code paths so the
 /// determinism contract is actually exercised there.
 pub fn worker_count() -> usize {
+    if FORCE_SERIAL.load(Ordering::Relaxed) {
+        return 1;
+    }
     static WORKERS: OnceLock<usize> = OnceLock::new();
     *WORKERS.get_or_init(|| {
         if let Ok(v) = std::env::var("QCF_WORKERS") {
@@ -39,6 +47,25 @@ pub fn worker_count() -> usize {
             .map(|n| n.get())
             .unwrap_or(1)
     })
+}
+
+/// Runs `f` with `worker_count()` pinned to 1 — the serial baseline for
+/// speedup measurements.
+///
+/// The executor's block decomposition is worker-count independent, so the
+/// serial run computes bit-identical output; only the scheduling changes.
+/// The pin is **process-global** (benches and the report's speedup probe
+/// are single-threaded at the top level, which is the intended use); the
+/// previous state is restored even if `f` panics.
+pub fn with_serial_workers<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCE_SERIAL.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let _restore = Restore(FORCE_SERIAL.swap(true, Ordering::Relaxed));
+    f()
 }
 
 /// First panic payload captured across worker blocks.
@@ -135,6 +162,25 @@ where
     slot.resume();
 }
 
+/// Runs `body(block_index)` for blocks `0..n_blocks` serially on the
+/// caller thread, under the same per-block panic guard — including the
+/// `exec.worker.panic` fault point — as the parallel helpers.
+///
+/// Single-worker fast paths (e.g. a codec streaming every block into one
+/// shared writer) use this so that chaos runs and panic accounting see the
+/// exact same per-block events as the data-parallel path; a block panic is
+/// still caught, counted, and re-raised after the remaining blocks run.
+/// The body may mutate captured state (`FnMut`): on the serial path each
+/// block finishes before the next starts, and after a panic the partial
+/// state is discarded by the re-raise.
+pub fn serial_for_blocks(n_blocks: usize, mut body: impl FnMut(usize)) {
+    let slot = PanicSlot::new();
+    for b in 0..n_blocks {
+        slot.run(b, || body(b));
+    }
+    slot.resume();
+}
+
 /// Maps each block of `input` (chunks of `block_len`) to an output value,
 /// in parallel; the result vector preserves block order.
 pub fn par_map_blocks<T: Sync, R: Send + Default + Clone>(
@@ -206,6 +252,34 @@ where
         }
     });
     slot.resume();
+}
+
+/// Like [`par_chunks_mut`], but each block body also returns a value; the
+/// result vector preserves block order.
+///
+/// This is the shape of a scatter-plus-reduce kernel: every block writes
+/// its disjoint chunk of `data` in place and hands back a small per-block
+/// summary (the vectorized dual-quant kernel writes symbols and returns
+/// the block's outlier list).
+pub fn par_map_chunks_mut<T: Send, R: Send + Default + Clone>(
+    data: &mut [T],
+    block_len: usize,
+    f: impl Fn(usize, &mut [T]) -> R + Sync,
+) -> Vec<R> {
+    assert!(block_len > 0, "block length must be positive");
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let n_blocks = data.len().div_ceil(block_len);
+    let mut out = vec![R::default(); n_blocks];
+    let out_ptr = SyncSlice(out.as_mut_ptr());
+    par_chunks_mut(data, block_len, |b, chunk| {
+        let val = f(b, chunk);
+        // SAFETY: par_chunks_mut hands each block index b to exactly one
+        // worker, so each out[b] slot is written by exactly one thread.
+        unsafe { *out_ptr.get().add(b) = val };
+    });
+    out
 }
 
 /// Fills `out` block-by-block: `f(block_index, range, chunk)` writes each
@@ -318,6 +392,25 @@ mod tests {
             chunk[0] = 9;
         });
         assert_eq!(one, [9]);
+    }
+
+    #[test]
+    fn map_chunks_mut_writes_and_returns_in_order() {
+        let mut data = vec![1u32; 10_007];
+        let sums = par_map_chunks_mut(&mut data, 64, |b, chunk| {
+            for v in chunk.iter_mut() {
+                *v += b as u32;
+            }
+            chunk.iter().map(|&v| v as usize).sum::<usize>()
+        });
+        assert_eq!(sums.len(), 10_007usize.div_ceil(64));
+        for (b, s) in sums.iter().enumerate() {
+            let len = 64.min(10_007 - b * 64);
+            assert_eq!(*s, len * (1 + b), "block {b}");
+        }
+        let mut empty: Vec<u32> = vec![];
+        let none = par_map_chunks_mut(&mut empty, 8, |_, _| -> usize { panic!("must not run") });
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub mod device;
 pub mod exec;
 pub mod stream;
 
-pub use buffer::{DeviceBuffer, MemoryPool, ScratchPool, Workspace, WorkspaceStats};
+pub use buffer::{
+    thread_arena_stats, with_arena_phase, Arena, ArenaMark, ArenaStats, DeviceBuffer, MemoryPool,
+    ScratchPool, Workspace, WorkspaceStats,
+};
 pub use device::{DeviceSpec, KernelSpec, MemoryPattern};
 pub use stream::{KernelEvent, Stream};
