@@ -33,6 +33,7 @@ QCF_WORKERS=4 cargo test --release -q -p qtensor --test cache_proptests
 echo "== allocation regression (release) =="
 cargo test --release -q -p qcf-bench --test alloc_regression
 cargo test --release -q -p qcf-bench --test alloc_arena
+cargo test --release -q -p qcf-bench --test alloc_cusz_table
 
 # One pass over every bench workload with assertions instead of timing:
 # the vectorized codec kernels must stay bit-identical to their scalar
@@ -65,6 +66,21 @@ fi
 # (the report binary decides — wall clock on a loaded 1-core runner is
 # noise). Refresh the baseline with:
 #   qcfz report --json BENCH_report.json
+# Live-observability gate: one sampled run through `qcfz top --once`.
+# The command arms the time-series sampler and the per-chunk journal,
+# drives a real QAOA compressed-state workload, renders the dashboard,
+# and exits nonzero unless its own Prometheus exposition of the final
+# snapshot passes the hand-rolled format validator. The grep is belt and
+# braces on top of the exit code.
+echo "== live telemetry gate (qcfz top --once) =="
+top_out=$(cargo run --release -q -p qcf-bench --bin qcfz -- top --once \
+    --nodes 10 --seed 21 --interval 10)
+echo "$top_out" | tail -n 3
+if ! echo "$top_out" | grep -q "prometheus exposition valid"; then
+    echo "telemetry gate FAILED: exposition did not validate" >&2
+    exit 1
+fi
+
 echo "== report regression check =="
 cargo run --release -q -p qcf-bench --bin qcfz -- report \
     --out /tmp/qcf-ci-report.md --baseline BENCH_report.json --check

@@ -104,10 +104,61 @@ fn bench_state_apply(c: &mut Criterion) {
     qcf_telemetry::set_enabled(false);
 }
 
+fn bench_state_apply_armed(c: &mut Criterion) {
+    // The continuous-telemetry extras on top of "enabled": the per-chunk
+    // causal journal (one bounded ring push per lifecycle event, hot path
+    // is cache hits) and the time-series sampler (its own thread snapshots
+    // the registry; the workload thread pays nothing beyond registry
+    // contention). Same workload as telemetry/state_apply so the three
+    // figures are directly comparable to its "enabled" side.
+    use compressors::cuszx::CuSzx;
+    use qcircuit::Gate;
+    use qtensor::CompressedState;
+
+    let comp = CuSzx::default();
+    let gates: Vec<Gate> = (0..6)
+        .flat_map(|q| [Gate::H(q), Gate::Rx(q, 0.31), Gate::T(q)])
+        .collect();
+    let mut group = c.benchmark_group("telemetry/state_apply_armed");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (label, journal_on, sample_ms) in [
+        ("journal", true, None),
+        ("sampler", false, Some(5u64)),
+        ("journal+sampler", true, Some(5)),
+    ] {
+        group.bench_function(label, |bch| {
+            qcf_telemetry::set_enabled(true);
+            qcf_telemetry::journal::reset();
+            qcf_telemetry::journal::set_enabled(journal_on);
+            qcf_telemetry::timeseries::stop();
+            qcf_telemetry::timeseries::reset();
+            if let Some(ms) = sample_ms {
+                qcf_telemetry::timeseries::start(ms);
+            }
+            let mut cs = CompressedState::zero(10, 6, &comp, ErrorBound::Abs(1e-7)).unwrap();
+            cs.set_cache_capacity(16).unwrap(); // all 16 chunks resident
+            bch.iter(|| {
+                drain_spans();
+                for g in &gates {
+                    cs.apply(black_box(g)).unwrap();
+                }
+                cs.stats.cache_hits
+            });
+            qcf_telemetry::timeseries::stop();
+            qcf_telemetry::journal::set_enabled(false);
+        });
+    }
+    group.finish();
+    qcf_telemetry::set_enabled(false);
+}
+
 criterion_group!(
     benches,
     bench_contraction,
     bench_compress,
-    bench_state_apply
+    bench_state_apply,
+    bench_state_apply_armed
 );
 criterion_main!(benches);

@@ -6,6 +6,8 @@
 //! qcfz decompress <in.qcfz> <out.f64>
 //! qcfz info <in.qcfz>
 //! qcfz qaoa [--nodes N] [--seed S] [--compressor NAME] [--rel X | --abs X]
+//! qcfz state [--nodes N] [--seed S] [--chunk-qubits C] [--cache K] [--chunk ID]
+//! qcfz top [--nodes N] [--seed S] [--interval MS] [--once]
 //! qcfz verify <in.qcfz>
 //! qcfz verify --state [--nodes N] [--seed S] [--chunk C] [--cache K]
 //!             [--compressor NAME] [--rel X | --abs X]
@@ -137,13 +139,16 @@ fn main() {
                 .unwrap_or(21);
             // Default to 8 chunks so the whole register fits the default
             // write-back cache; low-qubit gates then run entirely on hits.
-            let chunk = flag(&args, "--chunk")
+            // (`--chunk-qubits` is the canonical spelling; bare `--chunk`
+            // here names a chunk *id* whose causal journal to print.)
+            let chunk = flag(&args, "--chunk-qubits")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(nodes.saturating_sub(3));
+            let chunk_id: Option<u64> = flag(&args, "--chunk").and_then(|v| v.parse().ok());
             let cache = flag(&args, "--cache").and_then(|v| v.parse().ok());
             let comp = flag(&args, "--compressor").unwrap_or("QCF-speed");
             cli::parse_bound(flag(&args, "--rel"), flag(&args, "--abs")).and_then(|bound| {
-                let s = cli::state_demo(nodes, seed, chunk, comp, bound, cache)?;
+                let s = cli::state_demo(nodes, seed, chunk, comp, bound, cache, chunk_id)?;
                 let st = &s.stats;
                 let touched = st.cache_hits + st.cache_misses;
                 println!(
@@ -176,7 +181,31 @@ fn main() {
                     l.accumulated_rss,
                     if l.lossy { "" } else { " (lossless: exact)" }
                 );
+                if let Some(chain) = &s.chain {
+                    print_chunk_chain(chain)?;
+                }
                 export_telemetry(&args, &[])
+            })
+        }
+        Some("top") => {
+            let nodes: usize = flag(&args, "--nodes")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(12);
+            let seed = flag(&args, "--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(21);
+            let comp = flag(&args, "--compressor").unwrap_or("QCF-speed");
+            cli::parse_bound(flag(&args, "--rel"), flag(&args, "--abs")).and_then(|bound| {
+                let mut cfg = qcf_bench::top::TopConfig::new(nodes, seed, comp, bound);
+                if let Some(c) = flag(&args, "--chunk-qubits").and_then(|v| v.parse().ok()) {
+                    cfg.chunk_qubits = c;
+                }
+                cfg.cache = flag(&args, "--cache").and_then(|v| v.parse().ok());
+                if let Some(ms) = flag(&args, "--interval").and_then(|v| v.parse().ok()) {
+                    cfg.interval_ms = ms;
+                }
+                cfg.once = args.iter().any(|a| a == "--once");
+                qcf_bench::top::run(&cfg).map(|_| ())
             })
         }
         Some("verify") if args.len() >= 2 && args[1] != "--state" => {
@@ -311,8 +340,10 @@ fn main() {
                 "usage: qcfz list | compress <in> <out> [--compressor NAME] [--rel X|--abs X] \
                  | decompress <in> <out> | info <in> \
                  | qaoa [--nodes N] [--seed S] [--compressor NAME] [--rel X|--abs X] \
-                 | state [--nodes N] [--seed S] [--chunk C] [--cache K] [--compressor NAME] \
-                 [--rel X|--abs X] \
+                 | state [--nodes N] [--seed S] [--chunk-qubits C] [--cache K] \
+                 [--compressor NAME] [--rel X|--abs X] [--chunk ID] \
+                 | top [--nodes N] [--seed S] [--chunk-qubits C] [--cache K] \
+                 [--compressor NAME] [--rel X|--abs X] [--interval MS] [--once] \
                  | verify <in.qcfz> \
                  | verify --state [--nodes N] [--seed S] [--chunk C] [--cache K] \
                  [--compressor NAME] [--rel X|--abs X] \
@@ -354,4 +385,60 @@ fn main() {
 /// Tiny helper so the `report` arm can early-return a typed error.
 fn return_err(msg: String) -> Result<(), cli::CliError> {
     Err(cli::CliError(msg))
+}
+
+/// Prints one chunk's causal journal chain next to its ledger row and
+/// enforces the consistency contract (`qcfz state --chunk <id>` exits
+/// nonzero when the journal cannot explain the ledger).
+fn print_chunk_chain(chain: &cli::ChunkChain) -> Result<(), cli::CliError> {
+    use qcf_telemetry::journal::EventKind;
+    let r = &chain.record;
+    println!(
+        "\ncausal chain for chunk {}:\n\
+         ledger: {} encodes, {} requants, {} quarantines, accumulated bound {:.3e}",
+        chain.id, r.encodes, r.requants, r.quarantines, r.accumulated_bound
+    );
+    let counts = EventKind::all()
+        .iter()
+        .map(|k| format!("{} {}", k.label(), chain.kind_counts[k.index()]))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!("journal: {counts}");
+    println!(
+        "events (newest {} of {}; {} older dropped from the ring):",
+        chain.events.len(),
+        chain.events.len() as u64 + chain.dropped,
+        chain.dropped
+    );
+    let (seq, t_us, event) = ("seq", "t_us", "event");
+    println!("  {seq:>8} {t_us:>10}  {event:<17} detail");
+    for e in &chain.events {
+        println!(
+            "  {:>8} {:>10}  {:<17} {}",
+            e.seq,
+            e.t_us,
+            e.kind.label(),
+            e.detail
+        );
+    }
+    if chain.consistent() {
+        println!(
+            "consistency: journal requants {} == ledger {}, quarantines {} == {} — OK",
+            chain.kind_counts[EventKind::WritebackRequant.index()],
+            r.requants,
+            chain.kind_counts[EventKind::Quarantine.index()],
+            r.quarantines
+        );
+        Ok(())
+    } else {
+        return_err(format!(
+            "journal/ledger mismatch on chunk {}: journal requants {} vs ledger {}, \
+             journal quarantines {} vs ledger {}",
+            chain.id,
+            chain.kind_counts[EventKind::WritebackRequant.index()],
+            r.requants,
+            chain.kind_counts[EventKind::Quarantine.index()],
+            r.quarantines
+        ))
+    }
 }

@@ -282,12 +282,45 @@ pub struct StateSummary {
     pub stats: StateStats,
     /// Error-budget ledger aggregate (requant counts, accumulated bounds).
     pub ledger: qtensor::LedgerSummary,
+    /// Causal event chain for the requested chunk (`qcfz state --chunk`).
+    pub chain: Option<ChunkChain>,
+}
+
+/// The causal journal chain behind one chunk's ledger row (`qcfz state
+/// --chunk <id>`): the chunk's exact per-kind event counts, the tail of
+/// its event ring, and the ledger record those events must explain.
+#[derive(Debug, Clone)]
+pub struct ChunkChain {
+    /// Chunk id.
+    pub id: u64,
+    /// The ledger's accounting for this chunk.
+    pub record: qtensor::ChunkRecord,
+    /// Newest events still in the ring (oldest → newest).
+    pub events: Vec<qcf_telemetry::journal::ChunkEvent>,
+    /// Events discarded from the ring (the chain's trimmed prefix).
+    pub dropped: u64,
+    /// Exact per-kind counts (survive ring overflow).
+    pub kind_counts: [u64; qcf_telemetry::journal::KINDS],
+}
+
+impl ChunkChain {
+    /// True when the journal's exact counts agree with the ledger — the
+    /// `qcfz state --chunk` consistency contract.
+    pub fn consistent(&self) -> bool {
+        use qcf_telemetry::journal::EventKind;
+        self.kind_counts[EventKind::WritebackRequant.index()] == self.record.requants
+            && self.kind_counts[EventKind::Quarantine.index()] == self.record.quarantines
+    }
 }
 
 /// Runs a QAOA circuit through the chunk-compressed statevector simulator
 /// (`qcfz state`). Exercises the write-back chunk cache, so the
 /// `state.cache.*` and `workspace.*` registry counters populate for
 /// `--metrics`.
+///
+/// With `journal_chunk` set, the per-chunk causal journal is armed for the
+/// run and the named chunk's event chain is returned alongside its ledger
+/// record (`qcfz state --chunk <id>`).
 pub fn state_demo(
     nodes: usize,
     seed: u64,
@@ -295,12 +328,20 @@ pub fn state_demo(
     compressor: &str,
     bound: ErrorBound,
     cache: Option<usize>,
+    journal_chunk: Option<u64>,
 ) -> Result<StateSummary, CliError> {
+    use qcf_telemetry::journal;
     let comp = cli_by_name(compressor).ok_or_else(|| {
         CliError(format!(
             "unknown compressor '{compressor}' (try `qcfz list`)"
         ))
     })?;
+    if journal_chunk.is_some() {
+        // The journal only records under the master switch too.
+        qcf_telemetry::set_enabled(true);
+        journal::set_enabled(true);
+        journal::reset();
+    }
     let graph = Graph::random_regular(nodes, 3, seed);
     let circuit = qaoa_circuit(&graph, &QaoaParams::fixed_angles_3reg_p1());
     let err = |e: qtensor::ContractError| CliError(format!("compressed state: {e}"));
@@ -315,12 +356,34 @@ pub fn state_demo(
     let energy = cs.maxcut_energy(&graph).map_err(err)?;
     // Finalize: write dirty cached chunks back so resident bytes are exact.
     cs.flush().map_err(err)?;
+    let chain = match journal_chunk {
+        Some(id) => {
+            let n_chunks = cs.ledger().n_chunks() as u64;
+            if id >= n_chunks {
+                return Err(CliError(format!(
+                    "chunk {id} out of range (state has {n_chunks} chunks)"
+                )));
+            }
+            Some(ChunkChain {
+                id,
+                record: cs.ledger().chunk(id as usize).clone(),
+                events: journal::events(id),
+                dropped: journal::dropped(id),
+                kind_counts: journal::kind_counts(id),
+            })
+        }
+        None => None,
+    };
+    if journal_chunk.is_some() {
+        journal::set_enabled(false);
+    }
     Ok(StateSummary {
         energy,
         dense_bytes: cs.dense_bytes(),
         cache_capacity: cs.cache_capacity(),
         stats: cs.stats.clone(),
         ledger: cs.ledger_summary(),
+        chain,
     })
 }
 

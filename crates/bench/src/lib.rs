@@ -11,3 +11,4 @@ pub mod corpus;
 pub mod experiments;
 pub mod report;
 pub mod run_report;
+pub mod top;

@@ -141,6 +141,7 @@ pub fn collect(config: ReportConfig) -> Result<RunReport, CliError> {
         &config.compressor,
         config.bound,
         config.cache,
+        None,
     )?;
     let (spans, metrics) = scope.finish();
     let state_phase = PhaseRecord { spans, metrics };
@@ -214,6 +215,41 @@ fn snapshot_table(title: &str, snap: &Snapshot) -> Table {
     t
 }
 
+/// p50/p95/p99 rows for every latency histogram (`*_us` metric) a phase
+/// recorded, computed with the registry's bucket-bound quantile sketch.
+/// `None` when the phase recorded no latency observations. Percentiles are
+/// wall-clock noise, so they render here but never enter the baseline
+/// [`RunReport::baseline`] diffs against.
+fn latency_table(title: &str, snap: &Snapshot) -> Option<Table> {
+    let mut t = Table::new("latency", title, &["histogram", "obs", "p50", "p95", "p99"]);
+    let mut any = false;
+    for (name, h) in &snap.histograms {
+        if !name.ends_with("_us") || h.count == 0 {
+            continue;
+        }
+        let top = crate::top::last_finite_bound(&h.buckets);
+        let q = |q: f64| {
+            crate::top::fmt_us(
+                qcf_telemetry::metrics::quantile_from_buckets(&h.buckets, h.count, q),
+                top,
+            )
+        };
+        t.row(vec![
+            name.clone(),
+            h.count.to_string(),
+            q(0.50),
+            q(0.95),
+            q(0.99),
+        ]);
+        any = true;
+    }
+    if !any {
+        return None;
+    }
+    t.note("bucket upper bounds: each percentile is exact to within one histogram bucket");
+    Some(t)
+}
+
 impl RunReport {
     /// Renders the whole run as one markdown document.
     pub fn to_markdown(&self) -> String {
@@ -258,6 +294,9 @@ impl RunReport {
             "```\n{}```\n",
             snapshot_table("qaoa-phase registry", &self.qaoa_phase.metrics).render()
         );
+        if let Some(t) = latency_table("qaoa-phase latency percentiles", &self.qaoa_phase.metrics) {
+            let _ = writeln!(out, "```\n{}```\n", t.render());
+        }
 
         let _ = writeln!(out, "## Compressed state (write-back cache + ledger)\n");
         let s = &self.state;
@@ -323,6 +362,10 @@ impl RunReport {
             "```\n{}```\n",
             snapshot_table("state-phase registry", &self.state_phase.metrics).render()
         );
+        if let Some(t) = latency_table("state-phase latency percentiles", &self.state_phase.metrics)
+        {
+            let _ = writeln!(out, "```\n{}```\n", t.render());
+        }
 
         let _ = writeln!(
             out,
@@ -759,12 +802,58 @@ mod tests {
             "total requants",
             "per-compressor round trip",
             "state phase",
+            "state-phase latency percentiles",
+            "state.apply_us",
         ] {
             assert!(md.contains(needle), "markdown missing {needle:?}");
         }
         let html = r.to_html();
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.contains("error-budget ledger"));
+    }
+
+    #[test]
+    fn latency_table_renders_percentiles_and_skips_empty_phases() {
+        use qcf_telemetry::metrics::HistogramSnapshot;
+
+        let empty = Snapshot::default();
+        assert!(latency_table("t", &empty).is_none());
+
+        let mut snap = Snapshot::default();
+        // 90 obs ≤100µs, 10 in the implicit overflow bucket: p50 = 100µs
+        // bucket bound, p99 = ∞ (rendered as "> last finite bound").
+        snap.histograms.insert(
+            "state.apply_us".into(),
+            HistogramSnapshot {
+                count: 100,
+                dropped: 0,
+                sum: 9000.0,
+                mean: 90.0,
+                buckets: vec![(100.0, 90), (250.0, 0), (f64::INFINITY, 10)],
+            },
+        );
+        // Non-latency histograms and zero-count latency histograms are
+        // excluded from the table.
+        snap.histograms.insert(
+            "state.ledger.event_abs_bound".into(),
+            HistogramSnapshot {
+                count: 3,
+                buckets: vec![(1.0, 3)],
+                ..Default::default()
+            },
+        );
+        snap.histograms
+            .insert("state.encode_us".into(), HistogramSnapshot::default());
+
+        let rendered = latency_table("state latency", &snap).unwrap().render();
+        assert!(rendered.contains("state.apply_us"), "{rendered}");
+        assert!(rendered.contains("100µs"), "p50 bound missing: {rendered}");
+        assert!(
+            rendered.contains(">250µs"),
+            "overflow p99 missing: {rendered}"
+        );
+        assert!(!rendered.contains("event_abs_bound"), "{rendered}");
+        assert!(!rendered.contains("state.encode_us"), "{rendered}");
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! from the arena phase, the payload writer and output buffers from the
 //! workspace pools, and the serial single-worker fast path never spawns.
 //!
-//! (cuSZ's warm path is arena-backed for its symbol plane too, but its
-//! chunked-Huffman stage still builds code tables per call — that residual
-//! traffic is recorded in `BENCH_alloc.json`, not gated here.)
+//! (cuSZ's warm path is arena-backed for its symbol plane too; its
+//! chunked-Huffman table construction is pooled in the codec's
+//! thread-local encode pool and gated separately in
+//! `alloc_cusz_table.rs`.)
 //!
 //! Keep this file to a single `#[test]`: the counter only counts the
 //! opted-in test thread, but a sibling test reusing that thread would

@@ -9,9 +9,10 @@
 
 use crate::bitio::{BitReader, BitWriter};
 use crate::error::CodecError;
-use crate::huffman::{histogram, HuffmanDecoder, HuffmanEncoder};
+use crate::huffman::{histogram_into, CodebookScratch, HuffmanDecoder, HuffmanEncoder};
 use crate::varint::{read_uvarint, write_uvarint};
-use gpu_model::exec::{par_chunks_mut, par_map_blocks};
+use gpu_model::exec::par_chunks_mut;
+use std::cell::RefCell;
 use std::sync::Mutex;
 
 /// Symbols per chunk (cuSZ uses a few thousand per thread block).
@@ -19,6 +20,27 @@ pub const DEFAULT_CHUNK: usize = 4096;
 
 /// Symbols per parallel histogram block.
 const HIST_BLOCK: usize = 1 << 15;
+
+/// Reused buffers behind [`encode_chunked_into`]'s warm path: the partial
+/// histograms, merged frequency table, codebook (encoder + scratch) and
+/// per-chunk payload buffers that a cold encode would allocate fresh. One
+/// pool lives per calling thread; a warm encode of a same-shaped buffer
+/// performs no heap allocation (gated by `alloc_cusz_table.rs` in the
+/// bench crate). Retained memory is modest: one alphabet-sized table per
+/// histogram block plus the compressed payload bytes of the largest buffer
+/// encoded on the thread.
+#[derive(Debug, Default)]
+struct EncodePool {
+    scratch: CodebookScratch,
+    enc: HuffmanEncoder,
+    freqs: Vec<u64>,
+    partials: Vec<Vec<u64>>,
+    payloads: Vec<Vec<u8>>,
+}
+
+thread_local! {
+    static ENCODE_POOL: RefCell<EncodePool> = RefCell::new(EncodePool::default());
+}
 
 /// Encodes `symbols` over `alphabet_size` into a self-contained chunked
 /// stream: codebook, gap array, then byte-aligned per-chunk payloads.
@@ -34,35 +56,83 @@ pub fn encode_chunked(symbols: &[u32], alphabet_size: usize, chunk: usize) -> Ve
 
 /// [`encode_chunked`] into a caller-provided buffer, which is cleared first
 /// (reusing its capacity). Bytes produced are identical to the allocating
-/// variant.
+/// variant. Scratch state (histograms, codebook, per-chunk writers) comes
+/// from a thread-local pool, so repeated calls on one thread settle into a
+/// zero-allocation steady state.
 pub fn encode_chunked_into(symbols: &[u32], alphabet_size: usize, chunk: usize, out: &mut Vec<u8>) {
     assert!(chunk > 0, "chunk size must be positive");
-    let partials = par_map_blocks(symbols, HIST_BLOCK, |_, c| histogram(c, alphabet_size));
-    let mut freqs = vec![0u64; alphabet_size];
-    for p in &partials {
-        for (f, x) in freqs.iter_mut().zip(p) {
+    ENCODE_POOL.with(|pool| match pool.try_borrow_mut() {
+        Ok(mut pool) => encode_chunked_with_pool(symbols, alphabet_size, chunk, out, &mut pool),
+        // Reentrant call on the same thread (an encoder invoked from inside
+        // an encode callback): fall back to a throwaway pool.
+        Err(_) => encode_chunked_with_pool(
+            symbols,
+            alphabet_size,
+            chunk,
+            out,
+            &mut EncodePool::default(),
+        ),
+    });
+}
+
+fn encode_chunked_with_pool(
+    symbols: &[u32],
+    alphabet_size: usize,
+    chunk: usize,
+    out: &mut Vec<u8>,
+    pool: &mut EncodePool,
+) {
+    // Partial histograms, one per HIST_BLOCK, into pooled tables
+    // (histogram_into zeroes each). Same block decomposition and in-order
+    // merge as ever, so the frequency table is bit-identical.
+    let n_hist = symbols.len().div_ceil(HIST_BLOCK);
+    if pool.partials.len() < n_hist {
+        pool.partials.resize_with(n_hist, Vec::new);
+    }
+    let partials = &mut pool.partials[..n_hist];
+    for p in partials.iter_mut() {
+        p.resize(alphabet_size, 0);
+    }
+    par_chunks_mut(partials, 1, |b, slot| {
+        let lo = b * HIST_BLOCK;
+        let hi = (lo + HIST_BLOCK).min(symbols.len());
+        histogram_into(&symbols[lo..hi], &mut slot[0]);
+    });
+    pool.freqs.clear();
+    pool.freqs.resize(alphabet_size, 0);
+    for p in partials.iter() {
+        for (f, x) in pool.freqs.iter_mut().zip(p) {
             *f += x;
         }
     }
-    let enc = HuffmanEncoder::from_freqs(&freqs);
+    pool.enc.rebuild_from_freqs(&pool.freqs, &mut pool.scratch);
 
     out.clear();
     write_uvarint(out, symbols.len() as u64);
     write_uvarint(out, chunk as u64);
-    enc.write_table(out);
+    pool.enc.write_table(out);
 
-    // Encode each chunk byte-aligned; record its compressed length.
-    let payloads: Vec<Vec<u8>> = par_map_blocks(symbols, chunk, |_, c| {
-        let mut w = BitWriter::with_capacity(c.len());
-        enc.encode_all(&mut w, c);
-        w.finish()
+    // Encode each chunk byte-aligned into its pooled buffer; record its
+    // compressed length.
+    let n_chunks = symbols.len().div_ceil(chunk);
+    if pool.payloads.len() < n_chunks {
+        pool.payloads.resize_with(n_chunks, Vec::new);
+    }
+    let payloads = &mut pool.payloads[..n_chunks];
+    let enc = &pool.enc;
+    par_chunks_mut(payloads, 1, |k, slot| {
+        let lo = k * chunk;
+        let hi = (lo + chunk).min(symbols.len());
+        let mut w = BitWriter::from_vec(std::mem::take(&mut slot[0]));
+        enc.encode_all(&mut w, &symbols[lo..hi]);
+        slot[0] = w.finish();
     });
     // Gap array: cumulative byte offsets (varint deltas = chunk lengths).
-    write_uvarint(out, payloads.len() as u64);
-    for p in &payloads {
+    write_uvarint(out, n_chunks as u64);
+    for p in payloads.iter() {
         write_uvarint(out, p.len() as u64);
     }
-    for p in &payloads {
+    for p in payloads.iter() {
         out.extend_from_slice(p);
     }
 }

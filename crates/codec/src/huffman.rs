@@ -19,11 +19,21 @@ pub const MAX_CODE_LEN: u32 = 15;
 /// Debug-panics when a symbol is out of range.
 pub fn histogram(symbols: &[u32], alphabet_size: usize) -> Vec<u64> {
     let mut h = vec![0u64; alphabet_size];
-    for &s in symbols {
-        debug_assert!((s as usize) < alphabet_size, "symbol {s} out of alphabet");
-        h[s as usize] += 1;
-    }
+    histogram_into(symbols, &mut h);
     h
+}
+
+/// [`histogram`] into a caller-provided table (zeroed first) — the pooled
+/// warm path. The table's length is the alphabet size.
+///
+/// # Panics
+/// Debug-panics when a symbol is out of range.
+pub fn histogram_into(symbols: &[u32], table: &mut [u64]) {
+    table.fill(0);
+    for &s in symbols {
+        debug_assert!((s as usize) < table.len(), "symbol {s} out of alphabet");
+        table[s as usize] += 1;
+    }
 }
 
 /// Builds length-limited Huffman code lengths from frequencies.
@@ -31,100 +41,143 @@ pub fn histogram(symbols: &[u32], alphabet_size: usize) -> Vec<u64> {
 /// Symbols with zero frequency get length 0 (no code). A single-symbol
 /// alphabet gets length 1.
 pub fn build_code_lengths(freqs: &[u64], max_len: u32) -> Vec<u8> {
-    assert!((1..=32).contains(&max_len));
-    let mut freqs: Vec<u64> = freqs.to_vec();
-    loop {
-        let lengths = huffman_lengths_unlimited(&freqs);
-        let deepest = lengths.iter().copied().max().unwrap_or(0) as u32;
-        if deepest <= max_len {
-            return lengths;
-        }
-        // Flatten the distribution and retry: halving frequencies shrinks
-        // depth quickly and converges (all-equal freqs give ~log2(n) depth).
-        for f in freqs.iter_mut() {
-            if *f > 0 {
-                *f = (*f).div_ceil(2);
-            }
-        }
-    }
-}
-
-/// Plain (unlimited-depth) Huffman code lengths via pairwise merging.
-fn huffman_lengths_unlimited(freqs: &[u64]) -> Vec<u8> {
-    let present: Vec<usize> = freqs
-        .iter()
-        .enumerate()
-        .filter(|(_, &f)| f > 0)
-        .map(|(i, _)| i)
-        .collect();
-    let mut lengths = vec![0u8; freqs.len()];
-    match present.len() {
-        0 => return lengths,
-        1 => {
-            lengths[present[0]] = 1;
-            return lengths;
-        }
-        _ => {}
-    }
-
-    // Node arena: leaves then internal nodes; parent links give depths.
-    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-    struct HeapItem(u64, usize); // (freq, node id) — min-heap by Reverse
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-
-    let mut parent: Vec<usize> = vec![usize::MAX; present.len()];
-    let mut heap: BinaryHeap<Reverse<HeapItem>> = present
-        .iter()
-        .enumerate()
-        .map(|(leaf, &sym)| Reverse(HeapItem(freqs[sym], leaf)))
-        .collect();
-    while heap.len() > 1 {
-        let Reverse(HeapItem(fa, a)) = heap.pop().unwrap();
-        let Reverse(HeapItem(fb, b)) = heap.pop().unwrap();
-        let id = parent.len();
-        parent.push(usize::MAX);
-        parent[a] = id;
-        parent[b] = id;
-        heap.push(Reverse(HeapItem(fa + fb, id)));
-    }
-    for (leaf, &sym) in present.iter().enumerate() {
-        let mut depth = 0u8;
-        let mut node = leaf;
-        while parent[node] != usize::MAX {
-            node = parent[node];
-            depth += 1;
-        }
-        lengths[sym] = depth;
-    }
+    let mut lengths = Vec::new();
+    CodebookScratch::default().build_lengths(freqs, max_len, &mut lengths);
     lengths
 }
 
 /// Canonical code assignment: `codes[sym]` is the *bit-reversed* canonical
 /// code (ready for LSB-first emission) and `lengths[sym]` its length.
 pub fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
-    let max = lengths.iter().copied().max().unwrap_or(0) as u32;
-    let mut bl_count = vec![0u32; max as usize + 1];
-    for &l in lengths {
-        if l > 0 {
-            bl_count[l as usize] += 1;
-        }
-    }
-    let mut next_code = vec![0u32; max as usize + 2];
-    let mut code = 0u32;
-    for bits in 1..=max as usize {
-        code = (code + bl_count[bits - 1]) << 1;
-        next_code[bits] = code;
-    }
-    let mut codes = vec![0u32; lengths.len()];
-    for (sym, &l) in lengths.iter().enumerate() {
-        if l > 0 {
-            let c = next_code[l as usize];
-            next_code[l as usize] += 1;
-            codes[sym] = reverse_bits(c, l as u32);
-        }
-    }
+    let mut codes = Vec::new();
+    CodebookScratch::default().assign_codes(lengths, &mut codes);
     codes
+}
+
+// (freq, node id) — min-heap by Reverse; node ids are unique, so the pop
+// order (and therefore the tree shape) is fully deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapItem(u64, usize);
+
+/// Reusable scratch behind codebook construction — the buffers every build
+/// needs (a halvable frequency copy, the merge heap, parent links, the
+/// canonical-code counting tables), kept so repeated builds on a warm path
+/// allocate nothing. [`build_code_lengths`] / [`canonical_codes`] are thin
+/// wrappers over a throwaway scratch; pooled callers
+/// ([`HuffmanEncoder::rebuild_from_freqs`], the chunked encoder) hold one
+/// and reuse it. Output is identical either way.
+#[derive(Debug, Default)]
+pub struct CodebookScratch {
+    freqs: Vec<u64>,
+    present: Vec<usize>,
+    parent: Vec<usize>,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<HeapItem>>,
+    bl_count: Vec<u32>,
+    next_code: Vec<u32>,
+}
+
+impl CodebookScratch {
+    /// [`build_code_lengths`] into a caller-provided vector (cleared
+    /// first), reusing this scratch's buffers.
+    pub fn build_lengths(&mut self, freqs: &[u64], max_len: u32, lengths: &mut Vec<u8>) {
+        assert!((1..=32).contains(&max_len));
+        self.freqs.clear();
+        self.freqs.extend_from_slice(freqs);
+        loop {
+            self.unlimited_lengths(lengths);
+            let deepest = lengths.iter().copied().max().unwrap_or(0) as u32;
+            if deepest <= max_len {
+                return;
+            }
+            // Flatten the distribution and retry: halving frequencies
+            // shrinks depth quickly and converges (all-equal freqs give
+            // ~log2(n) depth).
+            for f in self.freqs.iter_mut() {
+                if *f > 0 {
+                    *f = (*f).div_ceil(2);
+                }
+            }
+        }
+    }
+
+    /// Plain (unlimited-depth) Huffman code lengths over `self.freqs` via
+    /// pairwise merging.
+    fn unlimited_lengths(&mut self, lengths: &mut Vec<u8>) {
+        lengths.clear();
+        lengths.resize(self.freqs.len(), 0);
+        self.present.clear();
+        self.present.extend(
+            self.freqs
+                .iter()
+                .enumerate()
+                .filter(|(_, &f)| f > 0)
+                .map(|(i, _)| i),
+        );
+        match self.present.len() {
+            0 => return,
+            1 => {
+                lengths[self.present[0]] = 1;
+                return;
+            }
+            _ => {}
+        }
+
+        // Node arena: leaves then internal nodes; parent links give depths.
+        use std::cmp::Reverse;
+        self.parent.clear();
+        self.parent.resize(self.present.len(), usize::MAX);
+        self.heap.clear();
+        for (leaf, &sym) in self.present.iter().enumerate() {
+            self.heap.push(Reverse(HeapItem(self.freqs[sym], leaf)));
+        }
+        while self.heap.len() > 1 {
+            let Reverse(HeapItem(fa, a)) = self.heap.pop().unwrap();
+            let Reverse(HeapItem(fb, b)) = self.heap.pop().unwrap();
+            let id = self.parent.len();
+            self.parent.push(usize::MAX);
+            self.parent[a] = id;
+            self.parent[b] = id;
+            self.heap.push(Reverse(HeapItem(fa + fb, id)));
+        }
+        for (leaf, &sym) in self.present.iter().enumerate() {
+            let mut depth = 0u8;
+            let mut node = leaf;
+            while self.parent[node] != usize::MAX {
+                node = self.parent[node];
+                depth += 1;
+            }
+            lengths[sym] = depth;
+        }
+    }
+
+    /// [`canonical_codes`] into a caller-provided vector (cleared first),
+    /// reusing this scratch's counting tables.
+    pub fn assign_codes(&mut self, lengths: &[u8], codes: &mut Vec<u32>) {
+        let max = lengths.iter().copied().max().unwrap_or(0) as usize;
+        self.bl_count.clear();
+        self.bl_count.resize(max + 1, 0);
+        for &l in lengths {
+            if l > 0 {
+                self.bl_count[l as usize] += 1;
+            }
+        }
+        self.next_code.clear();
+        self.next_code.resize(max + 2, 0);
+        let mut code = 0u32;
+        for bits in 1..=max {
+            code = (code + self.bl_count[bits - 1]) << 1;
+            self.next_code[bits] = code;
+        }
+        codes.clear();
+        codes.resize(lengths.len(), 0);
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                let c = self.next_code[l as usize];
+                self.next_code[l as usize] += 1;
+                codes[sym] = reverse_bits(c, l as u32);
+            }
+        }
+    }
 }
 
 #[inline]
@@ -133,7 +186,7 @@ fn reverse_bits(v: u32, n: u32) -> u32 {
 }
 
 /// Canonical Huffman encoder.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct HuffmanEncoder {
     lengths: Vec<u8>,
     codes: Vec<u32>,
@@ -142,9 +195,19 @@ pub struct HuffmanEncoder {
 impl HuffmanEncoder {
     /// Builds an encoder from frequencies.
     pub fn from_freqs(freqs: &[u64]) -> Self {
-        let lengths = build_code_lengths(freqs, MAX_CODE_LEN);
-        let codes = canonical_codes(&lengths);
-        HuffmanEncoder { lengths, codes }
+        let mut enc = HuffmanEncoder::default();
+        enc.rebuild_from_freqs(freqs, &mut CodebookScratch::default());
+        enc
+    }
+
+    /// Rebuilds this encoder's codebook from `freqs` in place, reusing
+    /// both the encoder's own length/code tables and the caller's
+    /// [`CodebookScratch`] — the pooled warm path behind cuSZ's repeated
+    /// chunk encodes. The resulting codebook is identical to
+    /// [`HuffmanEncoder::from_freqs`].
+    pub fn rebuild_from_freqs(&mut self, freqs: &[u64], scratch: &mut CodebookScratch) {
+        scratch.build_lengths(freqs, MAX_CODE_LEN, &mut self.lengths);
+        scratch.assign_codes(&self.lengths, &mut self.codes);
     }
 
     /// Per-symbol code lengths (0 = absent).
@@ -508,6 +571,57 @@ mod tests {
         let freqs = histogram(&[], 4);
         let enc = HuffmanEncoder::from_freqs(&freqs);
         assert!(enc.lengths().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn pooled_rebuild_matches_fresh_build() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+        // One scratch and one encoder reused across wildly different
+        // distributions: every rebuild must equal a from-scratch build,
+        // including the degenerate empty/single-symbol alphabets and a
+        // depth-limited Fibonacci distribution.
+        let mut scratch = CodebookScratch::default();
+        let mut pooled = HuffmanEncoder::default();
+        let mut fib = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in fib.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let mut cases: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![0, 0, 7, 0],
+            vec![1; 256],
+            fib,
+            (0..100).map(|_| rng.gen_range(0..1000u64)).collect(),
+        ];
+        for _ in 0..5 {
+            cases.push((0..512).map(|_| rng.gen_range(0..50u64)).collect());
+        }
+        for freqs in &cases {
+            let fresh = HuffmanEncoder::from_freqs(freqs);
+            pooled.rebuild_from_freqs(freqs, &mut scratch);
+            assert_eq!(pooled.lengths(), fresh.lengths());
+            assert_eq!(pooled.codes, fresh.codes);
+            assert_eq!(histogram_into_check(freqs), freqs.iter().sum::<u64>());
+        }
+    }
+
+    // Sanity helper keeping histogram_into covered alongside the rebuild:
+    // symbols reconstructed from a frequency table histogram back to it.
+    fn histogram_into_check(freqs: &[u64]) -> u64 {
+        let symbols: Vec<u32> = freqs
+            .iter()
+            .enumerate()
+            .flat_map(|(s, &f)| std::iter::repeat_n(s as u32, f as usize))
+            .collect();
+        let mut table = vec![u64::MAX; freqs.len()]; // dirty: must be zeroed
+        histogram_into(&symbols, &mut table);
+        assert_eq!(table, freqs);
+        symbols.len() as u64
     }
 
     #[test]

@@ -90,7 +90,10 @@ pub struct RoundTripReport {
 /// When telemetry is enabled, the run also publishes per-compressor
 /// metrics to the registry: `compressor.<name>.cr` / `.max_abs_err` /
 /// `.psnr_db` / `.gpu_compress_bps` / `.gpu_decompress_bps` float gauges
-/// plus a `compressor.<name>.round_trips` counter.
+/// plus a `compressor.<name>.round_trips` counter, and feeds the shared
+/// `compressor.encode_us` / `compressor.decode_us` latency histograms
+/// (host wall clock, µs) whose p50/p95/p99 surface in `qcfz top` and the
+/// Prometheus exposition.
 pub fn round_trip(
     comp: &dyn Compressor,
     data: &[f64],
@@ -102,12 +105,14 @@ pub fn round_trip(
     let cstream = Stream::new(DeviceSpec::a100());
     let t0 = Instant::now();
     let bytes = comp.compress(data, bound, &cstream)?;
-    let host_c = payload as f64 / t0.elapsed().as_secs_f64().max(1e-12);
+    let encode_s = t0.elapsed().as_secs_f64();
+    let host_c = payload as f64 / encode_s.max(1e-12);
 
     let dstream = Stream::new(DeviceSpec::a100());
     let t1 = Instant::now();
     let reconstructed = comp.decompress(&bytes, &dstream)?;
-    let host_d = payload as f64 / t1.elapsed().as_secs_f64().max(1e-12);
+    let decode_s = t1.elapsed().as_secs_f64();
+    let host_d = payload as f64 / decode_s.max(1e-12);
 
     let report = RoundTripReport {
         name: comp.name(),
@@ -134,6 +139,15 @@ pub fn round_trip(
         r.float_gauge(&format!("compressor.{name}.gpu_decompress_bps"))
             .set(report.gpu_decompress_bps);
         r.counter(&format!("compressor.{name}.round_trips")).inc();
+        // Shared (cross-compressor) latency histograms, µs. Log-spaced
+        // bounds from small test buffers up to multi-ms statevector planes.
+        const LAT_BOUNDS_US: [f64; 10] = [
+            10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+        ];
+        r.histogram("compressor.encode_us", &LAT_BOUNDS_US)
+            .observe(encode_s * 1e6);
+        r.histogram("compressor.decode_us", &LAT_BOUNDS_US)
+            .observe(decode_s * 1e6);
     }
     Ok(report)
 }

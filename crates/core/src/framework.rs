@@ -118,6 +118,27 @@ pub struct QcfCompressor {
     /// Reusable scratch planes threaded through every stage; clones share
     /// the underlying pools (see [`Workspace`]).
     ws: Workspace,
+    /// Cached `stage.encode_us` / `stage.decode_us` latency histograms so
+    /// per-call observation never takes the registry lock.
+    lat_encode: std::sync::Arc<qcf_telemetry::Histogram>,
+    lat_decode: std::sync::Arc<qcf_telemetry::Histogram>,
+}
+
+/// Microsecond bucket bounds for the framework's whole-call latency
+/// histograms (`stage.encode_us` / `stage.decode_us`): log-spaced from
+/// small-plane calls to the multi-ms tail of ratio-mode dedup sweeps.
+const STAGE_LATENCY_BOUNDS_US: [f64; 10] = [
+    10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+];
+
+/// Starts a whole-call latency measurement iff telemetry is enabled.
+#[inline]
+fn lat_start() -> Option<std::time::Instant> {
+    if qcf_telemetry::enabled() {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    }
 }
 
 impl QcfCompressor {
@@ -133,12 +154,15 @@ impl QcfCompressor {
 
     /// Custom stage configuration (ablation studies).
     pub fn with_stages(mode: Mode, stages: StageToggles) -> Self {
+        let reg = qcf_telemetry::registry();
         QcfCompressor {
             mode,
             stages,
             // Share the compressor-crate pools so framework planes, backend
             // payloads, and codec buffers all amortize in one place.
             ws: compressors::workspace().clone(),
+            lat_encode: reg.histogram("stage.encode_us", &STAGE_LATENCY_BOUNDS_US),
+            lat_decode: reg.histogram("stage.decode_us", &STAGE_LATENCY_BOUNDS_US),
         }
     }
 
@@ -494,11 +518,12 @@ impl Compressor for QcfCompressor {
         stream: &Stream,
         out: &mut Vec<u8>,
     ) -> Result<(), CodecError> {
+        let t0 = lat_start();
         // Pipeline-level arena phase: one compress call is one phase, so
         // arena scratch taken by any stage below (or the backends they
         // call, via their own nested phases) is released in a single
         // cursor reset when the call returns.
-        with_arena_phase(|_| {
+        let res = with_arena_phase(|_| {
             let (min, max) = value_range(data);
             let abs_eb = bound.to_abs(max - min);
             if abs_eb.is_nan() || abs_eb <= 0.0 {
@@ -590,7 +615,11 @@ impl Compressor for QcfCompressor {
                     .set((n * 8) as f64 / out.len() as f64);
             }
             Ok(())
-        })
+        });
+        if let Some(t0) = t0 {
+            self.lat_encode.observe(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        res
     }
 
     fn decompress_raw(&self, bytes: &[u8], stream: &Stream) -> Result<Vec<f64>, CodecError> {
@@ -605,8 +634,9 @@ impl Compressor for QcfCompressor {
         stream: &Stream,
         out: &mut Vec<f64>,
     ) -> Result<(), CodecError> {
+        let t0 = lat_start();
         // Mirror of the compress-side phase: see `compress_raw_into`.
-        with_arena_phase(|_| {
+        let res = with_arena_phase(|_| {
             let (n, mut pos) = read_stream_header(bytes, self.id())?;
             let split = *bytes.get(pos).ok_or(CodecError::UnexpectedEof)?;
             pos += 1;
@@ -636,7 +666,11 @@ impl Compressor for QcfCompressor {
             } else {
                 self.decode_plane_into(bytes, &mut pos, n, stream, out)
             }
-        })
+        });
+        if let Some(t0) = t0 {
+            self.lat_decode.observe(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        res
     }
 }
 

@@ -30,10 +30,12 @@ use crate::statevector::{apply_gate_to_amplitudes, StateVector};
 use compressors::traits::value_range;
 use compressors::{Compressor, CompressorKind, ErrorBound};
 use gpu_model::{DeviceSpec, Stream};
-use qcf_telemetry::{Counter, GaugeTrack};
+use qcf_telemetry::journal::{self, EventKind};
+use qcf_telemetry::{Counter, GaugeTrack, Histogram};
 use qcircuit::{Circuit, Gate, Graph};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Instant;
 use tensornet::planes::{as_interleaved, from_interleaved};
 use tensornet::Complex64;
 
@@ -105,6 +107,54 @@ impl FaultCounters {
             quarantines: reg.counter("state.faults.quarantines"),
             worker_panics: reg.counter("state.faults.worker_panics"),
         }
+    }
+}
+
+/// Microsecond bucket bounds for the per-chunk stage latency histograms:
+/// roughly log-spaced from sub-10µs gate kernels up to the 10ms+ tail a
+/// faulted decode retry can hit; slower events land in the overflow bucket.
+const LATENCY_BOUNDS_US: [f64; 10] = [
+    10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+];
+
+/// Cached handles for the `state.*_us` latency histograms, resolved once at
+/// construction (same idiom as [`FaultCounters`]) so the hot path never
+/// takes the registry lock. `Histogram::observe` is lock-free and
+/// allocation-free, which keeps the warm apply path inside the
+/// zero-allocation gate; with telemetry disabled no clock is read at all.
+struct StateLatency {
+    apply_us: Arc<Histogram>,
+    encode_us: Arc<Histogram>,
+    decode_us: Arc<Histogram>,
+}
+
+impl StateLatency {
+    fn new() -> Self {
+        let reg = qcf_telemetry::registry();
+        StateLatency {
+            apply_us: reg.histogram("state.apply_us", &LATENCY_BOUNDS_US),
+            encode_us: reg.histogram("state.encode_us", &LATENCY_BOUNDS_US),
+            decode_us: reg.histogram("state.decode_us", &LATENCY_BOUNDS_US),
+        }
+    }
+}
+
+/// Starts a latency measurement iff telemetry is enabled (one relaxed load
+/// on the disabled path, no clock read).
+#[inline]
+fn lat_start() -> Option<Instant> {
+    if qcf_telemetry::enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Ends a latency measurement started by [`lat_start`].
+#[inline]
+fn lat_end(hist: &Histogram, t0: Option<Instant>) {
+    if let Some(t0) = t0 {
+        hist.observe(t0.elapsed().as_secs_f64() * 1e6);
     }
 }
 
@@ -302,6 +352,8 @@ pub struct CompressedState<'a> {
     chunk_norm: Vec<f64>,
     /// Registry mirrors of `faults`.
     fault_counters: FaultCounters,
+    /// Cached `state.*_us` latency histogram handles.
+    latency: StateLatency,
     /// Run accounting.
     pub stats: StateStats,
     /// Fault and recovery accounting (see [`FaultStats`]).
@@ -340,6 +392,7 @@ impl<'a> CompressedState<'a> {
             measure_err: env_measure_err(),
             chunk_norm: vec![0.0; 1usize << (n - chunk_qubits)],
             fault_counters: FaultCounters::new(),
+            latency: StateLatency::new(),
             stats: StateStats::default(),
             faults: FaultStats::default(),
         };
@@ -350,6 +403,7 @@ impl<'a> CompressedState<'a> {
                 amps[0] = Complex64::ONE;
             }
             let bytes = state.compress_chunk(&amps)?;
+            journal::record(chunk_id as u64, EventKind::Zero, bytes.len() as f64);
             let abs_bound = state.lossy_abs_bound(&amps);
             state.ledger.record_initial(chunk_id, abs_bound);
             state.chunk_norm[chunk_id] = amps.iter().map(|a| a.norm_sq()).sum();
@@ -449,6 +503,7 @@ impl<'a> CompressedState<'a> {
         self.fault_counters.quarantines.inc();
         self.faults.lost_norm_sq += lost;
         self.ledger.record_quarantine(id, lost);
+        journal::record(id as u64, EventKind::Quarantine, lost);
     }
 
     fn decompress_chunk(&self, bytes: &[u8]) -> Result<Vec<Complex64>, ContractError> {
@@ -471,9 +526,11 @@ impl<'a> CompressedState<'a> {
         let stream = &self.stream;
         let bytes = &self.chunks[id];
         let flat = &mut self.flat;
+        let t0 = lat_start();
         let caught = panic::catch_unwind(AssertUnwindSafe(|| {
             decode_chunk(compressor, stream, chunk_len, bytes, flat, amps)
         }));
+        lat_end(&self.latency.decode_us, t0);
         match caught {
             Ok(r) => r,
             Err(_) => {
@@ -494,16 +551,20 @@ impl<'a> CompressedState<'a> {
         amps: &mut Vec<Complex64>,
     ) -> Result<bool, ContractError> {
         if self.try_decode(id, amps).is_ok() {
+            journal::record(id as u64, EventKind::Decode, amps.len() as f64);
             return Ok(true);
         }
         self.faults.decode_errors += 1;
         self.fault_counters.decode_errors.inc();
+        journal::record(id as u64, EventKind::Fault, self.chunks[id].len() as f64);
         // 1. Bounded retry: transient faults (a panicked worker, an
         //    injected decode error) heal on a second attempt; persistent
         //    byte corruption does not.
         if self.try_decode(id, amps).is_ok() {
             self.faults.retries_ok += 1;
             self.fault_counters.retries_ok.inc();
+            // Heal detail: 1 = bounded retry, 2 = cache repair.
+            journal::record(id as u64, EventKind::Heal, 1.0);
             return Ok(true);
         }
         // 2. Cache repair: resident amplitudes are ground truth — losslessly
@@ -519,6 +580,7 @@ impl<'a> CompressedState<'a> {
             res?;
             self.faults.cache_repairs += 1;
             self.fault_counters.cache_repairs.inc();
+            journal::record(id as u64, EventKind::Heal, 2.0);
             return Ok(true);
         }
         // 3. Quarantine: zero-fill, account the lost norm, keep simulating.
@@ -587,10 +649,13 @@ impl<'a> CompressedState<'a> {
                 nh += 1;
             }
         }
-        match nh {
+        let t0 = lat_start();
+        let res = match nh {
             0 => self.apply_low(gate),
             _ => self.apply_grouped(gate, &high[..nh]),
-        }
+        };
+        lat_end(&self.latency.apply_us, t0);
+        res
     }
 
     /// All gate qubits inside the chunk: every chunk updates independently.
@@ -711,6 +776,7 @@ impl<'a> CompressedState<'a> {
         if self.cache.lookup(id).is_some() {
             self.stats.cache_hits += 1;
             self.cache.hits.inc();
+            journal::record(id as u64, EventKind::CacheHit, 1.0);
             // Take the amplitudes out of the entry so the unwind guard can
             // quarantine in place without fighting the cache borrow.
             let idx = self
@@ -764,6 +830,7 @@ impl<'a> CompressedState<'a> {
                 dst.extend_from_slice(&e.amps);
                 self.stats.cache_hits += 1;
                 self.cache.hits.inc();
+                journal::record(id as u64, EventKind::CacheHit, 1.0);
                 return Ok(());
             }
             self.stats.cache_misses += 1;
@@ -811,6 +878,12 @@ impl<'a> CompressedState<'a> {
     ) -> Result<(), ContractError> {
         if let Some((evicted_id, evicted_amps, evicted_dirty)) = self.cache.insert(id, amps, dirty)
         {
+            // Evict detail: 1 = dirty (write-back follows), 0 = clean drop.
+            journal::record(
+                evicted_id as u64,
+                EventKind::Evict,
+                f64::from(u8::from(evicted_dirty)),
+            );
             if evicted_dirty {
                 self.stats.writebacks += 1;
                 self.cache.writebacks.inc();
@@ -834,6 +907,7 @@ impl<'a> CompressedState<'a> {
         let mut bytes = std::mem::take(&mut self.chunks[id]);
         let old_len = bytes.len();
         let mut quarantined = false;
+        let t0 = lat_start();
         let res = {
             let compressor = self.compressor;
             let bound = self.bound;
@@ -880,11 +954,21 @@ impl<'a> CompressedState<'a> {
             }
             res
         };
+        lat_end(&self.latency.encode_us, t0);
         if quarantined {
             self.record_quarantine_loss(id);
         }
         self.stats.recompressions += 1;
         let abs_bound = self.lossy_abs_bound(amps);
+        if res.is_ok() {
+            journal::record(id as u64, EventKind::Encode, bytes.len() as f64);
+        }
+        if let Some(eps) = abs_bound {
+            // Mirrors `ledger.record_requant` below exactly (which counts
+            // every lossy write-back, successful or not), so the journal's
+            // requant count always matches the ledger's.
+            journal::record(id as u64, EventKind::WritebackRequant, eps);
+        }
         // Lossless reconstruction is exact by contract: measured error 0
         // for free. Lossy error is measured (a decode of the fresh bytes,
         // pure metrology — not counted in the data-path stats) only under

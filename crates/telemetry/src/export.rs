@@ -242,6 +242,369 @@ pub fn metrics_tsv(snap: &Snapshot) -> String {
     out
 }
 
+/// Maps a registry metric name onto the Prometheus charset: `qcf_` prefix,
+/// every byte outside `[a-zA-Z0-9_:]` replaced with `_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("qcf_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn prom_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_sign_positive() {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
+/// Renders a registry snapshot as Prometheus text exposition (version
+/// 0.0.4): counters and gauges as single samples (gauge high-water marks
+/// as a separate `<name>_high_water` gauge), histograms as cumulative
+/// `<name>_bucket{le="..."}` series closed by `le="+Inf"`, plus `_sum` and
+/// `_count`. Metric names are mapped via [`prometheus_name`]. The output
+/// round-trips through [`validate_prometheus`] — the ci gate for
+/// `qcfz top`'s live endpoint format.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    for (name, value) in &snap.counters {
+        let p = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {p} counter");
+        let _ = writeln!(out, "{p} {value}");
+    }
+    for (name, (value, high)) in &snap.gauges {
+        let p = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {p} gauge");
+        let _ = writeln!(out, "{p} {value}");
+        let _ = writeln!(out, "# TYPE {p}_high_water gauge");
+        let _ = writeln!(out, "{p}_high_water {high}");
+    }
+    for (name, value) in &snap.float_gauges {
+        let p = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {p} gauge");
+        let _ = writeln!(out, "{p} {}", prom_num(*value));
+    }
+    for (name, h) in &snap.histograms {
+        let p = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {p} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in &h.buckets {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{p}_bucket{{le=\"{}\"}} {cumulative}",
+                prom_num(*bound)
+            );
+        }
+        let _ = writeln!(out, "{p}_sum {}", prom_num(h.sum));
+        // `_count` from the bucket sum, not `h.count`: a snapshot racing a
+        // concurrent observe can skew the two by one, and the exposition
+        // must stay self-consistent (`+Inf` bucket == `_count`).
+        let _ = writeln!(out, "{p}_count {cumulative}");
+    }
+    out
+}
+
+/// What [`validate_prometheus`] counted while parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PromStats {
+    /// Sample lines parsed.
+    pub samples: usize,
+    /// `# TYPE` declarations seen.
+    pub types: usize,
+    /// Histograms fully checked (buckets cumulative, `+Inf` == `_count`).
+    pub histograms: usize,
+}
+
+/// Hand-rolled Prometheus text-format parser/validator (this workspace
+/// takes no dependencies). Checks, line by line: comment lines are `# TYPE
+/// <name> <counter|gauge|histogram|summary|untyped>` or `# HELP …`; sample
+/// lines are `<name>[{labels}] <value>` with a legal metric name, balanced
+/// quoted labels, and a parsable value. For every declared histogram it
+/// additionally requires at least one `_bucket` sample with an `le` label,
+/// cumulative bucket counts that never decrease, a closing `le="+Inf"`
+/// bucket, and agreement between that bucket and `_count`.
+/// Per-histogram validation state: buckets seen in order, the `+Inf`
+/// bucket's count, and the `_count` sample.
+type HistState = (Vec<u64>, Option<u64>, Option<u64>);
+
+pub fn validate_prometheus(text: &str) -> Result<PromStats, String> {
+    let mut stats = PromStats::default();
+    let mut declared: Vec<(String, String)> = Vec::new(); // (name, type)
+    let mut hist_state: std::collections::BTreeMap<String, HistState> =
+        std::collections::BTreeMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: {line:?}", lineno + 1);
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts.next().ok_or_else(|| err("TYPE without name"))?;
+                let ty = parts.next().ok_or_else(|| err("TYPE without type"))?;
+                if parts.next().is_some() {
+                    return Err(err("trailing tokens after TYPE"));
+                }
+                if !matches!(
+                    ty,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(err("unknown metric type"));
+                }
+                validate_prom_name(name).map_err(|m| err(&m))?;
+                declared.push((name.to_string(), ty.to_string()));
+                if ty == "histogram" {
+                    hist_state.insert(name.to_string(), (Vec::new(), None, None));
+                }
+                stats.types += 1;
+                continue;
+            }
+            if rest.starts_with("HELP ") {
+                continue;
+            }
+            continue; // bare comment
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        let (name, after_name) = split_prom_name(line).map_err(|m| err(&m))?;
+        let (labels, after_labels) = if after_name.starts_with('{') {
+            parse_prom_labels(after_name).map_err(|m| err(&m))?
+        } else {
+            (Vec::new(), after_name)
+        };
+        let mut tokens = after_labels.split_whitespace();
+        let value_tok = tokens.next().ok_or_else(|| err("sample without value"))?;
+        let value = parse_prom_value(value_tok).map_err(|m| err(&m))?;
+        if let Some(ts) = tokens.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(err("bad timestamp"));
+            }
+        }
+        if tokens.next().is_some() {
+            return Err(err("trailing tokens after sample"));
+        }
+        stats.samples += 1;
+
+        // Histogram series bookkeeping keyed by the declared base name.
+        if let Some(base) = name.strip_suffix("_bucket") {
+            if let Some((buckets, inf, _)) = hist_state.get_mut(base) {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| err("histogram bucket without le label"))?;
+                if !value.is_finite() || value < 0.0 || value.fract() != 0.0 {
+                    return Err(err("bucket count must be a non-negative integer"));
+                }
+                let count = value as u64;
+                if let Some(&prev) = buckets.last() {
+                    if count < prev {
+                        return Err(err("bucket counts must be cumulative"));
+                    }
+                }
+                buckets.push(count);
+                if le == "+Inf" {
+                    *inf = Some(count);
+                }
+            }
+        } else if let Some(base) = name.strip_suffix("_count") {
+            if let Some((_, _, count)) = hist_state.get_mut(base) {
+                *count = Some(value as u64);
+            }
+        }
+    }
+
+    for (name, (buckets, inf, count)) in &hist_state {
+        if buckets.is_empty() {
+            return Err(format!("histogram {name} has no _bucket samples"));
+        }
+        let inf = inf.ok_or_else(|| format!("histogram {name} missing le=\"+Inf\" bucket"))?;
+        let count = count.ok_or_else(|| format!("histogram {name} missing _count"))?;
+        if inf != count {
+            return Err(format!(
+                "histogram {name}: +Inf bucket {inf} != _count {count}"
+            ));
+        }
+        stats.histograms += 1;
+    }
+    Ok(stats)
+}
+
+fn validate_prom_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return Err(format!("bad metric name start in {name:?}")),
+    }
+    if chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        Ok(())
+    } else {
+        Err(format!("bad metric name char in {name:?}"))
+    }
+}
+
+fn split_prom_name(line: &str) -> Result<(&str, &str), String> {
+    let end = line
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+        .unwrap_or(line.len());
+    let (name, rest) = line.split_at(end);
+    validate_prom_name(name)?;
+    Ok((name, rest))
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_prom_labels(s: &str) -> Result<(Vec<(String, String)>, &str), String> {
+    let mut labels = Vec::new();
+    let bytes = s.as_bytes();
+    let mut pos = 1; // '{'
+    loop {
+        while pos < bytes.len() && bytes[pos] == b' ' {
+            pos += 1;
+        }
+        if pos < bytes.len() && bytes[pos] == b'}' {
+            return Ok((labels, &s[pos + 1..]));
+        }
+        let key_start = pos;
+        while pos < bytes.len() && bytes[pos] != b'=' {
+            pos += 1;
+        }
+        if pos >= bytes.len() {
+            return Err("unterminated label".into());
+        }
+        let key = s[key_start..pos].trim().to_string();
+        validate_prom_name(&key)?;
+        pos += 1; // '='
+        if pos >= bytes.len() || bytes[pos] != b'"' {
+            return Err("label value must be quoted".into());
+        }
+        pos += 1;
+        let mut value = String::new();
+        loop {
+            match bytes.get(pos) {
+                Some(b'"') => {
+                    pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    match bytes.get(pos + 1) {
+                        Some(b'"') => value.push('"'),
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'n') => value.push('\n'),
+                        _ => return Err("bad escape in label value".into()),
+                    }
+                    pos += 2;
+                }
+                Some(&c) => {
+                    value.push(c as char);
+                    pos += 1;
+                }
+                None => return Err("unterminated label value".into()),
+            }
+        }
+        labels.push((key, value));
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => {
+                return Ok((labels, &s[pos + 1..]));
+            }
+            _ => return Err("expected ',' or '}' after label".into()),
+        }
+    }
+}
+
+fn parse_prom_value(tok: &str) -> Result<f64, String> {
+    match tok {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => tok
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value {tok:?}")),
+    }
+}
+
+/// Quantile value as a JSON token: `NaN` (empty histogram) becomes `null`
+/// rather than a fake magnitude.
+fn json_quantile(v: f64) -> String {
+    if v.is_nan() {
+        "null".to_string()
+    } else {
+        json_num(v)
+    }
+}
+
+/// Renders time-series samples as streaming NDJSON: one JSON object per
+/// line, ordered oldest first. Each line is compact — timestamp, every
+/// counter/gauge/float-gauge value, and per-histogram `count`/`mean` plus
+/// the p50/p95/p99 sketch — so a feed consumer (or `qcfz top`) gets rates
+/// and percentiles without re-shipping full bucket arrays every tick.
+pub fn ndjson_samples(samples: &[crate::timeseries::Sample]) -> String {
+    let mut out = String::with_capacity(samples.len() * 256);
+    for s in samples {
+        let _ = write!(out, "{{\"t_us\":{},\"counters\":{{", s.t_us);
+        for (i, (k, v)) in s.metrics.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, k);
+            let _ = write!(out, "\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, (v, _))) in s.metrics.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, k);
+            let _ = write!(out, "\":{v}");
+        }
+        out.push_str("},\"float_gauges\":{");
+        for (i, (k, v)) in s.metrics.float_gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, k);
+            let _ = write!(out, "\":{}", json_num(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in s.metrics.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, k);
+            let _ = write!(
+                out,
+                "\":{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                h.count,
+                json_num(h.mean),
+                json_quantile(h.quantile(0.5)),
+                json_quantile(h.quantile(0.95)),
+                json_quantile(h.quantile(0.99))
+            );
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
 /// Minimal structural JSON validator (no std JSON parser in this
 /// dependency-free workspace): checks the document parses as one JSON
 /// value with balanced structure and valid tokens. Used by tests to
@@ -511,6 +874,83 @@ mod tests {
         }];
         let doc = chrome_trace(&spans, &lanes);
         validate_json(&doc).expect("escaped trace valid");
+    }
+
+    #[test]
+    fn prometheus_text_is_valid_and_complete() {
+        let text = prometheus_text(&sample_snapshot());
+        let stats = validate_prometheus(&text).expect("exposition must validate");
+        // counter + gauge + gauge high-water + float gauge + histogram
+        assert_eq!(stats.types, 5, "{text}");
+        assert_eq!(stats.histograms, 1);
+        assert!(text.contains("# TYPE qcf_gpu_kernel_launches counter"));
+        assert!(text.contains("qcf_gpu_kernel_launches 42"));
+        assert!(text.contains("qcf_contract_live_bytes_high_water 1048576"));
+        assert!(text.contains("qcf_compressor_qoz_cr 17.25"));
+        // Histogram buckets are cumulative and closed by +Inf == _count.
+        assert!(text.contains("qcf_stage_dedup_ratio_bucket{le=\"0.5\"} 2"));
+        assert!(text.contains("qcf_stage_dedup_ratio_bucket{le=\"1\"} 3"));
+        assert!(text.contains("qcf_stage_dedup_ratio_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("qcf_stage_dedup_ratio_count 3"));
+    }
+
+    #[test]
+    fn prometheus_name_sanitizes() {
+        assert_eq!(prometheus_name("state.cache.hit"), "qcf_state_cache_hit");
+        assert_eq!(
+            prometheus_name("compressor.QCF-ratio.cr"),
+            "qcf_compressor_QCF_ratio_cr"
+        );
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_malformed() {
+        assert!(validate_prometheus("# TYPE x bogus\n").is_err());
+        assert!(validate_prometheus("9bad_name 1\n").is_err());
+        assert!(validate_prometheus("x \n").is_err(), "missing value");
+        assert!(validate_prometheus("x notanumber\n").is_err());
+        assert!(
+            validate_prometheus("x{le=\"1\" 1\n").is_err(),
+            "unclosed labels"
+        );
+        // Histogram with decreasing buckets.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n";
+        assert!(validate_prometheus(bad).is_err());
+        // Histogram whose +Inf disagrees with _count.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n";
+        assert!(validate_prometheus(bad).is_err());
+        // Histogram with no +Inf bucket.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_sum 1\nh_count 3\n";
+        assert!(validate_prometheus(bad).is_err());
+        // A correct tiny document passes.
+        let ok = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 3\nh_sum 5\nh_count 3\n";
+        let stats = validate_prometheus(ok).unwrap();
+        assert_eq!(stats.histograms, 1);
+        assert_eq!(stats.samples, 4);
+    }
+
+    #[test]
+    fn ndjson_feed_lines_are_each_valid_json() {
+        let samples = vec![
+            crate::timeseries::Sample {
+                t_us: 10,
+                metrics: sample_snapshot(),
+            },
+            crate::timeseries::Sample {
+                t_us: 20,
+                metrics: sample_snapshot(),
+            },
+        ];
+        let feed = ndjson_samples(&samples);
+        let lines: Vec<&str> = feed.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            validate_json(line).expect("each NDJSON line must be valid JSON");
+        }
+        assert!(lines[0].contains("\"t_us\":10"));
+        assert!(lines[1].contains("\"t_us\":20"));
+        assert!(lines[0].contains("\"p95\":"));
+        assert!(lines[0].contains("gpu.kernel.launches"));
     }
 
     #[test]

@@ -156,8 +156,14 @@ pub fn reset() {
     ring.overwritten = 0;
 }
 
+/// Newest time-series samples embedded in every dump, so a post-mortem
+/// carries the last seconds of the sampler's view alongside the frames.
+pub const SAMPLER_TAIL: usize = 8;
+
 /// Renders the ring as one JSON document:
-/// `{"capacity":…,"overwritten":…,"frames":[{…}]}`.
+/// `{"capacity":…,"overwritten":…,"frames":[{…}],"sampler_tail":[{…}]}`.
+/// The `sampler_tail` array holds the newest [`SAMPLER_TAIL`] samples from
+/// [`crate::timeseries`] (empty when the sampler never ran).
 pub fn to_json() -> String {
     use std::fmt::Write as _;
     let frames = frames();
@@ -179,6 +185,18 @@ pub fn to_json() -> String {
             f.spans_buffered,
             f.spans_dropped,
             crate::export::metrics_json(&f.metrics)
+        );
+    }
+    out.push_str("],\"sampler_tail\":[");
+    for (i, s) in crate::timeseries::tail(SAMPLER_TAIL).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"t_us\":{},\"metrics\":{}}}",
+            s.t_us,
+            crate::export::metrics_json(&s.metrics)
         );
     }
     out.push_str("]}");
@@ -261,6 +279,28 @@ mod tests {
         crate::export::validate_json(&doc).expect("flight JSON must be valid");
         assert!(doc.contains("\"capacity\""));
         assert!(doc.contains("quotes"));
+        assert!(doc.contains("\"sampler_tail\""));
+        reset();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn dump_carries_the_sampler_tail() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        set_enabled(true);
+        reset();
+        crate::timeseries::reset();
+        for _ in 0..(SAMPLER_TAIL + 4) {
+            crate::timeseries::capture();
+        }
+        record("end");
+        let doc = to_json();
+        crate::export::validate_json(&doc).expect("flight JSON with tail must be valid");
+        // Exactly SAMPLER_TAIL newest samples are embedded.
+        let tail_count = doc.matches("{\"t_us\":").count() - frames().len();
+        assert_eq!(tail_count, SAMPLER_TAIL, "{doc}");
+        crate::timeseries::reset();
         reset();
         set_enabled(false);
     }

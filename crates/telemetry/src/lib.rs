@@ -18,6 +18,12 @@
 //! * [`faults`] — deterministic fault injection for chaos testing
 //!   (`QCF_FAULTS`), gated on the same one-relaxed-load pattern as the
 //!   enabled flag.
+//! * [`timeseries`] — a background sampler (`QCF_TELEMETRY_SAMPLE=<ms>`)
+//!   capturing registry snapshots into a fixed-capacity downsampling ring
+//!   for rates-over-time and `qcfz top`.
+//! * [`journal`] — a per-chunk causal event journal (`QCF_JOURNAL`):
+//!   bounded per-chunk rings of sequence-numbered lifecycle events behind
+//!   every ledger requant/quarantine count.
 //!
 //! ## Cost when disabled
 //!
@@ -34,10 +40,14 @@
 pub mod export;
 pub mod faults;
 pub mod flight;
+pub mod journal;
 pub mod metrics;
 pub mod span;
+pub mod timeseries;
 
-pub use export::{chrome_trace, metrics_json, metrics_tsv, LaneEvent, StreamLane};
+pub use export::{
+    chrome_trace, metrics_json, metrics_tsv, ndjson_samples, prometheus_text, LaneEvent, StreamLane,
+};
 pub use flight::FlightFrame;
 pub use metrics::{registry, Counter, FloatGauge, Gauge, GaugeTrack, Histogram, Registry};
 pub use span::{SpanEvent, SpanGuard};
@@ -79,20 +89,28 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
 }
 
-/// Clears all recorded spans and metric values (counters, gauges and
-/// histograms keep their registrations). For isolating runs in one process.
-/// The flight recorder ring is deliberately *not* cleared — it is the
-/// cross-run post-mortem record.
+/// Clears all recorded spans, metric values (counters, gauges and
+/// histograms keep their registrations), time-series samples and journal
+/// rings. For isolating runs in one process. The flight recorder ring is
+/// deliberately *not* cleared — it is the cross-run post-mortem record.
 pub fn reset() {
     span::reset();
     metrics::registry().reset_values();
+    timeseries::reset();
+    journal::reset();
 }
 
-/// Scoped run isolation: entering a `RunScope` clears the span buffer and
-/// every metric value, so a run that starts inside the scope reads zeros —
-/// consecutive subcommands in one process (`qcfz report` runs `qaoa`,
-/// `state` and a quality sweep back to back) no longer bleed `state.cache.*`
-/// and friends into each other's exports.
+/// Scoped run isolation: entering a `RunScope` clears the span buffer,
+/// every metric value, the time-series ring and the chunk journal, so a
+/// run that starts inside the scope reads zeros — consecutive subcommands
+/// in one process (`qcfz report` runs `qaoa`, `state` and a quality sweep
+/// back to back) no longer bleed `state.cache.*`, samples or chunk events
+/// into each other's exports.
+///
+/// Entering also arms the time-series sampler when
+/// `QCF_TELEMETRY_SAMPLE=<ms>` asks for one; [`RunScope::finish`] (and the
+/// scope's drop, for CLIs that hold the scope to process exit) stops and
+/// **joins** that sampler thread, so no sampler outlives its run.
 ///
 /// [`RunScope::finish`] reads the scope's spans and metrics out and clears
 /// them again, handing the caller an isolated per-run record.
@@ -101,19 +119,34 @@ pub fn reset() {
 pub struct RunScope(());
 
 impl RunScope {
-    /// Starts an isolated run: spans and metric values reset to zero.
+    /// Starts an isolated run: spans, metric values, time series and
+    /// journal reset to zero; the env-armed sampler (if any) starts.
     pub fn enter() -> Self {
+        // A sampler left over from a previous scope must not write into
+        // this scope's freshly-reset ring.
+        timeseries::stop();
         reset();
+        timeseries::arm_from_env();
         RunScope(())
     }
 
-    /// Ends the run: returns everything recorded since [`RunScope::enter`]
-    /// and leaves the registry clean for the next scope.
+    /// Ends the run: stops and joins the sampler, then returns everything
+    /// recorded since [`RunScope::enter`] and leaves the registry clean
+    /// for the next scope.
     pub fn finish(self) -> (Vec<SpanEvent>, metrics::Snapshot) {
+        timeseries::stop();
         let spans = span::snapshot();
         let snap = metrics::registry().drain();
         span::reset();
         (spans, snap)
+    }
+}
+
+impl Drop for RunScope {
+    fn drop(&mut self) {
+        // `finish` already stopped the sampler; this covers scopes that
+        // are simply dropped (the `qcfz` main holds one to process exit).
+        timeseries::stop();
     }
 }
 
@@ -151,6 +184,42 @@ mod tests {
             "previous run's counters must not bleed into this run"
         );
         assert!(!spans.iter().any(|e| e.name == "test.scope_one"));
+    }
+
+    #[test]
+    fn run_scope_resets_timeseries_and_journal() {
+        let _g = test_guard();
+        set_enabled(true);
+        journal::set_enabled(true);
+        let scope = RunScope::enter();
+        timeseries::capture();
+        journal::record(3, journal::EventKind::Zero, 1.0);
+        assert_eq!(timeseries::len(), 1);
+        assert_eq!(journal::total_events(), 1);
+        drop(scope.finish());
+
+        // The next scope must start with empty series and journal.
+        let scope = RunScope::enter();
+        assert_eq!(timeseries::len(), 0, "samples bled between scopes");
+        assert_eq!(journal::total_events(), 0, "events bled between scopes");
+        assert!(journal::events(3).is_empty());
+        drop(scope.finish());
+        journal::set_enabled(false);
+    }
+
+    #[test]
+    fn run_scope_joins_a_programmatic_sampler() {
+        let _g = test_guard();
+        set_enabled(true);
+        let scope = RunScope::enter();
+        timeseries::start(1);
+        assert!(timeseries::is_running());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let (_, _) = scope.finish();
+        assert!(
+            !timeseries::is_running(),
+            "finish must stop and join the sampler"
+        );
     }
 
     #[test]

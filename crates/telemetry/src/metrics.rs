@@ -288,6 +288,12 @@ impl Histogram {
             .collect()
     }
 
+    /// The bucket-sketch `q`-quantile; see [`quantile_from_buckets`] for
+    /// the exact contract and error bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.bucket_counts(), self.count(), q)
+    }
+
     fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
@@ -429,6 +435,39 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(f64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// The bucket-sketch `q`-quantile; see [`quantile_from_buckets`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.buckets, self.count, q)
+    }
+}
+
+/// The zero-dependency percentile sketch over fixed histogram buckets.
+///
+/// Returns the **upper bound of the bucket containing the `q`-quantile**
+/// of the observed distribution: with `rank = ceil(q·count)` (clamped to
+/// `[1, count]`), the smallest bucket bound whose cumulative count reaches
+/// `rank`. The true quantile lies in the same bucket, i.e. in
+/// `(prev_bound, returned_bound]`, so the sketch error is at most one
+/// bucket width and the sketch never *under*-reports — the conservative
+/// direction for latency SLOs. A quantile that lands in the explicit
+/// overflow bucket is reported as `f64::INFINITY` (no finite bound covers
+/// it); an empty histogram or a `q` outside `[0, 1]` yields `NaN`.
+pub fn quantile_from_buckets(buckets: &[(f64, u64)], count: u64, q: f64) -> f64 {
+    if count == 0 || !(0.0..=1.0).contains(&q) {
+        return f64::NAN;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for &(bound, n) in buckets {
+        cumulative += n;
+        if cumulative >= rank {
+            return bound;
+        }
+    }
+    f64::NAN
+}
+
 /// The process-global registry.
 pub fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
@@ -554,6 +593,71 @@ mod tests {
         // Snapshot carries the per-histogram drop count.
         h.reset();
         assert_eq!(h.dropped(), 0);
+    }
+
+    #[test]
+    fn quantile_sketch_basics() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let h = Histogram::new(&[10.0, 20.0, 50.0, 100.0]);
+        // 100 observations uniform over (0, 100]: k-th percentile ≈ k.
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.quantile(0.5), 50.0, "p50 of uniform(0,100] in (20,50]");
+        assert_eq!(h.quantile(0.95), 100.0);
+        assert_eq!(h.quantile(0.05), 10.0);
+        assert_eq!(h.quantile(0.0), 10.0, "q=0 clamps to rank 1");
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert!(h.quantile(1.5).is_nan(), "q outside [0,1]");
+        assert!(h.quantile(-0.1).is_nan());
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_reports_infinity() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let h = Histogram::new(&[1.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(9.0);
+        assert_eq!(h.quantile(0.1), 1.0);
+        assert_eq!(
+            h.quantile(0.99),
+            f64::INFINITY,
+            "overflow-bucket quantiles have no finite bound"
+        );
+    }
+
+    #[test]
+    fn quantile_empty_is_nan() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let h = Histogram::new(&[1.0]);
+        assert!(h.quantile(0.5).is_nan());
+        let snap = HistogramSnapshot::default();
+        assert!(snap.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn snapshot_quantile_matches_live_histogram() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        for v in [0.1, 0.2, 1.5, 3.0, 3.5, 7.0, 7.5, 20.0] {
+            h.observe(v);
+        }
+        let snap = HistogramSnapshot {
+            count: h.count(),
+            dropped: h.dropped(),
+            sum: h.sum(),
+            mean: h.mean(),
+            buckets: h.bucket_counts(),
+        };
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let (a, b) = (h.quantile(q), snap.quantile(q));
+            assert!(a == b || (a.is_nan() && b.is_nan()), "q={q}: {a} vs {b}");
+        }
     }
 
     #[test]

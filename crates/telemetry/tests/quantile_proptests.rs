@@ -1,0 +1,127 @@
+//! Property tests for the bucket-sketch percentiles: for any observation
+//! set and any bucket layout, the sketch quantile must land within one
+//! histogram bucket of the true order statistic — including ranks that
+//! fall in the implicit overflow bucket, where the sketch honestly
+//! answers `+inf` ("beyond the last configured bound") instead of a
+//! made-up number.
+//!
+//! The observations go through the real `Registry::histogram` +
+//! `Histogram::observe` path (not a re-implementation of the bucketing),
+//! so these tests pin the production sketch end to end.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use qcf_telemetry::metrics::quantile_from_buckets;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique metric name per case — the registry hands back the *existing*
+/// histogram (ignoring new bounds) when a name repeats.
+fn fresh_name() -> String {
+    static N: AtomicU64 = AtomicU64::new(0);
+    format!("proptest.quantile.{}", N.fetch_add(1, Ordering::Relaxed))
+}
+
+/// The true order statistic the sketch approximates: with
+/// `rank = ceil(q·n)` (clamped to `[1, n]`), the rank-th smallest value.
+fn true_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Asserts the sketch contract for one (histogram, q) pair: the estimate
+/// is the upper bound of the bucket holding the true quantile, so
+/// `prev_bound < true ≤ estimate` — or `+inf` exactly when the true
+/// quantile exceeds the last configured bound.
+fn assert_within_bucket(
+    bounds: &[f64],
+    buckets: &[(f64, u64)],
+    count: u64,
+    sorted: &[f64],
+    q: f64,
+) -> Result<(), TestCaseError> {
+    let est = quantile_from_buckets(buckets, count, q);
+    let truth = true_quantile(sorted, q);
+    let last = bounds.last().copied().unwrap_or(f64::NEG_INFINITY);
+    if est.is_infinite() {
+        prop_assert!(
+            truth > last,
+            "sketch says overflow (> {last}) but true q{q} is {truth}"
+        );
+        return Ok(());
+    }
+    prop_assert!(
+        truth <= est,
+        "true q{q} = {truth} above its sketch bucket bound {est}"
+    );
+    // The bound below the estimate (if any) must sit strictly under the
+    // truth — otherwise the sketch skipped a tighter bucket.
+    if let Some(prev) = bounds.iter().rev().find(|&&b| b < est) {
+        prop_assert!(
+            truth > *prev,
+            "true q{q} = {truth} fits the tighter bucket ≤ {prev}, sketch said {est}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sketch_quantiles_land_within_one_bucket(
+        // Strictly increasing bounds built from positive gaps, scaled so
+        // some observation sets overflow the top bucket and some don't.
+        gaps in prop::collection::vec(0.1f64..50.0, 1..12),
+        // Raw observations in [0, 500): with bounds summing to at most
+        // 12·50 = 600 the overflow bucket is hit by many cases.
+        raw in prop::collection::vec(0.0f64..500.0, 1..300),
+    ) {
+        let mut bounds = Vec::with_capacity(gaps.len());
+        let mut acc = 0.0;
+        for g in &gaps {
+            acc += g;
+            bounds.push(acc);
+        }
+
+        qcf_telemetry::set_enabled(true);
+        let h = qcf_telemetry::registry().histogram(&fresh_name(), &bounds);
+        for &v in &raw {
+            h.observe(v);
+        }
+
+        let mut sorted = raw.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let buckets = h.bucket_counts();
+        prop_assert_eq!(h.count(), raw.len() as u64);
+        for q in [0.50, 0.95, 0.99] {
+            assert_within_bucket(&bounds, &buckets, h.count(), &sorted, q)?;
+        }
+    }
+
+    #[test]
+    fn overflow_rank_is_reported_as_infinite_never_invented(
+        bound in 1.0f64..100.0,
+        below in prop::collection::vec(0.0f64..1.0, 0..40),
+        above in prop::collection::vec(100.1f64..1e6, 1..40),
+    ) {
+        // One finite bucket at `bound`; everything in `above` overflows it.
+        let bounds = [bound];
+        qcf_telemetry::set_enabled(true);
+        let h = qcf_telemetry::registry().histogram(&fresh_name(), &bounds);
+        for &v in below.iter().chain(&above) {
+            h.observe(v);
+        }
+
+        let n = (below.len() + above.len()) as u64;
+        prop_assert_eq!(h.overflow(), above.len() as u64);
+        // q = 1.0 always ranks into the overflow bucket here.
+        let est = h.quantile(1.0);
+        prop_assert!(est.is_infinite(), "p100 with overflow obs must be +inf, got {est}");
+        // And a quantile that ranks below the overflow stays finite.
+        if below.len() as u64 * 2 > n {
+            let est = h.quantile(0.5);
+            prop_assert_eq!(est, bound);
+        }
+    }
+}
