@@ -60,6 +60,41 @@ if echo "$chaos_out" | grep -q " 0 quarantines"; then
     exit 1
 fi
 
+# Out-of-core gate. A budgeted run must actually exceed its budget and
+# spill (nonzero writes), the gate-schedule prefetcher must cover at
+# least half the fetches, and frame placement must be pure: the energy
+# line of the budgeted run matches the unbudgeted one character for
+# character. Then a QCF_MEM_BUDGET-armed `verify --state` proves the
+# scrub walks the disk tier clean (exit code is the contract).
+echo "== out-of-core gate (spill tier + prefetch) =="
+oo_flags=(state --nodes 12 --seed 21 --compressor LZ4 --abs 0 --cache 2)
+base_out=$(cargo run --release -q -p qcf-bench --bin qcfz -- "${oo_flags[@]}")
+spill_out=$(cargo run --release -q -p qcf-bench --bin qcfz -- "${oo_flags[@]}" --mem-budget 4k)
+echo "$spill_out" | sed -n '2,3p'
+e_base=$(echo "$base_out" | sed -n '1s/.*energy \([^,]*\),.*/\1/p')
+e_spill=$(echo "$spill_out" | sed -n '1s/.*energy \([^,]*\),.*/\1/p')
+if [ -z "$e_base" ] || [ "$e_base" != "$e_spill" ]; then
+    echo "out-of-core gate FAILED: energy '$e_spill' != in-RAM '$e_base'" >&2
+    exit 1
+fi
+spill_writes=$(echo "$spill_out" | awk '/^spill:/ {print $2}')
+if [ -z "$spill_writes" ] || [ "$spill_writes" -eq 0 ]; then
+    echo "out-of-core gate FAILED: budgeted run never spilled" >&2
+    exit 1
+fi
+hit_rate=$(echo "$spill_out" | sed -n '/^spill:/s/.*(\([0-9]*\)% hit rate.*/\1/p')
+if [ -z "$hit_rate" ] || [ "$hit_rate" -lt 50 ]; then
+    echo "out-of-core gate FAILED: prefetch hit rate ${hit_rate:-?}% below 50%" >&2
+    exit 1
+fi
+oo_verify=$(QCF_MEM_BUDGET=4k cargo run --release -q -p qcf-bench --bin qcfz -- \
+    verify --state --nodes 10 --seed 21 --compressor LZ4 --abs 0 --cache 2)
+echo "$oo_verify" | grep "disk tier:"
+if ! echo "$oo_verify" | grep -q "disk tier: [1-9]"; then
+    echo "out-of-core gate FAILED: verify --state never touched the disk tier" >&2
+    exit 1
+fi
+
 # Run-to-run regression gate against the committed baseline. CR, ledger
 # invariants (requant counts, accumulated bounds) and energy are hard
 # failures everywhere; throughput numbers only fail on >=4-core hosts

@@ -7,10 +7,11 @@
 //! qcfz info <in.qcfz>
 //! qcfz qaoa [--nodes N] [--seed S] [--compressor NAME] [--rel X | --abs X]
 //! qcfz state [--nodes N] [--seed S] [--chunk-qubits C] [--cache K] [--chunk ID]
-//! qcfz top [--nodes N] [--seed S] [--interval MS] [--once]
+//!            [--mem-budget BYTES[k|m|g]] [--no-prefetch]
+//! qcfz top [--nodes N] [--seed S] [--mem-budget BYTES] [--interval MS] [--once]
 //! qcfz verify <in.qcfz>
 //! qcfz verify --state [--nodes N] [--seed S] [--chunk C] [--cache K]
-//!             [--compressor NAME] [--rel X | --abs X]
+//!             [--compressor NAME] [--rel X | --abs X] [--mem-budget BYTES]
 //! qcfz report [--out report.md] [--json BENCH_report.json]
 //!             [--baseline BENCH_report.json --check]
 //! ```
@@ -18,6 +19,10 @@
 //! `verify <file>` scrubs a compressed stream (frame checksum + full
 //! decode); `verify --state` runs a QAOA circuit on the chunk-compressed
 //! state and scrubs every chunk against its error-budget ledger bound.
+//! With `--mem-budget BYTES` (or `QCF_MEM_BUDGET`) cold sealed frames
+//! spill to a per-state disk log and are prefetched back along the gate
+//! schedule; the scrub then reads the on-disk frames through the same
+//! decode path, so disk corruption falls under the same contract.
 //! With `QCF_FAULTS` set (see qcf-telemetry's fault grammar) the state run
 //! executes under injected faults and exits nonzero unless every injected
 //! storage corruption was detected and healed or quarantined.
@@ -40,6 +45,18 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// `--mem-budget SIZE` — bytes with optional k/m/g (binary) suffix. A
+/// malformed value is a hard CLI error here (the `QCF_MEM_BUDGET` env var
+/// is the warn-and-ignore path; an explicit flag should fail loudly).
+fn parse_mem_budget(args: &[String]) -> Result<Option<usize>, cli::CliError> {
+    match flag(args, "--mem-budget") {
+        None => Ok(None),
+        Some(raw) => qtensor::parse_size(raw)
+            .map(Some)
+            .map_err(|e| cli::CliError(format!("bad --mem-budget value: {e}"))),
+    }
 }
 
 /// Writes `--trace` / `--metrics` outputs when requested.
@@ -147,45 +164,84 @@ fn main() {
             let chunk_id: Option<u64> = flag(&args, "--chunk").and_then(|v| v.parse().ok());
             let cache = flag(&args, "--cache").and_then(|v| v.parse().ok());
             let comp = flag(&args, "--compressor").unwrap_or("QCF-speed");
-            cli::parse_bound(flag(&args, "--rel"), flag(&args, "--abs")).and_then(|bound| {
-                let s = cli::state_demo(nodes, seed, chunk, comp, bound, cache, chunk_id)?;
-                let st = &s.stats;
-                let touched = st.cache_hits + st.cache_misses;
-                println!(
-                    "compressed state n={nodes}: energy {:.6}, resident {} bytes (dense {}), \
+            cli::parse_bound(flag(&args, "--rel"), flag(&args, "--abs"))
+                .and_then(|bound| {
+                    let mut cfg = cli::StateRunCfg::new(nodes, seed, chunk, comp);
+                    cfg.bound = bound;
+                    cfg.cache = cache;
+                    cfg.journal_chunk = chunk_id;
+                    cfg.mem_budget = parse_mem_budget(&args)?;
+                    cfg.prefetch = !args.iter().any(|a| a == "--no-prefetch");
+                    Ok(cfg)
+                })
+                .and_then(|cfg| {
+                    let s = cli::state_demo(&cfg)?;
+                    let st = &s.stats;
+                    let touched = st.cache_hits + st.cache_misses;
+                    println!(
+                        "compressed state n={nodes}: energy {:.6}, resident {} bytes (dense {}), \
                      cache cap {} chunks: {} hits / {} misses ({:.0}% hit rate), \
                      {} write-backs, {} decompressions, {} recompressions",
-                    s.energy,
-                    st.resident_bytes,
-                    s.dense_bytes,
-                    s.cache_capacity,
-                    st.cache_hits,
-                    st.cache_misses,
-                    if touched == 0 {
-                        0.0
-                    } else {
-                        100.0 * st.cache_hits as f64 / touched as f64
-                    },
-                    st.writebacks,
-                    st.decompressions,
-                    st.recompressions
-                );
-                let l = &s.ledger;
-                println!(
-                    "error-budget ledger: {} requants over {} chunks (max {} per chunk), \
+                        s.energy,
+                        st.resident_bytes,
+                        s.dense_bytes,
+                        s.cache_capacity,
+                        st.cache_hits,
+                        st.cache_misses,
+                        if touched == 0 {
+                            0.0
+                        } else {
+                            100.0 * st.cache_hits as f64 / touched as f64
+                        },
+                        st.writebacks,
+                        st.decompressions,
+                        st.recompressions
+                    );
+                    let t = &s.tiers;
+                    println!(
+                        "tiers: {} bytes cached amps / {} bytes compressed in RAM / \
+                     {} bytes spilled across {} chunks (budget {})",
+                        t.cached_amp_bytes,
+                        t.ram_compressed_bytes,
+                        t.spilled_bytes,
+                        t.spilled_chunks,
+                        s.mem_budget
+                            .map(|b| b.to_string())
+                            .unwrap_or_else(|| "unbounded".into())
+                    );
+                    if st.spills > 0 || st.fetches > 0 {
+                        let fetched = st.prefetch_hits + st.prefetch_misses;
+                        println!(
+                            "spill: {} writes / {} fetches, prefetch {} hits / {} misses \
+                         ({:.0}% hit rate), stalled {} us",
+                            st.spills,
+                            st.fetches,
+                            st.prefetch_hits,
+                            st.prefetch_misses,
+                            if fetched == 0 {
+                                0.0
+                            } else {
+                                100.0 * st.prefetch_hits as f64 / fetched as f64
+                            },
+                            st.prefetch_stall_us
+                        );
+                    }
+                    let l = &s.ledger;
+                    println!(
+                        "error-budget ledger: {} requants over {} chunks (max {} per chunk), \
                      accumulated bound max {:.3e} / state RSS {:.3e}{}",
-                    l.total_requants,
-                    l.chunks,
-                    l.max_requants,
-                    l.max_accumulated_bound,
-                    l.accumulated_rss,
-                    if l.lossy { "" } else { " (lossless: exact)" }
-                );
-                if let Some(chain) = &s.chain {
-                    print_chunk_chain(chain)?;
-                }
-                export_telemetry(&args, &[])
-            })
+                        l.total_requants,
+                        l.chunks,
+                        l.max_requants,
+                        l.max_accumulated_bound,
+                        l.accumulated_rss,
+                        if l.lossy { "" } else { " (lossless: exact)" }
+                    );
+                    if let Some(chain) = &s.chain {
+                        print_chunk_chain(chain)?;
+                    }
+                    export_telemetry(&args, &[])
+                })
         }
         Some("top") => {
             let nodes: usize = flag(&args, "--nodes")
@@ -201,6 +257,7 @@ fn main() {
                     cfg.chunk_qubits = c;
                 }
                 cfg.cache = flag(&args, "--cache").and_then(|v| v.parse().ok());
+                cfg.mem_budget = parse_mem_budget(&args)?;
                 if let Some(ms) = flag(&args, "--interval").and_then(|v| v.parse().ok()) {
                     cfg.interval_ms = ms;
                 }
@@ -224,7 +281,8 @@ fn main() {
             let cache = flag(&args, "--cache").and_then(|v| v.parse().ok());
             let comp = flag(&args, "--compressor").unwrap_or("QCF-speed");
             cli::parse_bound(flag(&args, "--rel"), flag(&args, "--abs")).and_then(|bound| {
-                let s = cli::verify_state(nodes, seed, chunk, comp, bound, cache)?;
+                let budget = parse_mem_budget(&args)?;
+                let s = cli::verify_state(nodes, seed, chunk, comp, bound, cache, budget)?;
                 let r = &s.report;
                 let f = &s.faults;
                 println!(
@@ -238,12 +296,19 @@ fn main() {
                     s.scrub_passes,
                     if s.scrub_passes == 1 { "" } else { "es" }
                 );
+                if s.spills > 0 || s.fetches > 0 {
+                    println!(
+                        "disk tier: {} spills / {} fetches scrubbed through the frame path",
+                        s.spills, s.fetches
+                    );
+                }
                 println!(
-                    "faults: {} injected ({} bitflips, {} decode errors) — detected \
-                     {} decode failures, {} retries healed, {} cache repairs, \
+                    "faults: {} injected ({} bitflips, {} spill bitflips, {} decode errors) — \
+                     detected {} decode failures, {} retries healed, {} cache repairs, \
                      {} quarantines, {} worker panics, lost norm² {:.3e}",
                     s.injected_total,
                     s.injected_bitflips,
+                    s.injected_spill_bitflips,
                     s.injected_decode_errors,
                     f.decode_errors,
                     f.retries_ok,
@@ -342,11 +407,13 @@ fn main() {
                  | qaoa [--nodes N] [--seed S] [--compressor NAME] [--rel X|--abs X] \
                  | state [--nodes N] [--seed S] [--chunk-qubits C] [--cache K] \
                  [--compressor NAME] [--rel X|--abs X] [--chunk ID] \
+                 [--mem-budget BYTES[k|m|g]] [--no-prefetch] \
                  | top [--nodes N] [--seed S] [--chunk-qubits C] [--cache K] \
-                 [--compressor NAME] [--rel X|--abs X] [--interval MS] [--once] \
+                 [--compressor NAME] [--rel X|--abs X] [--mem-budget BYTES] \
+                 [--interval MS] [--once] \
                  | verify <in.qcfz> \
                  | verify --state [--nodes N] [--seed S] [--chunk C] [--cache K] \
-                 [--compressor NAME] [--rel X|--abs X] \
+                 [--compressor NAME] [--rel X|--abs X] [--mem-budget BYTES] \
                  | report [--nodes N] [--seed S] [--chunk C] [--cache K] [--compressor NAME] \
                  [--rel X|--abs X] [--out report.md|.html] [--json BENCH_report.json] \
                  [--baseline BENCH_report.json] [--check]\n\

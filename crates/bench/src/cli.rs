@@ -278,6 +278,10 @@ pub struct StateSummary {
     pub dense_bytes: usize,
     /// Write-back chunk-cache capacity used (chunks).
     pub cache_capacity: usize,
+    /// Effective compressed-resident byte budget (`None` = no disk tier).
+    pub mem_budget: Option<usize>,
+    /// Where the frames ended up: cached amps / compressed RAM / disk.
+    pub tiers: qtensor::TierBreakdown,
     /// Run accounting (codec calls, cache hits/misses, resident bytes).
     pub stats: StateStats,
     /// Error-budget ledger aggregate (requant counts, accumulated bounds).
@@ -313,50 +317,97 @@ impl ChunkChain {
     }
 }
 
+/// Everything one `qcfz state` run needs ([`state_demo`]'s input — grown
+/// past the point where positional arguments stay readable).
+#[derive(Debug, Clone)]
+pub struct StateRunCfg {
+    /// QAOA graph size (nodes = qubits).
+    pub nodes: usize,
+    /// Graph seed.
+    pub seed: u64,
+    /// Qubits per chunk.
+    pub chunk_qubits: usize,
+    /// Compressor display name (`qcfz list`).
+    pub compressor: String,
+    /// Error bound for the chunk codec.
+    pub bound: ErrorBound,
+    /// Write-back chunk-cache capacity override.
+    pub cache: Option<usize>,
+    /// Chunk id whose causal journal chain to capture (`--chunk <id>`).
+    pub journal_chunk: Option<u64>,
+    /// Compressed-resident byte budget; `Some` arms the disk spill tier
+    /// (`--mem-budget`, also set by `QCF_MEM_BUDGET`).
+    pub mem_budget: Option<usize>,
+    /// Gate-schedule-aware async prefetch for the spilled run (the
+    /// default; `--no-prefetch` forces synchronous fetch-on-miss).
+    pub prefetch: bool,
+}
+
+impl StateRunCfg {
+    /// A default-shaped run: no cache/budget overrides, prefetch on.
+    pub fn new(nodes: usize, seed: u64, chunk_qubits: usize, compressor: &str) -> Self {
+        StateRunCfg {
+            nodes,
+            seed,
+            chunk_qubits,
+            compressor: compressor.to_string(),
+            bound: ErrorBound::Rel(1e-3),
+            cache: None,
+            journal_chunk: None,
+            mem_budget: None,
+            prefetch: true,
+        }
+    }
+}
+
 /// Runs a QAOA circuit through the chunk-compressed statevector simulator
 /// (`qcfz state`). Exercises the write-back chunk cache, so the
 /// `state.cache.*` and `workspace.*` registry counters populate for
-/// `--metrics`.
+/// `--metrics`; with a memory budget set, the out-of-core spill tier and
+/// its prefetcher populate `state.spill.*` / `state.prefetch.*` too.
 ///
 /// With `journal_chunk` set, the per-chunk causal journal is armed for the
 /// run and the named chunk's event chain is returned alongside its ledger
 /// record (`qcfz state --chunk <id>`).
-pub fn state_demo(
-    nodes: usize,
-    seed: u64,
-    chunk_qubits: usize,
-    compressor: &str,
-    bound: ErrorBound,
-    cache: Option<usize>,
-    journal_chunk: Option<u64>,
-) -> Result<StateSummary, CliError> {
+pub fn state_demo(cfg: &StateRunCfg) -> Result<StateSummary, CliError> {
     use qcf_telemetry::journal;
-    let comp = cli_by_name(compressor).ok_or_else(|| {
+    let comp = cli_by_name(&cfg.compressor).ok_or_else(|| {
         CliError(format!(
-            "unknown compressor '{compressor}' (try `qcfz list`)"
+            "unknown compressor '{}' (try `qcfz list`)",
+            cfg.compressor
         ))
     })?;
-    if journal_chunk.is_some() {
+    if cfg.journal_chunk.is_some() {
         // The journal only records under the master switch too.
         qcf_telemetry::set_enabled(true);
         journal::set_enabled(true);
         journal::reset();
     }
-    let graph = Graph::random_regular(nodes, 3, seed);
+    let graph = Graph::random_regular(cfg.nodes, 3, cfg.seed);
     let circuit = qaoa_circuit(&graph, &QaoaParams::fixed_angles_3reg_p1());
     let err = |e: qtensor::ContractError| CliError(format!("compressed state: {e}"));
-    let mut cs =
-        CompressedState::zero(nodes, chunk_qubits.min(nodes), comp.as_ref(), bound).map_err(err)?;
-    if let Some(cap) = cache {
+    let mut cs = CompressedState::zero(
+        cfg.nodes,
+        cfg.chunk_qubits.min(cfg.nodes),
+        comp.as_ref(),
+        cfg.bound,
+    )
+    .map_err(err)?;
+    if let Some(cap) = cfg.cache {
         cs.set_cache_capacity(cap).map_err(err)?;
     }
-    for g in circuit.gates() {
-        cs.apply(g).map_err(err)?;
+    if cfg.mem_budget.is_some() {
+        cs.set_mem_budget(cfg.mem_budget);
     }
+    // One gate path for every tier shape: without a budget this is the
+    // plain apply loop; with one it runs the schedule-aware prefetcher
+    // (or synchronous fetch-on-miss under `prefetch: false`).
+    cs.run_scheduled(circuit.gates(), cfg.prefetch)
+        .map_err(err)?;
     let energy = cs.maxcut_energy(&graph).map_err(err)?;
     // Finalize: write dirty cached chunks back so resident bytes are exact.
     cs.flush().map_err(err)?;
-    let chain = match journal_chunk {
+    let chain = match cfg.journal_chunk {
         Some(id) => {
             let n_chunks = cs.ledger().n_chunks() as u64;
             if id >= n_chunks {
@@ -374,13 +425,15 @@ pub fn state_demo(
         }
         None => None,
     };
-    if journal_chunk.is_some() {
+    if cfg.journal_chunk.is_some() {
         journal::set_enabled(false);
     }
     Ok(StateSummary {
         energy,
         dense_bytes: cs.dense_bytes(),
         cache_capacity: cs.cache_capacity(),
+        mem_budget: cs.mem_budget(),
+        tiers: cs.tier_breakdown(),
         stats: cs.stats.clone(),
         ledger: cs.ledger_summary(),
         chain,
@@ -402,6 +455,12 @@ pub struct VerifySummary {
     pub injected_decode_errors: u64,
     /// Injected events across all sites.
     pub injected_total: u64,
+    /// Injected `state.spill.bitflip` events (on-disk frame corruption).
+    pub injected_spill_bitflips: u64,
+    /// Frames spilled to disk over run + scrub (0 without a budget).
+    pub spills: u64,
+    /// Spilled frames fetched back over run + scrub.
+    pub fetches: u64,
     /// Scrub passes it took to settle (1 on a healthy state).
     pub scrub_passes: usize,
     /// True when the final pass came back fully clean.
@@ -422,10 +481,13 @@ impl VerifySummary {
 
 /// Runs a QAOA circuit on the chunk-compressed state, then scrubs it:
 /// every chunk is decoded (frame checksum verified on the way) and checked
-/// against its error-budget ledger bound. With `QCF_FAULTS` armed in the
-/// environment the run executes under injected faults; injection is
-/// disarmed before the scrub so it evaluates the storage actually left
-/// behind, and the scrub loops until the state settles clean.
+/// against its error-budget ledger bound. With `mem_budget` set the run
+/// spills cold frames to disk and the scrub reads the disk tier back
+/// through the exact same decode path, so on-disk corruption is covered by
+/// the same detection contract. With `QCF_FAULTS` armed in the environment
+/// the run executes under injected faults; injection is disarmed before
+/// the scrub so it evaluates the storage actually left behind, and the
+/// scrub loops until the state settles clean.
 pub fn verify_state(
     nodes: usize,
     seed: u64,
@@ -433,6 +495,7 @@ pub fn verify_state(
     compressor: &str,
     bound: ErrorBound,
     cache: Option<usize>,
+    mem_budget: Option<usize>,
 ) -> Result<VerifySummary, CliError> {
     use qcf_telemetry::faults;
     let comp = cli_by_name(compressor).ok_or_else(|| {
@@ -449,12 +512,14 @@ pub fn verify_state(
     if let Some(cap) = cache {
         cs.set_cache_capacity(cap).map_err(err)?;
     }
-    for g in circuit.gates() {
-        cs.apply(g).map_err(err)?;
+    if mem_budget.is_some() {
+        cs.set_mem_budget(mem_budget);
     }
+    cs.run_scheduled(circuit.gates(), true).map_err(err)?;
     let energy = cs.maxcut_energy(&graph).map_err(err)?;
     cs.flush().map_err(err)?;
     let injected_bitflips = faults::injected_count("state.chunk.bitflip");
+    let injected_spill_bitflips = faults::injected_count("state.spill.bitflip");
     let injected_decode_errors = faults::injected_count("codec.decode");
     let injected_total = faults::total_injected();
     if armed {
@@ -472,8 +537,11 @@ pub fn verify_state(
         energy,
         settled: report.all_clean(),
         report,
+        spills: cs.stats.spills,
+        fetches: cs.stats.fetches,
         faults: cs.faults.clone(),
         injected_bitflips,
+        injected_spill_bitflips,
         injected_decode_errors,
         injected_total,
         scrub_passes,
@@ -599,26 +667,68 @@ mod tests {
     fn verify_state_healthy_run_is_ok() {
         let _g = qcf_telemetry::faults::chaos_guard();
         qcf_telemetry::faults::disarm();
-        let s = verify_state(8, 3, 3, "LZ4", ErrorBound::Abs(0.0), Some(2)).unwrap();
+        let s = verify_state(8, 3, 3, "LZ4", ErrorBound::Abs(0.0), Some(2), None).unwrap();
         assert!(s.ok());
         assert!(s.settled);
         assert_eq!(s.scrub_passes, 1);
         assert_eq!(s.injected_total, 0);
         assert_eq!(s.report.chunks, 32);
         assert_eq!(s.report.clean, 32);
+        assert_eq!(s.spills, 0, "no budget, no disk tier");
+    }
+
+    #[test]
+    fn verify_state_scrubs_the_disk_tier() {
+        let _g = qcf_telemetry::faults::chaos_guard();
+        qcf_telemetry::faults::disarm();
+        // All-spill budget: every sealed frame lives on disk, and the
+        // scrub must fetch and re-verify each through the normal path.
+        let s = verify_state(8, 3, 3, "LZ4", ErrorBound::Abs(0.0), Some(2), Some(0)).unwrap();
+        assert!(s.ok(), "{s:?}");
+        assert!(s.spills > 0, "budget 0 must spill");
+        assert!(s.fetches > 0, "scrub must read the disk tier");
+        // Identical physics to the unbudgeted run.
+        let r = verify_state(8, 3, 3, "LZ4", ErrorBound::Abs(0.0), Some(2), None).unwrap();
+        assert_eq!(s.energy.to_bits(), r.energy.to_bits());
     }
 
     #[test]
     fn verify_state_detects_injected_bitflip() {
         let _g = qcf_telemetry::faults::chaos_guard();
         qcf_telemetry::faults::arm_from_spec("seed=5,state.chunk.bitflip@3").unwrap();
-        let s = verify_state(8, 3, 3, "LZ4", ErrorBound::Abs(0.0), Some(2)).unwrap();
+        let s = verify_state(8, 3, 3, "LZ4", ErrorBound::Abs(0.0), Some(2), None).unwrap();
         // verify_state disarms after the run; re-disarm is harmless.
         qcf_telemetry::faults::disarm();
         assert_eq!(s.injected_bitflips, 1, "@3 fires exactly once");
         assert!(s.ok(), "detection contract failed: {s:?}");
         assert!(s.faults.decode_errors >= 1, "bitflip went undetected");
         assert!(s.settled);
+    }
+
+    #[test]
+    fn state_demo_reports_tier_breakdown() {
+        let mut cfg = StateRunCfg::new(8, 5, 4, "LZ4");
+        cfg.bound = ErrorBound::Abs(0.0);
+        cfg.cache = Some(2);
+        let base = state_demo(&cfg).unwrap();
+        assert_eq!(base.mem_budget, None);
+        assert_eq!(base.stats.spills, 0);
+        assert_eq!(base.tiers.spilled_bytes, 0);
+
+        cfg.mem_budget = Some(0); // all-spill
+        let spilled = state_demo(&cfg).unwrap();
+        assert_eq!(spilled.mem_budget, Some(0));
+        assert!(spilled.stats.spills > 0, "budget 0 must spill");
+        assert!(spilled.stats.fetches > 0);
+        assert!(spilled.tiers.spilled_bytes > 0);
+        assert!(spilled.tiers.spilled_chunks > 0);
+        // Placement never changes physics.
+        assert_eq!(spilled.energy.to_bits(), base.energy.to_bits());
+
+        cfg.prefetch = false; // synchronous fetch-on-miss, same bits
+        let sync = state_demo(&cfg).unwrap();
+        assert_eq!(sync.stats.prefetch_hits, 0);
+        assert_eq!(sync.energy.to_bits(), base.energy.to_bits());
     }
 
     #[test]

@@ -1,14 +1,18 @@
 //! `qcfz report` — one self-contained run report, plus run-to-run
 //! regression checking.
 //!
-//! [`collect`] executes three telemetry-isolated phases (each inside a
+//! [`collect`] executes four telemetry-isolated phases (each inside a
 //! [`qcf_telemetry::RunScope`], so `state.cache.*` and friends never bleed
 //! between phases of the same process):
 //!
 //! 1. **qaoa** — compressed tensor contraction ([`cli::qaoa_demo`]);
 //! 2. **state** — chunk-compressed statevector simulation with the
 //!    write-back cache and the error-budget ledger ([`cli::state_demo`]);
-//! 3. **quality** — a round-trip CR/PSNR/throughput sweep over the full
+//! 3. **oocore** — the same instance under a deliberately tiny memory
+//!    budget, so cold frames spill to the disk tier and the gate-schedule
+//!    prefetcher fetches them back (async vs sync wall times A/B'd; the
+//!    energy is asserted bit-identical to the in-RAM state phase);
+//! 4. **quality** — a round-trip CR/PSNR/throughput sweep over the full
 //!    compressor lineup on a synthetic amplitude tensor.
 //!
 //! [`RunReport::to_markdown`] renders everything — per-phase span tables,
@@ -119,11 +123,34 @@ pub struct RunReport {
     pub state: cli::StateSummary,
     /// Telemetry of the state phase.
     pub state_phase: PhaseRecord,
+    /// Out-of-core summary: the state instance re-run under
+    /// [`OOCORE_BUDGET`], spilling cold frames to disk with the
+    /// schedule-aware prefetcher on.
+    pub oocore: cli::StateSummary,
+    /// Telemetry of the oocore phase.
+    pub oocore_phase: PhaseRecord,
+    /// Wall seconds of the async (prefetched) budgeted run.
+    pub oocore_async_s: f64,
+    /// Wall seconds of the synchronous fetch-on-miss run at the same
+    /// budget — the A/B reference the prefetcher must beat.
+    pub oocore_sync_s: f64,
     /// Per-compressor quality sweep.
     pub quality: Vec<QualityRow>,
 }
 
-/// Runs all three phases and gathers the report.
+/// Compressed-resident byte budget of the report's out-of-core phase:
+/// small enough that the demo instances spill most sealed frames, nonzero
+/// so the re-tiering logic (not just the all-spill edge) is exercised.
+pub const OOCORE_BUDGET: usize = 1024;
+
+/// Default chunk-cache capacity for both compressed-state phases when
+/// the config leaves it unset. Cached chunks hold live amplitudes and
+/// are never spillable, so this sits well below the default chunk count
+/// — otherwise every chunk is cache-pinned and the out-of-core phase's
+/// budget has nothing to evict.
+pub const OOCORE_CACHE: usize = 2;
+
+/// Runs all four phases and gathers the report.
 pub fn collect(config: ReportConfig) -> Result<RunReport, CliError> {
     qcf_telemetry::flight::record("report.start");
 
@@ -133,19 +160,54 @@ pub fn collect(config: ReportConfig) -> Result<RunReport, CliError> {
     let qaoa_phase = PhaseRecord { spans, metrics };
     qcf_telemetry::flight::record("report.qaoa.done");
 
-    let scope = RunScope::enter();
-    let state = cli::state_demo(
+    let mut state_cfg = cli::StateRunCfg::new(
         config.nodes,
         config.seed,
         config.chunk_qubits.min(config.nodes),
         &config.compressor,
-        config.bound,
-        config.cache,
-        None,
-    )?;
+    );
+    state_cfg.bound = config.bound;
+    // Both compressed-state phases share this capacity. Under a lossy
+    // bound the cache changes how many requant round trips each chunk
+    // takes, so the oocore bit-equality check below is only meaningful
+    // against a state phase with the identical cache — and it defaults
+    // small because cached chunks never spill, so a cache covering
+    // every chunk would leave the budget with nothing to evict.
+    state_cfg.cache = Some(config.cache.unwrap_or(OOCORE_CACHE));
+
+    let scope = RunScope::enter();
+    let state = cli::state_demo(&state_cfg)?;
     let (spans, metrics) = scope.finish();
     let state_phase = PhaseRecord { spans, metrics };
     qcf_telemetry::flight::record("report.state.done");
+
+    // Out-of-core phase: identical instance, budgeted. The async run is
+    // the recorded phase; the synchronous fetch-on-miss run is the wall
+    // clock A/B (its own scope, so its counters never bleed in).
+    state_cfg.mem_budget = Some(OOCORE_BUDGET);
+    let scope = RunScope::enter();
+    let t0 = std::time::Instant::now();
+    let oocore = cli::state_demo(&state_cfg)?;
+    let oocore_async_s = t0.elapsed().as_secs_f64();
+    let (spans, metrics) = scope.finish();
+    let oocore_phase = PhaseRecord { spans, metrics };
+    let scope = RunScope::enter();
+    state_cfg.prefetch = false;
+    let t0 = std::time::Instant::now();
+    let oocore_sync = cli::state_demo(&state_cfg)?;
+    let oocore_sync_s = t0.elapsed().as_secs_f64();
+    let _ = scope.finish();
+    // The disk tier is placement only: a budget must never move a bit.
+    for (label, e) in [("async", oocore.energy), ("sync", oocore_sync.energy)] {
+        if e.to_bits() != state.energy.to_bits() {
+            return Err(CliError(format!(
+                "out-of-core {label} run diverged from the in-RAM state phase: \
+                 energy {e:?} vs {:?}",
+                state.energy
+            )));
+        }
+    }
+    qcf_telemetry::flight::record("report.oocore.done");
 
     let scope = RunScope::enter();
     let tensor = synthetic_tensor(1 << 14, 0.3, config.seed);
@@ -185,6 +247,10 @@ pub fn collect(config: ReportConfig) -> Result<RunReport, CliError> {
         qaoa_phase,
         state,
         state_phase,
+        oocore,
+        oocore_phase,
+        oocore_async_s,
+        oocore_sync_s,
         quality,
     })
 }
@@ -265,9 +331,7 @@ impl RunReport {
             out,
             "- state phase: chunk qubits {}, cache {}\n",
             c.chunk_qubits,
-            c.cache
-                .map(|k| k.to_string())
-                .unwrap_or_else(|| "default".into()),
+            c.cache.unwrap_or(OOCORE_CACHE),
         );
 
         let _ = writeln!(out, "## QAOA contraction (compressed intermediates)\n");
@@ -366,6 +430,46 @@ impl RunReport {
         {
             let _ = writeln!(out, "```\n{}```\n", t.render());
         }
+
+        let _ = writeln!(
+            out,
+            "## Out-of-core tier (budget {} bytes, async prefetch)\n",
+            OOCORE_BUDGET
+        );
+        let o = &self.oocore;
+        let ost = &o.stats;
+        let t = &o.tiers;
+        let fetched = ost.prefetch_hits + ost.prefetch_misses;
+        let _ = writeln!(
+            out,
+            "energy {:.6} (bit-identical to the in-RAM state phase) | \
+             {} spills / {} fetches | {} bytes on disk across {} chunks at exit\n",
+            o.energy, ost.spills, ost.fetches, t.spilled_bytes, t.spilled_chunks
+        );
+        let _ = writeln!(
+            out,
+            "prefetch: {} hits / {} misses ({:.0}% hit rate), {} µs total fetch stall\n",
+            ost.prefetch_hits,
+            ost.prefetch_misses,
+            if fetched == 0 {
+                0.0
+            } else {
+                100.0 * ost.prefetch_hits as f64 / fetched as f64
+            },
+            ost.prefetch_stall_us
+        );
+        let _ = writeln!(
+            out,
+            "- async (prefetched) wall {:.1} ms vs synchronous fetch-on-miss {:.1} ms \
+             at the same budget (wall clock — informational, never gated)\n",
+            self.oocore_async_s * 1e3,
+            self.oocore_sync_s * 1e3
+        );
+        let _ = writeln!(
+            out,
+            "```\n{}```\n",
+            snapshot_table("oocore-phase registry", &self.oocore_phase.metrics).render()
+        );
 
         let _ = writeln!(
             out,
@@ -492,6 +596,27 @@ impl RunReport {
         m.insert(
             "state.cache.hits".into(),
             self.state.stats.cache_hits as f64,
+        );
+        // Out-of-core phase: energy falls under the hard drift rule (and
+        // is bit-identical to state.energy by construction); the spill and
+        // prefetch counts are deterministic functions of the touch
+        // schedule, recorded for run-to-run visibility.
+        m.insert("oocore.energy".into(), self.oocore.energy);
+        m.insert(
+            "oocore.spill.writes".into(),
+            self.oocore.stats.spills as f64,
+        );
+        m.insert(
+            "oocore.spill.reads".into(),
+            self.oocore.stats.fetches as f64,
+        );
+        m.insert(
+            "oocore.prefetch.hits".into(),
+            self.oocore.stats.prefetch_hits as f64,
+        );
+        m.insert(
+            "oocore.prefetch.misses".into(),
+            self.oocore.stats.prefetch_misses as f64,
         );
         for r in &self.quality {
             m.insert(format!("quality.{}.cr", r.name), r.cr);
@@ -794,6 +919,23 @@ mod tests {
             "state phase must record its own cache counters"
         );
 
+        // Out-of-core phase: the 1 KiB budget must force real spilling on
+        // this instance, with the prefetcher covering most fetches, while
+        // landing on exactly the in-RAM bits (collect hard-errors if not).
+        assert!(r.oocore.stats.spills > 0, "oocore phase never spilled");
+        assert!(r.oocore.stats.fetches > 0);
+        assert_eq!(r.oocore.energy.to_bits(), r.state.energy.to_bits());
+        assert!(
+            r.oocore_phase
+                .metrics
+                .counters
+                .get("state.spill.writes")
+                .copied()
+                .unwrap_or(0)
+                > 0,
+            "oocore phase must record its own spill counters"
+        );
+
         let md = r.to_markdown();
         for needle in [
             "# qcfz run report",
@@ -804,6 +946,9 @@ mod tests {
             "state phase",
             "state-phase latency percentiles",
             "state.apply_us",
+            "Out-of-core tier",
+            "hit rate",
+            "synchronous fetch-on-miss",
         ] {
             assert!(md.contains(needle), "markdown missing {needle:?}");
         }
@@ -862,6 +1007,10 @@ mod tests {
         let b = r.baseline();
         assert!(b.contains_key("state.requants.total"));
         assert!(b.contains_key("qaoa.energy"));
+        assert!(b.contains_key("oocore.energy"));
+        assert!(b.contains_key("oocore.spill.writes"));
+        assert!(b.contains_key("oocore.prefetch.hits"));
+        assert_eq!(b["oocore.energy"].to_bits(), b["state.energy"].to_bits());
         assert!(b
             .keys()
             .any(|k| k.starts_with("quality.") && k.ends_with(".cr")));

@@ -42,6 +42,9 @@ pub struct TopConfig {
     pub chunk_qubits: usize,
     /// Write-back cache capacity override (chunks).
     pub cache: Option<usize>,
+    /// Compressed-resident byte budget; `Some` arms the disk spill tier
+    /// and the schedule-aware prefetcher for the workload run.
+    pub mem_budget: Option<usize>,
     /// Sampler and redraw interval in milliseconds.
     pub interval_ms: u64,
     /// Render a single frame after the run instead of refreshing live.
@@ -58,6 +61,7 @@ impl TopConfig {
             bound,
             chunk_qubits: nodes.saturating_sub(3),
             cache: None,
+            mem_budget: None,
             interval_ms: 50,
             once: false,
         }
@@ -91,9 +95,10 @@ pub fn run(cfg: &TopConfig) -> Result<String, CliError> {
             if let Some(cap) = w.cache {
                 cs.set_cache_capacity(cap).map_err(err)?;
             }
-            for g in circuit.gates() {
-                cs.apply(g).map_err(err)?;
+            if w.mem_budget.is_some() {
+                cs.set_mem_budget(w.mem_budget);
             }
+            cs.run_scheduled(circuit.gates(), true).map_err(err)?;
             let energy = cs.maxcut_energy(&graph).map_err(err)?;
             cs.flush().map_err(err)?;
             Ok(energy)
@@ -341,6 +346,49 @@ pub fn render(snap: &Snapshot, samples: &[Sample], cfg: &TopConfig, energy: Opti
         sparkline(&budget_levels(samples))
     ));
 
+    // Disk tier + prefetch pipeline — rendered only once frames actually
+    // spilled, so the row never clutters an all-RAM run.
+    let spill_writes = snap
+        .counters
+        .get("state.spill.writes")
+        .copied()
+        .unwrap_or(0);
+    if spill_writes > 0 {
+        let spill_reads = snap.counters.get("state.spill.reads").copied().unwrap_or(0);
+        let (on_disk, _) = snap
+            .gauges
+            .get("state.spill.live_bytes")
+            .copied()
+            .unwrap_or((0, 0));
+        let p_hits = snap
+            .counters
+            .get("state.prefetch.hits")
+            .copied()
+            .unwrap_or(0);
+        let p_misses = snap
+            .counters
+            .get("state.prefetch.misses")
+            .copied()
+            .unwrap_or(0);
+        let stall_us = snap
+            .counters
+            .get("state.prefetch.stall_us")
+            .copied()
+            .unwrap_or(0);
+        let fetched = p_hits + p_misses;
+        out.push_str(&format!(
+            "spill     {spill_writes} writes / {spill_reads} reads, {} on disk   \
+             prefetch {:.0}% hit ({p_hits}/{fetched}), stalled {}\n",
+            fmt_bytes(on_disk as f64),
+            if fetched == 0 {
+                0.0
+            } else {
+                100.0 * p_hits as f64 / fetched as f64
+            },
+            fmt_us(stall_us as f64, f64::INFINITY)
+        ));
+    }
+
     out.push_str("latency        p50      p95      p99\n");
     for (label, name) in [
         ("apply", "state.apply_us"),
@@ -414,6 +462,26 @@ mod tests {
         assert!(frame.contains("1.0ms"), "{frame}");
         // No ANSI escapes in the frame itself (the caller adds them).
         assert!(!frame.contains('\x1b'), "frame must be escape-free");
+        // No disk-tier activity in the snapshot — no spill row.
+        assert!(!frame.contains("spill"), "{frame}");
+    }
+
+    #[test]
+    fn render_shows_spill_row_when_frames_spilled() {
+        let mut snap = synthetic_snapshot();
+        snap.counters.insert("state.spill.writes".into(), 40);
+        snap.counters.insert("state.spill.reads".into(), 32);
+        snap.gauges
+            .insert("state.spill.live_bytes".into(), (8192, 8192));
+        snap.counters.insert("state.prefetch.hits".into(), 30);
+        snap.counters.insert("state.prefetch.misses".into(), 10);
+        snap.counters.insert("state.prefetch.stall_us".into(), 1500);
+        let cfg = TopConfig::new(10, 21, "QCF-speed", ErrorBound::Rel(1e-3));
+        let frame = render(&snap, &[], &cfg, Some(-7.25));
+        assert!(frame.contains("40 writes / 32 reads"), "{frame}");
+        assert!(frame.contains("8.0 KiB on disk"), "{frame}");
+        assert!(frame.contains("75% hit (30/40)"), "{frame}");
+        assert!(frame.contains("stalled 1.5ms"), "{frame}");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use crate::contraction::ContractError;
 use crate::ledger::{ErrorLedger, LedgerSummary};
+use crate::spill::{self, Consume, FramePayload, PrefetchCtl, PrefetchRequest, SpillTier};
 use crate::statevector::{apply_gate_to_amplitudes, StateVector};
 use compressors::traits::value_range;
 use compressors::{Compressor, CompressorKind, ErrorBound};
@@ -56,6 +57,21 @@ pub struct StateStats {
     pub cache_misses: u64,
     /// Dirty chunks recompressed on eviction or flush.
     pub writebacks: u64,
+    /// Compressed frames spilled from RAM to the disk tier.
+    pub spills: u64,
+    /// Compressed frames fetched back from the disk tier on the data
+    /// path (read-only scans like `maxcut_energy` read the disk tier in
+    /// place and are counted only in the `state.spill.reads` counter).
+    pub fetches: u64,
+    /// Current live bytes on the disk tier.
+    pub spilled_bytes: usize,
+    /// Disk-tier fetches served by the async prefetch pipeline.
+    pub prefetch_hits: u64,
+    /// Disk-tier fetches that fell back to a synchronous read.
+    pub prefetch_misses: u64,
+    /// Microseconds the apply path spent blocked waiting on disk-tier
+    /// data (prefetch waits + synchronous fallback reads).
+    pub prefetch_stall_us: u64,
 }
 
 /// Fault accounting for a compressed-state run: what went wrong and how
@@ -108,6 +124,46 @@ impl FaultCounters {
             worker_panics: reg.counter("state.faults.worker_panics"),
         }
     }
+}
+
+/// Registry mirrors of the disk-tier stats (`state.spill.*`,
+/// `state.prefetch.*`).
+struct SpillCounters {
+    writes: Arc<Counter>,
+    reads: Arc<Counter>,
+    bytes: Arc<Counter>,
+    live_bytes: GaugeTrack,
+    prefetch_hits: Arc<Counter>,
+    prefetch_misses: Arc<Counter>,
+    stall_us: Arc<Counter>,
+}
+
+impl SpillCounters {
+    fn new() -> Self {
+        let reg = qcf_telemetry::registry();
+        SpillCounters {
+            writes: reg.counter("state.spill.writes"),
+            reads: reg.counter("state.spill.reads"),
+            bytes: reg.counter("state.spill.bytes"),
+            live_bytes: reg.gauge("state.spill.live_bytes").track(),
+            prefetch_hits: reg.counter("state.prefetch.hits"),
+            prefetch_misses: reg.counter("state.prefetch.misses"),
+            stall_us: reg.counter("state.prefetch.stall_us"),
+        }
+    }
+}
+
+/// Where the RAM tiers stand relative to the disk tier (`qcfz state`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierBreakdown {
+    /// Decompressed amplitudes resident in the write-back cache.
+    pub cached_amp_bytes: usize,
+    /// Compressed frames held in RAM.
+    pub ram_compressed_bytes: usize,
+    /// Live compressed frames on the disk tier.
+    pub spilled_bytes: usize,
+    /// Chunks currently living on the disk tier.
+    pub spilled_chunks: usize,
 }
 
 /// Microsecond bucket bounds for the per-chunk stage latency histograms:
@@ -190,11 +246,10 @@ impl VerifyReport {
 /// Default write-back cache capacity in chunks (see `QCF_CHUNK_CACHE`).
 const DEFAULT_CHUNK_CACHE: usize = 8;
 
+/// `QCF_CHUNK_CACHE` capacity. Malformed values are rejected with a
+/// one-line warning (see [`spill::env_size`]) and the default applies.
 fn env_cache_capacity() -> usize {
-    std::env::var("QCF_CHUNK_CACHE")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(DEFAULT_CHUNK_CACHE)
+    spill::env_size("QCF_CHUNK_CACHE").unwrap_or(DEFAULT_CHUNK_CACHE)
 }
 
 /// `QCF_LEDGER_MEASURE=1` makes every lossy write-back also decode its own
@@ -300,8 +355,9 @@ impl ChunkCache {
 
 /// Decodes one compressed chunk into `amps` via the reusable `flat`
 /// interleaved scratch — free functions so callers can split borrows
-/// across `CompressedState` fields.
-fn decode_chunk(
+/// across `CompressedState` fields (and the prefetch workers can decode
+/// off-thread with exactly the main thread's semantics).
+pub(crate) fn decode_chunk(
     compressor: &dyn Compressor,
     stream: &Stream,
     chunk_len: usize,
@@ -319,6 +375,17 @@ fn decode_chunk(
     amps.reserve(chunk_len);
     amps.extend(flat.chunks_exact(2).map(|c| Complex64::new(c[0], c[1])));
     Ok(())
+}
+
+/// What [`CompressedState::fetch_if_spilled`] delivered.
+enum Fetched {
+    /// The chunk's frame was already in RAM — nothing fetched.
+    InRam,
+    /// Frame fetched from disk into `chunks[id]`; caller decodes.
+    Bytes,
+    /// Frame fetched *and* decoded by a prefetch worker; `amps` already
+    /// holds the amplitudes.
+    Decoded,
 }
 
 /// A statevector whose chunks are stored compressed.
@@ -354,6 +421,19 @@ pub struct CompressedState<'a> {
     fault_counters: FaultCounters,
     /// Cached `state.*_us` latency histogram handles.
     latency: StateLatency,
+    /// The disk tier (inert until the first spill).
+    spill_tier: SpillTier,
+    /// Registry mirrors of the disk-tier stats.
+    spill_counters: SpillCounters,
+    /// Compressed-RAM budget in bytes (`QCF_MEM_BUDGET`); `None` means
+    /// unbounded — the disk tier is never used.
+    mem_budget: Option<usize>,
+    /// Active prefetch pipeline during a scheduled run.
+    prefetch: Option<PrefetchCtl>,
+    /// Last-touch stamp per chunk — spill coldness, independent of the
+    /// (much smaller) cache's LRU.
+    touch_stamp: Vec<u64>,
+    touch_tick: u64,
     /// Run accounting.
     pub stats: StateStats,
     /// Fault and recovery accounting (see [`FaultStats`]).
@@ -393,6 +473,12 @@ impl<'a> CompressedState<'a> {
             chunk_norm: vec![0.0; 1usize << (n - chunk_qubits)],
             fault_counters: FaultCounters::new(),
             latency: StateLatency::new(),
+            spill_tier: SpillTier::new(1usize << (n - chunk_qubits)),
+            spill_counters: SpillCounters::new(),
+            mem_budget: spill::env_size("QCF_MEM_BUDGET"),
+            prefetch: None,
+            touch_stamp: vec![0; 1usize << (n - chunk_qubits)],
+            touch_tick: 0,
             stats: StateStats::default(),
             faults: FaultStats::default(),
         };
@@ -411,6 +497,7 @@ impl<'a> CompressedState<'a> {
             state.chunks.push(bytes);
         }
         state.sync_resident_stats();
+        state.enforce_budget();
         Ok(state)
     }
 
@@ -418,6 +505,255 @@ impl<'a> CompressedState<'a> {
     fn sync_resident_stats(&mut self) {
         self.stats.resident_bytes = self.resident.value() as usize;
         self.stats.peak_resident_bytes = self.resident.peak() as usize;
+        self.stats.spilled_bytes = self.spill_tier.live_bytes() as usize;
+    }
+
+    /// The configured compressed-RAM budget in bytes (`None` = unbounded).
+    pub fn mem_budget(&self) -> Option<usize> {
+        self.mem_budget
+    }
+
+    /// Sets the compressed-RAM budget and immediately re-tiers to honor
+    /// it: with `Some(0)` every non-cached compressed frame moves to
+    /// disk. `None` stops future spills (already-spilled frames fetch
+    /// back lazily on their next touch).
+    pub fn set_mem_budget(&mut self, budget: Option<usize>) {
+        self.mem_budget = budget;
+        self.enforce_budget();
+    }
+
+    /// Overrides the simulated per-read disk latency
+    /// (`QCF_SPILL_LATENCY_US`) — lets tests and demos model a slow
+    /// device deterministically.
+    pub fn set_spill_latency_us(&mut self, us: u64) {
+        self.spill_tier.latency_us = us;
+    }
+
+    /// Current distribution of the state across the three storage tiers.
+    pub fn tier_breakdown(&self) -> TierBreakdown {
+        TierBreakdown {
+            cached_amp_bytes: self
+                .cache
+                .entries
+                .iter()
+                .map(|e| e.amps.len() * std::mem::size_of::<Complex64>())
+                .sum(),
+            ram_compressed_bytes: self.resident.value() as usize,
+            spilled_bytes: self.spill_tier.live_bytes() as usize,
+            spilled_chunks: self.spill_tier.spilled_chunks(),
+        }
+    }
+
+    /// Spills coldest-first until compressed-in-RAM bytes fit the
+    /// budget. Cache-resident chunks are skipped (their RAM bytes are
+    /// stale pending write-back — spilling them would persist old data);
+    /// the budget is therefore a target the tier converges to after each
+    /// write-back, and the working chunk may transiently exceed it.
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.mem_budget else {
+            return;
+        };
+        if self.spill_tier.disabled {
+            return;
+        }
+        while (self.resident.value() as usize) > budget {
+            let victim = (0..self.chunks.len())
+                .filter(|&id| {
+                    !self.chunks[id].is_empty()
+                        && self.spill_tier.entry(id).is_none()
+                        && self.cache.peek(id).is_none()
+                })
+                .min_by_key(|&id| self.touch_stamp[id]);
+            let Some(id) = victim else {
+                break;
+            };
+            if !self.spill_chunk(id) {
+                break;
+            }
+        }
+    }
+
+    /// Moves chunk `id`'s compressed frame from RAM to the disk tier.
+    /// Returns `false` (and disables the tier) on an I/O failure — the
+    /// frame stays in RAM and the simulation degrades to unbounded.
+    fn spill_chunk(&mut self, id: usize) -> bool {
+        let bytes = std::mem::take(&mut self.chunks[id]);
+        // Chaos site: flip one bit in the *on-disk* record only; the RAM
+        // copy is dropped, so the corruption lives purely in the disk
+        // tier and must be caught by the frame checksum at fetch time.
+        // Byte 0 is skipped for the same reason as `state.chunk.bitflip`:
+        // clearing the frame-flag bit would fake a legacy-v1 stream, an
+        // undetectable fault outside the model.
+        let mut flipped;
+        let disk: &[u8] = if bytes.len() > 1 {
+            if let Some(payload) = qcf_telemetry::faults::inject("state.spill.bitflip") {
+                flipped = bytes.clone();
+                let bit = 8 + (payload as usize) % ((flipped.len() - 1) * 8);
+                flipped[bit / 8] ^= 1 << (bit % 8);
+                &flipped
+            } else {
+                &bytes
+            }
+        } else {
+            &bytes
+        };
+        match self.spill_tier.append(id, disk) {
+            Ok(entry) => {
+                self.resident.add(-(bytes.len() as i64));
+                self.stats.spills += 1;
+                self.spill_counters.writes.inc();
+                self.spill_counters.bytes.add(bytes.len() as u64);
+                self.spill_counters.live_bytes.add(i64::from(entry.len));
+                journal::record(id as u64, EventKind::Spill, bytes.len() as f64);
+                self.sync_resident_stats();
+                true
+            }
+            Err(e) => {
+                eprintln!("warning: disk spill tier disabled after I/O error: {e}");
+                self.spill_tier.disabled = true;
+                self.chunks[id] = bytes;
+                false
+            }
+        }
+    }
+
+    /// If chunk `id` lives on the disk tier, brings its frame back into
+    /// RAM: a prefetched payload is claimed first (*hit* — even when we
+    /// wait on an in-flight read, so hit/miss counts depend only on the
+    /// deterministic issue/consume schedule, never on timing); otherwise
+    /// the frame is read synchronously (*miss*). Either way the bytes
+    /// land in `chunks[id]` before any decode, so the recovery chain
+    /// treats disk corruption exactly like RAM corruption. A worker that
+    /// already decoded the frame returns the amplitudes via `amps`
+    /// ([`Fetched::Decoded`]) and the caller skips its own codec call.
+    fn fetch_if_spilled(&mut self, id: usize, amps: &mut Vec<Complex64>) -> Fetched {
+        let Some(entry) = self.spill_tier.entry(id) else {
+            return Fetched::InRam;
+        };
+        let t0 = Instant::now();
+        let claimed = match &self.prefetch {
+            Some(ctl) => ctl.shared.consume(id, entry.gen),
+            None => Consume::Miss,
+        };
+        let mut outcome = Fetched::Bytes;
+        let (bytes, hit) = match claimed {
+            Consume::Ready(FramePayload::Decoded {
+                bytes,
+                amps: decoded,
+            }) => {
+                *amps = decoded;
+                outcome = Fetched::Decoded;
+                (bytes, true)
+            }
+            Consume::Ready(FramePayload::Bytes(b)) => (b, true),
+            Consume::Ready(FramePayload::Failed) | Consume::Miss => {
+                // Synchronous fallback. A failed read leaves empty bytes:
+                // the decode below fails and the chunk goes through
+                // retry → quarantine with exact accounting.
+                (self.spill_tier.read(entry).unwrap_or_default(), false)
+            }
+        };
+        let stall = t0.elapsed().as_micros() as u64;
+        self.stats.prefetch_stall_us += stall;
+        self.spill_counters.stall_us.add(stall);
+        if hit {
+            self.stats.prefetch_hits += 1;
+            self.spill_counters.prefetch_hits.inc();
+        } else {
+            self.stats.prefetch_misses += 1;
+            self.spill_counters.prefetch_misses.inc();
+        }
+        self.spill_tier.invalidate(id);
+        self.spill_counters.live_bytes.add(-i64::from(entry.len));
+        self.stats.fetches += 1;
+        self.spill_counters.reads.inc();
+        journal::record(id as u64, EventKind::Fetch, bytes.len() as f64);
+        self.resident.add(bytes.len() as i64);
+        self.chunks[id] = bytes;
+        self.sync_resident_stats();
+        outcome
+    }
+
+    /// Bumps chunk `id`'s last-touch stamp and, during a scheduled run,
+    /// advances the prefetcher and tops up its lookahead window with
+    /// upcoming spilled chunks.
+    fn note_touch(&mut self, id: usize) {
+        self.touch_tick += 1;
+        self.touch_stamp[id] = self.touch_tick;
+        let Some(mut ctl) = self.prefetch.take() else {
+            return;
+        };
+        ctl.advance(id);
+        let horizon = (ctl.pos + spill::PREFETCH_LOOKAHEAD).min(ctl.schedule.len());
+        let mut slots = spill::PREFETCH_WINDOW.saturating_sub(ctl.shared.tracked());
+        for &next in &ctl.schedule[ctl.pos..horizon] {
+            if slots == 0 {
+                break;
+            }
+            if let Some(entry) = self.spill_tier.entry(next) {
+                if !ctl.shared.is_tracked(next) {
+                    ctl.shared.request(PrefetchRequest {
+                        id: next,
+                        offset: entry.offset,
+                        len: entry.len,
+                        gen: entry.gen,
+                    });
+                    slots -= 1;
+                }
+            }
+        }
+        self.prefetch = Some(ctl);
+    }
+
+    /// Applies `gates` with the async prefetch pipeline armed: the
+    /// upcoming chunk-touch schedule is derived from the gate list
+    /// (exactly mirroring `apply`'s iteration order), and two I/O worker
+    /// threads read + decode spilled frames ahead of use so disk latency
+    /// overlaps gate compute. Bit-identical to applying the gates one by
+    /// one — prefetch only changes *when* frames are read, never what is
+    /// computed. Falls back to the plain loop when no budget is set (or
+    /// `prefetch` is false: the synchronous-fetch-on-miss baseline).
+    pub fn run_scheduled(&mut self, gates: &[Gate], prefetch: bool) -> Result<(), ContractError> {
+        let use_prefetch = prefetch
+            && self.mem_budget.is_some()
+            && !self.spill_tier.disabled
+            && self.spill_tier.ensure_file().is_ok();
+        if !use_prefetch {
+            for g in gates {
+                self.apply(g)?;
+            }
+            return Ok(());
+        }
+        let schedule = spill::touch_schedule(gates, self.chunk_qubits, self.chunks.len());
+        let shared = Arc::new(spill::PrefetchShared::new());
+        let path = self.spill_tier.path().to_path_buf();
+        let compressor = self.compressor;
+        let chunk_len = self.chunk_len();
+        let latency_us = self.spill_tier.latency_us;
+        self.prefetch = Some(PrefetchCtl {
+            shared: Arc::clone(&shared),
+            schedule,
+            pos: 0,
+        });
+        let res = std::thread::scope(|s| {
+            for _ in 0..spill::PREFETCH_WORKERS {
+                let shared = Arc::clone(&shared);
+                let path = path.clone();
+                s.spawn(move || {
+                    spill::prefetch_worker(&shared, &path, compressor, chunk_len, latency_us)
+                });
+            }
+            let res = (|| {
+                for g in gates {
+                    self.apply(g)?;
+                }
+                Ok(())
+            })();
+            shared.shutdown();
+            res
+        });
+        self.prefetch = None;
+        res
     }
 
     /// Register width.
@@ -506,7 +842,22 @@ impl<'a> CompressedState<'a> {
         journal::record(id as u64, EventKind::Quarantine, lost);
     }
 
-    fn decompress_chunk(&self, bytes: &[u8]) -> Result<Vec<Complex64>, ContractError> {
+    /// Decompresses chunk `id` for a `&self` reader. Spilled chunks are
+    /// read from the disk tier *in place* (counted in `state.spill.reads`
+    /// but not unspilled — read-only scans must not mutate the tiers).
+    fn decompress_chunk(&self, id: usize) -> Result<Vec<Complex64>, ContractError> {
+        let fetched;
+        let bytes: &[u8] = match self.spill_tier.entry(id) {
+            Some(entry) => {
+                fetched = self
+                    .spill_tier
+                    .read(entry)
+                    .map_err(|e| ContractError::Hook(format!("spill read: {e}")))?;
+                self.spill_counters.reads.inc();
+                &fetched
+            }
+            None => &self.chunks[id],
+        };
         let flat = self
             .compressor
             .decompress(bytes, &self.stream)
@@ -550,6 +901,13 @@ impl<'a> CompressedState<'a> {
         id: usize,
         amps: &mut Vec<Complex64>,
     ) -> Result<bool, ContractError> {
+        if let Fetched::Decoded = self.fetch_if_spilled(id, amps) {
+            // A prefetch worker already decoded the fetched frame (which
+            // proves its integrity); skip the redundant main-thread
+            // decode but keep the causal record identical.
+            journal::record(id as u64, EventKind::Decode, amps.len() as f64);
+            return Ok(true);
+        }
         if self.try_decode(id, amps).is_ok() {
             journal::record(id as u64, EventKind::Decode, amps.len() as f64);
             return Ok(true);
@@ -760,6 +1118,7 @@ impl<'a> CompressedState<'a> {
         id: usize,
         f: impl FnOnce(&mut [Complex64]),
     ) -> Result<(), ContractError> {
+        self.note_touch(id);
         if self.cache.cap == 0 {
             // Cache disabled: classic decompress → apply → recompress.
             let mut amps = std::mem::take(&mut self.spare);
@@ -825,6 +1184,7 @@ impl<'a> CompressedState<'a> {
     /// Reads chunk `id` through the cache, appending its amplitudes to
     /// `dst`. Misses cache the decoded chunk *clean*.
     fn gather_chunk(&mut self, id: usize, dst: &mut Vec<Complex64>) -> Result<(), ContractError> {
+        self.note_touch(id);
         if self.cache.cap > 0 {
             if let Some(e) = self.cache.lookup(id) {
                 dst.extend_from_slice(&e.amps);
@@ -904,6 +1264,10 @@ impl<'a> CompressedState<'a> {
     /// retry, and if that also fails the chunk is quarantined (a zero
     /// chunk is encoded in its place) rather than failing the run.
     fn write_back(&mut self, id: usize, amps: &[Complex64]) -> Result<(), ContractError> {
+        // Fresh bytes supersede any on-disk record of this chunk.
+        if let Some(old) = self.spill_tier.invalidate(id) {
+            self.spill_counters.live_bytes.add(-i64::from(old.len));
+        }
         let mut bytes = std::mem::take(&mut self.chunks[id]);
         let old_len = bytes.len();
         let mut quarantined = false;
@@ -1008,6 +1372,7 @@ impl<'a> CompressedState<'a> {
         self.resident.add(bytes.len() as i64 - old_len as i64);
         self.chunks[id] = bytes;
         self.sync_resident_stats();
+        self.enforce_budget();
         res
     }
 
@@ -1029,10 +1394,10 @@ impl<'a> CompressedState<'a> {
     /// chunks are read directly — no flush needed.
     pub fn to_statevector(&self) -> Result<StateVector, ContractError> {
         let mut amps = Vec::with_capacity(1usize << self.n);
-        for (id, bytes) in self.chunks.iter().enumerate() {
+        for id in 0..self.chunks.len() {
             match self.cache.peek(id) {
                 Some(cached) => amps.extend_from_slice(cached),
-                None => amps.extend(self.decompress_chunk(bytes)?),
+                None => amps.extend(self.decompress_chunk(id)?),
             }
         }
         StateVector::from_amplitudes(self.n, amps).map_err(|e| ContractError::Hook(e.to_string()))
@@ -1045,12 +1410,12 @@ impl<'a> CompressedState<'a> {
         for &(a, b) in graph.edges() {
             let (ma, mb) = (1usize << a, 1usize << b);
             let mut zz = 0.0;
-            for (chunk_id, bytes) in self.chunks.iter().enumerate() {
+            for chunk_id in 0..self.chunks.len() {
                 let decoded;
                 let amps: &[Complex64] = match self.cache.peek(chunk_id) {
                     Some(cached) => cached,
                     None => {
-                        decoded = self.decompress_chunk(bytes)?;
+                        decoded = self.decompress_chunk(chunk_id)?;
                         &decoded
                     }
                 };
@@ -1082,7 +1447,9 @@ impl<'a> CompressedState<'a> {
     /// chain, and each chunk's ledger record is checked for a measured
     /// error exceeding its accumulated bound. Detected corruption is healed
     /// or quarantined *in place*, so a second `verify()` right after a
-    /// non-clean one reports all-clean.
+    /// non-clean one reports all-clean. Spilled chunks are fetched and
+    /// verified through the identical chain — the scrub covers the disk
+    /// tier for free — then re-tiered to the budget afterwards.
     pub fn verify(&mut self) -> Result<VerifyReport, ContractError> {
         let mut report = VerifyReport {
             chunks: self.chunks.len(),
@@ -1109,18 +1476,21 @@ impl<'a> CompressedState<'a> {
                 report.ledger_breaches += 1;
             }
         }
+        // The scrub fetched every spilled chunk into RAM; restore the
+        // configured tiering.
+        self.enforce_budget();
         Ok(report)
     }
 
     /// Squared norm (drifts from 1 with the bound; a fidelity proxy).
     pub fn norm_sq(&self) -> Result<f64, ContractError> {
         let mut s = 0.0;
-        for (id, bytes) in self.chunks.iter().enumerate() {
+        for id in 0..self.chunks.len() {
             let decoded;
             let amps: &[Complex64] = match self.cache.peek(id) {
                 Some(cached) => cached,
                 None => {
-                    decoded = self.decompress_chunk(bytes)?;
+                    decoded = self.decompress_chunk(id)?;
                     &decoded
                 }
             };

@@ -21,10 +21,11 @@ pub mod lightcone;
 pub mod network;
 pub mod ordering;
 pub mod pairwise;
+pub mod spill;
 pub mod statevector;
 pub mod trace;
 
-pub use compressed_state::{CompressedState, FaultStats, StateStats, VerifyReport};
+pub use compressed_state::{CompressedState, FaultStats, StateStats, TierBreakdown, VerifyReport};
 pub use contraction::{
     contract_network, ContractError, ContractionHook, ContractionStats, NoopHook,
 };
@@ -33,5 +34,6 @@ pub use ledger::{ChunkRecord, ErrorLedger, LedgerSummary};
 pub use lightcone::{lightcone, Lightcone};
 pub use network::TensorNetwork;
 pub use ordering::{InteractionGraph, OrderingHeuristic};
+pub use spill::parse_size;
 pub use statevector::StateVector;
 pub use trace::TraceHook;

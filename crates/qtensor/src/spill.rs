@@ -1,0 +1,640 @@
+//! The disk tier: an append-log spill file for sealed compressed frames,
+//! plus the gate-schedule-aware async prefetch pipeline that hides its
+//! latency.
+//!
+//! ## Why a third tier
+//!
+//! The write-back cache separates *resident* (decompressed) from
+//! *compressed-in-RAM* chunks; when even the compressed working set
+//! outgrows the configured budget (`QCF_MEM_BUDGET`), cold sealed v2
+//! frames move here. Frames are checksummed and self-describing, so the
+//! disk tier needs no format of its own: the spill file is a bare
+//! append-log of whole frames with an in-memory `chunk → (offset, len,
+//! gen)` index, and a scrub (`CompressedState::verify`) exercises the
+//! exact same decode/heal/quarantine chain on fetched bytes as on
+//! in-RAM ones.
+//!
+//! ## Log semantics
+//!
+//! Appends only — a re-spilled chunk gets a fresh record and the old one
+//! becomes dead space (no compaction; the file lives for one state's
+//! lifetime and is unlinked on drop). Every record carries a
+//! monotonically increasing *generation*: a prefetch issued against
+//! generation `g` is dropped on arrival if the chunk was re-spilled to
+//! `g' > g` in the meantime, so stale reads can never resurface old
+//! amplitudes.
+//!
+//! ## Prefetch pipeline
+//!
+//! [`PrefetchShared`] is a tiny request queue + completion map shared
+//! with [`PREFETCH_WORKERS`] I/O threads (double-buffered I/O: two
+//! frames in flight while the main thread computes). Workers read the
+//! frame and, when fault injection is disarmed, also decode it — the
+//! main thread then skips its own codec call. With faults armed the
+//! worker returns raw bytes only, keeping every injection draw on the
+//! main thread so deterministic fault accounting is preserved. A worker
+//! failure of any kind degrades to the synchronous fallback path; it can
+//! never corrupt state, because consumed payloads re-enter the normal
+//! decode/heal chain.
+//!
+//! `QCF_SPILL_LATENCY_US` adds a per-read sleep that models a slow
+//! device (object store, spinning disk); the async/sync A-B comparisons
+//! in tests and `qcfz report` use it to make overlap measurable on fast
+//! local filesystems.
+
+use compressors::Compressor;
+use gpu_model::{DeviceSpec, Stream};
+use qcircuit::Gate;
+use std::collections::{HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+use tensornet::Complex64;
+
+/// I/O worker threads per scheduled run (two frames in flight).
+pub(crate) const PREFETCH_WORKERS: usize = 2;
+/// Max outstanding prefetch requests (queued + in flight + completed,
+/// not yet consumed).
+pub(crate) const PREFETCH_WINDOW: usize = 8;
+/// How far ahead of the current schedule position to scan for spilled
+/// chunks when topping up the window.
+pub(crate) const PREFETCH_LOOKAHEAD: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Environment parsing (QCF_MEM_BUDGET, QCF_CHUNK_CACHE, QCF_SPILL_LATENCY_US)
+// ---------------------------------------------------------------------------
+
+/// Parses a non-negative size with an optional binary suffix (`k`/`kb`,
+/// `m`/`mb`, `g`/`gb`, case-insensitive): `"4096"`, `"64k"`, `"2MB"`.
+pub fn parse_size(raw: &str) -> Result<usize, String> {
+    let s = raw.trim();
+    if s.is_empty() {
+        return Err("empty value".into());
+    }
+    let lower = s.to_ascii_lowercase();
+    let (digits, mult) = if let Some(d) = lower.strip_suffix("kb").or(lower.strip_suffix("k")) {
+        (d, 1024usize)
+    } else if let Some(d) = lower.strip_suffix("mb").or(lower.strip_suffix("m")) {
+        (d, 1024 * 1024)
+    } else if let Some(d) = lower.strip_suffix("gb").or(lower.strip_suffix("g")) {
+        (d, 1024 * 1024 * 1024)
+    } else {
+        (lower.as_str(), 1usize)
+    };
+    let n: usize = digits.trim().parse().map_err(|_| {
+        format!("expected a non-negative integer (optionally with a k/m/g suffix), got {raw:?}")
+    })?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("value {raw:?} overflows"))
+}
+
+/// Reads an env var through [`parse_size`]. Malformed values are
+/// *rejected with a one-line warning* — never silently coerced to a
+/// default — and reported as `None`, same as an unset var.
+pub(crate) fn env_size(name: &str) -> Option<usize> {
+    let raw = std::env::var(name).ok()?;
+    match parse_size(&raw) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("warning: ignoring {name}={raw:?}: {e}");
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The spill tier
+// ---------------------------------------------------------------------------
+
+/// One live record in the append-log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SpillEntry {
+    pub offset: u64,
+    pub len: u32,
+    /// Monotone re-spill generation; guards against stale prefetches.
+    pub gen: u64,
+}
+
+/// Disambiguates spill files of multiple states in one process.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The per-state disk tier. Inert (no file) until the first spill.
+pub(crate) struct SpillTier {
+    path: PathBuf,
+    /// Lazily created; behind a mutex so `&self` readers
+    /// (`to_statevector`, `maxcut_energy`, `norm_sq`) can seek + read.
+    file: Option<Mutex<File>>,
+    index: Vec<Option<SpillEntry>>,
+    end: u64,
+    live_bytes: u64,
+    next_gen: u64,
+    /// Simulated per-read device latency (`QCF_SPILL_LATENCY_US`).
+    pub latency_us: u64,
+    /// Set after an I/O failure: stop spilling, keep simulating in RAM.
+    pub disabled: bool,
+}
+
+impl SpillTier {
+    pub fn new(n_chunks: usize) -> Self {
+        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("qcf-spill-{}-{seq}.log", std::process::id()));
+        SpillTier {
+            path,
+            file: None,
+            index: vec![None; n_chunks],
+            end: 0,
+            live_bytes: 0,
+            next_gen: 1,
+            latency_us: env_size("QCF_SPILL_LATENCY_US")
+                .map(|v| v as u64)
+                .unwrap_or(0),
+            disabled: false,
+        }
+    }
+
+    /// Creates the spill file if it does not exist yet; returns its path.
+    pub fn ensure_file(&mut self) -> std::io::Result<&Path> {
+        if self.file.is_none() {
+            let f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&self.path)?;
+            self.file = Some(Mutex::new(f));
+        }
+        Ok(&self.path)
+    }
+
+    /// Appends `bytes` as chunk `id`'s new on-disk record, superseding any
+    /// previous one. Returns the fresh entry.
+    pub fn append(&mut self, id: usize, bytes: &[u8]) -> std::io::Result<SpillEntry> {
+        self.ensure_file()?;
+        let file = self.file.as_ref().expect("just ensured");
+        let offset = self.end;
+        {
+            let mut f = lock_unpoisoned(file);
+            f.seek(SeekFrom::Start(offset))?;
+            f.write_all(bytes)?;
+        }
+        let entry = SpillEntry {
+            offset,
+            len: bytes.len() as u32,
+            gen: self.next_gen,
+        };
+        self.next_gen += 1;
+        self.end += bytes.len() as u64;
+        if let Some(old) = self.index[id].replace(entry) {
+            self.live_bytes -= u64::from(old.len);
+        }
+        self.live_bytes += u64::from(entry.len);
+        Ok(entry)
+    }
+
+    /// The live record for chunk `id`, if it is currently spilled.
+    pub fn entry(&self, id: usize) -> Option<SpillEntry> {
+        self.index.get(id).copied().flatten()
+    }
+
+    /// Drops chunk `id`'s record (it is back in RAM or superseded).
+    pub fn invalidate(&mut self, id: usize) -> Option<SpillEntry> {
+        let old = self.index.get_mut(id)?.take();
+        if let Some(e) = old {
+            self.live_bytes -= u64::from(e.len);
+        }
+        old
+    }
+
+    /// Synchronous read of `entry`'s frame bytes (applies the simulated
+    /// device latency). `&self` so flush-free readers can fetch.
+    pub fn read(&self, entry: SpillEntry) -> std::io::Result<Vec<u8>> {
+        let file = self
+            .file
+            .as_ref()
+            .ok_or_else(|| std::io::Error::other("spill file not created"))?;
+        if self.latency_us > 0 {
+            std::thread::sleep(Duration::from_micros(self.latency_us));
+        }
+        let mut bytes = vec![0u8; entry.len as usize];
+        let mut f = lock_unpoisoned(file);
+        f.seek(SeekFrom::Start(entry.offset))?;
+        f.read_exact(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    /// Bytes of live (non-superseded) spilled frames.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Chunks currently resident on disk.
+    pub fn spilled_chunks(&self) -> usize {
+        self.index.iter().filter(|e| e.is_some()).count()
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for SpillTier {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gate-schedule extraction
+// ---------------------------------------------------------------------------
+
+/// The exact chunk-touch sequence `CompressedState::apply` will perform
+/// for `gates`: low gates touch every chunk in id order; grouped (high)
+/// gates gather each group's members in member order. This mirrors
+/// `apply_low` / `apply_grouped` — the prefetcher's entire knowledge of
+/// the future is this list.
+pub(crate) fn touch_schedule(gates: &[Gate], chunk_qubits: usize, n_chunks: usize) -> Vec<usize> {
+    let mut sched = Vec::new();
+    for gate in gates {
+        let (qs, k) = gate.qubits_array();
+        let mut high = [0usize; 2];
+        let mut nh = 0;
+        for &q in &qs[..k] {
+            if q >= chunk_qubits {
+                high[nh] = q;
+                nh += 1;
+            }
+        }
+        if nh == 0 {
+            sched.extend(0..n_chunks);
+            continue;
+        }
+        let mut group_bits = [0usize; 2];
+        for (j, &q) in high[..nh].iter().enumerate() {
+            group_bits[j] = q - chunk_qubits;
+        }
+        let group_mask: usize = group_bits[..nh].iter().map(|&b| 1usize << b).sum();
+        for base in 0..n_chunks {
+            if base & group_mask != 0 {
+                continue;
+            }
+            for m in 0..(1usize << nh) {
+                let mut id = base;
+                for (j, &b) in group_bits[..nh].iter().enumerate() {
+                    if (m >> j) & 1 == 1 {
+                        id |= 1 << b;
+                    }
+                }
+                sched.push(id);
+            }
+        }
+    }
+    sched
+}
+
+// ---------------------------------------------------------------------------
+// The prefetch pipeline
+// ---------------------------------------------------------------------------
+
+/// What a worker delivered for one request.
+pub(crate) enum FramePayload {
+    /// Frame read *and* decoded off-thread: the main thread skips its
+    /// own codec call entirely.
+    Decoded {
+        bytes: Vec<u8>,
+        amps: Vec<Complex64>,
+    },
+    /// Frame read off-thread; decode left to the main thread (fault
+    /// injection armed, or the worker's decode attempt failed).
+    Bytes(Vec<u8>),
+    /// The read itself failed; fall back to the synchronous path.
+    Failed,
+}
+
+pub(crate) struct PrefetchRequest {
+    pub id: usize,
+    pub offset: u64,
+    pub len: u32,
+    pub gen: u64,
+}
+
+struct Slot {
+    gen: u64,
+    payload: FramePayload,
+}
+
+#[derive(Default)]
+struct PrefetchInner {
+    queue: VecDeque<PrefetchRequest>,
+    /// id → requested generation, for everything queued, in flight, or
+    /// completed-but-unconsumed. Bounds the window and dedupes requests.
+    tracked: HashMap<usize, u64>,
+    done: HashMap<usize, Slot>,
+    shutdown: bool,
+}
+
+/// Queue + completion map shared between the scheduled main thread and
+/// the I/O workers.
+pub(crate) struct PrefetchShared {
+    inner: Mutex<PrefetchInner>,
+    cv: Condvar,
+}
+
+/// Outcome of consuming a prefetch at the moment the chunk is needed.
+pub(crate) enum Consume {
+    /// A payload for the wanted generation (a *hit*, even if we waited —
+    /// issue/consume points are deterministic, so hit counts are too).
+    Ready(FramePayload),
+    /// Never requested, request was stale, or the read failed: the
+    /// caller fetches synchronously (a *miss*).
+    Miss,
+}
+
+impl PrefetchShared {
+    pub fn new() -> Self {
+        PrefetchShared {
+            inner: Mutex::new(PrefetchInner::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Queued + in-flight + completed-unconsumed requests.
+    pub fn tracked(&self) -> usize {
+        lock_unpoisoned(&self.inner).tracked.len()
+    }
+
+    pub fn is_tracked(&self, id: usize) -> bool {
+        lock_unpoisoned(&self.inner).tracked.contains_key(&id)
+    }
+
+    /// Enqueues a read unless `id` is already tracked.
+    pub fn request(&self, req: PrefetchRequest) {
+        let mut inner = lock_unpoisoned(&self.inner);
+        if inner.tracked.contains_key(&req.id) {
+            return;
+        }
+        inner.tracked.insert(req.id, req.gen);
+        inner.queue.push_back(req);
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Worker side: blocks for the next request; `None` on shutdown.
+    fn next_request(&self) -> Option<PrefetchRequest> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        loop {
+            if let Some(req) = inner.queue.pop_front() {
+                return Some(req);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self
+                .cv
+                .wait_timeout(inner, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    /// Worker side: publishes a finished request.
+    fn complete(&self, id: usize, gen: u64, payload: FramePayload) {
+        let mut inner = lock_unpoisoned(&self.inner);
+        inner.done.insert(id, Slot { gen, payload });
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Main-thread side: claims the payload for `(id, want_gen)`. Waits
+    /// (bounded) while the request is still in flight; the caller times
+    /// this call to account prefetch stall.
+    pub fn consume(&self, id: usize, want_gen: u64) -> Consume {
+        let mut inner = lock_unpoisoned(&self.inner);
+        loop {
+            if let Some(slot) = inner.done.remove(&id) {
+                inner.tracked.remove(&id);
+                if slot.gen != want_gen {
+                    return Consume::Miss; // re-spilled since requested
+                }
+                return match slot.payload {
+                    FramePayload::Failed => Consume::Miss,
+                    p => Consume::Ready(p),
+                };
+            }
+            if !inner.tracked.contains_key(&id) {
+                return Consume::Miss; // never requested
+            }
+            // Queued or in flight: wait for the workers.
+            inner = self
+                .cv
+                .wait_timeout(inner, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    /// Ends the pipeline; workers drain to `None` and exit.
+    pub fn shutdown(&self) {
+        lock_unpoisoned(&self.inner).shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Main-thread bookkeeping for one scheduled run: where we are in the
+/// touch schedule and the shared pipeline handle.
+pub(crate) struct PrefetchCtl {
+    pub shared: Arc<PrefetchShared>,
+    pub schedule: Vec<usize>,
+    pub pos: usize,
+}
+
+impl PrefetchCtl {
+    /// Advances past the touch of `id`. The schedule is derived from the
+    /// same iteration logic `apply` uses, so this is normally a single
+    /// step; a short resync scan tolerates drift (prefetch then degrades
+    /// to misses rather than breaking anything).
+    pub fn advance(&mut self, id: usize) {
+        if self.schedule.get(self.pos) == Some(&id) {
+            self.pos += 1;
+            return;
+        }
+        let horizon = (self.pos + PREFETCH_LOOKAHEAD).min(self.schedule.len());
+        if let Some(off) = self.schedule[self.pos..horizon]
+            .iter()
+            .position(|&s| s == id)
+        {
+            self.pos += off + 1;
+        }
+    }
+}
+
+/// One I/O worker: read the frame at the requested offset (after the
+/// simulated device latency) and decode it unless fault injection is
+/// armed — injection draws must stay on the main thread so exact
+/// accounting is single-threaded. Every failure degrades to a payload
+/// the main thread can recover from synchronously.
+pub(crate) fn prefetch_worker(
+    shared: &PrefetchShared,
+    path: &Path,
+    compressor: &dyn Compressor,
+    chunk_len: usize,
+    latency_us: u64,
+) {
+    let mut file = File::open(path).ok();
+    let stream = Stream::new(DeviceSpec::a100());
+    let mut flat: Vec<f64> = Vec::new();
+    while let Some(req) = shared.next_request() {
+        if latency_us > 0 {
+            std::thread::sleep(Duration::from_micros(latency_us));
+        }
+        let mut bytes = vec![0u8; req.len as usize];
+        let read_ok = match file.as_mut() {
+            Some(f) => f
+                .seek(SeekFrom::Start(req.offset))
+                .and_then(|_| f.read_exact(&mut bytes))
+                .is_ok(),
+            None => false,
+        };
+        let payload = if !read_ok {
+            FramePayload::Failed
+        } else if qcf_telemetry::faults::armed() {
+            FramePayload::Bytes(bytes)
+        } else {
+            let decoded = panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut amps: Vec<Complex64> = Vec::new();
+                crate::compressed_state::decode_chunk(
+                    compressor, &stream, chunk_len, &bytes, &mut flat, &mut amps,
+                )
+                .map(|()| amps)
+            }));
+            match decoded {
+                Ok(Ok(amps)) => FramePayload::Decoded { bytes, amps },
+                _ => FramePayload::Bytes(bytes),
+            }
+        };
+        shared.complete(req.id, req.gen, payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_size_accepts_plain_and_suffixed() {
+        assert_eq!(parse_size("0").unwrap(), 0);
+        assert_eq!(parse_size("4096").unwrap(), 4096);
+        assert_eq!(parse_size(" 64k ").unwrap(), 64 * 1024);
+        assert_eq!(parse_size("2MB").unwrap(), 2 * 1024 * 1024);
+        assert_eq!(parse_size("1g").unwrap(), 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn parse_size_rejects_malformed() {
+        for bad in ["", "  ", "abc", "-3", "12q", "4.5k", "k"] {
+            assert!(parse_size(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    /// Malformed env values warn and report `None` — the *caller's*
+    /// default applies, never a silently coerced parse.
+    #[test]
+    fn env_size_rejects_malformed_and_accepts_valid() {
+        std::env::set_var("QCF_TEST_SPILL_SIZE_A", "banana");
+        assert_eq!(env_size("QCF_TEST_SPILL_SIZE_A"), None);
+        std::env::set_var("QCF_TEST_SPILL_SIZE_A", "16k");
+        assert_eq!(env_size("QCF_TEST_SPILL_SIZE_A"), Some(16 * 1024));
+        std::env::remove_var("QCF_TEST_SPILL_SIZE_A");
+        assert_eq!(env_size("QCF_TEST_SPILL_SIZE_A"), None);
+    }
+
+    #[test]
+    fn append_read_roundtrip_with_generations() {
+        let mut tier = SpillTier::new(4);
+        let e1 = tier.append(2, b"hello frame").unwrap();
+        assert_eq!(tier.spilled_chunks(), 1);
+        assert_eq!(tier.live_bytes(), 11);
+        assert_eq!(tier.read(e1).unwrap(), b"hello frame");
+        // Re-spill supersedes: live bytes track the new record only.
+        let e2 = tier.append(2, b"v2").unwrap();
+        assert!(e2.gen > e1.gen);
+        assert_eq!(tier.live_bytes(), 2);
+        assert_eq!(tier.read(e2).unwrap(), b"v2");
+        // The old record still physically exists (append-log), but the
+        // index no longer points at it.
+        assert_eq!(tier.entry(2).unwrap(), e2);
+        assert_eq!(tier.invalidate(2), Some(e2));
+        assert_eq!(tier.live_bytes(), 0);
+        assert_eq!(tier.entry(2), None);
+    }
+
+    #[test]
+    fn spill_file_is_removed_on_drop() {
+        let path = {
+            let mut tier = SpillTier::new(1);
+            tier.append(0, b"x").unwrap();
+            let p = tier.path().to_path_buf();
+            assert!(p.exists());
+            p
+        };
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn touch_schedule_mirrors_low_and_grouped_order() {
+        // 3 chunk qubits over 5 qubits → 4 chunks.
+        let gates = [Gate::H(0), Gate::Cnot(0, 3), Gate::Zz(3, 4, 0.5)];
+        let sched = touch_schedule(&gates, 3, 4);
+        let mut expect = vec![0, 1, 2, 3]; // H(0): low gate, chunk-id order
+        expect.extend([0, 1, 2, 3]); // Cnot(0,3): bases {0,2}, members {b, b|1}
+        expect.extend([0, 1, 2, 3]); // Zz(3,4): base 0, members 0..4
+        assert_eq!(sched, expect);
+    }
+
+    #[test]
+    fn prefetch_queue_dedupes_and_consumes_by_generation() {
+        let shared = PrefetchShared::new();
+        shared.request(PrefetchRequest {
+            id: 3,
+            offset: 0,
+            len: 4,
+            gen: 7,
+        });
+        shared.request(PrefetchRequest {
+            id: 3,
+            offset: 0,
+            len: 4,
+            gen: 7,
+        });
+        assert_eq!(shared.tracked(), 1);
+        let req = shared.next_request().unwrap();
+        shared.complete(req.id, req.gen, FramePayload::Bytes(vec![1, 2, 3, 4]));
+        match shared.consume(3, 7) {
+            Consume::Ready(FramePayload::Bytes(b)) => assert_eq!(b, vec![1, 2, 3, 4]),
+            _ => panic!("expected a hit"),
+        }
+        assert_eq!(shared.tracked(), 0);
+        // Stale generation and never-requested are both misses.
+        shared.request(PrefetchRequest {
+            id: 5,
+            offset: 0,
+            len: 1,
+            gen: 1,
+        });
+        let req = shared.next_request().unwrap();
+        shared.complete(req.id, req.gen, FramePayload::Bytes(vec![9]));
+        assert!(matches!(shared.consume(5, 2), Consume::Miss));
+        assert!(matches!(shared.consume(42, 1), Consume::Miss));
+        shared.shutdown();
+        assert!(shared.next_request().is_none());
+    }
+}

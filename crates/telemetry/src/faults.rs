@@ -10,6 +10,7 @@
 //! | `codec.decode` | decompression returns an injected [`Corrupt`](`crate`) error |
 //! | `codec.alloc` | the stream-header bomb guard reports an allocation-cap breach |
 //! | `state.chunk.bitflip` | one stored chunk byte gets a bit flipped after write-back |
+//! | `state.spill.bitflip` | one byte of a frame's *on-disk* copy gets a bit flipped as it spills |
 //! | `exec.worker.panic` | a data-parallel worker block panics mid-kernel |
 //!
 //! ## Spec grammar

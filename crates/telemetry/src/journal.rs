@@ -59,10 +59,16 @@ pub enum EventKind {
     /// Evicted from the resident cache (`detail`: 1 when the eviction
     /// wrote back a dirty chunk, else 0).
     Evict,
+    /// Compressed frame spilled from RAM to the disk tier (`detail`:
+    /// spilled bytes).
+    Spill,
+    /// Compressed frame fetched back from the disk tier (`detail`:
+    /// fetched bytes).
+    Fetch,
 }
 
 /// Number of [`EventKind`] variants (size of the per-kind count table).
-pub const KINDS: usize = 9;
+pub const KINDS: usize = 11;
 
 impl EventKind {
     /// Stable index into per-kind count tables.
@@ -77,6 +83,8 @@ impl EventKind {
             EventKind::Heal => 6,
             EventKind::Quarantine => 7,
             EventKind::Evict => 8,
+            EventKind::Spill => 9,
+            EventKind::Fetch => 10,
         }
     }
 
@@ -92,6 +100,8 @@ impl EventKind {
             EventKind::Heal => "heal",
             EventKind::Quarantine => "quarantine",
             EventKind::Evict => "evict",
+            EventKind::Spill => "spill",
+            EventKind::Fetch => "fetch",
         }
     }
 
@@ -107,6 +117,8 @@ impl EventKind {
             EventKind::Heal,
             EventKind::Quarantine,
             EventKind::Evict,
+            EventKind::Spill,
+            EventKind::Fetch,
         ]
     }
 }
