@@ -95,12 +95,6 @@ if ! echo "$oo_verify" | grep -q "disk tier: [1-9]"; then
     exit 1
 fi
 
-# Run-to-run regression gate against the committed baseline. CR, ledger
-# invariants (requant counts, accumulated bounds) and energy are hard
-# failures everywhere; throughput numbers only fail on >=4-core hosts
-# (the report binary decides — wall clock on a loaded 1-core runner is
-# noise). Refresh the baseline with:
-#   qcfz report --json BENCH_report.json
 # Live-observability gate: one sampled run through `qcfz top --once`.
 # The command arms the time-series sampler and the per-chunk journal,
 # drives a real QAOA compressed-state workload, renders the dashboard,
@@ -116,8 +110,45 @@ if ! echo "$top_out" | grep -q "prometheus exposition valid"; then
     exit 1
 fi
 
-echo "== report regression check =="
+# SLO gate. Clean drill: a fault-free sampled run must end with zero
+# firing alerts (`qcfz slo` exits nonzero otherwise) and print the
+# exact burn-rate accounting line — ticks/breaches/transitions
+# reconciled against the replayed ring before anything renders. Fault
+# drill: simulated spill-device latency plus a seeded fault storm must
+# actually ring the alarms — `--expect-firing` inverts the exit
+# contract, demanding that the latency and fidelity objectives fired
+# during the run (still firing, or fired and resolved when the fault
+# stopped burning).
+echo "== slo gate (clean drill + seeded fault drill) =="
+slo_out=$(cargo run --release -q -p qcf-bench --bin qcfz -- slo \
+    --nodes 10 --seed 21 --interval 2)
+echo "$slo_out" | grep -E "^(spec|slo)"
+if ! echo "$slo_out" | grep -q "slo accounting: exact"; then
+    echo "slo gate FAILED: accounting line missing from clean drill" >&2
+    exit 1
+fi
+drill_out=$(QCF_SPILL_LATENCY_US=5000 \
+    QCF_FAULTS="seed=42,state.chunk.bitflip%0.02,codec.decode%0.01" \
+    cargo run --release -q -p qcf-bench --bin qcfz -- slo \
+    --nodes 10 --seed 21 --compressor LZ4 --abs 0 --cache 2 \
+    --mem-budget 64 --interval 2 \
+    --expect-firing latency.stall,fidelity.quarantine)
+echo "$drill_out" | grep -E "^(spec|slo)"
+if ! echo "$drill_out" | grep -q "slo accounting: exact"; then
+    echo "slo gate FAILED: accounting line missing from fault drill" >&2
+    exit 1
+fi
+
+# Run-to-run regression gate with attribution: `--diff` is `--baseline
+# --check` plus the ranked movement attribution (which keys moved most
+# and which SLO dimension each endangers). CR, ledger invariants and
+# energy are hard failures everywhere; throughput only fails on >=4-core
+# hosts (wall clock on a loaded 1-core runner is noise). Any end-of-run
+# SLO violation in the current report is an absolute failure — a
+# violating committed baseline cannot grandfather it. Refresh with:
+#   qcfz report --json BENCH_report.json
+echo "== report regression check (with SLO verdict + diff attribution) =="
 cargo run --release -q -p qcf-bench --bin qcfz -- report \
-    --out /tmp/qcf-ci-report.md --baseline BENCH_report.json --check
+    --out /tmp/qcf-ci-report.md --diff BENCH_report.json
 
 echo "CI OK"

@@ -9,12 +9,24 @@
 //! qcfz state [--nodes N] [--seed S] [--chunk-qubits C] [--cache K] [--chunk ID]
 //!            [--mem-budget BYTES[k|m|g]] [--no-prefetch]
 //! qcfz top [--nodes N] [--seed S] [--mem-budget BYTES] [--interval MS] [--once]
+//! qcfz slo [--print] [--nodes N] [--seed S] [--mem-budget BYTES] [--interval MS]
+//!          [--explain ALERT] [--expect-firing a,b]
 //! qcfz verify <in.qcfz>
 //! qcfz verify --state [--nodes N] [--seed S] [--chunk C] [--cache K]
 //!             [--compressor NAME] [--rel X | --abs X] [--mem-budget BYTES]
 //! qcfz report [--out report.md] [--json BENCH_report.json]
-//!             [--baseline BENCH_report.json --check]
+//!             [--baseline BENCH_report.json --check] [--diff BENCH_report.json]
 //! ```
+//!
+//! `slo` evaluates the active service-level objectives (`QCF_SLO` rules or
+//! the built-in defaults) against a sampled compressed-state run and exits
+//! nonzero when the verdict fails — no alert may end firing, unless
+//! `--expect-firing` names alerts that MUST fire during the run (still
+//! firing or fired-then-resolved — the CI fault drill).
+//! `report --diff <baseline.json>` checks against a stored baseline like
+//! `--baseline --check` and additionally prints the ranked movement
+//! attribution: which keys moved most and which SLO dimension each
+//! endangers.
 //!
 //! `verify <file>` scrubs a compressed stream (frame checksum + full
 //! decode); `verify --state` runs a QAOA circuit on the chunk-compressed
@@ -265,6 +277,44 @@ fn main() {
                 qcf_bench::top::run(&cfg).map(|_| ())
             })
         }
+        Some("slo") => {
+            let nodes: usize = flag(&args, "--nodes")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10);
+            let seed = flag(&args, "--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(21);
+            let comp = flag(&args, "--compressor").unwrap_or("QCF-speed");
+            cli::parse_bound(flag(&args, "--rel"), flag(&args, "--abs")).and_then(|bound| {
+                let mut cfg = qcf_bench::slo_cmd::SloConfig::new(nodes, seed, comp, bound);
+                if let Some(c) = flag(&args, "--chunk-qubits").and_then(|v| v.parse().ok()) {
+                    cfg.chunk_qubits = c;
+                }
+                cfg.cache = flag(&args, "--cache").and_then(|v| v.parse().ok());
+                cfg.mem_budget = parse_mem_budget(&args)?;
+                if let Some(ms) = flag(&args, "--interval").and_then(|v| v.parse().ok()) {
+                    cfg.interval_ms = ms;
+                }
+                cfg.print_spec = args.iter().any(|a| a == "--print");
+                cfg.explain = flag(&args, "--explain").map(str::to_string);
+                cfg.expect_firing = flag(&args, "--expect-firing")
+                    .map(|v| {
+                        v.split(',')
+                            .map(str::trim)
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let out = qcf_bench::slo_cmd::run(&cfg)?;
+                print!("{}", out.text);
+                if out.ok {
+                    Ok(())
+                } else {
+                    return_err("slo verdict failed (see above)".to_string())
+                }
+            })
+        }
         Some("verify") if args.len() >= 2 && args[1] != "--state" => {
             cli::verify_file(Path::new(&args[1])).map(|line| println!("{line}"))
         }
@@ -353,8 +403,11 @@ fn main() {
             let cache = flag(&args, "--cache").and_then(|v| v.parse().ok());
             let out = flag(&args, "--out").unwrap_or("qcf-report.md");
             let json = flag(&args, "--json");
-            let baseline = flag(&args, "--baseline");
-            let check = args.iter().any(|a| a == "--check");
+            // `--diff <baseline>` = `--baseline <baseline> --check` plus
+            // the ranked movement attribution.
+            let diff = flag(&args, "--diff");
+            let baseline = diff.or(flag(&args, "--baseline"));
+            let check = diff.is_some() || args.iter().any(|a| a == "--check");
             // Wall-clock throughput on a 1-core (likely shared) host is
             // noise; CR and ledger invariants are checked regardless. The
             // same core count drives the speedup-gate decision in `check`.
@@ -374,10 +427,19 @@ fn main() {
                     json.map(Path::new),
                     baseline.map(Path::new),
                     strict,
+                    diff.is_some(),
                 )?;
                 println!("report written to {out}");
                 if let Some(path) = json {
                     println!("baseline JSON written to {path}");
+                }
+                if !res.attribution.is_empty() {
+                    println!("movement attribution vs baseline (largest first):");
+                    for line in &res.attribution {
+                        println!("  {line}");
+                    }
+                } else if diff.is_some() {
+                    println!("movement attribution vs baseline: no keys moved");
                 }
                 for w in &res.warnings {
                     eprintln!("warning: {w}");
@@ -411,13 +473,17 @@ fn main() {
                  | top [--nodes N] [--seed S] [--chunk-qubits C] [--cache K] \
                  [--compressor NAME] [--rel X|--abs X] [--mem-budget BYTES] \
                  [--interval MS] [--once] \
+                 | slo [--print] [--nodes N] [--seed S] [--chunk-qubits C] [--cache K] \
+                 [--compressor NAME] [--rel X|--abs X] [--mem-budget BYTES] \
+                 [--interval MS] [--explain ALERT] [--expect-firing a,b] \
                  | verify <in.qcfz> \
                  | verify --state [--nodes N] [--seed S] [--chunk C] [--cache K] \
                  [--compressor NAME] [--rel X|--abs X] [--mem-budget BYTES] \
                  | report [--nodes N] [--seed S] [--chunk C] [--cache K] [--compressor NAME] \
                  [--rel X|--abs X] [--out report.md|.html] [--json BENCH_report.json] \
-                 [--baseline BENCH_report.json] [--check]\n\
+                 [--baseline BENCH_report.json] [--check] [--diff BENCH_report.json]\n\
                  any work subcommand also takes [--trace out.json] [--metrics out.tsv]; \
+                 set QCF_SLO to declare service-level objectives (see `qcfz slo --print`); \
                  set QCF_FLIGHT_RECORD[=path] to keep a dumpable telemetry flight ring"
             );
             std::process::exit(2);

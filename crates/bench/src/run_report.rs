@@ -33,6 +33,8 @@ use crate::corpus::synthetic_tensor;
 use crate::report::{phase_table, Table};
 use compressors::{round_trip, ErrorBound};
 use qcf_telemetry::metrics::Snapshot;
+use qcf_telemetry::slo::SloSpec;
+use qcf_telemetry::timeseries::Sample;
 use qcf_telemetry::{RunScope, SpanEvent};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -136,6 +138,90 @@ pub struct RunReport {
     pub oocore_sync_s: f64,
     /// Per-compressor quality sweep.
     pub quality: Vec<QualityRow>,
+    /// End-of-run SLO evaluation over the state and out-of-core phases.
+    pub slo: SloSection,
+}
+
+/// One objective's end-of-run reading and verdict.
+#[derive(Debug, Clone)]
+pub struct SloRow {
+    /// Objective name (spec order).
+    pub name: String,
+    /// Round-trippable objective text (`expr op threshold`).
+    pub target: String,
+    /// Worst end-of-run reading across the judged phases (`None` = the
+    /// signal never appeared — a hold, not a violation).
+    pub value: Option<f64>,
+    /// True when the reading violates the objective.
+    pub violated: bool,
+}
+
+/// The report's SLO verdict: every active objective judged against the
+/// **final** registry snapshot of each compressed-state phase, as a
+/// whole-phase window (an empty origin sample, then the final registry —
+/// so levels read end state, quantiles and hit rates read the full
+/// phase's mass). Those readings are deterministic functions of the
+/// workload, which makes the violation count a baseline quantity —
+/// unlike the tick-by-tick burn-rate lifecycle `qcfz slo` replays, which
+/// depends on sampler timing. Per-second rates have no end-state meaning
+/// and read as "no signal" here.
+#[derive(Debug, Clone)]
+pub struct SloSection {
+    /// The spec judged (`QCF_SLO` or built-in defaults), rules text.
+    pub spec_text: String,
+    /// Per-objective verdicts, spec order.
+    pub rows: Vec<SloRow>,
+    /// Objectives violated at end of run.
+    pub violations: usize,
+}
+
+/// Judges the active spec against phase-final snapshots (worst phase
+/// counts per objective).
+fn slo_eval(spec: &SloSpec, snapshots: &[&Snapshot]) -> SloSection {
+    let mut rows = Vec::new();
+    let mut violations = 0usize;
+    for obj in &spec.objectives {
+        let mut value: Option<f64> = None;
+        let mut violated = false;
+        for snap in snapshots {
+            // Whole-phase window: from nothing-observed to the phase's
+            // final registry, so window-delta signals carry the phase's
+            // entire mass instead of degenerating to zero.
+            let window = [
+                Sample {
+                    t_us: 0,
+                    metrics: Snapshot::default(),
+                },
+                Sample {
+                    t_us: 1,
+                    metrics: (*snap).clone(),
+                },
+            ];
+            if let Some(v) = qcf_telemetry::slo::eval_window(&obj.expr, &window) {
+                let bad = obj.op.violated(v, obj.threshold);
+                // Keep the worst reading: the first violating one, else
+                // the first reading at all.
+                if value.is_none() || (bad && !violated) {
+                    value = Some(v);
+                }
+                violated |= bad;
+            }
+        }
+        if violated {
+            violations += 1;
+        }
+        rows.push(SloRow {
+            name: obj.name.clone(),
+            target: obj.to_text(),
+            value,
+            violated,
+        });
+    }
+    SloSection {
+        spec_text: spec.to_text(),
+        rows,
+        violations,
+    }
 }
 
 /// Compressed-resident byte budget of the report's out-of-core phase:
@@ -241,6 +327,14 @@ pub fn collect(config: ReportConfig) -> Result<RunReport, CliError> {
     let _ = scope.finish();
     qcf_telemetry::flight::record("report.quality.done");
 
+    // SLO verdict over the two compressed-state phases' final registries
+    // (the qaoa and quality phases carry no state.* signals to judge).
+    let slo = slo_eval(
+        &SloSpec::active(),
+        &[&state_phase.metrics, &oocore_phase.metrics],
+    );
+    qcf_telemetry::flight::record("report.slo.done");
+
     Ok(RunReport {
         config,
         qaoa,
@@ -252,6 +346,7 @@ pub fn collect(config: ReportConfig) -> Result<RunReport, CliError> {
         oocore_async_s,
         oocore_sync_s,
         quality,
+        slo,
     })
 }
 
@@ -522,6 +617,37 @@ impl RunReport {
         }
         let _ = writeln!(out);
 
+        let _ = writeln!(out, "## Service-level objectives\n");
+        let mut st = Table::new(
+            "slo",
+            "end-of-run objective verdicts (state + out-of-core phases)",
+            &["objective", "reading", "target", "verdict"],
+        );
+        for r in &self.slo.rows {
+            st.row(vec![
+                r.name.clone(),
+                match r.value {
+                    Some(v) => format!("{v:.3e}"),
+                    None => "no signal".into(),
+                },
+                r.target.clone(),
+                if r.violated { "VIOLATED" } else { "ok" }.into(),
+            ]);
+        }
+        st.note("levels judged on phase-final registries; burn-rate lifecycle lives in `qcfz slo`");
+        let _ = writeln!(out, "```\n{}```\n", st.render());
+        let _ = writeln!(
+            out,
+            "SLO verdict: {} — {} of {} objectives violated\n",
+            if self.slo.violations == 0 {
+                "PASS"
+            } else {
+                "FAIL"
+            },
+            self.slo.violations,
+            self.slo.rows.len()
+        );
+
         let arena = gpu_model::thread_arena_stats();
         let _ = writeln!(out, "## Workspace arena (reporting thread)\n");
         let _ = writeln!(
@@ -618,6 +744,11 @@ impl RunReport {
             "oocore.prefetch.misses".into(),
             self.oocore.stats.prefetch_misses as f64,
         );
+        // SLO verdict keys: a violation count above zero is a hard
+        // regression in [`check`] even against baselines predating these
+        // keys (the rule is absolute, not a diff).
+        m.insert("slo.objectives".into(), self.slo.rows.len() as f64);
+        m.insert("slo.violations".into(), self.slo.violations as f64);
         for r in &self.quality {
             m.insert(format!("quality.{}.cr", r.name), r.cr);
             m.insert(format!("quality.{}.max_abs_err", r.name), r.max_abs_err);
@@ -706,6 +837,9 @@ pub struct CheckResult {
     pub regressions: Vec<String>,
     /// Soft findings (throughput on a possibly-loaded host, missing keys).
     pub warnings: Vec<String>,
+    /// Ranked movement attribution (`--diff` only): which baseline keys
+    /// moved most, and which SLO dimension each endangers.
+    pub attribution: Vec<String>,
 }
 
 impl CheckResult {
@@ -754,6 +888,12 @@ pub fn check(
     for (key, &base) in stored {
         if key == "host.cores" {
             continue; // context for normalization, not a checked quantity
+        }
+        if key.starts_with("slo.") {
+            // Judged by the absolute rule below, not by drift vs baseline
+            // (a baseline captured with violations must not grandfather
+            // them in).
+            continue;
         }
         let Some(&now) = current.get(key) else {
             res.warnings
@@ -829,19 +969,111 @@ pub fn check(
             ));
         }
     }
+    // Absolute SLO verdict: any end-of-run objective violation is a hard
+    // regression, including against baselines that predate the slo.* keys
+    // (so an old stored baseline cannot wave a violating run through).
+    if let Some(&v) = current.get("slo.violations") {
+        if v > 0.0 {
+            res.regressions.push(format!(
+                "slo.violations: {} objective(s) violated at end of run \
+                 (see the report's SLO section)",
+                v as u64
+            ));
+        }
+    }
     res
+}
+
+/// Maps a baseline key onto the SLO dimension its movement endangers.
+fn slo_dimension(key: &str) -> &'static str {
+    if key.contains("requant")
+        || key.contains("quarantine")
+        || key.contains("bound")
+        || key.contains("err")
+        || key.ends_with(".energy")
+    {
+        "fidelity"
+    } else if key.contains("_bps") || key.contains("speedup") || key.contains("stall") {
+        "latency"
+    } else if key.ends_with(".cr")
+        || key.contains("ratio")
+        || key.contains("cache")
+        || key.contains("prefetch")
+        || key.contains("hit")
+    {
+        "efficiency"
+    } else if key.contains("bytes") || key.contains("resident") || key.contains("spill") {
+        "capacity"
+    } else {
+        "none"
+    }
+}
+
+/// How many attribution lines `--diff` prints.
+const ATTRIBUTION_TOP: usize = 10;
+
+/// Ranked regression attribution for `qcfz report --diff`: every key
+/// present on both sides, ordered by relative movement, annotated with
+/// the SLO dimension it endangers. Keys that did not move are dropped;
+/// the list is truncated to the [`ATTRIBUTION_TOP`] largest movers (the
+/// tail is summarized, never silently cut).
+pub fn diff_attribution(
+    current: &BTreeMap<String, f64>,
+    stored: &BTreeMap<String, f64>,
+) -> Vec<String> {
+    let mut moved: Vec<(f64, String)> = Vec::new();
+    for (key, &base) in stored {
+        if key == "host.cores" {
+            continue;
+        }
+        let Some(&now) = current.get(key) else {
+            continue;
+        };
+        let rel = (now - base) / base.abs().max(f64::MIN_POSITIVE);
+        if rel.abs() < 1e-9 {
+            continue;
+        }
+        let dim = match slo_dimension(key) {
+            "none" => "no mapped SLO dimension".to_string(),
+            d => format!("endangers {d} SLOs"),
+        };
+        moved.push((
+            rel.abs(),
+            format!(
+                "{key}: {base:.4e} -> {now:.4e} ({:+.1}% — {dim})",
+                rel * 100.0
+            ),
+        ));
+    }
+    moved.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let total = moved.len();
+    let mut lines: Vec<String> = moved
+        .into_iter()
+        .take(ATTRIBUTION_TOP)
+        .map(|(_, l)| l)
+        .collect();
+    if total > ATTRIBUTION_TOP {
+        lines.push(format!(
+            "... and {} smaller movements not shown",
+            total - ATTRIBUTION_TOP
+        ));
+    }
+    lines
 }
 
 /// The `qcfz report` subcommand body: collect, render to `out` (`.html`
 /// switches format), optionally save the baseline JSON, optionally check
-/// against a stored baseline. Returns the hard-regression list (empty when
-/// clean) so the caller can choose the exit code.
+/// against a stored baseline. With `attribute` (the `--diff` path) the
+/// result also carries the ranked movement attribution. Returns the
+/// hard-regression list (empty when clean) so the caller can choose the
+/// exit code.
 pub fn run(
     config: ReportConfig,
     out: &Path,
     save_json: Option<&Path>,
     baseline: Option<&Path>,
     strict_throughput: bool,
+    attribute: bool,
 ) -> Result<CheckResult, CliError> {
     let report = collect(config)?;
     let doc = if out.extension().is_some_and(|e| e == "html") {
@@ -857,7 +1089,11 @@ pub fn run(
     let result = match baseline {
         Some(path) => {
             let stored = parse_baseline(&std::fs::read_to_string(path)?)?;
-            check(&current, &stored, strict_throughput)
+            let mut res = check(&current, &stored, strict_throughput);
+            if attribute {
+                res.attribution = diff_attribution(&current, &stored);
+            }
+            res
         }
         None => CheckResult::default(),
     };
@@ -871,8 +1107,7 @@ mod tests {
     /// `collect` drains the process-global registry per phase; concurrent
     /// collects would drain each other's counters mid-phase.
     fn collect_serially(config: ReportConfig) -> Result<RunReport, CliError> {
-        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = crate::telemetry_test_lock();
         qcf_telemetry::set_enabled(true);
         collect(config)
     }
@@ -949,6 +1184,8 @@ mod tests {
             "Out-of-core tier",
             "hit rate",
             "synchronous fetch-on-miss",
+            "Service-level objectives",
+            "SLO verdict: PASS",
         ] {
             assert!(md.contains(needle), "markdown missing {needle:?}");
         }
@@ -1010,6 +1247,11 @@ mod tests {
         assert!(b.contains_key("oocore.energy"));
         assert!(b.contains_key("oocore.spill.writes"));
         assert!(b.contains_key("oocore.prefetch.hits"));
+        assert!(b.contains_key("slo.objectives"));
+        assert_eq!(
+            b["slo.violations"], 0.0,
+            "a clean demo run must not violate the default SLOs"
+        );
         assert_eq!(b["oocore.energy"].to_bits(), b["state.energy"].to_bits());
         assert!(b
             .keys()
@@ -1132,5 +1374,124 @@ mod tests {
         let m = parse_baseline("{\"a\": 1, \"b\": 2.5e-3}").unwrap();
         assert_eq!(m["a"], 1.0);
         assert_eq!(m["b"], 2.5e-3);
+    }
+
+    #[test]
+    fn slo_violations_gate_is_absolute_not_drift_relative() {
+        // A violating baseline must not grandfather violations in: the
+        // current side fails on its own count even when the stored side
+        // carries the same (or no) slo.* keys.
+        let mut base: BTreeMap<String, f64> = BTreeMap::new();
+        base.insert("qaoa.energy".into(), 11.5);
+        let mut cur = base.clone();
+        cur.insert("slo.violations".into(), 2.0);
+        cur.insert("slo.objectives".into(), 6.0);
+        let res = check(&cur, &base, false);
+        assert_eq!(res.regressions.len(), 1, "{:?}", res.regressions);
+        assert!(res.regressions[0].contains("2 objective(s) violated"));
+
+        // Same violating figure on both sides still fails — drift-skip for
+        // slo.* keys means the absolute rule is the only judge.
+        base.insert("slo.violations".into(), 2.0);
+        base.insert("slo.objectives".into(), 6.0);
+        assert!(!check(&cur, &base, false).ok());
+
+        // Zero violations are clean regardless of the baseline.
+        cur.insert("slo.violations".into(), 0.0);
+        assert!(check(&cur, &base, false).ok());
+    }
+
+    #[test]
+    fn slo_dimension_maps_keys_to_objective_families() {
+        assert_eq!(slo_dimension("state.requants.total"), "fidelity");
+        assert_eq!(slo_dimension("state.accumulated_bound.rss"), "fidelity");
+        assert_eq!(slo_dimension("qaoa.energy"), "fidelity");
+        assert_eq!(slo_dimension("quality.cuSZ.host_compress_bps"), "latency");
+        assert_eq!(slo_dimension("quality.cuSZ.cr"), "efficiency");
+        assert_eq!(slo_dimension("oocore.prefetch.hits"), "efficiency");
+        assert_eq!(slo_dimension("oocore.spill.writes"), "capacity");
+        assert_eq!(slo_dimension("host.cores"), "none");
+    }
+
+    #[test]
+    fn diff_attribution_ranks_movers_and_summarizes_the_tail() {
+        let mut base: BTreeMap<String, f64> = BTreeMap::new();
+        let mut cur: BTreeMap<String, f64> = BTreeMap::new();
+        base.insert("quality.cuSZ.cr".into(), 10.0);
+        cur.insert("quality.cuSZ.cr".into(), 5.0); // -50%, biggest mover
+        base.insert("qaoa.energy".into(), 10.0);
+        cur.insert("qaoa.energy".into(), 11.0); // +10%
+        base.insert("state.requants.total".into(), 4.0);
+        cur.insert("state.requants.total".into(), 4.0); // unchanged: dropped
+        base.insert("host.cores".into(), 4.0);
+        cur.insert("host.cores".into(), 128.0); // host fact: never attributed
+        base.insert("only.in.baseline".into(), 1.0); // one-sided: dropped
+
+        let lines = diff_attribution(&cur, &base);
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains("quality.cuSZ.cr"), "{lines:?}");
+        assert!(lines[0].contains("-50.0%"), "{lines:?}");
+        assert!(lines[0].contains("efficiency"), "{lines:?}");
+        assert!(lines[1].contains("qaoa.energy"), "{lines:?}");
+        assert!(lines[1].contains("fidelity"), "{lines:?}");
+
+        // Overflow past the cap is summarized, never silently cut.
+        for i in 0..(ATTRIBUTION_TOP + 3) {
+            base.insert(format!("quality.k{i}.cr"), 1.0);
+            cur.insert(format!("quality.k{i}.cr"), 1.0 + 0.01 * (i + 1) as f64);
+        }
+        let lines = diff_attribution(&cur, &base);
+        assert_eq!(lines.len(), ATTRIBUTION_TOP + 1, "{lines:?}");
+        assert!(
+            lines
+                .last()
+                .unwrap()
+                .contains("smaller movements not shown"),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn slo_eval_judges_phase_final_registries() {
+        use qcf_telemetry::slo::{Expr, Objective, Op, SloSpec};
+
+        let mut spec = SloSpec::defaults();
+        spec.objectives = vec![
+            Objective {
+                name: "fidelity.quarantine".into(),
+                expr: Expr::Level("state.ledger.quarantines".into()),
+                op: Op::Le,
+                threshold: 0.0,
+            },
+            Objective {
+                name: "capacity.resident".into(),
+                expr: Expr::Level("state.resident_bytes".into()),
+                op: Op::Le,
+                threshold: 100.0,
+            },
+        ];
+        let mut clean = Snapshot::default();
+        clean
+            .gauges
+            .insert("state.ledger.quarantines".into(), (0, 0));
+        clean.gauges.insert("state.resident_bytes".into(), (64, 64));
+        let mut hot = clean.clone();
+        hot.gauges
+            .insert("state.resident_bytes".into(), (4096, 4096));
+
+        let section = slo_eval(&spec, &[&clean]);
+        assert_eq!(section.violations, 0);
+        assert_eq!(section.rows.len(), 2);
+
+        // The worst phase reading is the one reported.
+        let section = slo_eval(&spec, &[&clean, &hot]);
+        assert_eq!(section.violations, 1, "{:?}", section.rows);
+        let row = section
+            .rows
+            .iter()
+            .find(|r| r.name == "capacity.resident")
+            .unwrap();
+        assert!(row.violated);
+        assert_eq!(row.value, Some(4096.0));
     }
 }

@@ -18,14 +18,23 @@
 //! Prometheus text exposition and re-validated with the hand-rolled parser
 //! ([`qcf_telemetry::export::validate_prometheus`]), so `qcfz top --once`
 //! doubles as an end-to-end gate on the export surface.
+//!
+//! Live mode also arms the SLO engine ([`qcf_telemetry::slo`]) and renders
+//! an alerts pane, and handles SIGINT / SIGHUP / SIGPIPE: the sampler is
+//! stopped cleanly and one final **ANSI-free** summary frame is printed,
+//! so an interrupted session (or a closed terminal) ends with a readable
+//! record instead of a half-drawn escape soup.
 
 use crate::cli::{cli_by_name, CliError};
 use compressors::ErrorBound;
 use qcf_telemetry::metrics::{quantile_from_buckets, HistogramSnapshot, Snapshot};
+use qcf_telemetry::slo::{self, AlertSnapshot, AlertState};
 use qcf_telemetry::timeseries::{self, Sample};
 use qcf_telemetry::{journal, prometheus_text};
 use qcircuit::{qaoa_circuit, Graph, QaoaParams};
 use qtensor::CompressedState;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Configuration for one `qcfz top` invocation.
 #[derive(Debug, Clone)]
@@ -68,15 +77,65 @@ impl TopConfig {
     }
 }
 
+/// Set by the signal handler (and by [`request_stop`]); the live loop
+/// polls it every frame.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+/// Asks a running live dashboard to wind down exactly as SIGINT would:
+/// stop the sampler, print one final ANSI-free summary frame. Public so
+/// tests (and embedders) can drive the shutdown path without a signal.
+pub fn request_stop() {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// The handler body: one async-signal-safe atomic store. Rendering and
+/// sampler shutdown happen on the main thread when the loop notices.
+extern "C" fn on_signal(_sig: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// Routes SIGINT (ctrl-C), SIGHUP (terminal closed) and SIGPIPE (pager
+/// went away) to [`on_signal`]. Catching SIGPIPE also turns writes to a
+/// dead pipe into `EPIPE` errors — which is why every print below is a
+/// guarded [`emit`], not a panicking `print!`.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(2, handler); // SIGINT
+        signal(1, handler); // SIGHUP
+        signal(13, handler); // SIGPIPE
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// Best-effort stdout write: after SIGPIPE the descriptor is dead and
+/// every write fails — the dashboard must still shut the sampler down
+/// instead of panicking mid-frame.
+fn emit(s: &str) {
+    let mut out = std::io::stdout();
+    let _ = out.write_all(s.as_bytes());
+    let _ = out.flush();
+}
+
 /// Runs the dashboard: workload on a worker thread, frames on this one.
 /// Returns the final rendered frame (also printed) so tests and callers
 /// can inspect it.
 pub fn run(cfg: &TopConfig) -> Result<String, CliError> {
     // The dashboard *is* a telemetry consumer: force the substrate on and
     // arm the journal so per-chunk counts are live, then start the sampler
-    // at the requested cadence (programmatic, so no env var needed).
+    // at the requested cadence (programmatic, so no env var needed). The
+    // SLO engine is armed with the active spec (`QCF_SLO` or defaults) so
+    // the alerts pane always has objectives to show.
     qcf_telemetry::set_enabled(true);
     journal::set_enabled(true);
+    slo::arm_active();
+    install_signal_handlers();
     timeseries::stop();
     timeseries::start(cfg.interval_ms.max(1));
 
@@ -107,19 +166,43 @@ pub fn run(cfg: &TopConfig) -> Result<String, CliError> {
 
     let interval = std::time::Duration::from_millis(cfg.interval_ms.max(1));
     if !cfg.once {
-        while !worker.is_finished() {
+        while !worker.is_finished() && !STOP.load(Ordering::SeqCst) {
             std::thread::sleep(interval);
             let frame = render(
                 &qcf_telemetry::registry().snapshot(),
                 &timeseries::samples(),
+                &slo::alerts(),
                 cfg,
                 None,
             );
             // Home + clear-to-end keeps the redraw flicker-free.
-            print!("\x1b[H\x1b[J{frame}");
-            use std::io::Write;
-            let _ = std::io::stdout().flush();
+            emit(&format!("\x1b[H\x1b[J{frame}"));
         }
+    }
+
+    // Interrupted (signal or request_stop): stop the sampler first so no
+    // frame races the summary, give the worker a short grace window, then
+    // print one final escape-free frame over whatever the run recorded.
+    // The worker thread is detached if still busy — the process is exiting
+    // and a blocked disk fetch must not hold the terminal hostage.
+    if STOP.swap(false, Ordering::SeqCst) && !worker.is_finished() {
+        timeseries::stop();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(500);
+        while !worker.is_finished() && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let energy = if worker.is_finished() {
+            worker.join().ok().and_then(Result::ok)
+        } else {
+            None
+        };
+        let snap = qcf_telemetry::registry().snapshot();
+        let frame = render(&snap, &timeseries::samples(), &slo::alerts(), cfg, energy);
+        emit(&format!(
+            "\ninterrupted — final summary (partial run):\n{frame}"
+        ));
+        journal::set_enabled(false);
+        return Ok(frame);
     }
     let energy = worker
         .join()
@@ -132,21 +215,27 @@ pub fn run(cfg: &TopConfig) -> Result<String, CliError> {
     timeseries::stop();
 
     let snap = qcf_telemetry::registry().snapshot();
-    let frame = render(&snap, &timeseries::samples(), cfg, Some(energy));
+    let frame = render(
+        &snap,
+        &timeseries::samples(),
+        &slo::alerts(),
+        cfg,
+        Some(energy),
+    );
     if cfg.once {
-        print!("{frame}");
+        emit(&frame);
     } else {
-        print!("\x1b[H\x1b[J{frame}");
+        emit(&format!("\x1b[H\x1b[J{frame}"));
     }
 
     // Exit contract: the exposition this run would serve must parse.
     let prom = prometheus_text(&snap);
     let stats = qcf_telemetry::export::validate_prometheus(&prom)
         .map_err(|e| CliError(format!("prometheus exposition invalid: {e}")))?;
-    println!(
-        "prometheus exposition valid: {} samples, {} histograms",
+    emit(&format!(
+        "prometheus exposition valid: {} samples, {} histograms\n",
         stats.samples, stats.histograms
-    );
+    ));
     journal::set_enabled(false);
     Ok(frame)
 }
@@ -272,9 +361,59 @@ fn budget_levels(samples: &[Sample]) -> Vec<f64> {
         .collect()
 }
 
-/// Renders one dashboard frame (pure: registry snapshot + sample ring in,
-/// text out — unit-testable without running anything).
-pub fn render(snap: &Snapshot, samples: &[Sample], cfg: &TopConfig, energy: Option<f64>) -> String {
+/// One alerts-pane line per non-ok alert (the quiet majority collapses to
+/// a count, so a healthy dashboard spends one row on the whole pane).
+fn alerts_pane(alerts: &[AlertSnapshot]) -> String {
+    if alerts.is_empty() {
+        return String::new();
+    }
+    let ok = alerts.iter().filter(|a| a.state == AlertState::Ok).count();
+    let mut out = format!(
+        "alerts    {} objectives: {} ok / {} pending / {} firing / {} resolved\n",
+        alerts.len(),
+        ok,
+        alerts
+            .iter()
+            .filter(|a| a.state == AlertState::Pending)
+            .count(),
+        alerts
+            .iter()
+            .filter(|a| a.state == AlertState::Firing)
+            .count(),
+        alerts
+            .iter()
+            .filter(|a| a.state == AlertState::Resolved)
+            .count(),
+    );
+    for a in alerts.iter().filter(|a| a.state != AlertState::Ok) {
+        let marker = if a.state == AlertState::Firing {
+            '!'
+        } else {
+            '~'
+        };
+        out.push_str(&format!(
+            "  {marker} {:<22} {:<9} {} {} {:.3e} (fast {:.3e} / slow {:.3e})\n",
+            a.objective.name,
+            a.state.label(),
+            a.objective.expr.to_text(),
+            a.objective.op.label(),
+            a.objective.threshold,
+            a.fast,
+            a.slow
+        ));
+    }
+    out
+}
+
+/// Renders one dashboard frame (pure: registry snapshot + sample ring +
+/// alert snapshots in, text out — unit-testable without running anything).
+pub fn render(
+    snap: &Snapshot,
+    samples: &[Sample],
+    alerts: &[AlertSnapshot],
+    cfg: &TopConfig,
+    energy: Option<f64>,
+) -> String {
     let mut out = String::with_capacity(1024);
     let applies = snap.histograms.get("state.apply_us").map_or(0, |h| h.count);
     let hits = snap.counters.get("state.cache.hit").copied().unwrap_or(0);
@@ -405,6 +544,8 @@ pub fn render(snap: &Snapshot, samples: &[Sample], cfg: &TopConfig, energy: Opti
         }
     }
 
+    out.push_str(&alerts_pane(alerts));
+
     let chunk_ids = journal::chunk_ids();
     if !chunk_ids.is_empty() {
         out.push_str(&format!(
@@ -450,7 +591,7 @@ mod tests {
     #[test]
     fn render_is_pure_and_complete() {
         let cfg = TopConfig::new(10, 21, "QCF-speed", ErrorBound::Rel(1e-3));
-        let frame = render(&synthetic_snapshot(), &[], &cfg, Some(-7.25));
+        let frame = render(&synthetic_snapshot(), &[], &[], &cfg, Some(-7.25));
         assert!(frame.contains("90.0% hit rate"), "{frame}");
         assert!(frame.contains("2.0 KiB now / 4.0 KiB peak"), "{frame}");
         assert!(frame.contains("7 requants"), "{frame}");
@@ -477,11 +618,73 @@ mod tests {
         snap.counters.insert("state.prefetch.misses".into(), 10);
         snap.counters.insert("state.prefetch.stall_us".into(), 1500);
         let cfg = TopConfig::new(10, 21, "QCF-speed", ErrorBound::Rel(1e-3));
-        let frame = render(&snap, &[], &cfg, Some(-7.25));
+        let frame = render(&snap, &[], &[], &cfg, Some(-7.25));
         assert!(frame.contains("40 writes / 32 reads"), "{frame}");
         assert!(frame.contains("8.0 KiB on disk"), "{frame}");
         assert!(frame.contains("75% hit (30/40)"), "{frame}");
         assert!(frame.contains("stalled 1.5ms"), "{frame}");
+    }
+
+    #[test]
+    fn alerts_pane_collapses_healthy_and_flags_firing() {
+        use qcf_telemetry::slo::{Expr, Objective, Op};
+        let obj = |name: &str| Objective {
+            name: name.into(),
+            expr: Expr::Level("state.resident_bytes".into()),
+            op: Op::Le,
+            threshold: 1024.0,
+        };
+        let snap = |name: &str, state: AlertState| AlertSnapshot {
+            objective: obj(name),
+            state,
+            fast: 2048.0,
+            slow: 1500.0,
+            breach_ticks: 3,
+            transitions: 1,
+        };
+        // Disarmed engine hands back no alerts: no pane at all.
+        let cfg = TopConfig::new(10, 21, "QCF-speed", ErrorBound::Rel(1e-3));
+        let frame = render(&synthetic_snapshot(), &[], &[], &cfg, None);
+        assert!(!frame.contains("alerts"), "{frame}");
+
+        let alerts = vec![
+            snap("capacity.resident", AlertState::Firing),
+            snap("fidelity.bound", AlertState::Ok),
+            snap("latency.stall", AlertState::Pending),
+        ];
+        let frame = render(&synthetic_snapshot(), &[], &alerts, &cfg, None);
+        assert!(
+            frame.contains("3 objectives: 1 ok / 1 pending / 1 firing / 0 resolved"),
+            "{frame}"
+        );
+        assert!(frame.contains("! capacity.resident"), "{frame}");
+        assert!(frame.contains("~ latency.stall"), "{frame}");
+        // Healthy objectives stay out of the per-alert rows.
+        assert!(!frame.contains("fidelity.bound"), "{frame}");
+        assert!(!frame.contains('\x1b'), "frame must be escape-free");
+    }
+
+    #[test]
+    fn request_stop_ends_live_mode_with_an_ansi_free_summary() {
+        // The stop flag is polled before the first redraw, so a pre-set
+        // flag exercises exactly the signal path: sampler stopped, worker
+        // joined within the grace window (a tiny instance finishes fast),
+        // one escape-free summary frame returned.
+        let _guard = crate::telemetry_test_lock();
+        let mut cfg = TopConfig::new(8, 5, "QCF-speed", ErrorBound::Rel(1e-3));
+        cfg.chunk_qubits = 4;
+        cfg.interval_ms = 1;
+        request_stop();
+        let frame = run(&cfg).expect("interrupted run still reports");
+        assert!(
+            !frame.contains('\x1b'),
+            "summary must be ANSI-free: {frame}"
+        );
+        assert!(frame.contains("qcfz top"), "{frame}");
+        assert!(
+            !STOP.load(Ordering::SeqCst),
+            "stop flag must be consumed for the next run"
+        );
     }
 
     #[test]

@@ -115,6 +115,7 @@ pub struct ErrorLedger {
     bound_hist: Arc<Histogram>,
     max_requants_gauge: Arc<Gauge>,
     acc_bound_gauge: Arc<FloatGauge>,
+    acc_rss_gauge: Arc<FloatGauge>,
 }
 
 impl ErrorLedger {
@@ -132,7 +133,23 @@ impl ErrorLedger {
             ),
             max_requants_gauge: reg.gauge("state.ledger.max_requants"),
             acc_bound_gauge: reg.float_gauge("state.ledger.accumulated_bound"),
+            acc_rss_gauge: reg.float_gauge("state.ledger.accumulated_rss"),
         }
+    }
+
+    /// Refreshes the registry mirrors of the state-level bounds: the
+    /// worst per-chunk accumulated bound and the state-level RSS across
+    /// chunks ([`LedgerSummary::accumulated_rss`] — the fidelity signal
+    /// the SLO engine watches live, rather than only at summary time).
+    fn publish_bounds(&self) {
+        let mut max_acc = 0.0f64;
+        let mut rss = 0.0f64;
+        for c in &self.chunks {
+            max_acc = max_acc.max(c.accumulated_bound);
+            rss = rss_accumulate(rss, c.accumulated_bound);
+        }
+        self.acc_bound_gauge.set(max_acc);
+        self.acc_rss_gauge.set(rss);
     }
 
     /// Number of chunks tracked.
@@ -190,11 +207,7 @@ impl ErrorLedger {
             self.max_requants_gauge.set(max as i64);
         }
         self.bound_hist.observe(eps);
-        let max_acc = self
-            .chunks
-            .iter()
-            .fold(0.0f64, |m, c| m.max(c.accumulated_bound));
-        self.acc_bound_gauge.set(max_acc);
+        self.publish_bounds();
     }
 
     /// Records a quarantine of chunk `id`: its amplitudes were zero-filled
@@ -211,11 +224,7 @@ impl ErrorLedger {
         let eps = lost_norm_sq.max(0.0).sqrt();
         rec.accumulated_bound = rss_accumulate(rec.accumulated_bound, eps);
         self.quarantines.inc();
-        let max_acc = self
-            .chunks
-            .iter()
-            .fold(0.0f64, |m, c| m.max(c.accumulated_bound));
-        self.acc_bound_gauge.set(max_acc);
+        self.publish_bounds();
     }
 
     /// Propagates accumulated bounds through a cross-chunk (grouped) gate.

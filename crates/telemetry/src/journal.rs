@@ -65,10 +65,15 @@ pub enum EventKind {
     /// Compressed frame fetched back from the disk tier (`detail`:
     /// fetched bytes).
     Fetch,
+    /// SLO alert lifecycle transition (`detail`: the new
+    /// [`crate::slo::AlertState`] code). Journaled under synthetic chunk
+    /// ids starting at [`crate::slo::JOURNAL_BASE`], so alert chains
+    /// share the journal's global sequence order with real chunk events.
+    Slo,
 }
 
 /// Number of [`EventKind`] variants (size of the per-kind count table).
-pub const KINDS: usize = 11;
+pub const KINDS: usize = 12;
 
 impl EventKind {
     /// Stable index into per-kind count tables.
@@ -85,6 +90,7 @@ impl EventKind {
             EventKind::Evict => 8,
             EventKind::Spill => 9,
             EventKind::Fetch => 10,
+            EventKind::Slo => 11,
         }
     }
 
@@ -102,6 +108,7 @@ impl EventKind {
             EventKind::Evict => "evict",
             EventKind::Spill => "spill",
             EventKind::Fetch => "fetch",
+            EventKind::Slo => "slo",
         }
     }
 
@@ -119,6 +126,7 @@ impl EventKind {
             EventKind::Evict,
             EventKind::Spill,
             EventKind::Fetch,
+            EventKind::Slo,
         ]
     }
 }

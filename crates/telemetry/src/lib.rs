@@ -42,6 +42,7 @@ pub mod faults;
 pub mod flight;
 pub mod journal;
 pub mod metrics;
+pub mod slo;
 pub mod span;
 pub mod timeseries;
 
@@ -98,6 +99,7 @@ pub fn reset() {
     metrics::registry().reset_values();
     timeseries::reset();
     journal::reset();
+    slo::reset_state();
 }
 
 /// Scoped run isolation: entering a `RunScope` clears the span buffer,

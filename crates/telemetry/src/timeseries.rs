@@ -113,7 +113,9 @@ pub fn arm_from_env() -> bool {
 
 /// Captures one sample into the ring immediately (the sampler thread's
 /// tick body; also used by `qcfz top --once` to guarantee a frame without
-/// waiting out an interval). No-op while telemetry is disabled.
+/// waiting out an interval). No-op while telemetry is disabled. A
+/// retained capture also drives one SLO evaluation tick — a relaxed
+/// atomic load and nothing more while [`crate::slo`] is disarmed.
 pub fn capture() {
     if !crate::enabled() {
         return;
@@ -122,14 +124,28 @@ pub fn capture() {
         t_us: crate::span::now_us(),
         metrics: crate::metrics::registry().snapshot(),
     };
+    if offer(sample) {
+        crate::slo::tick();
+    }
+}
+
+/// Offers one sample to the ring, returning whether it was retained
+/// (between-stride offers after a fold are dropped). Timestamps are
+/// forced **strictly** monotonic on admission: `now_us` can tie across
+/// adjacent captures (sub-microsecond ticks) and a tie that survives a
+/// fold would leave two retained samples claiming the same instant —
+/// rate and span math over the downsampled ring then divides by zero.
+/// Ties are bumped forward by 1 µs instead.
+pub fn offer(mut sample: Sample) -> bool {
     let mut ring = lock_unpoisoned(ring());
     ring.offered += 1;
     if !(ring.offered - 1).is_multiple_of(ring.stride) {
-        return; // between strides after a fold
+        return false; // between strides after a fold
     }
     if ring.samples.len() == CAPACITY {
         // Fold: keep every other sample (newest half-resolution), double
-        // the stride so future captures match the retained density.
+        // the stride so future captures match the retained density. Index
+        // 0 is always kept, so the series still spans the whole run.
         let kept: VecDeque<Sample> = ring
             .samples
             .drain(..)
@@ -140,7 +156,13 @@ pub fn capture() {
         ring.stride *= 2;
         ring.folds += 1;
     }
+    if let Some(last) = ring.samples.back() {
+        if sample.t_us <= last.t_us {
+            sample.t_us = last.t_us + 1;
+        }
+    }
     ring.samples.push_back(sample);
+    true
 }
 
 /// Starts a background sampler capturing every `interval_ms` milliseconds.

@@ -65,6 +65,64 @@ fn assert_within_bucket(
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Degenerate inputs: the sketch must stay honest (`+inf` for overflow
+// ranks, NaN-as-"no answer" for empty/invalid queries) and never panic.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn empty_histogram_answers_nan_never_panics() {
+    qcf_telemetry::set_enabled(true);
+    let h = qcf_telemetry::registry().histogram(&fresh_name(), &[1.0, 10.0]);
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert!(
+            h.quantile(q).is_nan(),
+            "empty sketch must answer NaN for q={q}"
+        );
+    }
+    // Zero-count with no buckets at all, straight through the free fn.
+    assert!(quantile_from_buckets(&[], 0, 0.5).is_nan());
+    // A count with *no bucket table* cannot be located anywhere: the
+    // honest answer is still NaN, not a fabricated bound.
+    assert!(quantile_from_buckets(&[], 5, 0.5).is_nan());
+}
+
+#[test]
+fn single_bucket_sketch_answers_its_only_bound() {
+    qcf_telemetry::set_enabled(true);
+    let h = qcf_telemetry::registry().histogram(&fresh_name(), &[7.5]);
+    h.observe(1.0);
+    h.observe(2.0);
+    for q in [0.01, 0.5, 1.0] {
+        assert_eq!(h.quantile(q), 7.5, "all mass in one bucket ⇒ its bound");
+    }
+}
+
+#[test]
+fn all_overflow_sketch_answers_infinite_for_every_rank() {
+    qcf_telemetry::set_enabled(true);
+    let h = qcf_telemetry::registry().histogram(&fresh_name(), &[1.0]);
+    for _ in 0..10 {
+        h.observe(1e9); // everything beyond the last bound
+    }
+    assert_eq!(h.overflow(), 10);
+    for q in [0.01, 0.5, 0.95, 1.0] {
+        let est = h.quantile(q);
+        assert!(
+            est.is_infinite() && est > 0.0,
+            "all-overflow sketch must answer +inf for q={q}, got {est}"
+        );
+    }
+}
+
+#[test]
+fn out_of_range_q_is_refused_with_nan() {
+    let buckets = [(1.0, 3u64), (f64::INFINITY, 1)];
+    for q in [-0.1, 1.1, f64::NAN] {
+        assert!(quantile_from_buckets(&buckets, 4, q).is_nan());
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
 
