@@ -139,6 +139,82 @@ if ! echo "$drill_out" | grep -q "slo accounting: exact"; then
     exit 1
 fi
 
+# Checkpoint crash drill. A snapshot commit must be all-or-nothing at
+# every kill point of its temp → fsync → rename protocol: golden
+# snapshots are taken at gates 8 and 16, then the gate-16 commit is
+# killed at each of the five boundaries (the process must die with exit
+# 3, the simulated-crash code). Resuming the survivor and finishing the
+# run must reproduce the golden completion character for character —
+# kill points 1-4 leave the old gate-8 snapshot, kill point 5 lands
+# after the rename and commits gate 16. A torn write that "succeeds"
+# must then be rejected by the footer checksum on resume, and a
+# malformed QCF_FAULTS spec must be refused up front with exit 2.
+echo "== checkpoint crash drill (kill-point matrix + torn write) =="
+ck_dir=$(mktemp -d /tmp/qcf-crash-drill.XXXXXX)
+trap 'rm -rf "$ck_dir"' EXIT
+qcfz=(cargo run --release -q -p qcf-bench --bin qcfz --)
+ck_flags=(--nodes 10 --seed 21 --compressor LZ4 --abs 0)
+"${qcfz[@]}" checkpoint --out "$ck_dir/g8.qcfs" --gates 8 "${ck_flags[@]}" >/dev/null
+"${qcfz[@]}" checkpoint --out "$ck_dir/g16.qcfs" --from "$ck_dir/g8.qcfs" \
+    --gates 16 >/dev/null
+gold8=$("${qcfz[@]}" resume "$ck_dir/g8.qcfs" --verify | grep '^finished:')
+gold16=$("${qcfz[@]}" resume "$ck_dir/g16.qcfs" --verify | grep '^finished:')
+for n in 1 2 3 4 5; do
+    cp "$ck_dir/g8.qcfs" "$ck_dir/d.qcfs"
+    rc=0
+    QCF_FAULTS="seed=3,ckpt.kill_point@$n" "${qcfz[@]}" checkpoint \
+        --out "$ck_dir/d.qcfs" --from "$ck_dir/d.qcfs" --gates 16 \
+        >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 3 ]; then
+        echo "crash drill FAILED: kill point $n exited $rc, want 3" >&2
+        exit 1
+    fi
+    got=$("${qcfz[@]}" resume "$ck_dir/d.qcfs" --verify | grep '^finished:')
+    want=$gold8
+    [ "$n" -eq 5 ] && want=$gold16
+    if [ "$got" != "$want" ]; then
+        echo "crash drill FAILED at kill point $n:" >&2
+        echo "  resumed: $got" >&2
+        echo "  golden:  $want" >&2
+        exit 1
+    fi
+    echo "kill point $n: resumed clean ($([ "$n" -eq 5 ] && echo 'new snapshot committed' || echo 'old snapshot intact'))"
+done
+cp "$ck_dir/g8.qcfs" "$ck_dir/torn.qcfs"
+QCF_FAULTS="seed=11,ckpt.torn_write@1" "${qcfz[@]}" checkpoint \
+    --out "$ck_dir/torn.qcfs" --from "$ck_dir/torn.qcfs" --gates 16 >/dev/null
+rc=0
+"${qcfz[@]}" resume "$ck_dir/torn.qcfs" >/dev/null 2>&1 || rc=$?
+if [ "$rc" -eq 0 ]; then
+    echo "crash drill FAILED: torn snapshot resumed instead of being rejected" >&2
+    exit 1
+fi
+echo "torn write: rejected by footer checksum on resume (exit $rc)"
+rc=0
+QCF_FAULTS="state.chunk.bitflip%banana" "${qcfz[@]}" state --nodes 6 \
+    >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "crash drill FAILED: malformed QCF_FAULTS exited $rc, want 2" >&2
+    exit 1
+fi
+echo "malformed QCF_FAULTS: refused up front (exit 2)"
+
+# Spill-log compaction drill: a churned, budgeted run must compact its
+# append-only spill log (reclaiming dead superseded records) while the
+# scrub still walks the swapped file fully clean.
+echo "== spill compaction drill (verify --state on a churned log) =="
+comp_out=$("${qcfz[@]}" verify --state --nodes 10 --seed 21 \
+    --compressor LZ4 --abs 0 --cache 2 --mem-budget 4k)
+echo "$comp_out" | grep -E "spill log:|verify:"
+if ! echo "$comp_out" | grep -Eq "spill log: [1-9][0-9]* compaction"; then
+    echo "compaction drill FAILED: churned spill log never compacted" >&2
+    exit 1
+fi
+if ! echo "$comp_out" | grep -q "verify: OK"; then
+    echo "compaction drill FAILED: scrub not clean after compaction" >&2
+    exit 1
+fi
+
 # Run-to-run regression gate with attribution: `--diff` is `--baseline
 # --check` plus the ranked movement attribution (which keys moved most
 # and which SLO dimension each endangers). CR, ledger invariants and

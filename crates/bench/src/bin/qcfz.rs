@@ -14,9 +14,24 @@
 //! qcfz verify <in.qcfz>
 //! qcfz verify --state [--nodes N] [--seed S] [--chunk C] [--cache K]
 //!             [--compressor NAME] [--rel X | --abs X] [--mem-budget BYTES]
+//! qcfz checkpoint [--out state.qcfs] [--from prev.qcfs] [--gates G]
+//!                 [--nodes N] [--seed S] [--chunk-qubits C] [--cache K]
+//!                 [--compressor NAME] [--rel X | --abs X] [--mem-budget BYTES]
+//! qcfz resume <state.qcfs> [--verify] [--mem-budget BYTES] [--no-prefetch]
 //! qcfz report [--out report.md] [--json BENCH_report.json]
 //!             [--baseline BENCH_report.json --check] [--diff BENCH_report.json]
 //! ```
+//!
+//! `checkpoint` runs a QAOA circuit up to `--gates G` gates (default:
+//! all) and commits a durable snapshot — atomically: a crash at any
+//! commit boundary leaves the old snapshot or the new one, never a torn
+//! file. `--from prev.qcfs` continues a previous snapshot instead of
+//! starting fresh (geometry/codec/bound come from the snapshot), so long
+//! runs advance checkpoint-to-checkpoint. `resume` restores a snapshot
+//! and finishes its run; `--verify` scrubs every restored chunk against
+//! its ledger bound first and exits nonzero unless the state settles
+//! clean. Under `QCF_FAULTS=ckpt.kill_point@N` the writer "crashes" at
+//! commit boundary N and qcfz exits with code 3 (the crash-drill hook).
 //!
 //! `slo` evaluates the active service-level objectives (`QCF_SLO` rules or
 //! the built-in defaults) against a sampled compressed-state run and exits
@@ -102,6 +117,16 @@ fn main() {
     // (tests, `report`'s phases, embedding tools) never bleed into the
     // exports below.
     let _scope = qcf_telemetry::RunScope::enter();
+    // A malformed QCF_FAULTS must never silently disarm a chaos drill: a
+    // typo'd spec would otherwise run fault-free and pass vacuously. Fail
+    // the invocation as a usage error instead (exit 2).
+    if std::env::var("QCF_FAULTS").is_ok_and(|v| !v.trim().is_empty()) {
+        qcf_telemetry::faults::armed(); // first call arms (or rejects) the env spec
+        if let Some(e) = qcf_telemetry::faults::spec_error() {
+            eprintln!("error: QCF_FAULTS is malformed: {e}");
+            std::process::exit(2);
+        }
+    }
     let result = match args.first().map(String::as_str) {
         Some("list") => {
             println!("available compressors:\n{}", cli::list());
@@ -212,11 +237,12 @@ fn main() {
                     let t = &s.tiers;
                     println!(
                         "tiers: {} bytes cached amps / {} bytes compressed in RAM / \
-                     {} bytes spilled across {} chunks (budget {})",
+                     {} bytes spilled across {} chunks (log {} bytes, budget {})",
                         t.cached_amp_bytes,
                         t.ram_compressed_bytes,
                         t.spilled_bytes,
                         t.spilled_chunks,
+                        t.spill_file_bytes,
                         s.mem_budget
                             .map(|b| b.to_string())
                             .unwrap_or_else(|| "unbounded".into())
@@ -236,6 +262,14 @@ fn main() {
                                 100.0 * st.prefetch_hits as f64 / fetched as f64
                             },
                             st.prefetch_stall_us
+                        );
+                    }
+                    if st.compactions > 0 {
+                        println!(
+                            "spill log: {} compaction{} reclaimed {} dead bytes",
+                            st.compactions,
+                            if st.compactions == 1 { "" } else { "s" },
+                            st.spill_reclaimed_bytes
                         );
                     }
                     let l = &s.ledger;
@@ -352,6 +386,14 @@ fn main() {
                         s.spills, s.fetches
                     );
                 }
+                if s.compactions > 0 {
+                    println!(
+                        "spill log: {} compaction{} reclaimed {} dead bytes",
+                        s.compactions,
+                        if s.compactions == 1 { "" } else { "s" },
+                        s.spill_reclaimed
+                    );
+                }
                 println!(
                     "faults: {} injected ({} bitflips, {} spill bitflips, {} decode errors) — \
                      detected {} decode failures, {} retries healed, {} cache repairs, \
@@ -386,6 +428,87 @@ fn main() {
                          detected {}/{} injected storage corruptions",
                         s.settled, s.report.ledger_breaches, f.decode_errors, s.injected_bitflips
                     ))
+                }
+            })
+        }
+        Some("checkpoint") => {
+            let nodes: usize = flag(&args, "--nodes")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10);
+            let seed = flag(&args, "--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(21);
+            let chunk = flag(&args, "--chunk-qubits")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(nodes.saturating_sub(3));
+            let cache = flag(&args, "--cache").and_then(|v| v.parse().ok());
+            let comp = flag(&args, "--compressor").unwrap_or("QCF-speed");
+            let out = flag(&args, "--out").unwrap_or("state.qcfs");
+            let from = flag(&args, "--from");
+            let gates: Option<usize> = flag(&args, "--gates").and_then(|v| v.parse().ok());
+            cli::parse_bound(flag(&args, "--rel"), flag(&args, "--abs")).and_then(|bound| {
+                let mut cfg = cli::StateRunCfg::new(nodes, seed, chunk, comp);
+                cfg.bound = bound;
+                cfg.cache = cache;
+                cfg.mem_budget = parse_mem_budget(&args)?;
+                cfg.prefetch = !args.iter().any(|a| a == "--no-prefetch");
+                let s = cli::checkpoint_demo(&cfg, Path::new(out), from.map(Path::new), gates)?;
+                println!(
+                    "checkpoint {out}: {} bytes, gate {}/{}{}",
+                    s.snapshot_bytes,
+                    s.gates_applied,
+                    s.total_gates,
+                    s.resumed_from
+                        .map(|g| format!(" (continued from gate {g})"))
+                        .unwrap_or_default(),
+                );
+                println!("energy {:.6}", s.energy);
+                export_telemetry(&args, &[])
+            })
+        }
+        Some("resume") if args.len() >= 2 && !args[1].starts_with("--") => {
+            let scrub = args.iter().any(|a| a == "--verify");
+            let prefetch = !args.iter().any(|a| a == "--no-prefetch");
+            parse_mem_budget(&args).and_then(|budget| {
+                let s = cli::resume_demo(Path::new(&args[1]), scrub, prefetch, budget)?;
+                println!(
+                    "resume {}: {} snapshot at gate {}/{} ({} qubits, seed {})",
+                    args[1],
+                    s.meta.compressor,
+                    s.meta.gates_applied,
+                    s.total_gates,
+                    s.meta.nodes,
+                    s.meta.seed
+                );
+                if let Some(r) = &s.scrub {
+                    println!(
+                        "scrub: {} chunks — {} clean, {} healed, {} quarantined, \
+                         {} ledger breaches",
+                        r.chunks, r.clean, r.healed, r.quarantined, r.ledger_breaches
+                    );
+                }
+                let l = &s.ledger;
+                // The drills char-compare this line between a resumed and
+                // an uninterrupted run: energy and ledger, no paths.
+                println!(
+                    "finished: energy {:.6}, {} requants (max {} per chunk), \
+                     accumulated bound max {:.3e} / state RSS {:.3e}, \
+                     {} quarantines, lost norm² {:.3e}",
+                    s.energy,
+                    l.total_requants,
+                    l.max_requants,
+                    l.max_accumulated_bound,
+                    l.accumulated_rss,
+                    s.faults.quarantines,
+                    s.faults.lost_norm_sq
+                );
+                export_telemetry(&args, &[])?;
+                if s.ok() {
+                    Ok(())
+                } else {
+                    return_err(
+                        "resume verify FAILED — restored state did not settle clean".to_string(),
+                    )
                 }
             })
         }
@@ -479,6 +602,10 @@ fn main() {
                  | verify <in.qcfz> \
                  | verify --state [--nodes N] [--seed S] [--chunk C] [--cache K] \
                  [--compressor NAME] [--rel X|--abs X] [--mem-budget BYTES] \
+                 | checkpoint [--out state.qcfs] [--from prev.qcfs] [--gates G] \
+                 [--nodes N] [--seed S] [--chunk-qubits C] [--cache K] \
+                 [--compressor NAME] [--rel X|--abs X] [--mem-budget BYTES] \
+                 | resume <state.qcfs> [--verify] [--mem-budget BYTES] [--no-prefetch] \
                  | report [--nodes N] [--seed S] [--chunk C] [--cache K] [--compressor NAME] \
                  [--rel X|--abs X] [--out report.md|.html] [--json BENCH_report.json] \
                  [--baseline BENCH_report.json] [--check] [--diff BENCH_report.json]\n\
@@ -499,7 +626,15 @@ fn main() {
                 Ok(None) => {}
                 Err(io) => eprintln!("flight record dump failed: {io}"),
             }
-            std::process::exit(1);
+            // A simulated kill-point crash is its own exit code so the
+            // crash drills can tell "died at the boundary as planned"
+            // from a real failure.
+            let code = if e.0.contains("ckpt.kill_point@") {
+                3
+            } else {
+                1
+            };
+            std::process::exit(code);
         }
         Ok(()) => {
             // On-demand record: when QCF_FLIGHT_RECORD names a path, write

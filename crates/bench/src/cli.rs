@@ -461,6 +461,10 @@ pub struct VerifySummary {
     pub spills: u64,
     /// Spilled frames fetched back over run + scrub.
     pub fetches: u64,
+    /// Spill-log compaction passes over run + scrub.
+    pub compactions: u64,
+    /// Dead bytes those passes reclaimed from the spill log.
+    pub spill_reclaimed: u64,
     /// Scrub passes it took to settle (1 on a healthy state).
     pub scrub_passes: usize,
     /// True when the final pass came back fully clean.
@@ -539,12 +543,267 @@ pub fn verify_state(
         report,
         spills: cs.stats.spills,
         fetches: cs.stats.fetches,
+        compactions: cs.stats.compactions,
+        spill_reclaimed: cs.stats.spill_reclaimed_bytes,
         faults: cs.faults.clone(),
         injected_bitflips,
         injected_spill_bitflips,
         injected_decode_errors,
         injected_total,
         scrub_passes,
+    })
+}
+
+/// The caller-opaque `app_meta` blob `qcfz` stores in a snapshot: the
+/// circuit recipe and run progress needed to finish the simulation after
+/// a resume, without the user restating any flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkptMeta {
+    /// QAOA graph size (nodes = qubits).
+    pub nodes: usize,
+    /// Graph seed.
+    pub seed: u64,
+    /// Qubits per chunk.
+    pub chunk_qubits: usize,
+    /// Write-back cache capacity at checkpoint time — restored on resume
+    /// so a lossy codec's requant schedule (and therefore the bits)
+    /// replays identically.
+    pub cache: usize,
+    /// Gates of the QAOA circuit already applied to the snapshot state.
+    pub gates_applied: usize,
+    /// Compressor display name (the snapshot also stores the stream id;
+    /// the name makes `qcfz resume` output self-describing).
+    pub compressor: String,
+}
+
+const META_MAGIC: &[u8; 6] = b"QMETA1";
+
+impl CkptMeta {
+    /// Serializes into the little-endian blob stored as snapshot
+    /// `app_meta` (layout: magic, nodes u32, seed u64, chunk_qubits u32,
+    /// cache u32, gates_applied u64, name len u8 + bytes).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(35 + self.compressor.len());
+        out.extend_from_slice(META_MAGIC);
+        out.extend_from_slice(&(self.nodes as u32).to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&(self.chunk_qubits as u32).to_le_bytes());
+        out.extend_from_slice(&(self.cache as u32).to_le_bytes());
+        out.extend_from_slice(&(self.gates_applied as u64).to_le_bytes());
+        let name = self.compressor.as_bytes();
+        out.push(name.len().min(255) as u8);
+        out.extend_from_slice(&name[..name.len().min(255)]);
+        out
+    }
+
+    /// Parses an `app_meta` blob written by [`CkptMeta::encode`].
+    pub fn decode(raw: &[u8]) -> Result<Self, CliError> {
+        let bad = || CliError("snapshot app metadata is not a qcfz blob".into());
+        if raw.len() < 35 || &raw[..6] != META_MAGIC {
+            return Err(bad());
+        }
+        let u32_at = |i: usize| u32::from_le_bytes(raw[i..i + 4].try_into().unwrap());
+        let u64_at = |i: usize| u64::from_le_bytes(raw[i..i + 8].try_into().unwrap());
+        let name_len = raw[34] as usize;
+        if raw.len() != 35 + name_len {
+            return Err(bad());
+        }
+        Ok(CkptMeta {
+            nodes: u32_at(6) as usize,
+            seed: u64_at(10),
+            chunk_qubits: u32_at(18) as usize,
+            cache: u32_at(22) as usize,
+            gates_applied: u64_at(26) as usize,
+            compressor: String::from_utf8(raw[35..].to_vec()).map_err(|_| bad())?,
+        })
+    }
+}
+
+/// Picks the lineup compressor matching a snapshot's stored stream id
+/// (the same id-dispatch `qcfz info` uses on compressed files).
+fn snapshot_compressor(path: &Path) -> Result<Box<dyn Compressor>, CliError> {
+    let id = qtensor::checkpoint::snapshot_compressor_id(path)
+        .map_err(|e| CliError(format!("resume {}: {e}", path.display())))?;
+    cli_lineup()
+        .into_iter()
+        .find(|c| c.id() == id)
+        .ok_or_else(|| CliError(format!("snapshot codec id {id} is not in the lineup")))
+}
+
+/// Result summary of a `qcfz checkpoint` commit.
+#[derive(Debug, Clone)]
+pub struct CkptSummary {
+    /// Bytes at the committed snapshot path.
+    pub snapshot_bytes: u64,
+    /// Gates applied to the snapshotted state (from circuit start).
+    pub gates_applied: usize,
+    /// Gates in the full QAOA circuit.
+    pub total_gates: usize,
+    /// MaxCut energy of the snapshotted (possibly partial) state.
+    pub energy: f64,
+    /// Gate progress of the source snapshot when `--from` resumed one.
+    pub resumed_from: Option<usize>,
+}
+
+/// Runs a QAOA circuit up to `gates` gates (default: all) on the
+/// chunk-compressed state and commits a durable snapshot at `out`
+/// (`qcfz checkpoint`). With `from` set, the run continues a previous
+/// snapshot instead of starting fresh: geometry, codec, bound, and cache
+/// capacity all come from the snapshot, so the evolution is bit-identical
+/// to a run that was never interrupted; only `cfg.prefetch` and
+/// `cfg.mem_budget` (pure tiering, bit-transparent) still apply.
+pub fn checkpoint_demo(
+    cfg: &StateRunCfg,
+    out: &Path,
+    from: Option<&Path>,
+    gates: Option<usize>,
+) -> Result<CkptSummary, CliError> {
+    let err = |e: qtensor::ContractError| CliError(format!("compressed state: {e}"));
+    let comp: Box<dyn Compressor> = match from {
+        Some(src) => snapshot_compressor(src)?,
+        None => cli_by_name(&cfg.compressor).ok_or_else(|| {
+            CliError(format!(
+                "unknown compressor '{}' (try `qcfz list`)",
+                cfg.compressor
+            ))
+        })?,
+    };
+    let (mut cs, mut meta) = match from {
+        Some(src) => {
+            let (mut cs, raw) = CompressedState::resume(src, comp.as_ref())
+                .map_err(|e| CliError(format!("resume {}: {e}", src.display())))?;
+            let meta = CkptMeta::decode(&raw)?;
+            cs.set_cache_capacity(meta.cache).map_err(err)?;
+            (cs, meta)
+        }
+        None => {
+            let mut cs = CompressedState::zero(
+                cfg.nodes,
+                cfg.chunk_qubits.min(cfg.nodes),
+                comp.as_ref(),
+                cfg.bound,
+            )
+            .map_err(err)?;
+            if let Some(cap) = cfg.cache {
+                cs.set_cache_capacity(cap).map_err(err)?;
+            }
+            let meta = CkptMeta {
+                nodes: cfg.nodes,
+                seed: cfg.seed,
+                chunk_qubits: cfg.chunk_qubits.min(cfg.nodes),
+                cache: cs.cache_capacity(),
+                gates_applied: 0,
+                compressor: comp.name().to_string(),
+            };
+            (cs, meta)
+        }
+    };
+    if cfg.mem_budget.is_some() {
+        cs.set_mem_budget(cfg.mem_budget);
+    }
+    let graph = Graph::random_regular(meta.nodes, 3, meta.seed);
+    let circuit = qaoa_circuit(&graph, &QaoaParams::fixed_angles_3reg_p1());
+    let total = circuit.gates().len();
+    let target = gates.unwrap_or(total).min(total);
+    if target < meta.gates_applied {
+        return Err(CliError(format!(
+            "snapshot already has {} gates applied — --gates {target} would go backwards",
+            meta.gates_applied
+        )));
+    }
+    cs.run_scheduled(&circuit.gates()[meta.gates_applied..target], cfg.prefetch)
+        .map_err(err)?;
+    let resumed_from = from.map(|_| meta.gates_applied);
+    meta.gates_applied = target;
+    let snapshot_bytes = cs
+        .checkpoint(out, &meta.encode())
+        .map_err(|e| CliError(format!("checkpoint: {e}")))?;
+    let energy = cs.maxcut_energy(&graph).map_err(err)?;
+    Ok(CkptSummary {
+        snapshot_bytes,
+        gates_applied: target,
+        total_gates: total,
+        energy,
+        resumed_from,
+    })
+}
+
+/// Result summary of a `qcfz resume` run-to-completion.
+#[derive(Debug, Clone)]
+pub struct ResumeSummary {
+    /// The snapshot's stored run recipe and progress.
+    pub meta: CkptMeta,
+    /// Gates in the full QAOA circuit.
+    pub total_gates: usize,
+    /// MaxCut energy after finishing the remaining gates.
+    pub energy: f64,
+    /// Error-budget ledger aggregate at the end of the finished run.
+    pub ledger: qtensor::LedgerSummary,
+    /// Fault accounting: the snapshot's restored history plus this
+    /// process's events.
+    pub faults: qtensor::FaultStats,
+    /// Settled scrub report when `--verify` was requested.
+    pub scrub: Option<qtensor::VerifyReport>,
+    /// This process's run accounting (starts fresh at resume).
+    pub stats: StateStats,
+}
+
+impl ResumeSummary {
+    /// The `qcfz resume --verify` verdict: either no scrub was requested,
+    /// or the restored state settled fully clean with no ledger breach.
+    pub fn ok(&self) -> bool {
+        self.scrub.as_ref().is_none_or(|r| r.all_clean())
+    }
+}
+
+/// Restores a snapshot and finishes its run (`qcfz resume`): the stored
+/// recipe rebuilds the QAOA circuit, the remaining gates are applied, and
+/// the final energy + ledger are reported. With `scrub` set every restored
+/// chunk is decoded and checked against its ledger bound *before* the run
+/// continues (`--verify`); scrubbing only re-tiers — it never requantizes
+/// a clean chunk — so the continued evolution stays bit-identical.
+pub fn resume_demo(
+    path: &Path,
+    scrub: bool,
+    prefetch: bool,
+    mem_budget: Option<usize>,
+) -> Result<ResumeSummary, CliError> {
+    let err = |e: qtensor::ContractError| CliError(format!("compressed state: {e}"));
+    let comp = snapshot_compressor(path)?;
+    let (mut cs, raw) = CompressedState::resume(path, comp.as_ref())
+        .map_err(|e| CliError(format!("resume {}: {e}", path.display())))?;
+    let meta = CkptMeta::decode(&raw)?;
+    cs.set_cache_capacity(meta.cache).map_err(err)?;
+    if mem_budget.is_some() {
+        cs.set_mem_budget(mem_budget);
+    }
+    let scrub_report = if scrub {
+        let mut report = cs.verify().map_err(err)?;
+        let mut passes = 1;
+        while !report.all_clean() && passes < 8 {
+            report = cs.verify().map_err(err)?;
+            passes += 1;
+        }
+        Some(report)
+    } else {
+        None
+    };
+    let graph = Graph::random_regular(meta.nodes, 3, meta.seed);
+    let circuit = qaoa_circuit(&graph, &QaoaParams::fixed_angles_3reg_p1());
+    let total = circuit.gates().len();
+    let from = meta.gates_applied.min(total);
+    cs.run_scheduled(&circuit.gates()[from..], prefetch)
+        .map_err(err)?;
+    let energy = cs.maxcut_energy(&graph).map_err(err)?;
+    cs.flush().map_err(err)?;
+    Ok(ResumeSummary {
+        meta,
+        total_gates: total,
+        energy,
+        ledger: cs.ledger_summary(),
+        faults: cs.faults.clone(),
+        scrub: scrub_report,
+        stats: cs.stats.clone(),
     })
 }
 

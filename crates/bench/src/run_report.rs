@@ -1,7 +1,7 @@
 //! `qcfz report` — one self-contained run report, plus run-to-run
 //! regression checking.
 //!
-//! [`collect`] executes four telemetry-isolated phases (each inside a
+//! [`collect`] executes five telemetry-isolated phases (each inside a
 //! [`qcf_telemetry::RunScope`], so `state.cache.*` and friends never bleed
 //! between phases of the same process):
 //!
@@ -12,7 +12,13 @@
 //!    budget, so cold frames spill to the disk tier and the gate-schedule
 //!    prefetcher fetches them back (async vs sync wall times A/B'd; the
 //!    energy is asserted bit-identical to the in-RAM state phase);
-//! 4. **quality** — a round-trip CR/PSNR/throughput sweep over the full
+//! 4. **ckpt** — durable checkpoint/restore round trip under the same
+//!    budget: the circuit is snapshotted at its midpoint
+//!    ([`cli::checkpoint_demo`], exercising resume-and-continue over the
+//!    same path), then finished twice from that snapshot
+//!    ([`cli::resume_demo`]) — once scrubbed, once plain — and the two
+//!    completions are asserted bit-identical;
+//! 5. **quality** — a round-trip CR/PSNR/throughput sweep over the full
 //!    compressor lineup on a synthetic amplitude tensor.
 //!
 //! [`RunReport::to_markdown`] renders everything — per-phase span tables,
@@ -136,9 +142,18 @@ pub struct RunReport {
     /// Wall seconds of the synchronous fetch-on-miss run at the same
     /// budget — the A/B reference the prefetcher must beat.
     pub oocore_sync_s: f64,
+    /// Midpoint snapshot commit: bytes, gate progress, energy at the
+    /// checkpoint barrier.
+    pub ckpt: cli::CkptSummary,
+    /// Resume-and-finish from that snapshot (the scrubbed run; asserted
+    /// bit-identical to the plain resume in [`collect`]).
+    pub resume: cli::ResumeSummary,
+    /// Telemetry of the ckpt phase (commit + both resumes).
+    pub ckpt_phase: PhaseRecord,
     /// Per-compressor quality sweep.
     pub quality: Vec<QualityRow>,
-    /// End-of-run SLO evaluation over the state and out-of-core phases.
+    /// End-of-run SLO evaluation over the state, out-of-core, and
+    /// checkpoint phases.
     pub slo: SloSection,
 }
 
@@ -236,7 +251,7 @@ pub const OOCORE_BUDGET: usize = 1024;
 /// budget has nothing to evict.
 pub const OOCORE_CACHE: usize = 2;
 
-/// Runs all four phases and gathers the report.
+/// Runs all five phases and gathers the report.
 pub fn collect(config: ReportConfig) -> Result<RunReport, CliError> {
     qcf_telemetry::flight::record("report.start");
 
@@ -295,6 +310,48 @@ pub fn collect(config: ReportConfig) -> Result<RunReport, CliError> {
     }
     qcf_telemetry::flight::record("report.oocore.done");
 
+    // Checkpoint/restore phase, still under the out-of-core budget so the
+    // snapshot serializes spilled frames too (and prefetched again, so
+    // the phase registry is judged by the same efficiency SLOs as the
+    // oocore phase). A gate-0 snapshot seeds the run, `--from`-continue
+    // to the midpoint commits over the same path (atomic replace), then
+    // the run is finished twice from that snapshot — once scrubbed, once
+    // plain — and both completions must land on the same bits: a
+    // checkpoint (and a scrub) is a pause, not a perturbation.
+    state_cfg.prefetch = true;
+    let snap = std::env::temp_dir().join(format!("qcf-report-{}.qcfs", std::process::id()));
+    let scope = RunScope::enter();
+    let ckpt = (|| {
+        let probe = cli::checkpoint_demo(&state_cfg, &snap, None, Some(0))?;
+        cli::checkpoint_demo(&state_cfg, &snap, Some(&snap), Some(probe.total_gates / 2))
+    })();
+    let ckpt = match ckpt {
+        Ok(c) => c,
+        Err(e) => {
+            let _ = std::fs::remove_file(&snap);
+            return Err(e);
+        }
+    };
+    let resume = cli::resume_demo(&snap, true, true, state_cfg.mem_budget);
+    let resume_plain = cli::resume_demo(&snap, false, true, state_cfg.mem_budget);
+    let _ = std::fs::remove_file(&snap);
+    let (resume, resume_plain) = (resume?, resume_plain?);
+    let (spans, metrics) = scope.finish();
+    let ckpt_phase = PhaseRecord { spans, metrics };
+    if !resume.ok() {
+        return Err(CliError(
+            "resumed snapshot failed its scrub: restored frames or ledger are unclean".into(),
+        ));
+    }
+    if resume.energy.to_bits() != resume_plain.energy.to_bits() {
+        return Err(CliError(format!(
+            "scrubbed resume diverged from the plain resume: \
+             energy {:?} vs {:?} — checkpoint/restore is not bit-transparent",
+            resume.energy, resume_plain.energy
+        )));
+    }
+    qcf_telemetry::flight::record("report.ckpt.done");
+
     let scope = RunScope::enter();
     let tensor = synthetic_tensor(1 << 14, 0.3, config.seed);
     let mut quality = Vec::new();
@@ -327,11 +384,15 @@ pub fn collect(config: ReportConfig) -> Result<RunReport, CliError> {
     let _ = scope.finish();
     qcf_telemetry::flight::record("report.quality.done");
 
-    // SLO verdict over the two compressed-state phases' final registries
+    // SLO verdict over the compressed-state phases' final registries
     // (the qaoa and quality phases carry no state.* signals to judge).
     let slo = slo_eval(
         &SloSpec::active(),
-        &[&state_phase.metrics, &oocore_phase.metrics],
+        &[
+            &state_phase.metrics,
+            &oocore_phase.metrics,
+            &ckpt_phase.metrics,
+        ],
     );
     qcf_telemetry::flight::record("report.slo.done");
 
@@ -345,6 +406,9 @@ pub fn collect(config: ReportConfig) -> Result<RunReport, CliError> {
         oocore_phase,
         oocore_async_s,
         oocore_sync_s,
+        ckpt,
+        resume,
+        ckpt_phase,
         quality,
         slo,
     })
@@ -566,6 +630,35 @@ impl RunReport {
             snapshot_table("oocore-phase registry", &self.oocore_phase.metrics).render()
         );
 
+        let _ = writeln!(out, "## Checkpoint & resume\n");
+        let c = &self.ckpt;
+        let r = &self.resume;
+        let _ = writeln!(
+            out,
+            "snapshot committed at gate {}/{}: {} bytes (atomic temp → fsync → \
+             rename, footer-checksummed), energy {:.6} at the barrier\n",
+            c.gates_applied, c.total_gates, c.snapshot_bytes, c.energy
+        );
+        let _ = writeln!(
+            out,
+            "resumed and finished: energy {:.6}, {} requants, accumulated bound \
+             max {:.3e} — scrub {}; the scrubbed and plain resumes \
+             completed bit-identically\n",
+            r.energy,
+            r.ledger.total_requants,
+            r.ledger.max_accumulated_bound,
+            match &r.scrub {
+                Some(rep) if rep.all_clean() => "clean".to_string(),
+                Some(_) => "UNCLEAN".to_string(),
+                None => "skipped".to_string(),
+            }
+        );
+        let _ = writeln!(
+            out,
+            "```\n{}```\n",
+            snapshot_table("ckpt-phase registry", &self.ckpt_phase.metrics).render()
+        );
+
         let _ = writeln!(
             out,
             "## Compressor quality sweep (2^14 complex amplitudes)\n"
@@ -620,7 +713,7 @@ impl RunReport {
         let _ = writeln!(out, "## Service-level objectives\n");
         let mut st = Table::new(
             "slo",
-            "end-of-run objective verdicts (state + out-of-core phases)",
+            "end-of-run objective verdicts (state + out-of-core + ckpt phases)",
             &["objective", "reading", "target", "verdict"],
         );
         for r in &self.slo.rows {
@@ -743,6 +836,24 @@ impl RunReport {
         m.insert(
             "oocore.prefetch.misses".into(),
             self.oocore.stats.prefetch_misses as f64,
+        );
+        // Checkpoint/restore phase: the snapshot size and the resumed
+        // run's completion are deterministic functions of the workload.
+        // `ckpt.resume.energy` falls under the hard energy-drift rule and
+        // the accumulated-bound key under the 5% error-growth rule.
+        m.insert(
+            "ckpt.snapshot_bytes".into(),
+            self.ckpt.snapshot_bytes as f64,
+        );
+        m.insert("ckpt.gate".into(), self.ckpt.gates_applied as f64);
+        m.insert("ckpt.resume.energy".into(), self.resume.energy);
+        m.insert(
+            "ckpt.resume.requants.total".into(),
+            self.resume.ledger.total_requants as f64,
+        );
+        m.insert(
+            "ckpt.resume.accumulated_bound.max".into(),
+            self.resume.ledger.max_accumulated_bound,
         );
         // SLO verdict keys: a violation count above zero is a hard
         // regression in [`check`] even against baselines predating these

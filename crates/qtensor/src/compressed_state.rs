@@ -24,17 +24,19 @@
 //! The tests measure the end effect as state fidelity and energy drift vs.
 //! the dense oracle.
 
+use crate::checkpoint::{self, CkptError};
 use crate::contraction::ContractError;
-use crate::ledger::{ErrorLedger, LedgerSummary};
+use crate::ledger::{ChunkRecord, ErrorLedger, LedgerSummary};
 use crate::spill::{self, Consume, FramePayload, PrefetchCtl, PrefetchRequest, SpillTier};
 use crate::statevector::{apply_gate_to_amplitudes, StateVector};
 use compressors::traits::value_range;
 use compressors::{Compressor, CompressorKind, ErrorBound};
 use gpu_model::{DeviceSpec, Stream};
 use qcf_telemetry::journal::{self, EventKind};
-use qcf_telemetry::{Counter, GaugeTrack, Histogram};
+use qcf_telemetry::{Counter, Gauge, GaugeTrack, Histogram};
 use qcircuit::{Circuit, Gate, Graph};
 use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 use tensornet::planes::{as_interleaved, from_interleaved};
@@ -72,6 +74,10 @@ pub struct StateStats {
     /// Microseconds the apply path spent blocked waiting on disk-tier
     /// data (prefetch waits + synchronous fallback reads).
     pub prefetch_stall_us: u64,
+    /// Spill-log compaction passes that actually rewrote the file.
+    pub compactions: u64,
+    /// Dead bytes reclaimed from the spill log across those passes.
+    pub spill_reclaimed_bytes: u64,
 }
 
 /// Fault accounting for a compressed-state run: what went wrong and how
@@ -133,6 +139,10 @@ struct SpillCounters {
     reads: Arc<Counter>,
     bytes: Arc<Counter>,
     live_bytes: GaugeTrack,
+    /// Dead (superseded-record) bytes in the spill log — the level the
+    /// `capacity.spill_dead` SLO watches; compaction drives it back down.
+    dead_bytes: Arc<Gauge>,
+    compactions: Arc<Counter>,
     prefetch_hits: Arc<Counter>,
     prefetch_misses: Arc<Counter>,
     stall_us: Arc<Counter>,
@@ -146,9 +156,29 @@ impl SpillCounters {
             reads: reg.counter("state.spill.reads"),
             bytes: reg.counter("state.spill.bytes"),
             live_bytes: reg.gauge("state.spill.live_bytes").track(),
+            dead_bytes: reg.gauge("state.spill.dead_bytes"),
+            compactions: reg.counter("state.spill.compactions"),
             prefetch_hits: reg.counter("state.prefetch.hits"),
             prefetch_misses: reg.counter("state.prefetch.misses"),
             stall_us: reg.counter("state.prefetch.stall_us"),
+        }
+    }
+}
+
+/// Registry mirrors of the durable-snapshot layer (`state.ckpt.*`).
+struct CkptCounters {
+    writes: Arc<Counter>,
+    bytes: Arc<Counter>,
+    restores: Arc<Counter>,
+}
+
+impl CkptCounters {
+    fn new() -> Self {
+        let reg = qcf_telemetry::registry();
+        CkptCounters {
+            writes: reg.counter("state.ckpt.writes"),
+            bytes: reg.counter("state.ckpt.bytes"),
+            restores: reg.counter("state.ckpt.restores"),
         }
     }
 }
@@ -164,6 +194,9 @@ pub struct TierBreakdown {
     pub spilled_bytes: usize,
     /// Chunks currently living on the disk tier.
     pub spilled_chunks: usize,
+    /// Total spill-log bytes on disk (live records plus dead space the
+    /// next compaction will reclaim).
+    pub spill_file_bytes: usize,
 }
 
 /// Microsecond bucket bounds for the per-chunk stage latency histograms:
@@ -425,6 +458,8 @@ pub struct CompressedState<'a> {
     spill_tier: SpillTier,
     /// Registry mirrors of the disk-tier stats.
     spill_counters: SpillCounters,
+    /// Registry mirrors of the durable-snapshot stats.
+    ckpt_counters: CkptCounters,
     /// Compressed-RAM budget in bytes (`QCF_MEM_BUDGET`); `None` means
     /// unbounded — the disk tier is never used.
     mem_budget: Option<usize>,
@@ -475,6 +510,7 @@ impl<'a> CompressedState<'a> {
             latency: StateLatency::new(),
             spill_tier: SpillTier::new(1usize << (n - chunk_qubits)),
             spill_counters: SpillCounters::new(),
+            ckpt_counters: CkptCounters::new(),
             mem_budget: spill::env_size("QCF_MEM_BUDGET"),
             prefetch: None,
             touch_stamp: vec![0; 1usize << (n - chunk_qubits)],
@@ -506,6 +542,9 @@ impl<'a> CompressedState<'a> {
         self.stats.resident_bytes = self.resident.value() as usize;
         self.stats.peak_resident_bytes = self.resident.peak() as usize;
         self.stats.spilled_bytes = self.spill_tier.live_bytes() as usize;
+        self.spill_counters
+            .dead_bytes
+            .set(self.spill_tier.dead_bytes() as i64);
     }
 
     /// The configured compressed-RAM budget in bytes (`None` = unbounded).
@@ -541,6 +580,7 @@ impl<'a> CompressedState<'a> {
             ram_compressed_bytes: self.resident.value() as usize,
             spilled_bytes: self.spill_tier.live_bytes() as usize,
             spilled_chunks: self.spill_tier.spilled_chunks(),
+            spill_file_bytes: self.spill_tier.file_bytes() as usize,
         }
     }
 
@@ -606,6 +646,7 @@ impl<'a> CompressedState<'a> {
                 self.spill_counters.live_bytes.add(i64::from(entry.len));
                 journal::record(id as u64, EventKind::Spill, bytes.len() as f64);
                 self.sync_resident_stats();
+                self.maybe_compact();
                 true
             }
             Err(e) => {
@@ -753,7 +794,56 @@ impl<'a> CompressedState<'a> {
             res
         });
         self.prefetch = None;
+        // The pipeline blocks compaction for the whole run (workers hold
+        // the pre-compaction file handle and offsets); settle the churn
+        // it accumulated now that they are gone.
+        self.maybe_compact();
         res
+    }
+
+    /// Compacts the spill log when the dead-space policy says a rewrite
+    /// pays for itself ([`SpillTier::should_compact`]). A no-op while the
+    /// prefetch pipeline is armed: its workers read via pre-compaction
+    /// offsets on the old file handle. Failures leave the log as it was
+    /// (the rewrite goes to a temp file first) and only warn.
+    fn maybe_compact(&mut self) {
+        if self.prefetch.is_some() || !self.spill_tier.should_compact() {
+            return;
+        }
+        if let Err(e) = self.compact_now() {
+            eprintln!("warning: spill compaction failed (log left as-is): {e}");
+        }
+    }
+
+    /// Forces a spill-log compaction pass regardless of the dead-space
+    /// policy (the drills use this). Returns bytes reclaimed; `0` while
+    /// a prefetch pipeline is armed (compaction would invalidate its
+    /// in-flight offsets).
+    pub fn compact_spill(&mut self) -> std::io::Result<u64> {
+        if self.prefetch.is_some() {
+            return Ok(0);
+        }
+        self.compact_now()
+    }
+
+    fn compact_now(&mut self) -> std::io::Result<u64> {
+        let reclaimed = self.spill_tier.compact()?;
+        if reclaimed > 0 {
+            self.stats.compactions += 1;
+            self.stats.spill_reclaimed_bytes += reclaimed;
+            self.spill_counters.compactions.inc();
+            for id in 0..self.chunks.len() {
+                if let Some(e) = self.spill_tier.entry(id) {
+                    journal::record(
+                        id as u64,
+                        EventKind::Compact,
+                        (e.len as usize + spill::RECORD_HEADER) as f64,
+                    );
+                }
+            }
+            self.sync_resident_stats();
+        }
+        Ok(reclaimed)
     }
 
     /// Register width.
@@ -993,6 +1083,203 @@ impl<'a> CompressedState<'a> {
             res?;
         }
         Ok(())
+    }
+
+    /// Serializes the state into a durable snapshot at `path`, committed
+    /// atomically (see [`crate::checkpoint`] for the format and commit
+    /// protocol). `app_meta` is a caller-opaque blob returned verbatim by
+    /// [`CompressedState::resume`] — `qcfz` stores the circuit recipe and
+    /// gate progress there.
+    ///
+    /// Checkpointing is a durability barrier: dirty cached chunks are
+    /// flushed and the cache dropped (the [`set_cache_capacity`] idiom),
+    /// so the serialized frames are the exact ground truth the resumed
+    /// run re-reads — evolution after a resume is bit-identical to the
+    /// uninterrupted run even under a lossy codec, because both sides
+    /// continue from the same requantized bytes. Spilled frames are read
+    /// from the disk tier in place; the tiers are not otherwise touched.
+    ///
+    /// Returns total bytes at the committed path.
+    ///
+    /// [`set_cache_capacity`]: CompressedState::set_cache_capacity
+    pub fn checkpoint(&mut self, path: &Path, app_meta: &[u8]) -> Result<u64, CkptError> {
+        self.flush().map_err(|e| CkptError::State(e.to_string()))?;
+        self.cache.entries.clear();
+        let n_chunks = self.chunks.len();
+        let mut body = Vec::new();
+        body.extend_from_slice(checkpoint::SNAP_MAGIC);
+        checkpoint::put_u32(&mut body, self.n as u32);
+        checkpoint::put_u32(&mut body, self.chunk_qubits as u32);
+        checkpoint::put_u8(&mut body, self.compressor.id());
+        let (kind, value) = match self.bound {
+            ErrorBound::Abs(v) => (0u8, v),
+            ErrorBound::Rel(v) => (1u8, v),
+        };
+        checkpoint::put_u8(&mut body, kind);
+        checkpoint::put_f64(&mut body, value);
+        checkpoint::put_u64(&mut body, self.ledger.lossy_events());
+        checkpoint::put_u32(&mut body, n_chunks as u32);
+        checkpoint::put_u32(&mut body, app_meta.len() as u32);
+        body.extend_from_slice(app_meta);
+        let mut frame_lens = Vec::with_capacity(n_chunks);
+        for id in 0..n_chunks {
+            let spilled;
+            let frame: &[u8] = match self.spill_tier.entry(id) {
+                Some(entry) => {
+                    spilled = self.spill_tier.read(entry).map_err(CkptError::Io)?;
+                    self.spill_counters.reads.inc();
+                    &spilled
+                }
+                None => &self.chunks[id],
+            };
+            checkpoint::put_u32(&mut body, frame.len() as u32);
+            body.extend_from_slice(frame);
+            checkpoint::put_f64(&mut body, self.chunk_norm[id]);
+            let rec = &self.ledger.records()[id];
+            checkpoint::put_u64(&mut body, rec.encodes);
+            checkpoint::put_u64(&mut body, rec.requants);
+            checkpoint::put_f64(&mut body, rec.accumulated_bound);
+            checkpoint::put_f64(&mut body, rec.last_abs_bound);
+            checkpoint::put_f64(&mut body, rec.max_measured_err);
+            checkpoint::put_u8(&mut body, u8::from(rec.measured));
+            checkpoint::put_u64(&mut body, rec.quarantines);
+            frame_lens.push(frame.len());
+        }
+        checkpoint::put_u64(&mut body, self.faults.decode_errors);
+        checkpoint::put_u64(&mut body, self.faults.retries_ok);
+        checkpoint::put_u64(&mut body, self.faults.cache_repairs);
+        checkpoint::put_u64(&mut body, self.faults.quarantines);
+        checkpoint::put_u64(&mut body, self.faults.worker_panics);
+        checkpoint::put_f64(&mut body, self.faults.lost_norm_sq);
+        let total = checkpoint::write_snapshot(path, &body)?;
+        // Journal only after the commit: the causal record reflects what
+        // is durably on disk, so a kill-point "crash" records nothing.
+        for (id, len) in frame_lens.into_iter().enumerate() {
+            journal::record(id as u64, EventKind::Checkpoint, len as f64);
+        }
+        self.ckpt_counters.writes.inc();
+        self.ckpt_counters.bytes.add(total);
+        Ok(total)
+    }
+
+    /// Reconstructs a state from a snapshot written by
+    /// [`CompressedState::checkpoint`], returning it together with the
+    /// caller's `app_meta` blob. The snapshot must have been written
+    /// under the same codec (`compressor.id()` is checked against the
+    /// stored stream id). Sealed frames, chunk norms, the error-budget
+    /// ledger, and the fault tally are restored exactly; the cache,
+    /// spill tier, and run stats start fresh (re-tiered immediately if
+    /// `QCF_MEM_BUDGET` demands it). Registry counters are *not*
+    /// back-filled — they count this process's events; the restored
+    /// [`FaultStats`]/ledger carry the run's cumulative history.
+    pub fn resume(
+        path: &Path,
+        compressor: &'a dyn Compressor,
+    ) -> Result<(Self, Vec<u8>), CkptError> {
+        let body = checkpoint::read_snapshot(path)?;
+        let mut r = checkpoint::Reader::new(&body);
+        if r.take(checkpoint::SNAP_MAGIC.len())? != checkpoint::SNAP_MAGIC {
+            return Err(CkptError::Corrupt("bad snapshot magic".into()));
+        }
+        let n = r.u32()? as usize;
+        let chunk_qubits = r.u32()? as usize;
+        if n > 26 || chunk_qubits > n {
+            return Err(CkptError::Corrupt(format!(
+                "implausible geometry: n={n}, chunk_qubits={chunk_qubits}"
+            )));
+        }
+        let stored_id = r.u8()?;
+        if stored_id != compressor.id() {
+            return Err(CkptError::Corrupt(format!(
+                "snapshot written by compressor id {stored_id}, resume offered \"{}\" (id {})",
+                compressor.name(),
+                compressor.id()
+            )));
+        }
+        let bound = match r.u8()? {
+            0 => ErrorBound::Abs(r.f64()?),
+            1 => ErrorBound::Rel(r.f64()?),
+            k => return Err(CkptError::Corrupt(format!("unknown bound kind {k}"))),
+        };
+        let lossy_events = r.u64()?;
+        let n_chunks = 1usize << (n - chunk_qubits);
+        let stored_chunks = r.u32()? as usize;
+        if stored_chunks != n_chunks {
+            return Err(CkptError::Corrupt(format!(
+                "chunk count {stored_chunks} does not match geometry ({n_chunks})"
+            )));
+        }
+        let meta_len = r.u32()? as usize;
+        let app_meta = r.take(meta_len)?.to_vec();
+        let mut chunks = Vec::with_capacity(n_chunks);
+        let mut chunk_norm = Vec::with_capacity(n_chunks);
+        let mut records = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            let frame_len = r.u32()? as usize;
+            chunks.push(r.take(frame_len)?.to_vec());
+            chunk_norm.push(r.f64()?);
+            records.push(ChunkRecord {
+                encodes: r.u64()?,
+                requants: r.u64()?,
+                accumulated_bound: r.f64()?,
+                last_abs_bound: r.f64()?,
+                max_measured_err: r.f64()?,
+                measured: r.u8()? != 0,
+                quarantines: r.u64()?,
+            });
+        }
+        let faults = FaultStats {
+            decode_errors: r.u64()?,
+            retries_ok: r.u64()?,
+            cache_repairs: r.u64()?,
+            quarantines: r.u64()?,
+            worker_panics: r.u64()?,
+            lost_norm_sq: r.f64()?,
+        };
+        if r.remaining() != 0 {
+            return Err(CkptError::Corrupt(format!(
+                "{} trailing bytes after a complete parse",
+                r.remaining()
+            )));
+        }
+        let mut state = CompressedState {
+            n,
+            chunk_qubits,
+            chunks,
+            compressor,
+            bound,
+            stream: Stream::new(DeviceSpec::a100()),
+            resident: qcf_telemetry::registry()
+                .gauge("state.resident_bytes")
+                .track(),
+            cache: ChunkCache::new(env_cache_capacity()),
+            flat: Vec::new(),
+            spare: Vec::new(),
+            group_buf: Vec::new(),
+            ledger: ErrorLedger::restore(records, lossy_events),
+            measure_err: env_measure_err(),
+            chunk_norm,
+            fault_counters: FaultCounters::new(),
+            latency: StateLatency::new(),
+            spill_tier: SpillTier::new(n_chunks),
+            spill_counters: SpillCounters::new(),
+            ckpt_counters: CkptCounters::new(),
+            mem_budget: spill::env_size("QCF_MEM_BUDGET"),
+            prefetch: None,
+            touch_stamp: vec![0; n_chunks],
+            touch_tick: 0,
+            stats: StateStats::default(),
+            faults,
+        };
+        for id in 0..state.chunks.len() {
+            let len = state.chunks[id].len();
+            state.resident.add(len as i64);
+            journal::record(id as u64, EventKind::Checkpoint, len as f64);
+        }
+        state.sync_resident_stats();
+        state.enforce_budget();
+        state.ckpt_counters.restores.inc();
+        Ok((state, app_meta))
     }
 
     /// Applies one gate.

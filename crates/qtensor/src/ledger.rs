@@ -137,6 +137,24 @@ impl ErrorLedger {
         }
     }
 
+    /// Rebuilds a ledger from checkpointed records: the restored state's
+    /// accounting (and its registry mirrors) must be field-for-field the
+    /// state that was checkpointed, so resumed runs report identically.
+    pub(crate) fn restore(records: Vec<ChunkRecord>, lossy_events: u64) -> Self {
+        let mut ledger = ErrorLedger::new(records.len());
+        ledger.chunks = records;
+        ledger.lossy_events = lossy_events;
+        let max = ledger.chunks.iter().map(|c| c.requants).max().unwrap_or(0);
+        ledger.max_requants_gauge.set(max as i64);
+        ledger.publish_bounds();
+        ledger
+    }
+
+    /// Every chunk's record, in chunk order (checkpoint serialization).
+    pub(crate) fn records(&self) -> &[ChunkRecord] {
+        &self.chunks
+    }
+
     /// Refreshes the registry mirrors of the state-level bounds: the
     /// worst per-chunk accumulated bound and the state-level RSS across
     /// chunks ([`LedgerSummary::accumulated_rss`] — the fidelity signal

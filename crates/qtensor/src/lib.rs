@@ -12,6 +12,7 @@
 //! truth for validation.
 
 pub mod amplitude;
+pub mod checkpoint;
 pub mod compressed;
 pub mod compressed_state;
 pub mod contraction;
@@ -25,6 +26,7 @@ pub mod spill;
 pub mod statevector;
 pub mod trace;
 
+pub use checkpoint::CkptError;
 pub use compressed_state::{CompressedState, FaultStats, StateStats, TierBreakdown, VerifyReport};
 pub use contraction::{
     contract_network, ContractError, ContractionHook, ContractionStats, NoopHook,
@@ -34,6 +36,6 @@ pub use ledger::{ChunkRecord, ErrorLedger, LedgerSummary};
 pub use lightcone::{lightcone, Lightcone};
 pub use network::TensorNetwork;
 pub use ordering::{InteractionGraph, OrderingHeuristic};
-pub use spill::parse_size;
+pub use spill::{parse_size, sweep_stale_dir};
 pub use statevector::StateVector;
 pub use trace::TraceHook;

@@ -17,12 +17,28 @@
 //! ## Log semantics
 //!
 //! Appends only — a re-spilled chunk gets a fresh record and the old one
-//! becomes dead space (no compaction; the file lives for one state's
-//! lifetime and is unlinked on drop). Every record carries a
+//! becomes dead space until a [`SpillTier::compact`] pass rewrites the
+//! live records and atomically swaps the file (long-lived sessions would
+//! otherwise grow the log without bound). Every record carries a
 //! monotonically increasing *generation*: a prefetch issued against
 //! generation `g` is dropped on arrival if the chunk was re-spilled to
 //! `g' > g` in the meantime, so stale reads can never resurface old
 //! amplitudes.
+//!
+//! ## Crash consistency
+//!
+//! Each record is framed on disk as `[magic u32][chunk u32][gen u64]
+//! [len u32][fnv1a32(payload) u32]` + payload (24-byte header, all
+//! little-endian). In-session reads stay raw — the payload is a sealed
+//! v2 frame with its own checksum, so torn or corrupt bytes surface
+//! through the normal decode/heal/quarantine chain. The header exists
+//! for [`SpillTier::open_recover`]: after a crash, the log is re-scanned
+//! record by record and truncated at the first torn tail (incomplete
+//! header, payload past EOF, or record-checksum mismatch), recovering
+//! exactly the records whose append completed. The `spill.torn_tail`
+//! fault site models a crash mid-append by cutting the write short.
+//! Spill logs are named with the owning pid; opening a tier sweeps
+//! leftovers whose owner is dead, so crash drills don't leak disk.
 //!
 //! ## Prefetch pipeline
 //!
@@ -42,6 +58,7 @@
 //! in tests and `qcfz report` use it to make overlap measurable on fast
 //! local filesystems.
 
+use codec_kit::frame::fnv1a32;
 use compressors::Compressor;
 use gpu_model::{DeviceSpec, Stream};
 use qcircuit::Gate;
@@ -51,7 +68,7 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
 use std::time::Duration;
 use tensornet::Complex64;
 
@@ -110,9 +127,17 @@ pub(crate) fn env_size(name: &str) -> Option<usize> {
 // The spill tier
 // ---------------------------------------------------------------------------
 
+/// On-disk record framing: `[magic u32][chunk u32][gen u64][len u32]
+/// [fnv1a32(payload) u32]`, all little-endian, payload follows.
+pub(crate) const RECORD_MAGIC: u32 = 0x5243_4651; // "QCFR" in LE byte order
+/// Bytes of the per-record header.
+pub(crate) const RECORD_HEADER: usize = 24;
+
 /// One live record in the append-log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct SpillEntry {
+    /// Byte offset of the record's *payload* (the sealed frame), so raw
+    /// readers stay oblivious to the header in front of it.
     pub offset: u64,
     pub len: u32,
     /// Monotone re-spill generation; guards against stale prefetches.
@@ -124,6 +149,91 @@ static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
 
 fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Serializes one record header in front of `payload`.
+fn push_record_header(rec: &mut Vec<u8>, chunk: u32, gen: u64, payload: &[u8]) {
+    rec.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
+    rec.extend_from_slice(&chunk.to_le_bytes());
+    rec.extend_from_slice(&gen.to_le_bytes());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&fnv1a32(payload).to_le_bytes());
+}
+
+/// Reads as many bytes as the file still has, leaving the rest zero:
+/// a torn tail reads back as zeros, which the sealed frame's checksum
+/// rejects downstream instead of turning the read into a hard error.
+fn read_zero_padded(f: &mut File, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+    f.seek(SeekFrom::Start(offset))?;
+    let mut filled = 0;
+    while filled < buf.len() {
+        match f.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    buf[filled..].fill(0);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Stale-file hygiene (crash-leftover spill logs and checkpoint temps)
+// ---------------------------------------------------------------------------
+
+/// The creating pid encoded in a spill-log or checkpoint-temp filename
+/// (`qcf-spill-<pid>-<seq>.log`, `<snapshot>.tmp.<pid>`), if any.
+fn stale_owner(name: &str) -> Option<u32> {
+    if let Some(rest) = name.strip_prefix("qcf-spill-") {
+        return rest.split('-').next()?.parse().ok();
+    }
+    if let Some(pos) = name.rfind(".tmp.") {
+        return name[pos + 5..].parse().ok();
+    }
+    None
+}
+
+/// True when `pid` still runs. Without procfs we cannot tell, so we
+/// claim alive — hygiene must never delete a live process's files.
+fn pid_alive(pid: u32) -> bool {
+    if !Path::new("/proc/self").exists() {
+        return true;
+    }
+    Path::new("/proc").join(pid.to_string()).exists()
+}
+
+/// Removes crash leftovers in `dir`: spill logs and checkpoint temps
+/// whose creating process is dead. Returns how many files went away.
+pub fn sweep_stale_dir(dir: &Path) -> usize {
+    let own = std::process::id();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(pid) = stale_owner(name) else {
+            continue;
+        };
+        if pid == own || pid_alive(pid) {
+            continue;
+        }
+        if std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// Once per process, on the first spill-file creation: sweep the temp
+/// dir for leftovers of crashed runs.
+fn sweep_stale_temp_once() {
+    static SWEEP: Once = Once::new();
+    SWEEP.call_once(|| {
+        sweep_stale_dir(&std::env::temp_dir());
+    });
 }
 
 /// The per-state disk tier. Inert (no file) until the first spill.
@@ -161,8 +271,11 @@ impl SpillTier {
     }
 
     /// Creates the spill file if it does not exist yet; returns its path.
+    /// The first creation in a process also sweeps the temp dir for
+    /// crash leftovers of dead runs.
     pub fn ensure_file(&mut self) -> std::io::Result<&Path> {
         if self.file.is_none() {
+            sweep_stale_temp_once();
             let f = OpenOptions::new()
                 .read(true)
                 .write(true)
@@ -174,29 +287,182 @@ impl SpillTier {
         Ok(&self.path)
     }
 
+    /// Reopens an existing spill log after a crash: scans the record
+    /// framing from the start, keeps the highest-generation record per
+    /// chunk, and truncates the file at the first torn record (short
+    /// header, payload past EOF, or record-checksum mismatch) — the
+    /// scan-and-truncate recovery contract. Never panics and never
+    /// indexes torn bytes.
+    pub fn open_recover(path: &Path, n_chunks: usize) -> std::io::Result<Self> {
+        let mut f = OpenOptions::new().read(true).write(true).open(path)?;
+        let file_len = f.metadata()?.len();
+        let mut index: Vec<Option<SpillEntry>> = vec![None; n_chunks];
+        let mut pos = 0u64;
+        let mut next_gen = 1u64;
+        let mut header = [0u8; RECORD_HEADER];
+        while pos + RECORD_HEADER as u64 <= file_len {
+            f.seek(SeekFrom::Start(pos))?;
+            f.read_exact(&mut header)?;
+            let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+            let id = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+            let gen = u64::from_le_bytes(header[8..16].try_into().unwrap());
+            let len = u32::from_le_bytes(header[16..20].try_into().unwrap());
+            let crc = u32::from_le_bytes(header[20..24].try_into().unwrap());
+            let payload_off = pos + RECORD_HEADER as u64;
+            if magic != RECORD_MAGIC || id >= n_chunks || payload_off + u64::from(len) > file_len {
+                break;
+            }
+            let mut payload = vec![0u8; len as usize];
+            f.read_exact(&mut payload)?;
+            if fnv1a32(&payload) != crc {
+                break;
+            }
+            let entry = SpillEntry {
+                offset: payload_off,
+                len,
+                gen,
+            };
+            if index[id].is_none_or(|old| gen > old.gen) {
+                index[id] = Some(entry);
+            }
+            next_gen = next_gen.max(gen + 1);
+            pos = payload_off + u64::from(len);
+        }
+        if pos < file_len {
+            f.set_len(pos)?; // drop the torn tail
+        }
+        let live_bytes = index.iter().flatten().map(|e| u64::from(e.len)).sum();
+        Ok(SpillTier {
+            path: path.to_path_buf(),
+            file: Some(Mutex::new(f)),
+            index,
+            end: pos,
+            live_bytes,
+            next_gen,
+            latency_us: env_size("QCF_SPILL_LATENCY_US")
+                .map(|v| v as u64)
+                .unwrap_or(0),
+            disabled: false,
+        })
+    }
+
     /// Appends `bytes` as chunk `id`'s new on-disk record, superseding any
-    /// previous one. Returns the fresh entry.
+    /// previous one. Returns the fresh entry. Under the `spill.torn_tail`
+    /// fault site the write is cut short (modelling a crash mid-append)
+    /// while the index still advances — exactly the state a real torn
+    /// append leaves behind for recovery to clean up.
     pub fn append(&mut self, id: usize, bytes: &[u8]) -> std::io::Result<SpillEntry> {
         self.ensure_file()?;
         let file = self.file.as_ref().expect("just ensured");
-        let offset = self.end;
+        let record_start = self.end;
+        let gen = self.next_gen;
+        let mut rec = Vec::with_capacity(RECORD_HEADER + bytes.len());
+        push_record_header(&mut rec, id as u32, gen, bytes);
+        rec.extend_from_slice(bytes);
+        let write_len = match qcf_telemetry::faults::inject("spill.torn_tail") {
+            // Strictly short of a full record: a crash mid-append.
+            Some(draw) => (draw as usize) % rec.len(),
+            None => rec.len(),
+        };
         {
             let mut f = lock_unpoisoned(file);
-            f.seek(SeekFrom::Start(offset))?;
-            f.write_all(bytes)?;
+            f.seek(SeekFrom::Start(record_start))?;
+            f.write_all(&rec[..write_len])?;
         }
         let entry = SpillEntry {
-            offset,
+            offset: record_start + RECORD_HEADER as u64,
             len: bytes.len() as u32,
-            gen: self.next_gen,
+            gen,
         };
         self.next_gen += 1;
-        self.end += bytes.len() as u64;
+        self.end = record_start + rec.len() as u64;
         if let Some(old) = self.index[id].replace(entry) {
             self.live_bytes -= u64::from(old.len);
         }
         self.live_bytes += u64::from(entry.len);
         Ok(entry)
+    }
+
+    /// Rewrites live records into a fresh log and atomically swaps it
+    /// over the old one (write → fsync → rename), dropping dead space.
+    /// Generations are preserved, so the stale-prefetch guard stays
+    /// monotone across a compaction. Returns the bytes reclaimed.
+    ///
+    /// Not safe while prefetch workers hold the old file open — the
+    /// caller gates on that.
+    pub fn compact(&mut self) -> std::io::Result<u64> {
+        let Some(file) = self.file.as_ref() else {
+            return Ok(0);
+        };
+        if self.dead_bytes() == 0 {
+            return Ok(0);
+        }
+        let tmp_path = self.path.with_extension("compact");
+        let mut out = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        {
+            let mut f = lock_unpoisoned(file);
+            for (id, slot) in self.index.iter().enumerate() {
+                let Some(e) = slot else { continue };
+                // Bytes are copied verbatim — a corrupt payload stays
+                // corrupt and is still caught by its sealed frame at
+                // decode time; compaction must never mask or drop it.
+                // (Its record checksum is recomputed over the bytes as
+                // read, so the re-scan below indexes it like any other.)
+                let mut payload = vec![0u8; e.len as usize];
+                read_zero_padded(&mut f, e.offset, &mut payload)?;
+                let mut rec = Vec::with_capacity(RECORD_HEADER + payload.len());
+                push_record_header(&mut rec, id as u32, e.gen, &payload);
+                rec.extend_from_slice(&payload);
+                out.write_all(&rec)?;
+            }
+        }
+        out.sync_all()?;
+        drop(out);
+        std::fs::rename(&tmp_path, &self.path)?;
+        let old_end = self.end;
+        // Rebuild the index by re-scanning the swapped log through the
+        // crash-recovery reader: the old handle still maps the pre-swap
+        // inode (so it must be reopened anyway), and the scan doubles as
+        // a self-check that the rewrite produced a fully-framed log.
+        let mut recovered = SpillTier::open_recover(&self.path, self.index.len())?;
+        std::mem::swap(&mut self.file, &mut recovered.file);
+        std::mem::swap(&mut self.index, &mut recovered.index);
+        self.live_bytes = recovered.live_bytes;
+        self.end = recovered.end;
+        // Generations stay monotone even if the rewritten log's max gen
+        // is behind the in-memory counter (fetched-back chunks).
+        self.next_gen = self.next_gen.max(recovered.next_gen);
+        // `recovered` shares our live path: repoint it at the (already
+        // renamed-away) temp name so its Drop cannot delete the log; it
+        // still closes the pre-swap handle it took in the swap above.
+        recovered.path = tmp_path;
+        Ok(old_end - self.end)
+    }
+
+    /// Live payload + header bytes — what a compacted log would occupy.
+    fn live_record_bytes(&self) -> u64 {
+        self.live_bytes + self.spilled_chunks() as u64 * RECORD_HEADER as u64
+    }
+
+    /// Dead (superseded or invalidated) bytes still occupying the log.
+    pub fn dead_bytes(&self) -> u64 {
+        self.end - self.live_record_bytes()
+    }
+
+    /// Total log bytes on disk (live + dead).
+    pub fn file_bytes(&self) -> u64 {
+        self.end
+    }
+
+    /// Compaction policy: the log is at least 4x its live payload and
+    /// carries at least 4 KiB of dead space — churn-proportional, so a
+    /// short run never pays a rewrite.
+    pub fn should_compact(&self) -> bool {
+        self.end >= 4 * self.live_record_bytes().max(1) && self.dead_bytes() >= 4096
     }
 
     /// The live record for chunk `id`, if it is currently spilled.
@@ -214,7 +480,9 @@ impl SpillTier {
     }
 
     /// Synchronous read of `entry`'s frame bytes (applies the simulated
-    /// device latency). `&self` so flush-free readers can fetch.
+    /// device latency). `&self` so flush-free readers can fetch. A torn
+    /// tail reads back zero-padded rather than erroring — the payload's
+    /// sealed frame rejects it downstream through the heal chain.
     pub fn read(&self, entry: SpillEntry) -> std::io::Result<Vec<u8>> {
         let file = self
             .file
@@ -225,8 +493,7 @@ impl SpillTier {
         }
         let mut bytes = vec![0u8; entry.len as usize];
         let mut f = lock_unpoisoned(file);
-        f.seek(SeekFrom::Start(entry.offset))?;
-        f.read_exact(&mut bytes)?;
+        read_zero_padded(&mut f, entry.offset, &mut bytes)?;
         Ok(bytes)
     }
 
@@ -578,6 +845,99 @@ mod tests {
     }
 
     #[test]
+    fn open_recover_rebuilds_index_and_truncates_torn_tail() {
+        let mut tier = SpillTier::new(3);
+        let _ = tier.append(0, b"alpha").unwrap();
+        let _ = tier.append(1, b"beta!").unwrap();
+        let e0b = tier.append(0, b"alpha-v2").unwrap(); // supersedes gen 1
+        let path = tier.path().to_path_buf();
+        let end = tier.file_bytes();
+        // Simulate a crash mid-append: a torn record after the last
+        // complete one (header + half the payload).
+        {
+            let mut rec = Vec::new();
+            push_record_header(&mut rec, 2, 99, b"torn-payload");
+            rec.extend_from_slice(b"torn-p");
+            let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(end)).unwrap();
+            f.write_all(&rec).unwrap();
+        }
+        std::mem::forget(tier); // crash: no Drop, file stays behind
+        let rec = SpillTier::open_recover(&path, 3).unwrap();
+        assert_eq!(rec.spilled_chunks(), 2);
+        assert_eq!(rec.entry(2), None, "torn record must not be indexed");
+        assert_eq!(rec.read(rec.entry(0).unwrap()).unwrap(), b"alpha-v2");
+        assert_eq!(rec.read(rec.entry(1).unwrap()).unwrap(), b"beta!");
+        assert_eq!(rec.entry(0).unwrap().gen, e0b.gen, "generations survive");
+        assert_eq!(rec.file_bytes(), end, "torn tail truncated away");
+        assert!(rec.next_gen > e0b.gen);
+    }
+
+    #[test]
+    fn compaction_drops_dead_space_and_preserves_reads() {
+        let mut tier = SpillTier::new(2);
+        for i in 0..200u32 {
+            tier.append(0, format!("record-{i:04}").as_bytes()).unwrap();
+        }
+        let e1 = tier.append(1, b"keeper").unwrap();
+        assert!(tier.should_compact(), "200x churn must trip the policy");
+        let before = tier.file_bytes();
+        let reclaimed = tier.compact().unwrap();
+        assert!(reclaimed > 0);
+        assert_eq!(tier.file_bytes(), before - reclaimed);
+        assert_eq!(tier.dead_bytes(), 0);
+        assert_eq!(tier.read(tier.entry(0).unwrap()).unwrap(), b"record-0199");
+        assert_eq!(tier.read(tier.entry(1).unwrap()).unwrap(), b"keeper");
+        assert_eq!(tier.entry(1).unwrap().gen, e1.gen, "gens preserved");
+        assert!(!tier.should_compact());
+        // The swapped file is also recoverable as-is.
+        let on_disk = std::fs::metadata(tier.path()).unwrap().len();
+        assert_eq!(on_disk, tier.file_bytes());
+    }
+
+    #[test]
+    fn sweep_removes_only_dead_owners_files() {
+        let dir = std::env::temp_dir().join("qcf-sweep-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let own = std::process::id();
+        // u32::MAX is above any real pid_max; it can never be alive.
+        let dead = dir.join("qcf-spill-4294967295-0.log");
+        let dead_tmp = dir.join("snap.qcfs.tmp.4294967295");
+        let live = dir.join(format!("qcf-spill-{own}-7.log"));
+        let unrelated = dir.join("keep.log");
+        for p in [&dead, &dead_tmp, &live, &unrelated] {
+            std::fs::write(p, b"x").unwrap();
+        }
+        let removed = sweep_stale_dir(&dir);
+        assert_eq!(removed, 2);
+        assert!(!dead.exists() && !dead_tmp.exists());
+        assert!(live.exists() && unrelated.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_fault_cuts_the_write_short_for_recovery_to_drop() {
+        use qcf_telemetry::faults;
+        let _guard = faults::chaos_guard();
+        let mut tier = SpillTier::new(2);
+        tier.append(0, b"complete-record").unwrap();
+        faults::arm_from_spec("seed=7,spill.torn_tail@1").unwrap();
+        let torn = tier.append(1, b"doomed-record!!").unwrap();
+        faults::disarm();
+        // In-session: the read zero-pads and the (absent) payload would
+        // fail its sealed-frame checksum downstream.
+        let bytes = tier.read(torn).unwrap();
+        assert_eq!(bytes.len(), 15);
+        assert_ne!(bytes, b"doomed-record!!");
+        // Across a crash: recovery keeps the intact record, drops the torn.
+        let path = tier.path().to_path_buf();
+        std::mem::forget(tier);
+        let rec = SpillTier::open_recover(&path, 2).unwrap();
+        assert_eq!(rec.spilled_chunks(), 1);
+        assert_eq!(rec.read(rec.entry(0).unwrap()).unwrap(), b"complete-record");
+    }
+
+    #[test]
     fn spill_file_is_removed_on_drop() {
         let path = {
             let mut tier = SpillTier::new(1);
@@ -598,6 +958,59 @@ mod tests {
         expect.extend([0, 1, 2, 3]); // Cnot(0,3): bases {0,2}, members {b, b|1}
         expect.extend([0, 1, 2, 3]); // Zz(3,4): base 0, members 0..4
         assert_eq!(sched, expect);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 8,
+            ..proptest::prelude::ProptestConfig::default()
+        })]
+
+        /// Crash-consistency, exhaustively: append N records, then cut
+        /// the log at *every* byte boundary of the tail record (from its
+        /// first header byte up to one byte short of complete). Recovery
+        /// must always yield exactly the N−1 intact records, payloads
+        /// bit-for-bit, with the torn tail truncated away — no panic, no
+        /// partial record ever surfacing.
+        #[test]
+        fn recovery_survives_truncation_at_every_tail_byte(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(proptest::prelude::any::<u8>(), 1..40),
+                2..6,
+            ),
+        ) {
+            use proptest::prelude::{prop_assert, prop_assert_eq};
+            let n = payloads.len();
+            let mut tier = SpillTier::new(n);
+            let mut tail_start = 0;
+            for (id, p) in payloads.iter().enumerate() {
+                tail_start = tier.file_bytes();
+                tier.append(id, p).unwrap();
+            }
+            let end = tier.file_bytes();
+            let path = tier.path().to_path_buf();
+            std::mem::forget(tier); // crash: no Drop, the log stays behind
+            let bytes = std::fs::read(&path).unwrap();
+            for cut in tail_start..end {
+                let copy = path.with_extension(format!("cut{cut}"));
+                std::fs::write(&copy, &bytes[..cut as usize]).unwrap();
+                let rec = SpillTier::open_recover(&copy, n).unwrap();
+                prop_assert_eq!(rec.spilled_chunks(), n - 1, "cut at {}", cut);
+                prop_assert_eq!(rec.entry(n - 1), None, "torn tail indexed at {}", cut);
+                for (id, p) in payloads.iter().enumerate().take(n - 1) {
+                    let e = rec.entry(id).unwrap();
+                    prop_assert_eq!(&rec.read(e).unwrap(), p, "cut at {}", cut);
+                }
+                prop_assert_eq!(rec.file_bytes(), tail_start, "cut at {}", cut);
+                prop_assert!(
+                    std::fs::metadata(&copy).unwrap().len() == tail_start,
+                    "torn bytes left on disk at cut {}", cut
+                );
+                drop(rec); // Drop removes the copy
+                prop_assert!(!copy.exists());
+            }
+            std::fs::remove_file(&path).unwrap();
+        }
     }
 
     #[test]

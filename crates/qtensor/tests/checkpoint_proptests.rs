@@ -1,0 +1,129 @@
+//! A checkpoint is a *pause*, never a perturbation: resuming a snapshot
+//! and finishing the run must produce bit-identical amplitudes to the
+//! run that was never interrupted, with a field-for-field identical
+//! error-budget ledger. That must hold across every tier shape (no
+//! budget, all-spill, thrashing) and for lossless *and* lossy codecs —
+//! the checkpoint barrier (flush + cache drop) makes the durable frames
+//! the ground truth both sides continue from, so even a lossy codec's
+//! requant schedule replays identically.
+
+use compressors::cuszx::CuSzx;
+use compressors::dummy::Memcpy;
+use compressors::{Compressor, ErrorBound};
+use proptest::prelude::*;
+use qcircuit::Gate;
+use qtensor::CompressedState;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Random gates over an `n`-qubit register, mixing low (intra-chunk) and
+/// high (grouped, cross-chunk) qubits.
+fn gate_strategy(n: usize) -> impl Strategy<Value = Gate> {
+    let pair = move |s: (usize, usize)| (s.0, (s.0 + s.1) % n);
+    prop_oneof![
+        (0..n).prop_map(Gate::H),
+        (0..n, -3.0f64..3.0).prop_map(|(q, th)| Gate::Rx(q, th)),
+        (0..n, -3.0f64..3.0).prop_map(|(q, th)| Gate::Ry(q, th)),
+        (0..n).prop_map(Gate::T),
+        (0..n, 1..n, -3.0f64..3.0).prop_map(move |(a, off, th)| {
+            let (a, b) = pair((a, off));
+            Gate::Zz(a, b, th)
+        }),
+        (0..n, 1..n).prop_map(move |(a, off)| {
+            let (a, b) = pair((a, off));
+            Gate::Cnot(a, b)
+        }),
+    ]
+}
+
+/// A unique snapshot path per proptest case (cases share one process).
+fn snap_path() -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join("qcf-ckpt-proptests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "case-{}-{}.qcfs",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn resume_then_finish_is_bit_identical_to_the_uninterrupted_run(
+        gates in prop::collection::vec(gate_strategy(6), 2..16),
+        split in 0usize..16,
+        budget_i in 0usize..3,
+        lossy in any::<bool>(),
+    ) {
+        // Tier shapes: unbounded RAM, thrashing, all-spill.
+        let budget = [None, Some(600usize), Some(0)][budget_i];
+        let lossless = Memcpy;
+        let cuszx = CuSzx::default();
+        let (comp, bound): (&dyn Compressor, _) = if lossy {
+            (&cuszx, ErrorBound::Abs(1e-7))
+        } else {
+            (&lossless, ErrorBound::Abs(0.0))
+        };
+        let k = split.min(gates.len());
+        let path = snap_path();
+
+        // Golden: run straight through, checkpointing at gate k without
+        // stopping.
+        let mut golden = CompressedState::zero(6, 3, comp, bound).unwrap();
+        golden.set_mem_budget(budget);
+        for g in &gates[..k] {
+            golden.apply(g).unwrap();
+        }
+        golden.checkpoint(&path, b"proptest-meta").unwrap();
+        for g in &gates[k..] {
+            golden.apply(g).unwrap();
+        }
+        golden.flush().unwrap();
+
+        // Resumed: a "new process" restores the snapshot and finishes.
+        let (mut resumed, meta) = CompressedState::resume(&path, comp).unwrap();
+        prop_assert_eq!(meta.as_slice(), b"proptest-meta".as_slice());
+        resumed.set_mem_budget(budget);
+        for g in &gates[k..] {
+            resumed.apply(g).unwrap();
+        }
+        resumed.flush().unwrap();
+
+        let a = golden.to_statevector().unwrap();
+        let b = resumed.to_statevector().unwrap();
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            prop_assert_eq!(x.re.to_bits(), y.re.to_bits(), "resume diverged");
+            prop_assert_eq!(x.im.to_bits(), y.im.to_bits(), "resume diverged");
+        }
+        prop_assert_eq!(golden.ledger_summary(), resumed.ledger_summary());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_snapshot_restores_the_exact_state_it_serialized(
+        gates in prop::collection::vec(gate_strategy(5), 1..10),
+        budget_i in 0usize..2,
+    ) {
+        let budget = [None, Some(0usize)][budget_i];
+        let comp = Memcpy;
+        let path = snap_path();
+        let mut cs = CompressedState::zero(5, 3, &comp, ErrorBound::Abs(0.0)).unwrap();
+        cs.set_mem_budget(budget);
+        for g in &gates {
+            cs.apply(g).unwrap();
+        }
+        cs.checkpoint(&path, &[]).unwrap();
+        let a = cs.to_statevector().unwrap();
+        let (resumed, meta) = CompressedState::resume(&path, &comp).unwrap();
+        prop_assert!(meta.is_empty());
+        let b = resumed.to_statevector().unwrap();
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            prop_assert_eq!(x.re.to_bits(), y.re.to_bits(), "restore diverged");
+            prop_assert_eq!(x.im.to_bits(), y.im.to_bits(), "restore diverged");
+        }
+        prop_assert_eq!(cs.ledger_summary(), resumed.ledger_summary());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -110,19 +110,47 @@ pub fn armed() -> bool {
 
 #[cold]
 fn init_armed() -> bool {
-    let spec = std::env::var("QCF_FAULTS").unwrap_or_default();
+    arm_from_env(&std::env::var("QCF_FAULTS").unwrap_or_default())
+}
+
+/// Arms from an environment-style spec: empty disarms quietly; a
+/// malformed spec disarms *loudly*, recording the parse error where
+/// [`spec_error`] finds it.
+fn arm_from_env(spec: &str) -> bool {
     if spec.trim().is_empty() {
         ARMED.store(2, Ordering::Relaxed);
         return false;
     }
-    match arm_from_spec(&spec) {
+    match arm_from_spec(spec) {
         Ok(()) => true,
         Err(e) => {
-            eprintln!("QCF_FAULTS ignored: {e}");
+            // A typo'd QCF_FAULTS must not silently turn a chaos drill
+            // into a clean run: record the error for callers (qcfz exits
+            // nonzero on it) and mirror it into the registry.
+            eprintln!("QCF_FAULTS malformed (injection disarmed): {e}");
+            *spec_error_slot().lock().unwrap_or_else(|p| p.into_inner()) = Some(e);
+            if crate::enabled() {
+                crate::registry().counter("faults.spec_error").inc();
+            }
             ARMED.store(2, Ordering::Relaxed);
             false
         }
     }
+}
+
+fn spec_error_slot() -> &'static Mutex<Option<String>> {
+    static SLOT: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// The parse error a malformed `QCF_FAULTS` spec produced at arming
+/// time, if any. Drivers that run chaos drills check this after calling
+/// [`armed`] and fail loudly instead of running clean.
+pub fn spec_error() -> Option<String> {
+    spec_error_slot()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone()
 }
 
 /// Arms fault injection from a spec string (see the module docs for the
@@ -180,6 +208,7 @@ pub fn arm_from_spec(spec: &str) -> Result<(), String> {
         return Err("no fault rules in spec".into());
     }
     *lock_plan() = new;
+    *spec_error_slot().lock().unwrap_or_else(|p| p.into_inner()) = None;
     ARMED.store(1, Ordering::Relaxed);
     Ok(())
 }
@@ -345,6 +374,22 @@ mod tests {
         assert_eq!(p1, q1);
         assert_eq!(p2, q2);
         assert_ne!(p1, p2, "different events get different payloads");
+    }
+
+    #[test]
+    fn malformed_env_spec_is_recorded_not_silently_swallowed() {
+        let _g = chaos_guard();
+        assert!(!arm_from_env("state.chunk.bitflip%banana"));
+        assert!(!armed());
+        let err = spec_error().expect("the parse error must be queryable");
+        assert!(err.contains("rate") || err.contains("banana"), "{err}");
+        // A later *valid* arming clears the recorded error.
+        assert!(arm_from_env("seed=1,codec.decode@1"));
+        assert!(spec_error().is_none());
+        disarm();
+        // Empty specs stay the quiet not-armed path, not an error.
+        assert!(!arm_from_env("  "));
+        assert!(spec_error().is_none());
     }
 
     #[test]

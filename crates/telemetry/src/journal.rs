@@ -70,10 +70,16 @@ pub enum EventKind {
     /// ids starting at [`crate::slo::JOURNAL_BASE`], so alert chains
     /// share the journal's global sequence order with real chunk events.
     Slo,
+    /// Chunk's sealed frame serialized into a durable snapshot, or
+    /// restored from one on resume (`detail`: frame bytes).
+    Checkpoint,
+    /// Chunk's live spill record relocated by a compaction pass
+    /// (`detail`: record bytes rewritten).
+    Compact,
 }
 
 /// Number of [`EventKind`] variants (size of the per-kind count table).
-pub const KINDS: usize = 12;
+pub const KINDS: usize = 14;
 
 impl EventKind {
     /// Stable index into per-kind count tables.
@@ -91,6 +97,8 @@ impl EventKind {
             EventKind::Spill => 9,
             EventKind::Fetch => 10,
             EventKind::Slo => 11,
+            EventKind::Checkpoint => 12,
+            EventKind::Compact => 13,
         }
     }
 
@@ -109,6 +117,8 @@ impl EventKind {
             EventKind::Spill => "spill",
             EventKind::Fetch => "fetch",
             EventKind::Slo => "slo",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::Compact => "compact",
         }
     }
 
@@ -127,6 +137,8 @@ impl EventKind {
             EventKind::Spill,
             EventKind::Fetch,
             EventKind::Slo,
+            EventKind::Checkpoint,
+            EventKind::Compact,
         ]
     }
 }

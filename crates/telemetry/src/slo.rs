@@ -274,6 +274,16 @@ impl SloSpec {
             Op::Le,
             resident_cap,
         );
+        // Compaction keeps the spill log's dead space churn-proportional
+        // (at most ~4x the live payload plus the 4 KiB floor); a log that
+        // accumulates a megabyte of dead records means the compactor
+        // stopped running and a long-lived session is leaking disk.
+        obj(
+            "capacity.spill_dead",
+            Expr::Level("state.spill.dead_bytes".into()),
+            Op::Le,
+            1e6,
+        );
         spec
     }
 
